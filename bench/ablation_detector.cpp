@@ -1,0 +1,91 @@
+// Ablation A6 (DESIGN.md): the firmware's k-of-n usage vote.
+//
+// The paper uses "3 of these 10 samples" to declare a tool in use,
+// explicitly "to protect detection against accidental operation". This
+// sweep varies the vote threshold k and measures both sides of the trade:
+// extract precision on genuine manipulations (weak tools suffer first) and
+// false usage episodes per hour from accidental bumps on an idle table.
+
+#include <cstdio>
+#include <string>
+
+#include "adl/library.hpp"
+#include "trace/sensing_pipeline.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+double genuine_precision(const adl::AdlLibrary& library, adl::ToolId tool,
+                         std::uint32_t votes) {
+  trace::SensingPipeline::Params params;
+  params.firmware.vote_threshold = votes;
+  trace::SensingPipeline pipeline(library.tools(), {tool}, 111, params);
+  const adl::Tool& t = library.tools().at(tool);
+  util::Rng durations(222);
+  util::PrecisionCounter precision;
+  for (int i = 0; i < 150; ++i) {
+    const double mean = t.typical_usage_mean.to_seconds();
+    const double drawn = std::max(
+        mean * 0.4,
+        durations.normal(mean, t.typical_usage_stddev.to_seconds()));
+    precision.record(
+        pipeline.single_tool_trial(tool, sim::Duration::seconds(drawn)));
+  }
+  return precision.precision();
+}
+
+double false_episodes_per_hour(const adl::AdlLibrary& library,
+                               adl::ToolId tool, std::uint32_t votes) {
+  trace::SensingPipeline::Params params;
+  params.firmware.vote_threshold = votes;
+  trace::SensingPipeline pipeline(library.tools(), {tool}, 333, params);
+  // An hour of idle time: one scripted manipulation of a *different* tool
+  // far away keeps the run alive; every extraction of `tool` is spurious.
+  double spurious = 0.0;
+  constexpr int kRuns = 4;
+  for (int i = 0; i < kRuns; ++i) {
+    const trace::SensedResult result = pipeline.run(
+        {patient::TimedStep{tool == adl::tools::kKettle
+                                ? adl::tools::kTeaBox
+                                : adl::tools::kKettle,
+                            sim::Duration::minutes(15.0),
+                            sim::Duration::seconds(5.0)}});
+    spurious += static_cast<double>(result.spurious);
+  }
+  return spurious / kRuns * 4.0;  // 15 min runs -> per hour
+}
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+
+  std::puts("Ablation A6: the k-of-10 usage vote (paper default: k = 3)");
+  std::puts("");
+
+  util::TextTable table;
+  table.set_header({"Votes k", "Extract (kettle)", "Extract (pot)",
+                    "Extract (towel)", "False episodes/hour"});
+  for (std::uint32_t k : {1u, 2u, 3u, 4u, 5u, 7u}) {
+    table.add_row(
+        {std::to_string(k),
+         util::format_percent(
+             genuine_precision(library, adl::tools::kKettle, k)),
+         util::format_percent(
+             genuine_precision(library, adl::tools::kElectricPot, k)),
+         util::format_percent(
+             genuine_precision(library, adl::tools::kTowel, k)),
+         util::format_fixed(
+             false_episodes_per_hour(library, adl::tools::kKettle, k), 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: k = 1 fires on accidental bumps (the failure the\n"
+      "paper designed the vote against); very high k loses the weak tools\n"
+      "(pot, towel). k = 3 sits at the paper's operating point: near-zero\n"
+      "false episodes at the Table 3 precisions.");
+  return 0;
+}

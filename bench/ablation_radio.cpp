@@ -1,0 +1,92 @@
+// Ablation A3 (DESIGN.md): robustness to radio packet loss.
+//
+// The paper's CC1000 deployment reports no loss figures; this sweep shows
+// how the pipeline degrades: per-tool extract precision, training-data
+// completeness, and closed-loop session completion as the independent
+// frame-loss probability rises.
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.hpp"
+#include "trace/dataset.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+double extract_precision_at_loss(const adl::AdlLibrary& library,
+                                 adl::ToolId tool, double loss) {
+  trace::SensingPipeline::Params params;
+  params.radio.loss_probability = loss;
+  trace::SensingPipeline pipeline(library.tools(), {tool}, 808, params);
+  const adl::Tool& t = library.tools().at(tool);
+  util::Rng durations(909);
+  util::PrecisionCounter precision;
+  for (int i = 0; i < 200; ++i) {
+    const double mean = t.typical_usage_mean.to_seconds();
+    const double drawn = std::max(
+        mean * 0.4,
+        durations.normal(mean, t.typical_usage_stddev.to_seconds()));
+    precision.record(
+        pipeline.single_tool_trial(tool, sim::Duration::seconds(drawn)));
+  }
+  return precision.precision();
+}
+
+double session_completion_at_loss(const adl::AdlLibrary& library,
+                                  double loss) {
+  core::SystemConfig config;
+  config.seed = 515;
+  config.radio.loss_probability = loss;
+  core::CoredaSystem system(library, library.tea_making(), config);
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("User", 0.0), 616);
+  system.pretrain(datasets.clean_training_set(library.tea_making(), 120));
+
+  patient::PatientProfile profile =
+      patient::PatientProfile::with_severity("User", 0.5);
+  profile.comply_minimal = 1.0;
+  profile.comply_specific = 1.0;
+
+  int completed = 0;
+  constexpr int kSessions = 12;
+  for (int i = 0; i < kSessions; ++i) {
+    if (system.run_session(profile, sim::Duration::minutes(30.0))
+            .completed) {
+      ++completed;
+    }
+  }
+  return static_cast<double>(completed) / kSessions;
+}
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+
+  std::puts("Ablation A3: pipeline behaviour under radio frame loss");
+  std::puts("(kettle = strong signal, electronic pot = weak signal)\n");
+
+  util::TextTable table;
+  table.set_header({"Frame loss", "Extract (kettle)", "Extract (pot)",
+                    "Closed-loop completion (sev 0.5)"});
+  for (double loss : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    table.add_row(
+        {util::format_percent(loss),
+         util::format_percent(extract_precision_at_loss(
+             library, adl::tools::kKettle, loss)),
+         util::format_percent(extract_precision_at_loss(
+             library, adl::tools::kElectricPot, loss)),
+         util::format_percent(session_completion_at_loss(library, loss))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: extraction degrades gracefully because a usage\n"
+      "episode is announced repeatedly (one packet per detector window) —\n"
+      "losing one frame rarely loses the episode. The closed loop holds up\n"
+      "until loss removes whole episodes and prompts start mis-firing.");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation A2 (DESIGN.md): the reward shaping of §2.2.
+//
+// The paper pays 100 for an intermediate step reached via a *minimal*
+// prompt and 50 via a *specific* one, "promoting the user to exercise
+// his/her brain instead of depending on the system". This ablation checks
+// which reward structures actually produce the minimal-prompt preference,
+// and that the correct-tool preference never depends on the shaping.
+
+#include <cstdio>
+#include <string>
+
+#include "adl/library.hpp"
+#include "planning/learner.hpp"
+#include "trace/dataset.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+struct Shaping {
+  const char* name;
+  planning::RewardConfig reward;
+};
+
+struct Outcome {
+  double tool_accuracy = 0.0;    ///< greedy prompt names the right tool
+  std::size_t minimal_prompts = 0;
+  std::size_t specific_prompts = 0;
+};
+
+Outcome evaluate(const adl::AdlLibrary& library, const adl::Adl& adl,
+                 const planning::RewardConfig& reward) {
+  planning::LearnerConfig config;
+  config.reward = reward;
+  planning::RoutineLearner learner(adl, util::Rng(606), config);
+
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("User", 0.0), 303);
+  for (const auto& ep : datasets.sensed_training_set(adl, 150)) {
+    learner.train_episode(ep);
+  }
+
+  Outcome out;
+  out.tool_accuracy = learner.greedy_accuracy();
+  for (const planning::PlannerState& s : learner.predicting_states()) {
+    const auto prompt = learner.predict(s);
+    if (!prompt) continue;
+    if (prompt->action.level == planning::RemindingLevel::kMinimal) {
+      ++out.minimal_prompts;
+    } else {
+      ++out.specific_prompts;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+
+  Shaping shapings[4];
+  shapings[0].name = "paper (1000/100/50)";
+  // defaults already match the paper
+  shapings[1].name = "flat levels (1000/75/75)";
+  shapings[1].reward.intermediate_minimal = 75.0;
+  shapings[1].reward.intermediate_specific = 75.0;
+  shapings[2].name = "inverted levels (1000/50/100)";
+  shapings[2].reward.intermediate_minimal = 50.0;
+  shapings[2].reward.intermediate_specific = 100.0;
+  shapings[3].name = "no terminal bonus (100/100/50)";
+  shapings[3].reward.terminal = 100.0;
+
+  std::puts("Ablation A2: reward shaping vs learned prompting policy");
+  std::puts("(Tea-making, 150 sensed training samples)\n");
+
+  util::TextTable table;
+  table.set_header({"Reward structure", "Tool accuracy", "Minimal prompts",
+                    "Specific prompts"});
+  for (const Shaping& s : shapings) {
+    const Outcome out = evaluate(library, library.tea_making(), s.reward);
+    table.add_row({s.name, util::format_percent(out.tool_accuracy),
+                   std::to_string(out.minimal_prompts),
+                   std::to_string(out.specific_prompts)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: the correct-tool preference survives every\n"
+      "shaping (it only needs correct > mismatch), but the minimal-prompt\n"
+      "preference exists exactly when minimal pays more than specific —\n"
+      "inverting the two flips the learned reminding level.");
+  return 0;
+}

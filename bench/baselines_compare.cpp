@@ -1,0 +1,117 @@
+// Ablation A4 (DESIGN.md): the paper's TD(λ) planner vs the alternatives
+// its related-work section discusses.
+//
+//   * markov-1   — first-order frequency model (no pair context)
+//   * bigram     — frequency model over the paper's own <prev, cur> context
+//   * mdp-vi     — model-based value iteration, after Boger et al. [1]
+//   * td-lambda  — the paper's planner
+//   * oracle     — reads the routine (upper bound)
+//
+// Evaluated on three regimes: clean recordings, sensed (noisy) recordings,
+// and the multi-routine dressing data that motivates the paper's future
+// work. Prediction accuracy is scored against the generating routine.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adl/library.hpp"
+#include "baselines/markov.hpp"
+#include "baselines/mdp_planner.hpp"
+#include "baselines/td_adapter.hpp"
+#include "trace/dataset.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+double routine_accuracy(const baselines::NextStepPredictor& predictor,
+                        const adl::AdlRoutine& routine) {
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  adl::StepId prev = adl::kIdleStep;
+  const auto& steps = routine.steps();
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    const auto predicted = predictor.predict(prev, steps[i].step_id());
+    ++total;
+    if (predicted && *predicted == steps[i + 1].tool) ++hits;
+    prev = steps[i].step_id();
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double adl_accuracy(const baselines::NextStepPredictor& predictor,
+                    const adl::Adl& adl) {
+  double sum = 0.0;
+  for (const adl::AdlRoutine& r : adl.routines()) {
+    sum += routine_accuracy(predictor, r);
+  }
+  return sum / static_cast<double>(adl.routines().size());
+}
+
+std::vector<std::unique_ptr<baselines::NextStepPredictor>> make_predictors(
+    const adl::Adl& adl, std::uint64_t seed) {
+  std::vector<std::unique_ptr<baselines::NextStepPredictor>> out;
+  out.push_back(std::make_unique<baselines::MarkovChainPredictor>());
+  out.push_back(std::make_unique<baselines::BigramPredictor>());
+  out.push_back(std::make_unique<baselines::MdpPlanner>(adl));
+  out.push_back(
+      std::make_unique<baselines::TdLambdaPredictor>(adl, util::Rng(seed)));
+  out.push_back(
+      std::make_unique<baselines::OraclePredictor>(adl.primary_routine()));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+  constexpr std::size_t kEpisodes = 120;
+
+  struct Regime {
+    const char* name;
+    const adl::Adl* adl;
+    bool sensed;
+  };
+  const Regime regimes[] = {
+      {"Tea-making / clean", &library.tea_making(), false},
+      {"Tea-making / sensed", &library.tea_making(), true},
+      {"Dressing / two routines", &library.dressing(), false},
+  };
+
+  std::puts("Ablation A4: next-step predictors across data regimes");
+  std::printf("(%zu training episodes per regime; accuracy vs generating "
+              "routine)\n\n",
+              kEpisodes);
+
+  util::TextTable table;
+  table.set_header({"Regime", "markov-1", "bigram", "mdp-vi", "td-lambda",
+                    "oracle"});
+
+  for (const Regime& regime : regimes) {
+    trace::DatasetBuilder datasets(
+        library, patient::PatientProfile::with_severity("User", 0.0), 404);
+    const auto training =
+        regime.sensed ? datasets.sensed_training_set(*regime.adl, kEpisodes)
+                      : datasets.clean_training_set(*regime.adl, kEpisodes);
+
+    auto predictors = make_predictors(*regime.adl, 505);
+    std::vector<std::string> row{regime.name};
+    for (auto& p : predictors) {
+      for (const auto& ep : training) p->train(ep);
+      row.push_back(util::format_percent(adl_accuracy(*p, *regime.adl)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: every method solves the clean single routine;\n"
+      "sensed noise is absorbed by all pair-context methods; the two-\n"
+      "routine regime defeats markov-1 badly and caps every pair-context\n"
+      "method (including the paper's planner) below 100% — the ambiguity\n"
+      "bench_ext_multiroutine resolves with deeper history.");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Extension: threshold auto-calibration.
+//
+// The paper says tools are detected against "a pre-defined threshold" but
+// not where it comes from. A deployment derives it from an idle recording:
+// a high quantile of the untouched sensor's excitation times a safety
+// margin. This bench compares the hand-picked model thresholds against
+// auto-calibrated ones, per tool, on the Table 3 protocol.
+
+#include <cstdio>
+#include <string>
+
+#include "adl/library.hpp"
+#include "pavenet/calibration.hpp"
+#include "trace/sensing_pipeline.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+double false_episodes_per_hour(const adl::AdlLibrary& library,
+                               const adl::Tool& tool, double threshold) {
+  trace::SensingPipeline::Params params;
+  params.firmware.excitation_threshold = threshold;
+  trace::SensingPipeline pipeline(library.tools(), {tool.id},
+                                  6000 + tool.id, params);
+  // Four 15-minute idle stretches; the scripted step is another tool.
+  const adl::ToolId other = tool.id == adl::tools::kKettle
+                                ? adl::tools::kTeaBox
+                                : adl::tools::kKettle;
+  double spurious = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    spurious += static_cast<double>(
+        pipeline
+            .run({patient::TimedStep{other, sim::Duration::minutes(15.0),
+                                     sim::Duration::seconds(5.0)}})
+            .spurious);
+  }
+  return spurious;  // already per hour (4 x 15 min)
+}
+
+double precision_with_threshold(const adl::AdlLibrary& library,
+                                const adl::Tool& tool, double threshold) {
+  trace::SensingPipeline::Params params;
+  params.firmware.excitation_threshold = threshold;
+  trace::SensingPipeline pipeline(library.tools(), {tool.id},
+                                  3000 + tool.id, params);
+  util::Rng durations(4000 + tool.id);
+  util::PrecisionCounter precision;
+  for (int i = 0; i < 150; ++i) {
+    const double mean = tool.typical_usage_mean.to_seconds();
+    const double drawn = std::max(
+        mean * 0.4,
+        durations.normal(mean, tool.typical_usage_stddev.to_seconds()));
+    precision.record(pipeline.single_tool_trial(
+        tool.id, sim::Duration::seconds(drawn)));
+  }
+  return precision.precision();
+}
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+
+  std::puts("Extension: idle-recording threshold calibration vs the\n"
+            "hand-picked per-sensor defaults (Table 3 protocol, 150 trials "
+            "per cell)\n");
+
+  util::TextTable table;
+  table.set_header({"Tool", "Default thr", "Auto thr", "Extract (default)",
+                    "Extract (auto)", "False/h (auto)"});
+
+  for (const char* name : {"Tooth-brushing", "Tea-making"}) {
+    for (const adl::AdlStep& step :
+         library.by_name(name).primary_routine().steps()) {
+      const adl::Tool& tool = library.tools().at(step.tool);
+
+      const auto probe = sensors::make_sensor_model(tool.sensor);
+      util::Rng rng(5000 + tool.id);
+      const pavenet::CalibrationResult calibrated =
+          pavenet::calibrate_threshold(*probe, rng);
+      const double default_threshold = probe->recommended_threshold();
+
+      table.add_row(
+          {tool.name, util::format_fixed(default_threshold, 3),
+           util::format_fixed(calibrated.threshold, 3),
+           util::format_percent(
+               precision_with_threshold(library, tool, default_threshold)),
+           util::format_percent(
+               precision_with_threshold(library, tool,
+                                        calibrated.threshold)),
+           util::format_fixed(
+               false_episodes_per_hour(library, tool,
+                                       calibrated.threshold),
+               1)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: the derived thresholds sit closer to the idle\n"
+      "noise floor than the conservative hand-picked defaults, which buys\n"
+      "extract precision on the weak tools at no false-positive cost —\n"
+      "the 3-of-10 vote, not the threshold, is what rejects accidental\n"
+      "bumps. A new tool deploys from a few minutes of idle recording\n"
+      "with no manual tuning, the paper's generalization story made\n"
+      "concrete.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Extension: routine drift — the paper's "always learning" discussion
+// (§3.2: "we can set the parameters ... to make the learning update all
+// the while instead of converging. By doing this, CoReDA can always learn
+// the newest routines of a user").
+//
+// A user changes their tea-making routine mid-deployment (swaps the order
+// of two middle steps). We compare a frozen policy against the
+// always-learning configuration (learn_from_sessions) on how quickly the
+// planner's prompts track the *new* routine.
+
+#include <cstdio>
+#include <string>
+
+#include "adl/library.hpp"
+#include "planning/learner.hpp"
+#include "trace/dataset.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+namespace T = adl::tools;
+
+/// Accuracy of the greedy policy against an explicit routine.
+double accuracy_vs(const planning::RoutineLearner& learner,
+                   const std::vector<adl::StepId>& routine) {
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  adl::StepId prev = adl::kIdleStep;
+  for (std::size_t i = 0; i + 1 < routine.size(); ++i) {
+    const auto prompt = learner.predict(prev, routine[i]);
+    ++total;
+    if (prompt && prompt->action.tool == routine[i + 1]) ++hits;
+    prev = routine[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+  const adl::Adl& tea = library.tea_making();
+
+  // Old routine: box -> pot -> kettle -> cup (the paper's).
+  const std::vector<adl::StepId> old_routine{T::kTeaBox, T::kElectricPot,
+                                             T::kKettle, T::kTeaCup};
+  // New habit: the user now pre-heats the kettle before fetching leaves.
+  const std::vector<adl::StepId> new_routine{T::kElectricPot, T::kTeaBox,
+                                             T::kKettle, T::kTeaCup};
+
+  std::puts("Extension: adapting to routine drift "
+            "(always-learning mode, paper §3.2)");
+  std::puts("(120 old-routine episodes, then the user switches; accuracy "
+            "of the\n greedy prompts against the NEW routine, per "
+            "post-switch episode)\n");
+
+  util::TextTable table;
+  table.set_header({"Episodes after switch", "frozen policy",
+                    "always-learning"});
+
+  planning::RoutineLearner frozen(tea, util::Rng(11));
+  planning::RoutineLearner adaptive(tea, util::Rng(12));
+  for (int i = 0; i < 120; ++i) {
+    frozen.train_episode(old_routine);
+    adaptive.train_episode(old_routine);
+  }
+
+  const int checkpoints[] = {0, 5, 10, 20, 40, 80};
+  int trained_after = 0;
+  for (int checkpoint : checkpoints) {
+    for (; trained_after < checkpoint; ++trained_after) {
+      adaptive.train_episode(new_routine);  // frozen learns nothing
+    }
+    table.add_row({std::to_string(checkpoint),
+                   util::format_percent(accuracy_vs(frozen, new_routine)),
+                   util::format_percent(accuracy_vs(adaptive, new_routine))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts(
+      "\nExpected shape: the frozen policy keeps prompting the old order\n"
+      "(scoring only the steps the two routines share), while the\n"
+      "always-learning policy converges to the new routine within a few\n"
+      "dozen sessions. The paper rejects always-on learning for users\n"
+      "whose dementia worsens — the system would learn the *mistakes* —\n"
+      "which is why CoredaSystem ships with learn_from_sessions off and\n"
+      "gates it on completed sessions only.");
+  return 0;
+}

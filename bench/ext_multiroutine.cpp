@@ -1,0 +1,57 @@
+// Extension A5 (DESIGN.md): multi-routine planning — the paper's future-
+// work item #1 ("for some ADLs, such as dressing, one user may have
+// multiple routines to complete it").
+//
+// The dressing ADL has two acceptable routines that share the
+// trousers -> socks transition and then diverge. The paper's prototype
+// state <StepID_{i-1}, StepID_i> (history depth 2) cannot represent which
+// routine the user is in at that shared context; widening the state to the
+// last k observed steps disambiguates any two routines that differ within
+// the horizon. This bench sweeps the history depth.
+
+#include <cstdio>
+#include <string>
+
+#include "adl/library.hpp"
+#include "planning/multi_routine.hpp"
+#include "trace/dataset.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace coreda;
+  adl::AdlLibrary library;
+  const adl::Adl& dressing = library.dressing();
+
+  constexpr std::size_t kEpisodes = 300;
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("User", 0.0), 717);
+  const auto training = datasets.clean_training_set(dressing, kEpisodes);
+
+  std::puts("Extension A5: multi-routine dressing vs planner history depth");
+  std::printf("(%zu training episodes, both routines sampled uniformly)\n\n",
+              kEpisodes);
+
+  util::TextTable table;
+  table.set_header({"History depth", "States", "Accuracy shirt-first",
+                    "Accuracy trousers-first", "Overall"});
+
+  for (std::size_t depth : {1u, 2u, 3u, 4u}) {
+    planning::MultiRoutineLearner learner(dressing, depth,
+                                          util::Rng(818 + depth));
+    for (const auto& ep : training) learner.train_episode(ep);
+
+    table.add_row(
+        {std::to_string(depth), std::to_string(learner.codec().num_states()),
+         util::format_percent(
+             learner.routine_accuracy(dressing.routines()[0])),
+         util::format_percent(
+             learner.routine_accuracy(dressing.routines()[1])),
+         util::format_percent(learner.routine_accuracy())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: depth 2 (the paper's encoding) mis-prompts at the\n"
+      "shared trousers->socks context, capping one routine at 2/3; depth 3\n"
+      "separates the two routines completely at a modest state-count cost.");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reproduces Figure 4 of the paper: the TD(λ) Q-Learning learning curve
+// for Tooth-brushing and Tea-making, plus the convergence iterations at
+// the 95 % and 98 % "converging conditions".
+//
+// Paper setup (§3.2): 120 training samples per ADL, one sample = one
+// complete ADL process. Paper reference values: 95 % at 49 iterations
+// (tooth-brushing) / 56 (tea-making); 98 % at 91 / 98.
+//
+// Our training samples flow through the full sensing stack (so the
+// tea-making data carries the electronic pot's ~20 % extraction misses,
+// exactly like the paper's recorded data would). The curve plots the
+// behaviour policy's expected per-prompt accuracy — smooth in the ε-greedy
+// exploration residue, the quantity whose threshold crossings the paper's
+// converging conditions describe.
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "adl/library.hpp"
+#include "planning/learner.hpp"
+#include "trace/dataset.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+struct CurveResult {
+  std::vector<double> accuracy;  // per training iteration
+  std::optional<std::size_t> it95;
+  std::optional<std::size_t> it98;
+};
+
+CurveResult run_curve(const adl::AdlLibrary& library, const adl::Adl& adl,
+                      std::size_t episodes, std::uint64_t seed) {
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("User", 0.0), seed);
+  const auto training = datasets.sensed_training_set(adl, episodes);
+
+  planning::RoutineLearner learner(adl, util::Rng(seed * 31 + 7));
+  CurveResult result;
+  for (const auto& episode : training) {
+    learner.train_episode(episode);
+    const double acc = learner.behaviour_accuracy();
+    result.accuracy.push_back(acc);
+    if (acc >= 0.95) {
+      if (!result.it95) result.it95 = result.accuracy.size();
+    } else {
+      result.it95.reset();
+    }
+    if (acc >= 0.98) {
+      if (!result.it98) result.it98 = result.accuracy.size();
+    } else {
+      result.it98.reset();
+    }
+  }
+  return result;
+}
+
+std::string ascii_sparkline(const std::vector<double>& values,
+                            std::size_t width) {
+  static const char* kLevels = " .:-=+*#%@";
+  std::string out;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t idx = i * values.size() / width;
+    const int level =
+        static_cast<int>(values[idx] * 9.0 + 0.5);
+    out += kLevels[std::clamp(level, 0, 9)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+  constexpr std::size_t kEpisodes = 120;  // paper: 120 training samples
+
+  struct PaperRef {
+    const char* adl;
+    int it95;
+    int it98;
+  };
+  const PaperRef refs[] = {{"Tooth-brushing", 49, 91},
+                           {"Tea-making", 56, 98}};
+
+  std::puts("Figure 4. Learning curve (TD(lambda) Q-Learning, 120 samples)");
+  std::puts("");
+
+  util::TextTable summary("Convergence iterations");
+  summary.set_header({"ADL", "95% (paper)", "95% (measured)",
+                      "98% (paper)", "98% (measured)"});
+
+  for (const PaperRef& ref : refs) {
+    const adl::Adl& adl = library.by_name(ref.adl);
+    const CurveResult curve = run_curve(library, adl, kEpisodes, 99);
+
+    std::printf("%s curve (x: iteration 1..%zu, y: accuracy 0..100%%):\n",
+                ref.adl, curve.accuracy.size());
+    std::printf("  [%s]\n", ascii_sparkline(curve.accuracy, 60).c_str());
+    std::printf("  points:");
+    for (std::size_t i = 9; i < curve.accuracy.size(); i += 10) {
+      std::printf(" (%zu, %s)", i + 1,
+                  util::format_percent(curve.accuracy[i], 1).c_str());
+    }
+    std::puts("\n");
+
+    const auto fmt = [](std::optional<std::size_t> it) {
+      return it ? std::to_string(*it) : std::string("not reached");
+    };
+    summary.add_row({ref.adl, std::to_string(ref.it95), fmt(curve.it95),
+                     std::to_string(ref.it98), fmt(curve.it98)});
+  }
+
+  std::fputs(summary.render().c_str(), stdout);
+  std::puts(
+      "\nNote: with the converging condition disabled the learner keeps\n"
+      "updating indefinitely (always-learning mode, discussed and rejected\n"
+      "by the paper for worsening dementia).");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// P1 (DESIGN.md): micro-benchmarks of the hot paths, for the record the
+// paper keeps implicitly ("running on IBM ThinkPad X32 with Pentium M
+// 1.8 GHz") — absolute numbers differ on modern hardware, but the costs
+// stay microscopic relative to the 10 Hz sensing cadence.
+
+#include <benchmark/benchmark.h>
+
+#include "adl/library.hpp"
+#include "pavenet/detector.hpp"
+#include "planning/learner.hpp"
+#include "rl/td_lambda.hpp"
+#include "sensors/models.hpp"
+#include "trace/dataset.hpp"
+#include "trace/sensing_pipeline.hpp"
+
+namespace {
+
+using namespace coreda;
+
+void BM_QTableUpdate(benchmark::State& state) {
+  rl::TdLambdaQLearning learner(25, 8);
+  rl::Transition t{3, 2, 100.0, 7, false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learner.observe(t));
+  }
+}
+BENCHMARK(BM_QTableUpdate);
+
+void BM_CounterfactualSweep(benchmark::State& state) {
+  rl::TdLambdaQLearning learner(25, 8);
+  for (auto _ : state) {
+    for (rl::ActionId a = 0; a < 8; ++a) {
+      benchmark::DoNotOptimize(
+          learner.update_counterfactual(3, a, 100.0, 7, false));
+    }
+  }
+}
+BENCHMARK(BM_CounterfactualSweep);
+
+void BM_TrainEpisode(benchmark::State& state) {
+  adl::AdlLibrary library;
+  planning::RoutineLearner learner(library.tea_making(), util::Rng(1));
+  const std::vector<adl::StepId> steps{
+      adl::tools::kTeaBox, adl::tools::kElectricPot, adl::tools::kKettle,
+      adl::tools::kTeaCup};
+  for (auto _ : state) {
+    learner.train_episode(steps);
+  }
+}
+BENCHMARK(BM_TrainEpisode);
+
+void BM_Predict(benchmark::State& state) {
+  adl::AdlLibrary library;
+  planning::RoutineLearner learner(library.tea_making(), util::Rng(1));
+  const std::vector<adl::StepId> steps{
+      adl::tools::kTeaBox, adl::tools::kElectricPot, adl::tools::kKettle,
+      adl::tools::kTeaCup};
+  for (int i = 0; i < 120; ++i) learner.train_episode(steps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        learner.predict(adl::tools::kTeaBox, adl::tools::kElectricPot));
+  }
+}
+BENCHMARK(BM_Predict);
+
+void BM_DetectorSample(benchmark::State& state) {
+  pavenet::ThresholdDetector detector(0.3, 10, 3);
+  double x = 0.1;
+  for (auto _ : state) {
+    x = x > 0.5 ? 0.1 : x + 0.07;
+    benchmark::DoNotOptimize(detector.add_sample(x));
+  }
+}
+BENCHMARK(BM_DetectorSample);
+
+void BM_SensorSample(benchmark::State& state) {
+  sensors::AccelerometerModel model;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.sample(sim::TimePoint::origin(), 0.7, 1.0, rng));
+  }
+}
+BENCHMARK(BM_SensorSample);
+
+void BM_FullSensedEpisode(benchmark::State& state) {
+  adl::AdlLibrary library;
+  trace::SensingPipeline pipeline(library.tools(),
+                                  library.tea_making().tools(), 9);
+  patient::BehaviorGenerator gen(
+      library.tea_making(), library.tools(),
+      patient::PatientProfile::with_severity("U", 0.0), util::Rng(10));
+  const auto episode = gen.timed_episode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.run(episode));
+  }
+}
+BENCHMARK(BM_FullSensedEpisode)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Extension: personalization — the paper's first design criterion.
+//
+//   "keep the dementia patients do ADLs as they did before. Therefore, a
+//    guidance system must have the capability to learn different patients'
+//    routines of ADLs."
+//
+// Two residents make tea differently: Mr. Tanaka fetches the tea leaves
+// first; Mrs. Aoki pre-heats with the electronic pot before fetching
+// leaves. Each gets their own planner trained on their own recordings.
+// The bench shows the two converged policies prompting *differently* from
+// the same observed context — and that swapping the policies (giving
+// Tanaka's prompts to Aoki) breaks assistance, which is exactly why a
+// one-size pre-planned model cannot serve both.
+
+#include <cstdio>
+#include <string>
+
+#include "adl/library.hpp"
+#include "planning/learner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+namespace T = adl::tools;
+
+double accuracy_vs(const planning::RoutineLearner& learner,
+                   const std::vector<adl::StepId>& routine) {
+  std::size_t hits = 0;
+  adl::StepId prev = adl::kIdleStep;
+  adl::StepId cur = adl::kIdleStep;
+  std::size_t total = 0;
+  for (adl::StepId next : routine) {
+    const auto prompt = learner.predict(prev, cur);
+    ++total;
+    if (prompt && prompt->action.tool == next) ++hits;
+    prev = cur;
+    cur = next;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+  const adl::Adl& tea = library.tea_making();
+
+  const std::vector<adl::StepId> tanaka{T::kTeaBox, T::kElectricPot,
+                                        T::kKettle, T::kTeaCup};
+  const std::vector<adl::StepId> aoki{T::kElectricPot, T::kTeaBox,
+                                      T::kKettle, T::kTeaCup};
+
+  planning::RoutineLearner tanaka_planner(tea, util::Rng(1));
+  planning::RoutineLearner aoki_planner(tea, util::Rng(2));
+  for (int i = 0; i < 120; ++i) {
+    tanaka_planner.train_episode(tanaka);
+    aoki_planner.train_episode(aoki);
+  }
+
+  std::puts("Extension: personalized routines (paper design criterion #1)");
+  std::puts("(two residents, two tea-making orders, one planner each;\n"
+            " prompts for the same observed context)\n");
+
+  util::TextTable prompts;
+  prompts.set_header({"Observed context", "Tanaka's planner",
+                      "Aoki's planner"});
+  const auto name = [&library](adl::ToolId id) {
+    return id == adl::kNoTool ? std::string("(idle)")
+                              : library.tools().at(id).name;
+  };
+  const std::pair<adl::StepId, adl::StepId> contexts[] = {
+      {adl::kIdleStep, adl::kIdleStep},
+      {adl::kIdleStep, T::kTeaBox},
+      {adl::kIdleStep, T::kElectricPot},
+      {T::kTeaBox, T::kElectricPot},
+      {T::kElectricPot, T::kTeaBox},
+  };
+  for (const auto& [prev, cur] : contexts) {
+    const auto pt = tanaka_planner.predict(prev, cur);
+    const auto pa = aoki_planner.predict(prev, cur);
+    prompts.add_row({"<" + name(prev) + ", " + name(cur) + ">",
+                     pt ? name(pt->action.tool) : "-",
+                     pa ? name(pa->action.tool) : "-"});
+  }
+  std::fputs(prompts.render().c_str(), stdout);
+  std::puts("");
+
+  util::TextTable cross("Prompt accuracy against each resident's routine");
+  cross.set_header({"Planner \\ resident", "Tanaka", "Aoki"});
+  cross.add_row({"Tanaka's planner",
+                 util::format_percent(accuracy_vs(tanaka_planner, tanaka)),
+                 util::format_percent(accuracy_vs(tanaka_planner, aoki))});
+  cross.add_row({"Aoki's planner",
+                 util::format_percent(accuracy_vs(aoki_planner, tanaka)),
+                 util::format_percent(accuracy_vs(aoki_planner, aoki))});
+  std::fputs(cross.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: each planner is perfect for its own resident and\n"
+      "poor for the other — the diagonal dominates. A single pre-planned\n"
+      "routine (the related-work approach the paper criticizes) could at\n"
+      "best match one row.");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Extension (DESIGN.md): activity recognition over the usage stream — the
+// capability the paper's related work cites from Philipose et al. [2]
+// ("inferring activities from interactions with objects") and that a
+// multi-ADL CoReDA home needs before it can route StepIDs to the right
+// planner.
+//
+// Two measurements:
+//   1. offline recognition — confusion matrix and accuracy as a function
+//      of how many steps have been observed (prefixes of sensed episodes);
+//   2. closed-loop — the HomeDeployment recognizing and assisting
+//      residents across all ADLs on one shared radio.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/home.hpp"
+#include "recognition/recognizer.hpp"
+#include "trace/dataset.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+
+  // ---- offline: train on sensed recordings, test on held-out ones ----
+  recognition::AdlRecognizer recognizer;
+  trace::DatasetBuilder train_data(
+      library, patient::PatientProfile::with_severity("U", 0.0), 51);
+  for (const adl::Adl& adl : library.adls()) {
+    for (const auto& ep : train_data.sensed_training_set(adl, 120)) {
+      recognizer.train(adl.name(), ep);
+    }
+  }
+
+  trace::DatasetBuilder test_data(
+      library, patient::PatientProfile::with_severity("U", 0.0), 52);
+  constexpr int kTestEpisodes = 60;
+
+  std::puts("Extension: ADL recognition from the tool-usage stream");
+  std::puts("(trained on 120 sensed episodes per ADL; 60 held-out episodes "
+            "per ADL)\n");
+
+  util::TextTable accuracy_table(
+      "Recognition accuracy vs observed prefix length");
+  accuracy_table.set_header(
+      {"ADL", "1 step", "2 steps", "3 steps", "full episode"});
+
+  std::map<std::pair<std::string, std::string>, int> confusion;
+  for (const adl::Adl& adl : library.adls()) {
+    const auto episodes = test_data.sensed_training_set(adl, kTestEpisodes);
+    std::vector<util::PrecisionCounter> by_prefix(4);
+    for (const auto& ep : episodes) {
+      if (ep.empty()) continue;
+      for (std::size_t k = 1; k <= 3; ++k) {
+        const std::size_t len = std::min(k, ep.size());
+        const auto guess = recognizer.classify(
+            std::span<const adl::StepId>(ep.data(), len));
+        by_prefix[k - 1].record(guess == adl.name());
+      }
+      const auto full = recognizer.classify(ep);
+      by_prefix[3].record(full == adl.name());
+      ++confusion[{adl.name(), full.value_or("?")}];
+    }
+    accuracy_table.add_row(
+        {adl.name(), util::format_percent(by_prefix[0].precision()),
+         util::format_percent(by_prefix[1].precision()),
+         util::format_percent(by_prefix[2].precision()),
+         util::format_percent(by_prefix[3].precision())});
+  }
+  std::fputs(accuracy_table.render().c_str(), stdout);
+  std::puts("");
+
+  util::TextTable confusion_table(
+      "Confusion matrix (rows: actual, full episodes)");
+  std::vector<std::string> header{"actual \\ predicted"};
+  for (const adl::Adl& adl : library.adls()) header.push_back(adl.name());
+  confusion_table.set_header(header);
+  for (const adl::Adl& actual : library.adls()) {
+    std::vector<std::string> row{actual.name()};
+    for (const adl::Adl& predicted : library.adls()) {
+      const auto it = confusion.find({actual.name(), predicted.name()});
+      row.push_back(std::to_string(it != confusion.end() ? it->second : 0));
+    }
+    confusion_table.add_row(row);
+  }
+  std::fputs(confusion_table.render().c_str(), stdout);
+  std::puts("");
+
+  // ---- closed loop: one home, every ADL ------------------------------
+  core::SystemConfig config;
+  config.seed = 61;
+  core::HomeDeployment home(library, config);
+  home.pretrain(120, 62);
+
+  util::TextTable loop_table(
+      "Closed loop: HomeDeployment recognizing + assisting (severity 0.5,\n"
+      "8 sessions per ADL, no schedule hint)");
+  loop_table.set_header({"ADL", "Recognized", "Completed",
+                         "Steps to recognition", "Prompts/session"});
+
+  patient::PatientProfile profile =
+      patient::PatientProfile::with_severity("Resident", 0.5);
+  profile.comply_minimal = 1.0;
+  profile.comply_specific = 1.0;
+
+  for (const char* name :
+       {"Tea-making", "Tooth-brushing", "Hand-washing"}) {
+    int recognized = 0;
+    int completed = 0;
+    util::RunningStats steps_to_rec;
+    std::size_t prompts = 0;
+    constexpr int kSessions = 8;
+    for (int i = 0; i < kSessions; ++i) {
+      const auto result =
+          home.run_session(name, profile, sim::Duration::minutes(40.0));
+      recognized += result.recognized_correctly;
+      completed += result.completed;
+      prompts += result.prompts_total;
+      if (result.recognized_correctly) {
+        steps_to_rec.add(static_cast<double>(result.steps_to_recognition));
+      }
+    }
+    loop_table.add_row(
+        {name, std::to_string(recognized) + "/" + std::to_string(kSessions),
+         std::to_string(completed) + "/" + std::to_string(kSessions),
+         util::format_fixed(steps_to_rec.mean(), 1),
+         util::format_fixed(static_cast<double>(prompts) / kSessions, 1)});
+  }
+  std::fputs(loop_table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: the catalog's tools are activity-specific, so one\n"
+      "or two observed steps identify the ADL; misclassification happens\n"
+      "only between activities sharing usage statistics. The closed loop\n"
+      "assists without being told which ADL the resident started.");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension: the system's operating envelope — completion rate over the
+// severity x prompt-compliance grid.
+//
+// The paper evaluates one prototype on its authors; a care facility needs
+// to know *for whom* the system works: how impaired can a resident be, and
+// how reliably must prompts get through, before assisted completion
+// degrades? Each cell runs closed-loop tea-making sessions and reports the
+// completion rate.
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.hpp"
+#include "trace/dataset.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+  constexpr int kSessions = 10;
+
+  core::SystemConfig config;
+  config.seed = 909;
+  core::CoredaSystem system(library, library.tea_making(), config);
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("R", 0.0), 910);
+  system.pretrain(datasets.sensed_training_set(library.tea_making(), 120));
+
+  std::puts("Extension: completion envelope over severity x compliance");
+  std::printf("(Tea-making, %d closed-loop sessions per cell; cell value =\n"
+              " sessions completed within a 5-minute window — a healthy run takes\n about 1 minute; the budget is the patience a meal schedule allows)\n\n",
+              kSessions);
+
+  const double severities[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  const double compliances[] = {1.0, 0.8, 0.6, 0.4, 0.2};
+
+  util::TextTable table;
+  std::vector<std::string> header{"severity \\ compliance"};
+  for (double c : compliances) header.push_back(util::format_fixed(c, 1));
+  table.set_header(header);
+
+  for (double severity : severities) {
+    std::vector<std::string> row{util::format_fixed(severity, 1)};
+    for (double compliance : compliances) {
+      patient::PatientProfile profile =
+          patient::PatientProfile::with_severity("R", severity);
+      // Sweep the perception channel directly: both levels get through
+      // with the same probability, so the sweep isolates perception
+      // (escalation still helps by repeating).
+      profile.comply_minimal = compliance;
+      profile.comply_specific = compliance;
+
+      int completed = 0;
+      for (int i = 0; i < kSessions; ++i) {
+        completed += system
+                         .run_session(profile, sim::Duration::minutes(5.0))
+                         .completed;
+      }
+      row.push_back(std::to_string(completed) + "/" +
+                    std::to_string(kSessions));
+    }
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: near-perfect completion across the top-left\n"
+      "(mild impairment or reliable prompt perception); degradation grows\n"
+      "toward the bottom-right corner where severe error rates meet\n"
+      "prompts that rarely get through — the population for whom the\n"
+      "paper's system would still need a human caregiver in the loop.");
+  return 0;
+}

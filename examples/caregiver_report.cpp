@@ -1,0 +1,100 @@
+// Caregiver report: a week of assisted ADLs across dementia severities.
+//
+// The paper's motivation is reducing caregiver burden; the quantity a care
+// facility would actually look at is "how often does the resident finish
+// the activity, and how much prompting did it take". This example runs a
+// simulated week (tea-making + tooth-brushing, one session of each per
+// day) for residents at several severity levels and prints the summary a
+// caregiver dashboard would show. Per-session rows are also written to
+// caregiver_report.csv for further analysis.
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/system.hpp"
+#include "trace/dataset.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+struct Aggregate {
+  int sessions = 0;
+  int completed = 0;
+  std::size_t prompts = 0;
+  std::size_t minimal = 0;
+  std::size_t specific = 0;
+  double total_seconds = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  adl::AdlLibrary library;
+  constexpr int kDays = 7;
+  const double severities[] = {0.0, 0.3, 0.6, 0.9};
+
+  std::ofstream csv_file("caregiver_report.csv");
+  util::CsvWriter csv(csv_file);
+  csv.header({"severity", "day", "adl", "completed", "steps", "prompts",
+              "minimal", "specific", "praises", "elapsed_s"});
+
+  util::TextTable table("Weekly caregiver report (simulated)");
+  table.set_header({"Severity", "ADL", "Completed", "Prompts/session",
+                    "Minimal : specific", "Mean duration"});
+
+  for (double severity : severities) {
+    for (const char* adl_name : {"Tea-making", "Tooth-brushing"}) {
+      const adl::Adl& adl = library.by_name(adl_name);
+
+      core::SystemConfig config;
+      config.seed = 1000 + static_cast<std::uint64_t>(severity * 10);
+      core::CoredaSystem system(library, adl, config);
+      trace::DatasetBuilder datasets(
+          library, patient::PatientProfile::with_severity("R", 0.0),
+          config.seed + 1);
+      system.pretrain(datasets.sensed_training_set(adl, 120));
+
+      patient::PatientProfile profile =
+          patient::PatientProfile::with_severity("Resident", severity);
+
+      Aggregate agg;
+      for (int day = 0; day < kDays; ++day) {
+        const core::SessionResult r =
+            system.run_session(profile, sim::Duration::minutes(45.0));
+        ++agg.sessions;
+        agg.completed += r.completed;
+        agg.prompts += r.prompts_total;
+        agg.minimal += r.prompts_minimal;
+        agg.specific += r.prompts_specific;
+        agg.total_seconds += r.elapsed.to_seconds();
+
+        csv.field(severity)
+            .field(day)
+            .field(adl_name)
+            .field(r.completed)
+            .field(static_cast<std::uint64_t>(r.steps_completed))
+            .field(static_cast<std::uint64_t>(r.prompts_total))
+            .field(static_cast<std::uint64_t>(r.prompts_minimal))
+            .field(static_cast<std::uint64_t>(r.prompts_specific))
+            .field(static_cast<std::uint64_t>(r.praises))
+            .field(r.elapsed.to_seconds());
+        csv.end_row();
+      }
+
+      table.add_row(
+          {util::format_fixed(severity, 1), adl_name,
+           std::to_string(agg.completed) + "/" + std::to_string(agg.sessions),
+           util::format_fixed(
+               static_cast<double>(agg.prompts) / agg.sessions, 1),
+           std::to_string(agg.minimal) + " : " + std::to_string(agg.specific),
+           util::format_fixed(agg.total_seconds / agg.sessions, 0) + " s"});
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nPer-session rows written to caregiver_report.csv");
+  return 0;
+}

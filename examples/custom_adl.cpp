@@ -1,0 +1,104 @@
+// Generalizing to a new ADL — the paper's key deployment claim:
+//
+//   "Since the programs on different PAVENETs are almost the same, it is
+//    very convenient to generalize the sensing subsystem to other ADLs.
+//    What we need do is only attach one PAVENET to a tool, and configure
+//    its uid as the tool ID."
+//
+// This example builds a coffee-making ADL from scratch — new tools, new
+// routine, fresh nodes — and shows the identical pipeline (sensing,
+// planning, reminding) working on it without touching any library code.
+
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "patient/generator.hpp"
+#include "planning/learner.hpp"
+#include "trace/sensing_pipeline.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace coreda;
+
+  // --- 1. Define the tools and "attach a PAVENET to each" --------------
+  // (ids are arbitrary nonzero uids; sensor kinds and usage statistics
+  //  describe the physical manipulation).
+  constexpr adl::ToolId kGrinder = 61;
+  constexpr adl::ToolId kFilter = 62;
+  constexpr adl::ToolId kCoffeePot = 63;
+  constexpr adl::ToolId kMug = 64;
+
+  adl::AdlLibrary library;  // reuse the default catalog for its registry...
+  adl::ToolRegistry tools;  // ...or build a standalone registry:
+  auto add_tool = [&tools](adl::ToolId id, const char* name,
+                           adl::SensorKind sensor, double mean_s,
+                           double stddev_s, double intensity) {
+    adl::Tool t;
+    t.id = id;
+    t.name = name;
+    t.sensor = sensor;
+    t.typical_usage_mean = sim::Duration::seconds(mean_s);
+    t.typical_usage_stddev = sim::Duration::seconds(stddev_s);
+    t.usage_intensity = intensity;
+    tools.add(t);
+  };
+  add_tool(kGrinder, "coffee grinder", adl::SensorKind::kAccelerometer,
+           15.0, 3.0, 1.3);
+  add_tool(kFilter, "paper filter", adl::SensorKind::kAccelerometer,
+           4.0, 1.0, 0.8);
+  add_tool(kCoffeePot, "coffee pot", adl::SensorKind::kAccelerometer,
+           8.0, 2.0, 1.2);
+  add_tool(kMug, "mug", adl::SensorKind::kAccelerometer, 6.0, 1.5, 0.9);
+
+  // --- 2. Describe the user's routine ----------------------------------
+  adl::Adl coffee(
+      "Coffee-making",
+      {adl::AdlRoutine("standard",
+                       {adl::AdlStep{"Grind the beans", kGrinder},
+                        adl::AdlStep{"Put filter in the pot", kFilter},
+                        adl::AdlStep{"Brew the coffee", kCoffeePot},
+                        adl::AdlStep{"Drink from the mug", kMug}})});
+
+  // --- 3. Sensing subsystem works unchanged ----------------------------
+  trace::SensingPipeline pipeline(tools, coffee.tools(), /*seed=*/21);
+  patient::BehaviorGenerator generator(
+      coffee, tools, patient::PatientProfile::with_severity("Sato", 0.0),
+      util::Rng(22));
+
+  util::TextTable extraction("Extract precision of the new ADL's steps");
+  extraction.set_header({"Step", "Tool", "Extract precision (100 trials)"});
+  for (const adl::AdlStep& step : coffee.primary_routine().steps()) {
+    int hits = 0;
+    util::Rng durations(23 + step.tool);
+    const adl::Tool& tool = tools.at(step.tool);
+    for (int i = 0; i < 100; ++i) {
+      const double mean = tool.typical_usage_mean.to_seconds();
+      const double drawn = std::max(
+          mean * 0.4,
+          durations.normal(mean, tool.typical_usage_stddev.to_seconds()));
+      hits += pipeline.single_tool_trial(step.tool,
+                                         sim::Duration::seconds(drawn));
+    }
+    extraction.add_row({step.name, tool.name,
+                        util::format_percent(hits / 100.0)});
+  }
+  std::fputs(extraction.render().c_str(), stdout);
+
+  // --- 4. Planning subsystem works unchanged ---------------------------
+  planning::RoutineLearner planner(coffee, util::Rng(24));
+  for (int i = 0; i < 120; ++i) {
+    const auto episode = pipeline.run(generator.timed_episode());
+    planner.train_episode(episode.extracted);
+  }
+  std::printf("\nPlanner accuracy on Coffee-making after 120 sensed "
+              "episodes: %.0f%%\n",
+              planner.greedy_accuracy() * 100.0);
+  for (const planning::PlannerState& s : planner.predicting_states()) {
+    const auto prompt = planner.predict(s);
+    if (!prompt) continue;
+    std::printf("  <%2u,%2u> -> prompt \"%s\" (%s)\n", s.prev, s.cur,
+                tools.at(prompt->action.tool).name.c_str(),
+                planning::to_string(prompt->action.level).c_str());
+  }
+  return 0;
+}

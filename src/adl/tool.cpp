@@ -1,0 +1,57 @@
+#include "adl/tool.hpp"
+
+#include <stdexcept>
+
+namespace coreda::adl {
+
+std::string_view to_string(SensorKind kind) noexcept {
+  switch (kind) {
+    case SensorKind::kAccelerometer:
+      return "3-axis accelerometer";
+    case SensorKind::kPressure:
+      return "pressure";
+    case SensorKind::kBrightness:
+      return "brightness";
+    case SensorKind::kTemperature:
+      return "temperature";
+    case SensorKind::kMotion:
+      return "motion";
+  }
+  return "?";
+}
+
+void ToolRegistry::add(Tool tool) {
+  if (tool.id == kNoTool) {
+    throw std::invalid_argument("ToolRegistry: tool id 0 is reserved");
+  }
+  if (contains(tool.id)) {
+    throw std::invalid_argument("ToolRegistry: duplicate tool id " +
+                                std::to_string(tool.id));
+  }
+  tools_.push_back(std::move(tool));
+}
+
+const Tool* ToolRegistry::find(ToolId id) const noexcept {
+  for (const Tool& t : tools_) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+const Tool& ToolRegistry::at(ToolId id) const {
+  const Tool* t = find(id);
+  if (t == nullptr) {
+    throw std::out_of_range("ToolRegistry: unknown tool id " +
+                            std::to_string(id));
+  }
+  return *t;
+}
+
+const Tool* ToolRegistry::find_by_name(std::string_view name) const noexcept {
+  for (const Tool& t : tools_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace coreda::adl

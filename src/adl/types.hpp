@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace coreda::adl {
+
+/// Identifier of a household tool. Mirrors the paper: the uid of the PAVENET
+/// node attached to a tool *is* the tool's ID, and the StepID of an ADL step
+/// is the ID of the tool mainly used in that step.
+using ToolId = std::uint16_t;
+
+/// StepID of an ADL step. StepID 0 is reserved: "nothing is done for a long
+/// time" (the idle pseudo-step the paper defines in section 2.1).
+using StepId = std::uint16_t;
+
+inline constexpr StepId kIdleStep = 0;
+inline constexpr ToolId kNoTool = 0;
+
+/// The sensor families PAVENET carries (paper Table 1). Each tool is
+/// instrumented with exactly one primary sensor (paper Table 2: accelerometer
+/// on most tools, pressure on the electronic pot).
+enum class SensorKind : std::uint8_t {
+  kAccelerometer,
+  kPressure,
+  kBrightness,
+  kTemperature,
+  kMotion,
+};
+
+std::string_view to_string(SensorKind kind) noexcept;
+
+}  // namespace coreda::adl

@@ -1,0 +1,54 @@
+#include "baselines/markov.hpp"
+
+namespace coreda::baselines {
+
+namespace {
+
+template <typename CountMap>
+std::optional<adl::ToolId> argmax_count(const CountMap& counts) {
+  if (counts.empty()) return std::nullopt;
+  adl::StepId best = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [next, count] : counts) {
+    // Strict > keeps the lowest id on ties, matching the deterministic
+    // tie-breaks used elsewhere.
+    if (count > best_count) {
+      best_count = count;
+      best = next;
+    }
+  }
+  return static_cast<adl::ToolId>(best);
+}
+
+}  // namespace
+
+void MarkovChainPredictor::train(std::span<const adl::StepId> episode) {
+  for (std::size_t i = 1; i < episode.size(); ++i) {
+    ++counts_[episode[i - 1]][episode[i]];
+    ++total_;
+  }
+}
+
+std::optional<adl::ToolId> MarkovChainPredictor::predict(
+    adl::StepId /*prev*/, adl::StepId cur) const {
+  const auto it = counts_.find(cur);
+  if (it == counts_.end()) return std::nullopt;
+  return argmax_count(it->second);
+}
+
+void BigramPredictor::train(std::span<const adl::StepId> episode) {
+  adl::StepId prev = adl::kIdleStep;
+  for (std::size_t i = 1; i < episode.size(); ++i) {
+    ++counts_[{prev, episode[i - 1]}][episode[i]];
+    prev = episode[i - 1];
+  }
+}
+
+std::optional<adl::ToolId> BigramPredictor::predict(adl::StepId prev,
+                                                    adl::StepId cur) const {
+  const auto it = counts_.find({prev, cur});
+  if (it == counts_.end()) return std::nullopt;
+  return argmax_count(it->second);
+}
+
+}  // namespace coreda::baselines

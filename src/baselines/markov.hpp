@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "baselines/predictor.hpp"
+
+namespace coreda::baselines {
+
+/// First-order frequency model: predicts argmax_next count(cur -> next).
+///
+/// Cheap and surprisingly strong on single-routine ADLs; its weakness —
+/// no second-order context — shows up on multi-routine data, which is what
+/// the comparison bench demonstrates.
+class MarkovChainPredictor final : public NextStepPredictor {
+ public:
+  void train(std::span<const adl::StepId> episode) override;
+  std::optional<adl::ToolId> predict(adl::StepId prev,
+                                     adl::StepId cur) const override;
+  std::string_view name() const override { return "markov-1"; }
+
+  std::uint64_t transitions_seen() const noexcept { return total_; }
+
+ private:
+  std::map<adl::StepId, std::map<adl::StepId, std::uint64_t>> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Second-order frequency model over the same <prev, cur> context the
+/// paper's planner uses, but fit by counting instead of TD-learning.
+/// Separates "is TD-learning needed?" from "is the context enough?" in the
+/// baseline comparison.
+class BigramPredictor final : public NextStepPredictor {
+ public:
+  void train(std::span<const adl::StepId> episode) override;
+  std::optional<adl::ToolId> predict(adl::StepId prev,
+                                     adl::StepId cur) const override;
+  std::string_view name() const override { return "bigram"; }
+
+ private:
+  using Context = std::pair<adl::StepId, adl::StepId>;
+  std::map<Context, std::map<adl::StepId, std::uint64_t>> counts_;
+};
+
+}  // namespace coreda::baselines

@@ -1,0 +1,107 @@
+#include "baselines/mdp_planner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+namespace coreda::baselines {
+
+namespace {
+
+std::vector<adl::StepId> step_vocabulary(const adl::Adl& adl) {
+  std::vector<adl::StepId> out;
+  for (adl::ToolId t : adl.tools()) out.push_back(t);
+  return out;
+}
+
+}  // namespace
+
+MdpPlanner::MdpPlanner(const adl::Adl& adl) : MdpPlanner(adl, Config{}) {}
+
+MdpPlanner::MdpPlanner(const adl::Adl& adl, Config config)
+    : adl_(&adl),
+      config_(config),
+      states_(step_vocabulary(adl)),
+      actions_(adl.tools()),
+      reward_(config.reward) {}
+
+void MdpPlanner::train(std::span<const adl::StepId> episode) {
+  adl::StepId prev = adl::kIdleStep;
+  for (std::size_t i = 1; i < episode.size(); ++i) {
+    const auto s =
+        states_.encode(planning::PlannerState{prev, episode[i - 1]});
+    if (s) {
+      ++counts_[*s][episode[i]];
+      // Mark a state terminal only when the episode genuinely completed an
+      // ADL there — a recording truncated by sensing loss merely *ends*.
+      if (i + 1 == episode.size()) {
+        bool completes = false;
+        for (const adl::AdlRoutine& r : adl_->routines()) {
+          if (r.is_terminal(episode[i])) completes = true;
+        }
+        if (completes) {
+          const auto s_term = states_.encode(
+              planning::PlannerState{episode[i - 1], episode[i]});
+          if (s_term) terminal_after_[*s_term] = true;
+        }
+      }
+    }
+    prev = episode[i - 1];
+  }
+  solved_ = false;
+}
+
+void MdpPlanner::solve() const {
+  const std::size_t n = states_.num_states();
+  value_.assign(n, 0.0);
+  policy_.assign(n, 0);
+
+  sweeps_ = 0;
+  double delta = config_.epsilon + 1.0;
+  while (delta > config_.epsilon && sweeps_ < config_.max_sweeps) {
+    delta = 0.0;
+    ++sweeps_;
+    for (const auto& [s, outgoing] : counts_) {
+      std::uint64_t total = 0;
+      for (const auto& [next, c] : outgoing) total += c;
+      if (total == 0) continue;
+
+      double best_q = -std::numeric_limits<double>::infinity();
+      rl::ActionId best_a = 0;
+      for (rl::ActionId a = 0; a < actions_.num_actions(); ++a) {
+        const planning::PlannerAction action = actions_.decode(a);
+        double q = 0.0;
+        for (const auto& [next, c] : outgoing) {
+          const double p = static_cast<double>(c) / static_cast<double>(total);
+          const planning::PlannerState cur = states_.decode(s);
+          const auto s_next =
+              states_.encode(planning::PlannerState{cur.cur, next});
+          const bool is_terminal =
+              s_next && terminal_after_.count(*s_next) > 0;
+          const double r = reward_(action, next, is_terminal);
+          const double v_next =
+              (s_next && !is_terminal) ? value_[*s_next] : 0.0;
+          q += p * (r + config_.gamma * v_next);
+        }
+        if (q > best_q) {
+          best_q = q;
+          best_a = a;
+        }
+      }
+      delta = std::max(delta, std::abs(best_q - value_[s]));
+      value_[s] = best_q;
+      policy_[s] = best_a;
+    }
+  }
+  solved_ = true;
+}
+
+std::optional<adl::ToolId> MdpPlanner::predict(adl::StepId prev,
+                                               adl::StepId cur) const {
+  const auto s = states_.encode(planning::PlannerState{prev, cur});
+  if (!s || counts_.find(*s) == counts_.end()) return std::nullopt;
+  if (!solved_) solve();
+  return actions_.decode(policy_[*s]).tool;
+}
+
+}  // namespace coreda::baselines

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "baselines/predictor.hpp"
+#include "planning/codec.hpp"
+#include "planning/reward.hpp"
+
+namespace coreda::baselines {
+
+/// Model-based planner in the spirit of Boger et al. [1] (the hand-washing
+/// MDP system the paper compares itself against conceptually).
+///
+/// It estimates a transition model P(next | prev, cur) by counting, then
+/// solves the finite-horizon prompting MDP by value iteration with the same
+/// reward structure CoReDA uses. With a correct model this is the Bayes-
+/// optimal prompter; its cost is that the model must be (re)fit and the MDP
+/// (re)solved after new data — the paper's criticism that pre-planned
+/// models do not track individual users cheaply.
+class MdpPlanner final : public NextStepPredictor {
+ public:
+  struct Config {
+    double gamma = 0.9;
+    double epsilon = 1e-6;     ///< value-iteration stop criterion
+    std::size_t max_sweeps = 1000;
+    planning::RewardConfig reward{};
+  };
+
+  /// `adl` must outlive the planner.
+  explicit MdpPlanner(const adl::Adl& adl);
+  MdpPlanner(const adl::Adl& adl, Config config);
+
+  void train(std::span<const adl::StepId> episode) override;
+  std::optional<adl::ToolId> predict(adl::StepId prev,
+                                     adl::StepId cur) const override;
+  std::string_view name() const override { return "mdp-vi"; }
+
+  /// Re-solves the MDP from the current counts. Called lazily by predict();
+  /// exposed for benchmarking the planning cost.
+  void solve() const;
+
+  std::size_t sweeps_last_solve() const noexcept { return sweeps_; }
+
+ private:
+  const adl::Adl* adl_;
+  Config config_;
+  planning::StateCodec states_;
+  planning::ActionCodec actions_;
+  planning::CoredaRewardFunction reward_;
+
+  /// counts_[s][next_symbol_index] — estimated environment dynamics.
+  std::map<rl::StateId, std::map<adl::StepId, std::uint64_t>> counts_;
+  std::map<rl::StateId, bool> terminal_after_;  ///< episodes ended in s
+
+  mutable std::vector<double> value_;
+  mutable std::vector<rl::ActionId> policy_;
+  mutable bool solved_ = false;
+  mutable std::size_t sweeps_ = 0;
+};
+
+}  // namespace coreda::baselines

@@ -1,0 +1,3 @@
+#include "baselines/predictor.hpp"
+
+// Interface + oracle are header-only; this TU anchors the library target.

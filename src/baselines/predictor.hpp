@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "adl/routine.hpp"
+#include "adl/types.hpp"
+
+namespace coreda::baselines {
+
+/// Common face of every next-step predictor in the comparison benches:
+/// the paper's TD(λ) planner, the MDP planner of Boger et al. [1], simple
+/// frequency models, and the oracle upper bound.
+class NextStepPredictor {
+ public:
+  virtual ~NextStepPredictor() = default;
+
+  /// Consumes one complete ADL process (a StepId sequence).
+  virtual void train(std::span<const adl::StepId> episode) = 0;
+
+  /// The tool the user should use next given the <prev, cur> context;
+  /// nullopt when the model has no opinion (unseen context).
+  virtual std::optional<adl::ToolId> predict(adl::StepId prev,
+                                             adl::StepId cur) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Upper bound: reads the next step straight out of the reference routine.
+class OraclePredictor final : public NextStepPredictor {
+ public:
+  /// `routine` must outlive the predictor.
+  explicit OraclePredictor(const adl::AdlRoutine& routine)
+      : routine_(&routine) {}
+
+  void train(std::span<const adl::StepId>) override {}
+
+  std::optional<adl::ToolId> predict(adl::StepId /*prev*/,
+                                     adl::StepId cur) const override {
+    const adl::StepId next = routine_->next_after(cur);
+    if (next == adl::kIdleStep) return std::nullopt;
+    return next;
+  }
+
+  std::string_view name() const override { return "oracle"; }
+
+ private:
+  const adl::AdlRoutine* routine_;
+};
+
+}  // namespace coreda::baselines

@@ -1,0 +1,42 @@
+#include "baselines/scheduled.hpp"
+
+#include <algorithm>
+
+namespace coreda::baselines {
+
+ScheduledReminderPlan::ScheduledReminderPlan(const adl::AdlRoutine& routine,
+                                             double slack)
+    : routine_(&routine), slack_(slack) {}
+
+void ScheduledReminderPlan::observe_step(adl::ToolId tool,
+                                         sim::Duration offset) {
+  if (!routine_->index_of_tool(tool)) return;
+  offsets_[tool].add(offset.to_seconds());
+  ++observations_;
+}
+
+std::vector<ScheduledReminderPlan::Entry> ScheduledReminderPlan::schedule()
+    const {
+  std::vector<Entry> out;
+  double last_known = 0.0;
+  for (const adl::AdlStep& step : routine_->steps()) {
+    const auto it = offsets_.find(step.tool);
+    double at;
+    if (it != offsets_.end() && it->second.count() > 0) {
+      at = it->second.mean() + slack_ * it->second.stddev();
+      last_known = at;
+    } else {
+      // Untrained step: space it a nominal 30 s after the previous one.
+      at = last_known + 30.0;
+      last_known = at;
+    }
+    out.push_back(Entry{step.tool, sim::Duration::seconds(at)});
+  }
+  // Offsets must be non-decreasing even if the training data was odd.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    out[i].at = std::max(out[i].at, out[i - 1].at);
+  }
+  return out;
+}
+
+}  // namespace coreda::baselines

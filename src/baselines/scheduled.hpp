@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "adl/routine.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace coreda::baselines {
+
+/// Time-based reminding, after Pollack et al.'s Autominder [3] — the
+/// "pre-planned routines" approach the paper's introduction criticizes:
+/// prompts fire when the *clock* says a step is due, not when the user's
+/// observed context says they are stuck.
+///
+/// The plan learns each step's mean start offset (from activity start) and
+/// a dispersion allowance from recorded sessions, then emits one prompt
+/// per step at `mean + slack * stddev`. No sensing is consulted at
+/// delivery time; that blindness — premature prompts, prompts for steps
+/// already done — is exactly what the scheduled-vs-context bench
+/// quantifies.
+class ScheduledReminderPlan {
+ public:
+  /// `routine` must outlive the plan. `slack` scales the per-step stddev
+  /// added to the mean offset (0 = prompt at the mean).
+  explicit ScheduledReminderPlan(const adl::AdlRoutine& routine,
+                                 double slack = 1.0);
+
+  /// Records one observed step start: `tool` began `offset` after the
+  /// activity started. Tools outside the routine are ignored.
+  void observe_step(adl::ToolId tool, sim::Duration offset);
+
+  /// One planned prompt.
+  struct Entry {
+    adl::ToolId tool = adl::kNoTool;
+    sim::Duration at;  ///< offset from activity start
+  };
+
+  /// The prompt schedule, in firing order. Steps never observed during
+  /// training fall back to evenly spaced defaults after the last trained
+  /// step.
+  std::vector<Entry> schedule() const;
+
+  std::size_t observations() const noexcept { return observations_; }
+  const adl::AdlRoutine& routine() const noexcept { return *routine_; }
+
+ private:
+  const adl::AdlRoutine* routine_;
+  double slack_;
+  std::map<adl::ToolId, util::RunningStats> offsets_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace coreda::baselines

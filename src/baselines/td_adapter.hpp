@@ -1,0 +1,37 @@
+#pragma once
+
+#include "baselines/predictor.hpp"
+#include "planning/learner.hpp"
+
+namespace coreda::baselines {
+
+/// Wraps the paper's TD(λ) RoutineLearner behind the common predictor
+/// interface so the comparison benches treat every method uniformly.
+class TdLambdaPredictor final : public NextStepPredictor {
+ public:
+  TdLambdaPredictor(const adl::Adl& adl, util::Rng rng,
+                    planning::LearnerConfig config = planning::LearnerConfig())
+      : learner_(adl, rng, config) {}
+
+  void train(std::span<const adl::StepId> episode) override {
+    learner_.train_episode(episode);
+  }
+
+  std::optional<adl::ToolId> predict(adl::StepId prev,
+                                     adl::StepId cur) const override {
+    const auto prompt = learner_.predict(prev, cur);
+    if (!prompt) return std::nullopt;
+    return prompt->action.tool;
+  }
+
+  std::string_view name() const override { return "td-lambda"; }
+
+  const planning::RoutineLearner& learner() const noexcept {
+    return learner_;
+  }
+
+ private:
+  planning::RoutineLearner learner_;
+};
+
+}  // namespace coreda::baselines

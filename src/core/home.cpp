@@ -1,0 +1,247 @@
+#include "core/home.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "reminding/catalog.hpp"
+#include "trace/dataset.hpp"
+
+namespace coreda::core {
+
+HomeDeployment::HomeDeployment(const adl::AdlLibrary& library,
+                               SystemConfig config)
+    : library_(&library), config_(std::move(config)), rng_(config_.seed) {
+  channel_ = std::make_unique<pavenet::RadioChannel>(scheduler_, rng_.fork(),
+                                                     config_.radio);
+  station_ = std::make_unique<pavenet::BaseStation>(scheduler_, *channel_,
+                                                    config_.station);
+  // One node per tool across the whole catalog.
+  for (const adl::Tool& tool : library_->tools().tools()) {
+    nodes_.push_back(std::make_unique<pavenet::PavenetNode>(
+        tool, scheduler_, world_, *channel_, rng_.fork(),
+        config_.firmware));
+    nodes_.back()->power_on();
+  }
+  for (const adl::Adl& adl : library_->adls()) {
+    learners_[adl.name()] = std::make_unique<planning::RoutineLearner>(
+        adl, rng_.fork(), config_.learner);
+  }
+  reminder_ = std::make_unique<reminding::RemindingSubsystem>(
+      *station_, library_->tools(),
+      reminding::MessageCatalog(config_.user_name), config_.reminding);
+  trigger_ = std::make_unique<reminding::TriggerMonitor>(
+      scheduler_,
+      [this](reminding::Trigger t, adl::ToolId observed) {
+        on_trigger(t, observed);
+      },
+      config_.trigger);
+  tracker_ = std::make_unique<recognition::ActivityTracker>(
+      recognizer_, [this](const std::string& name, sim::TimePoint at) {
+        on_activity(name, at);
+      });
+  station_->add_listener([this](adl::ToolId tool, sim::TimePoint at) {
+    on_usage(tool, at);
+  });
+}
+
+void HomeDeployment::pretrain(std::size_t episodes_per_adl,
+                              std::uint64_t dataset_seed) {
+  for (const adl::Adl& adl : library_->adls()) {
+    trace::DatasetBuilder datasets(
+        *library_, patient::PatientProfile::with_severity("User", 0.0),
+        dataset_seed + std::hash<std::string>{}(adl.name()) % 1000);
+    const auto episodes =
+        datasets.sensed_training_set(adl, episodes_per_adl);
+    planning::RoutineLearner& learner = *learners_.at(adl.name());
+    for (const auto& ep : episodes) {
+      learner.train_episode(ep);
+      recognizer_.train(adl.name(), ep);
+    }
+  }
+}
+
+const planning::RoutineLearner& HomeDeployment::learner(
+    const std::string& adl) const {
+  const auto it = learners_.find(adl);
+  if (it == learners_.end()) {
+    throw std::out_of_range("HomeDeployment: unknown ADL '" + adl + "'");
+  }
+  return *it->second;
+}
+
+HomeSessionResult HomeDeployment::run_session(
+    const std::string& adl_name, const patient::PatientProfile& profile,
+    sim::Duration max_duration, const std::string& schedule_hint) {
+  const adl::Adl& attempted = library_->by_name(adl_name);
+  if (!schedule_hint.empty()) {
+    library_->by_name(schedule_hint);  // validate before starting
+  }
+
+  actor_ = std::make_unique<patient::PatientActor>(
+      scheduler_, world_, library_->tools(), profile, rng_.fork());
+
+  HomeSessionResult result;
+  result.actual_adl = adl_name;
+  result_ = &result;
+  session_active_ = true;
+  active_adl_ = nullptr;
+  active_learner_ = nullptr;
+  prev_ = adl::kIdleStep;
+  cur_ = adl::kIdleStep;
+  prompt_outstanding_ = false;
+  tracker_->close_episode();
+
+  const sim::TimePoint start = scheduler_.now();
+  const sim::TimePoint deadline = start + max_duration;
+
+  actor_->begin(attempted.primary_routine());
+  provisional_hint_.clear();
+  if (!schedule_hint.empty()) {
+    // Provisional activation from the care schedule: prompts can flow
+    // before (or without) recognition. Recognition overrides it, but only
+    // on solid evidence (see on_activity).
+    activate(schedule_hint);
+    provisional_hint_ = schedule_hint;
+    arm_for_next();
+  }
+  while (!actor_->finished() && scheduler_.now() < deadline &&
+         !scheduler_.empty()) {
+    scheduler_.run(1);
+  }
+
+  trigger_->disarm();
+  session_active_ = false;
+  result_ = nullptr;
+
+  result.completed = actor_->finished();
+  result.elapsed = scheduler_.now() - start;
+  return result;
+}
+
+void HomeDeployment::on_usage(adl::ToolId tool, sim::TimePoint at) {
+  if (!session_active_ || result_ == nullptr) return;
+
+  // Recognition first: the tracker announces the activity via
+  // on_activity() once confident.
+  tracker_->observe(tool, at);
+
+  if (active_learner_ == nullptr) return;  // not recognized yet
+
+  // From here on, the single-ADL CoReDA loop (see CoredaSystem) applies,
+  // except that StepIDs outside the recognized ADL's vocabulary are
+  // ignored (another room's sensor noise must not derail the session).
+  const auto vocabulary = active_adl_->tools();
+  if (std::find(vocabulary.begin(), vocabulary.end(), tool) ==
+      vocabulary.end()) {
+    return;
+  }
+
+  if (trigger_->armed()) {
+    if (trigger_->notify_usage(tool)) {
+      if (prompt_outstanding_) {
+        reminder_->praise(scheduler_.now(), tool);
+        ++result_->praises;
+        prompt_outstanding_ = false;
+      }
+      prev_ = cur_;
+      cur_ = tool;
+      if (!active_adl_->primary_routine().is_terminal(tool)) arm_for_next();
+    }
+    return;
+  }
+
+  if (cur_ == adl::kIdleStep) {
+    cur_ = tool;
+    arm_for_next();
+  }
+}
+
+void HomeDeployment::activate(const std::string& adl_name) {
+  active_adl_ = &library_->by_name(adl_name);
+  active_learner_ = learners_.at(adl_name).get();
+  prev_ = adl::kIdleStep;
+  cur_ = adl::kIdleStep;
+  prompt_outstanding_ = false;
+}
+
+void HomeDeployment::on_activity(const std::string& adl_name,
+                                 sim::TimePoint /*at*/) {
+  if (!session_active_ || result_ == nullptr) return;
+
+  if (!provisional_hint_.empty() && adl_name != provisional_hint_) {
+    // Overriding the care schedule needs more than one observation: a
+    // single off-activity tool is exactly what the wrong-tool error mode
+    // produces, and prompting the wrong ADL is self-reinforcing (the
+    // compliant resident follows the prompts, manufacturing evidence).
+    const auto vocabulary = library_->by_name(adl_name).tools();
+    std::size_t supporting = 0;
+    for (adl::StepId s : tracker_->episode_steps()) {
+      if (std::find(vocabulary.begin(), vocabulary.end(), s) !=
+          vocabulary.end()) {
+        ++supporting;
+      }
+    }
+    if (supporting < 2) {
+      tracker_->retract();  // re-announce when more evidence accumulates
+      return;
+    }
+  }
+  provisional_hint_.clear();
+
+  result_->recognized_adl = adl_name;
+  result_->recognized_correctly = adl_name == result_->actual_adl;
+  result_->steps_to_recognition = tracker_->episode_steps().size();
+
+  activate(adl_name);
+
+  // Seed the planner context from the steps observed so far (the tracker
+  // kept them while recognition was pending), restricted to the announced
+  // ADL's vocabulary — wrong-tool intrusions must not poison the context.
+  const auto vocabulary = active_adl_->tools();
+  std::vector<adl::StepId> in_vocab;
+  for (adl::StepId s : tracker_->episode_steps()) {
+    if (std::find(vocabulary.begin(), vocabulary.end(), s) !=
+        vocabulary.end()) {
+      in_vocab.push_back(s);
+    }
+  }
+  prev_ = in_vocab.size() >= 2 ? in_vocab[in_vocab.size() - 2]
+                               : adl::kIdleStep;
+  cur_ = in_vocab.empty() ? adl::kIdleStep : in_vocab.back();
+  arm_for_next();
+}
+
+void HomeDeployment::arm_for_next() {
+  if (active_learner_ == nullptr) return;
+  const auto prompt = active_learner_->predict(prev_, cur_);
+  if (!prompt) return;
+  sim::Duration timeout{};
+  if (cur_ != adl::kIdleStep) {
+    timeout = trigger_->timeout_for(library_->tools().at(cur_));
+  }
+  trigger_->arm(prompt->action.tool, timeout);
+}
+
+void HomeDeployment::on_trigger(reminding::Trigger trigger,
+                                adl::ToolId observed) {
+  if (!session_active_ || active_learner_ == nullptr ||
+      result_ == nullptr) {
+    return;
+  }
+  const auto prompt = active_learner_->predict(prev_, cur_);
+  if (!prompt) return;
+
+  planning::RemindingLevel level = prompt->action.level;
+  if (config_.escalate_reprompts && prompt_outstanding_) {
+    level = planning::RemindingLevel::kSpecific;
+  }
+  reminder_->remind(scheduler_.now(), trigger, prompt->action.tool, level,
+                    trigger == reminding::Trigger::kWrongTool
+                        ? std::optional<adl::ToolId>(observed)
+                        : std::nullopt);
+  ++result_->prompts_total;
+  prompt_outstanding_ = true;
+  actor_->receive_prompt(prompt->action.tool, level);
+}
+
+}  // namespace coreda::core

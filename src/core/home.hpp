@@ -1,0 +1,110 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "recognition/recognizer.hpp"
+#include "recognition/tracker.hpp"
+
+namespace coreda::core {
+
+/// Outcome of one multi-ADL session.
+struct HomeSessionResult {
+  /// What the resident actually attempted.
+  std::string actual_adl;
+  /// What the tracker announced (empty if never recognized).
+  std::string recognized_adl;
+  bool recognized_correctly = false;
+  /// Sensed steps consumed before the announcement.
+  std::size_t steps_to_recognition = 0;
+  bool completed = false;
+  sim::Duration elapsed;
+  std::size_t prompts_total = 0;
+  std::size_t praises = 0;
+};
+
+/// A whole-home CoReDA deployment: every tool of every ADL carries a node
+/// on one shared radio; the server first *recognizes* which ADL the
+/// resident started (recognition::ActivityTracker) and only then routes
+/// the StepID stream to that ADL's planner and reminding loop.
+///
+/// This closes the gap the single-ADL prototype leaves open: the paper's
+/// CoReDA assumes the active ADL is known out-of-band. Recognition is the
+/// capability its related work cites from Philipose et al. [2].
+class HomeDeployment {
+ public:
+  /// Deploys nodes on every tool of every ADL in `library` (which must
+  /// outlive the deployment).
+  HomeDeployment(const adl::AdlLibrary& library,
+                 SystemConfig config = SystemConfig());
+
+  /// Trains the recognizer and every ADL's planner from sensed recordings
+  /// (`episodes_per_adl` processes of each ADL).
+  void pretrain(std::size_t episodes_per_adl, std::uint64_t dataset_seed);
+
+  /// Runs one closed-loop session: the resident attempts `adl_name`; the
+  /// system recognizes the activity from the usage stream, then assists.
+  ///
+  /// `schedule_hint` (optional) names the ADL the care plan expects at this
+  /// time of day (an Autominder-style temporal prior, Pollack et al. [3]).
+  /// With a hint the system provisionally activates that ADL's planner at
+  /// session start, so even a resident who freezes before touching any tool
+  /// gets a first-step prompt; the recognizer's announcement overrides the
+  /// hint if the usage stream says otherwise. Without a hint, assistance
+  /// starts only after recognition — a resident who never starts is not
+  /// prompted (the un-hinted system cannot know what they intended).
+  HomeSessionResult run_session(const std::string& adl_name,
+                                const patient::PatientProfile& profile,
+                                sim::Duration max_duration,
+                                const std::string& schedule_hint = "");
+
+  const recognition::AdlRecognizer& recognizer() const noexcept {
+    return recognizer_;
+  }
+  const planning::RoutineLearner& learner(const std::string& adl) const;
+  const reminding::RemindingSubsystem& reminder() const noexcept {
+    return *reminder_;
+  }
+  sim::Scheduler& scheduler() noexcept { return scheduler_; }
+
+ private:
+  void on_usage(adl::ToolId tool, sim::TimePoint at);
+  void on_activity(const std::string& adl_name, sim::TimePoint at);
+  void activate(const std::string& adl_name);
+  void on_trigger(reminding::Trigger trigger, adl::ToolId observed);
+  void arm_for_next();
+
+  const adl::AdlLibrary* library_;
+  SystemConfig config_;
+  util::Rng rng_;
+
+  sim::Scheduler scheduler_;
+  sensors::ManipulationWorld world_;
+  std::unique_ptr<pavenet::RadioChannel> channel_;
+  std::unique_ptr<pavenet::BaseStation> station_;
+  std::vector<std::unique_ptr<pavenet::PavenetNode>> nodes_;
+  std::map<std::string, std::unique_ptr<planning::RoutineLearner>> learners_;
+  recognition::AdlRecognizer recognizer_;
+  std::unique_ptr<recognition::ActivityTracker> tracker_;
+  std::unique_ptr<reminding::RemindingSubsystem> reminder_;
+  std::unique_ptr<reminding::TriggerMonitor> trigger_;
+  std::unique_ptr<patient::PatientActor> actor_;
+
+  // Per-session state.
+  bool session_active_ = false;
+  const adl::Adl* active_adl_ = nullptr;        ///< recognized activity
+  planning::RoutineLearner* active_learner_ = nullptr;
+  /// Non-empty while the active ADL came from the schedule hint and has
+  /// not been confirmed or overridden by recognition.
+  std::string provisional_hint_;
+  adl::StepId prev_ = adl::kIdleStep;
+  adl::StepId cur_ = adl::kIdleStep;
+  bool prompt_outstanding_ = false;
+  HomeSessionResult* result_ = nullptr;
+};
+
+}  // namespace coreda::core

@@ -1,0 +1,183 @@
+#include "core/system.hpp"
+
+#include "reminding/catalog.hpp"
+
+namespace coreda::core {
+
+CoredaSystem::CoredaSystem(const adl::AdlLibrary& library,
+                           const adl::Adl& adl, SystemConfig config)
+    : library_(&library),
+      adl_(&adl),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  channel_ = std::make_unique<pavenet::RadioChannel>(scheduler_, rng_.fork(),
+                                                     config_.radio);
+  station_ = std::make_unique<pavenet::BaseStation>(scheduler_, *channel_,
+                                                    config_.station);
+  for (adl::ToolId id : adl_->tools()) {
+    nodes_.push_back(std::make_unique<pavenet::PavenetNode>(
+        library_->tools().at(id), scheduler_, world_, *channel_, rng_.fork(),
+        config_.firmware));
+    nodes_.back()->power_on();
+  }
+  learner_ = std::make_unique<planning::RoutineLearner>(*adl_, rng_.fork(),
+                                                        config_.learner);
+  reminder_ = std::make_unique<reminding::RemindingSubsystem>(
+      *station_, library_->tools(),
+      reminding::MessageCatalog(config_.user_name), config_.reminding);
+  trigger_ = std::make_unique<reminding::TriggerMonitor>(
+      scheduler_,
+      [this](reminding::Trigger t, adl::ToolId observed) {
+        on_trigger(t, observed);
+      },
+      config_.trigger);
+  station_->add_listener([this](adl::ToolId tool, sim::TimePoint at) {
+    on_usage(tool, at);
+  });
+}
+
+const pavenet::PavenetNode& CoredaSystem::node(adl::ToolId tool) const {
+  for (const auto& n : nodes_) {
+    if (n->uid() == tool) return *n;
+  }
+  throw std::out_of_range("CoredaSystem: no node on tool " +
+                          std::to_string(tool));
+}
+
+void CoredaSystem::pretrain(
+    std::span<const std::vector<adl::StepId>> episodes) {
+  for (const auto& ep : episodes) learner_->train_episode(ep);
+}
+
+SessionResult CoredaSystem::run_session(
+    const patient::PatientProfile& profile, sim::Duration max_duration) {
+  return run_session(profile, max_duration, {});
+}
+
+SessionResult CoredaSystem::run_session(
+    const patient::PatientProfile& profile, sim::Duration max_duration,
+    const std::function<void(patient::PatientActor&)>& setup) {
+  actor_ = std::make_unique<patient::PatientActor>(
+      scheduler_, world_, library_->tools(), profile, rng_.fork());
+  if (setup) setup(*actor_);
+
+  SessionResult result;
+  result_ = &result;
+  session_active_ = true;
+  prev_ = adl::kIdleStep;
+  cur_ = adl::kIdleStep;
+  prompt_outstanding_ = false;
+
+  const sim::TimePoint start = scheduler_.now();
+  const sim::TimePoint deadline = start + max_duration;
+
+  actor_->begin(adl_->primary_routine());
+  // The planner knows the first step from the <idle, idle> context, so a
+  // user who freezes before touching anything still gets prompted.
+  arm_for_next();
+  while (!actor_->finished() && scheduler_.now() < deadline &&
+         !scheduler_.empty()) {
+    scheduler_.run(1);
+  }
+
+  trigger_->disarm();
+  session_active_ = false;
+  result_ = nullptr;
+
+  result.completed = actor_->finished();
+  result.elapsed = scheduler_.now() - start;
+  result.steps_completed = actor_->steps_completed();
+
+  if (config_.learn_from_sessions && result.completed) {
+    learner_->train_episode(result.observed_steps);
+  }
+  return result;
+}
+
+void CoredaSystem::on_usage(adl::ToolId tool, sim::TimePoint /*at*/) {
+  if (!session_active_ || result_ == nullptr) return;
+  result_->observed_steps.push_back(tool);
+
+  if (trigger_->armed()) {
+    if (trigger_->notify_usage(tool)) {
+      // Expected tool: progress. Praise if it answered a prompt (Fig. 1).
+      if (prompt_outstanding_) {
+        reminder_->praise(scheduler_.now(), tool);
+        ++result_->praises;
+        prompt_outstanding_ = false;
+      }
+      prev_ = cur_;
+      cur_ = tool;
+      if (!adl_->primary_routine().is_terminal(tool)) arm_for_next();
+    }
+    // Wrong tool: on_trigger already fired synchronously via notify_usage;
+    // the context does not advance.
+    return;
+  }
+
+  if (cur_ == adl::kIdleStep) {
+    // Unarmed session start (no usable prediction): the first observed
+    // step simply starts the prediction chain (the paper's Table 4 note).
+    cur_ = tool;
+    arm_for_next();
+  }
+  // Otherwise unarmed (terminal reached): record only.
+}
+
+void CoredaSystem::arm_for_next() {
+  const auto prompt = learner_->predict(prev_, cur_);
+  if (!prompt) return;
+  // Footnote 1 of the paper: the waiting period is derived from how long
+  // the user typically keeps using the *current* tool. The timer starts at
+  // the sensed start of the current step, so it must cover that step's own
+  // duration before declaring the user stuck. At session start (no current
+  // tool) the default waiting period applies — the 30 s of Figure 1.
+  sim::Duration timeout{};  // 0 = TriggerMonitor default
+  if (cur_ != adl::kIdleStep) {
+    timeout = trigger_->timeout_for(library_->tools().at(cur_));
+  }
+  trigger_->arm(prompt->action.tool, timeout);
+}
+
+void CoredaSystem::on_trigger(reminding::Trigger trigger,
+                              adl::ToolId observed) {
+  if (!session_active_) return;
+  issue_prompt(trigger, trigger == reminding::Trigger::kWrongTool
+                            ? std::optional<adl::ToolId>(observed)
+                            : std::nullopt);
+}
+
+void CoredaSystem::issue_prompt(reminding::Trigger trigger,
+                                std::optional<adl::ToolId> wrong_tool) {
+  const auto prompt = learner_->predict(prev_, cur_);
+  if (!prompt || result_ == nullptr) return;
+
+  // An unanswered prompt firing again means the minimal nudge was not
+  // enough; escalate to the specific level.
+  planning::RemindingLevel level = prompt->action.level;
+  if (config_.escalate_reprompts && prompt_outstanding_) {
+    level = planning::RemindingLevel::kSpecific;
+  }
+
+  reminder_->remind(scheduler_.now(), trigger, prompt->action.tool, level,
+                    wrong_tool);
+  ++result_->prompts_total;
+  if (trigger == reminding::Trigger::kIdleTimeout) {
+    ++result_->prompts_idle;
+  } else {
+    ++result_->prompts_wrong_tool;
+  }
+  if (level == planning::RemindingLevel::kMinimal) {
+    ++result_->prompts_minimal;
+  } else {
+    ++result_->prompts_specific;
+  }
+  prompt_outstanding_ = true;
+
+  // The display and LEDs reach the user; the simulated patient perceives
+  // the prompt directly (the radio-borne LED command is cosmetic for the
+  // nodes' state, display delivery is wired).
+  actor_->receive_prompt(prompt->action.tool, level);
+}
+
+}  // namespace coreda::core

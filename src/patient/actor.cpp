@@ -1,0 +1,166 @@
+#include "patient/actor.hpp"
+
+#include <algorithm>
+
+namespace coreda::patient {
+
+std::string_view to_string(PatientEvent::Kind kind) noexcept {
+  using enum PatientEvent::Kind;
+  switch (kind) {
+    case kStartedStep:
+      return "started-step";
+    case kWrongTool:
+      return "wrong-tool";
+    case kFroze:
+      return "froze";
+    case kCompliedPrompt:
+      return "complied-prompt";
+    case kIgnoredPrompt:
+      return "ignored-prompt";
+    case kFinishedAdl:
+      return "finished-adl";
+  }
+  return "?";
+}
+
+PatientActor::PatientActor(sim::Scheduler& scheduler,
+                           sensors::ManipulationWorld& world,
+                           const adl::ToolRegistry& tools,
+                           PatientProfile profile, util::Rng rng)
+    : scheduler_(&scheduler),
+      world_(&world),
+      tools_(&tools),
+      profile_(std::move(profile)),
+      rng_(rng) {}
+
+void PatientActor::begin(const adl::AdlRoutine& routine) {
+  pending_.cancel();
+  routine_ = &routine;
+  completed_ = 0;
+  busy_ = false;
+  waiting_ = false;
+  finished_ = false;
+  pending_prompt_.reset();
+  events_.clear();
+  think_then_act();
+}
+
+void PatientActor::think_then_act() {
+  const double think = std::max(
+      0.5, rng_.normal(profile_.think_mean.to_seconds(),
+                       profile_.think_stddev.to_seconds()));
+  pending_ = scheduler_->schedule_after(sim::Duration::seconds(think),
+                                        [this] { act(); });
+}
+
+void PatientActor::act() {
+  if (finished_ || routine_ == nullptr) return;
+  const adl::ToolId correct = routine_->step(completed_).tool;
+
+  PatientEvent::Kind outcome = PatientEvent::Kind::kStartedStep;
+  adl::ToolId wrong = adl::kNoTool;
+  if (!forced_.empty()) {
+    outcome = forced_.front().first;
+    wrong = forced_.front().second;
+    forced_.pop_front();
+  } else {
+    const double draw = rng_.uniform();
+    if (draw < profile_.p_idle) {
+      outcome = PatientEvent::Kind::kFroze;
+    } else if (draw < profile_.p_idle + profile_.p_wrong_tool) {
+      outcome = PatientEvent::Kind::kWrongTool;
+    }
+  }
+
+  switch (outcome) {
+    case PatientEvent::Kind::kFroze:
+      waiting_ = true;
+      record(PatientEvent::Kind::kFroze, adl::kNoTool);
+      return;
+    case PatientEvent::Kind::kWrongTool: {
+      if (wrong == adl::kNoTool) {
+        const auto& all = tools_->tools();
+        do {
+          wrong = all[rng_.pick_index(all.size())].id;
+        } while (wrong == correct && all.size() > 1);
+      }
+      record(PatientEvent::Kind::kWrongTool, wrong);
+      manipulate(wrong);
+      return;
+    }
+    default:
+      record(PatientEvent::Kind::kStartedStep, correct);
+      manipulate(correct);
+      return;
+  }
+}
+
+void PatientActor::manipulate(adl::ToolId tool) {
+  busy_ = true;
+  waiting_ = false;
+  const adl::Tool& t = tools_->at(tool);
+  const double mean = t.typical_usage_mean.to_seconds() * profile_.pace;
+  const double duration = std::max(
+      mean * 0.4, rng_.normal(mean, t.typical_usage_stddev.to_seconds()));
+  world_->begin(tool, scheduler_->now(), sim::Duration::seconds(duration));
+  pending_ = scheduler_->schedule_after(
+      sim::Duration::seconds(duration),
+      [this, tool] { on_manipulation_done(tool); });
+}
+
+void PatientActor::on_manipulation_done(adl::ToolId tool) {
+  busy_ = false;
+  const adl::ToolId correct = routine_->step(completed_).tool;
+  if (tool == correct) {
+    pending_prompt_.reset();
+    ++completed_;
+    if (completed_ == routine_->size()) {
+      finished_ = true;
+      record(PatientEvent::Kind::kFinishedAdl, tool);
+      return;
+    }
+    think_then_act();
+  } else if (pending_prompt_) {
+    // A prompt arrived while fumbling with the wrong tool; act on it now.
+    const auto [prompted_tool, level] = *pending_prompt_;
+    pending_prompt_.reset();
+    receive_prompt(prompted_tool, level);
+  } else {
+    // A wrong manipulation leaves the patient confused: wait for help.
+    waiting_ = true;
+  }
+}
+
+void PatientActor::receive_prompt(adl::ToolId tool,
+                                  planning::RemindingLevel level) {
+  if (finished_ || routine_ == nullptr) return;
+  if (busy_) {
+    pending_prompt_ = {tool, level};
+    return;
+  }
+  const double comply = level == planning::RemindingLevel::kMinimal
+                            ? profile_.comply_minimal
+                            : profile_.comply_specific;
+  if (!rng_.bernoulli(comply)) {
+    record(PatientEvent::Kind::kIgnoredPrompt, tool);
+    return;
+  }
+  record(PatientEvent::Kind::kCompliedPrompt, tool);
+  pending_.cancel();  // abandon any scheduled self-initiated action
+  const double reaction = std::max(
+      0.5, rng_.normal(profile_.reaction_mean.to_seconds(),
+                       profile_.reaction_stddev.to_seconds()));
+  pending_ = scheduler_->schedule_after(sim::Duration::seconds(reaction),
+                                        [this, tool] { manipulate(tool); });
+}
+
+void PatientActor::force_next_decision(PatientEvent::Kind kind,
+                                       adl::ToolId wrong_tool) {
+  forced_.emplace_back(kind, wrong_tool);
+}
+
+void PatientActor::record(PatientEvent::Kind kind, adl::ToolId tool) {
+  events_.push_back(PatientEvent{scheduler_->now(), kind, tool});
+}
+
+}  // namespace coreda::patient

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "adl/routine.hpp"
+#include "adl/tool.hpp"
+#include "patient/profile.hpp"
+#include "planning/codec.hpp"
+#include "sensors/world.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::patient {
+
+/// What the simulated patient did, for tests and the scenario player.
+struct PatientEvent {
+  enum class Kind : std::uint8_t {
+    kStartedStep,    ///< began manipulating the correct next tool
+    kWrongTool,      ///< began manipulating an incorrect tool
+    kFroze,          ///< decided to do nothing (waits for a prompt)
+    kCompliedPrompt, ///< acted on a received prompt
+    kIgnoredPrompt,  ///< prompt did not get through
+    kFinishedAdl,
+  };
+  sim::TimePoint at;
+  Kind kind = Kind::kStartedStep;
+  adl::ToolId tool = adl::kNoTool;
+};
+
+std::string_view to_string(PatientEvent::Kind kind) noexcept;
+
+/// Closed-loop simulated care recipient.
+///
+/// The actor runs on the shared scheduler: after finishing a step it thinks,
+/// then either proceeds to the correct next tool, freezes, or grabs a wrong
+/// tool (per its profile). Manipulations are written into the
+/// ManipulationWorld where the PAVENET nodes sense them. Prompts arrive via
+/// receive_prompt() — from CoReDA's reminding subsystem in the full loop —
+/// and are obeyed with level-dependent probability.
+class PatientActor {
+ public:
+  PatientActor(sim::Scheduler& scheduler, sensors::ManipulationWorld& world,
+               const adl::ToolRegistry& tools, PatientProfile profile,
+               util::Rng rng);
+
+  /// Cancels any still-scheduled behaviour callback: a session that hits
+  /// its deadline destroys the actor while its next think/act event is
+  /// still in the queue, and that event must not fire into freed memory.
+  ~PatientActor() { pending_.cancel(); }
+
+  PatientActor(const PatientActor&) = delete;
+  PatientActor& operator=(const PatientActor&) = delete;
+
+  /// Starts performing `routine` (must outlive the run). Resets progress.
+  void begin(const adl::AdlRoutine& routine);
+
+  /// Delivers a prompt (tool to use next + reminding level). No-op when the
+  /// patient is mid-manipulation or the ADL is finished.
+  void receive_prompt(adl::ToolId tool, planning::RemindingLevel level);
+
+  bool finished() const noexcept { return finished_; }
+  bool waiting_for_help() const noexcept { return waiting_; }
+  std::size_t steps_completed() const noexcept { return completed_; }
+  const std::vector<PatientEvent>& events() const noexcept { return events_; }
+  const PatientProfile& profile() const noexcept { return profile_; }
+
+  /// Queues a forced decision outcome (for deterministic scenario replay).
+  /// Each decision point consumes one queued entry before falling back to
+  /// the stochastic profile. kStartedStep = proceed correctly, kFroze =
+  /// freeze, kWrongTool = grab `wrong_tool` (random wrong tool when 0).
+  void force_next_decision(PatientEvent::Kind kind,
+                           adl::ToolId wrong_tool = adl::kNoTool);
+
+ private:
+  void think_then_act();
+  void act();
+  void manipulate(adl::ToolId tool);
+  void on_manipulation_done(adl::ToolId tool);
+  void record(PatientEvent::Kind kind, adl::ToolId tool);
+
+  sim::Scheduler* scheduler_;
+  sensors::ManipulationWorld* world_;
+  const adl::ToolRegistry* tools_;
+  PatientProfile profile_;
+  util::Rng rng_;
+
+  const adl::AdlRoutine* routine_ = nullptr;
+  std::size_t completed_ = 0;
+  bool busy_ = false;      ///< currently manipulating a tool
+  bool waiting_ = false;   ///< frozen/confused, needs a prompt
+  bool finished_ = false;
+  sim::EventHandle pending_;
+  std::vector<PatientEvent> events_;
+
+  std::deque<std::pair<PatientEvent::Kind, adl::ToolId>> forced_;
+  /// A prompt that arrived mid-manipulation; acted on once the current
+  /// manipulation ends (people notice the blinking LED but finish the
+  /// motion first).
+  std::optional<std::pair<adl::ToolId, planning::RemindingLevel>>
+      pending_prompt_;
+};
+
+}  // namespace coreda::patient

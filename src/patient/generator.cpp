@@ -1,0 +1,72 @@
+#include "patient/generator.hpp"
+
+#include <algorithm>
+
+namespace coreda::patient {
+
+BehaviorGenerator::BehaviorGenerator(const adl::Adl& adl,
+                                     const adl::ToolRegistry& tools,
+                                     PatientProfile profile, util::Rng rng)
+    : adl_(&adl), tools_(&tools), profile_(std::move(profile)), rng_(rng) {}
+
+const adl::AdlRoutine& BehaviorGenerator::pick_routine() {
+  const auto& routines = adl_->routines();
+  return routines[rng_.pick_index(routines.size())];
+}
+
+sim::Duration BehaviorGenerator::draw_manipulation(adl::ToolId tool) {
+  const adl::Tool& t = tools_->at(tool);
+  const double mean = t.typical_usage_mean.to_seconds() * profile_.pace;
+  const double stddev = t.typical_usage_stddev.to_seconds();
+  // Floor at 40 % of the mean: even a rushed manipulation takes real time.
+  const double drawn = std::max(mean * 0.4, rng_.normal(mean, stddev));
+  return sim::Duration::seconds(drawn);
+}
+
+sim::Duration BehaviorGenerator::draw_think() {
+  const double drawn = std::max(
+      0.5, rng_.normal(profile_.think_mean.to_seconds(),
+                       profile_.think_stddev.to_seconds()));
+  return sim::Duration::seconds(drawn);
+}
+
+std::vector<adl::StepId> BehaviorGenerator::clean_steps() {
+  const adl::AdlRoutine& routine = pick_routine();
+  std::vector<adl::StepId> out;
+  out.reserve(routine.size());
+  for (const adl::AdlStep& s : routine.steps()) out.push_back(s.step_id());
+  return out;
+}
+
+std::vector<adl::StepId> BehaviorGenerator::noisy_steps() {
+  const adl::AdlRoutine& routine = pick_routine();
+  const auto adl_tools = adl_->tools();
+  std::vector<adl::StepId> out;
+  for (const adl::AdlStep& s : routine.steps()) {
+    // A wrong-tool intrusion shows up in the sensed stream before the
+    // correct step eventually happens (after a caregiver or the system
+    // intervenes).
+    if (rng_.bernoulli(profile_.p_wrong_tool) && adl_tools.size() > 1) {
+      adl::ToolId wrong;
+      do {
+        wrong = adl_tools[rng_.pick_index(adl_tools.size())];
+      } while (wrong == s.tool);
+      out.push_back(wrong);
+    }
+    out.push_back(s.step_id());
+  }
+  return out;
+}
+
+std::vector<TimedStep> BehaviorGenerator::timed_episode() {
+  const adl::AdlRoutine& routine = pick_routine();
+  std::vector<TimedStep> out;
+  out.reserve(routine.size());
+  for (const adl::AdlStep& s : routine.steps()) {
+    out.push_back(
+        TimedStep{s.tool, draw_think(), draw_manipulation(s.tool)});
+  }
+  return out;
+}
+
+}  // namespace coreda::patient

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "adl/library.hpp"
+#include "adl/routine.hpp"
+#include "patient/profile.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::patient {
+
+/// One planned tool manipulation of an offline-generated episode.
+struct TimedStep {
+  adl::ToolId tool = adl::kNoTool;
+  sim::Duration think;         ///< pause before touching the tool
+  sim::Duration manipulation;  ///< how long the tool is handled
+};
+
+/// Offline episode generator: produces the raw material of the paper's
+/// datasets (320 extraction samples, 120 training samples per ADL, 30 test
+/// samples per ADL) without running the closed loop.
+///
+/// Training samples are "a complete process of an ADL" (paper §3.2): the
+/// user follows one of their routines start to finish. Durations are drawn
+/// from each tool's typical-usage statistics scaled by the patient's pace.
+class BehaviorGenerator {
+ public:
+  /// References must outlive the generator.
+  BehaviorGenerator(const adl::Adl& adl, const adl::ToolRegistry& tools,
+                    PatientProfile profile, util::Rng rng);
+
+  /// The StepId sequence of one complete, correctly-ordered process.
+  /// Multi-routine ADLs pick a routine uniformly at random.
+  std::vector<adl::StepId> clean_steps();
+
+  /// Like clean_steps() but through the patient's error model: steps may be
+  /// repeated after a wrong-tool intrusion (the intruding tool appears in
+  /// the sequence) — the kind of noise the sensing subsystem actually
+  /// delivers to the planner.
+  std::vector<adl::StepId> noisy_steps();
+
+  /// A fully timed episode of the chosen routine, for feeding the sensing
+  /// pipeline.
+  std::vector<TimedStep> timed_episode();
+
+  const PatientProfile& profile() const noexcept { return profile_; }
+
+ private:
+  const adl::AdlRoutine& pick_routine();
+  sim::Duration draw_manipulation(adl::ToolId tool);
+  sim::Duration draw_think();
+
+  const adl::Adl* adl_;
+  const adl::ToolRegistry* tools_;
+  PatientProfile profile_;
+  util::Rng rng_;
+};
+
+}  // namespace coreda::patient

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace coreda::patient {
+
+/// Behavioural parameters of one simulated care recipient.
+///
+/// This model replaces the paper's human participants (25 dementia patients
+/// of NPO Nenrin Support, aged 72-91). The two error modes mirror the two
+/// situations that trigger reminders in the paper (§2.3): freezing mid-ADL
+/// ("does not use the tool s/he should use for a certain moment") and
+/// wrong-tool intrusions ("incorrectly uses another tool").
+struct PatientProfile {
+  std::string name = "Tanaka";
+
+  /// Dementia severity in [0, 1]. with_severity() derives the error rates
+  /// below from it; they can also be set directly for targeted tests.
+  double severity = 0.0;
+
+  /// Per-decision probability of freezing (doing nothing until prompted).
+  double p_idle = 0.0;
+  /// Per-decision probability of reaching for an incorrect tool.
+  double p_wrong_tool = 0.0;
+
+  /// Probability of acting on a prompt, by reminding level. Specific
+  /// prompts (long message, more blinks) get through more reliably — the
+  /// trade the reward function prices at 100 vs 50.
+  double comply_minimal = 0.85;
+  double comply_specific = 0.97;
+
+  /// Pause between finishing one step and starting the next.
+  sim::Duration think_mean = sim::Duration::seconds(4.0);
+  sim::Duration think_stddev = sim::Duration::seconds(1.5);
+
+  /// Delay between perceiving a prompt and touching the tool.
+  sim::Duration reaction_mean = sim::Duration::seconds(3.0);
+  sim::Duration reaction_stddev = sim::Duration::seconds(1.0);
+
+  /// Multiplier on tool manipulation durations (slowness with age).
+  double pace = 1.0;
+
+  /// Derives a coherent profile from a severity level: a severity-0 user
+  /// never errs; at severity 1 roughly half the decisions go wrong.
+  static PatientProfile with_severity(std::string name, double severity);
+};
+
+}  // namespace coreda::patient

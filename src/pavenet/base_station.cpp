@@ -1,0 +1,64 @@
+#include "pavenet/base_station.hpp"
+
+namespace coreda::pavenet {
+
+BaseStation::BaseStation(sim::Scheduler& scheduler, RadioChannel& channel)
+    : BaseStation(scheduler, channel, Params{}) {}
+
+BaseStation::BaseStation(sim::Scheduler& scheduler, RadioChannel& channel,
+                         Params params)
+    : scheduler_(&scheduler), channel_(&channel), params_(params) {
+  channel_->attach_receiver(0,
+                            [this](const Packet& p) { handle_uplink(p); });
+}
+
+void BaseStation::add_listener(UsageListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void BaseStation::send_led_command(adl::ToolId tool, LedColor color,
+                                   std::uint8_t blink_count) {
+  Packet packet;
+  packet.kind = Packet::Kind::kLedCommand;
+  packet.source_uid = 0;
+  packet.dest_uid = tool;
+  packet.led_color = color;
+  packet.blink_count = blink_count;
+
+  // Serialize our own transmissions: back-to-back commands (green + red of
+  // one reminder) would otherwise collide on the shared channel.
+  const sim::TimePoint now = scheduler_->now();
+  const sim::TimePoint slot =
+      next_downlink_slot_ > now ? next_downlink_slot_ : now;
+  next_downlink_slot_ = slot + params_.downlink_spacing;
+  if (slot == now) {
+    channel_->transmit(packet);
+  } else {
+    scheduler_->schedule_at(slot,
+                            [this, packet] { channel_->transmit(packet); });
+  }
+}
+
+void BaseStation::handle_uplink(const Packet& packet) {
+  if (packet.kind != Packet::Kind::kToolUsage) return;
+  ++packets_;
+  const auto tool = static_cast<adl::ToolId>(packet.source_uid);
+  const sim::TimePoint now = scheduler_->now();
+
+  const auto it = open_episode_.find(tool);
+  if (it != open_episode_.end()) {
+    ToolUsageEvent& ep = episodes_[it->second];
+    if (now - ep.last_seen <= params_.merge_gap) {
+      ep.last_seen = now;
+      ++ep.reports;
+      return;
+    }
+  }
+
+  // New episode: record it and notify listeners of the usage edge.
+  episodes_.push_back(ToolUsageEvent{tool, now, now, 1});
+  open_episode_[tool] = episodes_.size() - 1;
+  for (const auto& listener : listeners_) listener(tool, now);
+}
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "adl/types.hpp"
+#include "pavenet/radio.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace coreda::pavenet {
+
+/// A tool-usage episode as seen by the server: the first announcement of a
+/// usage plus any re-announcements merged into it.
+struct ToolUsageEvent {
+  adl::ToolId tool = adl::kNoTool;
+  sim::TimePoint first_seen;
+  sim::TimePoint last_seen;
+  std::uint32_t reports = 0;
+};
+
+/// The server-side radio endpoint of the sensing subsystem.
+///
+/// Nodes announce their uid whenever a detector window votes "in use";
+/// the base station merges announcement bursts into usage episodes (a new
+/// episode starts when a tool has been silent for `merge_gap`) and notifies
+/// listeners of each episode's *start* — the edge the planning subsystem
+/// consumes as "the user started using tool X".
+class BaseStation {
+ public:
+  using UsageListener =
+      std::function<void(adl::ToolId tool, sim::TimePoint at)>;
+
+  struct Params {
+    /// Silence gap after which the next announcement opens a new episode.
+    sim::Duration merge_gap = sim::Duration::seconds(3.0);
+    /// Serialization spacing between consecutive downlink commands. The
+    /// single-frequency CC1000 medium has no MAC, so the base station
+    /// firmware staggers its own transmissions to avoid self-collision
+    /// (e.g. the green+red LED pair of a wrong-tool reminder).
+    sim::Duration downlink_spacing = sim::Duration::millis(20);
+  };
+
+  BaseStation(sim::Scheduler& scheduler, RadioChannel& channel);
+  BaseStation(sim::Scheduler& scheduler, RadioChannel& channel,
+              Params params);
+
+  /// Adds a listener invoked at the start of every usage episode.
+  void add_listener(UsageListener listener);
+
+  /// Sends a blink command to the node on `tool` (blink_count 0 = all off).
+  void send_led_command(adl::ToolId tool, LedColor color,
+                        std::uint8_t blink_count);
+
+  /// All episodes observed so far, in start order (open episodes included).
+  const std::vector<ToolUsageEvent>& episodes() const noexcept {
+    return episodes_;
+  }
+
+  std::uint64_t packets_received() const noexcept { return packets_; }
+
+ private:
+  void handle_uplink(const Packet& packet);
+
+  sim::Scheduler* scheduler_;
+  RadioChannel* channel_;
+  Params params_;
+  std::vector<UsageListener> listeners_;
+  std::vector<ToolUsageEvent> episodes_;
+  std::map<adl::ToolId, std::size_t> open_episode_;  ///< tool -> index
+  std::uint64_t packets_ = 0;
+  sim::TimePoint next_downlink_slot_;
+};
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,35 @@
+#include "pavenet/calibration.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace coreda::pavenet {
+
+CalibrationResult calibrate_threshold(sensors::SensorModel& model,
+                                      util::Rng& rng,
+                                      CalibrationConfig config) {
+  if (config.idle_samples == 0) {
+    throw std::invalid_argument("calibrate_threshold: no idle samples");
+  }
+  if (config.quantile <= 0.0 || config.quantile > 100.0) {
+    throw std::invalid_argument("calibrate_threshold: quantile range");
+  }
+  if (config.margin <= 0.0) {
+    throw std::invalid_argument("calibrate_threshold: margin must be > 0");
+  }
+
+  util::SampleSet idle;
+  for (std::size_t i = 0; i < config.idle_samples; ++i) {
+    idle.add(model.sample(sim::TimePoint::origin(), /*activation=*/0.0,
+                          /*intensity=*/1.0, rng));
+  }
+
+  CalibrationResult result;
+  result.idle_mean = idle.mean();
+  result.idle_quantile = idle.percentile(config.quantile);
+  result.threshold = result.idle_quantile * config.margin;
+  return result;
+}
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "sensors/models.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::pavenet {
+
+/// How a deployment arrives at the paper's "pre-defined threshold" without
+/// hand-tuning: record the sensor while the tool is untouched, take a high
+/// quantile of the idle excitation, and add a safety margin. Anything
+/// above that is treated as manipulation.
+struct CalibrationConfig {
+  std::size_t idle_samples = 2000;  ///< ~3 min of idle recording at 10 Hz
+  /// Idle-noise percentile kept below the threshold. 99.0 leaves head-room
+  /// for the handful of accidental-bump samples a few minutes of idle
+  /// recording contains (~0.4 % of samples): a higher quantile would
+  /// occasionally land ON a bump and inflate the threshold past the weak
+  /// tools' signals.
+  double quantile = 99.0;
+  double margin = 1.8;  ///< multiplier above the quantile
+};
+
+/// Result of calibrating one node.
+struct CalibrationResult {
+  double threshold = 0.0;
+  double idle_mean = 0.0;
+  double idle_quantile = 0.0;
+};
+
+/// Runs the idle recording against `model` and derives the threshold.
+/// The model's bump artifacts are part of the recording — the quantile
+/// (not the max) keeps rare accidental knocks from inflating the
+/// threshold. Throws std::invalid_argument on a non-positive sample count
+/// or out-of-range quantile/margin.
+CalibrationResult calibrate_threshold(sensors::SensorModel& model,
+                                      util::Rng& rng,
+                                      CalibrationConfig config = {});
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,35 @@
+#include "pavenet/detector.hpp"
+
+namespace coreda::pavenet {
+
+ThresholdDetector::ThresholdDetector(double excitation_threshold,
+                                     std::uint32_t vote_window,
+                                     std::uint32_t vote_threshold)
+    : threshold_(excitation_threshold),
+      window_(vote_window),
+      votes_(vote_threshold) {
+  if (window_ == 0) {
+    throw std::invalid_argument("ThresholdDetector: window must be > 0");
+  }
+  if (votes_ == 0 || votes_ > window_) {
+    throw std::invalid_argument(
+        "ThresholdDetector: vote threshold must be in [1, window]");
+  }
+}
+
+bool ThresholdDetector::add_sample(double excitation) {
+  if (excitation > threshold_) ++hits_;
+  ++filled_;
+  if (filled_ < window_) return false;
+  const bool in_use = hits_ >= votes_;
+  filled_ = 0;
+  hits_ = 0;
+  return in_use;
+}
+
+void ThresholdDetector::reset() noexcept {
+  filled_ = 0;
+  hits_ = 0;
+}
+
+}  // namespace coreda::pavenet

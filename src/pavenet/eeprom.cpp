@@ -1,0 +1,38 @@
+#include "pavenet/eeprom.hpp"
+
+#include <stdexcept>
+
+namespace coreda::pavenet {
+
+Eeprom::Eeprom(std::uint32_t capacity_bytes)
+    : capacity_(capacity_bytes / kRecordBytes) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("Eeprom: capacity below one record");
+  }
+  ring_.resize(capacity_);
+}
+
+void Eeprom::append(const EepromRecord& record) {
+  ring_[head_] = record;
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+  ++writes_;
+}
+
+std::vector<EepromRecord> Eeprom::dump() const {
+  std::vector<EepromRecord> out;
+  out.reserve(size_);
+  // Oldest record sits at head_ when wrapped, else at 0.
+  const std::size_t start = size_ == capacity_ ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::optional<EepromRecord> Eeprom::last() const {
+  if (size_ == 0) return std::nullopt;
+  return ring_[(head_ + capacity_ - 1) % capacity_];
+}
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace coreda::pavenet {
+
+/// A usage record the firmware appends to its external EEPROM each time the
+/// detector decides "in use" — the node's local audit trail, recoverable by
+/// caregivers even across radio outages.
+struct EepromRecord {
+  sim::TimePoint at;
+  std::uint16_t uid = 0;
+  std::uint8_t hits = 0;  ///< vote hits in the deciding window
+};
+
+/// Fixed-capacity circular log emulating the node's 16 KB external EEPROM.
+///
+/// Capacity is expressed in records (record size is fixed at 16 bytes on the
+/// device, so 16 KB holds 1024 records). When full, the oldest record is
+/// overwritten — the device keeps the most recent history.
+class Eeprom {
+ public:
+  static constexpr std::size_t kRecordBytes = 16;
+
+  /// Throws std::invalid_argument when capacity_bytes < kRecordBytes.
+  explicit Eeprom(std::uint32_t capacity_bytes = 16 * 1024);
+
+  void append(const EepromRecord& record);
+
+  std::size_t capacity_records() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return size_; }
+  std::uint64_t total_writes() const noexcept { return writes_; }
+  bool wrapped() const noexcept { return writes_ > capacity_; }
+
+  /// Records from oldest to newest.
+  std::vector<EepromRecord> dump() const;
+
+  /// Most recent record, if any.
+  std::optional<EepromRecord> last() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<EepromRecord> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t size_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace coreda::pavenet

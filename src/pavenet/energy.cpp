@@ -1,0 +1,25 @@
+#include "pavenet/energy.hpp"
+
+namespace coreda::pavenet {
+
+EnergyReport estimate_energy(const PavenetNode& node, sim::Duration elapsed,
+                             const EnergyProfile& profile) {
+  EnergyReport report;
+  const double samples = static_cast<double>(node.samples());
+  const double windows =
+      samples / static_cast<double>(node.config().vote_window);
+  report.sampling_j =
+      (samples * profile.sample_uj + windows * profile.vote_uj) * 1e-6;
+  report.radio_j =
+      static_cast<double>(node.announcements()) * profile.tx_uj * 1e-6;
+  report.eeprom_j = static_cast<double>(node.eeprom().total_writes()) *
+                    profile.eeprom_write_uj * 1e-6;
+  const double blinks =
+      static_cast<double>(node.led().blink_count(LedColor::kGreen) +
+                          node.led().blink_count(LedColor::kRed));
+  report.led_j = blinks * profile.led_blink_uj * 1e-6;
+  report.sleep_j = profile.sleep_uw * 1e-6 * elapsed.to_seconds();
+  return report;
+}
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "pavenet/node.hpp"
+#include "sim/time.hpp"
+
+namespace coreda::pavenet {
+
+/// Per-operation energy costs of a PAVENET-class node (PIC18LF4620 MCU +
+/// CC1000 radio, coin/AA-cell powered). Values are order-of-magnitude
+/// figures from the component datasheets; the *relative* costs are what
+/// the energy ablation depends on (radio ≫ sampling ≫ sleep).
+struct EnergyProfile {
+  double sample_uj = 12.0;        ///< MCU wake + ADC read, per sample
+  double vote_uj = 1.5;           ///< window evaluation, per window
+  double tx_uj = 260.0;           ///< one CC1000 uplink frame
+  double eeprom_write_uj = 25.0;  ///< one 16-byte record
+  double led_blink_uj = 90.0;     ///< one on/off cycle at ~2 mA
+  double sleep_uw = 30.0;         ///< sleep-mode draw (microwatts)
+  /// Usable charge of the power source in joules (2x AA ≈ 18 kJ; the
+  /// original module ran on smaller cells — default 6 kJ).
+  double battery_j = 6000.0;
+};
+
+/// Where a node's energy went, per accounting category (joules).
+struct EnergyReport {
+  double sampling_j = 0.0;
+  double radio_j = 0.0;
+  double eeprom_j = 0.0;
+  double led_j = 0.0;
+  double sleep_j = 0.0;
+
+  double total_j() const noexcept {
+    return sampling_j + radio_j + eeprom_j + led_j + sleep_j;
+  }
+
+  /// Projected battery lifetime in days, extrapolating the observed
+  /// average power over `elapsed`. Returns 0 for a zero-length window.
+  double projected_lifetime_days(double battery_j,
+                                 sim::Duration elapsed) const noexcept {
+    const double seconds = elapsed.to_seconds();
+    if (seconds <= 0.0 || total_j() <= 0.0) return 0.0;
+    const double average_w = total_j() / seconds;
+    return battery_j / average_w / 86400.0;
+  }
+};
+
+/// Books the node's observable activity (samples taken, frames sent,
+/// EEPROM writes, LED blinks, elapsed time) against an EnergyProfile.
+EnergyReport estimate_energy(const PavenetNode& node, sim::Duration elapsed,
+                             const EnergyProfile& profile = {});
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,51 @@
+#include "pavenet/led.hpp"
+
+namespace coreda::pavenet {
+
+void Led::blink(LedColor color, std::uint32_t count,
+                sim::Duration half_period) {
+  pending_.cancel();
+  if (count == 0) return;
+  set(color, true);
+  // The initial "on" is followed by 2*count - 1 toggles (off, on, off, ...)
+  // completing `count` full on/off cycles.
+  const std::uint32_t total_toggles = 2 * count - 1;
+  auto done = std::make_shared<std::uint32_t>(0);
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, color, half_period, total_toggles, done, step]() {
+    ++*done;
+    set(color, *done % 2 == 0);
+    if (*done < total_toggles) {
+      pending_ = scheduler_->schedule_after(half_period, *step);
+    }
+  };
+  pending_ = scheduler_->schedule_after(half_period, *step);
+}
+
+void Led::all_off() {
+  pending_.cancel();
+  if (green_on_) set(LedColor::kGreen, false);
+  if (red_on_) set(LedColor::kRed, false);
+}
+
+bool Led::is_on(LedColor color) const noexcept {
+  return color == LedColor::kGreen ? green_on_ : red_on_;
+}
+
+std::uint64_t Led::blink_count(LedColor color) const noexcept {
+  return color == LedColor::kGreen ? green_blinks_ : red_blinks_;
+}
+
+void Led::set(LedColor color, bool on) {
+  bool& state = color == LedColor::kGreen ? green_on_ : red_on_;
+  if (state == on) return;
+  state = on;
+  if (!on) {
+    // A completed on->off transition closes one blink cycle.
+    auto& counter = color == LedColor::kGreen ? green_blinks_ : red_blinks_;
+    ++counter;
+  }
+  history_.push_back(LedEvent{scheduler_->now(), color, on});
+}
+
+}  // namespace coreda::pavenet

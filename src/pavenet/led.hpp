@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace coreda::pavenet {
+
+enum class LedColor : std::uint8_t { kGreen, kRed };
+
+/// One observable LED transition, for tests and the scenario player.
+struct LedEvent {
+  sim::TimePoint at;
+  LedColor color;
+  bool on;
+};
+
+/// Blink pattern driver for a node's green/red LEDs.
+///
+/// The reminding subsystem uses the green LED for "use this tool" and the
+/// red LED for "you are using the wrong tool"; the number of blinks encodes
+/// the reminding level (minimal = fewer blinks, specific = more).
+class Led {
+ public:
+  explicit Led(sim::Scheduler& scheduler) : scheduler_(&scheduler) {}
+
+  /// Blinks `color` `count` times with the given on/off half-period.
+  /// A new command preempts any blink series still in progress.
+  void blink(LedColor color, std::uint32_t count,
+             sim::Duration half_period = sim::Duration::millis(250));
+
+  /// Immediately turns both LEDs off and cancels pending blinks.
+  void all_off();
+
+  bool is_on(LedColor color) const noexcept;
+  const std::vector<LedEvent>& history() const noexcept { return history_; }
+  void clear_history() { history_.clear(); }
+
+  /// Total completed blink cycles per color since construction.
+  std::uint64_t blink_count(LedColor color) const noexcept;
+
+ private:
+  void set(LedColor color, bool on);
+
+  sim::Scheduler* scheduler_;
+  sim::EventHandle pending_;
+  bool green_on_ = false;
+  bool red_on_ = false;
+  std::uint64_t green_blinks_ = 0;
+  std::uint64_t red_blinks_ = 0;
+  std::vector<LedEvent> history_;
+};
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,93 @@
+#include "pavenet/node.hpp"
+
+namespace coreda::pavenet {
+
+namespace {
+
+ThresholdDetector make_detector(const adl::Tool& tool,
+                                const sensors::SensorModel& model,
+                                const FirmwareConfig& config) {
+  const double threshold = config.excitation_threshold > 0.0
+                               ? config.excitation_threshold
+                               : model.recommended_threshold();
+  (void)tool;
+  return ThresholdDetector(threshold, config.vote_window,
+                           config.vote_threshold);
+}
+
+}  // namespace
+
+PavenetNode::PavenetNode(const adl::Tool& tool, sim::Scheduler& scheduler,
+                         sensors::ManipulationWorld& world,
+                         RadioChannel& channel, util::Rng rng,
+                         FirmwareConfig config)
+    : tool_(tool),
+      scheduler_(&scheduler),
+      world_(&world),
+      channel_(&channel),
+      rng_(rng),
+      config_(config),
+      sensor_(sensors::make_sensor_model(tool.sensor)),
+      detector_(make_detector(tool, *sensor_, config)),
+      led_(scheduler),
+      eeprom_(kPavenetHardware.eeprom_bytes) {
+  channel_->attach_receiver(
+      uid(), [this](const Packet& p) { handle_downlink(p); });
+}
+
+void PavenetNode::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  const auto period =
+      sim::Duration::micros(1'000'000 / config_.sampling_hz);
+  tick_ = scheduler_->schedule_periodic(period, [this] { firmware_tick(); });
+}
+
+void PavenetNode::power_off() {
+  if (!powered_) return;
+  powered_ = false;
+  tick_.cancel();
+  detector_.reset();
+}
+
+void PavenetNode::firmware_tick() {
+  ++samples_;
+  const sim::TimePoint now = scheduler_->now();
+  const double activation = world_->activation(tool_.id, now);
+  const double excitation =
+      sensor_->sample(now, activation, tool_.usage_intensity, rng_);
+  const std::uint32_t hits_before = detector_.pending_hits();
+  if (!detector_.add_sample(excitation)) return;
+
+  // A window voted "in use".
+  eeprom_.append(EepromRecord{
+      now, uid(),
+      static_cast<std::uint8_t>(
+          hits_before + (excitation > detector_.threshold() ? 1 : 0))});
+
+  if (announced_once_ &&
+      now - last_announce_ < config_.reannounce_interval) {
+    return;
+  }
+  announced_once_ = true;
+  last_announce_ = now;
+  ++announcements_;
+
+  Packet packet;
+  packet.kind = Packet::Kind::kToolUsage;
+  packet.source_uid = uid();
+  packet.dest_uid = 0;  // base station
+  packet.vote_hits = eeprom_.last()->hits;
+  channel_->transmit(packet);
+}
+
+void PavenetNode::handle_downlink(const Packet& packet) {
+  if (packet.kind != Packet::Kind::kLedCommand) return;
+  if (packet.blink_count == 0) {
+    led_.all_off();
+    return;
+  }
+  led_.blink(packet.led_color, packet.blink_count);
+}
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,75 @@
+#include "pavenet/radio.hpp"
+
+namespace coreda::pavenet {
+
+RadioChannel::RadioChannel(sim::Scheduler& scheduler, util::Rng rng)
+    : RadioChannel(scheduler, rng, Params{}) {}
+
+RadioChannel::RadioChannel(sim::Scheduler& scheduler, util::Rng rng,
+                           Params params)
+    : scheduler_(&scheduler), rng_(rng), params_(params) {}
+
+void RadioChannel::attach_receiver(std::uint16_t uid, Receiver receiver) {
+  receivers_[uid] = std::move(receiver);
+}
+
+void RadioChannel::transmit(Packet packet) {
+  ++stats_.sent;
+  packet.seq = next_seq_++;
+  packet.sent_at = scheduler_->now();
+
+  if (rng_.bernoulli(params_.loss_probability)) {
+    ++stats_.lost_noise;
+    return;
+  }
+
+  const sim::TimePoint start = scheduler_->now();
+  const sim::TimePoint end = start + params_.airtime;
+  bool collided = false;
+
+  if (params_.model_collisions) {
+    for (auto& [seq, other] : in_flight_) {
+      if (other.end <= start) continue;  // already off the air
+      // Overlapping airtime: both frames are corrupted.
+      collided = true;
+      if (!other.collided) {
+        other.collided = true;
+        other.delivery.cancel();
+        ++stats_.lost_collision;
+      }
+    }
+  }
+
+  if (collided) {
+    ++stats_.lost_collision;
+    in_flight_[packet.seq] = InFlight{start, end, sim::EventHandle{}, true};
+    // Keep the entry until airtime ends so later frames also collide with it.
+    scheduler_->schedule_at(end, [this, seq = packet.seq] {
+      in_flight_.erase(seq);
+    });
+    return;
+  }
+
+  const sim::Duration latency =
+      params_.latency +
+      params_.latency_jitter * rng_.uniform(0.0, 1.0);
+  InFlight entry{start, end, sim::EventHandle{}, false};
+  entry.delivery = scheduler_->schedule_at(
+      start + latency, [this, packet] { deliver(packet); });
+  in_flight_[packet.seq] = std::move(entry);
+  scheduler_->schedule_at(end + latency, [this, seq = packet.seq] {
+    in_flight_.erase(seq);
+  });
+}
+
+void RadioChannel::deliver(const Packet& packet) {
+  const auto it = receivers_.find(packet.dest_uid);
+  if (it == receivers_.end() || !it->second) {
+    ++stats_.undeliverable;
+    return;
+  }
+  ++stats_.delivered;
+  it->second(packet);
+}
+
+}  // namespace coreda::pavenet

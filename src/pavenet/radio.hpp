@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "pavenet/led.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::pavenet {
+
+/// On-air message. PAVENET's CC1000 payloads are tiny; we model exactly the
+/// two frames CoReDA needs: uplink tool-usage announcements and downlink LED
+/// commands from the reminding subsystem.
+struct Packet {
+  enum class Kind : std::uint8_t { kToolUsage, kLedCommand };
+
+  Kind kind = Kind::kToolUsage;
+  std::uint16_t source_uid = 0;  ///< 0 = base station
+  std::uint16_t dest_uid = 0;    ///< 0 = base station
+  std::uint64_t seq = 0;
+  sim::TimePoint sent_at;
+
+  // kToolUsage payload.
+  std::uint8_t vote_hits = 0;
+
+  // kLedCommand payload.
+  LedColor led_color = LedColor::kGreen;
+  std::uint8_t blink_count = 0;
+};
+
+/// Delivery statistics of a RadioChannel.
+struct ChannelStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost_noise = 0;      ///< independent random loss
+  std::uint64_t lost_collision = 0;  ///< overlapping transmissions
+  std::uint64_t undeliverable = 0;   ///< no receiver registered for dest
+
+  double delivery_ratio() const noexcept {
+    return sent > 0 ? static_cast<double>(delivered) / sent : 1.0;
+  }
+};
+
+/// Single-frequency broadcast medium in the spirit of the CC1000: no MAC
+/// beyond "transmit and hope", so overlapping transmissions collide and
+/// independent fading drops a configurable fraction of frames.
+///
+/// The collision model is pessimistic-simple: any two frames whose airtime
+/// windows overlap are both lost. Airtime is fixed per frame.
+class RadioChannel {
+ public:
+  struct Params {
+    double loss_probability = 0.0;  ///< independent per-frame loss
+    sim::Duration latency = sim::Duration::millis(5);
+    sim::Duration latency_jitter = sim::Duration::millis(2);
+    sim::Duration airtime = sim::Duration::millis(4);
+    bool model_collisions = true;
+  };
+
+  using Receiver = std::function<void(const Packet&)>;
+
+  RadioChannel(sim::Scheduler& scheduler, util::Rng rng);
+  RadioChannel(sim::Scheduler& scheduler, util::Rng rng, Params params);
+
+  /// Registers the receiver for a uid (0 = base station). Replaces any
+  /// previous registration.
+  void attach_receiver(std::uint16_t uid, Receiver receiver);
+
+  /// Queues a frame for transmission at the current virtual time.
+  void transmit(Packet packet);
+
+  const ChannelStats& stats() const noexcept { return stats_; }
+  const Params& params() const noexcept { return params_; }
+  void set_loss_probability(double p) noexcept {
+    params_.loss_probability = p;
+  }
+
+ private:
+  struct InFlight {
+    sim::TimePoint start;
+    sim::TimePoint end;
+    sim::EventHandle delivery;
+    bool collided = false;
+  };
+
+  void deliver(const Packet& packet);
+
+  sim::Scheduler* scheduler_;
+  util::Rng rng_;
+  Params params_;
+  ChannelStats stats_;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint16_t, Receiver> receivers_;
+  std::map<std::uint64_t, InFlight> in_flight_;
+};
+
+}  // namespace coreda::pavenet

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adl/types.hpp"
+#include "rl/types.hpp"
+
+namespace coreda::planning {
+
+/// The reminding level attached to a prompt (paper §2.3): minimal keeps the
+/// user exercising their own memory; specific spells everything out.
+enum class RemindingLevel : std::uint8_t { kMinimal = 0, kSpecific = 1 };
+
+std::string to_string(RemindingLevel level);
+
+/// The planner's state, s_i = <StepID_{i-1}, StepID_i> (paper §2.2).
+struct PlannerState {
+  adl::StepId prev = adl::kIdleStep;
+  adl::StepId cur = adl::kIdleStep;
+
+  bool operator==(const PlannerState&) const = default;
+};
+
+/// The planner's action, a_i = <ToolID_{i+1}, Level_{i+1}> — the prompt sent
+/// to the reminding subsystem.
+struct PlannerAction {
+  adl::ToolId tool = adl::kNoTool;
+  RemindingLevel level = RemindingLevel::kMinimal;
+
+  bool operator==(const PlannerAction&) const = default;
+};
+
+/// Maps <prev, cur> StepId pairs onto a dense rl::StateId range.
+///
+/// Built from the step vocabulary of one ADL (its StepIds plus the reserved
+/// idle StepId 0): with n+1 symbols there are (n+1)^2 states. The spaces
+/// involved are tiny — tea-making has 25 states — so density costs nothing
+/// and keeps the QTable flat.
+class StateCodec {
+ public:
+  /// `step_ids` is the ADL's step vocabulary, without the idle id (which is
+  /// always included). Throws std::invalid_argument on duplicates or id 0.
+  explicit StateCodec(std::vector<adl::StepId> step_ids);
+
+  std::size_t num_states() const noexcept {
+    return symbols_.size() * symbols_.size();
+  }
+
+  /// Encoding fails (nullopt) when either component is outside the
+  /// vocabulary — e.g. a usage report from a tool of a different ADL.
+  std::optional<rl::StateId> encode(PlannerState state) const noexcept;
+
+  /// Throws std::out_of_range on an invalid id.
+  PlannerState decode(rl::StateId id) const;
+
+  const std::vector<adl::StepId>& symbols() const noexcept { return symbols_; }
+
+ private:
+  std::optional<std::size_t> symbol_index(adl::StepId id) const noexcept;
+
+  std::vector<adl::StepId> symbols_;  ///< [0] is always kIdleStep
+};
+
+/// Maps <ToolId, RemindingLevel> pairs onto a dense rl::ActionId range.
+///
+/// Minimal precedes specific for the same tool, so deterministic greedy
+/// tie-breaks (lowest ActionId) prefer the minimal prompt — the design
+/// principle the reward function also encodes.
+class ActionCodec {
+ public:
+  /// `tool_ids` are the promptable tools of one ADL. Throws
+  /// std::invalid_argument on duplicates or id 0.
+  explicit ActionCodec(std::vector<adl::ToolId> tool_ids);
+
+  std::size_t num_actions() const noexcept { return tools_.size() * 2; }
+
+  std::optional<rl::ActionId> encode(PlannerAction action) const noexcept;
+
+  /// Throws std::out_of_range on an invalid id.
+  PlannerAction decode(rl::ActionId id) const;
+
+  const std::vector<adl::ToolId>& tools() const noexcept { return tools_; }
+
+ private:
+  std::vector<adl::ToolId> tools_;
+};
+
+}  // namespace coreda::planning

@@ -1,0 +1,161 @@
+#include "planning/learner.hpp"
+
+namespace coreda::planning {
+
+namespace {
+
+std::vector<adl::StepId> step_vocabulary(const adl::Adl& adl) {
+  // ToolIds double as StepIds, so the vocabulary is the ADL's tool set.
+  std::vector<adl::StepId> out;
+  for (adl::ToolId t : adl.tools()) out.push_back(t);
+  return out;
+}
+
+}  // namespace
+
+RoutineLearner::RoutineLearner(const adl::Adl& adl, util::Rng rng,
+                               LearnerConfig config)
+    : routine_(&adl.primary_routine()),
+      config_(config),
+      states_(step_vocabulary(adl)),
+      actions_(adl.tools()),
+      reward_(config.reward),
+      learner_(states_.num_states(), actions_.num_actions(), config.td),
+      policy_(config.epsilon, config.epsilon_decay, config.min_epsilon),
+      rng_(rng) {}
+
+void RoutineLearner::train_episode(std::span<const adl::StepId> steps) {
+  // Keep only steps the codec knows; sensing can interleave noise from
+  // tools of other ADLs, which must not crash the learner.
+  std::vector<adl::StepId> valid;
+  valid.reserve(steps.size());
+  for (adl::StepId s : steps) {
+    if (states_.encode(PlannerState{adl::kIdleStep, s})) {
+      valid.push_back(s);
+    } else {
+      ++skipped_;
+    }
+  }
+
+  ++episodes_;
+  if (valid.size() < 2) {
+    policy_.decay_epsilon();
+    return;
+  }
+
+  // Every recorded process implicitly starts from "nothing is done" — the
+  // paper's StepID 0. Training the <idle, idle> context teaches the planner
+  // to prompt the *first* step of the routine, which the deployed system
+  // needs when a user freezes before ever touching a tool.
+  std::vector<adl::StepId> with_idle;
+  with_idle.reserve(valid.size() + 1);
+  with_idle.push_back(adl::kIdleStep);
+  with_idle.insert(with_idle.end(), valid.begin(), valid.end());
+  valid = std::move(with_idle);
+
+  learner_.begin_episode();
+  adl::StepId prev = adl::kIdleStep;
+  adl::StepId cur = valid[0];
+  for (std::size_t i = 1; i < valid.size(); ++i) {
+    const adl::StepId next = valid[i];
+    const auto s = states_.encode(PlannerState{prev, cur});
+    const auto s_next = states_.encode(PlannerState{cur, next});
+
+    const rl::ActionId a = policy_.select(learner_.q(), *s, rng_);
+    const PlannerAction action = actions_.decode(a);
+
+    // A transition is terminal only when the ADL actually completed. A
+    // sequence truncated by sensing loss just *ends* — flagging its last
+    // transition terminal would erase the bootstrap and drag the correct
+    // action's value toward the bare intermediate reward.
+    const bool completes = i + 1 == valid.size() &&
+                           routine_->is_terminal(next);
+    const double r = reward_(action, next, completes);
+
+    learner_.observe(rl::Transition{*s, a, r, *s_next,
+                                    /*terminal=*/completes});
+
+    if (config_.counterfactual_sweep) {
+      for (rl::ActionId other = 0; other < actions_.num_actions(); ++other) {
+        if (other == a) continue;
+        const double r_other =
+            reward_(actions_.decode(other), next, completes);
+        learner_.update_counterfactual(*s, other, r_other, *s_next,
+                                       completes);
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  policy_.decay_epsilon();
+}
+
+void RoutineLearner::import_q(const rl::QTable& q) {
+  rl::QTable& mine = learner_.q();
+  if (q.num_states() != mine.num_states() ||
+      q.num_actions() != mine.num_actions()) {
+    throw std::invalid_argument("RoutineLearner::import_q: shape mismatch");
+  }
+  for (rl::StateId s = 0; s < q.num_states(); ++s) {
+    for (rl::ActionId a = 0; a < q.num_actions(); ++a) {
+      mine.set(s, a, q.get(s, a));
+    }
+  }
+}
+
+std::optional<PlannedPrompt> RoutineLearner::predict(
+    PlannerState state) const {
+  const auto s = states_.encode(state);
+  if (!s) return std::nullopt;
+  const rl::ActionId a = learner_.q().best_action(*s);
+  return PlannedPrompt{actions_.decode(a), learner_.q().get(*s, a)};
+}
+
+std::vector<PlannerState> RoutineLearner::predicting_states() const {
+  std::vector<PlannerState> out;
+  // The fully-idle context prompts the first step (session start).
+  out.push_back(PlannerState{adl::kIdleStep, adl::kIdleStep});
+  adl::StepId prev = adl::kIdleStep;
+  const auto& steps = routine_->steps();
+  // The terminal step has no successor to prompt, so it is excluded.
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    out.push_back(PlannerState{prev, steps[i].step_id()});
+    prev = steps[i].step_id();
+  }
+  return out;
+}
+
+bool RoutineLearner::greedy_correct(PlannerState state) const {
+  const auto prompt = predict(state);
+  if (!prompt) return false;
+  const adl::StepId want = state.cur == adl::kIdleStep
+                               ? routine_->first_step()
+                               : routine_->next_after(state.cur);
+  return prompt->action.tool == want;
+}
+
+double RoutineLearner::greedy_accuracy() const {
+  const auto states = predicting_states();
+  std::size_t hits = 0;
+  for (const PlannerState& s : states) {
+    if (greedy_correct(s)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(states.size());
+}
+
+double RoutineLearner::behaviour_accuracy() const {
+  const auto states = predicting_states();
+  const double eps = policy_.epsilon();
+  // Exploring uniformly, both reminding levels of the correct tool count as
+  // a correct prompt.
+  const double explore_hit =
+      2.0 / static_cast<double>(actions_.num_actions());
+  double sum = 0.0;
+  for (const PlannerState& s : states) {
+    const double greedy_hit = greedy_correct(s) ? 1.0 : 0.0;
+    sum += (1.0 - eps) * greedy_hit + eps * explore_hit;
+  }
+  return sum / static_cast<double>(states.size());
+}
+
+}  // namespace coreda::planning

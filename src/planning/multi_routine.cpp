@@ -1,0 +1,134 @@
+#include "planning/multi_routine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coreda::planning {
+
+HistoryCodec::HistoryCodec(std::vector<adl::StepId> step_ids,
+                           std::size_t depth)
+    : depth_(depth) {
+  if (depth == 0) {
+    throw std::invalid_argument("HistoryCodec: depth must be >= 1");
+  }
+  symbols_.push_back(adl::kIdleStep);
+  for (adl::StepId id : step_ids) {
+    if (id == adl::kIdleStep) {
+      throw std::invalid_argument("HistoryCodec: StepId 0 is implicit");
+    }
+    if (std::find(symbols_.begin(), symbols_.end(), id) != symbols_.end()) {
+      throw std::invalid_argument("HistoryCodec: duplicate StepId");
+    }
+    symbols_.push_back(id);
+  }
+  num_states_ = 1;
+  for (std::size_t i = 0; i < depth_; ++i) num_states_ *= symbols_.size();
+}
+
+std::optional<std::size_t> HistoryCodec::symbol_index(
+    adl::StepId id) const noexcept {
+  const auto it = std::find(symbols_.begin(), symbols_.end(), id);
+  if (it == symbols_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - symbols_.begin());
+}
+
+std::optional<rl::StateId> HistoryCodec::encode(
+    std::span<const adl::StepId> history) const noexcept {
+  std::size_t id = 0;
+  for (std::size_t slot = 0; slot < depth_; ++slot) {
+    // slot 0 is the oldest of the window; pad with idle when history is
+    // shorter than the depth.
+    adl::StepId step = adl::kIdleStep;
+    if (history.size() + slot >= depth_) {
+      step = history[history.size() + slot - depth_];
+    }
+    const auto idx = symbol_index(step);
+    if (!idx) return std::nullopt;
+    id = id * symbols_.size() + *idx;
+  }
+  return static_cast<rl::StateId>(id);
+}
+
+namespace {
+
+std::vector<adl::StepId> step_vocabulary(const adl::Adl& adl) {
+  std::vector<adl::StepId> out;
+  for (adl::ToolId t : adl.tools()) out.push_back(t);
+  return out;
+}
+
+}  // namespace
+
+MultiRoutineLearner::MultiRoutineLearner(const adl::Adl& adl,
+                                         std::size_t history_depth,
+                                         util::Rng rng, LearnerConfig config)
+    : adl_(&adl),
+      codec_(step_vocabulary(adl), history_depth),
+      actions_(adl.tools()),
+      reward_(config.reward),
+      learner_(codec_.num_states(), actions_.num_actions(), config.td),
+      policy_(config.epsilon, config.epsilon_decay, config.min_epsilon),
+      rng_(rng) {}
+
+void MultiRoutineLearner::train_episode(std::span<const adl::StepId> steps) {
+  ++episodes_;
+  if (steps.size() < 2) {
+    policy_.decay_epsilon();
+    return;
+  }
+  learner_.begin_episode();
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    const auto s = codec_.encode(steps.subspan(0, i));
+    const auto s_next = codec_.encode(steps.subspan(0, i + 1));
+    if (!s || !s_next) continue;
+
+    const rl::ActionId a = policy_.select(learner_.q(), *s, rng_);
+    const PlannerAction action = actions_.decode(a);
+    const adl::StepId next = steps[i];
+
+    bool completes = false;
+    if (i + 1 == steps.size()) {
+      for (const adl::AdlRoutine& r : adl_->routines()) {
+        if (r.is_terminal(next)) completes = true;
+      }
+    }
+    const double r = reward_(action, next, completes);
+    // Terminal only on genuine completion (see RoutineLearner for why).
+    learner_.observe(rl::Transition{*s, a, r, *s_next, completes});
+  }
+  policy_.decay_epsilon();
+}
+
+std::optional<PlannedPrompt> MultiRoutineLearner::predict(
+    std::span<const adl::StepId> history) const {
+  const auto s = codec_.encode(history);
+  if (!s) return std::nullopt;
+  const rl::ActionId a = learner_.q().best_action(*s);
+  return PlannedPrompt{actions_.decode(a), learner_.q().get(*s, a)};
+}
+
+double MultiRoutineLearner::routine_accuracy(
+    const adl::AdlRoutine& routine) const {
+  const auto& steps = routine.steps();
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  std::vector<adl::StepId> history;
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    history.push_back(steps[i].step_id());
+    const auto prompt = predict(history);
+    ++total;
+    if (prompt && prompt->action.tool == steps[i + 1].tool) ++hits;
+  }
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double MultiRoutineLearner::routine_accuracy() const {
+  double sum = 0.0;
+  for (const adl::AdlRoutine& r : adl_->routines()) {
+    sum += routine_accuracy(r);
+  }
+  return sum / static_cast<double>(adl_->routines().size());
+}
+
+}  // namespace coreda::planning

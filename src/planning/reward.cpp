@@ -1,0 +1,3 @@
+#include "planning/reward.hpp"
+
+// Header-only logic; this translation unit anchors the target.

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "planning/codec.hpp"
+
+namespace coreda::planning {
+
+/// The paper's reward function (§2.2):
+///
+///   * 1000 when the prompted step is taken and it completes the ADL
+///     ("a large reward 1000 is given to encourage the completion of ADL"),
+///   * 100 for an intermediate step reached via a *minimal* prompt,
+///   * 50 for an intermediate step reached via a *specific* prompt
+///     ("this promotes the user to exercise his/her brain instead of
+///     depending on the system"),
+///   * 0 when the user's actual next step differs from the prompt — the
+///     prompt did not help, so it earns nothing. (The paper leaves the
+///     mis-prompt case implicit; zero is the neutral choice that still
+///     makes every correct prompt strictly dominate.)
+///
+/// All values are configurable so the reward-shaping ablation (DESIGN.md A2)
+/// can flatten or re-weight them.
+struct RewardConfig {
+  double terminal = 1000.0;
+  double intermediate_minimal = 100.0;
+  double intermediate_specific = 50.0;
+  double mismatch = 0.0;
+};
+
+class CoredaRewardFunction {
+ public:
+  CoredaRewardFunction() = default;
+  explicit CoredaRewardFunction(RewardConfig config) : config_(config) {}
+
+  /// Reward for prompting `action` when the user's actual next step turned
+  /// out to be `actual_next`; `completes_adl` marks the transition that
+  /// finishes the routine.
+  double operator()(PlannerAction action, adl::StepId actual_next,
+                    bool completes_adl) const noexcept {
+    if (action.tool != actual_next) return config_.mismatch;
+    if (completes_adl) return config_.terminal;
+    return action.level == RemindingLevel::kMinimal
+               ? config_.intermediate_minimal
+               : config_.intermediate_specific;
+  }
+
+  const RewardConfig& config() const noexcept { return config_; }
+
+ private:
+  RewardConfig config_;
+};
+
+}  // namespace coreda::planning

@@ -1,0 +1,125 @@
+#include "planning/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace coreda::planning {
+
+namespace {
+
+constexpr const char* kMagic = "coreda-policy v1";
+
+std::string read_line(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error(std::string("load_policy: missing ") + what);
+  }
+  return line;
+}
+
+std::vector<std::uint64_t> parse_ids(const std::string& line,
+                                     const char* what) {
+  std::vector<std::uint64_t> out;
+  std::istringstream is(line);
+  std::uint64_t v;
+  while (is >> v) out.push_back(v);
+  if (out.empty()) {
+    throw std::runtime_error(std::string("load_policy: empty ") + what);
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_policy(std::ostream& out, const RoutineLearner& learner) {
+  out << kMagic << '\n';
+
+  out << "steps";
+  for (adl::StepId id : learner.state_codec().symbols()) out << ' ' << id;
+  out << '\n';
+
+  out << "tools";
+  for (adl::ToolId id : learner.action_codec().tools()) out << ' ' << id;
+  out << '\n';
+
+  const rl::QTable& q = learner.q();
+  out << q.num_states() << ' ' << q.num_actions() << '\n';
+  out.precision(17);
+  for (rl::StateId s = 0; s < q.num_states(); ++s) {
+    for (rl::ActionId a = 0; a < q.num_actions(); ++a) {
+      if (a > 0) out << ' ';
+      out << q.get(s, a);
+    }
+    out << '\n';
+  }
+}
+
+void load_policy(std::istream& in, RoutineLearner& learner) {
+  if (read_line(in, "magic") != kMagic) {
+    throw std::runtime_error("load_policy: not a coreda-policy v1 snapshot");
+  }
+
+  const std::string steps_line = read_line(in, "step vocabulary");
+  if (steps_line.rfind("steps ", 0) != 0) {
+    throw std::runtime_error("load_policy: malformed step vocabulary");
+  }
+  const auto steps = parse_ids(steps_line.substr(6), "step vocabulary");
+  const auto& symbols = learner.state_codec().symbols();
+  if (steps.size() != symbols.size()) {
+    throw std::runtime_error("load_policy: step vocabulary size mismatch");
+  }
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i] != symbols[i]) {
+      throw std::runtime_error("load_policy: step vocabulary mismatch");
+    }
+  }
+
+  const std::string tools_line = read_line(in, "tool vocabulary");
+  if (tools_line.rfind("tools ", 0) != 0) {
+    throw std::runtime_error("load_policy: malformed tool vocabulary");
+  }
+  const auto tools = parse_ids(tools_line.substr(6), "tool vocabulary");
+  const auto& known_tools = learner.action_codec().tools();
+  if (tools.size() != known_tools.size()) {
+    throw std::runtime_error("load_policy: tool vocabulary size mismatch");
+  }
+  for (std::size_t i = 0; i < tools.size(); ++i) {
+    if (tools[i] != known_tools[i]) {
+      throw std::runtime_error("load_policy: tool vocabulary mismatch");
+    }
+  }
+
+  std::size_t states = 0;
+  std::size_t actions = 0;
+  {
+    std::istringstream dims(read_line(in, "dimensions"));
+    if (!(dims >> states >> actions)) {
+      throw std::runtime_error("load_policy: malformed dimensions");
+    }
+  }
+  const rl::QTable& current = learner.q();
+  if (states != current.num_states() || actions != current.num_actions()) {
+    throw std::runtime_error("load_policy: Q-table dimension mismatch");
+  }
+
+  // Parse the full table into a staging copy first so a truncated snapshot
+  // cannot leave the learner half-loaded.
+  rl::QTable staged(states, actions);
+  for (rl::StateId s = 0; s < states; ++s) {
+    std::istringstream row(read_line(in, "Q row"));
+    for (rl::ActionId a = 0; a < actions; ++a) {
+      double value;
+      if (!(row >> value)) {
+        throw std::runtime_error("load_policy: truncated Q row");
+      }
+      staged.set(s, a, value);
+    }
+  }
+  learner.import_q(staged);
+}
+
+}  // namespace coreda::planning

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "planning/learner.hpp"
+
+namespace coreda::planning {
+
+/// Writes a trained policy snapshot — the Q table plus the state/action
+/// vocabularies that give its indices meaning — as a line-oriented text
+/// format ("coreda-policy v1"). A deployment saves after the training
+/// phase so a server restart does not cost the user their learned routine.
+void save_policy(std::ostream& out, const RoutineLearner& learner);
+
+/// Restores a snapshot produced by save_policy into `learner`.
+///
+/// The learner must be built over the same ADL: step and tool
+/// vocabularies are validated and a std::runtime_error is thrown on any
+/// mismatch (or on a malformed/truncated snapshot), leaving the learner
+/// unchanged on failure.
+void load_policy(std::istream& in, RoutineLearner& learner);
+
+}  // namespace coreda::planning

@@ -1,0 +1,96 @@
+#include "recognition/recognizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace coreda::recognition {
+
+AdlRecognizer::AdlRecognizer(double smoothing) : smoothing_(smoothing) {
+  if (smoothing <= 0.0) {
+    throw std::invalid_argument("AdlRecognizer: smoothing must be > 0");
+  }
+}
+
+void AdlRecognizer::train(const std::string& adl_name,
+                          std::span<const adl::StepId> episode) {
+  if (episode.empty()) return;
+  ChainModel& model = models_[adl_name];
+  ++model.episodes;
+  for (std::size_t i = 0; i < episode.size(); ++i) {
+    ++model.occurrences[episode[i]];
+    ++model.total_steps;
+    vocabulary_[episode[i]] = true;
+    if (i > 0) ++model.transitions[episode[i - 1]][episode[i]];
+  }
+}
+
+double AdlRecognizer::log_likelihood(
+    const ChainModel& model, std::span<const adl::StepId> sequence) const {
+  const double v = static_cast<double>(vocabulary_.size());
+
+  const auto smoothed = [this, v](std::uint64_t count,
+                                  std::uint64_t total) {
+    return std::log((static_cast<double>(count) + smoothing_) /
+                    (static_cast<double>(total) + smoothing_ * v));
+  };
+
+  // The first observation is scored by the step's *occurrence* frequency
+  // in the ADL, not its initial-position frequency: recognition regularly
+  // starts mid-activity (a missed first-step extraction, or the tracker
+  // joining late), and a mid-routine tool would otherwise look equally
+  // alien to every model.
+  const auto first_it = model.occurrences.find(sequence.front());
+  double ll = smoothed(
+      first_it != model.occurrences.end() ? first_it->second : 0,
+      model.total_steps);
+
+  for (std::size_t i = 1; i < sequence.size(); ++i) {
+    const auto row = model.transitions.find(sequence[i - 1]);
+    std::uint64_t count = 0;
+    std::uint64_t total = 0;
+    if (row != model.transitions.end()) {
+      const auto cell = row->second.find(sequence[i]);
+      if (cell != row->second.end()) count = cell->second;
+      for (const auto& [next, n] : row->second) total += n;
+    }
+    ll += smoothed(count, total);
+  }
+  return ll;
+}
+
+std::vector<AdlScore> AdlRecognizer::rank(
+    std::span<const adl::StepId> sequence) const {
+  std::vector<AdlScore> out;
+  if (sequence.empty() || models_.empty()) return out;
+  for (const auto& [name, model] : models_) {
+    out.push_back(AdlScore{name, log_likelihood(model, sequence)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AdlScore& a, const AdlScore& b) {
+              return a.log_likelihood > b.log_likelihood;
+            });
+  return out;
+}
+
+std::optional<std::string> AdlRecognizer::classify(
+    std::span<const adl::StepId> sequence) const {
+  const auto ranked = rank(sequence);
+  if (ranked.empty()) return std::nullopt;
+  return ranked.front().adl;
+}
+
+double AdlRecognizer::confidence(
+    std::span<const adl::StepId> sequence) const {
+  const auto ranked = rank(sequence);
+  if (ranked.empty()) return 0.0;
+  // Softmax over log-likelihoods, shifted by the max for stability.
+  const double best = ranked.front().log_likelihood;
+  double denominator = 0.0;
+  for (const AdlScore& s : ranked) {
+    denominator += std::exp(s.log_likelihood - best);
+  }
+  return 1.0 / denominator;
+}
+
+}  // namespace coreda::recognition

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adl/types.hpp"
+
+namespace coreda::recognition {
+
+/// One candidate activity with its log-likelihood score.
+struct AdlScore {
+  std::string adl;
+  double log_likelihood = 0.0;
+};
+
+/// Identifies *which* ADL a tool-usage sequence belongs to.
+///
+/// CoReDA as published assumes the active ADL is known; a real home runs
+/// many ADLs over one base station, so the server must first recognize the
+/// activity from the usage stream before routing StepIDs to the right
+/// planner — the capability the paper's related work attributes to
+/// Philipose et al. [2] ("inferring activities from interactions with
+/// objects").
+///
+/// The model is a per-ADL first-order Markov chain over StepIDs (with an
+/// initial-step distribution and Laplace smoothing), fit from the same
+/// recorded processes the planners train on. Classification scores a
+/// sequence by its log-likelihood under each ADL's chain; tools that never
+/// appear in an ADL's training data give strong negative evidence through
+/// the smoothed floor.
+class AdlRecognizer {
+ public:
+  /// `smoothing` is the Laplace pseudo-count; must be positive.
+  explicit AdlRecognizer(double smoothing = 0.5);
+
+  /// Adds one recorded process of `adl_name` to that ADL's model.
+  void train(const std::string& adl_name,
+             std::span<const adl::StepId> episode);
+
+  /// All candidate ADLs, best first. Empty when nothing was trained or
+  /// the sequence is empty.
+  std::vector<AdlScore> rank(std::span<const adl::StepId> sequence) const;
+
+  /// The best candidate, or nullopt when nothing can be said.
+  std::optional<std::string> classify(
+      std::span<const adl::StepId> sequence) const;
+
+  /// Normalized posterior of the best candidate in [0, 1] (softmax over
+  /// the per-ADL log-likelihoods); 0 when nothing can be said.
+  double confidence(std::span<const adl::StepId> sequence) const;
+
+  std::size_t known_adls() const noexcept { return models_.size(); }
+
+ private:
+  struct ChainModel {
+    std::map<adl::StepId, std::map<adl::StepId, std::uint64_t>> transitions;
+    std::map<adl::StepId, std::uint64_t> occurrences;  ///< unigram counts
+    std::uint64_t episodes = 0;
+    std::uint64_t total_steps = 0;
+  };
+
+  double log_likelihood(const ChainModel& model,
+                        std::span<const adl::StepId> sequence) const;
+
+  double smoothing_;
+  std::map<std::string, ChainModel> models_;
+  /// Vocabulary across all ADLs, for the smoothing denominator.
+  std::map<adl::StepId, bool> vocabulary_;
+};
+
+}  // namespace coreda::recognition

@@ -1,0 +1,56 @@
+#include "recognition/tracker.hpp"
+
+#include <stdexcept>
+
+namespace coreda::recognition {
+
+ActivityTracker::ActivityTracker(const AdlRecognizer& recognizer,
+                                 ActivityCallback on_start)
+    : ActivityTracker(recognizer, std::move(on_start), Params{}) {}
+
+ActivityTracker::ActivityTracker(const AdlRecognizer& recognizer,
+                                 ActivityCallback on_start, Params params)
+    : recognizer_(&recognizer),
+      on_start_(std::move(on_start)),
+      params_(params) {
+  if (!on_start_) {
+    throw std::invalid_argument("ActivityTracker: null callback");
+  }
+}
+
+void ActivityTracker::observe(adl::ToolId tool, sim::TimePoint at) {
+  if (episode_open_ && at - last_event_ > params_.idle_gap) {
+    close_episode();
+  }
+  if (!episode_open_) {
+    episode_open_ = true;
+    ++episodes_;
+    current_.reset();
+    steps_.clear();
+  }
+  last_event_ = at;
+  if (steps_.empty() || steps_.back() != tool) {
+    steps_.push_back(tool);
+  }
+
+  if (!current_) {
+    const double confidence = recognizer_->confidence(steps_);
+    if (confidence >= params_.confidence_threshold) {
+      const auto best = recognizer_->classify(steps_);
+      if (best) {
+        current_ = best;
+        on_start_(*best, at);
+      }
+    }
+  }
+}
+
+void ActivityTracker::retract() { current_.reset(); }
+
+void ActivityTracker::close_episode() {
+  episode_open_ = false;
+  current_.reset();
+  steps_.clear();
+}
+
+}  // namespace coreda::recognition

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adl/types.hpp"
+#include "recognition/recognizer.hpp"
+#include "sim/time.hpp"
+
+namespace coreda::recognition {
+
+/// Online activity segmentation + recognition over the base station's
+/// usage stream.
+///
+/// An activity episode opens with the first usage after a long idle gap
+/// and closes when the stream goes idle for `idle_gap` (or when the
+/// tracker is told the activity completed). The tracker re-classifies
+/// after every observed step and announces the activity once the
+/// recognizer's posterior clears `confidence_threshold` — typically after
+/// one or two steps, since most tools are ADL-specific.
+class ActivityTracker {
+ public:
+  struct Params {
+    /// Idle time that closes an activity episode.
+    sim::Duration idle_gap = sim::Duration::minutes(3.0);
+    /// Posterior required before announcing the activity.
+    double confidence_threshold = 0.7;
+  };
+
+  /// Invoked once per episode when the activity is first recognized.
+  using ActivityCallback =
+      std::function<void(const std::string& adl, sim::TimePoint at)>;
+
+  /// `recognizer` must outlive the tracker.
+  ActivityTracker(const AdlRecognizer& recognizer, ActivityCallback on_start);
+  ActivityTracker(const AdlRecognizer& recognizer, ActivityCallback on_start,
+                  Params params);
+
+  /// Feeds one sensed usage event.
+  void observe(adl::ToolId tool, sim::TimePoint at);
+
+  /// Forces the current episode closed (ADL completed / session ended).
+  void close_episode();
+
+  /// Withdraws the current announcement without closing the episode: the
+  /// consumer rejected it (e.g. it contradicted a schedule hint on thin
+  /// evidence) and wants a re-announcement once more steps accumulate.
+  void retract();
+
+  bool episode_open() const noexcept { return episode_open_; }
+  /// The recognized activity of the current episode, if announced.
+  const std::optional<std::string>& current_activity() const noexcept {
+    return current_;
+  }
+  /// Steps observed in the current episode.
+  const std::vector<adl::StepId>& episode_steps() const noexcept {
+    return steps_;
+  }
+  std::size_t episodes_seen() const noexcept { return episodes_; }
+
+ private:
+  const AdlRecognizer* recognizer_;
+  ActivityCallback on_start_;
+  Params params_;
+  bool episode_open_ = false;
+  std::optional<std::string> current_;
+  std::vector<adl::StepId> steps_;
+  sim::TimePoint last_event_;
+  std::size_t episodes_ = 0;
+};
+
+}  // namespace coreda::recognition

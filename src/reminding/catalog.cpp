@@ -1,0 +1,27 @@
+#include "reminding/catalog.hpp"
+
+#include <algorithm>
+
+namespace coreda::reminding {
+
+MessageCatalog::MessageCatalog(std::string user_name)
+    : user_name_(std::move(user_name)) {}
+
+std::string MessageCatalog::message(const adl::Tool& tool,
+                                    planning::RemindingLevel level) const {
+  if (level == planning::RemindingLevel::kMinimal) {
+    return "Please use " + tool.name + ".";
+  }
+  return "Mr. " + user_name_ + ", please use the " + tool.name +
+         " in front of you.";
+}
+
+std::string MessageCatalog::picture_ref(const adl::Tool& tool) const {
+  std::string slug = tool.name;
+  std::replace(slug.begin(), slug.end(), ' ', '_');
+  return "assets/tools/" + slug + ".png";
+}
+
+std::string MessageCatalog::praise() const { return "Excellent!"; }
+
+}  // namespace coreda::reminding

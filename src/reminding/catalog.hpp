@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "adl/tool.hpp"
+#include "planning/codec.hpp"
+
+namespace coreda::reminding {
+
+/// Builds the display strings of the reminding subsystem (paper §2.3).
+///
+/// Minimal prompts are terse imperatives ("use tea cup"); specific prompts
+/// address the user by name and describe the tool ("Mr. Kim, use the black
+/// tea-box in front of you."). Pictures are referenced by a stable asset
+/// path derived from the tool name.
+class MessageCatalog {
+ public:
+  explicit MessageCatalog(std::string user_name);
+
+  std::string message(const adl::Tool& tool,
+                      planning::RemindingLevel level) const;
+
+  /// Asset reference of the tool picture shown on the display.
+  std::string picture_ref(const adl::Tool& tool) const;
+
+  /// The praise shown when the user takes the correct step ("Excellent!").
+  std::string praise() const;
+
+  const std::string& user_name() const noexcept { return user_name_; }
+
+ private:
+  std::string user_name_;
+};
+
+}  // namespace coreda::reminding

@@ -1,0 +1,58 @@
+#include "reminding/reminder.hpp"
+
+namespace coreda::reminding {
+
+std::string_view to_string(Trigger trigger) noexcept {
+  return trigger == Trigger::kIdleTimeout ? "idle-timeout" : "wrong-tool";
+}
+
+RemindingSubsystem::RemindingSubsystem(pavenet::BaseStation& station,
+                                       const adl::ToolRegistry& tools,
+                                       MessageCatalog catalog)
+    : RemindingSubsystem(station, tools, std::move(catalog), Params{}) {}
+
+RemindingSubsystem::RemindingSubsystem(pavenet::BaseStation& station,
+                                       const adl::ToolRegistry& tools,
+                                       MessageCatalog catalog, Params params)
+    : station_(&station),
+      tools_(&tools),
+      catalog_(std::move(catalog)),
+      params_(params) {}
+
+const DeliveredReminder& RemindingSubsystem::remind(
+    sim::TimePoint at, Trigger trigger, adl::ToolId target,
+    planning::RemindingLevel level, std::optional<adl::ToolId> wrong_tool) {
+  const adl::Tool& tool = tools_->at(target);
+  const std::uint8_t blinks = level == planning::RemindingLevel::kMinimal
+                                  ? params_.minimal_blinks
+                                  : params_.specific_blinks;
+
+  DeliveredReminder out;
+  out.at = at;
+  out.trigger = trigger;
+  out.target_tool = target;
+  out.level = level;
+  out.text = catalog_.message(tool, level);
+  out.picture = catalog_.picture_ref(tool);
+  out.green_blinks = blinks;
+
+  station_->send_led_command(target, pavenet::LedColor::kGreen, blinks);
+  display_.push_back(out.text);
+
+  if (trigger == Trigger::kWrongTool && wrong_tool) {
+    tools_->at(*wrong_tool);  // validate before commanding
+    out.wrong_tool = wrong_tool;
+    out.red_blinks = blinks;
+    station_->send_led_command(*wrong_tool, pavenet::LedColor::kRed, blinks);
+  }
+
+  log_.push_back(std::move(out));
+  return log_.back();
+}
+
+void RemindingSubsystem::praise(sim::TimePoint /*at*/, adl::ToolId tool) {
+  display_.push_back(catalog_.praise());
+  station_->send_led_command(tool, pavenet::LedColor::kGreen, 0);
+}
+
+}  // namespace coreda::reminding

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adl/tool.hpp"
+#include "pavenet/base_station.hpp"
+#include "planning/codec.hpp"
+#include "reminding/catalog.hpp"
+#include "sim/time.hpp"
+
+namespace coreda::reminding {
+
+/// Why a reminder fired — the paper's two trigger situations.
+enum class Trigger : std::uint8_t {
+  kIdleTimeout,  ///< the user did nothing for the tool's waiting period
+  kWrongTool,    ///< the user started using an incorrect tool
+};
+
+std::string_view to_string(Trigger trigger) noexcept;
+
+/// A fully rendered reminder: everything the three output modalities show.
+struct DeliveredReminder {
+  sim::TimePoint at;
+  Trigger trigger = Trigger::kIdleTimeout;
+  adl::ToolId target_tool = adl::kNoTool;
+  planning::RemindingLevel level = planning::RemindingLevel::kMinimal;
+  std::string text;        ///< display message
+  std::string picture;     ///< display picture asset
+  std::uint8_t green_blinks = 0;
+  std::optional<adl::ToolId> wrong_tool;  ///< red-blinked, situation 2 only
+  std::uint8_t red_blinks = 0;
+};
+
+/// The reminding subsystem: renders prompts into the three modalities (text
+/// message, tool picture, LED blinking) and pushes the LED commands to the
+/// nodes through the base station (paper §2.3).
+class RemindingSubsystem {
+ public:
+  struct Params {
+    std::uint8_t minimal_blinks = 3;   ///< "less blinks"
+    std::uint8_t specific_blinks = 8;  ///< "more blinks"
+  };
+
+  /// `station` and `tools` must outlive the subsystem.
+  RemindingSubsystem(pavenet::BaseStation& station,
+                     const adl::ToolRegistry& tools, MessageCatalog catalog);
+  RemindingSubsystem(pavenet::BaseStation& station,
+                     const adl::ToolRegistry& tools, MessageCatalog catalog,
+                     Params params);
+
+  /// Delivers a prompt for `target`: display text + picture, green LED on
+  /// the target tool, and — for wrong-tool triggers — red LED on the tool
+  /// being misused. Returns the rendered reminder (also appended to the
+  /// log). Throws std::out_of_range for unknown tool ids.
+  const DeliveredReminder& remind(sim::TimePoint at, Trigger trigger,
+                                  adl::ToolId target,
+                                  planning::RemindingLevel level,
+                                  std::optional<adl::ToolId> wrong_tool);
+
+  /// Shows praise on the display ("Excellent!", Figure 1) and turns the
+  /// target tool's LEDs off.
+  void praise(sim::TimePoint at, adl::ToolId tool);
+
+  const std::vector<DeliveredReminder>& log() const noexcept { return log_; }
+  const std::vector<std::string>& display_lines() const noexcept {
+    return display_;
+  }
+  const MessageCatalog& catalog() const noexcept { return catalog_; }
+
+ private:
+  pavenet::BaseStation* station_;
+  const adl::ToolRegistry* tools_;
+  MessageCatalog catalog_;
+  Params params_;
+  std::vector<DeliveredReminder> log_;
+  std::vector<std::string> display_;
+};
+
+}  // namespace coreda::reminding

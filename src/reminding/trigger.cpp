@@ -1,0 +1,68 @@
+#include "reminding/trigger.hpp"
+
+#include <stdexcept>
+
+namespace coreda::reminding {
+
+TriggerMonitor::TriggerMonitor(sim::Scheduler& scheduler, Callback callback)
+    : TriggerMonitor(scheduler, std::move(callback), Params{}) {}
+
+TriggerMonitor::TriggerMonitor(sim::Scheduler& scheduler, Callback callback,
+                               Params params)
+    : scheduler_(&scheduler),
+      callback_(std::move(callback)),
+      params_(params) {
+  if (!callback_) {
+    throw std::invalid_argument("TriggerMonitor: null callback");
+  }
+}
+
+void TriggerMonitor::arm(adl::ToolId expected, sim::Duration timeout) {
+  if (expected == adl::kNoTool) {
+    throw std::invalid_argument("TriggerMonitor: cannot expect tool 0");
+  }
+  armed_ = true;
+  expected_ = expected;
+  timeout_ = timeout > sim::Duration() ? timeout : params_.default_timeout;
+  start_timer();
+}
+
+sim::Duration TriggerMonitor::timeout_for(const adl::Tool& expected) const {
+  return params_.allowance_base +
+         expected.typical_usage_stddev * params_.allowance_factor +
+         expected.typical_usage_mean;
+}
+
+void TriggerMonitor::disarm() {
+  armed_ = false;
+  expected_ = adl::kNoTool;
+  timer_.cancel();
+}
+
+bool TriggerMonitor::notify_usage(adl::ToolId tool) {
+  if (!armed_) return false;
+  if (tool == expected_) {
+    disarm();
+    return true;
+  }
+  ++wrong_fired_;
+  // Restart the waiting period: the intrusion proved the user is active but
+  // off-track; give the prompt time to work before the idle path also fires.
+  start_timer();
+  callback_(Trigger::kWrongTool, tool);
+  return false;
+}
+
+void TriggerMonitor::start_timer() {
+  timer_.cancel();
+  timer_ = scheduler_->schedule_after(timeout_, [this] {
+    if (!armed_) return;
+    ++idle_fired_;
+    // Stay armed: if the user remains idle, the timer restarts so the
+    // system keeps re-prompting.
+    start_timer();
+    callback_(Trigger::kIdleTimeout, adl::kNoTool);
+  });
+}
+
+}  // namespace coreda::reminding

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+
+#include "adl/tool.hpp"
+#include "reminding/reminder.hpp"
+#include "sim/scheduler.hpp"
+
+namespace coreda::reminding {
+
+/// Watches the sensed usage stream for the two situations that require a
+/// reminder (paper §2.3):
+///
+///   1. idle timeout — the expected tool has not been used "for a certain
+///      moment"; the waiting period is derived from usage statistics
+///      (footnote 1 of the paper), here: expected think time plus a
+///      configurable number of standard deviations.
+///   2. wrong tool — a usage report for a tool other than the expected one.
+///
+/// The monitor is armed with the expected next tool after each completed
+/// step; usage notifications either complete the step (disarming the
+/// timer), or fire the wrong-tool callback immediately.
+class TriggerMonitor {
+ public:
+  using Callback = std::function<void(Trigger trigger,
+                                      adl::ToolId observed_tool)>;
+
+  struct Params {
+    /// Fallback waiting period (the "30 s" of the paper's Figure 1 note).
+    sim::Duration default_timeout = sim::Duration::seconds(30.0);
+    /// When arming with a tool, timeout = allowance_base +
+    /// allowance_factor * typical usage of the *previous* tool.
+    sim::Duration allowance_base = sim::Duration::seconds(12.0);
+    double allowance_factor = 2.0;
+  };
+
+  TriggerMonitor(sim::Scheduler& scheduler, Callback callback);
+  TriggerMonitor(sim::Scheduler& scheduler, Callback callback, Params params);
+
+  /// Arms the idle timer expecting `expected`; `timeout` <= 0 uses the
+  /// default. Re-arming replaces the previous expectation.
+  void arm(adl::ToolId expected,
+           sim::Duration timeout = sim::Duration::micros(0));
+
+  /// Computes the statistical waiting period for a step (footnote 1):
+  /// base allowance plus `allowance_factor` standard deviations of the
+  /// expected tool's usage time.
+  sim::Duration timeout_for(const adl::Tool& expected) const;
+
+  /// Stops watching (ADL finished or paused).
+  void disarm();
+
+  /// Feeds one sensed usage event. Correct tool: disarms and returns true.
+  /// Wrong tool: fires the wrong-tool callback (stays armed, the timer
+  /// restarts) and returns false. Unarmed: returns false without firing.
+  bool notify_usage(adl::ToolId tool);
+
+  bool armed() const noexcept { return armed_; }
+  adl::ToolId expected() const noexcept { return expected_; }
+  std::uint64_t idle_triggers() const noexcept { return idle_fired_; }
+  std::uint64_t wrong_tool_triggers() const noexcept { return wrong_fired_; }
+
+ private:
+  void start_timer();
+
+  sim::Scheduler* scheduler_;
+  Callback callback_;
+  Params params_;
+  bool armed_ = false;
+  adl::ToolId expected_ = adl::kNoTool;
+  sim::Duration timeout_{};
+  sim::EventHandle timer_;
+  std::uint64_t idle_fired_ = 0;
+  std::uint64_t wrong_fired_ = 0;
+};
+
+}  // namespace coreda::reminding

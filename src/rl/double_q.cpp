@@ -1,0 +1,62 @@
+#include "rl/double_q.hpp"
+
+#include <stdexcept>
+
+namespace coreda::rl {
+
+DoubleQLearning::DoubleQLearning(std::size_t num_states,
+                                 std::size_t num_actions, Config config,
+                                 util::Rng rng)
+    : config_(config),
+      a_(num_states, num_actions, config.initial_q),
+      b_(num_states, num_actions, config.initial_q),
+      rng_(rng) {
+  if (config.alpha <= 0.0 || config.alpha > 1.0 || config.gamma < 0.0 ||
+      config.gamma > 1.0) {
+    throw std::invalid_argument("DoubleQLearning: hyper-parameter range");
+  }
+}
+
+DoubleQLearning::DoubleQLearning(std::size_t num_states,
+                                 std::size_t num_actions, util::Rng rng)
+    : DoubleQLearning(num_states, num_actions, Config{}, rng) {}
+
+double DoubleQLearning::observe(const Transition& t) {
+  // The coin decides which table is the learner; the *other* table
+  // evaluates the learner's greedy pick — the decoupling that removes the
+  // max-operator's upward bias.
+  QTable& learner = rng_.bernoulli(0.5) ? a_ : b_;
+  QTable& evaluator = &learner == &a_ ? b_ : a_;
+
+  double target = t.reward;
+  if (!t.terminal) {
+    const ActionId pick = learner.best_action(t.next_state);
+    target += config_.gamma * evaluator.get(t.next_state, pick);
+  }
+  const double delta = target - learner.get(t.state, t.action);
+  learner.add(t.state, t.action, config_.alpha * delta);
+  return delta;
+}
+
+double DoubleQLearning::value(StateId s, ActionId a) const {
+  return 0.5 * (a_.get(s, a) + b_.get(s, a));
+}
+
+ActionId DoubleQLearning::best_action(StateId s) const {
+  ActionId best = 0;
+  double best_value = value(s, 0);
+  for (ActionId a = 1; a < a_.num_actions(); ++a) {
+    const double v = value(s, a);
+    if (v > best_value) {
+      best_value = v;
+      best = a;
+    }
+  }
+  return best;
+}
+
+double DoubleQLearning::max_value(StateId s) const {
+  return value(s, best_action(s));
+}
+
+}  // namespace coreda::rl

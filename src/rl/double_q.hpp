@@ -1,0 +1,52 @@
+#pragma once
+
+#include "rl/q_table.hpp"
+#include "rl/types.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::rl {
+
+/// Double Q-Learning (van Hasselt, 2010).
+///
+/// Plain Q-Learning's max-operator bootstraps from the *same* noisy
+/// estimates it maximizes over, biasing values upward wherever rewards or
+/// transitions are stochastic — e.g. CoReDA's aliased tea-making context,
+/// where the pot's missed extractions make two prompts' returns overlap.
+/// Double Q keeps two tables and decouples action selection (argmax under
+/// one table) from evaluation (value under the other), removing the bias
+/// at the cost of halving each table's data.
+class DoubleQLearning {
+ public:
+  struct Config {
+    double alpha = 0.1;
+    double gamma = 0.9;
+    double initial_q = 0.0;
+  };
+
+  /// Throws std::invalid_argument on out-of-range hyper-parameters.
+  DoubleQLearning(std::size_t num_states, std::size_t num_actions,
+                  Config config, util::Rng rng);
+  DoubleQLearning(std::size_t num_states, std::size_t num_actions,
+                  util::Rng rng);
+
+  /// One backup for transition `t`; a fair coin picks which table learns.
+  /// Returns the TD error δ of the updated table.
+  double observe(const Transition& t);
+
+  /// Behaviour/greedy values: the mean of the two tables.
+  double value(StateId s, ActionId a) const;
+  ActionId best_action(StateId s) const;
+  double max_value(StateId s) const;
+
+  const QTable& table_a() const noexcept { return a_; }
+  const QTable& table_b() const noexcept { return b_; }
+  std::size_t num_actions() const noexcept { return a_.num_actions(); }
+
+ private:
+  Config config_;
+  QTable a_;
+  QTable b_;
+  util::Rng rng_;
+};
+
+}  // namespace coreda::rl

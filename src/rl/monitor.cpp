@@ -1,0 +1,44 @@
+#include "rl/monitor.hpp"
+
+#include <stdexcept>
+
+namespace coreda::rl {
+
+LearningMonitor::LearningMonitor(std::vector<StateId> eval_states,
+                                 CorrectPredicate correct)
+    : eval_states_(std::move(eval_states)), correct_(std::move(correct)) {
+  if (eval_states_.empty()) {
+    throw std::invalid_argument("LearningMonitor: no evaluation states");
+  }
+  if (!correct_) {
+    throw std::invalid_argument("LearningMonitor: null predicate");
+  }
+}
+
+double LearningMonitor::record(const QTable& q) {
+  std::size_t hits = 0;
+  for (StateId s : eval_states_) {
+    // Deterministic tie-break: an untrained row counts as correct only if
+    // action 0 happens to be right, so early accuracy reflects chance.
+    if (correct_(s, q.best_action(s))) ++hits;
+  }
+  const double accuracy =
+      static_cast<double>(hits) / static_cast<double>(eval_states_.size());
+  curve_.push_back(CurvePoint{curve_.size() + 1, accuracy});
+  return accuracy;
+}
+
+std::optional<std::size_t> LearningMonitor::convergence_iteration(
+    double threshold) const {
+  std::optional<std::size_t> candidate;
+  for (const CurvePoint& p : curve_) {
+    if (p.accuracy >= threshold) {
+      if (!candidate) candidate = p.iteration;
+    } else {
+      candidate.reset();
+    }
+  }
+  return candidate;
+}
+
+}  // namespace coreda::rl

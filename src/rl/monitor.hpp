@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rl/q_table.hpp"
+#include "rl/types.hpp"
+
+namespace coreda::rl {
+
+/// One point of a learning curve: greedy-policy accuracy after an episode.
+struct CurvePoint {
+  std::size_t iteration = 0;  ///< episodes observed so far (1-based)
+  double accuracy = 0.0;      ///< fraction of evaluation states correct
+};
+
+/// Tracks how close the greedy policy is to a reference policy, producing
+/// the paper's Figure 4 learning curve and its convergence iterations.
+///
+/// The reference is a predicate `correct(state, greedy_action)` so callers
+/// can accept several optimal actions per state (e.g. any reminding level
+/// pointing at the right tool).
+class LearningMonitor {
+ public:
+  using CorrectPredicate = std::function<bool(StateId, ActionId)>;
+
+  /// `eval_states` are the states whose greedy action is scored each
+  /// episode. Throws std::invalid_argument when empty or when `correct` is
+  /// null.
+  LearningMonitor(std::vector<StateId> eval_states, CorrectPredicate correct);
+
+  /// Scores the greedy policy of `q` after one more training episode and
+  /// appends a curve point. Returns the accuracy.
+  double record(const QTable& q);
+
+  const std::vector<CurvePoint>& curve() const noexcept { return curve_; }
+
+  /// First iteration whose accuracy reached `threshold` and never dropped
+  /// below it afterwards (the "converging condition" of the paper's §3.2);
+  /// nullopt if the threshold was never sustainedly reached.
+  std::optional<std::size_t> convergence_iteration(double threshold) const;
+
+  /// Accuracy of the latest record() call (0 before the first).
+  double latest_accuracy() const noexcept {
+    return curve_.empty() ? 0.0 : curve_.back().accuracy;
+  }
+
+ private:
+  std::vector<StateId> eval_states_;
+  CorrectPredicate correct_;
+  std::vector<CurvePoint> curve_;
+};
+
+}  // namespace coreda::rl

@@ -1,0 +1,67 @@
+#include "rl/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace coreda::rl {
+
+EpsilonGreedyPolicy::EpsilonGreedyPolicy(double epsilon, double decay,
+                                         double min_epsilon)
+    : epsilon_(epsilon), decay_(decay), min_epsilon_(min_epsilon) {
+  if (epsilon < 0.0 || epsilon > 1.0) {
+    throw std::invalid_argument("EpsilonGreedyPolicy: epsilon not in [0,1]");
+  }
+  if (decay <= 0.0 || decay > 1.0) {
+    throw std::invalid_argument("EpsilonGreedyPolicy: decay not in (0,1]");
+  }
+  if (min_epsilon < 0.0 || min_epsilon > epsilon) {
+    throw std::invalid_argument(
+        "EpsilonGreedyPolicy: min_epsilon not in [0, epsilon]");
+  }
+}
+
+ActionId EpsilonGreedyPolicy::select(const QTable& q, StateId state,
+                                     util::Rng& rng) {
+  if (rng.bernoulli(epsilon_)) {
+    return static_cast<ActionId>(rng.pick_index(q.num_actions()));
+  }
+  return q.best_action(state, rng);
+}
+
+void EpsilonGreedyPolicy::decay_epsilon() noexcept {
+  epsilon_ = std::max(min_epsilon_, epsilon_ * decay_);
+}
+
+SoftmaxPolicy::SoftmaxPolicy(double temperature) : temperature_(temperature) {
+  if (temperature <= 0.0) {
+    throw std::invalid_argument("SoftmaxPolicy: temperature must be > 0");
+  }
+}
+
+void SoftmaxPolicy::set_temperature(double t) {
+  if (t <= 0.0) {
+    throw std::invalid_argument("SoftmaxPolicy: temperature must be > 0");
+  }
+  temperature_ = t;
+}
+
+ActionId SoftmaxPolicy::select(const QTable& q, StateId state,
+                               util::Rng& rng) {
+  const auto row = q.row(state);
+  // Shift by the max for numeric stability before exponentiating.
+  const double maxq = *std::max_element(row.begin(), row.end());
+  std::vector<double> weights(row.size());
+  for (std::size_t a = 0; a < row.size(); ++a) {
+    weights[a] = std::exp((row[a] - maxq) / temperature_);
+  }
+  return static_cast<ActionId>(rng.pick_weighted(weights));
+}
+
+ActionId GreedyPolicy::select(const QTable& q, StateId state,
+                              util::Rng& rng) {
+  return q.best_action(state, rng);
+}
+
+}  // namespace coreda::rl

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+
+#include "rl/q_table.hpp"
+#include "rl/types.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::rl {
+
+/// Behaviour policy: selects the action to try in a state given the current
+/// value estimates.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual ActionId select(const QTable& q, StateId state, util::Rng& rng) = 0;
+};
+
+/// ε-greedy with optional multiplicative decay per episode.
+///
+/// With a zero-initialized QTable the greedy arm is itself a uniform random
+/// tie-break, so the initial behaviour matches the paper's "start from a
+/// random policy" regardless of ε.
+class EpsilonGreedyPolicy final : public Policy {
+ public:
+  /// Throws std::invalid_argument for epsilon outside [0, 1] or decay
+  /// outside (0, 1].
+  explicit EpsilonGreedyPolicy(double epsilon, double decay = 1.0,
+                               double min_epsilon = 0.0);
+
+  ActionId select(const QTable& q, StateId state, util::Rng& rng) override;
+
+  /// Applies one decay step (call between episodes).
+  void decay_epsilon() noexcept;
+
+  double epsilon() const noexcept { return epsilon_; }
+
+ private:
+  double epsilon_;
+  double decay_;
+  double min_epsilon_;
+};
+
+/// Boltzmann exploration: P(a) ∝ exp(Q(s,a) / temperature).
+class SoftmaxPolicy final : public Policy {
+ public:
+  /// Throws std::invalid_argument for a non-positive temperature.
+  explicit SoftmaxPolicy(double temperature);
+
+  ActionId select(const QTable& q, StateId state, util::Rng& rng) override;
+
+  double temperature() const noexcept { return temperature_; }
+  void set_temperature(double t);
+
+ private:
+  double temperature_;
+};
+
+/// Pure exploitation with random tie-breaking.
+class GreedyPolicy final : public Policy {
+ public:
+  ActionId select(const QTable& q, StateId state, util::Rng& rng) override;
+};
+
+}  // namespace coreda::rl

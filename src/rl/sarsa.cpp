@@ -1,0 +1,45 @@
+#include "rl/sarsa.hpp"
+
+#include <stdexcept>
+
+namespace coreda::rl {
+
+SarsaLambda::SarsaLambda(std::size_t num_states, std::size_t num_actions)
+    : SarsaLambda(num_states, num_actions, Config{}) {}
+
+SarsaLambda::SarsaLambda(std::size_t num_states, std::size_t num_actions,
+                         Config config)
+    : config_(config),
+      q_(num_states, num_actions),
+      traces_(config.trace_type) {
+  if (config.alpha <= 0.0 || config.alpha > 1.0 || config.gamma < 0.0 ||
+      config.gamma > 1.0 || config.lambda < 0.0 || config.lambda > 1.0) {
+    throw std::invalid_argument("SarsaLambda: hyper-parameter out of range");
+  }
+}
+
+void SarsaLambda::begin_episode() { traces_.clear(); }
+
+double SarsaLambda::observe(const Transition& t, ActionId next_action) {
+  const double target =
+      t.terminal ? t.reward
+                 : t.reward + config_.gamma * q_.get(t.next_state, next_action);
+  const double delta = target - q_.get(t.state, t.action);
+
+  if (config_.trace_type == TraceType::kReplacing) {
+    traces_.clear_state_actions(t.state, t.action);
+  }
+  traces_.visit(t.state, t.action);
+  traces_.for_each([this, delta](StateId s, ActionId a, double e) {
+    q_.add(s, a, config_.alpha * delta * e);
+  });
+
+  if (t.terminal) {
+    traces_.clear();
+  } else {
+    traces_.decay(config_.gamma * config_.lambda);
+  }
+  return delta;
+}
+
+}  // namespace coreda::rl

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "rl/q_table.hpp"
+#include "rl/traces.hpp"
+#include "rl/types.hpp"
+
+namespace coreda::rl {
+
+/// SARSA(λ) — the on-policy companion to TdLambdaQLearning, kept as a
+/// comparator for the learning-algorithm ablations. The backup target uses
+/// the action the behaviour policy actually chose next, so the learned
+/// values reflect the exploring policy rather than the greedy one.
+class SarsaLambda {
+ public:
+  struct Config {
+    double alpha = 0.2;
+    double gamma = 0.9;
+    double lambda = 0.7;
+    TraceType trace_type = TraceType::kReplacing;
+  };
+
+  /// Throws std::invalid_argument on out-of-range hyper-parameters.
+  SarsaLambda(std::size_t num_states, std::size_t num_actions);
+  SarsaLambda(std::size_t num_states, std::size_t num_actions, Config config);
+
+  void begin_episode();
+
+  /// Backup for <s, a, r, s', a'>. For terminal transitions `next_action`
+  /// is ignored. Returns the TD error δ.
+  double observe(const Transition& t, ActionId next_action);
+
+  const QTable& q() const noexcept { return q_; }
+  QTable& q() noexcept { return q_; }
+
+ private:
+  Config config_;
+  QTable q_;
+  EligibilityTraces traces_;
+};
+
+}  // namespace coreda::rl

@@ -1,0 +1,69 @@
+#pragma once
+
+#include "rl/q_table.hpp"
+#include "rl/traces.hpp"
+#include "rl/types.hpp"
+
+namespace coreda::rl {
+
+/// Hyper-parameters of the TD(λ) Q-Learning learner.
+struct TdLambdaConfig {
+  double alpha = 0.2;   ///< learning rate
+  double gamma = 0.9;   ///< discount ("converge factor" β in the paper)
+  double lambda = 0.7;  ///< trace decay; 0 reduces to one-step Q-Learning
+  TraceType trace_type = TraceType::kReplacing;
+  /// Watkins' Q(λ): cut all traces after a non-greedy (exploratory) action,
+  /// keeping the backup target consistent with the greedy policy.
+  bool watkins_cut = true;
+  /// Initial Q value. Optimistic initialization (>= the best attainable
+  /// return) makes the greedy policy try untested actions first, which is
+  /// what keeps tabular Q-Learning from locking onto a lucky early action
+  /// in reward-sparse tasks.
+  double initial_q = 0.0;
+};
+
+/// Watkins' TD(λ) Q-Learning — the algorithm the paper runs via
+/// RL Toolbox 2.0 (its planning subsystem, §2.2).
+///
+/// Off-policy: the TD target bootstraps from max_a' Q(s',a') regardless of
+/// the action the behaviour policy will actually take. Eligibility traces
+/// credit earlier (s,a) pairs of the same episode, which is what lets the
+/// big terminal reward (1000 for completing an ADL) propagate down a
+/// four-step routine in a handful of episodes rather than four separate
+/// sweeps.
+class TdLambdaQLearning {
+ public:
+  /// Throws std::invalid_argument when alpha/gamma/lambda are outside
+  /// [0, 1] or alpha is zero.
+  TdLambdaQLearning(std::size_t num_states, std::size_t num_actions,
+                    TdLambdaConfig config = TdLambdaConfig());
+
+  /// Resets traces at an episode boundary (the Q table persists).
+  void begin_episode();
+
+  /// Performs one backup for transition `t`. `t.action` must be the action
+  /// actually taken in `t.state`. Returns the TD error δ.
+  double observe(const Transition& t);
+
+  /// One-step backup of a *counterfactual* action: updates Q(s, a) toward
+  /// r + γ max Q(s') without touching the eligibility traces. Used by
+  /// offline trainers in environments whose transitions do not depend on
+  /// the action (the reward of every action is then computable from the
+  /// recorded trajectory). Returns the TD error δ.
+  double update_counterfactual(StateId s, ActionId a, double reward,
+                               StateId next_state, bool terminal);
+
+  const QTable& q() const noexcept { return q_; }
+  QTable& q() noexcept { return q_; }
+  const TdLambdaConfig& config() const noexcept { return config_; }
+  const EligibilityTraces& traces() const noexcept { return traces_; }
+  std::uint64_t updates() const noexcept { return updates_; }
+
+ private:
+  TdLambdaConfig config_;
+  QTable q_;
+  EligibilityTraces traces_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace coreda::rl

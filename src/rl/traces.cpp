@@ -1,0 +1,63 @@
+#include "rl/traces.hpp"
+
+#include <stdexcept>
+
+namespace coreda::rl {
+
+EligibilityTraces::EligibilityTraces(TraceType type, double cutoff)
+    : type_(type), cutoff_(cutoff) {
+  if (cutoff < 0.0) {
+    throw std::invalid_argument("EligibilityTraces: cutoff must be >= 0");
+  }
+}
+
+void EligibilityTraces::visit(StateId s, ActionId a) {
+  double& e = entries_[key_of(s, a)];
+  if (type_ == TraceType::kAccumulating) {
+    e += 1.0;
+  } else {
+    e = 1.0;
+  }
+}
+
+void EligibilityTraces::clear_state_actions(StateId s, ActionId keep) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const auto state = static_cast<StateId>(it->first >> 32);
+    const auto action = static_cast<ActionId>(it->first & 0xffffffffULL);
+    if (state == s && action != keep) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EligibilityTraces::decay(double factor) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second *= factor;
+    if (it->second < cutoff_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EligibilityTraces::clear() noexcept { entries_.clear(); }
+
+double EligibilityTraces::get(StateId s, ActionId a) const {
+  const auto it = entries_.find(key_of(s, a));
+  return it != entries_.end() ? it->second : 0.0;
+}
+
+std::vector<EligibilityTraces::Entry> EligibilityTraces::entries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    out.push_back(Entry{static_cast<StateId>(key >> 32),
+                        static_cast<ActionId>(key & 0xffffffffULL), value});
+  }
+  return out;
+}
+
+}  // namespace coreda::rl

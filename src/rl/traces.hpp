@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rl/types.hpp"
+
+namespace coreda::rl {
+
+enum class TraceType : std::uint8_t {
+  kAccumulating,  ///< e(s,a) += 1 on visit
+  kReplacing,     ///< e(s,a) = 1 on visit
+};
+
+/// Sparse eligibility traces for TD(λ).
+///
+/// Traces decay geometrically by γλ each step; entries falling below
+/// `cutoff` are dropped so the active set stays proportional to the recent
+/// trajectory length rather than |S|x|A|.
+class EligibilityTraces {
+ public:
+  struct Entry {
+    StateId state;
+    ActionId action;
+    double value;
+  };
+
+  explicit EligibilityTraces(TraceType type = TraceType::kReplacing,
+                             double cutoff = 1e-8);
+
+  /// Marks (s, a) visited per the trace type.
+  void visit(StateId s, ActionId a);
+
+  /// For replacing traces: clears the traces of every *other* action in
+  /// state `s` (Singh & Sutton's variant); call before visit().
+  void clear_state_actions(StateId s, ActionId keep);
+
+  /// Multiplies every trace by `factor` (= γλ), dropping tiny entries.
+  void decay(double factor);
+
+  /// Removes all traces (episode boundary, or Watkins' cut after a
+  /// non-greedy action).
+  void clear() noexcept;
+
+  double get(StateId s, ActionId a) const;
+  std::size_t active_count() const noexcept { return entries_.size(); }
+
+  /// Snapshot of all active traces (unspecified order).
+  std::vector<Entry> entries() const;
+
+  /// Applies `fn(state, action, trace)` to every active trace.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, value] : entries_) {
+      fn(static_cast<StateId>(key >> 32),
+         static_cast<ActionId>(key & 0xffffffffULL), value);
+    }
+  }
+
+ private:
+  static std::uint64_t key_of(StateId s, ActionId a) noexcept {
+    return (static_cast<std::uint64_t>(s) << 32) | a;
+  }
+
+  TraceType type_;
+  double cutoff_;
+  std::unordered_map<std::uint64_t, double> entries_;
+};
+
+}  // namespace coreda::rl

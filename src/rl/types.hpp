@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+namespace coreda::rl {
+
+/// Dense, zero-based identifiers. Adapters (e.g. coreda::planning's codecs)
+/// are responsible for mapping domain objects to contiguous id ranges.
+using StateId = std::uint32_t;
+using ActionId = std::uint32_t;
+
+/// One experience tuple <s, a, r, s'> plus the terminal flag. When
+/// `terminal` is true the successor state's value is not bootstrapped.
+struct Transition {
+  StateId state = 0;
+  ActionId action = 0;
+  double reward = 0.0;
+  StateId next_state = 0;
+  bool terminal = false;
+};
+
+}  // namespace coreda::rl

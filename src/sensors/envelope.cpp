@@ -1,0 +1,51 @@
+#include "sensors/envelope.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace coreda::sensors {
+
+UsageEnvelope::UsageEnvelope(sim::Duration duration, sim::Duration ramp,
+                             double modulation_depth, double modulation_hz)
+    : duration_(duration),
+      ramp_(ramp),
+      modulation_depth_(modulation_depth),
+      modulation_hz_(modulation_hz) {
+  if (duration <= sim::Duration()) {
+    throw std::invalid_argument("UsageEnvelope: duration must be positive");
+  }
+  if (ramp < sim::Duration()) {
+    throw std::invalid_argument("UsageEnvelope: ramp must be non-negative");
+  }
+  if (modulation_depth < 0.0 || modulation_depth > 1.0) {
+    throw std::invalid_argument(
+        "UsageEnvelope: modulation depth must be in [0, 1]");
+  }
+}
+
+double UsageEnvelope::activation(sim::Duration offset) const noexcept {
+  const double t = offset.to_seconds();
+  const double d = duration_.to_seconds();
+  if (t < 0.0 || t > d) return 0.0;
+
+  // Ramps may not exceed half the duration each; short grips are dominated
+  // by transitions and never reach a full plateau.
+  const double r = std::min(ramp_.to_seconds(), d / 2.0);
+  double trapezoid = 1.0;
+  if (r > 0.0) {
+    if (t < r) {
+      trapezoid = t / r;
+    } else if (t > d - r) {
+      trapezoid = (d - t) / r;
+    }
+  }
+
+  const double modulation =
+      1.0 - modulation_depth_ * 0.5 *
+                (1.0 + std::sin(2.0 * std::numbers::pi * modulation_hz_ * t));
+  return std::clamp(trapezoid * modulation, 0.0, 1.0);
+}
+
+}  // namespace coreda::sensors

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace coreda::sensors {
+
+/// Activation envelope of one tool-manipulation episode.
+///
+/// When a person picks up a tool, uses it, and puts it down, the motion
+/// energy follows a trapezoid: a ramp as the hand closes on the tool, a
+/// sustained plateau with natural amplitude modulation (shaking a tube,
+/// scrubbing strokes), and a ramp-down. The envelope maps a time inside the
+/// usage interval to an activation factor in [0, 1] that the sensor models
+/// scale by the tool's intrinsic usage intensity.
+///
+/// Short manipulations never reach a full plateau (ramps overlap), which is
+/// the mechanical reason brief steps such as "dry with a towel" are harder
+/// for the 3-of-10 detector to catch — the paper's Table 3 effect.
+class UsageEnvelope {
+ public:
+  /// `ramp` is the pick-up/put-down transition time. Throws
+  /// std::invalid_argument for non-positive duration or negative ramp.
+  UsageEnvelope(sim::Duration duration, sim::Duration ramp,
+                double modulation_depth = 0.25,
+                double modulation_hz = 1.8);
+
+  /// Activation at `offset` from the start of the manipulation, in [0, 1].
+  /// Returns 0 outside [0, duration].
+  double activation(sim::Duration offset) const noexcept;
+
+  sim::Duration duration() const noexcept { return duration_; }
+
+ private:
+  sim::Duration duration_;
+  sim::Duration ramp_;
+  double modulation_depth_;
+  double modulation_hz_;
+};
+
+}  // namespace coreda::sensors

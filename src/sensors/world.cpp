@@ -1,0 +1,42 @@
+#include "sensors/world.hpp"
+
+namespace coreda::sensors {
+
+void ManipulationWorld::begin(adl::ToolId tool, sim::TimePoint start,
+                              sim::Duration duration, sim::Duration ramp) {
+  active_.insert_or_assign(
+      tool, Episode{start, start + duration, UsageEnvelope(duration, ramp)});
+}
+
+void ManipulationWorld::end(adl::ToolId tool, sim::TimePoint now) {
+  const auto it = active_.find(tool);
+  if (it == active_.end()) return;
+  if (it->second.end > now) it->second.end = now;
+}
+
+double ManipulationWorld::activation(adl::ToolId tool,
+                                     sim::TimePoint now) const {
+  const auto it = active_.find(tool);
+  if (it == active_.end()) return 0.0;
+  const Episode& ep = it->second;
+  if (now < ep.start || now > ep.end) return 0.0;
+  return ep.envelope.activation(now - ep.start);
+}
+
+bool ManipulationWorld::in_use(adl::ToolId tool, sim::TimePoint now) const {
+  const auto it = active_.find(tool);
+  if (it == active_.end()) return false;
+  return now >= it->second.start && now <= it->second.end;
+}
+
+void ManipulationWorld::garbage_collect(sim::TimePoint now) {
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.end < now) {
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace coreda::sensors

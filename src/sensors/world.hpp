@@ -1,0 +1,48 @@
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "adl/types.hpp"
+#include "sensors/envelope.hpp"
+#include "sim/time.hpp"
+
+namespace coreda::sensors {
+
+/// The shared physical state the sensor nodes observe: which tools are being
+/// manipulated right now and how far each manipulation has progressed.
+///
+/// The patient model writes manipulations into the world; each PAVENET
+/// node's firmware tick reads back the activation of its own tool. This is
+/// the seam that replaces "a real person handling real tools" in the paper's
+/// deployment — see DESIGN.md §2.
+class ManipulationWorld {
+ public:
+  /// Starts (or restarts) a manipulation of `tool` lasting `duration`.
+  /// `ramp` defaults to a 0.5 s grip transition, capped by the envelope to
+  /// half the duration.
+  void begin(adl::ToolId tool, sim::TimePoint start, sim::Duration duration,
+             sim::Duration ramp = sim::Duration::seconds(0.5));
+
+  /// Ends any in-progress manipulation of `tool` early.
+  void end(adl::ToolId tool, sim::TimePoint now);
+
+  /// Envelope activation of `tool` at `now`, in [0, 1]; 0 when idle.
+  double activation(adl::ToolId tool, sim::TimePoint now) const;
+
+  /// Whether `tool` has a manipulation covering `now`.
+  bool in_use(adl::ToolId tool, sim::TimePoint now) const;
+
+  /// Drops episodes that ended before `now` (bounded memory on long runs).
+  void garbage_collect(sim::TimePoint now);
+
+ private:
+  struct Episode {
+    sim::TimePoint start;
+    sim::TimePoint end;
+    UsageEnvelope envelope;
+  };
+  std::map<adl::ToolId, Episode> active_;
+};
+
+}  // namespace coreda::sensors

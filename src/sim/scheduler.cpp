@@ -1,0 +1,75 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace coreda::sim {
+
+EventHandle Scheduler::schedule_at(TimePoint when, Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Scheduler::schedule_at: time is in the past");
+  }
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, flag, std::move(fn)});
+  return EventHandle(std::move(flag));
+}
+
+EventHandle Scheduler::schedule_after(Duration delay, Callback fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Scheduler::schedule_periodic(Duration period, Callback fn) {
+  if (period <= Duration()) {
+    throw std::invalid_argument(
+        "Scheduler::schedule_periodic: period must be positive");
+  }
+  auto flag = std::make_shared<bool>(false);
+  // The repeater reschedules itself unless the shared flag was set. Each
+  // iteration registers a fresh queue entry guarded by the same flag, so one
+  // cancel() stops the whole series.
+  auto repeat = std::make_shared<std::function<void()>>();
+  *repeat = [this, period, flag, fn = std::move(fn), repeat]() {
+    fn();
+    if (!*flag) {
+      queue_.push(Event{now_ + period, next_seq_++, flag, *repeat});
+    }
+  };
+  queue_.push(Event{now_ + period, next_seq_++, flag, *repeat});
+  return EventHandle(std::move(flag));
+}
+
+bool Scheduler::fire_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t fired = 0;
+  while (fired < limit && fire_next()) ++fired;
+  return fired;
+}
+
+std::size_t Scheduler::run_until(TimePoint deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled events without advancing the clock.
+    const Event& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    if (fire_next()) ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+}  // namespace coreda::sim

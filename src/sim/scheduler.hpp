@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace coreda::sim {
+
+/// Handle to a scheduled event; lets the owner cancel it before it fires.
+///
+/// Copyable (shared ownership of the cancellation flag). A default-
+/// constructed handle refers to nothing and is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Safe to call repeatedly and after the
+  /// event has already fired.
+  void cancel() noexcept {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  bool valid() const noexcept { return cancelled_ != nullptr; }
+  bool cancelled() const noexcept { return cancelled_ && *cancelled_; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// Deterministic single-threaded discrete-event scheduler.
+///
+/// Events at equal timestamps fire in insertion order (a monotonically
+/// increasing sequence number breaks ties), which keeps co-scheduled
+/// periodic tasks — e.g. many PAVENET firmware ticks — deterministic.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `when`. Scheduling in the past is a
+  /// programming error and throws std::invalid_argument.
+  EventHandle schedule_at(TimePoint when, Callback fn);
+
+  /// Schedules `fn` `delay` after the current virtual time.
+  EventHandle schedule_after(Duration delay, Callback fn);
+
+  /// Schedules `fn` every `period`, first firing at now + period.
+  /// Cancel via the returned handle to stop the series.
+  EventHandle schedule_periodic(Duration period, Callback fn);
+
+  /// Runs events until the queue is empty or `limit` events have fired.
+  /// Returns the number of events fired.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamps <= deadline, then advances the clock to the
+  /// deadline. Returns the number of events fired.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Runs for `span` of virtual time from the current instant.
+  std::size_t run_for(Duration span) { return run_until(now_ + span); }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    std::shared_ptr<bool> cancelled;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace coreda::sim

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace coreda::sim {
+
+/// Virtual-time duration with microsecond resolution.
+///
+/// The simulation kernel runs entirely in virtual time so experiment results
+/// never depend on host scheduling. A dedicated type (rather than
+/// std::chrono) keeps the arithmetic explicit and the event queue POD-cheap.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  static constexpr Duration micros(std::int64_t us) noexcept {
+    return Duration(us);
+  }
+  static constexpr Duration millis(std::int64_t ms) noexcept {
+    return Duration(ms * 1000);
+  }
+  static constexpr Duration seconds(double s) noexcept {
+    return Duration(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr Duration minutes(double m) noexcept {
+    return seconds(m * 60.0);
+  }
+
+  constexpr std::int64_t total_micros() const noexcept { return us_; }
+  constexpr double to_seconds() const noexcept {
+    return static_cast<double>(us_) * 1e-6;
+  }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+  constexpr Duration operator+(Duration d) const noexcept {
+    return Duration(us_ + d.us_);
+  }
+  constexpr Duration operator-(Duration d) const noexcept {
+    return Duration(us_ - d.us_);
+  }
+  constexpr Duration operator*(double k) const noexcept {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(us_) * k));
+  }
+  constexpr Duration operator/(std::int64_t k) const noexcept {
+    return Duration(us_ / k);
+  }
+  constexpr Duration& operator+=(Duration d) noexcept {
+    us_ += d.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) noexcept {
+    us_ -= d.us_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) noexcept : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// Virtual-time instant (microseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() noexcept = default;
+
+  static constexpr TimePoint origin() noexcept { return TimePoint(); }
+  static constexpr TimePoint from_micros(std::int64_t us) noexcept {
+    TimePoint t;
+    t.us_ = us;
+    return t;
+  }
+  static constexpr TimePoint from_seconds(double s) noexcept {
+    return from_micros(static_cast<std::int64_t>(s * 1e6));
+  }
+
+  constexpr std::int64_t total_micros() const noexcept { return us_; }
+  constexpr double to_seconds() const noexcept {
+    return static_cast<double>(us_) * 1e-6;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const noexcept = default;
+
+  constexpr TimePoint operator+(Duration d) const noexcept {
+    return from_micros(us_ + d.total_micros());
+  }
+  constexpr TimePoint operator-(Duration d) const noexcept {
+    return from_micros(us_ - d.total_micros());
+  }
+  constexpr Duration operator-(TimePoint other) const noexcept {
+    return Duration::micros(us_ - other.us_);
+  }
+
+ private:
+  std::int64_t us_ = 0;
+};
+
+}  // namespace coreda::sim

@@ -1,0 +1,44 @@
+#include "trace/dataset.hpp"
+
+namespace coreda::trace {
+
+DatasetBuilder::DatasetBuilder(const adl::AdlLibrary& library,
+                               patient::PatientProfile profile,
+                               std::uint64_t seed)
+    : library_(&library), profile_(std::move(profile)), rng_(seed) {}
+
+std::vector<std::vector<adl::StepId>> DatasetBuilder::clean_training_set(
+    const adl::Adl& adl, std::size_t count) {
+  patient::BehaviorGenerator gen(adl, library_->tools(), profile_,
+                                 rng_.fork());
+  std::vector<std::vector<adl::StepId>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(gen.clean_steps());
+  return out;
+}
+
+std::vector<std::vector<adl::StepId>> DatasetBuilder::sensed_training_set(
+    const adl::Adl& adl, std::size_t count,
+    const SensingPipeline::Params& params) {
+  patient::BehaviorGenerator gen(adl, library_->tools(), profile_,
+                                 rng_.fork());
+  SensingPipeline pipeline(library_->tools(), adl.tools(), rng_(), params);
+  std::vector<std::vector<adl::StepId>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(pipeline.run(gen.timed_episode()).extracted);
+  }
+  return out;
+}
+
+std::vector<std::vector<patient::TimedStep>> DatasetBuilder::timed_set(
+    const adl::Adl& adl, std::size_t count) {
+  patient::BehaviorGenerator gen(adl, library_->tools(), profile_,
+                                 rng_.fork());
+  std::vector<std::vector<patient::TimedStep>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(gen.timed_episode());
+  return out;
+}
+
+}  // namespace coreda::trace

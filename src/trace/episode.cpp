@@ -1,0 +1,71 @@
+#include "trace/episode.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace coreda::trace {
+
+std::vector<adl::StepId> Episode::step_ids() const {
+  std::vector<adl::StepId> out;
+  out.reserve(records.size());
+  for (const StepRecord& r : records) out.push_back(r.tool);
+  return out;
+}
+
+sim::Duration Episode::total_duration() const {
+  if (records.empty()) return sim::Duration();
+  const StepRecord& last = records.back();
+  return (last.start + last.duration) - records.front().start;
+}
+
+void write_episodes_csv(std::ostream& out, const std::vector<Episode>& eps) {
+  util::CsvWriter csv(out);
+  csv.header({"adl", "episode", "tool", "start_us", "duration_us"});
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    for (const StepRecord& r : eps[i].records) {
+      csv.field(eps[i].adl_name)
+          .field(static_cast<std::uint64_t>(i))
+          .field(static_cast<std::uint64_t>(r.tool))
+          .field(r.start.total_micros())
+          .field(r.duration.total_micros());
+      csv.end_row();
+    }
+  }
+}
+
+std::vector<Episode> read_episodes_csv(std::istream& in) {
+  std::vector<Episode> out;
+  std::map<std::size_t, std::size_t> index_map;  // csv episode -> out index
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    const auto fields = util::parse_csv_line(line);
+    if (fields.size() != 5) {
+      throw std::runtime_error("read_episodes_csv: malformed row");
+    }
+    const auto ep_index = static_cast<std::size_t>(std::stoull(fields[1]));
+    auto [it, inserted] = index_map.try_emplace(ep_index, out.size());
+    if (inserted) {
+      out.push_back(Episode{fields[0], {}});
+    }
+    Episode& ep = out[it->second];
+    StepRecord r;
+    r.tool = static_cast<adl::ToolId>(std::stoul(fields[2]));
+    r.start = sim::TimePoint::from_micros(std::stoll(fields[3]));
+    r.duration = sim::Duration::micros(std::stoll(fields[4]));
+    ep.records.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace coreda::trace

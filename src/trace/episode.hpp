@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "adl/types.hpp"
+#include "sim/time.hpp"
+
+namespace coreda::trace {
+
+/// One tool manipulation inside a recorded episode.
+struct StepRecord {
+  adl::ToolId tool = adl::kNoTool;
+  sim::TimePoint start;
+  sim::Duration duration;
+};
+
+/// A recorded ADL process: the unit the paper calls a "training sample"
+/// (§3.2: "one training sample is a complete process of an ADL").
+struct Episode {
+  std::string adl_name;
+  std::vector<StepRecord> records;
+
+  /// The bare StepId sequence the planner trains on.
+  std::vector<adl::StepId> step_ids() const;
+
+  sim::Duration total_duration() const;
+};
+
+/// Serializes episodes as CSV (one row per step record) and reads them
+/// back. Format: adl,episode_index,tool,start_us,duration_us.
+void write_episodes_csv(std::ostream& out, const std::vector<Episode>& eps);
+std::vector<Episode> read_episodes_csv(std::istream& in);
+
+}  // namespace coreda::trace

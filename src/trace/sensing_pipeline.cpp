@@ -1,0 +1,95 @@
+#include "trace/sensing_pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "pavenet/base_station.hpp"
+#include "pavenet/node.hpp"
+#include "sensors/world.hpp"
+#include "sim/scheduler.hpp"
+
+namespace coreda::trace {
+
+SensingPipeline::SensingPipeline(const adl::ToolRegistry& tools,
+                                 std::vector<adl::ToolId> instrumented,
+                                 std::uint64_t seed)
+    : SensingPipeline(tools, std::move(instrumented), seed, Params{}) {}
+
+SensingPipeline::SensingPipeline(const adl::ToolRegistry& tools,
+                                 std::vector<adl::ToolId> instrumented,
+                                 std::uint64_t seed, Params params)
+    : tools_(&tools),
+      instrumented_(std::move(instrumented)),
+      seeder_(seed),
+      params_(params) {}
+
+SensedResult SensingPipeline::run(
+    const std::vector<patient::TimedStep>& script) {
+  sim::Scheduler scheduler;
+  sensors::ManipulationWorld world;
+  pavenet::RadioChannel channel(scheduler, seeder_.fork(), params_.radio);
+  pavenet::BaseStation station(scheduler, channel);
+
+  std::vector<std::unique_ptr<pavenet::PavenetNode>> nodes;
+  nodes.reserve(instrumented_.size());
+  for (adl::ToolId id : instrumented_) {
+    nodes.push_back(std::make_unique<pavenet::PavenetNode>(
+        tools_->at(id), scheduler, world, channel, seeder_.fork(),
+        params_.firmware));
+    nodes.back()->power_on();
+  }
+
+  // Script the manipulations onto the virtual timeline.
+  sim::TimePoint cursor = sim::TimePoint::origin();
+  std::map<adl::ToolId, std::size_t> scripted;  // tool -> manipulations
+  for (const patient::TimedStep& step : script) {
+    cursor = cursor + step.think;
+    const sim::TimePoint start = cursor;
+    scheduler.schedule_at(start, [&world, tool = step.tool, start,
+                                  duration = step.manipulation] {
+      world.begin(tool, start, duration);
+    });
+    ++scripted[step.tool];
+    cursor = cursor + step.manipulation;
+  }
+
+  scheduler.run_until(cursor + params_.drain);
+
+  // Power the nodes down so their periodic ticks cannot outlive this call.
+  for (auto& node : nodes) node->power_off();
+
+  SensedResult result;
+  result.radio = channel.stats();
+
+  std::map<adl::ToolId, std::size_t> extracted_count;
+  for (const pavenet::ToolUsageEvent& ep : station.episodes()) {
+    if (result.extracted.empty() || result.extracted.back() != ep.tool) {
+      result.extracted.push_back(ep.tool);
+    }
+    ++extracted_count[ep.tool];
+  }
+
+  for (const auto& [tool, n] : scripted) {
+    const std::size_t seen = extracted_count.count(tool)
+                                 ? extracted_count[tool]
+                                 : 0;
+    result.missed += seen < n ? n - seen : 0;
+  }
+  for (const auto& [tool, n] : extracted_count) {
+    const std::size_t expected =
+        scripted.count(tool) ? scripted[tool] : 0;
+    result.spurious += n > expected ? n - expected : 0;
+  }
+  return result;
+}
+
+bool SensingPipeline::single_tool_trial(adl::ToolId tool,
+                                        sim::Duration duration) {
+  const SensedResult result = run({patient::TimedStep{
+      tool, sim::Duration::seconds(1.0), duration}});
+  return std::find(result.extracted.begin(), result.extracted.end(), tool) !=
+         result.extracted.end();
+}
+
+}  // namespace coreda::trace

@@ -1,0 +1,103 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+
+namespace coreda::util {
+
+namespace {
+
+bool needs_quoting(std::string_view value) {
+  return value.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void write_escaped(std::ostream& out, std::string_view value) {
+  if (!needs_quoting(value)) {
+    out << value;
+    return;
+  }
+  out << '"';
+  for (char c : value) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  for (std::string_view c : columns) field(c);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  separator();
+  write_escaped(*out_, value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return field(std::string_view(buf, res.ptr - buf));
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return field(std::string_view(buf, res.ptr - buf));
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return field(std::string_view(buf, res.ptr - buf));
+}
+
+void CsvWriter::separator() {
+  if (row_open_) {
+    *out_ << ',';
+  } else {
+    row_open_ = true;
+  }
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace coreda::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coreda::util {
+
+/// Minimal RFC-4180-ish CSV writer over an std::ostream the caller owns.
+///
+/// Fields containing commas, quotes, or newlines are quoted; embedded quotes
+/// are doubled. Numeric overloads format with enough precision to round-trip.
+class CsvWriter {
+ public:
+  /// The stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes a header row from column names.
+  void header(std::initializer_list<std::string_view> columns);
+
+  CsvWriter& field(std::string_view value);
+  /// Without this overload a string literal would prefer the bool overload
+  /// (pointer-to-bool is a standard conversion; to string_view is not).
+  CsvWriter& field(const char* value) {
+    return field(std::string_view(value));
+  }
+  CsvWriter& field(double value);
+  CsvWriter& field(std::int64_t value);
+  CsvWriter& field(std::uint64_t value);
+  CsvWriter& field(int value) { return field(static_cast<std::int64_t>(value)); }
+  CsvWriter& field(unsigned value) {
+    return field(static_cast<std::uint64_t>(value));
+  }
+  CsvWriter& field(bool value) {
+    return field(std::string_view(value ? "true" : "false"));
+  }
+
+  /// Terminates the current row.
+  void end_row();
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void separator();
+
+  std::ostream* out_;
+  bool row_open_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Splits one CSV line into unescaped fields (for loading recorded traces).
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+}  // namespace coreda::util

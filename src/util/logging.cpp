@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+namespace coreda::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, std::string_view message) const {
+  if (!enabled(level)) return;
+  sink_(level, component_, message);
+}
+
+Logger::Sink Logger::stream_sink(std::ostream& out) {
+  return [&out](LogLevel level, std::string_view component,
+                std::string_view message) {
+    out << '[' << to_string(level) << "] " << component << ": " << message
+        << '\n';
+  };
+}
+
+}  // namespace coreda::util

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace coreda::util {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Lightweight leveled logger. Each subsystem holds its own Logger tagged
+/// with a component name; output goes to a caller-provided sink (default:
+/// discard — the simulators are run inside benchmarks where stdout noise
+/// would corrupt the tables, so logging is opt-in).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  explicit Logger(std::string component, LogLevel level = LogLevel::kOff)
+      : component_(std::move(component)), level_(level) {}
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  bool enabled(LogLevel level) const noexcept {
+    return sink_ && level >= level_ && level_ != LogLevel::kOff;
+  }
+
+  void log(LogLevel level, std::string_view message) const;
+
+  template <typename... Args>
+  void logf(LogLevel level, const Args&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log(level, os.str());
+  }
+
+  template <typename... Args>
+  void info(const Args&... args) const {
+    logf(LogLevel::kInfo, args...);
+  }
+  template <typename... Args>
+  void debug(const Args&... args) const {
+    logf(LogLevel::kDebug, args...);
+  }
+  template <typename... Args>
+  void warn(const Args&... args) const {
+    logf(LogLevel::kWarn, args...);
+  }
+  template <typename... Args>
+  void error(const Args&... args) const {
+    logf(LogLevel::kError, args...);
+  }
+
+  /// A sink that writes "[LEVEL] component: message" lines to a stream.
+  /// The stream must outlive every logger using the sink.
+  static Sink stream_sink(std::ostream& out);
+
+ private:
+  std::string component_;
+  LogLevel level_;
+  Sink sink_;
+};
+
+}  // namespace coreda::util

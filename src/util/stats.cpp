@@ -1,0 +1,121 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coreda::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double x : samples_) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+void ConfusionMatrix::record(std::uint32_t actual, std::uint32_t predicted) {
+  ++cells_[{actual, predicted}];
+  ++total_;
+  if (actual == predicted) ++diagonal_;
+}
+
+std::size_t ConfusionMatrix::count(std::uint32_t actual,
+                                   std::uint32_t predicted) const {
+  const auto it = cells_.find({actual, predicted});
+  return it != cells_.end() ? it->second : 0;
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  return total_ > 0 ? static_cast<double>(diagonal_) / total_ : 0.0;
+}
+
+double ConfusionMatrix::precision_for(std::uint32_t label) const {
+  std::size_t tp = 0;
+  std::size_t predicted = 0;
+  for (const auto& [key, n] : cells_) {
+    if (key.second == label) {
+      predicted += n;
+      if (key.first == label) tp += n;
+    }
+  }
+  return predicted > 0 ? static_cast<double>(tp) / predicted : 0.0;
+}
+
+double ConfusionMatrix::recall_for(std::uint32_t label) const {
+  std::size_t tp = 0;
+  std::size_t actual = 0;
+  for (const auto& [key, n] : cells_) {
+    if (key.first == label) {
+      actual += n;
+      if (key.second == label) tp += n;
+    }
+  }
+  return actual > 0 ? static_cast<double>(tp) / actual : 0.0;
+}
+
+}  // namespace coreda::util

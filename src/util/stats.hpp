@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace coreda::util {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains all samples; supports exact percentiles.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  double stddev() const noexcept;
+  /// Exact percentile by linear interpolation; p in [0, 100].
+  /// Returns 0 for an empty set.
+  double percentile(double p) const;
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Binary-outcome counter with precision/recall/accuracy accessors.
+///
+/// Used for detector hit rates (Table 3) and prediction precision (Table 4).
+class PrecisionCounter {
+ public:
+  void record(bool correct) noexcept {
+    ++total_;
+    if (correct) ++correct_;
+  }
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t correct() const noexcept { return correct_; }
+  /// Fraction correct in [0, 1]; 0 when empty.
+  double precision() const noexcept {
+    return total_ > 0 ? static_cast<double>(correct_) / total_ : 0.0;
+  }
+
+ private:
+  std::size_t total_ = 0;
+  std::size_t correct_ = 0;
+};
+
+/// Multi-class confusion matrix keyed by integer labels.
+class ConfusionMatrix {
+ public:
+  void record(std::uint32_t actual, std::uint32_t predicted);
+  std::size_t count(std::uint32_t actual, std::uint32_t predicted) const;
+  std::size_t total() const noexcept { return total_; }
+  double accuracy() const noexcept;
+  /// Per-class precision: TP / (TP + FP). 0 when the class was never
+  /// predicted.
+  double precision_for(std::uint32_t label) const;
+  /// Per-class recall: TP / (TP + FN). 0 when the class never occurred.
+  double recall_for(std::uint32_t label) const;
+
+ private:
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> cells_;
+  std::size_t total_ = 0;
+  std::size_t diagonal_ = 0;
+};
+
+}  // namespace coreda::util

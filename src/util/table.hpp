@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coreda::util {
+
+/// ASCII table renderer used by the benchmark harnesses to print
+/// paper-style tables (Tables 1-4) to stdout.
+///
+/// Columns are sized to fit the widest cell; the first row added via
+/// set_header() is separated from the body by a rule.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table, including the optional title line.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a fraction in [0, 1] as a percentage like "95%" or "87.5%".
+std::string format_percent(double fraction, int decimals = 0);
+
+/// Formats a double with fixed decimals (no trailing-zero stripping).
+std::string format_fixed(double value, int decimals);
+
+}  // namespace coreda::util

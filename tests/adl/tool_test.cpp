@@ -1,0 +1,70 @@
+#include "adl/tool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::adl {
+namespace {
+
+Tool tool(ToolId id, std::string name) {
+  Tool t;
+  t.id = id;
+  t.name = std::move(name);
+  return t;
+}
+
+TEST(ToolRegistryTest, AddAndFind) {
+  ToolRegistry reg;
+  reg.add(tool(5, "kettle"));
+  ASSERT_NE(reg.find(5), nullptr);
+  EXPECT_EQ(reg.find(5)->name, "kettle");
+  EXPECT_EQ(reg.find(6), nullptr);
+  EXPECT_TRUE(reg.contains(5));
+  EXPECT_FALSE(reg.contains(6));
+}
+
+TEST(ToolRegistryTest, AtThrowsOnMissing) {
+  ToolRegistry reg;
+  EXPECT_THROW(reg.at(1), std::out_of_range);
+  reg.add(tool(1, "x"));
+  EXPECT_NO_THROW(reg.at(1));
+}
+
+TEST(ToolRegistryTest, RejectsReservedId) {
+  ToolRegistry reg;
+  EXPECT_THROW(reg.add(tool(0, "bad")), std::invalid_argument);
+}
+
+TEST(ToolRegistryTest, RejectsDuplicateId) {
+  ToolRegistry reg;
+  reg.add(tool(3, "a"));
+  EXPECT_THROW(reg.add(tool(3, "b")), std::invalid_argument);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ToolRegistryTest, FindByName) {
+  ToolRegistry reg;
+  reg.add(tool(1, "kettle"));
+  reg.add(tool(2, "tea cup"));
+  ASSERT_NE(reg.find_by_name("tea cup"), nullptr);
+  EXPECT_EQ(reg.find_by_name("tea cup")->id, 2);
+  EXPECT_EQ(reg.find_by_name("Tea Cup"), nullptr);  // case-sensitive
+  EXPECT_EQ(reg.find_by_name("missing"), nullptr);
+}
+
+TEST(SensorKindTest, Names) {
+  EXPECT_EQ(to_string(SensorKind::kAccelerometer), "3-axis accelerometer");
+  EXPECT_EQ(to_string(SensorKind::kPressure), "pressure");
+  EXPECT_EQ(to_string(SensorKind::kMotion), "motion");
+  EXPECT_EQ(to_string(SensorKind::kBrightness), "brightness");
+  EXPECT_EQ(to_string(SensorKind::kTemperature), "temperature");
+}
+
+TEST(ToolTest, DefaultsAreSane) {
+  Tool t;
+  EXPECT_EQ(t.id, kNoTool);
+  EXPECT_GT(t.typical_usage_mean.to_seconds(), 0.0);
+  EXPECT_GT(t.usage_intensity, 0.0);
+}
+
+}  // namespace
+}  // namespace coreda::adl

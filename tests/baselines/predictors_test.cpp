@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "baselines/markov.hpp"
+#include "baselines/mdp_planner.hpp"
+#include "baselines/predictor.hpp"
+#include "baselines/td_adapter.hpp"
+
+namespace coreda::baselines {
+namespace {
+
+namespace T = adl::tools;
+
+std::vector<adl::StepId> tea() {
+  return {T::kTeaBox, T::kElectricPot, T::kKettle, T::kTeaCup};
+}
+
+TEST(OraclePredictorTest, ReadsRoutine) {
+  adl::AdlLibrary lib;
+  OraclePredictor oracle(lib.tea_making().primary_routine());
+  EXPECT_EQ(oracle.predict(0, T::kTeaBox), T::kElectricPot);
+  EXPECT_EQ(oracle.predict(T::kKettle, T::kTeaCup), std::nullopt);
+  EXPECT_EQ(oracle.name(), "oracle");
+}
+
+TEST(MarkovChainTest, LearnsFirstOrderTransitions) {
+  MarkovChainPredictor markov;
+  const auto steps = tea();
+  for (int i = 0; i < 10; ++i) markov.train(steps);
+  EXPECT_EQ(markov.predict(0, T::kTeaBox), T::kElectricPot);
+  EXPECT_EQ(markov.predict(0, T::kKettle), T::kTeaCup);
+  EXPECT_EQ(markov.transitions_seen(), 30u);
+}
+
+TEST(MarkovChainTest, UnseenContextHasNoOpinion) {
+  MarkovChainPredictor markov;
+  markov.train(tea());
+  EXPECT_EQ(markov.predict(0, 99), std::nullopt);
+}
+
+TEST(MarkovChainTest, MajorityWinsOnConflict) {
+  MarkovChainPredictor markov;
+  const std::vector<adl::StepId> a{1, 2, 3};
+  const std::vector<adl::StepId> b{1, 2, 4};
+  markov.train(a);
+  markov.train(a);
+  markov.train(b);
+  EXPECT_EQ(markov.predict(1, 2), 3);
+}
+
+TEST(MarkovChainTest, BlindToSecondOrderContext) {
+  // Two interleaved routines sharing a state: first-order counts cannot
+  // separate them — the structural weakness vs. the paper's pair state.
+  MarkovChainPredictor markov;
+  const std::vector<adl::StepId> r1{1, 2, 3};
+  const std::vector<adl::StepId> r2{4, 2, 5};
+  for (int i = 0; i < 10; ++i) {
+    markov.train(r1);
+    markov.train(r2);
+  }
+  // Whatever it answers from "2", it is wrong for one of the routines,
+  // and the answer cannot depend on prev.
+  EXPECT_EQ(markov.predict(1, 2), markov.predict(4, 2));
+}
+
+TEST(BigramTest, UsesPairContext) {
+  BigramPredictor bigram;
+  const std::vector<adl::StepId> r1{1, 2, 3};
+  const std::vector<adl::StepId> r2{4, 2, 5};
+  for (int i = 0; i < 10; ++i) {
+    bigram.train(r1);
+    bigram.train(r2);
+  }
+  EXPECT_EQ(bigram.predict(1, 2), 3);
+  EXPECT_EQ(bigram.predict(4, 2), 5);
+}
+
+TEST(BigramTest, FirstTransitionUsesIdlePrev) {
+  BigramPredictor bigram;
+  bigram.train(tea());
+  EXPECT_EQ(bigram.predict(adl::kIdleStep, T::kTeaBox), T::kElectricPot);
+}
+
+TEST(MdpPlannerTest, SolvesTeaRoutine) {
+  adl::AdlLibrary lib;
+  MdpPlanner mdp(lib.tea_making());
+  const auto steps = tea();
+  for (int i = 0; i < 30; ++i) mdp.train(steps);
+  EXPECT_EQ(mdp.predict(0, T::kTeaBox), T::kElectricPot);
+  EXPECT_EQ(mdp.predict(T::kTeaBox, T::kElectricPot), T::kKettle);
+  EXPECT_EQ(mdp.predict(T::kElectricPot, T::kKettle), T::kTeaCup);
+}
+
+TEST(MdpPlannerTest, NoOpinionWithoutData) {
+  adl::AdlLibrary lib;
+  MdpPlanner mdp(lib.tea_making());
+  EXPECT_EQ(mdp.predict(0, T::kTeaBox), std::nullopt);
+}
+
+TEST(MdpPlannerTest, ValueIterationConverges) {
+  adl::AdlLibrary lib;
+  MdpPlanner mdp(lib.tea_making());
+  for (int i = 0; i < 10; ++i) mdp.train(tea());
+  mdp.solve();
+  EXPECT_GT(mdp.sweeps_last_solve(), 0u);
+  EXPECT_LT(mdp.sweeps_last_solve(), 1000u);
+}
+
+TEST(MdpPlannerTest, HandlesNoisyMixture) {
+  adl::AdlLibrary lib;
+  MdpPlanner mdp(lib.tea_making());
+  const auto full = tea();
+  const std::vector<adl::StepId> noisy{T::kTeaBox, T::kKettle, T::kTeaCup};
+  for (int i = 0; i < 8; ++i) mdp.train(full);
+  for (int i = 0; i < 2; ++i) mdp.train(noisy);
+  // The majority path must win.
+  EXPECT_EQ(mdp.predict(0, T::kTeaBox), T::kElectricPot);
+}
+
+TEST(TdLambdaPredictorTest, MatchesLearnerBehaviour) {
+  adl::AdlLibrary lib;
+  TdLambdaPredictor td(lib.tea_making(), util::Rng(3));
+  const auto steps = tea();
+  for (int i = 0; i < 80; ++i) td.train(steps);
+  EXPECT_EQ(td.predict(0, T::kTeaBox), T::kElectricPot);
+  EXPECT_EQ(td.predict(T::kTeaBox, T::kElectricPot), T::kKettle);
+  EXPECT_EQ(td.name(), "td-lambda");
+}
+
+TEST(AllPredictorsTest, AgreeOnCleanSingleRoutine) {
+  adl::AdlLibrary lib;
+  const auto& adl = lib.tea_making();
+  MarkovChainPredictor markov;
+  BigramPredictor bigram;
+  MdpPlanner mdp(adl);
+  TdLambdaPredictor td(adl, util::Rng(4));
+  OraclePredictor oracle(adl.primary_routine());
+
+  const auto steps = tea();
+  std::vector<NextStepPredictor*> all{&markov, &bigram, &mdp, &td};
+  for (int i = 0; i < 100; ++i) {
+    for (auto* p : all) p->train(steps);
+  }
+
+  adl::StepId prev = adl::kIdleStep;
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    const auto expected = oracle.predict(prev, steps[i]);
+    for (auto* p : all) {
+      EXPECT_EQ(p->predict(prev, steps[i]), expected)
+          << p->name() << " at step " << i;
+    }
+    prev = steps[i];
+  }
+}
+
+}  // namespace
+}  // namespace coreda::baselines

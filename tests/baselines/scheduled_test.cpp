@@ -1,0 +1,82 @@
+#include "baselines/scheduled.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+
+namespace coreda::baselines {
+namespace {
+
+namespace T = adl::tools;
+using sim::Duration;
+
+struct ScheduledFixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  ScheduledReminderPlan trained_plan(double slack = 1.0) {
+    ScheduledReminderPlan plan(library.tea_making().primary_routine(),
+                               slack);
+    // Tea box at ~5 s, pot at ~15 s, kettle at ~20 s, cup at ~30 s.
+    for (int i = 0; i < 10; ++i) {
+      plan.observe_step(T::kTeaBox, Duration::seconds(5.0 + i * 0.1));
+      plan.observe_step(T::kElectricPot, Duration::seconds(15.0 + i * 0.1));
+      plan.observe_step(T::kKettle, Duration::seconds(20.0 + i * 0.1));
+      plan.observe_step(T::kTeaCup, Duration::seconds(30.0 + i * 0.1));
+    }
+    return plan;
+  }
+};
+
+TEST_F(ScheduledFixture, ScheduleFollowsRoutineOrder) {
+  const auto schedule = trained_plan().schedule();
+  ASSERT_EQ(schedule.size(), 4u);
+  EXPECT_EQ(schedule[0].tool, T::kTeaBox);
+  EXPECT_EQ(schedule[1].tool, T::kElectricPot);
+  EXPECT_EQ(schedule[2].tool, T::kKettle);
+  EXPECT_EQ(schedule[3].tool, T::kTeaCup);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].at, schedule[i - 1].at);
+  }
+}
+
+TEST_F(ScheduledFixture, OffsetsNearTrainedMeans) {
+  const auto schedule = trained_plan(/*slack=*/0.0).schedule();
+  EXPECT_NEAR(schedule[0].at.to_seconds(), 5.45, 0.1);
+  EXPECT_NEAR(schedule[3].at.to_seconds(), 30.45, 0.1);
+}
+
+TEST_F(ScheduledFixture, SlackPushesPromptsLater) {
+  const auto tight = trained_plan(0.0).schedule();
+  const auto loose = trained_plan(3.0).schedule();
+  for (std::size_t i = 0; i < tight.size(); ++i) {
+    EXPECT_GE(loose[i].at, tight[i].at);
+  }
+}
+
+TEST_F(ScheduledFixture, ForeignToolsIgnored) {
+  ScheduledReminderPlan plan(library.tea_making().primary_routine());
+  plan.observe_step(T::kToothbrush, Duration::seconds(5.0));
+  EXPECT_EQ(plan.observations(), 0u);
+}
+
+TEST_F(ScheduledFixture, UntrainedStepsGetFallbackSpacing) {
+  ScheduledReminderPlan plan(library.tea_making().primary_routine());
+  plan.observe_step(T::kTeaBox, Duration::seconds(5.0));
+  const auto schedule = plan.schedule();
+  ASSERT_EQ(schedule.size(), 4u);
+  // Untrained steps are spaced 30 s after the previous entry.
+  EXPECT_NEAR(schedule[1].at.to_seconds() - schedule[0].at.to_seconds(),
+              30.0, 1e-9);
+  EXPECT_NEAR(schedule[3].at.to_seconds() - schedule[2].at.to_seconds(),
+              30.0, 1e-9);
+}
+
+TEST_F(ScheduledFixture, FullyUntrainedStillProducesSchedule) {
+  ScheduledReminderPlan plan(library.tea_making().primary_routine());
+  const auto schedule = plan.schedule();
+  ASSERT_EQ(schedule.size(), 4u);
+  EXPECT_GT(schedule[0].at.to_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace coreda::baselines

@@ -1,0 +1,140 @@
+// Cross-cutting invariant checks: conservation laws and monotonicity
+// properties that must hold for any configuration.
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "pavenet/base_station.hpp"
+#include "pavenet/energy.hpp"
+#include "pavenet/node.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/sensing_pipeline.hpp"
+
+namespace coreda {
+namespace {
+
+namespace T = adl::tools;
+
+// ---------------------------------------------------------------------
+// Radio conservation: every transmitted frame is accounted for exactly
+// once across delivered / lost-to-noise / lost-to-collision /
+// undeliverable, for any loss probability.
+// ---------------------------------------------------------------------
+struct RadioConservation : ::testing::TestWithParam<double> {};
+
+TEST_P(RadioConservation, FramesAccountedExactlyOnce) {
+  const double loss = GetParam();
+  sim::Scheduler scheduler;
+  pavenet::RadioChannel::Params params;
+  params.loss_probability = loss;
+  pavenet::RadioChannel channel(scheduler, util::Rng(7), params);
+  int received = 0;
+  channel.attach_receiver(0, [&](const pavenet::Packet&) { ++received; });
+
+  util::Rng spacing(8);
+  sim::TimePoint cursor;
+  for (int i = 0; i < 500; ++i) {
+    // Random spacing: some frames overlap (collide), most do not.
+    cursor = cursor + sim::Duration::millis(spacing.uniform_int(0, 20));
+    scheduler.schedule_at(cursor, [&channel, i] {
+      pavenet::Packet p;
+      p.kind = pavenet::Packet::Kind::kToolUsage;
+      p.source_uid = static_cast<std::uint16_t>(1 + i % 5);
+      p.dest_uid = 0;
+      channel.transmit(p);
+    });
+  }
+  scheduler.run();
+
+  const pavenet::ChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.sent, 500u);
+  EXPECT_EQ(stats.sent, stats.delivered + stats.lost_noise +
+                            stats.lost_collision + stats.undeliverable);
+  EXPECT_EQ(static_cast<std::uint64_t>(received), stats.delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossLevels, RadioConservation,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0));
+
+// ---------------------------------------------------------------------
+// Energy monotonicity: more activity can only cost more energy.
+// ---------------------------------------------------------------------
+TEST(EnergyInvariants, ActivityNeverReducesEnergy) {
+  adl::AdlLibrary library;
+  auto run_with_usage = [&](int manipulations) {
+    sim::Scheduler scheduler;
+    sensors::ManipulationWorld world;
+    pavenet::RadioChannel channel(scheduler, util::Rng(3));
+    pavenet::BaseStation station(scheduler, channel);
+    pavenet::PavenetNode node(library.tools().at(T::kKettle), scheduler,
+                              world, channel, util::Rng(4));
+    node.power_on();
+    for (int i = 0; i < manipulations; ++i) {
+      const auto start = sim::TimePoint::from_seconds(10.0 + i * 30.0);
+      scheduler.schedule_at(start, [&world, start] {
+        world.begin(T::kKettle, start, sim::Duration::seconds(8.0));
+      });
+    }
+    scheduler.run_until(sim::TimePoint::from_seconds(300.0));
+    return estimate_energy(node, sim::Duration::seconds(300.0)).total_j();
+  };
+  const double idle = run_with_usage(0);
+  const double some = run_with_usage(3);
+  const double lots = run_with_usage(9);
+  EXPECT_LE(idle, some);
+  EXPECT_LE(some, lots);
+}
+
+// ---------------------------------------------------------------------
+// Sensing pipeline: extracted steps never exceed scripted manipulations
+// plus spurious count; missed + extracted episodes are consistent.
+// ---------------------------------------------------------------------
+struct PipelineAccounting : ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineAccounting, MissedPlusSeenCoversScript) {
+  adl::AdlLibrary library;
+  trace::SensingPipeline pipeline(library.tools(),
+                                  library.tea_making().tools(), GetParam());
+  std::vector<patient::TimedStep> script;
+  for (adl::ToolId tool : library.tea_making().tools()) {
+    script.push_back(patient::TimedStep{
+        tool, sim::Duration::seconds(4.0),
+        library.tools().at(tool).typical_usage_mean});
+  }
+  const trace::SensedResult result = pipeline.run(script);
+  // Each scripted manipulation is either extracted or missed.
+  EXPECT_LE(result.extracted.size(),
+            script.size() + result.spurious);
+  EXPECT_LE(result.missed, script.size());
+  EXPECT_GE(result.extracted.size() + result.missed, script.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineAccounting,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---------------------------------------------------------------------
+// Base station: episodes only ever grow, reports >= episodes.
+// ---------------------------------------------------------------------
+TEST(BaseStationInvariants, ReportsAtLeastEpisodes) {
+  adl::AdlLibrary library;
+  sim::Scheduler scheduler;
+  sensors::ManipulationWorld world;
+  pavenet::RadioChannel channel(scheduler, util::Rng(9));
+  pavenet::BaseStation station(scheduler, channel);
+  pavenet::PavenetNode node(library.tools().at(T::kToothbrush), scheduler,
+                            world, channel, util::Rng(10));
+  node.power_on();
+  const auto start = sim::TimePoint::from_seconds(5.0);
+  scheduler.schedule_at(start, [&world, start] {
+    world.begin(T::kToothbrush, start, sim::Duration::seconds(30.0));
+  });
+  scheduler.run_until(sim::TimePoint::from_seconds(60.0));
+
+  std::uint64_t reports = 0;
+  for (const auto& ep : station.episodes()) reports += ep.reports;
+  EXPECT_GE(reports, station.episodes().size());
+  EXPECT_EQ(reports, station.packets_received());
+}
+
+}  // namespace
+}  // namespace coreda

@@ -1,0 +1,164 @@
+#include "patient/actor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "sim/scheduler.hpp"
+
+namespace coreda::patient {
+namespace {
+
+namespace T = adl::tools;
+using Kind = PatientEvent::Kind;
+using sim::Duration;
+using sim::TimePoint;
+
+struct ActorFixture : ::testing::Test {
+  adl::AdlLibrary library;
+  sim::Scheduler scheduler;
+  sensors::ManipulationWorld world;
+
+  PatientActor make_actor(double severity, std::uint64_t seed = 1) {
+    return PatientActor(scheduler, world, library.tools(),
+                        PatientProfile::with_severity("T", severity),
+                        util::Rng(seed));
+  }
+
+  void run(double seconds) {
+    scheduler.run_until(TimePoint::origin() + Duration::seconds(seconds));
+  }
+};
+
+TEST_F(ActorFixture, HealthyPatientCompletesAlone) {
+  PatientActor actor = make_actor(0.0);
+  actor.begin(library.tea_making().primary_routine());
+  run(600.0);
+  EXPECT_TRUE(actor.finished());
+  EXPECT_EQ(actor.steps_completed(), 4u);
+  EXPECT_EQ(actor.events().back().kind, Kind::kFinishedAdl);
+}
+
+TEST_F(ActorFixture, ManipulationsAppearInWorld) {
+  PatientActor actor = make_actor(0.0);
+  actor.begin(library.tea_making().primary_routine());
+  bool saw_teabox = false;
+  while (!scheduler.empty() && !actor.finished()) {
+    scheduler.run(1);
+    if (world.in_use(T::kTeaBox, scheduler.now())) saw_teabox = true;
+  }
+  EXPECT_TRUE(saw_teabox);
+}
+
+TEST_F(ActorFixture, FrozenPatientWaitsForHelp) {
+  PatientActor actor = make_actor(0.0);
+  actor.force_next_decision(Kind::kFroze);
+  actor.begin(library.tea_making().primary_routine());
+  run(300.0);
+  EXPECT_FALSE(actor.finished());
+  EXPECT_TRUE(actor.waiting_for_help());
+  EXPECT_EQ(actor.steps_completed(), 0u);
+}
+
+TEST_F(ActorFixture, PromptUnfreezesCompliantPatient) {
+  PatientActor actor = make_actor(0.0);
+  actor.force_next_decision(Kind::kFroze);
+  actor.begin(library.tea_making().primary_routine());
+  run(60.0);
+  ASSERT_TRUE(actor.waiting_for_help());
+  actor.receive_prompt(T::kTeaBox, planning::RemindingLevel::kSpecific);
+  run(700.0);
+  EXPECT_TRUE(actor.finished());
+}
+
+TEST_F(ActorFixture, NonCompliantPatientIgnoresPrompt) {
+  PatientProfile profile = PatientProfile::with_severity("T", 0.0);
+  profile.comply_minimal = 0.0;
+  PatientActor actor(scheduler, world, library.tools(), profile,
+                     util::Rng(2));
+  actor.force_next_decision(Kind::kFroze);
+  actor.begin(library.tea_making().primary_routine());
+  run(60.0);
+  actor.receive_prompt(T::kTeaBox, planning::RemindingLevel::kMinimal);
+  run(120.0);
+  EXPECT_FALSE(actor.finished());
+  bool ignored = false;
+  for (const PatientEvent& ev : actor.events()) {
+    if (ev.kind == Kind::kIgnoredPrompt) ignored = true;
+  }
+  EXPECT_TRUE(ignored);
+}
+
+TEST_F(ActorFixture, WrongToolThenConfusion) {
+  PatientActor actor = make_actor(0.0);
+  actor.force_next_decision(Kind::kWrongTool, T::kTeaCup);
+  actor.begin(library.tea_making().primary_routine());
+  run(120.0);
+  EXPECT_TRUE(actor.waiting_for_help());
+  EXPECT_EQ(actor.steps_completed(), 0u);
+  EXPECT_EQ(actor.events()[0].kind, Kind::kWrongTool);
+  EXPECT_EQ(actor.events()[0].tool, T::kTeaCup);
+}
+
+TEST_F(ActorFixture, PromptDuringWrongManipulationActedOnAfter) {
+  // Pin the think time so the wrong manipulation is guaranteed to be in
+  // progress when the prompt lands (tea-cup handling lasts >= 2.4 s).
+  PatientProfile profile = PatientProfile::with_severity("T", 0.0);
+  profile.think_mean = sim::Duration::seconds(2.0);
+  profile.think_stddev = sim::Duration::seconds(0.0);
+  PatientActor actor(scheduler, world, library.tools(), profile,
+                     util::Rng(1));
+  actor.force_next_decision(Kind::kWrongTool, T::kTeaCup);
+  actor.begin(library.tea_making().primary_routine());
+  run(3.0);  // mid-manipulation of the wrong tool
+  actor.receive_prompt(T::kTeaBox, planning::RemindingLevel::kSpecific);
+  run(900.0);
+  EXPECT_TRUE(actor.finished());
+}
+
+TEST_F(ActorFixture, ForcedDecisionsConsumeInOrder) {
+  PatientActor actor = make_actor(0.0);
+  actor.force_next_decision(Kind::kStartedStep);
+  actor.force_next_decision(Kind::kFroze);
+  actor.begin(library.tea_making().primary_routine());
+  run(300.0);
+  EXPECT_EQ(actor.steps_completed(), 1u);
+  EXPECT_TRUE(actor.waiting_for_help());
+}
+
+TEST_F(ActorFixture, BeginResetsState) {
+  PatientActor actor = make_actor(0.0);
+  actor.begin(library.tea_making().primary_routine());
+  run(600.0);
+  ASSERT_TRUE(actor.finished());
+  actor.begin(library.tooth_brushing().primary_routine());
+  EXPECT_FALSE(actor.finished());
+  EXPECT_EQ(actor.steps_completed(), 0u);
+  EXPECT_TRUE(actor.events().empty());
+  run(1200.0);
+  EXPECT_TRUE(actor.finished());
+}
+
+TEST_F(ActorFixture, SeverePatientEventuallyErrs) {
+  PatientActor actor = make_actor(1.0, 3);
+  actor.begin(library.tea_making().primary_routine());
+  run(3600.0);
+  bool erred = false;
+  for (const PatientEvent& ev : actor.events()) {
+    if (ev.kind == Kind::kFroze || ev.kind == Kind::kWrongTool) erred = true;
+  }
+  EXPECT_TRUE(erred);
+}
+
+TEST_F(ActorFixture, PromptWhileFinishedIsIgnored) {
+  PatientActor actor = make_actor(0.0);
+  actor.begin(library.tea_making().primary_routine());
+  run(600.0);
+  ASSERT_TRUE(actor.finished());
+  const std::size_t events = actor.events().size();
+  actor.receive_prompt(T::kTeaBox, planning::RemindingLevel::kMinimal);
+  run(700.0);
+  EXPECT_EQ(actor.events().size(), events);
+}
+
+}  // namespace
+}  // namespace coreda::patient

@@ -1,0 +1,122 @@
+#include "patient/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adl/library.hpp"
+
+namespace coreda::patient {
+namespace {
+
+namespace T = adl::tools;
+
+struct GeneratorFixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  BehaviorGenerator make(const adl::Adl& adl, double severity,
+                         std::uint64_t seed) {
+    return BehaviorGenerator(adl, library.tools(),
+                             PatientProfile::with_severity("T", severity),
+                             util::Rng(seed));
+  }
+};
+
+TEST_F(GeneratorFixture, CleanStepsFollowRoutine) {
+  BehaviorGenerator gen = make(library.tea_making(), 0.0, 1);
+  const auto steps = gen.clean_steps();
+  EXPECT_EQ(steps, (std::vector<adl::StepId>{T::kTeaBox, T::kElectricPot,
+                                             T::kKettle, T::kTeaCup}));
+}
+
+TEST_F(GeneratorFixture, CleanStepsPickBothDressingRoutines) {
+  BehaviorGenerator gen = make(library.dressing(), 0.0, 2);
+  std::set<adl::StepId> first_steps;
+  for (int i = 0; i < 50; ++i) {
+    first_steps.insert(gen.clean_steps().front());
+  }
+  EXPECT_EQ(first_steps.size(), 2u);  // both routines sampled
+}
+
+TEST_F(GeneratorFixture, NoisyStepsAtZeroSeverityAreClean) {
+  BehaviorGenerator gen = make(library.tea_making(), 0.0, 3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(gen.noisy_steps().size(), 4u);
+  }
+}
+
+TEST_F(GeneratorFixture, NoisyStepsContainIntrusions) {
+  BehaviorGenerator gen = make(library.tea_making(), 1.0, 4);
+  bool saw_intrusion = false;
+  for (int i = 0; i < 50 && !saw_intrusion; ++i) {
+    if (gen.noisy_steps().size() > 4) saw_intrusion = true;
+  }
+  EXPECT_TRUE(saw_intrusion);
+}
+
+TEST_F(GeneratorFixture, NoisyStepsAlwaysEndWithFullRoutine) {
+  // Intrusions are inserted, never replace the correct steps.
+  BehaviorGenerator gen = make(library.tea_making(), 1.0, 5);
+  for (int i = 0; i < 30; ++i) {
+    const auto steps = gen.noisy_steps();
+    // Filter to the routine's tools in order: must equal the routine.
+    std::vector<adl::StepId> correct;
+    const std::vector<adl::StepId> routine{T::kTeaBox, T::kElectricPot,
+                                           T::kKettle, T::kTeaCup};
+    std::size_t expect_idx = 0;
+    for (adl::StepId s : steps) {
+      if (expect_idx < routine.size() && s == routine[expect_idx]) {
+        ++expect_idx;
+      }
+    }
+    EXPECT_EQ(expect_idx, routine.size());
+  }
+}
+
+TEST_F(GeneratorFixture, TimedEpisodeDurationsArePositive) {
+  BehaviorGenerator gen = make(library.tooth_brushing(), 0.3, 6);
+  const auto episode = gen.timed_episode();
+  ASSERT_EQ(episode.size(), 4u);
+  for (const TimedStep& step : episode) {
+    EXPECT_GT(step.think.to_seconds(), 0.0);
+    EXPECT_GT(step.manipulation.to_seconds(), 0.0);
+  }
+}
+
+TEST_F(GeneratorFixture, TimedDurationsScaleWithPace) {
+  BehaviorGenerator slow = make(library.tea_making(), 1.0, 7);
+  BehaviorGenerator fast = make(library.tea_making(), 0.0, 7);
+  double slow_total = 0.0;
+  double fast_total = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    for (const TimedStep& s : slow.timed_episode()) {
+      slow_total += s.manipulation.to_seconds();
+    }
+    for (const TimedStep& s : fast.timed_episode()) {
+      fast_total += s.manipulation.to_seconds();
+    }
+  }
+  EXPECT_GT(slow_total, fast_total);
+}
+
+TEST_F(GeneratorFixture, DeterministicPerSeed) {
+  BehaviorGenerator a = make(library.tea_making(), 0.5, 42);
+  BehaviorGenerator b = make(library.tea_making(), 0.5, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.noisy_steps(), b.noisy_steps());
+  }
+}
+
+TEST_F(GeneratorFixture, ManipulationHasDurationFloor) {
+  BehaviorGenerator gen = make(library.tea_making(), 0.0, 8);
+  for (int i = 0; i < 100; ++i) {
+    for (const TimedStep& s : gen.timed_episode()) {
+      const auto& tool = library.tools().at(s.tool);
+      EXPECT_GE(s.manipulation.to_seconds(),
+                tool.typical_usage_mean.to_seconds() * 0.4 - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coreda::patient

@@ -1,0 +1,53 @@
+#include "patient/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::patient {
+namespace {
+
+TEST(ProfileTest, SeverityZeroNeverErrs) {
+  const PatientProfile p = PatientProfile::with_severity("A", 0.0);
+  EXPECT_EQ(p.p_idle, 0.0);
+  EXPECT_EQ(p.p_wrong_tool, 0.0);
+  EXPECT_DOUBLE_EQ(p.pace, 1.0);
+}
+
+TEST(ProfileTest, ErrorRatesScaleWithSeverity) {
+  const PatientProfile mild = PatientProfile::with_severity("A", 0.2);
+  const PatientProfile severe = PatientProfile::with_severity("A", 0.9);
+  EXPECT_LT(mild.p_idle, severe.p_idle);
+  EXPECT_LT(mild.p_wrong_tool, severe.p_wrong_tool);
+  EXPECT_LT(mild.pace, severe.pace);
+}
+
+TEST(ProfileTest, SevereStillBoundedBelowHalf) {
+  const PatientProfile p = PatientProfile::with_severity("A", 1.0);
+  EXPECT_LE(p.p_idle + p.p_wrong_tool, 0.55);
+}
+
+TEST(ProfileTest, SpecificPromptsMoreReliable) {
+  for (double s : {0.0, 0.3, 0.7, 1.0}) {
+    const PatientProfile p = PatientProfile::with_severity("A", s);
+    EXPECT_GT(p.comply_specific, p.comply_minimal) << "severity " << s;
+  }
+}
+
+TEST(ProfileTest, ComplianceDegradesWithSeverity) {
+  const PatientProfile mild = PatientProfile::with_severity("A", 0.1);
+  const PatientProfile severe = PatientProfile::with_severity("A", 0.9);
+  EXPECT_GT(mild.comply_minimal, severe.comply_minimal);
+}
+
+TEST(ProfileTest, InvalidSeverityThrows) {
+  EXPECT_THROW(PatientProfile::with_severity("A", -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(PatientProfile::with_severity("A", 1.1),
+               std::invalid_argument);
+}
+
+TEST(ProfileTest, NamePreserved) {
+  EXPECT_EQ(PatientProfile::with_severity("Tanaka", 0.5).name, "Tanaka");
+}
+
+}  // namespace
+}  // namespace coreda::patient

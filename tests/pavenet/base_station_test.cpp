@@ -1,0 +1,129 @@
+#include "pavenet/base_station.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+
+namespace coreda::pavenet {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct StationFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  RadioChannel channel{scheduler, util::Rng(3)};
+  BaseStation station{scheduler, channel};
+  std::vector<std::pair<adl::ToolId, TimePoint>> usages;
+
+  StationFixture() {
+    station.add_listener([this](adl::ToolId tool, TimePoint at) {
+      usages.emplace_back(tool, at);
+    });
+  }
+
+  void announce(std::uint16_t uid, double at_seconds) {
+    scheduler.schedule_at(TimePoint::from_seconds(at_seconds), [this, uid] {
+      Packet p;
+      p.kind = Packet::Kind::kToolUsage;
+      p.source_uid = uid;
+      p.dest_uid = 0;
+      channel.transmit(p);
+    });
+  }
+};
+
+TEST_F(StationFixture, FirstAnnouncementOpensEpisode) {
+  announce(7, 1.0);
+  scheduler.run();
+  ASSERT_EQ(usages.size(), 1u);
+  EXPECT_EQ(usages[0].first, 7);
+  EXPECT_EQ(station.episodes().size(), 1u);
+  EXPECT_EQ(station.packets_received(), 1u);
+}
+
+TEST_F(StationFixture, BurstMergesIntoOneEpisode) {
+  announce(7, 1.0);
+  announce(7, 2.0);
+  announce(7, 3.0);
+  scheduler.run();
+  EXPECT_EQ(usages.size(), 1u);
+  ASSERT_EQ(station.episodes().size(), 1u);
+  EXPECT_EQ(station.episodes()[0].reports, 3u);
+}
+
+TEST_F(StationFixture, SilenceGapOpensNewEpisode) {
+  announce(7, 1.0);
+  announce(7, 10.0);  // > 3 s default merge gap
+  scheduler.run();
+  EXPECT_EQ(usages.size(), 2u);
+  EXPECT_EQ(station.episodes().size(), 2u);
+}
+
+TEST_F(StationFixture, DifferentToolsInterleave) {
+  announce(7, 1.0);
+  announce(8, 1.5);
+  announce(7, 2.0);
+  scheduler.run();
+  // Tool 7's second report merges into its episode; tool 8 is separate.
+  EXPECT_EQ(usages.size(), 2u);
+  EXPECT_EQ(usages[0].first, 7);
+  EXPECT_EQ(usages[1].first, 8);
+}
+
+TEST_F(StationFixture, CustomMergeGap) {
+  BaseStation::Params params;
+  params.merge_gap = Duration::seconds(0.5);
+  BaseStation tight(scheduler, channel, params);
+  int count = 0;
+  tight.add_listener([&](adl::ToolId, TimePoint) { ++count; });
+  announce(9, 1.0);
+  announce(9, 2.0);  // 1 s apart > 0.5 s gap -> two episodes
+  scheduler.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(StationFixture, LedCommandGoesOut) {
+  std::vector<Packet> node_rx;
+  channel.attach_receiver(5,
+                          [&](const Packet& p) { node_rx.push_back(p); });
+  station.send_led_command(5, LedColor::kGreen, 3);
+  scheduler.run();
+  ASSERT_EQ(node_rx.size(), 1u);
+  EXPECT_EQ(node_rx[0].kind, Packet::Kind::kLedCommand);
+  EXPECT_EQ(node_rx[0].blink_count, 3);
+}
+
+TEST_F(StationFixture, IgnoresNonUsagePackets) {
+  scheduler.schedule_at(TimePoint::from_seconds(1.0), [this] {
+    Packet p;
+    p.kind = Packet::Kind::kLedCommand;
+    p.source_uid = 7;
+    p.dest_uid = 0;
+    channel.transmit(p);
+  });
+  scheduler.run();
+  EXPECT_TRUE(usages.empty());
+  EXPECT_EQ(station.packets_received(), 0u);
+}
+
+TEST_F(StationFixture, MultipleListenersAllNotified) {
+  int second_count = 0;
+  station.add_listener([&](adl::ToolId, TimePoint) { ++second_count; });
+  announce(7, 1.0);
+  scheduler.run();
+  EXPECT_EQ(usages.size(), 1u);
+  EXPECT_EQ(second_count, 1);
+}
+
+TEST_F(StationFixture, EpisodeTimestampsTracked) {
+  announce(7, 1.0);
+  announce(7, 2.5);
+  scheduler.run();
+  const auto& ep = station.episodes()[0];
+  EXPECT_NEAR(ep.first_seen.to_seconds(), 1.0, 0.05);
+  EXPECT_NEAR(ep.last_seen.to_seconds(), 2.5, 0.05);
+}
+
+}  // namespace
+}  // namespace coreda::pavenet

@@ -1,0 +1,91 @@
+#include "pavenet/detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::pavenet {
+namespace {
+
+TEST(ThresholdDetectorTest, VotePassesWithEnoughHits) {
+  ThresholdDetector det(0.5, 10, 3);
+  bool decided = false;
+  for (int i = 0; i < 10; ++i) {
+    decided = det.add_sample(i < 3 ? 1.0 : 0.0);
+  }
+  EXPECT_TRUE(decided);
+}
+
+TEST(ThresholdDetectorTest, VoteFailsBelowThresholdCount) {
+  ThresholdDetector det(0.5, 10, 3);
+  bool decided = false;
+  for (int i = 0; i < 10; ++i) {
+    decided = det.add_sample(i < 2 ? 1.0 : 0.0);
+  }
+  EXPECT_FALSE(decided);
+}
+
+TEST(ThresholdDetectorTest, DecisionOnlyAtWindowBoundary) {
+  ThresholdDetector det(0.5, 10, 3);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(det.add_sample(1.0));  // all hits, but window incomplete
+  }
+  EXPECT_TRUE(det.add_sample(1.0));
+}
+
+TEST(ThresholdDetectorTest, WindowResetsAfterDecision) {
+  ThresholdDetector det(0.5, 10, 3);
+  for (int i = 0; i < 10; ++i) det.add_sample(1.0);
+  EXPECT_EQ(det.samples_in_window(), 0u);
+  EXPECT_EQ(det.pending_hits(), 0u);
+}
+
+TEST(ThresholdDetectorTest, ExactThresholdIsNotAHit) {
+  ThresholdDetector det(0.5, 10, 1);
+  bool decided = false;
+  for (int i = 0; i < 10; ++i) decided = det.add_sample(0.5);
+  EXPECT_FALSE(decided);  // strict > comparison
+}
+
+TEST(ThresholdDetectorTest, SingleBumpRejected) {
+  // The paper's motivation: an accidental knock produces one or two hot
+  // samples, which the 3-of-10 vote must reject.
+  ThresholdDetector det(0.5, 10, 3);
+  bool decided = false;
+  for (int i = 0; i < 10; ++i) {
+    decided = det.add_sample(i == 4 ? 5.0 : 0.1);
+  }
+  EXPECT_FALSE(decided);
+}
+
+TEST(ThresholdDetectorTest, ResetDropsPartialWindow) {
+  ThresholdDetector det(0.5, 10, 3);
+  for (int i = 0; i < 5; ++i) det.add_sample(1.0);
+  det.reset();
+  EXPECT_EQ(det.samples_in_window(), 0u);
+  bool decided = false;
+  for (int i = 0; i < 10; ++i) decided = det.add_sample(0.0);
+  EXPECT_FALSE(decided);
+}
+
+TEST(ThresholdDetectorTest, ConfigurableWindowAndVotes) {
+  ThresholdDetector det(0.5, 4, 4);
+  EXPECT_FALSE(det.add_sample(1.0));
+  EXPECT_FALSE(det.add_sample(1.0));
+  EXPECT_FALSE(det.add_sample(1.0));
+  EXPECT_TRUE(det.add_sample(1.0));
+}
+
+TEST(ThresholdDetectorTest, InvalidConfigThrows) {
+  EXPECT_THROW(ThresholdDetector(0.5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ThresholdDetector(0.5, 10, 0), std::invalid_argument);
+  EXPECT_THROW(ThresholdDetector(0.5, 10, 11), std::invalid_argument);
+}
+
+TEST(ThresholdDetectorTest, AccessorsReflectConfig) {
+  ThresholdDetector det(0.42, 8, 2);
+  EXPECT_DOUBLE_EQ(det.threshold(), 0.42);
+  EXPECT_EQ(det.window(), 8u);
+  EXPECT_EQ(det.votes_needed(), 2u);
+}
+
+}  // namespace
+}  // namespace coreda::pavenet

@@ -1,0 +1,74 @@
+#include "pavenet/eeprom.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::pavenet {
+namespace {
+
+EepromRecord rec(std::uint16_t uid, std::int64_t us) {
+  return EepromRecord{sim::TimePoint::from_micros(us), uid, 3};
+}
+
+TEST(EepromTest, CapacityFromBytes) {
+  Eeprom e(16 * 1024);
+  EXPECT_EQ(e.capacity_records(), 1024u);
+}
+
+TEST(EepromTest, TinyCapacityThrows) {
+  EXPECT_THROW(Eeprom(8), std::invalid_argument);
+}
+
+TEST(EepromTest, EmptyState) {
+  Eeprom e(1024);
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_FALSE(e.last().has_value());
+  EXPECT_TRUE(e.dump().empty());
+  EXPECT_FALSE(e.wrapped());
+}
+
+TEST(EepromTest, AppendAndDumpInOrder) {
+  Eeprom e(1024);
+  for (std::uint16_t i = 0; i < 5; ++i) e.append(rec(i, i * 10));
+  const auto all = e.dump();
+  ASSERT_EQ(all.size(), 5u);
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(all[i].uid, i);
+  }
+  EXPECT_EQ(e.last()->uid, 4);
+}
+
+TEST(EepromTest, WrapsKeepingNewest) {
+  Eeprom e(Eeprom::kRecordBytes * 4);  // capacity 4 records
+  for (std::uint16_t i = 0; i < 10; ++i) e.append(rec(i, i));
+  EXPECT_TRUE(e.wrapped());
+  EXPECT_EQ(e.size(), 4u);
+  const auto all = e.dump();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.front().uid, 6);
+  EXPECT_EQ(all.back().uid, 9);
+  EXPECT_EQ(e.total_writes(), 10u);
+}
+
+TEST(EepromTest, ExactCapacityNotWrapped) {
+  Eeprom e(Eeprom::kRecordBytes * 4);
+  for (std::uint16_t i = 0; i < 4; ++i) e.append(rec(i, i));
+  EXPECT_FALSE(e.wrapped());
+  EXPECT_EQ(e.dump().front().uid, 0);
+}
+
+TEST(EepromTest, RecordFieldsPreserved) {
+  Eeprom e(1024);
+  EepromRecord r;
+  r.at = sim::TimePoint::from_seconds(12.5);
+  r.uid = 42;
+  r.hits = 7;
+  e.append(r);
+  const auto back = e.last();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->uid, 42);
+  EXPECT_EQ(back->hits, 7);
+  EXPECT_DOUBLE_EQ(back->at.to_seconds(), 12.5);
+}
+
+}  // namespace
+}  // namespace coreda::pavenet

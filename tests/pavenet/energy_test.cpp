@@ -1,0 +1,110 @@
+#include "pavenet/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "pavenet/base_station.hpp"
+#include "sim/scheduler.hpp"
+
+namespace coreda::pavenet {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct EnergyFixture : ::testing::Test {
+  adl::AdlLibrary library;
+  sim::Scheduler scheduler;
+  sensors::ManipulationWorld world;
+  RadioChannel channel{scheduler, util::Rng(1)};
+  BaseStation station{scheduler, channel};
+};
+
+TEST_F(EnergyFixture, IdleNodeConsumesSamplingAndSleepOnly) {
+  PavenetNode node(library.tools().at(adl::tools::kKettle), scheduler,
+                   world, channel, util::Rng(2));
+  node.power_on();
+  scheduler.run_until(TimePoint::from_seconds(60.0));
+  const EnergyReport report =
+      estimate_energy(node, Duration::seconds(60.0));
+  EXPECT_GT(report.sampling_j, 0.0);
+  EXPECT_GT(report.sleep_j, 0.0);
+  EXPECT_EQ(report.radio_j, 0.0);
+  EXPECT_EQ(report.led_j, 0.0);
+  EXPECT_NEAR(report.total_j(),
+              report.sampling_j + report.sleep_j + report.eeprom_j, 1e-12);
+}
+
+TEST_F(EnergyFixture, SamplingCostMatchesRate) {
+  PavenetNode node(library.tools().at(adl::tools::kKettle), scheduler,
+                   world, channel, util::Rng(2));
+  node.power_on();
+  scheduler.run_until(TimePoint::from_seconds(100.0));
+  // 10 Hz for 100 s = 1000 samples at 12 uJ plus 100 window votes.
+  EXPECT_EQ(node.samples(), 1000u);
+  const EnergyReport report =
+      estimate_energy(node, Duration::seconds(100.0));
+  EXPECT_NEAR(report.sampling_j, (1000 * 12.0 + 100 * 1.5) * 1e-6, 1e-9);
+}
+
+TEST_F(EnergyFixture, UsageAddsRadioAndEepromCost) {
+  PavenetNode node(library.tools().at(adl::tools::kKettle), scheduler,
+                   world, channel, util::Rng(2));
+  node.power_on();
+  world.begin(adl::tools::kKettle, TimePoint::from_seconds(5.0),
+              Duration::seconds(10.0));
+  scheduler.run_until(TimePoint::from_seconds(30.0));
+  const EnergyReport report =
+      estimate_energy(node, Duration::seconds(30.0));
+  EXPECT_GT(report.radio_j, 0.0);
+  EXPECT_GT(report.eeprom_j, 0.0);
+}
+
+TEST_F(EnergyFixture, LedBlinksCost) {
+  PavenetNode node(library.tools().at(adl::tools::kKettle), scheduler,
+                   world, channel, util::Rng(2));
+  node.led().blink(LedColor::kGreen, 5, Duration::millis(50));
+  scheduler.run();
+  const EnergyReport report = estimate_energy(node, Duration::seconds(1.0));
+  EXPECT_NEAR(report.led_j, 5 * 90.0 * 1e-6, 1e-9);
+}
+
+TEST_F(EnergyFixture, LifetimeProjectionScalesWithBattery) {
+  PavenetNode node(library.tools().at(adl::tools::kKettle), scheduler,
+                   world, channel, util::Rng(2));
+  node.power_on();
+  scheduler.run_until(TimePoint::from_seconds(600.0));
+  const EnergyReport report =
+      estimate_energy(node, Duration::seconds(600.0));
+  const double small = report.projected_lifetime_days(
+      3000.0, Duration::seconds(600.0));
+  const double large = report.projected_lifetime_days(
+      6000.0, Duration::seconds(600.0));
+  EXPECT_GT(small, 0.0);
+  EXPECT_NEAR(large, 2.0 * small, 1e-9);
+}
+
+TEST_F(EnergyFixture, ZeroWindowProjectionIsZero) {
+  EnergyReport empty;
+  EXPECT_EQ(empty.projected_lifetime_days(6000.0, Duration()), 0.0);
+}
+
+TEST_F(EnergyFixture, LowerSamplingRateSavesEnergy) {
+  FirmwareConfig slow;
+  slow.sampling_hz = 5;
+  PavenetNode fast_node(library.tools().at(adl::tools::kKettle), scheduler,
+                        world, channel, util::Rng(2));
+  PavenetNode slow_node(library.tools().at(adl::tools::kTeaBox), scheduler,
+                        world, channel, util::Rng(3), slow);
+  fast_node.power_on();
+  slow_node.power_on();
+  scheduler.run_until(TimePoint::from_seconds(120.0));
+  const EnergyReport fast =
+      estimate_energy(fast_node, Duration::seconds(120.0));
+  const EnergyReport slow_report =
+      estimate_energy(slow_node, Duration::seconds(120.0));
+  EXPECT_LT(slow_report.sampling_j, fast.sampling_j);
+}
+
+}  // namespace
+}  // namespace coreda::pavenet

@@ -1,0 +1,105 @@
+#include "pavenet/led.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+
+namespace coreda::pavenet {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(LedTest, StartsOff) {
+  sim::Scheduler s;
+  Led led(s);
+  EXPECT_FALSE(led.is_on(LedColor::kGreen));
+  EXPECT_FALSE(led.is_on(LedColor::kRed));
+}
+
+TEST(LedTest, BlinkTurnsOnImmediately) {
+  sim::Scheduler s;
+  Led led(s);
+  led.blink(LedColor::kGreen, 3);
+  EXPECT_TRUE(led.is_on(LedColor::kGreen));
+}
+
+TEST(LedTest, CompletesRequestedCycles) {
+  sim::Scheduler s;
+  Led led(s);
+  led.blink(LedColor::kGreen, 3, Duration::millis(100));
+  s.run();
+  EXPECT_FALSE(led.is_on(LedColor::kGreen));
+  EXPECT_EQ(led.blink_count(LedColor::kGreen), 3u);
+  // on/off transitions: 3 on + 3 off = 6 events
+  EXPECT_EQ(led.history().size(), 6u);
+}
+
+TEST(LedTest, BlinkTimingMatchesHalfPeriod) {
+  sim::Scheduler s;
+  Led led(s);
+  led.blink(LedColor::kRed, 2, Duration::millis(250));
+  s.run();
+  const auto& h = led.history();
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0].at, TimePoint::origin());
+  EXPECT_EQ(h[1].at, TimePoint::origin() + Duration::millis(250));
+  EXPECT_EQ(h[2].at, TimePoint::origin() + Duration::millis(500));
+  EXPECT_EQ(h[3].at, TimePoint::origin() + Duration::millis(750));
+  EXPECT_TRUE(h[0].on);
+  EXPECT_FALSE(h[1].on);
+  EXPECT_TRUE(h[2].on);
+  EXPECT_FALSE(h[3].on);
+}
+
+TEST(LedTest, ZeroCountIsNoop) {
+  sim::Scheduler s;
+  Led led(s);
+  led.blink(LedColor::kGreen, 0);
+  s.run();
+  EXPECT_TRUE(led.history().empty());
+}
+
+TEST(LedTest, NewCommandPreemptsOldSeries) {
+  sim::Scheduler s;
+  Led led(s);
+  led.blink(LedColor::kGreen, 10, Duration::millis(100));
+  s.run_until(TimePoint::origin() + Duration::millis(150));
+  led.blink(LedColor::kRed, 1, Duration::millis(100));
+  s.run();
+  // The green series stopped early; red completed.
+  EXPECT_FALSE(led.is_on(LedColor::kRed));
+  EXPECT_EQ(led.blink_count(LedColor::kRed), 1u);
+  EXPECT_LT(led.blink_count(LedColor::kGreen), 10u);
+}
+
+TEST(LedTest, AllOffCancelsAndExtinguishes) {
+  sim::Scheduler s;
+  Led led(s);
+  led.blink(LedColor::kGreen, 5, Duration::millis(100));
+  led.all_off();
+  EXPECT_FALSE(led.is_on(LedColor::kGreen));
+  const std::size_t events = led.history().size();
+  s.run();
+  EXPECT_EQ(led.history().size(), events);  // nothing fired afterwards
+}
+
+TEST(LedTest, IndependentColors) {
+  sim::Scheduler s;
+  Led led(s);
+  led.blink(LedColor::kGreen, 1, Duration::millis(100));
+  EXPECT_TRUE(led.is_on(LedColor::kGreen));
+  EXPECT_FALSE(led.is_on(LedColor::kRed));
+}
+
+TEST(LedTest, ClearHistory) {
+  sim::Scheduler s;
+  Led led(s);
+  led.blink(LedColor::kGreen, 1, Duration::millis(10));
+  s.run();
+  led.clear_history();
+  EXPECT_TRUE(led.history().empty());
+}
+
+}  // namespace
+}  // namespace coreda::pavenet

@@ -1,0 +1,134 @@
+#include "pavenet/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "pavenet/base_station.hpp"
+#include "sim/scheduler.hpp"
+
+namespace coreda::pavenet {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct NodeFixture : ::testing::Test {
+  adl::AdlLibrary library;
+  sim::Scheduler scheduler;
+  sensors::ManipulationWorld world;
+  RadioChannel channel{scheduler, util::Rng(1)};
+  std::vector<Packet> uplink;
+
+  NodeFixture() {
+    channel.attach_receiver(
+        0, [this](const Packet& p) { uplink.push_back(p); });
+  }
+
+  PavenetNode make_node(adl::ToolId tool) {
+    return PavenetNode(library.tools().at(tool), scheduler, world, channel,
+                       util::Rng(7));
+  }
+};
+
+TEST_F(NodeFixture, IdleNodeStaysSilent) {
+  PavenetNode node = make_node(adl::tools::kKettle);
+  node.power_on();
+  scheduler.run_until(TimePoint::from_seconds(20.0));
+  EXPECT_TRUE(uplink.empty());
+  EXPECT_EQ(node.announcements(), 0u);
+}
+
+TEST_F(NodeFixture, ManipulationTriggersAnnouncement) {
+  PavenetNode node = make_node(adl::tools::kKettle);
+  node.power_on();
+  world.begin(adl::tools::kKettle, TimePoint::from_seconds(2.0),
+              Duration::seconds(6.0));
+  scheduler.run_until(TimePoint::from_seconds(12.0));
+  ASSERT_FALSE(uplink.empty());
+  EXPECT_EQ(uplink[0].source_uid, adl::tools::kKettle);
+  EXPECT_EQ(uplink[0].kind, Packet::Kind::kToolUsage);
+  EXPECT_GE(node.eeprom().size(), 1u);
+}
+
+TEST_F(NodeFixture, PowerOffStopsSampling) {
+  PavenetNode node = make_node(adl::tools::kKettle);
+  node.power_on();
+  node.power_off();
+  world.begin(adl::tools::kKettle, TimePoint::from_seconds(1.0),
+              Duration::seconds(6.0));
+  scheduler.run_until(TimePoint::from_seconds(10.0));
+  EXPECT_TRUE(uplink.empty());
+}
+
+TEST_F(NodeFixture, PowerOnIsIdempotent) {
+  PavenetNode node = make_node(adl::tools::kKettle);
+  node.power_on();
+  node.power_on();  // must not double the tick rate
+  world.begin(adl::tools::kKettle, TimePoint::from_seconds(1.0),
+              Duration::seconds(3.0));
+  scheduler.run_until(TimePoint::from_seconds(6.0));
+  // One manipulation: announcements throttled to ~1/second of usage.
+  EXPECT_LE(node.announcements(), 4u);
+}
+
+TEST_F(NodeFixture, ReannounceThrottled) {
+  PavenetNode node = make_node(adl::tools::kToothbrush);
+  node.power_on();
+  // A long vigorous manipulation: every window votes yes, but announcements
+  // are rate-limited to one per reannounce_interval (1 s default).
+  world.begin(adl::tools::kToothbrush, TimePoint::from_seconds(1.0),
+              Duration::seconds(10.0));
+  scheduler.run_until(TimePoint::from_seconds(15.0));
+  EXPECT_LE(node.announcements(), 11u);
+  EXPECT_GE(node.announcements(), 8u);
+}
+
+TEST_F(NodeFixture, DownlinkLedCommandBlinksGreen) {
+  PavenetNode node = make_node(adl::tools::kTeaCup);
+  node.power_on();
+  Packet cmd;
+  cmd.kind = Packet::Kind::kLedCommand;
+  cmd.dest_uid = adl::tools::kTeaCup;
+  cmd.led_color = LedColor::kGreen;
+  cmd.blink_count = 3;
+  channel.transmit(cmd);
+  scheduler.run_until(TimePoint::from_seconds(5.0));
+  EXPECT_EQ(node.led().blink_count(LedColor::kGreen), 3u);
+}
+
+TEST_F(NodeFixture, DownlinkZeroBlinksTurnsOff) {
+  PavenetNode node = make_node(adl::tools::kTeaCup);
+  node.power_on();
+  node.led().blink(LedColor::kRed, 100);
+  Packet cmd;
+  cmd.kind = Packet::Kind::kLedCommand;
+  cmd.dest_uid = adl::tools::kTeaCup;
+  cmd.blink_count = 0;
+  channel.transmit(cmd);
+  scheduler.run_until(TimePoint::from_seconds(1.0));
+  EXPECT_FALSE(node.led().is_on(LedColor::kRed));
+}
+
+TEST_F(NodeFixture, UsesRecommendedThresholdByDefault) {
+  PavenetNode accel_node = make_node(adl::tools::kKettle);
+  EXPECT_DOUBLE_EQ(accel_node.threshold(), 0.30);
+  PavenetNode pressure_node = make_node(adl::tools::kElectricPot);
+  EXPECT_DOUBLE_EQ(pressure_node.threshold(), 0.25);
+}
+
+TEST_F(NodeFixture, ExplicitThresholdOverrides) {
+  FirmwareConfig config;
+  config.excitation_threshold = 0.77;
+  PavenetNode node(library.tools().at(adl::tools::kKettle), scheduler, world,
+                   channel, util::Rng(7), config);
+  EXPECT_DOUBLE_EQ(node.threshold(), 0.77);
+}
+
+TEST_F(NodeFixture, UidMatchesTool) {
+  PavenetNode node = make_node(adl::tools::kTeaBox);
+  EXPECT_EQ(node.uid(), adl::tools::kTeaBox);
+  EXPECT_EQ(node.tool().name, "tea box");
+}
+
+}  // namespace
+}  // namespace coreda::pavenet

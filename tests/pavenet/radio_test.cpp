@@ -1,0 +1,173 @@
+#include "pavenet/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace coreda::pavenet {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+Packet usage_packet(std::uint16_t from) {
+  Packet p;
+  p.kind = Packet::Kind::kToolUsage;
+  p.source_uid = from;
+  p.dest_uid = 0;
+  return p;
+}
+
+TEST(RadioChannelTest, DeliversToRegisteredReceiver) {
+  sim::Scheduler s;
+  RadioChannel channel(s, util::Rng(1));
+  std::vector<Packet> received;
+  channel.attach_receiver(0, [&](const Packet& p) { received.push_back(p); });
+  channel.transmit(usage_packet(7));
+  s.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].source_uid, 7);
+  EXPECT_EQ(channel.stats().delivered, 1u);
+}
+
+TEST(RadioChannelTest, DeliveryHasLatency) {
+  sim::Scheduler s;
+  RadioChannel::Params params;
+  params.latency = Duration::millis(5);
+  params.latency_jitter = Duration();
+  RadioChannel channel(s, util::Rng(2), params);
+  TimePoint delivered_at;
+  channel.attach_receiver(0, [&](const Packet&) { delivered_at = s.now(); });
+  channel.transmit(usage_packet(1));
+  s.run();
+  EXPECT_EQ(delivered_at, TimePoint::origin() + Duration::millis(5));
+}
+
+TEST(RadioChannelTest, UnknownDestinationCounted) {
+  sim::Scheduler s;
+  RadioChannel channel(s, util::Rng(3));
+  Packet p = usage_packet(1);
+  p.dest_uid = 99;
+  channel.transmit(p);
+  s.run();
+  EXPECT_EQ(channel.stats().undeliverable, 1u);
+  EXPECT_EQ(channel.stats().delivered, 0u);
+}
+
+TEST(RadioChannelTest, FullLossDropsEverything) {
+  sim::Scheduler s;
+  RadioChannel::Params params;
+  params.loss_probability = 1.0;
+  RadioChannel channel(s, util::Rng(4), params);
+  int received = 0;
+  channel.attach_receiver(0, [&](const Packet&) { ++received; });
+  for (int i = 0; i < 20; ++i) channel.transmit(usage_packet(1));
+  s.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(channel.stats().lost_noise, 20u);
+  EXPECT_DOUBLE_EQ(channel.stats().delivery_ratio(), 0.0);
+}
+
+TEST(RadioChannelTest, PartialLossApproximatesRate) {
+  sim::Scheduler s;
+  RadioChannel::Params params;
+  params.loss_probability = 0.3;
+  params.model_collisions = false;
+  RadioChannel channel(s, util::Rng(5), params);
+  int received = 0;
+  channel.attach_receiver(0, [&](const Packet&) { ++received; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    channel.transmit(usage_packet(1));
+    s.run();  // drain so frames never collide
+  }
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.04);
+}
+
+TEST(RadioChannelTest, OverlappingTransmissionsCollide) {
+  sim::Scheduler s;
+  RadioChannel channel(s, util::Rng(6));
+  int received = 0;
+  channel.attach_receiver(0, [&](const Packet&) { ++received; });
+  channel.transmit(usage_packet(1));
+  channel.transmit(usage_packet(2));  // same instant: guaranteed overlap
+  s.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(channel.stats().lost_collision, 2u);
+}
+
+TEST(RadioChannelTest, SpacedTransmissionsDoNotCollide) {
+  sim::Scheduler s;
+  RadioChannel channel(s, util::Rng(7));
+  int received = 0;
+  channel.attach_receiver(0, [&](const Packet&) { ++received; });
+  channel.transmit(usage_packet(1));
+  s.schedule_after(Duration::millis(100),
+                   [&] { channel.transmit(usage_packet(2)); });
+  s.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(channel.stats().lost_collision, 0u);
+}
+
+TEST(RadioChannelTest, CollisionsDisabledDeliversBoth) {
+  sim::Scheduler s;
+  RadioChannel::Params params;
+  params.model_collisions = false;
+  RadioChannel channel(s, util::Rng(8), params);
+  int received = 0;
+  channel.attach_receiver(0, [&](const Packet&) { ++received; });
+  channel.transmit(usage_packet(1));
+  channel.transmit(usage_packet(2));
+  s.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(RadioChannelTest, SequenceNumbersIncrease) {
+  sim::Scheduler s;
+  RadioChannel channel(s, util::Rng(9));
+  std::vector<std::uint64_t> seqs;
+  channel.attach_receiver(0, [&](const Packet& p) { seqs.push_back(p.seq); });
+  for (int i = 0; i < 3; ++i) {
+    channel.transmit(usage_packet(1));
+    s.run();
+  }
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_LT(seqs[0], seqs[1]);
+  EXPECT_LT(seqs[1], seqs[2]);
+}
+
+TEST(RadioChannelTest, ReceiverReplacement) {
+  sim::Scheduler s;
+  RadioChannel channel(s, util::Rng(10));
+  int first = 0;
+  int second = 0;
+  channel.attach_receiver(0, [&](const Packet&) { ++first; });
+  channel.attach_receiver(0, [&](const Packet&) { ++second; });
+  channel.transmit(usage_packet(1));
+  s.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(RadioChannelTest, LedCommandRoundTrip) {
+  sim::Scheduler s;
+  RadioChannel channel(s, util::Rng(11));
+  Packet got;
+  channel.attach_receiver(5, [&](const Packet& p) { got = p; });
+  Packet cmd;
+  cmd.kind = Packet::Kind::kLedCommand;
+  cmd.source_uid = 0;
+  cmd.dest_uid = 5;
+  cmd.led_color = LedColor::kRed;
+  cmd.blink_count = 8;
+  channel.transmit(cmd);
+  s.run();
+  EXPECT_EQ(got.kind, Packet::Kind::kLedCommand);
+  EXPECT_EQ(got.led_color, LedColor::kRed);
+  EXPECT_EQ(got.blink_count, 8);
+}
+
+}  // namespace
+}  // namespace coreda::pavenet

@@ -1,0 +1,101 @@
+#include "planning/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace coreda::planning {
+namespace {
+
+TEST(StateCodecTest, NumStatesIncludesIdle) {
+  StateCodec codec({11, 12, 13, 14});
+  EXPECT_EQ(codec.num_states(), 25u);  // (4 + idle)^2
+}
+
+TEST(StateCodecTest, RoundTripAllStates) {
+  StateCodec codec({11, 12});
+  std::set<rl::StateId> seen;
+  for (adl::StepId prev : {0, 11, 12}) {
+    for (adl::StepId cur : {0, 11, 12}) {
+      const auto id = codec.encode(PlannerState{prev, cur});
+      ASSERT_TRUE(id.has_value());
+      EXPECT_LT(*id, codec.num_states());
+      EXPECT_TRUE(seen.insert(*id).second) << "duplicate encoding";
+      const PlannerState back = codec.decode(*id);
+      EXPECT_EQ(back.prev, prev);
+      EXPECT_EQ(back.cur, cur);
+    }
+  }
+  EXPECT_EQ(seen.size(), codec.num_states());
+}
+
+TEST(StateCodecTest, UnknownStepFailsEncoding) {
+  StateCodec codec({11, 12});
+  EXPECT_FALSE(codec.encode(PlannerState{11, 99}).has_value());
+  EXPECT_FALSE(codec.encode(PlannerState{99, 11}).has_value());
+}
+
+TEST(StateCodecTest, DecodeOutOfRangeThrows) {
+  StateCodec codec({11});
+  EXPECT_THROW(codec.decode(100), std::out_of_range);
+}
+
+TEST(StateCodecTest, RejectsIdleInVocabulary) {
+  EXPECT_THROW(StateCodec({0, 11}), std::invalid_argument);
+}
+
+TEST(StateCodecTest, RejectsDuplicates) {
+  EXPECT_THROW(StateCodec({11, 11}), std::invalid_argument);
+}
+
+TEST(ActionCodecTest, TwoLevelsPerTool) {
+  ActionCodec codec({11, 12, 13});
+  EXPECT_EQ(codec.num_actions(), 6u);
+}
+
+TEST(ActionCodecTest, MinimalPrecedesSpecific) {
+  // Deterministic greedy tie-breaks pick the lowest id, which must be the
+  // minimal prompt — the paper's "minimal prompts" principle.
+  ActionCodec codec({11, 12});
+  const auto minimal = codec.encode(
+      PlannerAction{11, RemindingLevel::kMinimal});
+  const auto specific = codec.encode(
+      PlannerAction{11, RemindingLevel::kSpecific});
+  ASSERT_TRUE(minimal && specific);
+  EXPECT_LT(*minimal, *specific);
+}
+
+TEST(ActionCodecTest, RoundTripAllActions) {
+  ActionCodec codec({21, 22, 23, 24});
+  for (rl::ActionId id = 0; id < codec.num_actions(); ++id) {
+    const PlannerAction action = codec.decode(id);
+    const auto back = codec.encode(action);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, id);
+  }
+}
+
+TEST(ActionCodecTest, UnknownToolFailsEncoding) {
+  ActionCodec codec({11});
+  EXPECT_FALSE(
+      codec.encode(PlannerAction{99, RemindingLevel::kMinimal}).has_value());
+}
+
+TEST(ActionCodecTest, DecodeOutOfRangeThrows) {
+  ActionCodec codec({11});
+  EXPECT_THROW(codec.decode(2), std::out_of_range);
+}
+
+TEST(ActionCodecTest, EmptyOrInvalidToolsThrow) {
+  EXPECT_THROW(ActionCodec({}), std::invalid_argument);
+  EXPECT_THROW(ActionCodec({0}), std::invalid_argument);
+  EXPECT_THROW(ActionCodec({5, 5}), std::invalid_argument);
+}
+
+TEST(RemindingLevelTest, Names) {
+  EXPECT_EQ(to_string(RemindingLevel::kMinimal), "minimal");
+  EXPECT_EQ(to_string(RemindingLevel::kSpecific), "specific");
+}
+
+}  // namespace
+}  // namespace coreda::planning

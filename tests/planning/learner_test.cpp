@@ -1,0 +1,163 @@
+#include "planning/learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+
+namespace coreda::planning {
+namespace {
+
+std::vector<adl::StepId> tea_steps() {
+  return {adl::tools::kTeaBox, adl::tools::kElectricPot, adl::tools::kKettle,
+          adl::tools::kTeaCup};
+}
+
+struct LearnerFixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  RoutineLearner trained(int episodes = 60, std::uint64_t seed = 5) {
+    RoutineLearner learner(library.tea_making(), util::Rng(seed));
+    const auto steps = tea_steps();
+    for (int i = 0; i < episodes; ++i) learner.train_episode(steps);
+    return learner;
+  }
+};
+
+TEST_F(LearnerFixture, UntrainedPredictsSomething) {
+  RoutineLearner learner(library.tea_making(), util::Rng(1));
+  const auto prompt = learner.predict(adl::kIdleStep, adl::tools::kTeaBox);
+  ASSERT_TRUE(prompt.has_value());  // random policy, but well-formed
+}
+
+TEST_F(LearnerFixture, LearnsFullRoutine) {
+  RoutineLearner learner = trained();
+  EXPECT_DOUBLE_EQ(learner.greedy_accuracy(), 1.0);
+  for (const PlannerState& s : learner.predicting_states()) {
+    EXPECT_TRUE(learner.greedy_correct(s));
+  }
+}
+
+TEST_F(LearnerFixture, PredictsEachTransition) {
+  RoutineLearner learner = trained();
+  const auto steps = tea_steps();
+  adl::StepId prev = adl::kIdleStep;
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    const auto prompt = learner.predict(prev, steps[i]);
+    ASSERT_TRUE(prompt.has_value());
+    EXPECT_EQ(prompt->action.tool, steps[i + 1]) << "at step " << i;
+    prev = steps[i];
+  }
+}
+
+TEST_F(LearnerFixture, ConvergedPolicyPrefersMinimalPrompts) {
+  RoutineLearner learner = trained(200);
+  // Intermediate prompts: minimal earns 100 vs 50, so the greedy level
+  // must be minimal on every non-terminal prediction.
+  const auto states = learner.predicting_states();
+  for (std::size_t i = 0; i + 1 < states.size(); ++i) {
+    const auto prompt = learner.predict(states[i]);
+    ASSERT_TRUE(prompt.has_value());
+    EXPECT_EQ(prompt->action.level, RemindingLevel::kMinimal)
+        << "state " << i;
+  }
+}
+
+TEST_F(LearnerFixture, UnknownContextReturnsNullopt) {
+  RoutineLearner learner = trained();
+  EXPECT_FALSE(learner.predict(999, 998).has_value());
+  EXPECT_FALSE(learner.predict(adl::tools::kTeaBox, 999).has_value());
+}
+
+TEST_F(LearnerFixture, ForeignStepsSkippedNotFatal) {
+  RoutineLearner learner(library.tea_making(), util::Rng(2));
+  // A tooth-brushing tool id leaks into a tea-making episode.
+  std::vector<adl::StepId> steps = tea_steps();
+  steps.insert(steps.begin() + 1, adl::tools::kToothbrush);
+  learner.train_episode(steps);
+  EXPECT_EQ(learner.skipped_steps(), 1u);
+}
+
+TEST_F(LearnerFixture, ShortEpisodesAreHarmless) {
+  RoutineLearner learner(library.tea_making(), util::Rng(3));
+  learner.train_episode(std::vector<adl::StepId>{});
+  learner.train_episode(std::vector<adl::StepId>{adl::tools::kTeaBox});
+  EXPECT_EQ(learner.episodes_trained(), 2u);
+}
+
+TEST_F(LearnerFixture, EpsilonDecaysOverTraining) {
+  RoutineLearner learner(library.tea_making(), util::Rng(4));
+  const double eps0 = learner.epsilon();
+  const auto steps = tea_steps();
+  for (int i = 0; i < 50; ++i) learner.train_episode(steps);
+  EXPECT_LT(learner.epsilon(), eps0);
+}
+
+TEST_F(LearnerFixture, BehaviourAccuracyApproachesOne) {
+  RoutineLearner learner(library.tea_making(), util::Rng(6));
+  const auto steps = tea_steps();
+  for (int i = 0; i < 300; ++i) learner.train_episode(steps);
+  EXPECT_GT(learner.behaviour_accuracy(), 0.98);
+  EXPECT_LE(learner.behaviour_accuracy(), 1.0);
+}
+
+TEST_F(LearnerFixture, BehaviourAccuracyBelowGreedyWhileExploring) {
+  RoutineLearner learner = trained(30);
+  EXPECT_LE(learner.behaviour_accuracy(), 1.0);
+  if (learner.greedy_accuracy() == 1.0) {
+    EXPECT_LT(learner.behaviour_accuracy(), 1.0);  // epsilon > 0 still
+  }
+}
+
+TEST_F(LearnerFixture, PredictingStatesMatchRoutineShape) {
+  RoutineLearner learner(library.tea_making(), util::Rng(7));
+  const auto states = learner.predicting_states();
+  // 4 steps -> 3 in-routine predictions, plus the <idle, idle> context
+  // that prompts the first step.
+  ASSERT_EQ(states.size(), 4u);
+  EXPECT_EQ(states[0].prev, adl::kIdleStep);
+  EXPECT_EQ(states[0].cur, adl::kIdleStep);
+  EXPECT_EQ(states[1].cur, adl::tools::kTeaBox);
+  EXPECT_EQ(states[3].cur, adl::tools::kKettle);
+}
+
+TEST_F(LearnerFixture, LearnsToPromptFirstStepFromIdle) {
+  RoutineLearner learner = trained();
+  const auto prompt = learner.predict(adl::kIdleStep, adl::kIdleStep);
+  ASSERT_TRUE(prompt.has_value());
+  EXPECT_EQ(prompt->action.tool, adl::tools::kTeaBox);
+}
+
+TEST_F(LearnerFixture, TruncatedEpisodesDoNotDestroyPolicy) {
+  // Missed terminal extraction must not be treated as ADL completion.
+  RoutineLearner learner(library.tea_making(), util::Rng(8));
+  const auto full = tea_steps();
+  std::vector<adl::StepId> truncated(full.begin(), full.end() - 1);
+  for (int i = 0; i < 100; ++i) {
+    learner.train_episode(i % 5 == 0 ? truncated : full);
+  }
+  EXPECT_DOUBLE_EQ(learner.greedy_accuracy(), 1.0);
+}
+
+TEST_F(LearnerFixture, PureTdWithoutSweepStillLearnsCleanRoutine) {
+  LearnerConfig config;
+  config.counterfactual_sweep = false;
+  config.epsilon = 0.5;            // pure sampling needs real exploration
+  config.epsilon_decay = 0.995;
+  RoutineLearner learner(library.tea_making(), util::Rng(9), config);
+  const auto steps = tea_steps();
+  for (int i = 0; i < 600; ++i) learner.train_episode(steps);
+  EXPECT_DOUBLE_EQ(learner.greedy_accuracy(), 1.0);
+}
+
+TEST_F(LearnerFixture, DeterministicGivenSeed) {
+  RoutineLearner a = trained(40, 77);
+  RoutineLearner b = trained(40, 77);
+  for (rl::StateId s = 0; s < a.q().num_states(); ++s) {
+    for (rl::ActionId act = 0; act < a.q().num_actions(); ++act) {
+      EXPECT_DOUBLE_EQ(a.q().get(s, act), b.q().get(s, act));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coreda::planning

@@ -1,0 +1,122 @@
+#include "planning/multi_routine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::planning {
+namespace {
+
+namespace T = adl::tools;
+
+struct MultiRoutineFixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  std::vector<std::vector<adl::StepId>> dressing_episodes(int per_routine) {
+    std::vector<std::vector<adl::StepId>> out;
+    const std::vector<adl::StepId> shirt_first{T::kShirt, T::kTrousers,
+                                               T::kSocks, T::kShoes};
+    const std::vector<adl::StepId> trousers_first{T::kTrousers, T::kSocks,
+                                                  T::kShirt, T::kShoes};
+    for (int i = 0; i < per_routine; ++i) {
+      out.push_back(shirt_first);
+      out.push_back(trousers_first);
+    }
+    return out;
+  }
+};
+
+TEST_F(MultiRoutineFixture, HistoryCodecRoundTrip) {
+  HistoryCodec codec({11, 12, 13}, 3);
+  EXPECT_EQ(codec.depth(), 3u);
+  EXPECT_EQ(codec.num_states(), 64u);  // (3+idle)^3
+  const std::vector<adl::StepId> h{11, 12, 13};
+  const auto id = codec.encode(h);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_LT(*id, codec.num_states());
+}
+
+TEST_F(MultiRoutineFixture, HistoryCodecPadsShortHistories) {
+  HistoryCodec codec({11, 12}, 3);
+  const std::vector<adl::StepId> short_h{11};
+  const std::vector<adl::StepId> padded{0, 0, 11};
+  EXPECT_EQ(codec.encode(short_h), codec.encode(padded));
+}
+
+TEST_F(MultiRoutineFixture, HistoryCodecUsesOnlyTrailingWindow) {
+  HistoryCodec codec({11, 12, 13}, 2);
+  const std::vector<adl::StepId> long_h{13, 11, 12};
+  const std::vector<adl::StepId> window{11, 12};
+  EXPECT_EQ(codec.encode(long_h), codec.encode(window));
+}
+
+TEST_F(MultiRoutineFixture, HistoryCodecRejectsUnknownSymbols) {
+  HistoryCodec codec({11}, 2);
+  const std::vector<adl::StepId> bad{99};
+  EXPECT_FALSE(codec.encode(bad).has_value());
+}
+
+TEST_F(MultiRoutineFixture, HistoryCodecValidation) {
+  EXPECT_THROW(HistoryCodec({11}, 0), std::invalid_argument);
+  EXPECT_THROW(HistoryCodec({0}, 2), std::invalid_argument);
+  EXPECT_THROW(HistoryCodec({11, 11}, 2), std::invalid_argument);
+}
+
+TEST_F(MultiRoutineFixture, Depth2MatchesPaperStateSpace) {
+  MultiRoutineLearner learner(library.tea_making(), 2, util::Rng(1));
+  // 4 tools + idle, squared.
+  EXPECT_EQ(learner.codec().num_states(), 25u);
+}
+
+TEST_F(MultiRoutineFixture, Depth2AmbiguousOnDressing) {
+  // The two dressing routines share <trousers, socks> but continue
+  // differently; the paper's pair state cannot get both right.
+  MultiRoutineLearner learner(library.dressing(), 2, util::Rng(2));
+  for (const auto& ep : dressing_episodes(100)) learner.train_episode(ep);
+  EXPECT_LT(learner.routine_accuracy(), 1.0);
+  EXPECT_GE(learner.routine_accuracy(), 0.5);
+}
+
+TEST_F(MultiRoutineFixture, Depth3DisambiguatesDressing) {
+  MultiRoutineLearner learner(library.dressing(), 3, util::Rng(3));
+  for (const auto& ep : dressing_episodes(150)) learner.train_episode(ep);
+  EXPECT_DOUBLE_EQ(learner.routine_accuracy(), 1.0);
+  for (const adl::AdlRoutine& r : library.dressing().routines()) {
+    EXPECT_DOUBLE_EQ(learner.routine_accuracy(r), 1.0) << r.name();
+  }
+}
+
+TEST_F(MultiRoutineFixture, SingleRoutineAdlWorksAtAnyDepth) {
+  for (std::size_t depth : {2u, 3u, 4u}) {
+    MultiRoutineLearner learner(library.tea_making(), depth,
+                                util::Rng(40 + depth));
+    const std::vector<adl::StepId> tea{T::kTeaBox, T::kElectricPot,
+                                       T::kKettle, T::kTeaCup};
+    for (int i = 0; i < 120; ++i) learner.train_episode(tea);
+    EXPECT_DOUBLE_EQ(learner.routine_accuracy(), 1.0) << "depth " << depth;
+  }
+}
+
+TEST_F(MultiRoutineFixture, PredictUsesHistory) {
+  MultiRoutineLearner learner(library.dressing(), 3, util::Rng(5));
+  for (const auto& ep : dressing_episodes(150)) learner.train_episode(ep);
+  // shirt, trousers, socks -> shoes (routine A)
+  const std::vector<adl::StepId> ctx_a{T::kShirt, T::kTrousers, T::kSocks};
+  // trousers, socks -> shirt (routine B)
+  const std::vector<adl::StepId> ctx_b{T::kTrousers, T::kSocks};
+  const auto pa = learner.predict(ctx_a);
+  const auto pb = learner.predict(ctx_b);
+  ASSERT_TRUE(pa && pb);
+  EXPECT_EQ(pa->action.tool, T::kShoes);
+  EXPECT_EQ(pb->action.tool, T::kShirt);
+}
+
+TEST_F(MultiRoutineFixture, ShortEpisodeIgnored) {
+  MultiRoutineLearner learner(library.dressing(), 2, util::Rng(6));
+  learner.train_episode(std::vector<adl::StepId>{T::kShirt});
+  EXPECT_EQ(learner.episodes_trained(), 1u);
+}
+
+}  // namespace
+}  // namespace coreda::planning

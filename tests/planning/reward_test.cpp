@@ -1,0 +1,57 @@
+#include "planning/reward.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::planning {
+namespace {
+
+TEST(RewardTest, PaperValues) {
+  CoredaRewardFunction reward;
+  const PlannerAction minimal{23, RemindingLevel::kMinimal};
+  const PlannerAction specific{23, RemindingLevel::kSpecific};
+
+  // Terminal step completed via the prompted tool: 1000 regardless of level.
+  EXPECT_DOUBLE_EQ(reward(minimal, 23, /*completes_adl=*/true), 1000.0);
+  EXPECT_DOUBLE_EQ(reward(specific, 23, true), 1000.0);
+
+  // Intermediate step: 100 for minimal, 50 for specific.
+  EXPECT_DOUBLE_EQ(reward(minimal, 23, false), 100.0);
+  EXPECT_DOUBLE_EQ(reward(specific, 23, false), 50.0);
+}
+
+TEST(RewardTest, MismatchEarnsNothing) {
+  CoredaRewardFunction reward;
+  const PlannerAction prompt{23, RemindingLevel::kMinimal};
+  EXPECT_DOUBLE_EQ(reward(prompt, 24, false), 0.0);
+  EXPECT_DOUBLE_EQ(reward(prompt, 24, true), 0.0);
+}
+
+TEST(RewardTest, MinimalStrictlyDominatesSpecificOnIntermediates) {
+  // The design principle: the system should wean the user off detailed
+  // prompts, so minimal must earn strictly more.
+  CoredaRewardFunction reward;
+  EXPECT_GT(reward(PlannerAction{5, RemindingLevel::kMinimal}, 5, false),
+            reward(PlannerAction{5, RemindingLevel::kSpecific}, 5, false));
+}
+
+TEST(RewardTest, ConfigurableValues) {
+  RewardConfig config;
+  config.terminal = 10.0;
+  config.intermediate_minimal = 2.0;
+  config.intermediate_specific = 1.0;
+  config.mismatch = -5.0;
+  CoredaRewardFunction reward(config);
+  const PlannerAction a{7, RemindingLevel::kMinimal};
+  EXPECT_DOUBLE_EQ(reward(a, 7, true), 10.0);
+  EXPECT_DOUBLE_EQ(reward(a, 7, false), 2.0);
+  EXPECT_DOUBLE_EQ(reward(a, 8, false), -5.0);
+}
+
+TEST(RewardTest, TerminalOutweighsAnyIntermediate) {
+  CoredaRewardFunction reward;
+  const PlannerAction a{7, RemindingLevel::kMinimal};
+  EXPECT_GT(reward(a, 7, true), reward(a, 7, false));
+}
+
+}  // namespace
+}  // namespace coreda::planning

@@ -1,0 +1,131 @@
+#include "recognition/recognizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "trace/dataset.hpp"
+
+namespace coreda::recognition {
+namespace {
+
+namespace T = adl::tools;
+
+struct RecognizerFixture : ::testing::Test {
+  adl::AdlLibrary library;
+  AdlRecognizer recognizer;
+
+  void train_all(std::size_t per_adl = 60) {
+    trace::DatasetBuilder datasets(
+        library, patient::PatientProfile::with_severity("U", 0.0), 31);
+    for (const adl::Adl& adl : library.adls()) {
+      for (const auto& ep : datasets.clean_training_set(adl, per_adl)) {
+        recognizer.train(adl.name(), ep);
+      }
+    }
+  }
+};
+
+TEST_F(RecognizerFixture, UntrainedHasNoOpinion) {
+  const std::vector<adl::StepId> seq{T::kTeaBox};
+  EXPECT_FALSE(recognizer.classify(seq).has_value());
+  EXPECT_EQ(recognizer.confidence(seq), 0.0);
+  EXPECT_TRUE(recognizer.rank(seq).empty());
+}
+
+TEST_F(RecognizerFixture, EmptySequenceHasNoOpinion) {
+  train_all();
+  EXPECT_FALSE(
+      recognizer.classify(std::vector<adl::StepId>{}).has_value());
+}
+
+TEST_F(RecognizerFixture, FullSequencesClassifyPerfectly) {
+  train_all();
+  for (const adl::Adl& adl : library.adls()) {
+    for (const adl::AdlRoutine& routine : adl.routines()) {
+      std::vector<adl::StepId> seq;
+      for (const adl::AdlStep& s : routine.steps()) {
+        seq.push_back(s.step_id());
+      }
+      EXPECT_EQ(recognizer.classify(seq), adl.name()) << routine.name();
+    }
+  }
+}
+
+TEST_F(RecognizerFixture, SingleDistinctiveStepSuffices) {
+  train_all();
+  // Tools are ADL-specific in this catalog, so one observation decides.
+  const std::vector<adl::StepId> just_teabox{T::kTeaBox};
+  EXPECT_EQ(recognizer.classify(just_teabox), "Tea-making");
+  const std::vector<adl::StepId> just_brush{T::kToothbrush};
+  EXPECT_EQ(recognizer.classify(just_brush), "Tooth-brushing");
+  const std::vector<adl::StepId> just_soap{T::kSoap};
+  EXPECT_EQ(recognizer.classify(just_soap), "Hand-washing");
+}
+
+TEST_F(RecognizerFixture, ConfidenceGrowsWithEvidence) {
+  train_all();
+  const std::vector<adl::StepId> one{T::kTeaBox};
+  const std::vector<adl::StepId> two{T::kTeaBox, T::kElectricPot};
+  const std::vector<adl::StepId> three{T::kTeaBox, T::kElectricPot,
+                                       T::kKettle};
+  const double c1 = recognizer.confidence(one);
+  const double c3 = recognizer.confidence(three);
+  EXPECT_GT(c1, 0.5);
+  EXPECT_GE(c3, c1);
+  EXPECT_LE(recognizer.confidence(two), 1.0);
+}
+
+TEST_F(RecognizerFixture, RankOrdersAllCandidates) {
+  train_all();
+  const std::vector<adl::StepId> seq{T::kShirt, T::kTrousers};
+  const auto ranked = recognizer.rank(seq);
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked.front().adl, "Dressing");
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].log_likelihood, ranked[i].log_likelihood);
+  }
+}
+
+TEST_F(RecognizerFixture, NoisySequencesStillClassify) {
+  train_all();
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("U", 0.0), 77);
+  // Sensed sequences (with missing weak steps) must still classify.
+  int correct = 0;
+  const auto test_set =
+      datasets.sensed_training_set(library.tea_making(), 40);
+  for (const auto& seq : test_set) {
+    if (!seq.empty() && recognizer.classify(seq) == "Tea-making") {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 38);
+}
+
+TEST_F(RecognizerFixture, BothDressingRoutinesRecognized) {
+  train_all();
+  const std::vector<adl::StepId> a{T::kShirt, T::kTrousers, T::kSocks,
+                                   T::kShoes};
+  const std::vector<adl::StepId> b{T::kTrousers, T::kSocks, T::kShirt,
+                                   T::kShoes};
+  EXPECT_EQ(recognizer.classify(a), "Dressing");
+  EXPECT_EQ(recognizer.classify(b), "Dressing");
+}
+
+TEST(AdlRecognizerTest, InvalidSmoothingThrows) {
+  EXPECT_THROW(AdlRecognizer(0.0), std::invalid_argument);
+  EXPECT_THROW(AdlRecognizer(-1.0), std::invalid_argument);
+}
+
+TEST(AdlRecognizerTest, KnownAdlsCount) {
+  AdlRecognizer r;
+  EXPECT_EQ(r.known_adls(), 0u);
+  const std::vector<adl::StepId> ep{1, 2};
+  r.train("A", ep);
+  r.train("B", ep);
+  r.train("A", ep);
+  EXPECT_EQ(r.known_adls(), 2u);
+}
+
+}  // namespace
+}  // namespace coreda::recognition

@@ -1,0 +1,104 @@
+#include "recognition/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "trace/dataset.hpp"
+
+namespace coreda::recognition {
+namespace {
+
+namespace T = adl::tools;
+using sim::Duration;
+using sim::TimePoint;
+
+struct TrackerFixture : ::testing::Test {
+  adl::AdlLibrary library;
+  AdlRecognizer recognizer;
+  std::vector<std::string> announced;
+
+  void SetUp() override {
+    trace::DatasetBuilder datasets(
+        library, patient::PatientProfile::with_severity("U", 0.0), 31);
+    for (const adl::Adl& adl : library.adls()) {
+      for (const auto& ep : datasets.clean_training_set(adl, 40)) {
+        recognizer.train(adl.name(), ep);
+      }
+    }
+  }
+
+  ActivityTracker make_tracker() {
+    return ActivityTracker(recognizer,
+                           [this](const std::string& name, TimePoint) {
+                             announced.push_back(name);
+                           });
+  }
+};
+
+TEST_F(TrackerFixture, NullCallbackThrows) {
+  EXPECT_THROW(ActivityTracker(recognizer, nullptr), std::invalid_argument);
+}
+
+TEST_F(TrackerFixture, AnnouncesOncePerEpisode) {
+  ActivityTracker tracker = make_tracker();
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  tracker.observe(T::kKettle, TimePoint::from_seconds(30.0));
+  ASSERT_EQ(announced.size(), 1u);
+  EXPECT_EQ(announced[0], "Tea-making");
+  EXPECT_EQ(tracker.current_activity(), "Tea-making");
+  EXPECT_TRUE(tracker.episode_open());
+}
+
+TEST_F(TrackerFixture, IdleGapOpensNewEpisode) {
+  ActivityTracker tracker = make_tracker();
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  // Default gap is 3 minutes; jump well past it.
+  tracker.observe(T::kToothbrush, TimePoint::from_seconds(600.0));
+  EXPECT_EQ(tracker.episodes_seen(), 2u);
+  ASSERT_EQ(announced.size(), 2u);
+  EXPECT_EQ(announced[0], "Tea-making");
+  EXPECT_EQ(announced[1], "Tooth-brushing");
+}
+
+TEST_F(TrackerFixture, CloseEpisodeResetsState) {
+  ActivityTracker tracker = make_tracker();
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.close_episode();
+  EXPECT_FALSE(tracker.episode_open());
+  EXPECT_FALSE(tracker.current_activity().has_value());
+  EXPECT_TRUE(tracker.episode_steps().empty());
+}
+
+TEST_F(TrackerFixture, ConsecutiveDuplicatesCollapsed) {
+  ActivityTracker tracker = make_tracker();
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(12.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  EXPECT_EQ(tracker.episode_steps().size(), 2u);
+}
+
+TEST_F(TrackerFixture, HighThresholdDelaysAnnouncement) {
+  ActivityTracker::Params params;
+  params.confidence_threshold = 0.999;
+  ActivityTracker tracker(recognizer,
+                          [this](const std::string& name, TimePoint) {
+                            announced.push_back(name);
+                          },
+                          params);
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  const std::size_t after_one = announced.size();
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  tracker.observe(T::kKettle, TimePoint::from_seconds(30.0));
+  tracker.observe(T::kTeaCup, TimePoint::from_seconds(40.0));
+  // May or may not reach 0.999, but never announces the wrong ADL and
+  // never announces twice.
+  EXPECT_LE(after_one, announced.size());
+  EXPECT_LE(announced.size(), 1u);
+  for (const std::string& name : announced) {
+    EXPECT_EQ(name, "Tea-making");
+  }
+}
+
+}  // namespace
+}  // namespace coreda::recognition

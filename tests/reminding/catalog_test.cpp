@@ -1,0 +1,49 @@
+#include "reminding/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+
+namespace coreda::reminding {
+namespace {
+
+TEST(MessageCatalogTest, MinimalIsShortImperative) {
+  adl::AdlLibrary lib;
+  MessageCatalog catalog("Kim");
+  const auto& cup = lib.tools().at(adl::tools::kTeaCup);
+  const std::string msg =
+      catalog.message(cup, planning::RemindingLevel::kMinimal);
+  EXPECT_EQ(msg, "Please use tea cup.");
+}
+
+TEST(MessageCatalogTest, SpecificAddressesUserByName) {
+  adl::AdlLibrary lib;
+  MessageCatalog catalog("Kim");
+  const auto& box = lib.tools().at(adl::tools::kTeaBox);
+  const std::string msg =
+      catalog.message(box, planning::RemindingLevel::kSpecific);
+  EXPECT_NE(msg.find("Kim"), std::string::npos);
+  EXPECT_NE(msg.find("tea box"), std::string::npos);
+  EXPECT_GT(msg.size(),
+            catalog.message(box, planning::RemindingLevel::kMinimal).size());
+}
+
+TEST(MessageCatalogTest, PictureRefIsSluggedPath) {
+  adl::AdlLibrary lib;
+  MessageCatalog catalog("Kim");
+  const auto& pot = lib.tools().at(adl::tools::kElectricPot);
+  EXPECT_EQ(catalog.picture_ref(pot), "assets/tools/electronic_pot.png");
+}
+
+TEST(MessageCatalogTest, PraiseMatchesFigure1) {
+  MessageCatalog catalog("Tanaka");
+  EXPECT_EQ(catalog.praise(), "Excellent!");
+}
+
+TEST(MessageCatalogTest, UserNameAccessor) {
+  MessageCatalog catalog("Tanaka");
+  EXPECT_EQ(catalog.user_name(), "Tanaka");
+}
+
+}  // namespace
+}  // namespace coreda::reminding

@@ -1,0 +1,115 @@
+#include "reminding/reminder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "pavenet/node.hpp"
+#include "sim/scheduler.hpp"
+
+namespace coreda::reminding {
+namespace {
+
+namespace T = adl::tools;
+
+struct ReminderFixture : ::testing::Test {
+  adl::AdlLibrary library;
+  sim::Scheduler scheduler;
+  sensors::ManipulationWorld world;
+  pavenet::RadioChannel channel{scheduler, util::Rng(1)};
+  pavenet::BaseStation station{scheduler, channel};
+  pavenet::PavenetNode pot_node{library.tools().at(T::kElectricPot),
+                                scheduler, world, channel, util::Rng(2)};
+  pavenet::PavenetNode cup_node{library.tools().at(T::kTeaCup), scheduler,
+                                world, channel, util::Rng(3)};
+  RemindingSubsystem reminder{station, library.tools(),
+                              MessageCatalog("Tanaka")};
+};
+
+TEST_F(ReminderFixture, IdleReminderRendersAllModalities) {
+  const DeliveredReminder& r = reminder.remind(
+      scheduler.now(), Trigger::kIdleTimeout, T::kElectricPot,
+      planning::RemindingLevel::kMinimal, std::nullopt);
+  EXPECT_EQ(r.text, "Please use electronic pot.");
+  EXPECT_EQ(r.picture, "assets/tools/electronic_pot.png");
+  EXPECT_EQ(r.green_blinks, 3);
+  EXPECT_FALSE(r.wrong_tool.has_value());
+  scheduler.run();
+  EXPECT_EQ(pot_node.led().blink_count(pavenet::LedColor::kGreen), 3u);
+}
+
+TEST_F(ReminderFixture, WrongToolAddsRedLed) {
+  const DeliveredReminder& r = reminder.remind(
+      scheduler.now(), Trigger::kWrongTool, T::kElectricPot,
+      planning::RemindingLevel::kSpecific, T::kTeaCup);
+  EXPECT_EQ(r.green_blinks, 8);
+  ASSERT_TRUE(r.wrong_tool.has_value());
+  EXPECT_EQ(*r.wrong_tool, T::kTeaCup);
+  EXPECT_EQ(r.red_blinks, 8);
+  scheduler.run();
+  EXPECT_EQ(pot_node.led().blink_count(pavenet::LedColor::kGreen), 8u);
+  EXPECT_EQ(cup_node.led().blink_count(pavenet::LedColor::kRed), 8u);
+}
+
+TEST_F(ReminderFixture, SpecificBlinksMoreThanMinimal) {
+  const auto& minimal = reminder.remind(
+      scheduler.now(), Trigger::kIdleTimeout, T::kTeaCup,
+      planning::RemindingLevel::kMinimal, std::nullopt);
+  const auto minimal_blinks = minimal.green_blinks;
+  const auto& specific = reminder.remind(
+      scheduler.now(), Trigger::kIdleTimeout, T::kTeaCup,
+      planning::RemindingLevel::kSpecific, std::nullopt);
+  EXPECT_GT(specific.green_blinks, minimal_blinks);
+}
+
+TEST_F(ReminderFixture, LogAccumulates) {
+  reminder.remind(scheduler.now(), Trigger::kIdleTimeout, T::kTeaCup,
+                  planning::RemindingLevel::kMinimal, std::nullopt);
+  reminder.remind(scheduler.now(), Trigger::kWrongTool, T::kKettle,
+                  planning::RemindingLevel::kMinimal, T::kTeaBox);
+  ASSERT_EQ(reminder.log().size(), 2u);
+  EXPECT_EQ(reminder.log()[0].trigger, Trigger::kIdleTimeout);
+  EXPECT_EQ(reminder.log()[1].trigger, Trigger::kWrongTool);
+}
+
+TEST_F(ReminderFixture, UnknownToolThrows) {
+  EXPECT_THROW(reminder.remind(scheduler.now(), Trigger::kIdleTimeout, 999,
+                               planning::RemindingLevel::kMinimal,
+                               std::nullopt),
+               std::out_of_range);
+  EXPECT_THROW(reminder.remind(scheduler.now(), Trigger::kWrongTool,
+                               T::kTeaCup,
+                               planning::RemindingLevel::kMinimal, 999),
+               std::out_of_range);
+}
+
+TEST_F(ReminderFixture, PraiseShowsOnDisplayAndClearsLed) {
+  reminder.remind(scheduler.now(), Trigger::kIdleTimeout, T::kTeaCup,
+                  planning::RemindingLevel::kMinimal, std::nullopt);
+  scheduler.run();
+  reminder.praise(scheduler.now(), T::kTeaCup);
+  scheduler.run();
+  ASSERT_FALSE(reminder.display_lines().empty());
+  EXPECT_EQ(reminder.display_lines().back(), "Excellent!");
+  EXPECT_FALSE(cup_node.led().is_on(pavenet::LedColor::kGreen));
+}
+
+TEST_F(ReminderFixture, CustomBlinkCounts) {
+  RemindingSubsystem::Params params;
+  params.minimal_blinks = 1;
+  params.specific_blinks = 15;
+  RemindingSubsystem custom(station, library.tools(),
+                            MessageCatalog("Kim"), params);
+  const auto& r = custom.remind(scheduler.now(), Trigger::kIdleTimeout,
+                                T::kTeaCup,
+                                planning::RemindingLevel::kSpecific,
+                                std::nullopt);
+  EXPECT_EQ(r.green_blinks, 15);
+}
+
+TEST(TriggerNamesTest, ToString) {
+  EXPECT_EQ(to_string(Trigger::kIdleTimeout), "idle-timeout");
+  EXPECT_EQ(to_string(Trigger::kWrongTool), "wrong-tool");
+}
+
+}  // namespace
+}  // namespace coreda::reminding

@@ -1,0 +1,124 @@
+#include "reminding/trigger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "sim/scheduler.hpp"
+
+namespace coreda::reminding {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct TriggerFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  std::vector<std::pair<Trigger, adl::ToolId>> fired;
+
+  TriggerMonitor make_monitor() {
+    return TriggerMonitor(scheduler, [this](Trigger t, adl::ToolId tool) {
+      fired.emplace_back(t, tool);
+    });
+  }
+};
+
+TEST_F(TriggerFixture, NullCallbackThrows) {
+  EXPECT_THROW(TriggerMonitor(scheduler, nullptr), std::invalid_argument);
+}
+
+TEST_F(TriggerFixture, IdleTimeoutFires) {
+  TriggerMonitor monitor = make_monitor();
+  monitor.arm(7, Duration::seconds(30.0));
+  scheduler.run_until(TimePoint::from_seconds(31.0));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, Trigger::kIdleTimeout);
+  EXPECT_EQ(monitor.idle_triggers(), 1u);
+}
+
+TEST_F(TriggerFixture, RepromptsWhileStillIdle) {
+  TriggerMonitor monitor = make_monitor();
+  monitor.arm(7, Duration::seconds(10.0));
+  scheduler.run_until(TimePoint::from_seconds(35.0));
+  EXPECT_EQ(fired.size(), 3u);  // 10 s, 20 s, 30 s
+}
+
+TEST_F(TriggerFixture, CorrectUsageDisarms) {
+  TriggerMonitor monitor = make_monitor();
+  monitor.arm(7, Duration::seconds(30.0));
+  scheduler.run_until(TimePoint::from_seconds(5.0));
+  EXPECT_TRUE(monitor.notify_usage(7));
+  EXPECT_FALSE(monitor.armed());
+  scheduler.run_until(TimePoint::from_seconds(120.0));
+  EXPECT_TRUE(fired.empty());
+}
+
+TEST_F(TriggerFixture, WrongToolFiresImmediately) {
+  TriggerMonitor monitor = make_monitor();
+  monitor.arm(7, Duration::seconds(30.0));
+  scheduler.run_until(TimePoint::from_seconds(5.0));
+  EXPECT_FALSE(monitor.notify_usage(9));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, Trigger::kWrongTool);
+  EXPECT_EQ(fired[0].second, 9);
+  EXPECT_TRUE(monitor.armed());  // still waiting for the right tool
+  EXPECT_EQ(monitor.wrong_tool_triggers(), 1u);
+}
+
+TEST_F(TriggerFixture, WrongToolRestartsIdleTimer) {
+  TriggerMonitor monitor = make_monitor();
+  monitor.arm(7, Duration::seconds(10.0));
+  scheduler.run_until(TimePoint::from_seconds(8.0));
+  monitor.notify_usage(9);  // wrong tool at t=8
+  fired.clear();
+  // The idle timer restarted at t=8: next idle prompt at t=18, not t=10.
+  scheduler.run_until(TimePoint::from_seconds(15.0));
+  EXPECT_TRUE(fired.empty());
+  scheduler.run_until(TimePoint::from_seconds(19.0));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, Trigger::kIdleTimeout);
+}
+
+TEST_F(TriggerFixture, DisarmStopsEverything) {
+  TriggerMonitor monitor = make_monitor();
+  monitor.arm(7, Duration::seconds(10.0));
+  monitor.disarm();
+  scheduler.run_until(TimePoint::from_seconds(60.0));
+  EXPECT_TRUE(fired.empty());
+  EXPECT_FALSE(monitor.notify_usage(7));  // unarmed: inert
+}
+
+TEST_F(TriggerFixture, RearmReplacesExpectation) {
+  TriggerMonitor monitor = make_monitor();
+  monitor.arm(7, Duration::seconds(30.0));
+  monitor.arm(8, Duration::seconds(30.0));
+  EXPECT_EQ(monitor.expected(), 8);
+  EXPECT_TRUE(monitor.notify_usage(8));
+}
+
+TEST_F(TriggerFixture, ArmZeroToolThrows) {
+  TriggerMonitor monitor = make_monitor();
+  EXPECT_THROW(monitor.arm(adl::kNoTool), std::invalid_argument);
+}
+
+TEST_F(TriggerFixture, DefaultTimeoutIsThirtySeconds) {
+  // The paper's Figure 1 note: 30 s is the example waiting period.
+  TriggerMonitor monitor = make_monitor();
+  monitor.arm(7);  // no explicit timeout
+  scheduler.run_until(TimePoint::from_seconds(29.0));
+  EXPECT_TRUE(fired.empty());
+  scheduler.run_until(TimePoint::from_seconds(31.0));
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST_F(TriggerFixture, TimeoutForDerivesFromUsageStats) {
+  // Footnote 1: the waiting period comes from the tool's usage statistics.
+  adl::AdlLibrary library;
+  TriggerMonitor monitor = make_monitor();
+  const auto& brush = library.tools().at(adl::tools::kToothbrush);
+  const auto& towel = library.tools().at(adl::tools::kTowel);
+  EXPECT_GT(monitor.timeout_for(brush), monitor.timeout_for(towel));
+  EXPECT_GT(monitor.timeout_for(towel), sim::Duration());
+}
+
+}  // namespace
+}  // namespace coreda::reminding

@@ -1,0 +1,133 @@
+#include "rl/double_q.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rl/policy.hpp"
+#include "rl/td_lambda.hpp"
+
+namespace coreda::rl {
+namespace {
+
+TEST(DoubleQTest, ConfigValidation) {
+  DoubleQLearning::Config bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(DoubleQLearning(2, 2, bad, util::Rng(1)),
+               std::invalid_argument);
+  bad = DoubleQLearning::Config{};
+  bad.gamma = 1.1;
+  EXPECT_THROW(DoubleQLearning(2, 2, bad, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(DoubleQTest, TerminalBackupMovesOneTable) {
+  DoubleQLearning::Config config;
+  config.alpha = 0.5;
+  DoubleQLearning learner(2, 2, config, util::Rng(2));
+  learner.observe(Transition{0, 1, 8.0, 1, true});
+  // Exactly one table moved; the blended value is half a single update.
+  EXPECT_DOUBLE_EQ(learner.value(0, 1), 0.5 * 0.5 * 8.0);
+  const double a = learner.table_a().get(0, 1);
+  const double b = learner.table_b().get(0, 1);
+  EXPECT_TRUE((a == 4.0 && b == 0.0) || (a == 0.0 && b == 4.0));
+}
+
+TEST(DoubleQTest, LearnsDeterministicChain) {
+  // Same chain as the TD(λ) test: action 0 advances toward a terminal
+  // reward of 10; action 1 wastes a step at -1.
+  DoubleQLearning::Config config;
+  config.alpha = 0.2;
+  DoubleQLearning learner(5, 2, config, util::Rng(3));
+  EpsilonGreedyPolicy policy(0.3);
+  util::Rng rng(4);
+
+  // A scratch table for the behaviour policy built from the blended values.
+  for (int episode = 0; episode < 2000; ++episode) {
+    StateId s = 0;
+    for (int step = 0; step < 40; ++step) {
+      // ε-greedy over the blended estimate.
+      ActionId a;
+      if (rng.bernoulli(0.3)) {
+        a = static_cast<ActionId>(rng.pick_index(2));
+      } else {
+        a = learner.best_action(s);
+      }
+      Transition t;
+      t.state = s;
+      t.action = a;
+      if (a == 0) {
+        t.next_state = s + 1;
+        t.terminal = t.next_state == 4;
+        t.reward = t.terminal ? 10.0 : 0.0;
+      } else {
+        t.next_state = s;
+        t.reward = -1.0;
+      }
+      learner.observe(t);
+      if (t.terminal) break;
+      s = t.next_state;
+    }
+  }
+  for (StateId s = 0; s < 4; ++s) {
+    EXPECT_EQ(learner.best_action(s), 0u) << "state " << s;
+  }
+  EXPECT_NEAR(learner.max_value(3), 10.0, 1.0);
+}
+
+TEST(DoubleQTest, LessOverestimationThanSingleQ) {
+  // Classic bias probe (van Hasselt): from the start state, action 0 ends
+  // with reward 0; action 1 leads to a state with many actions whose
+  // rewards are noisy with mean -0.5. The optimal choice is action 0 with
+  // value 0; single Q-Learning's max over noisy estimates makes action 1
+  // look positive for a long time, Double Q much less so.
+  constexpr StateId kStart = 0;
+  constexpr StateId kNoisy = 1;
+  constexpr std::size_t kNoisyActions = 8;
+
+  TdLambdaConfig single_config;
+  single_config.alpha = 0.1;
+  single_config.lambda = 0.0;
+  single_config.gamma = 1.0;
+  TdLambdaQLearning single(2, kNoisyActions, single_config);
+
+  DoubleQLearning::Config double_config;
+  double_config.alpha = 0.1;
+  double_config.gamma = 1.0;
+  DoubleQLearning doubled(2, kNoisyActions, double_config, util::Rng(5));
+
+  util::Rng env(6);
+  for (int episode = 0; episode < 3000; ++episode) {
+    // Forced exploration: always take action 1 into the noisy state,
+    // then a random noisy action, so both learners see identical data.
+    const auto noisy_action =
+        static_cast<ActionId>(env.pick_index(kNoisyActions));
+    const double reward = env.normal(-0.5, 1.0);
+    single.observe(Transition{kStart, 1, 0.0, kNoisy, false});
+    single.observe(Transition{kNoisy, noisy_action, reward, 0, true});
+    doubled.observe(Transition{kStart, 1, 0.0, kNoisy, false});
+    doubled.observe(Transition{kNoisy, noisy_action, reward, 0, true});
+  }
+
+  // True value of action 1 at the start is -0.5. Single Q overestimates
+  // (its bootstrap maxes over noisy estimates); Double Q sits closer.
+  const double single_estimate = single.q().get(kStart, 1);
+  const double double_estimate = doubled.value(kStart, 1);
+  EXPECT_GT(single_estimate, double_estimate);
+  EXPECT_GT(single_estimate, -0.4);              // visibly biased up
+  EXPECT_LT(double_estimate, single_estimate);   // bias reduced
+}
+
+TEST(DoubleQTest, TablesStayIndependentUntilBlended) {
+  DoubleQLearning learner(2, 2, util::Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    learner.observe(Transition{0, 0, 1.0, 1, true});
+  }
+  // Both tables get roughly half the updates.
+  const double a = learner.table_a().get(0, 0);
+  const double b = learner.table_b().get(0, 0);
+  EXPECT_GT(a, 0.0);
+  EXPECT_GT(b, 0.0);
+  EXPECT_NEAR(learner.value(0, 0), (a + b) / 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace coreda::rl

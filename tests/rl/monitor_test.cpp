@@ -1,0 +1,82 @@
+#include "rl/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::rl {
+namespace {
+
+TEST(MonitorTest, ValidatesArguments) {
+  EXPECT_THROW(LearningMonitor({}, [](StateId, ActionId) { return true; }),
+               std::invalid_argument);
+  EXPECT_THROW(LearningMonitor({0}, nullptr), std::invalid_argument);
+}
+
+TEST(MonitorTest, RecordsAccuracy) {
+  QTable q(2, 2);
+  q.set(0, 1, 1.0);  // greedy(0) = 1
+  q.set(1, 0, 1.0);  // greedy(1) = 0
+  LearningMonitor monitor({0, 1}, [](StateId s, ActionId a) {
+    return (s == 0 && a == 1) || (s == 1 && a == 1);
+  });
+  const double acc = monitor.record(q);
+  EXPECT_DOUBLE_EQ(acc, 0.5);
+  ASSERT_EQ(monitor.curve().size(), 1u);
+  EXPECT_EQ(monitor.curve()[0].iteration, 1u);
+  EXPECT_DOUBLE_EQ(monitor.latest_accuracy(), 0.5);
+}
+
+TEST(MonitorTest, CurveGrows) {
+  QTable q(1, 2);
+  LearningMonitor monitor({0}, [](StateId, ActionId a) { return a == 1; });
+  monitor.record(q);       // greedy = 0 (tie, lowest id) -> wrong
+  q.set(0, 1, 5.0);
+  monitor.record(q);       // greedy = 1 -> right
+  ASSERT_EQ(monitor.curve().size(), 2u);
+  EXPECT_DOUBLE_EQ(monitor.curve()[0].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(monitor.curve()[1].accuracy, 1.0);
+}
+
+TEST(MonitorTest, ConvergenceRequiresSustainedAccuracy) {
+  QTable q(1, 2);
+  LearningMonitor monitor({0}, [](StateId, ActionId a) { return a == 1; });
+  // Sequence: wrong, right, wrong, right, right.
+  monitor.record(q);
+  q.set(0, 1, 1.0);
+  monitor.record(q);
+  q.set(0, 0, 2.0);
+  monitor.record(q);
+  q.set(0, 1, 3.0);
+  monitor.record(q);
+  monitor.record(q);
+  // The dip at iteration 3 resets the candidate: convergence is at 4.
+  const auto it = monitor.convergence_iteration(1.0);
+  ASSERT_TRUE(it.has_value());
+  EXPECT_EQ(*it, 4u);
+}
+
+TEST(MonitorTest, NoConvergenceWhenNeverReached) {
+  QTable q(1, 2);
+  LearningMonitor monitor({0}, [](StateId, ActionId a) { return a == 1; });
+  monitor.record(q);  // tie -> greedy 0 -> wrong
+  EXPECT_FALSE(monitor.convergence_iteration(0.95).has_value());
+}
+
+TEST(MonitorTest, ThresholdBoundary) {
+  QTable q(2, 2);
+  q.set(0, 1, 1.0);
+  LearningMonitor monitor({0, 1}, [](StateId s, ActionId a) {
+    return s == 0 ? a == 1 : a == 1;  // state 1 stays wrong (tie -> 0)
+  });
+  monitor.record(q);  // accuracy 0.5
+  EXPECT_TRUE(monitor.convergence_iteration(0.5).has_value());
+  EXPECT_FALSE(monitor.convergence_iteration(0.51).has_value());
+}
+
+TEST(MonitorTest, EmptyCurveHasNoLatest) {
+  QTable q(1, 1);
+  LearningMonitor monitor({0}, [](StateId, ActionId) { return true; });
+  EXPECT_DOUBLE_EQ(monitor.latest_accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace coreda::rl

@@ -1,0 +1,135 @@
+#include "rl/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace coreda::rl {
+namespace {
+
+TEST(EpsilonGreedyTest, ZeroEpsilonIsGreedy) {
+  QTable q(1, 3);
+  q.set(0, 2, 5.0);
+  EpsilonGreedyPolicy policy(0.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.select(q, 0, rng), 2u);
+  }
+}
+
+TEST(EpsilonGreedyTest, FullEpsilonIsUniform) {
+  QTable q(1, 4);
+  q.set(0, 0, 100.0);
+  EpsilonGreedyPolicy policy(1.0);
+  util::Rng rng(2);
+  std::map<ActionId, int> counts;
+  for (int i = 0; i < 4000; ++i) ++counts[policy.select(q, 0, rng)];
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [a, n] : counts) {
+    EXPECT_NEAR(n / 4000.0, 0.25, 0.05);
+  }
+}
+
+TEST(EpsilonGreedyTest, IntermediateEpsilonMixes) {
+  QTable q(1, 2);
+  q.set(0, 1, 5.0);
+  EpsilonGreedyPolicy policy(0.4);
+  util::Rng rng(3);
+  int greedy = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.select(q, 0, rng) == 1u) ++greedy;
+  }
+  // P(greedy arm) = (1 - eps) + eps/2 = 0.8.
+  EXPECT_NEAR(static_cast<double>(greedy) / n, 0.8, 0.02);
+}
+
+TEST(EpsilonGreedyTest, DecaySchedule) {
+  EpsilonGreedyPolicy policy(0.5, 0.5, 0.1);
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 0.5);
+  policy.decay_epsilon();
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 0.25);
+  policy.decay_epsilon();
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 0.125);
+  policy.decay_epsilon();
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 0.1);  // clamped at floor
+  policy.decay_epsilon();
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 0.1);
+}
+
+TEST(EpsilonGreedyTest, InvalidParamsThrow) {
+  EXPECT_THROW(EpsilonGreedyPolicy(-0.1), std::invalid_argument);
+  EXPECT_THROW(EpsilonGreedyPolicy(1.1), std::invalid_argument);
+  EXPECT_THROW(EpsilonGreedyPolicy(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(EpsilonGreedyPolicy(0.5, 1.1), std::invalid_argument);
+  EXPECT_THROW(EpsilonGreedyPolicy(0.5, 0.9, 0.6), std::invalid_argument);
+}
+
+TEST(SoftmaxTest, LowTemperatureIsNearlyGreedy) {
+  QTable q(1, 3);
+  q.set(0, 1, 1.0);
+  SoftmaxPolicy policy(0.01);
+  util::Rng rng(4);
+  int greedy = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (policy.select(q, 0, rng) == 1u) ++greedy;
+  }
+  EXPECT_GT(greedy, 990);
+}
+
+TEST(SoftmaxTest, HighTemperatureIsNearlyUniform) {
+  QTable q(1, 2);
+  q.set(0, 1, 1.0);
+  SoftmaxPolicy policy(1000.0);
+  util::Rng rng(5);
+  int arm1 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.select(q, 0, rng) == 1u) ++arm1;
+  }
+  EXPECT_NEAR(static_cast<double>(arm1) / n, 0.5, 0.03);
+}
+
+TEST(SoftmaxTest, ProbabilitiesFollowBoltzmann) {
+  QTable q(1, 2);
+  q.set(0, 0, 0.0);
+  q.set(0, 1, 1.0);
+  SoftmaxPolicy policy(1.0);
+  util::Rng rng(6);
+  int arm1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.select(q, 0, rng) == 1u) ++arm1;
+  }
+  // P(1) = e / (1 + e) = 0.731.
+  EXPECT_NEAR(static_cast<double>(arm1) / n, 0.731, 0.02);
+}
+
+TEST(SoftmaxTest, HandlesLargeValuesWithoutOverflow) {
+  QTable q(1, 2);
+  q.set(0, 0, 1e6);
+  q.set(0, 1, 1e6 - 1.0);
+  SoftmaxPolicy policy(1.0);
+  util::Rng rng(7);
+  EXPECT_NO_THROW(policy.select(q, 0, rng));
+}
+
+TEST(SoftmaxTest, InvalidTemperatureThrows) {
+  EXPECT_THROW(SoftmaxPolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(SoftmaxPolicy(-1.0), std::invalid_argument);
+  SoftmaxPolicy p(1.0);
+  EXPECT_THROW(p.set_temperature(0.0), std::invalid_argument);
+}
+
+TEST(GreedyPolicyTest, AlwaysPicksMax) {
+  QTable q(1, 3);
+  q.set(0, 2, 1.0);
+  GreedyPolicy policy;
+  util::Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.select(q, 0, rng), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace coreda::rl

@@ -1,0 +1,95 @@
+#include "rl/sarsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rl/policy.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::rl {
+namespace {
+
+TEST(SarsaTest, ConfigValidation) {
+  SarsaLambda::Config bad;
+  bad.alpha = 2.0;
+  EXPECT_THROW(SarsaLambda(2, 2, bad), std::invalid_argument);
+  bad = SarsaLambda::Config();
+  bad.lambda = 1.5;
+  EXPECT_THROW(SarsaLambda(2, 2, bad), std::invalid_argument);
+}
+
+TEST(SarsaTest, TerminalBackup) {
+  SarsaLambda::Config config;
+  config.alpha = 0.5;
+  SarsaLambda learner(2, 2, config);
+  learner.begin_episode();
+  const double delta =
+      learner.observe(Transition{0, 1, 8.0, 1, /*terminal=*/true}, 0);
+  EXPECT_DOUBLE_EQ(delta, 8.0);
+  EXPECT_DOUBLE_EQ(learner.q().get(0, 1), 4.0);
+}
+
+TEST(SarsaTest, BootstrapsFromNextAction) {
+  SarsaLambda::Config config;
+  config.alpha = 1.0;
+  config.gamma = 0.5;
+  config.lambda = 0.0;
+  SarsaLambda learner(3, 2, config);
+  learner.q().set(1, 1, 6.0);  // value of the action actually taken next
+  learner.q().set(1, 0, 100.0);  // max action — SARSA must NOT use this
+  learner.begin_episode();
+  learner.observe(Transition{0, 0, 1.0, 1, false}, /*next_action=*/1);
+  EXPECT_DOUBLE_EQ(learner.q().get(0, 0), 1.0 + 0.5 * 6.0);
+}
+
+TEST(SarsaTest, LearnsSimpleChain) {
+  // Same chain as the Q-learning test: action 0 advances, action 1 wastes.
+  SarsaLambda::Config config;
+  config.alpha = 0.3;
+  SarsaLambda learner(5, 2, config);
+  EpsilonGreedyPolicy policy(0.2);
+  util::Rng rng(13);
+
+  for (int episode = 0; episode < 400; ++episode) {
+    StateId s = 0;
+    learner.begin_episode();
+    ActionId a = policy.select(learner.q(), s, rng);
+    for (int step = 0; step < 60; ++step) {
+      Transition t;
+      t.state = s;
+      t.action = a;
+      if (a == 0) {
+        t.next_state = s + 1;
+        t.terminal = t.next_state == 4;
+        t.reward = t.terminal ? 10.0 : 0.0;
+      } else {
+        t.next_state = s;
+        t.reward = -1.0;
+      }
+      const ActionId next_a =
+          t.terminal ? 0 : policy.select(learner.q(), t.next_state, rng);
+      learner.observe(t, next_a);
+      if (t.terminal) break;
+      s = t.next_state;
+      a = next_a;
+    }
+  }
+  for (StateId s = 0; s < 4; ++s) {
+    EXPECT_EQ(learner.q().best_action(s), 0u) << "state " << s;
+  }
+}
+
+TEST(SarsaTest, TracesClearedAtTerminal) {
+  SarsaLambda learner(3, 1);
+  learner.begin_episode();
+  learner.observe(Transition{0, 0, 0.0, 1, false}, 0);
+  learner.observe(Transition{1, 0, 5.0, 2, true}, 0);
+  // A new episode must not inherit old traces: a big reward in episode 2
+  // must not move episode 1's first state more than its own decay allows.
+  learner.begin_episode();
+  const double q0 = learner.q().get(0, 0);
+  learner.observe(Transition{2, 0, 100.0, 0, true}, 0);
+  EXPECT_DOUBLE_EQ(learner.q().get(0, 0), q0);
+}
+
+}  // namespace
+}  // namespace coreda::rl

@@ -1,0 +1,102 @@
+#include "rl/traces.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::rl {
+namespace {
+
+TEST(TracesTest, EmptyByDefault) {
+  EligibilityTraces traces;
+  EXPECT_EQ(traces.active_count(), 0u);
+  EXPECT_EQ(traces.get(1, 2), 0.0);
+}
+
+TEST(TracesTest, ReplacingVisitSetsOne) {
+  EligibilityTraces traces(TraceType::kReplacing);
+  traces.visit(1, 2);
+  traces.visit(1, 2);
+  EXPECT_DOUBLE_EQ(traces.get(1, 2), 1.0);
+}
+
+TEST(TracesTest, AccumulatingVisitSums) {
+  EligibilityTraces traces(TraceType::kAccumulating);
+  traces.visit(1, 2);
+  traces.visit(1, 2);
+  EXPECT_DOUBLE_EQ(traces.get(1, 2), 2.0);
+}
+
+TEST(TracesTest, DecayMultiplies) {
+  EligibilityTraces traces;
+  traces.visit(1, 2);
+  traces.decay(0.5);
+  EXPECT_DOUBLE_EQ(traces.get(1, 2), 0.5);
+  traces.decay(0.5);
+  EXPECT_DOUBLE_EQ(traces.get(1, 2), 0.25);
+}
+
+TEST(TracesTest, DecayDropsTinyEntries) {
+  EligibilityTraces traces(TraceType::kReplacing, /*cutoff=*/0.1);
+  traces.visit(1, 2);
+  traces.decay(0.05);  // 0.05 < cutoff
+  EXPECT_EQ(traces.active_count(), 0u);
+}
+
+TEST(TracesTest, ClearRemovesAll) {
+  EligibilityTraces traces;
+  traces.visit(1, 2);
+  traces.visit(3, 4);
+  traces.clear();
+  EXPECT_EQ(traces.active_count(), 0u);
+}
+
+TEST(TracesTest, ClearStateActionsKeepsChosen) {
+  EligibilityTraces traces;
+  traces.visit(1, 0);
+  traces.visit(1, 1);
+  traces.visit(2, 0);
+  traces.clear_state_actions(1, 1);
+  EXPECT_EQ(traces.get(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(traces.get(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(traces.get(2, 0), 1.0);  // other state untouched
+}
+
+TEST(TracesTest, ForEachVisitsAllEntries) {
+  EligibilityTraces traces;
+  traces.visit(1, 2);
+  traces.visit(3, 4);
+  double sum = 0.0;
+  int count = 0;
+  traces.for_each([&](StateId, ActionId, double e) {
+    sum += e;
+    ++count;
+  });
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sum, 2.0);
+}
+
+TEST(TracesTest, EntriesSnapshot) {
+  EligibilityTraces traces;
+  traces.visit(7, 3);
+  const auto entries = traces.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].state, 7u);
+  EXPECT_EQ(entries[0].action, 3u);
+  EXPECT_DOUBLE_EQ(entries[0].value, 1.0);
+}
+
+TEST(TracesTest, LargeIdsDoNotCollide) {
+  EligibilityTraces traces;
+  traces.visit(0xffffffff, 0);
+  traces.visit(0, 0xffffffff);
+  EXPECT_EQ(traces.active_count(), 2u);
+  EXPECT_DOUBLE_EQ(traces.get(0xffffffff, 0), 1.0);
+  EXPECT_DOUBLE_EQ(traces.get(0, 0xffffffff), 1.0);
+}
+
+TEST(TracesTest, NegativeCutoffThrows) {
+  EXPECT_THROW(EligibilityTraces(TraceType::kReplacing, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coreda::rl

@@ -1,0 +1,84 @@
+#include "sensors/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::sensors {
+namespace {
+
+using sim::Duration;
+
+TEST(UsageEnvelopeTest, ZeroOutsideInterval) {
+  UsageEnvelope env(Duration::seconds(4.0), Duration::seconds(0.5));
+  EXPECT_EQ(env.activation(Duration::seconds(-0.1)), 0.0);
+  EXPECT_EQ(env.activation(Duration::seconds(4.1)), 0.0);
+}
+
+TEST(UsageEnvelopeTest, RampsFromZero) {
+  UsageEnvelope env(Duration::seconds(4.0), Duration::seconds(1.0),
+                    /*modulation_depth=*/0.0);
+  EXPECT_NEAR(env.activation(Duration::seconds(0.0)), 0.0, 1e-9);
+  EXPECT_NEAR(env.activation(Duration::seconds(0.5)), 0.5, 1e-9);
+  EXPECT_NEAR(env.activation(Duration::seconds(1.0)), 1.0, 1e-9);
+}
+
+TEST(UsageEnvelopeTest, RampsBackDown) {
+  UsageEnvelope env(Duration::seconds(4.0), Duration::seconds(1.0),
+                    /*modulation_depth=*/0.0);
+  EXPECT_NEAR(env.activation(Duration::seconds(3.5)), 0.5, 1e-9);
+  EXPECT_NEAR(env.activation(Duration::seconds(4.0)), 0.0, 1e-9);
+}
+
+TEST(UsageEnvelopeTest, PlateauWithoutModulationIsFull) {
+  UsageEnvelope env(Duration::seconds(10.0), Duration::seconds(1.0),
+                    /*modulation_depth=*/0.0);
+  for (double t = 1.0; t <= 9.0; t += 0.5) {
+    EXPECT_DOUBLE_EQ(env.activation(Duration::seconds(t)), 1.0);
+  }
+}
+
+TEST(UsageEnvelopeTest, ModulationStaysWithinDepth) {
+  UsageEnvelope env(Duration::seconds(10.0), Duration::seconds(1.0),
+                    /*modulation_depth=*/0.3, /*modulation_hz=*/2.0);
+  for (double t = 1.0; t <= 9.0; t += 0.05) {
+    const double a = env.activation(Duration::seconds(t));
+    EXPECT_GE(a, 0.7 - 1e-9);
+    EXPECT_LE(a, 1.0 + 1e-9);
+  }
+}
+
+TEST(UsageEnvelopeTest, ShortGripNeverReachesPlateau) {
+  // Ramp (1s each side) exceeds half the 1s duration; peak stays below 1.
+  UsageEnvelope env(Duration::seconds(1.0), Duration::seconds(1.0),
+                    /*modulation_depth=*/0.0);
+  double peak = 0.0;
+  for (double t = 0.0; t <= 1.0; t += 0.01) {
+    peak = std::max(peak, env.activation(Duration::seconds(t)));
+  }
+  EXPECT_LE(peak, 1.0);
+  EXPECT_NEAR(peak, 1.0, 0.05);  // trapezoid caps ramps at duration/2
+  EXPECT_NEAR(env.activation(Duration::seconds(0.25)), 0.5, 1e-9);
+}
+
+TEST(UsageEnvelopeTest, ZeroRampIsRectangular) {
+  UsageEnvelope env(Duration::seconds(2.0), Duration(),
+                    /*modulation_depth=*/0.0);
+  EXPECT_DOUBLE_EQ(env.activation(Duration::micros(1)), 1.0);
+  EXPECT_DOUBLE_EQ(env.activation(Duration::seconds(1.999)), 1.0);
+}
+
+TEST(UsageEnvelopeTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(UsageEnvelope(Duration(), Duration::seconds(0.5)),
+               std::invalid_argument);
+  EXPECT_THROW(UsageEnvelope(Duration::seconds(-1.0), Duration()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      UsageEnvelope(Duration::seconds(1.0), Duration::seconds(-0.1)),
+      std::invalid_argument);
+  EXPECT_THROW(UsageEnvelope(Duration::seconds(1.0), Duration(), 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(UsageEnvelope(Duration::seconds(1.0), Duration(), -0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coreda::sensors

@@ -1,0 +1,166 @@
+#include "sensors/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace coreda::sensors {
+namespace {
+
+using sim::TimePoint;
+
+TEST(Vec3Test, Magnitude) {
+  EXPECT_DOUBLE_EQ((Vec3{3.0, 4.0, 0.0}).magnitude(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec3{}).magnitude(), 0.0);
+}
+
+TEST(AccelerometerModelTest, IdleExcitationIsLow) {
+  AccelerometerModel model;
+  util::Rng rng(1);
+  util::RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.add(model.sample(TimePoint::origin(), 0.0, 1.0, rng));
+  }
+  // Idle excitation is dominated by sensor noise, well under the 0.30
+  // recommended threshold on average.
+  EXPECT_LT(stats.mean(), 0.15);
+}
+
+TEST(AccelerometerModelTest, ActiveExcitationExceedsThreshold) {
+  AccelerometerModel model;
+  util::Rng rng(2);
+  util::RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.add(model.sample(TimePoint::origin(), 1.0, 1.2, rng));
+  }
+  EXPECT_GT(stats.mean(), model.recommended_threshold());
+}
+
+TEST(AccelerometerModelTest, ExcitationScalesWithIntensity) {
+  AccelerometerModel model;
+  util::Rng rng(3);
+  util::RunningStats weak;
+  util::RunningStats strong;
+  for (int i = 0; i < 5000; ++i) {
+    weak.add(model.sample(TimePoint::origin(), 1.0, 0.3, rng));
+    strong.add(model.sample(TimePoint::origin(), 1.0, 1.3, rng));
+  }
+  EXPECT_LT(weak.mean(), strong.mean());
+}
+
+TEST(AccelerometerModelTest, IdleBumpsOccur) {
+  AccelerometerModel::Params params;
+  params.bump_probability = 0.05;
+  AccelerometerModel model(params);
+  util::Rng rng(4);
+  int big = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (model.sample(TimePoint::origin(), 0.0, 1.0, rng) > 0.4) ++big;
+  }
+  EXPECT_GT(big, 50);  // bumps visible, but rare
+  EXPECT_LT(big, 1000);
+}
+
+TEST(AccelerometerModelTest, LastReadingHasGravity) {
+  AccelerometerModel model;
+  util::Rng rng(5);
+  util::RunningStats z;
+  for (int i = 0; i < 2000; ++i) {
+    model.sample(TimePoint::origin(), 0.0, 1.0, rng);
+    z.add(model.last_reading().z);
+  }
+  EXPECT_NEAR(z.mean(), 1.0, 0.01);  // 1 g on the z axis at rest
+}
+
+TEST(PressureModelTest, MonotoneInActivation) {
+  PressureModel model;
+  util::Rng rng(6);
+  util::RunningStats idle;
+  util::RunningStats active;
+  for (int i = 0; i < 5000; ++i) {
+    idle.add(model.sample(TimePoint::origin(), 0.0, 0.5, rng));
+    active.add(model.sample(TimePoint::origin(), 1.0, 0.5, rng));
+  }
+  EXPECT_LT(idle.mean(), active.mean());
+}
+
+TEST(PressureModelTest, NeverNegative) {
+  PressureModel model;
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(model.sample(TimePoint::origin(), 0.3, 0.4, rng), 0.0);
+  }
+}
+
+TEST(MotionModelTest, BinaryOutput) {
+  MotionModel model;
+  util::Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = model.sample(TimePoint::origin(), 0.5, 1.0, rng);
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST(MotionModelTest, DetectionRateTracksActivation) {
+  MotionModel model;
+  util::Rng rng(9);
+  int idle_hits = 0;
+  int active_hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    idle_hits += model.sample(TimePoint::origin(), 0.0, 1.0, rng) > 0.5;
+    active_hits += model.sample(TimePoint::origin(), 1.0, 1.0, rng) > 0.5;
+  }
+  EXPECT_LT(idle_hits, n / 50);
+  EXPECT_GT(active_hits, n * 3 / 4);
+}
+
+TEST(BrightnessModelTest, UsageRaisesDeviation) {
+  BrightnessModel model;
+  util::Rng rng(10);
+  util::RunningStats idle;
+  util::RunningStats active;
+  for (int i = 0; i < 3000; ++i) {
+    idle.add(model.sample(TimePoint::origin(), 0.0, 1.0, rng));
+    active.add(model.sample(TimePoint::origin(), 1.0, 1.0, rng));
+  }
+  EXPECT_LT(idle.mean(), active.mean());
+}
+
+TEST(TemperatureModelTest, LagsTowardTarget) {
+  TemperatureModel model;
+  util::Rng rng(11);
+  // Sustained usage drives the state up over successive samples.
+  double early = model.sample(TimePoint::origin(), 1.0, 1.0, rng);
+  double late = early;
+  for (int i = 0; i < 50; ++i) {
+    late = model.sample(TimePoint::origin(), 1.0, 1.0, rng);
+  }
+  EXPECT_GT(late, early);
+}
+
+TEST(TemperatureModelTest, DecaysAfterUsage) {
+  TemperatureModel model;
+  util::Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    model.sample(TimePoint::origin(), 1.0, 1.0, rng);
+  }
+  double v = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    v = model.sample(TimePoint::origin(), 0.0, 1.0, rng);
+  }
+  EXPECT_LT(v, 0.1);
+}
+
+TEST(MakeSensorModelTest, CoversEveryKind) {
+  using enum adl::SensorKind;
+  for (auto kind : {kAccelerometer, kPressure, kBrightness, kTemperature,
+                    kMotion}) {
+    const auto model = make_sensor_model(kind);
+    ASSERT_NE(model, nullptr);
+    EXPECT_GT(model->recommended_threshold(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace coreda::sensors

@@ -1,0 +1,72 @@
+#include "sensors/world.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::sensors {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(ManipulationWorldTest, IdleByDefault) {
+  ManipulationWorld world;
+  EXPECT_EQ(world.activation(5, TimePoint::origin()), 0.0);
+  EXPECT_FALSE(world.in_use(5, TimePoint::origin()));
+}
+
+TEST(ManipulationWorldTest, ActiveDuringEpisode) {
+  ManipulationWorld world;
+  world.begin(5, TimePoint::from_seconds(1.0), Duration::seconds(4.0));
+  EXPECT_TRUE(world.in_use(5, TimePoint::from_seconds(3.0)));
+  EXPECT_GT(world.activation(5, TimePoint::from_seconds(3.0)), 0.0);
+  EXPECT_FALSE(world.in_use(5, TimePoint::from_seconds(0.5)));
+  EXPECT_FALSE(world.in_use(5, TimePoint::from_seconds(5.5)));
+}
+
+TEST(ManipulationWorldTest, OtherToolsUnaffected) {
+  ManipulationWorld world;
+  world.begin(5, TimePoint::origin(), Duration::seconds(4.0));
+  EXPECT_EQ(world.activation(6, TimePoint::from_seconds(2.0)), 0.0);
+}
+
+TEST(ManipulationWorldTest, EndTruncatesEpisode) {
+  ManipulationWorld world;
+  world.begin(5, TimePoint::origin(), Duration::seconds(10.0));
+  world.end(5, TimePoint::from_seconds(2.0));
+  EXPECT_FALSE(world.in_use(5, TimePoint::from_seconds(3.0)));
+  EXPECT_TRUE(world.in_use(5, TimePoint::from_seconds(1.0)));
+}
+
+TEST(ManipulationWorldTest, EndOfUnknownToolIsNoop) {
+  ManipulationWorld world;
+  world.end(99, TimePoint::from_seconds(1.0));  // must not crash
+}
+
+TEST(ManipulationWorldTest, RestartReplacesEpisode) {
+  ManipulationWorld world;
+  world.begin(5, TimePoint::origin(), Duration::seconds(2.0));
+  world.begin(5, TimePoint::from_seconds(10.0), Duration::seconds(2.0));
+  EXPECT_FALSE(world.in_use(5, TimePoint::from_seconds(1.0)));
+  EXPECT_TRUE(world.in_use(5, TimePoint::from_seconds(11.0)));
+}
+
+TEST(ManipulationWorldTest, ActivationFollowsEnvelope) {
+  ManipulationWorld world;
+  world.begin(5, TimePoint::origin(), Duration::seconds(10.0),
+              Duration::seconds(1.0));
+  const double early = world.activation(5, TimePoint::from_seconds(0.2));
+  const double mid = world.activation(5, TimePoint::from_seconds(2.6));
+  EXPECT_LT(early, mid);
+}
+
+TEST(ManipulationWorldTest, GarbageCollectDropsPastEpisodes) {
+  ManipulationWorld world;
+  world.begin(5, TimePoint::origin(), Duration::seconds(1.0));
+  world.begin(6, TimePoint::origin(), Duration::seconds(100.0));
+  world.garbage_collect(TimePoint::from_seconds(50.0));
+  EXPECT_TRUE(world.in_use(6, TimePoint::from_seconds(50.0)));
+  EXPECT_FALSE(world.in_use(5, TimePoint::from_seconds(0.5)));
+}
+
+}  // namespace
+}  // namespace coreda::sensors

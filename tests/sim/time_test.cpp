@@ -1,0 +1,70 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::sim {
+namespace {
+
+TEST(DurationTest, Factories) {
+  EXPECT_EQ(Duration::micros(1500).total_micros(), 1500);
+  EXPECT_EQ(Duration::millis(2).total_micros(), 2000);
+  EXPECT_EQ(Duration::seconds(1.5).total_micros(), 1'500'000);
+  EXPECT_EQ(Duration::minutes(2.0).total_micros(), 120'000'000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::seconds(2.0);
+  const Duration b = Duration::seconds(0.5);
+  EXPECT_DOUBLE_EQ((a + b).to_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).to_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 4).to_seconds(), 0.5);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = Duration::seconds(1.0);
+  d += Duration::seconds(2.0);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 3.0);
+  d -= Duration::seconds(0.5);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 2.5);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::seconds(1.0), Duration::seconds(2.0));
+  EXPECT_EQ(Duration::millis(1000), Duration::seconds(1.0));
+  EXPECT_GT(Duration::micros(1), Duration());
+}
+
+TEST(DurationTest, DefaultIsZero) {
+  EXPECT_EQ(Duration().total_micros(), 0);
+}
+
+TEST(TimePointTest, OriginAndOffsets) {
+  const TimePoint t0 = TimePoint::origin();
+  EXPECT_EQ(t0.total_micros(), 0);
+  const TimePoint t1 = t0 + Duration::seconds(3.0);
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ((t1 - t0).to_seconds(), 3.0);
+  EXPECT_EQ(t1 - Duration::seconds(3.0), t0);
+}
+
+TEST(TimePointTest, FromSeconds) {
+  EXPECT_EQ(TimePoint::from_seconds(2.5).total_micros(), 2'500'000);
+}
+
+TEST(TimePointTest, Ordering) {
+  const TimePoint a = TimePoint::from_micros(10);
+  const TimePoint b = TimePoint::from_micros(20);
+  EXPECT_LT(a, b);
+  EXPECT_GE(b, a);
+  EXPECT_EQ(a, TimePoint::from_micros(10));
+}
+
+TEST(TimePointTest, DifferenceCanBeNegative) {
+  const TimePoint a = TimePoint::from_seconds(1.0);
+  const TimePoint b = TimePoint::from_seconds(4.0);
+  EXPECT_DOUBLE_EQ((a - b).to_seconds(), -3.0);
+}
+
+}  // namespace
+}  // namespace coreda::sim

@@ -1,0 +1,129 @@
+#include "tools/cli_commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace coreda::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(const std::vector<std::string>& tokens) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_command(util::Flags::parse(tokens), out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliTest, NoCommandShowsUsageAndFails) {
+  const CliResult r = run({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  const CliResult r = run({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("simulate"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  const CliResult r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, ListShowsCatalog) {
+  const CliResult r = run({"list"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("Tea-making"), std::string::npos);
+  EXPECT_NE(r.out.find("electronic pot (22)"), std::string::npos);
+  EXPECT_NE(r.out.find("Dressing"), std::string::npos);
+}
+
+TEST(CliTest, SimulateRequiresAdl) {
+  const CliResult r = run({"simulate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--adl"), std::string::npos);
+}
+
+TEST(CliTest, SimulateUnknownAdlFails) {
+  const CliResult r = run({"simulate", "--adl=Cooking"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("Cooking"), std::string::npos);
+}
+
+TEST(CliTest, SimulateRunsSessions) {
+  const CliResult r = run({"simulate", "--adl=Tea-making", "--sessions=2",
+                           "--severity=0.3", "--seed=5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("2 sessions completed"), std::string::npos);
+}
+
+TEST(CliTest, BadFlagValueReportsCleanError) {
+  const CliResult r = run({"simulate", "--adl=Tea-making",
+                           "--sessions=two"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--sessions"), std::string::npos);
+}
+
+TEST(CliTest, TrainPromptRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cli_tea.policy";
+  const CliResult train = run(
+      {"train", "--adl=Tea-making", "--out=" + path, "--episodes=80"});
+  EXPECT_EQ(train.code, 0) << train.err;
+  EXPECT_NE(train.out.find("100%"), std::string::npos);
+
+  const CliResult prompt = run({"prompt", "--adl=Tea-making",
+                                "--policy=" + path, "--prev=0", "--cur=21"});
+  EXPECT_EQ(prompt.code, 0) << prompt.err;
+  EXPECT_NE(prompt.out.find("electronic pot"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, PromptRejectsForeignContext) {
+  const std::string path = ::testing::TempDir() + "/cli_tea2.policy";
+  run({"train", "--adl=Tea-making", "--out=" + path, "--episodes=40"});
+  const CliResult r = run({"prompt", "--adl=Tea-making",
+                           "--policy=" + path, "--prev=0", "--cur=99"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("vocabulary"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, PromptMissingPolicyFileFails) {
+  const CliResult r = run({"prompt", "--adl=Tea-making",
+                           "--policy=/nonexistent/x.policy"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(CliTest, ScenarioReplaysFigure1) {
+  const CliResult r = run({"scenario"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("red LED"), std::string::npos);
+  EXPECT_NE(r.out.find("ADL complete"), std::string::npos);
+}
+
+TEST(CliTest, HomeRunsMultiAdlSessions) {
+  const CliResult r = run({"home", "--sessions=3", "--severity=0.3",
+                           "--hints"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Multi-ADL home sessions"), std::string::npos);
+  EXPECT_NE(r.out.find("Tea-making"), std::string::npos);
+}
+
+TEST(CliTest, ReportProducesTable) {
+  const CliResult r = run({"report", "--days=2"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("Caregiver summary"), std::string::npos);
+  EXPECT_NE(r.out.find("Tooth-brushing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coreda::cli

@@ -1,0 +1,87 @@
+#include "trace/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+
+namespace coreda::trace {
+namespace {
+
+namespace T = adl::tools;
+
+struct DatasetFixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  DatasetBuilder make(double severity = 0.0, std::uint64_t seed = 9) {
+    return DatasetBuilder(
+        library, patient::PatientProfile::with_severity("T", severity),
+        seed);
+  }
+};
+
+TEST_F(DatasetFixture, CleanSetHasRequestedSize) {
+  DatasetBuilder builder = make();
+  const auto set = builder.clean_training_set(library.tea_making(), 120);
+  EXPECT_EQ(set.size(), 120u);
+  for (const auto& ep : set) {
+    EXPECT_EQ(ep.size(), 4u);
+    EXPECT_EQ(ep.front(), T::kTeaBox);
+    EXPECT_EQ(ep.back(), T::kTeaCup);
+  }
+}
+
+TEST_F(DatasetFixture, SensedSetOccasionallyMissesWeakSteps) {
+  DatasetBuilder builder = make();
+  const auto set = builder.sensed_training_set(library.tea_making(), 120);
+  EXPECT_EQ(set.size(), 120u);
+  std::size_t complete = 0;
+  for (const auto& ep : set) {
+    EXPECT_LE(ep.size(), 5u);
+    if (ep.size() == 4) ++complete;
+  }
+  // The pot extraction (~80 %) dominates the incompleteness: roughly 70-85 %
+  // of episodes survive fully.
+  EXPECT_GT(complete, 60u);
+  EXPECT_LT(complete, 115u);
+}
+
+TEST_F(DatasetFixture, TimedSetMatchesRoutineShape) {
+  DatasetBuilder builder = make();
+  const auto set = builder.timed_set(library.tooth_brushing(), 30);
+  EXPECT_EQ(set.size(), 30u);
+  for (const auto& ep : set) {
+    ASSERT_EQ(ep.size(), 4u);
+    EXPECT_EQ(ep[0].tool, T::kPasteTube);
+    EXPECT_EQ(ep[3].tool, T::kTowel);
+  }
+}
+
+TEST_F(DatasetFixture, DeterministicPerSeed) {
+  DatasetBuilder a = make(0.0, 33);
+  DatasetBuilder b = make(0.0, 33);
+  EXPECT_EQ(a.sensed_training_set(library.tea_making(), 20),
+            b.sensed_training_set(library.tea_making(), 20));
+}
+
+TEST_F(DatasetFixture, DifferentSeedsDiffer) {
+  DatasetBuilder a = make(0.0, 1);
+  DatasetBuilder b = make(0.0, 2);
+  EXPECT_NE(a.sensed_training_set(library.tea_making(), 30),
+            b.sensed_training_set(library.tea_making(), 30));
+}
+
+TEST_F(DatasetFixture, MultiRoutineAdlSamplesBothRoutines) {
+  DatasetBuilder builder = make();
+  const auto set = builder.clean_training_set(library.dressing(), 40);
+  bool shirt_first = false;
+  bool trousers_first = false;
+  for (const auto& ep : set) {
+    if (ep.front() == T::kShirt) shirt_first = true;
+    if (ep.front() == T::kTrousers) trousers_first = true;
+  }
+  EXPECT_TRUE(shirt_first);
+  EXPECT_TRUE(trousers_first);
+}
+
+}  // namespace
+}  // namespace coreda::trace

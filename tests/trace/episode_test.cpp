@@ -1,0 +1,73 @@
+#include "trace/episode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace coreda::trace {
+namespace {
+
+Episode sample_episode() {
+  Episode ep;
+  ep.adl_name = "Tea-making";
+  ep.records.push_back(
+      StepRecord{21, sim::TimePoint::from_seconds(1.0),
+                 sim::Duration::seconds(5.0)});
+  ep.records.push_back(
+      StepRecord{22, sim::TimePoint::from_seconds(8.0),
+                 sim::Duration::seconds(2.5)});
+  return ep;
+}
+
+TEST(EpisodeTest, StepIds) {
+  const Episode ep = sample_episode();
+  EXPECT_EQ(ep.step_ids(), (std::vector<adl::StepId>{21, 22}));
+}
+
+TEST(EpisodeTest, TotalDuration) {
+  const Episode ep = sample_episode();
+  // From 1.0 s to 10.5 s.
+  EXPECT_DOUBLE_EQ(ep.total_duration().to_seconds(), 9.5);
+}
+
+TEST(EpisodeTest, EmptyEpisode) {
+  Episode ep;
+  EXPECT_TRUE(ep.step_ids().empty());
+  EXPECT_EQ(ep.total_duration().total_micros(), 0);
+}
+
+TEST(EpisodeCsvTest, RoundTrip) {
+  std::vector<Episode> eps{sample_episode(), sample_episode()};
+  eps[1].adl_name = "Tooth-brushing";
+  eps[1].records.pop_back();
+
+  std::ostringstream out;
+  write_episodes_csv(out, eps);
+  std::istringstream in(out.str());
+  const auto back = read_episodes_csv(in);
+
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].adl_name, "Tea-making");
+  EXPECT_EQ(back[1].adl_name, "Tooth-brushing");
+  ASSERT_EQ(back[0].records.size(), 2u);
+  ASSERT_EQ(back[1].records.size(), 1u);
+  EXPECT_EQ(back[0].records[1].tool, 22);
+  EXPECT_DOUBLE_EQ(back[0].records[1].start.to_seconds(), 8.0);
+  EXPECT_DOUBLE_EQ(back[0].records[1].duration.to_seconds(), 2.5);
+}
+
+TEST(EpisodeCsvTest, EmptyListWritesHeaderOnly) {
+  std::ostringstream out;
+  write_episodes_csv(out, {});
+  EXPECT_EQ(out.str(), "adl,episode,tool,start_us,duration_us\n");
+  std::istringstream in(out.str());
+  EXPECT_TRUE(read_episodes_csv(in).empty());
+}
+
+TEST(EpisodeCsvTest, MalformedRowThrows) {
+  std::istringstream in("adl,episode,tool,start_us,duration_us\nbad,row\n");
+  EXPECT_THROW(read_episodes_csv(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace coreda::trace

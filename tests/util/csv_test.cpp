@@ -1,0 +1,117 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace coreda::util {
+namespace {
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("a").field("b").field(std::int64_t{3});
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a,b,3\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriterTest, Header) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x", "y"});
+  EXPECT_EQ(out.str(), "x,y\n");
+}
+
+TEST(CsvWriterTest, QuotesFieldsWithCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("hello, world").field("plain");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "\"hello, world\",plain\n");
+}
+
+TEST(CsvWriterTest, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("say \"hi\"");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("line1\nline2");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriterTest, DoubleRoundTrips) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(0.1).field(1e-9).field(12345.6789);
+  csv.end_row();
+  const auto fields = parse_csv_line(out.str().substr(0, out.str().size() - 1));
+  EXPECT_DOUBLE_EQ(std::stod(fields[0]), 0.1);
+  EXPECT_DOUBLE_EQ(std::stod(fields[1]), 1e-9);
+  EXPECT_DOUBLE_EQ(std::stod(fields[2]), 12345.6789);
+}
+
+TEST(CsvWriterTest, BoolFormatting) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(true).field(false);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "true,false\n");
+}
+
+TEST(ParseCsvLineTest, SimpleSplit) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  const auto fields = parse_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithComma) {
+  const auto fields = parse_csv_line("\"x,y\",z");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "x,y");
+  EXPECT_EQ(fields[1], "z");
+}
+
+TEST(ParseCsvLineTest, EscapedQuotes) {
+  const auto fields = parse_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLineTest, ToleratesCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvRoundTripTest, WriterOutputParsesBack) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("normal").field("with, comma").field("with \"quote\"");
+  csv.end_row();
+  std::string line = out.str();
+  line.pop_back();  // trailing newline
+  const auto fields = parse_csv_line(line);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "normal");
+  EXPECT_EQ(fields[1], "with, comma");
+  EXPECT_EQ(fields[2], "with \"quote\"");
+}
+
+}  // namespace
+}  // namespace coreda::util

@@ -1,0 +1,65 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace coreda::util {
+namespace {
+
+TEST(LoggerTest, DefaultDiscards) {
+  Logger log("test");
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+  log.error("never seen");  // must not crash with no sink
+}
+
+TEST(LoggerTest, LevelFiltering) {
+  std::vector<std::string> messages;
+  Logger log("comp", LogLevel::kWarn);
+  log.set_sink([&](LogLevel, std::string_view, std::string_view m) {
+    messages.emplace_back(m);
+  });
+  log.debug("dropped");
+  log.info("dropped");
+  log.warn("kept-1");
+  log.error("kept-2");
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0], "kept-1");
+  EXPECT_EQ(messages[1], "kept-2");
+}
+
+TEST(LoggerTest, OffSilencesEverything) {
+  int calls = 0;
+  Logger log("comp", LogLevel::kOff);
+  log.set_sink([&](LogLevel, std::string_view, std::string_view) { ++calls; });
+  log.error("nope");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(LoggerTest, FormatsMultipleArgs) {
+  std::string captured;
+  Logger log("comp", LogLevel::kInfo);
+  log.set_sink([&](LogLevel, std::string_view, std::string_view m) {
+    captured = std::string(m);
+  });
+  log.info("x=", 42, " y=", 1.5);
+  EXPECT_EQ(captured, "x=42 y=1.5");
+}
+
+TEST(LoggerTest, StreamSinkFormat) {
+  std::ostringstream out;
+  Logger log("radio", LogLevel::kInfo);
+  log.set_sink(Logger::stream_sink(out));
+  log.info("frame sent");
+  EXPECT_EQ(out.str(), "[INFO] radio: frame sent\n");
+}
+
+TEST(LogLevelTest, Names) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace coreda::util

@@ -1,0 +1,179 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace coreda::util {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  }
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRateMatchesProbability) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(37);
+  const int n = 100000;
+  double sum = 0.0;
+  double ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(41);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(3.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, PickIndexStaysInRange) {
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.pick_index(7), 7u);
+  }
+}
+
+TEST(RngTest, PickWeightedHonorsWeights) {
+  Rng rng(47);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.pick_weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, PickWeightedNegativeWeightsIgnored) {
+  Rng rng(53);
+  const std::vector<double> weights{-5.0, 2.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.pick_weighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(59);
+  Rng child = parent.fork();
+  // The child must differ from a fresh copy of the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(61);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and run
+  EXPECT_EQ(v.size(), 5u);
+}
+
+}  // namespace
+}  // namespace coreda::util

@@ -1,0 +1,143 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coreda::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32 / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesBulk) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleSetTest, PercentileEdges) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+}
+
+TEST(SampleSetTest, PercentileClampsOutOfRange) {
+  SampleSet s;
+  s.add(5.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-10), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(200), 7.0);
+}
+
+TEST(SampleSetTest, EmptyPercentileIsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSetTest, AddAfterPercentileInvalidatesCache) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 2.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(PrecisionCounterTest, Basics) {
+  PrecisionCounter c;
+  EXPECT_EQ(c.precision(), 0.0);
+  c.record(true);
+  c.record(true);
+  c.record(false);
+  c.record(true);
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_EQ(c.correct(), 3u);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, AccuracyAndCells) {
+  ConfusionMatrix m;
+  m.record(1, 1);
+  m.record(1, 1);
+  m.record(1, 2);
+  m.record(2, 2);
+  EXPECT_EQ(m.total(), 4u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+  EXPECT_EQ(m.count(1, 1), 2u);
+  EXPECT_EQ(m.count(1, 2), 1u);
+  EXPECT_EQ(m.count(3, 3), 0u);
+}
+
+TEST(ConfusionMatrixTest, PerClassPrecisionRecall) {
+  ConfusionMatrix m;
+  // Class 1: 2 actual (1 predicted right, 1 as class 2).
+  m.record(1, 1);
+  m.record(1, 2);
+  // Class 2: 2 actual, both right.
+  m.record(2, 2);
+  m.record(2, 2);
+  EXPECT_DOUBLE_EQ(m.recall_for(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.precision_for(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall_for(2), 1.0);
+  EXPECT_DOUBLE_EQ(m.precision_for(2), 2.0 / 3.0);
+  // Never-seen class.
+  EXPECT_EQ(m.precision_for(9), 0.0);
+  EXPECT_EQ(m.recall_for(9), 0.0);
+}
+
+}  // namespace
+}  // namespace coreda::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coreda::util {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t("Title");
+  t.set_header({"ADL", "Precision"});
+  t.add_row({"Tea-making", "80%"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("ADL"), std::string::npos);
+  EXPECT_NE(out.find("Tea-making"), std::string::npos);
+  EXPECT_NE(out.find("80%"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsPadToWidestCell) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"longer-cell", "x"});
+  const std::string out = t.render();
+  // Every rendered row has the same length.
+  std::size_t len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    const std::size_t row_len = nl - pos;
+    if (len == std::string::npos) {
+      len = row_len;
+    } else {
+      EXPECT_EQ(row_len, len);
+    }
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTableTest, RaggedRowsTolerated) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTableTest, NoHeaderStillRenders) {
+  TextTable t;
+  t.add_row({"x", "y"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(FormatPercentTest, Rounding) {
+  EXPECT_EQ(format_percent(0.85), "85%");
+  EXPECT_EQ(format_percent(1.0), "100%");
+  EXPECT_EQ(format_percent(0.8571, 1), "85.7%");
+  EXPECT_EQ(format_percent(0.0), "0%");
+}
+
+TEST(FormatFixedTest, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace coreda::util

@@ -1,0 +1,286 @@
+#include "tools/cli_commands.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/home.hpp"
+#include "core/scenario.hpp"
+#include "core/system.hpp"
+#include "planning/serialize.hpp"
+#include "trace/dataset.hpp"
+#include "util/table.hpp"
+
+namespace coreda::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(coreda — context-aware ADL reminding (CoReDA reproduction)
+
+usage: coreda <command> [--flags]
+
+commands:
+  list                         the deployment catalog (ADLs, tools, uids)
+  simulate  --adl=<name> [--severity=0.5] [--sessions=3] [--seed=42]
+            [--transcript]    closed-loop assisted sessions
+  train     --adl=<name> --out=<file> [--episodes=120] [--seed=42]
+                              train a planner, save the policy snapshot
+  prompt    --adl=<name> --policy=<file> [--prev=<uid>] [--cur=<uid>]
+                              next-step prompt from a saved policy
+  scenario                     replay the paper's Figure 1 timeline
+  report    [--days=7] [--seed=42]
+                              multi-day caregiver summary
+  home      [--severity=0.5] [--sessions=6] [--seed=42] [--hints]
+                              multi-ADL sessions with activity recognition
+  help                         this message
+)";
+
+patient::PatientProfile profile_from(const util::Flags& flags) {
+  patient::PatientProfile profile = patient::PatientProfile::with_severity(
+      flags.get("user", "Resident"), flags.get_double("severity", 0.5));
+  return profile;
+}
+
+int cmd_list(std::ostream& out) {
+  adl::AdlLibrary library;
+  util::TextTable table("Deployment catalog");
+  table.set_header({"ADL", "Step", "Tool (node uid)", "Sensor"});
+  for (const adl::Adl& adl : library.adls()) {
+    for (const adl::AdlRoutine& routine : adl.routines()) {
+      for (const adl::AdlStep& step : routine.steps()) {
+        const adl::Tool& tool = library.tools().at(step.tool);
+        table.add_row({adl.name() + " (" + routine.name() + ")", step.name,
+                       tool.name + " (" + std::to_string(tool.id) + ")",
+                       std::string(to_string(tool.sensor))});
+      }
+    }
+  }
+  out << table.render();
+  return 0;
+}
+
+int cmd_simulate(const util::Flags& flags, std::ostream& out,
+                 std::ostream& err) {
+  const std::string adl_name = flags.get("adl");
+  if (adl_name.empty()) {
+    err << "simulate: --adl=<name> is required (see 'coreda list')\n";
+    return 1;
+  }
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.by_name(adl_name);
+
+  core::SystemConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  core::CoredaSystem system(library, adl, config);
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("Trainer", 0.0),
+      config.seed + 1);
+  system.pretrain(datasets.sensed_training_set(adl, 120));
+
+  const auto sessions = flags.get_int("sessions", 3);
+  const patient::PatientProfile profile = profile_from(flags);
+
+  util::TextTable table("Assisted sessions — " + adl.name());
+  table.set_header({"#", "Completed", "Steps", "Prompts", "Praises",
+                    "Elapsed (s)"});
+  int completed = 0;
+  for (std::int64_t i = 0; i < sessions; ++i) {
+    const core::SessionResult result =
+        system.run_session(profile, sim::Duration::minutes(40.0));
+    completed += result.completed;
+    table.add_row({std::to_string(i + 1), result.completed ? "yes" : "no",
+                   std::to_string(result.steps_completed),
+                   std::to_string(result.prompts_total),
+                   std::to_string(result.praises),
+                   util::format_fixed(result.elapsed.to_seconds(), 0)});
+    if (flags.get_bool("transcript")) {
+      for (const auto& r : system.reminder().log()) {
+        out << "  [" << util::format_fixed(r.at.to_seconds(), 1) << "s] "
+            << to_string(r.trigger) << " -> " << r.text << '\n';
+      }
+    }
+  }
+  out << table.render();
+  out << completed << "/" << sessions << " sessions completed\n";
+  return 0;
+}
+
+int cmd_train(const util::Flags& flags, std::ostream& out,
+              std::ostream& err) {
+  const std::string adl_name = flags.get("adl");
+  const std::string out_path = flags.get("out");
+  if (adl_name.empty() || out_path.empty()) {
+    err << "train: --adl=<name> and --out=<file> are required\n";
+    return 1;
+  }
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.by_name(adl_name);
+  const auto episodes = flags.get_int("episodes", 120);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  planning::RoutineLearner learner(adl, util::Rng(seed));
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("Trainer", 0.0),
+      seed + 1);
+  for (const auto& ep : datasets.sensed_training_set(
+           adl, static_cast<std::size_t>(episodes))) {
+    learner.train_episode(ep);
+  }
+
+  std::ofstream file(out_path);
+  if (!file) {
+    err << "train: cannot write '" << out_path << "'\n";
+    return 2;
+  }
+  planning::save_policy(file, learner);
+  out << "Trained " << adl.name() << " on " << episodes
+      << " sensed episodes (policy accuracy "
+      << util::format_percent(learner.greedy_accuracy()) << "); saved to "
+      << out_path << '\n';
+  return 0;
+}
+
+int cmd_prompt(const util::Flags& flags, std::ostream& out,
+               std::ostream& err) {
+  const std::string adl_name = flags.get("adl");
+  const std::string policy_path = flags.get("policy");
+  if (adl_name.empty() || policy_path.empty()) {
+    err << "prompt: --adl=<name> and --policy=<file> are required\n";
+    return 1;
+  }
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.by_name(adl_name);
+  planning::RoutineLearner learner(adl, util::Rng(1));
+  std::ifstream file(policy_path);
+  if (!file) {
+    err << "prompt: cannot read '" << policy_path << "'\n";
+    return 2;
+  }
+  planning::load_policy(file, learner);
+
+  const auto prev = static_cast<adl::StepId>(flags.get_int("prev", 0));
+  const auto cur = static_cast<adl::StepId>(flags.get_int("cur", 0));
+  const auto prompt = learner.predict(prev, cur);
+  if (!prompt) {
+    err << "prompt: context <" << prev << ", " << cur
+        << "> is outside this ADL's vocabulary\n";
+    return 1;
+  }
+  out << "context <" << prev << ", " << cur << "> -> use "
+      << library.tools().at(prompt->action.tool).name << " (uid "
+      << prompt->action.tool << ", "
+      << planning::to_string(prompt->action.level) << " reminder)\n";
+  return 0;
+}
+
+int cmd_scenario(std::ostream& out) {
+  adl::AdlLibrary library;
+  core::ScenarioPlayer player(library);
+  player.play_figure1(&out);
+  return player.last_result().completed ? 0 : 2;
+}
+
+int cmd_home(const util::Flags& flags, std::ostream& out) {
+  adl::AdlLibrary library;
+  core::SystemConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  core::HomeDeployment home(library, config);
+  home.pretrain(120, config.seed + 3);
+
+  patient::PatientProfile profile = profile_from(flags);
+  const auto sessions = flags.get_int("sessions", 6);
+  const bool hints = flags.get_bool("hints");
+  const char* rotation[] = {"Tea-making", "Tooth-brushing", "Hand-washing"};
+
+  util::TextTable table("Multi-ADL home sessions");
+  table.set_header({"#", "Attempted", "Recognized", "Completed", "Prompts"});
+  int completed = 0;
+  for (std::int64_t i = 0; i < sessions; ++i) {
+    const char* adl = rotation[i % 3];
+    const core::HomeSessionResult result = home.run_session(
+        adl, profile, sim::Duration::minutes(40.0), hints ? adl : "");
+    completed += result.completed;
+    table.add_row({std::to_string(i + 1), adl,
+                   result.recognized_adl.empty() ? "(hint only)"
+                                                 : result.recognized_adl,
+                   result.completed ? "yes" : "no",
+                   std::to_string(result.prompts_total)});
+  }
+  out << table.render();
+  out << completed << "/" << sessions << " sessions completed\n";
+  return 0;
+}
+
+int cmd_report(const util::Flags& flags, std::ostream& out) {
+  adl::AdlLibrary library;
+  const auto days = flags.get_int("days", 7);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  util::TextTable table("Caregiver summary (" + std::to_string(days) +
+                        " days, simulated)");
+  table.set_header({"Severity", "ADL", "Completed", "Prompts/session"});
+  for (double severity : {0.2, 0.5, 0.8}) {
+    for (const char* adl_name : {"Tea-making", "Tooth-brushing"}) {
+      const adl::Adl& adl = library.by_name(adl_name);
+      core::SystemConfig config;
+      config.seed = seed + static_cast<std::uint64_t>(severity * 100);
+      core::CoredaSystem system(library, adl, config);
+      trace::DatasetBuilder datasets(
+          library, patient::PatientProfile::with_severity("T", 0.0),
+          config.seed + 1);
+      system.pretrain(datasets.sensed_training_set(adl, 120));
+
+      const patient::PatientProfile profile =
+          patient::PatientProfile::with_severity("Resident", severity);
+      int completed = 0;
+      std::size_t prompts = 0;
+      for (std::int64_t d = 0; d < days; ++d) {
+        const auto result =
+            system.run_session(profile, sim::Duration::minutes(45.0));
+        completed += result.completed;
+        prompts += result.prompts_total;
+      }
+      table.add_row(
+          {util::format_fixed(severity, 1), adl_name,
+           std::to_string(completed) + "/" + std::to_string(days),
+           util::format_fixed(static_cast<double>(prompts) /
+                                  static_cast<double>(days),
+                              1)});
+    }
+  }
+  out << table.render();
+  return 0;
+}
+
+}  // namespace
+
+int run_command(const util::Flags& flags, std::ostream& out,
+                std::ostream& err) {
+  try {
+    const std::string& command = flags.command();
+    if (command.empty() || command == "help") {
+      out << kUsage;
+      return command.empty() ? 1 : 0;
+    }
+    if (command == "list") return cmd_list(out);
+    if (command == "simulate") return cmd_simulate(flags, out, err);
+    if (command == "train") return cmd_train(flags, out, err);
+    if (command == "prompt") return cmd_prompt(flags, out, err);
+    if (command == "scenario") return cmd_scenario(out);
+    if (command == "report") return cmd_report(flags, out);
+    if (command == "home") return cmd_home(flags, out);
+    err << "unknown command '" << command << "' (try 'coreda help')\n";
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::out_of_range& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    err << "failure: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace coreda::cli

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "util/flags.hpp"
+
+namespace coreda::cli {
+
+/// Dispatches one parsed command line against `out`/`err`. Returns the
+/// process exit code (0 success, 1 user error, 2 execution failure).
+///
+/// Commands:
+///   simulate   closed-loop assisted sessions and a summary
+///   train      train a planner and save the policy snapshot
+///   prompt     query a saved policy for the next-step prompt
+///   scenario   replay the paper's Figure 1 timeline
+///   report     the multi-day caregiver summary
+///   list       the deployment catalog (ADLs, tools, node uids)
+///   help       usage
+int run_command(const util::Flags& flags, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace coreda::cli

@@ -1,0 +1,11 @@
+// The `coreda` command-line tool: train, inspect, and simulate CoReDA
+// deployments without writing C++. See `coreda help`.
+
+#include <iostream>
+
+#include "tools/cli_commands.hpp"
+
+int main(int argc, char** argv) {
+  const coreda::util::Flags flags = coreda::util::Flags::parse(argc, argv);
+  return coreda::cli::run_command(flags, std::cout, std::cerr);
+}
