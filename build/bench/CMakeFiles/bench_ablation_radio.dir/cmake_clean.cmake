@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_radio.dir/ablation_radio.cpp.o"
+  "CMakeFiles/bench_ablation_radio.dir/ablation_radio.cpp.o.d"
+  "bench_ablation_radio"
+  "bench_ablation_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multiroutine.dir/ext_multiroutine.cpp.o"
+  "CMakeFiles/bench_ext_multiroutine.dir/ext_multiroutine.cpp.o.d"
+  "bench_ext_multiroutine"
+  "bench_ext_multiroutine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multiroutine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

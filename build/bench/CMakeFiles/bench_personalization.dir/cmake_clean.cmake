@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_personalization.dir/personalization.cpp.o"
+  "CMakeFiles/bench_personalization.dir/personalization.cpp.o.d"
+  "bench_personalization"
+  "bench_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

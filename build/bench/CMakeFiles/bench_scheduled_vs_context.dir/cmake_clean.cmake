@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduled_vs_context.dir/scheduled_vs_context.cpp.o"
+  "CMakeFiles/bench_scheduled_vs_context.dir/scheduled_vs_context.cpp.o.d"
+  "bench_scheduled_vs_context"
+  "bench_scheduled_vs_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduled_vs_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_extract.dir/table3_extract.cpp.o"
+  "CMakeFiles/bench_table3_extract.dir/table3_extract.cpp.o.d"
+  "bench_table3_extract"
+  "bench_table3_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_predict.dir/table4_predict.cpp.o"
+  "CMakeFiles/bench_table4_predict.dir/table4_predict.cpp.o.d"
+  "bench_table4_predict"
+  "bench_table4_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assisted_tea_session.dir/assisted_tea_session.cpp.o"
+  "CMakeFiles/assisted_tea_session.dir/assisted_tea_session.cpp.o.d"
+  "assisted_tea_session"
+  "assisted_tea_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assisted_tea_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

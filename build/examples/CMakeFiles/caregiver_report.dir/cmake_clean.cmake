@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caregiver_report.dir/caregiver_report.cpp.o"
+  "CMakeFiles/caregiver_report.dir/caregiver_report.cpp.o.d"
+  "caregiver_report"
+  "caregiver_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caregiver_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

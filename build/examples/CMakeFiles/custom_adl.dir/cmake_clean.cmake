@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_adl.dir/custom_adl.cpp.o"
+  "CMakeFiles/custom_adl.dir/custom_adl.cpp.o.d"
+  "custom_adl"
+  "custom_adl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

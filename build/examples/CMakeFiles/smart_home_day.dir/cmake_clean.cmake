@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_day.dir/smart_home_day.cpp.o"
+  "CMakeFiles/smart_home_day.dir/smart_home_day.cpp.o.d"
+  "smart_home_day"
+  "smart_home_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

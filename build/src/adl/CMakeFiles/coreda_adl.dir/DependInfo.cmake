@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adl/library.cpp" "src/adl/CMakeFiles/coreda_adl.dir/library.cpp.o" "gcc" "src/adl/CMakeFiles/coreda_adl.dir/library.cpp.o.d"
+  "/root/repo/src/adl/routine.cpp" "src/adl/CMakeFiles/coreda_adl.dir/routine.cpp.o" "gcc" "src/adl/CMakeFiles/coreda_adl.dir/routine.cpp.o.d"
+  "/root/repo/src/adl/tool.cpp" "src/adl/CMakeFiles/coreda_adl.dir/tool.cpp.o" "gcc" "src/adl/CMakeFiles/coreda_adl.dir/tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coreda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coreda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_adl.dir/library.cpp.o"
+  "CMakeFiles/coreda_adl.dir/library.cpp.o.d"
+  "CMakeFiles/coreda_adl.dir/routine.cpp.o"
+  "CMakeFiles/coreda_adl.dir/routine.cpp.o.d"
+  "CMakeFiles/coreda_adl.dir/tool.cpp.o"
+  "CMakeFiles/coreda_adl.dir/tool.cpp.o.d"
+  "libcoreda_adl.a"
+  "libcoreda_adl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

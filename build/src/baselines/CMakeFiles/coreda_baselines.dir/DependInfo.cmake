@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/markov.cpp" "src/baselines/CMakeFiles/coreda_baselines.dir/markov.cpp.o" "gcc" "src/baselines/CMakeFiles/coreda_baselines.dir/markov.cpp.o.d"
+  "/root/repo/src/baselines/mdp_planner.cpp" "src/baselines/CMakeFiles/coreda_baselines.dir/mdp_planner.cpp.o" "gcc" "src/baselines/CMakeFiles/coreda_baselines.dir/mdp_planner.cpp.o.d"
+  "/root/repo/src/baselines/predictor.cpp" "src/baselines/CMakeFiles/coreda_baselines.dir/predictor.cpp.o" "gcc" "src/baselines/CMakeFiles/coreda_baselines.dir/predictor.cpp.o.d"
+  "/root/repo/src/baselines/scheduled.cpp" "src/baselines/CMakeFiles/coreda_baselines.dir/scheduled.cpp.o" "gcc" "src/baselines/CMakeFiles/coreda_baselines.dir/scheduled.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adl/CMakeFiles/coreda_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/coreda_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/coreda_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coreda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coreda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

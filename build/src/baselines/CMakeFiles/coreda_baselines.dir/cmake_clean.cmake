@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_baselines.dir/markov.cpp.o"
+  "CMakeFiles/coreda_baselines.dir/markov.cpp.o.d"
+  "CMakeFiles/coreda_baselines.dir/mdp_planner.cpp.o"
+  "CMakeFiles/coreda_baselines.dir/mdp_planner.cpp.o.d"
+  "CMakeFiles/coreda_baselines.dir/predictor.cpp.o"
+  "CMakeFiles/coreda_baselines.dir/predictor.cpp.o.d"
+  "CMakeFiles/coreda_baselines.dir/scheduled.cpp.o"
+  "CMakeFiles/coreda_baselines.dir/scheduled.cpp.o.d"
+  "libcoreda_baselines.a"
+  "libcoreda_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

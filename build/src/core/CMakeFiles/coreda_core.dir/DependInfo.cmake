@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/home.cpp" "src/core/CMakeFiles/coreda_core.dir/home.cpp.o" "gcc" "src/core/CMakeFiles/coreda_core.dir/home.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/coreda_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/coreda_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/coreda_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/coreda_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adl/CMakeFiles/coreda_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/patient/CMakeFiles/coreda_patient.dir/DependInfo.cmake"
+  "/root/repo/build/src/pavenet/CMakeFiles/coreda_pavenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/coreda_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/reminding/CMakeFiles/coreda_reminding.dir/DependInfo.cmake"
+  "/root/repo/build/src/recognition/CMakeFiles/coreda_recognition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/coreda_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coreda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/coreda_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coreda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/coreda_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_core.dir/home.cpp.o"
+  "CMakeFiles/coreda_core.dir/home.cpp.o.d"
+  "CMakeFiles/coreda_core.dir/scenario.cpp.o"
+  "CMakeFiles/coreda_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/coreda_core.dir/system.cpp.o"
+  "CMakeFiles/coreda_core.dir/system.cpp.o.d"
+  "libcoreda_core.a"
+  "libcoreda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_patient.dir/actor.cpp.o"
+  "CMakeFiles/coreda_patient.dir/actor.cpp.o.d"
+  "CMakeFiles/coreda_patient.dir/generator.cpp.o"
+  "CMakeFiles/coreda_patient.dir/generator.cpp.o.d"
+  "CMakeFiles/coreda_patient.dir/profile.cpp.o"
+  "CMakeFiles/coreda_patient.dir/profile.cpp.o.d"
+  "libcoreda_patient.a"
+  "libcoreda_patient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_patient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

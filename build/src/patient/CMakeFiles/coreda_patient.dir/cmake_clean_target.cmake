@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoreda_patient.a"
+)

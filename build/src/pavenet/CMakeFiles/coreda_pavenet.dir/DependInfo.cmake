@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pavenet/base_station.cpp" "src/pavenet/CMakeFiles/coreda_pavenet.dir/base_station.cpp.o" "gcc" "src/pavenet/CMakeFiles/coreda_pavenet.dir/base_station.cpp.o.d"
+  "/root/repo/src/pavenet/calibration.cpp" "src/pavenet/CMakeFiles/coreda_pavenet.dir/calibration.cpp.o" "gcc" "src/pavenet/CMakeFiles/coreda_pavenet.dir/calibration.cpp.o.d"
+  "/root/repo/src/pavenet/detector.cpp" "src/pavenet/CMakeFiles/coreda_pavenet.dir/detector.cpp.o" "gcc" "src/pavenet/CMakeFiles/coreda_pavenet.dir/detector.cpp.o.d"
+  "/root/repo/src/pavenet/eeprom.cpp" "src/pavenet/CMakeFiles/coreda_pavenet.dir/eeprom.cpp.o" "gcc" "src/pavenet/CMakeFiles/coreda_pavenet.dir/eeprom.cpp.o.d"
+  "/root/repo/src/pavenet/energy.cpp" "src/pavenet/CMakeFiles/coreda_pavenet.dir/energy.cpp.o" "gcc" "src/pavenet/CMakeFiles/coreda_pavenet.dir/energy.cpp.o.d"
+  "/root/repo/src/pavenet/led.cpp" "src/pavenet/CMakeFiles/coreda_pavenet.dir/led.cpp.o" "gcc" "src/pavenet/CMakeFiles/coreda_pavenet.dir/led.cpp.o.d"
+  "/root/repo/src/pavenet/node.cpp" "src/pavenet/CMakeFiles/coreda_pavenet.dir/node.cpp.o" "gcc" "src/pavenet/CMakeFiles/coreda_pavenet.dir/node.cpp.o.d"
+  "/root/repo/src/pavenet/radio.cpp" "src/pavenet/CMakeFiles/coreda_pavenet.dir/radio.cpp.o" "gcc" "src/pavenet/CMakeFiles/coreda_pavenet.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coreda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coreda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/coreda_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/coreda_adl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

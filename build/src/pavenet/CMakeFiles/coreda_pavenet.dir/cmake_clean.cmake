@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_pavenet.dir/base_station.cpp.o"
+  "CMakeFiles/coreda_pavenet.dir/base_station.cpp.o.d"
+  "CMakeFiles/coreda_pavenet.dir/calibration.cpp.o"
+  "CMakeFiles/coreda_pavenet.dir/calibration.cpp.o.d"
+  "CMakeFiles/coreda_pavenet.dir/detector.cpp.o"
+  "CMakeFiles/coreda_pavenet.dir/detector.cpp.o.d"
+  "CMakeFiles/coreda_pavenet.dir/eeprom.cpp.o"
+  "CMakeFiles/coreda_pavenet.dir/eeprom.cpp.o.d"
+  "CMakeFiles/coreda_pavenet.dir/energy.cpp.o"
+  "CMakeFiles/coreda_pavenet.dir/energy.cpp.o.d"
+  "CMakeFiles/coreda_pavenet.dir/led.cpp.o"
+  "CMakeFiles/coreda_pavenet.dir/led.cpp.o.d"
+  "CMakeFiles/coreda_pavenet.dir/node.cpp.o"
+  "CMakeFiles/coreda_pavenet.dir/node.cpp.o.d"
+  "CMakeFiles/coreda_pavenet.dir/radio.cpp.o"
+  "CMakeFiles/coreda_pavenet.dir/radio.cpp.o.d"
+  "libcoreda_pavenet.a"
+  "libcoreda_pavenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_pavenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planning/codec.cpp" "src/planning/CMakeFiles/coreda_planning.dir/codec.cpp.o" "gcc" "src/planning/CMakeFiles/coreda_planning.dir/codec.cpp.o.d"
+  "/root/repo/src/planning/learner.cpp" "src/planning/CMakeFiles/coreda_planning.dir/learner.cpp.o" "gcc" "src/planning/CMakeFiles/coreda_planning.dir/learner.cpp.o.d"
+  "/root/repo/src/planning/multi_routine.cpp" "src/planning/CMakeFiles/coreda_planning.dir/multi_routine.cpp.o" "gcc" "src/planning/CMakeFiles/coreda_planning.dir/multi_routine.cpp.o.d"
+  "/root/repo/src/planning/reward.cpp" "src/planning/CMakeFiles/coreda_planning.dir/reward.cpp.o" "gcc" "src/planning/CMakeFiles/coreda_planning.dir/reward.cpp.o.d"
+  "/root/repo/src/planning/serialize.cpp" "src/planning/CMakeFiles/coreda_planning.dir/serialize.cpp.o" "gcc" "src/planning/CMakeFiles/coreda_planning.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/coreda_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/coreda_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coreda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coreda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

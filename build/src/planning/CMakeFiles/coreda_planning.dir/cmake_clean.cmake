@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_planning.dir/codec.cpp.o"
+  "CMakeFiles/coreda_planning.dir/codec.cpp.o.d"
+  "CMakeFiles/coreda_planning.dir/learner.cpp.o"
+  "CMakeFiles/coreda_planning.dir/learner.cpp.o.d"
+  "CMakeFiles/coreda_planning.dir/multi_routine.cpp.o"
+  "CMakeFiles/coreda_planning.dir/multi_routine.cpp.o.d"
+  "CMakeFiles/coreda_planning.dir/reward.cpp.o"
+  "CMakeFiles/coreda_planning.dir/reward.cpp.o.d"
+  "CMakeFiles/coreda_planning.dir/serialize.cpp.o"
+  "CMakeFiles/coreda_planning.dir/serialize.cpp.o.d"
+  "libcoreda_planning.a"
+  "libcoreda_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

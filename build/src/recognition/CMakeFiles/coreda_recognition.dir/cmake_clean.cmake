@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_recognition.dir/recognizer.cpp.o"
+  "CMakeFiles/coreda_recognition.dir/recognizer.cpp.o.d"
+  "CMakeFiles/coreda_recognition.dir/tracker.cpp.o"
+  "CMakeFiles/coreda_recognition.dir/tracker.cpp.o.d"
+  "libcoreda_recognition.a"
+  "libcoreda_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

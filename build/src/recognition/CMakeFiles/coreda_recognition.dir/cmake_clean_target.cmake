@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoreda_recognition.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_reminding.dir/catalog.cpp.o"
+  "CMakeFiles/coreda_reminding.dir/catalog.cpp.o.d"
+  "CMakeFiles/coreda_reminding.dir/reminder.cpp.o"
+  "CMakeFiles/coreda_reminding.dir/reminder.cpp.o.d"
+  "CMakeFiles/coreda_reminding.dir/trigger.cpp.o"
+  "CMakeFiles/coreda_reminding.dir/trigger.cpp.o.d"
+  "libcoreda_reminding.a"
+  "libcoreda_reminding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_reminding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

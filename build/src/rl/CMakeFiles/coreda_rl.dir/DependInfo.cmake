@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/double_q.cpp" "src/rl/CMakeFiles/coreda_rl.dir/double_q.cpp.o" "gcc" "src/rl/CMakeFiles/coreda_rl.dir/double_q.cpp.o.d"
+  "/root/repo/src/rl/monitor.cpp" "src/rl/CMakeFiles/coreda_rl.dir/monitor.cpp.o" "gcc" "src/rl/CMakeFiles/coreda_rl.dir/monitor.cpp.o.d"
+  "/root/repo/src/rl/policy.cpp" "src/rl/CMakeFiles/coreda_rl.dir/policy.cpp.o" "gcc" "src/rl/CMakeFiles/coreda_rl.dir/policy.cpp.o.d"
+  "/root/repo/src/rl/q_table.cpp" "src/rl/CMakeFiles/coreda_rl.dir/q_table.cpp.o" "gcc" "src/rl/CMakeFiles/coreda_rl.dir/q_table.cpp.o.d"
+  "/root/repo/src/rl/sarsa.cpp" "src/rl/CMakeFiles/coreda_rl.dir/sarsa.cpp.o" "gcc" "src/rl/CMakeFiles/coreda_rl.dir/sarsa.cpp.o.d"
+  "/root/repo/src/rl/td_lambda.cpp" "src/rl/CMakeFiles/coreda_rl.dir/td_lambda.cpp.o" "gcc" "src/rl/CMakeFiles/coreda_rl.dir/td_lambda.cpp.o.d"
+  "/root/repo/src/rl/traces.cpp" "src/rl/CMakeFiles/coreda_rl.dir/traces.cpp.o" "gcc" "src/rl/CMakeFiles/coreda_rl.dir/traces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coreda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

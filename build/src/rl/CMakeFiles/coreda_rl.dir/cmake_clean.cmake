@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_rl.dir/double_q.cpp.o"
+  "CMakeFiles/coreda_rl.dir/double_q.cpp.o.d"
+  "CMakeFiles/coreda_rl.dir/monitor.cpp.o"
+  "CMakeFiles/coreda_rl.dir/monitor.cpp.o.d"
+  "CMakeFiles/coreda_rl.dir/policy.cpp.o"
+  "CMakeFiles/coreda_rl.dir/policy.cpp.o.d"
+  "CMakeFiles/coreda_rl.dir/q_table.cpp.o"
+  "CMakeFiles/coreda_rl.dir/q_table.cpp.o.d"
+  "CMakeFiles/coreda_rl.dir/sarsa.cpp.o"
+  "CMakeFiles/coreda_rl.dir/sarsa.cpp.o.d"
+  "CMakeFiles/coreda_rl.dir/td_lambda.cpp.o"
+  "CMakeFiles/coreda_rl.dir/td_lambda.cpp.o.d"
+  "CMakeFiles/coreda_rl.dir/traces.cpp.o"
+  "CMakeFiles/coreda_rl.dir/traces.cpp.o.d"
+  "libcoreda_rl.a"
+  "libcoreda_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

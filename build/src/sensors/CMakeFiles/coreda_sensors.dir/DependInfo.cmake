@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/envelope.cpp" "src/sensors/CMakeFiles/coreda_sensors.dir/envelope.cpp.o" "gcc" "src/sensors/CMakeFiles/coreda_sensors.dir/envelope.cpp.o.d"
+  "/root/repo/src/sensors/models.cpp" "src/sensors/CMakeFiles/coreda_sensors.dir/models.cpp.o" "gcc" "src/sensors/CMakeFiles/coreda_sensors.dir/models.cpp.o.d"
+  "/root/repo/src/sensors/world.cpp" "src/sensors/CMakeFiles/coreda_sensors.dir/world.cpp.o" "gcc" "src/sensors/CMakeFiles/coreda_sensors.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coreda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coreda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/coreda_adl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_sensors.dir/envelope.cpp.o"
+  "CMakeFiles/coreda_sensors.dir/envelope.cpp.o.d"
+  "CMakeFiles/coreda_sensors.dir/models.cpp.o"
+  "CMakeFiles/coreda_sensors.dir/models.cpp.o.d"
+  "CMakeFiles/coreda_sensors.dir/world.cpp.o"
+  "CMakeFiles/coreda_sensors.dir/world.cpp.o.d"
+  "libcoreda_sensors.a"
+  "libcoreda_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/coreda_sim.dir/scheduler.cpp.o.d"
+  "libcoreda_sim.a"
+  "libcoreda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

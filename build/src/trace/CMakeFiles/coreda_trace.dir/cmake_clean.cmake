@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_trace.dir/dataset.cpp.o"
+  "CMakeFiles/coreda_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/coreda_trace.dir/episode.cpp.o"
+  "CMakeFiles/coreda_trace.dir/episode.cpp.o.d"
+  "CMakeFiles/coreda_trace.dir/sensing_pipeline.cpp.o"
+  "CMakeFiles/coreda_trace.dir/sensing_pipeline.cpp.o.d"
+  "libcoreda_trace.a"
+  "libcoreda_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_util.dir/csv.cpp.o"
+  "CMakeFiles/coreda_util.dir/csv.cpp.o.d"
+  "CMakeFiles/coreda_util.dir/flags.cpp.o"
+  "CMakeFiles/coreda_util.dir/flags.cpp.o.d"
+  "CMakeFiles/coreda_util.dir/logging.cpp.o"
+  "CMakeFiles/coreda_util.dir/logging.cpp.o.d"
+  "CMakeFiles/coreda_util.dir/rng.cpp.o"
+  "CMakeFiles/coreda_util.dir/rng.cpp.o.d"
+  "CMakeFiles/coreda_util.dir/stats.cpp.o"
+  "CMakeFiles/coreda_util.dir/stats.cpp.o.d"
+  "CMakeFiles/coreda_util.dir/table.cpp.o"
+  "CMakeFiles/coreda_util.dir/table.cpp.o.d"
+  "libcoreda_util.a"
+  "libcoreda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

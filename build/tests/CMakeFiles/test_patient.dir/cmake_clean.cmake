@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patient.dir/patient/actor_test.cpp.o"
+  "CMakeFiles/test_patient.dir/patient/actor_test.cpp.o.d"
+  "CMakeFiles/test_patient.dir/patient/generator_test.cpp.o"
+  "CMakeFiles/test_patient.dir/patient/generator_test.cpp.o.d"
+  "CMakeFiles/test_patient.dir/patient/profile_test.cpp.o"
+  "CMakeFiles/test_patient.dir/patient/profile_test.cpp.o.d"
+  "test_patient"
+  "test_patient.pdb"
+  "test_patient[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pavenet.dir/pavenet/base_station_test.cpp.o"
+  "CMakeFiles/test_pavenet.dir/pavenet/base_station_test.cpp.o.d"
+  "CMakeFiles/test_pavenet.dir/pavenet/calibration_test.cpp.o"
+  "CMakeFiles/test_pavenet.dir/pavenet/calibration_test.cpp.o.d"
+  "CMakeFiles/test_pavenet.dir/pavenet/detector_test.cpp.o"
+  "CMakeFiles/test_pavenet.dir/pavenet/detector_test.cpp.o.d"
+  "CMakeFiles/test_pavenet.dir/pavenet/eeprom_test.cpp.o"
+  "CMakeFiles/test_pavenet.dir/pavenet/eeprom_test.cpp.o.d"
+  "CMakeFiles/test_pavenet.dir/pavenet/energy_test.cpp.o"
+  "CMakeFiles/test_pavenet.dir/pavenet/energy_test.cpp.o.d"
+  "CMakeFiles/test_pavenet.dir/pavenet/led_test.cpp.o"
+  "CMakeFiles/test_pavenet.dir/pavenet/led_test.cpp.o.d"
+  "CMakeFiles/test_pavenet.dir/pavenet/node_test.cpp.o"
+  "CMakeFiles/test_pavenet.dir/pavenet/node_test.cpp.o.d"
+  "CMakeFiles/test_pavenet.dir/pavenet/radio_test.cpp.o"
+  "CMakeFiles/test_pavenet.dir/pavenet/radio_test.cpp.o.d"
+  "test_pavenet"
+  "test_pavenet.pdb"
+  "test_pavenet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pavenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pavenet.
+# This may be replaced when dependencies are built.

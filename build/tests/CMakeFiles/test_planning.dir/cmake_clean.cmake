@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planning.dir/planning/codec_test.cpp.o"
+  "CMakeFiles/test_planning.dir/planning/codec_test.cpp.o.d"
+  "CMakeFiles/test_planning.dir/planning/learner_test.cpp.o"
+  "CMakeFiles/test_planning.dir/planning/learner_test.cpp.o.d"
+  "CMakeFiles/test_planning.dir/planning/multi_routine_test.cpp.o"
+  "CMakeFiles/test_planning.dir/planning/multi_routine_test.cpp.o.d"
+  "CMakeFiles/test_planning.dir/planning/reward_test.cpp.o"
+  "CMakeFiles/test_planning.dir/planning/reward_test.cpp.o.d"
+  "CMakeFiles/test_planning.dir/planning/serialize_test.cpp.o"
+  "CMakeFiles/test_planning.dir/planning/serialize_test.cpp.o.d"
+  "test_planning"
+  "test_planning.pdb"
+  "test_planning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

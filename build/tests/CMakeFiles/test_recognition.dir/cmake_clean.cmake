@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recognition.dir/recognition/recognizer_test.cpp.o"
+  "CMakeFiles/test_recognition.dir/recognition/recognizer_test.cpp.o.d"
+  "CMakeFiles/test_recognition.dir/recognition/tracker_test.cpp.o"
+  "CMakeFiles/test_recognition.dir/recognition/tracker_test.cpp.o.d"
+  "test_recognition"
+  "test_recognition.pdb"
+  "test_recognition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reminding.dir/reminding/catalog_test.cpp.o"
+  "CMakeFiles/test_reminding.dir/reminding/catalog_test.cpp.o.d"
+  "CMakeFiles/test_reminding.dir/reminding/reminder_test.cpp.o"
+  "CMakeFiles/test_reminding.dir/reminding/reminder_test.cpp.o.d"
+  "CMakeFiles/test_reminding.dir/reminding/trigger_test.cpp.o"
+  "CMakeFiles/test_reminding.dir/reminding/trigger_test.cpp.o.d"
+  "test_reminding"
+  "test_reminding.pdb"
+  "test_reminding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reminding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

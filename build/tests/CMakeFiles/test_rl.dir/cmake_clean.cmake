@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl.dir/rl/double_q_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/double_q_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/gridworld_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/gridworld_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/monitor_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/monitor_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/policy_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/policy_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/q_table_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/q_table_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/sarsa_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/sarsa_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/td_lambda_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/td_lambda_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/traces_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/traces_test.cpp.o.d"
+  "test_rl"
+  "test_rl.pdb"
+  "test_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensors.dir/sensors/envelope_test.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/envelope_test.cpp.o.d"
+  "CMakeFiles/test_sensors.dir/sensors/models_test.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/models_test.cpp.o.d"
+  "CMakeFiles/test_sensors.dir/sensors/world_test.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/world_test.cpp.o.d"
+  "test_sensors"
+  "test_sensors.pdb"
+  "test_sensors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

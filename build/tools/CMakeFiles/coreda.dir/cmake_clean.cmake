@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda.dir/coreda_main.cpp.o"
+  "CMakeFiles/coreda.dir/coreda_main.cpp.o.d"
+  "coreda"
+  "coreda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

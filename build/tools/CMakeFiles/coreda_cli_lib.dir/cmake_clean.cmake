@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreda_cli_lib.dir/cli_commands.cpp.o"
+  "CMakeFiles/coreda_cli_lib.dir/cli_commands.cpp.o.d"
+  "libcoreda_cli_lib.a"
+  "libcoreda_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreda_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
