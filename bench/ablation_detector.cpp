@@ -8,9 +8,12 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "adl/library.hpp"
+#include "exec/trial_runner.hpp"
 #include "trace/sensing_pipeline.hpp"
+#include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -60,26 +63,47 @@ double false_episodes_per_hour(const adl::AdlLibrary& library,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  exec::TrialRunner runner(exec::jobs_from_flags(flags));
+  const exec::Stopwatch timer;
+
   adl::AdlLibrary library;
 
   std::puts("Ablation A6: the k-of-10 usage vote (paper default: k = 3)");
   std::puts("");
 
+  const std::uint32_t votes[] = {1u, 2u, 3u, 4u, 5u, 7u};
+  constexpr std::size_t kVotes = 6;
+
+  // One trial per table cell; seeds are per-cell constants, so the table is
+  // byte-identical at any --jobs value.
+  const std::vector<double> cells = runner.run(
+      kVotes * 4, 0, [&](exec::TrialContext& ctx) {
+        const std::uint32_t k = votes[ctx.index / 4];
+        switch (ctx.index % 4) {
+          case 0:
+            return genuine_precision(library, adl::tools::kKettle, k);
+          case 1:
+            return genuine_precision(library, adl::tools::kElectricPot, k);
+          case 2:
+            return genuine_precision(library, adl::tools::kTowel, k);
+          default:
+            return false_episodes_per_hour(library, adl::tools::kKettle, k);
+        }
+      });
+  exec::append_timing_record(flags.get("timing-json"), "ablation_detector",
+                             runner.jobs(), kVotes * 4, timer.seconds());
+
   util::TextTable table;
   table.set_header({"Votes k", "Extract (kettle)", "Extract (pot)",
                     "Extract (towel)", "False episodes/hour"});
-  for (std::uint32_t k : {1u, 2u, 3u, 4u, 5u, 7u}) {
-    table.add_row(
-        {std::to_string(k),
-         util::format_percent(
-             genuine_precision(library, adl::tools::kKettle, k)),
-         util::format_percent(
-             genuine_precision(library, adl::tools::kElectricPot, k)),
-         util::format_percent(
-             genuine_precision(library, adl::tools::kTowel, k)),
-         util::format_fixed(
-             false_episodes_per_hour(library, adl::tools::kKettle, k), 1)});
+  for (std::size_t vi = 0; vi < kVotes; ++vi) {
+    table.add_row({std::to_string(votes[vi]),
+                   util::format_percent(cells[vi * 4]),
+                   util::format_percent(cells[vi * 4 + 1]),
+                   util::format_percent(cells[vi * 4 + 2]),
+                   util::format_fixed(cells[vi * 4 + 3], 1)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts(

@@ -19,10 +19,14 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "adl/library.hpp"
+#include "exec/trial_runner.hpp"
 #include "planning/learner.hpp"
 #include "trace/dataset.hpp"
+#include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -107,46 +111,70 @@ std::optional<std::size_t> episodes_to_stable_policy(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  exec::TrialRunner runner(exec::jobs_from_flags(flags));
+  const exec::Stopwatch timer;
+
   adl::AdlLibrary library;
   constexpr std::size_t kMaxEpisodes = 800;
   constexpr int kSeeds = 30;
+  const double lambdas[] = {0.0, 0.3, 0.5, 0.7, 0.9};
+  constexpr std::size_t kLambdas = 5;
 
   std::puts("Ablation A1: the role of the eligibility-trace decay lambda");
   std::puts("(pure trajectory TD(lambda), zero-initialized table)\n");
+
+  // Every cell computation is seeded by explicit per-cell constants, so the
+  // tables below are byte-identical at any --jobs value.
+
+  // Table 1: one trial per (lambda, adl) cell.
+  const std::vector<double> half_value = runner.run(
+      kLambdas * 2, 0, [&](exec::TrialContext& ctx) {
+        const double lambda = lambdas[ctx.index / 2];
+        const adl::Adl& adl = (ctx.index % 2 == 0) ? library.tooth_brushing()
+                                                   : library.tea_making();
+        return episodes_to_half_value(library, adl, lambda);
+      });
 
   util::TextTable value_table(
       "1. Value propagation: episodes until V(first context) reaches half\n"
       "   its final value (mean over 20 seeds)");
   value_table.set_header({"lambda", "Tooth-brushing", "Tea-making"});
-  for (double lambda : {0.0, 0.3, 0.5, 0.7, 0.9}) {
-    value_table.add_row(
-        {util::format_fixed(lambda, 1),
-         util::format_fixed(
-             episodes_to_half_value(library, library.tooth_brushing(),
-                                    lambda),
-             1),
-         util::format_fixed(
-             episodes_to_half_value(library, library.tea_making(), lambda),
-             1)});
+  for (std::size_t li = 0; li < kLambdas; ++li) {
+    value_table.add_row({util::format_fixed(lambdas[li], 1),
+                         util::format_fixed(half_value[li * 2], 1),
+                         util::format_fixed(half_value[li * 2 + 1], 1)});
   }
   std::fputs(value_table.render().c_str(), stdout);
   std::puts("");
+
+  // Table 2: one trial per (lambda, seed); reduction re-walks seed order, so
+  // the Welford accumulators see the exact additions of the serial loop.
+  using Stability =
+      std::pair<std::optional<std::size_t>, std::optional<std::size_t>>;
+  const std::vector<Stability> stability = runner.run(
+      kLambdas * kSeeds, 0, [&](exec::TrialContext& ctx) {
+        const double lambda = lambdas[ctx.index / kSeeds];
+        const int seed = static_cast<int>(ctx.index % kSeeds) + 1;
+        return Stability{
+            episodes_to_stable_policy(library, library.tooth_brushing(),
+                                      lambda, seed, kMaxEpisodes),
+            episodes_to_stable_policy(library, library.tea_making(), lambda,
+                                      seed + 1000, kMaxEpisodes)};
+      });
 
   util::TextTable policy_table(
       "2. Policy stability: episodes until the greedy policy stays correct\n"
       "   (mean +/- stddev over 30 seeds)");
   policy_table.set_header({"lambda", "Tooth-brushing", "Tea-making",
                            "unconverged runs"});
-  for (double lambda : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+  for (std::size_t li = 0; li < kLambdas; ++li) {
     util::RunningStats tooth;
     util::RunningStats tea;
     int unconverged = 0;
     for (int seed = 1; seed <= kSeeds; ++seed) {
-      const auto t1 = episodes_to_stable_policy(
-          library, library.tooth_brushing(), lambda, seed, kMaxEpisodes);
-      const auto t2 = episodes_to_stable_policy(
-          library, library.tea_making(), lambda, seed + 1000, kMaxEpisodes);
+      const auto& [t1, t2] = stability[li * kSeeds + seed - 1];
       if (t1) tooth.add(static_cast<double>(*t1));
       if (t2) tea.add(static_cast<double>(*t2));
       unconverged += !t1 + !t2;
@@ -156,9 +184,12 @@ int main() {
       return util::format_fixed(s.mean(), 0) + " +/- " +
              util::format_fixed(s.stddev(), 0);
     };
-    policy_table.add_row({util::format_fixed(lambda, 1), fmt(tooth),
+    policy_table.add_row({util::format_fixed(lambdas[li], 1), fmt(tooth),
                           fmt(tea), std::to_string(unconverged)});
   }
+  exec::append_timing_record(flags.get("timing-json"), "ablation_lambda",
+                             runner.jobs(), kLambdas * (2 + kSeeds),
+                             timer.seconds());
   std::fputs(policy_table.render().c_str(), stdout);
   std::puts(
       "\nReading: lambda accelerates reward propagation (table 1) but the\n"

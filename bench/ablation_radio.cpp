@@ -7,9 +7,12 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/system.hpp"
+#include "exec/trial_runner.hpp"
 #include "trace/dataset.hpp"
+#include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -64,23 +67,46 @@ double session_completion_at_loss(const adl::AdlLibrary& library,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  exec::TrialRunner runner(exec::jobs_from_flags(flags));
+  const exec::Stopwatch timer;
+
   adl::AdlLibrary library;
 
   std::puts("Ablation A3: pipeline behaviour under radio frame loss");
   std::puts("(kettle = strong signal, electronic pot = weak signal)\n");
 
+  const double losses[] = {0.0, 0.1, 0.2, 0.4, 0.6, 0.8};
+  constexpr std::size_t kLosses = 6;
+
+  // One trial per table cell; every cell is seeded by its own constants, so
+  // the table is byte-identical at any --jobs value.
+  const std::vector<double> cells = runner.run(
+      kLosses * 3, 0, [&](exec::TrialContext& ctx) {
+        const double loss = losses[ctx.index / 3];
+        switch (ctx.index % 3) {
+          case 0:
+            return extract_precision_at_loss(library, adl::tools::kKettle,
+                                             loss);
+          case 1:
+            return extract_precision_at_loss(library,
+                                             adl::tools::kElectricPot, loss);
+          default:
+            return session_completion_at_loss(library, loss);
+        }
+      });
+  exec::append_timing_record(flags.get("timing-json"), "ablation_radio",
+                             runner.jobs(), kLosses * 3, timer.seconds());
+
   util::TextTable table;
   table.set_header({"Frame loss", "Extract (kettle)", "Extract (pot)",
                     "Closed-loop completion (sev 0.5)"});
-  for (double loss : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
-    table.add_row(
-        {util::format_percent(loss),
-         util::format_percent(extract_precision_at_loss(
-             library, adl::tools::kKettle, loss)),
-         util::format_percent(extract_precision_at_loss(
-             library, adl::tools::kElectricPot, loss)),
-         util::format_percent(session_completion_at_loss(library, loss))});
+  for (std::size_t li = 0; li < kLosses; ++li) {
+    table.add_row({util::format_percent(losses[li]),
+                   util::format_percent(cells[li * 3]),
+                   util::format_percent(cells[li * 3 + 1]),
+                   util::format_percent(cells[li * 3 + 2])});
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts(

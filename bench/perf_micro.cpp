@@ -5,13 +5,36 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "adl/library.hpp"
 #include "pavenet/detector.hpp"
+#include "pavenet/node.hpp"
 #include "planning/learner.hpp"
 #include "rl/td_lambda.hpp"
 #include "sensors/models.hpp"
+#include "sim/scheduler.hpp"
 #include "trace/dataset.hpp"
 #include "trace/sensing_pipeline.hpp"
+
+// Global allocation counter: the scheduler benches assert their "zero
+// allocations per event at steady state" claim through it.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -82,6 +105,129 @@ void BM_SensorSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SensorSample);
+
+// --- Scheduler hot paths ---------------------------------------------------
+// Before the slot-pool rewrite every schedule_* call heap-allocated a
+// shared_ptr<bool> control block and every periodic reschedule copied the
+// std::function; the benches below record the rewrite's contract:
+// allocs_per_event == 0 at steady state.
+
+void BM_SchedulerOneShotScheduleFire(benchmark::State& state) {
+  sim::Scheduler s;
+  // Warm the slot pool and heap storage past their growth phase.
+  for (int i = 0; i < 64; ++i) {
+    s.schedule_after(sim::Duration::millis(1), [] {});
+  }
+  s.run();
+  std::uint64_t events = 0;
+  const std::uint64_t allocs_before = g_allocations.load();
+  for (auto _ : state) {
+    s.schedule_after(sim::Duration::millis(1), [] {});
+    s.run(1);
+    ++events;
+  }
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocations.load() - allocs_before) /
+      static_cast<double>(events);
+}
+BENCHMARK(BM_SchedulerOneShotScheduleFire);
+
+void BM_SchedulerScheduleCancel(benchmark::State& state) {
+  sim::Scheduler s;
+  for (int i = 0; i < 64; ++i) {
+    s.schedule_after(sim::Duration::millis(1), [] {}).cancel();
+  }
+  s.run();
+  std::uint64_t events = 0;
+  const std::uint64_t allocs_before = g_allocations.load();
+  for (auto _ : state) {
+    sim::EventHandle h = s.schedule_after(sim::Duration::millis(1), [] {});
+    h.cancel();
+    s.run_until(s.now());  // reaps the cancelled event without firing
+    ++events;
+  }
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocations.load() - allocs_before) /
+      static_cast<double>(events);
+}
+BENCHMARK(BM_SchedulerScheduleCancel);
+
+void BM_SchedulerPeriodicFire(benchmark::State& state) {
+  // The dominant workload: a long-lived periodic series (a firmware task)
+  // firing event after event. The series must reuse its slot and callback.
+  sim::Scheduler s;
+  std::uint64_t ticks = 0;
+  s.schedule_periodic(sim::Duration::millis(100), [&ticks] { ++ticks; });
+  s.run(64);  // steady state
+  std::uint64_t events = 0;
+  const std::uint64_t allocs_before = g_allocations.load();
+  for (auto _ : state) {
+    s.run(1);
+    ++events;
+  }
+  benchmark::DoNotOptimize(ticks);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocations.load() - allocs_before) /
+      static_cast<double>(events);
+}
+BENCHMARK(BM_SchedulerPeriodicFire);
+
+void BM_SchedulerManyPeriodicTasks(benchmark::State& state) {
+  // Eight co-scheduled firmware tasks (one per instrumented tool) for one
+  // virtual second per iteration — the per-trial scheduler load of a
+  // deployment-sized simulation.
+  sim::Scheduler s;
+  std::uint64_t ticks = 0;
+  for (int i = 0; i < 8; ++i) {
+    s.schedule_periodic(sim::Duration::millis(100), [&ticks] { ++ticks; });
+  }
+  s.run_for(sim::Duration::seconds(1.0));
+  for (auto _ : state) {
+    s.run_for(sim::Duration::seconds(1.0));
+  }
+  benchmark::DoNotOptimize(ticks);
+}
+BENCHMARK(BM_SchedulerManyPeriodicTasks);
+
+// --- Firmware sampling: per-tick vs batched --------------------------------
+// 100 virtual seconds of one node with scripted manipulations; the batched
+// task (FirmwareConfig::batch_sampling) takes the same samples with 10x
+// fewer scheduler events.
+
+void node_sampling_run(benchmark::State& state, bool batch) {
+  adl::AdlLibrary library;
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    sensors::ManipulationWorld world;
+    pavenet::RadioChannel channel(scheduler, util::Rng(1));
+    pavenet::FirmwareConfig config;
+    config.batch_sampling = batch;
+    pavenet::PavenetNode node(library.tools().at(adl::tools::kKettle),
+                              scheduler, world, channel, util::Rng(7),
+                              config);
+    node.power_on();
+    for (int m = 0; m < 10; ++m) {
+      scheduler.schedule_at(
+          sim::TimePoint::from_seconds(m * 10.0 + 1.3), [&scheduler, &world] {
+            world.begin(adl::tools::kKettle, scheduler.now(),
+                        sim::Duration::seconds(6.0));
+          });
+    }
+    scheduler.run_until(sim::TimePoint::from_seconds(100.0));
+    node.power_off();
+    benchmark::DoNotOptimize(node.samples());
+  }
+}
+
+void BM_NodeSamplingPerTick(benchmark::State& state) {
+  node_sampling_run(state, false);
+}
+BENCHMARK(BM_NodeSamplingPerTick)->Unit(benchmark::kMillisecond);
+
+void BM_NodeSamplingBatched(benchmark::State& state) {
+  node_sampling_run(state, true);
+}
+BENCHMARK(BM_NodeSamplingBatched)->Unit(benchmark::kMillisecond);
 
 void BM_FullSensedEpisode(benchmark::State& state) {
   adl::AdlLibrary library;

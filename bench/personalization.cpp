@@ -13,10 +13,14 @@
 // one-size pre-planned model cannot serve both.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "adl/library.hpp"
+#include "exec/trial_runner.hpp"
 #include "planning/learner.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -42,7 +46,11 @@ double accuracy_vs(const planning::RoutineLearner& learner,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  exec::TrialRunner runner(exec::jobs_from_flags(flags));
+  const exec::Stopwatch timer;
+
   adl::AdlLibrary library;
   const adl::Adl& tea = library.tea_making();
 
@@ -51,12 +59,22 @@ int main() {
   const std::vector<adl::StepId> aoki{T::kElectricPot, T::kTeaBox,
                                       T::kKettle, T::kTeaCup};
 
-  planning::RoutineLearner tanaka_planner(tea, util::Rng(1));
-  planning::RoutineLearner aoki_planner(tea, util::Rng(2));
-  for (int i = 0; i < 120; ++i) {
-    tanaka_planner.train_episode(tanaka);
-    aoki_planner.train_episode(aoki);
-  }
+  // One trial per resident: each planner trains on its own recordings with
+  // its own fixed seed, so the tables are byte-identical at any --jobs.
+  const std::vector<const std::vector<adl::StepId>*> routines{&tanaka, &aoki};
+  auto planners = runner.run(
+      routines.size(), 0, [&](exec::TrialContext& ctx) {
+        auto planner = std::make_unique<planning::RoutineLearner>(
+            tea, util::Rng(ctx.index + 1));
+        for (int i = 0; i < 120; ++i) {
+          planner->train_episode(*routines[ctx.index]);
+        }
+        return planner;
+      });
+  exec::append_timing_record(flags.get("timing-json"), "personalization",
+                             runner.jobs(), routines.size(), timer.seconds());
+  planning::RoutineLearner& tanaka_planner = *planners[0];
+  planning::RoutineLearner& aoki_planner = *planners[1];
 
   std::puts("Extension: personalized routines (paper design criterion #1)");
   std::puts("(two residents, two tea-making orders, one planner each;\n"

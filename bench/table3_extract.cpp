@@ -13,10 +13,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "adl/library.hpp"
+#include "exec/trial_runner.hpp"
 #include "pavenet/node_config.hpp"
 #include "trace/sensing_pipeline.hpp"
+#include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -60,7 +63,10 @@ void print_table2(const adl::AdlLibrary& library) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  exec::TrialRunner runner(exec::jobs_from_flags(flags));
+
   adl::AdlLibrary library;
   print_hardware();
   std::puts("");
@@ -70,36 +76,51 @@ int main() {
   constexpr int kSamplesPerTool = 40;  // paper: "averagely 40 samples"
   const double paper[] = {0.90, 1.00, 1.00, 0.85, 1.00, 0.80, 1.00, 0.90};
 
-  util::TextTable t(
-      "Table 3. Extract Precision of ADL Step (40 samples per tool)");
-  t.set_header({"ADL", "ADL Step", "Paper", "Measured"});
-
-  std::size_t row_index = 0;
-  int total_samples = 0;
+  struct RowSpec {
+    const adl::Adl* adl;
+    const adl::AdlStep* step;
+  };
+  std::vector<RowSpec> rows;
   for (const char* name : {"Tooth-brushing", "Tea-making"}) {
     const adl::Adl& adl = library.by_name(name);
     for (const adl::AdlStep& step : adl.primary_routine().steps()) {
-      const adl::Tool& tool = library.tools().at(step.tool);
-      trace::SensingPipeline pipeline(library.tools(), {tool.id},
-                                      1000 + tool.id);
-      util::Rng durations(7777 + tool.id);
-      util::PrecisionCounter precision;
-      for (int i = 0; i < kSamplesPerTool; ++i) {
-        const double mean = tool.typical_usage_mean.to_seconds();
-        const double drawn = std::max(
-            mean * 0.4,
-            durations.normal(mean, tool.typical_usage_stddev.to_seconds()));
-        precision.record(pipeline.single_tool_trial(
-            tool.id, sim::Duration::seconds(drawn)));
-        ++total_samples;
-      }
-      t.add_row({adl.name(), step.name,
-                 util::format_percent(paper[row_index]),
-                 util::format_percent(precision.precision())});
-      ++row_index;
+      rows.push_back({&adl, &step});
     }
   }
+
+  // One trial per tool row. Seeds are per-tool constants, so the table is
+  // byte-identical at any --jobs value.
+  const exec::Stopwatch timer;
+  const std::vector<double> measured = runner.run(
+      rows.size(), 0, [&](exec::TrialContext& ctx) {
+        const adl::Tool& tool = library.tools().at(rows[ctx.index].step->tool);
+        trace::SensingPipeline pipeline(library.tools(), {tool.id},
+                                        1000 + tool.id);
+        util::Rng durations(7777 + tool.id);
+        util::PrecisionCounter precision;
+        for (int i = 0; i < kSamplesPerTool; ++i) {
+          const double mean = tool.typical_usage_mean.to_seconds();
+          const double drawn = std::max(
+              mean * 0.4,
+              durations.normal(mean, tool.typical_usage_stddev.to_seconds()));
+          precision.record(pipeline.single_tool_trial(
+              tool.id, sim::Duration::seconds(drawn)));
+        }
+        return precision.precision();
+      });
+  exec::append_timing_record(flags.get("timing-json"), "table3_extract",
+                             runner.jobs(), rows.size(), timer.seconds());
+
+  util::TextTable t(
+      "Table 3. Extract Precision of ADL Step (40 samples per tool)");
+  t.set_header({"ADL", "ADL Step", "Paper", "Measured"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t.add_row({rows[i].adl->name(), rows[i].step->name,
+               util::format_percent(paper[i]),
+               util::format_percent(measured[i])});
+  }
   std::fputs(t.render().c_str(), stdout);
-  std::printf("\nTotal samples: %d (paper: 320)\n", total_samples);
+  std::printf("\nTotal samples: %d (paper: 320)\n",
+              static_cast<int>(rows.size()) * kSamplesPerTool);
   return 0;
 }

@@ -1,0 +1,57 @@
+#include "exec/trial_runner.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace coreda::exec {
+
+std::uint64_t trial_seed(std::uint64_t base_seed,
+                         std::uint64_t index) noexcept {
+  // SplitMix64 finalizer over the mixed pair. The golden-ratio increment
+  // decorrelates index from base_seed before the avalanche rounds.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t jobs_from_flags(const util::Flags& flags) {
+  const std::int64_t jobs = flags.get_int("jobs", 0);
+  if (jobs < 0) {
+    throw std::invalid_argument("--jobs must be >= 0 (0 = hardware)");
+  }
+  return jobs == 0 ? ThreadPool::hardware_workers()
+                   : static_cast<std::size_t>(jobs);
+}
+
+void append_timing_record(const std::string& path, const std::string& bench,
+                          std::size_t jobs, std::size_t trials,
+                          double seconds) {
+  if (path.empty()) return;
+  std::ostringstream line;
+  line << "{\"bench\": \"" << bench << "\", \"jobs\": " << jobs
+       << ", \"trials\": " << trials << ", \"seconds\": " << seconds
+       << ", \"trials_per_sec\": "
+       << (seconds > 0.0 ? static_cast<double>(trials) / seconds : 0.0)
+       << "}\n";
+  std::ofstream out(path, std::ios::app);
+  out << line.str();
+}
+
+Stopwatch::Stopwatch()
+    : start_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+double Stopwatch::seconds() const {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return static_cast<double>(now - start_ns_) * 1e-9;
+}
+
+}  // namespace coreda::exec

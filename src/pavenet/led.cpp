@@ -1,5 +1,7 @@
 #include "pavenet/led.hpp"
 
+#include <memory>
+
 namespace coreda::pavenet {
 
 void Led::blink(LedColor color, std::uint32_t count,

@@ -38,39 +38,77 @@ PavenetNode::PavenetNode(const adl::Tool& tool, sim::Scheduler& scheduler,
 void PavenetNode::power_on() {
   if (powered_) return;
   powered_ = true;
-  const auto period =
-      sim::Duration::micros(1'000'000 / config_.sampling_hz);
-  tick_ = scheduler_->schedule_periodic(period, [this] { firmware_tick(); });
+  const sim::Duration period = sample_period();
+  if (config_.batch_sampling) {
+    // Wake once per full vote window; the detector tumbles, so the only
+    // instants firmware-visible behavior can change are window boundaries —
+    // exactly the wake times. Samples inside the window are synthesized
+    // retroactively at their true tick times from the world's history.
+    next_sample_time_ = scheduler_->now() + period;
+    activation_buf_.reserve(config_.vote_window);
+    const sim::Duration batch = sim::Duration::micros(
+        period.total_micros() * static_cast<std::int64_t>(config_.vote_window));
+    tick_ = scheduler_->schedule_periodic(batch, [this] { firmware_batch(); });
+  } else {
+    tick_ = scheduler_->schedule_periodic(period, [this] { firmware_tick(); });
+  }
 }
 
 void PavenetNode::power_off() {
   if (!powered_) return;
   powered_ = false;
   tick_.cancel();
+  if (config_.batch_sampling) {
+    // Take the partial window the cancelled wake-up would have covered, so
+    // samples() and energy accounting match the per-tick loop exactly.
+    synthesize_until(scheduler_->now());
+  }
   detector_.reset();
 }
 
 void PavenetNode::firmware_tick() {
-  ++samples_;
   const sim::TimePoint now = scheduler_->now();
-  const double activation = world_->activation(tool_.id, now);
+  process_sample(now, world_->activation(tool_.id, now));
+}
+
+void PavenetNode::firmware_batch() { synthesize_until(scheduler_->now()); }
+
+void PavenetNode::synthesize_until(sim::TimePoint limit) {
+  if (next_sample_time_ > limit) return;
+  const sim::Duration period = sample_period();
+  const std::size_t count =
+      static_cast<std::size_t>((limit - next_sample_time_).total_micros() /
+                               period.total_micros()) +
+      1;
+  activation_buf_.resize(count);
+  world_->activation_block(tool_.id, next_sample_time_, period, count,
+                           activation_buf_.data());
+  sim::TimePoint at = next_sample_time_;
+  for (std::size_t i = 0; i < count; ++i, at = at + period) {
+    process_sample(at, activation_buf_[i]);
+  }
+  next_sample_time_ = at;
+}
+
+void PavenetNode::process_sample(sim::TimePoint at, double activation) {
+  ++samples_;
   const double excitation =
-      sensor_->sample(now, activation, tool_.usage_intensity, rng_);
+      sensor_->sample(at, activation, tool_.usage_intensity, rng_);
   const std::uint32_t hits_before = detector_.pending_hits();
   if (!detector_.add_sample(excitation)) return;
 
-  // A window voted "in use".
+  // A window voted "in use". In batch mode this can only happen on the last
+  // sample of a wake-up, i.e. `at` == the current scheduler time.
   eeprom_.append(EepromRecord{
-      now, uid(),
+      at, uid(),
       static_cast<std::uint8_t>(
           hits_before + (excitation > detector_.threshold() ? 1 : 0))});
 
-  if (announced_once_ &&
-      now - last_announce_ < config_.reannounce_interval) {
+  if (announced_once_ && at - last_announce_ < config_.reannounce_interval) {
     return;
   }
   announced_once_ = true;
-  last_announce_ = now;
+  last_announce_ = at;
   ++announcements_;
 
   Packet packet;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "adl/tool.hpp"
 #include "pavenet/detector.hpp"
@@ -23,6 +24,14 @@ namespace coreda::pavenet {
 /// tool's ID (the node uid) over the radio — throttled to one announcement
 /// per reannounce_interval while usage continues. Downlink LED commands
 /// drive the green/red indicator LEDs.
+///
+/// With FirmwareConfig::batch_sampling (the default) the task wakes once
+/// per vote window rather than once per sample and synthesizes the window's
+/// samples retroactively from the world's episode history — 10× fewer
+/// scheduler events at identical sampled values, since the tumbling
+/// detector can only vote at window boundaries, which is exactly when the
+/// batched task wakes. power_off() flushes the partial window so samples()
+/// and detector state match the per-tick loop at any stopping point.
 class PavenetNode {
  public:
   /// The node reads its tool's activation from `world` and transmits over
@@ -54,7 +63,13 @@ class PavenetNode {
 
  private:
   void firmware_tick();
+  void firmware_batch();
+  void synthesize_until(sim::TimePoint limit);
+  void process_sample(sim::TimePoint at, double activation);
   void handle_downlink(const Packet& packet);
+  sim::Duration sample_period() const noexcept {
+    return sim::Duration::micros(1'000'000 / config_.sampling_hz);
+  }
 
   adl::Tool tool_;
   sim::Scheduler* scheduler_;
@@ -68,6 +83,8 @@ class PavenetNode {
   Eeprom eeprom_;
   sim::EventHandle tick_;
   bool powered_ = false;
+  sim::TimePoint next_sample_time_;      ///< batch mode: next tick to synthesize
+  std::vector<double> activation_buf_;   ///< batch mode: per-wake scratch
   sim::TimePoint last_announce_;
   bool announced_once_ = false;
   std::uint64_t announcements_ = 0;

@@ -42,6 +42,13 @@ struct FirmwareConfig {
   /// While a tool stays in use, re-announce its ID at most once per this
   /// interval (the server only needs edges, not a packet flood).
   sim::Duration reannounce_interval = sim::Duration::seconds(1.0);
+
+  /// When true the firmware task wakes once per vote window instead of once
+  /// per sample and synthesizes the window's samples retroactively — a pure
+  /// scheduling optimization that is bit-identical to per-tick sampling
+  /// because the tumbling detector only acts at window boundaries (see
+  /// DESIGN.md §5). Set false to force the literal per-tick loop.
+  bool batch_sampling = true;
 };
 
 }  // namespace coreda::pavenet

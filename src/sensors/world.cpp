@@ -1,38 +1,97 @@
 #include "sensors/world.hpp"
 
+#include <algorithm>
+
 namespace coreda::sensors {
 
 void ManipulationWorld::begin(adl::ToolId tool, sim::TimePoint start,
                               sim::Duration duration, sim::Duration ramp) {
-  active_.insert_or_assign(
-      tool, Episode{start, start + duration, UsageEnvelope(duration, ramp)});
+  std::vector<Episode>& episodes = history_[tool];
+  if (!episodes.empty()) {
+    // A new manipulation supersedes whatever was in progress: the previous
+    // episode stops being the answer from `start` onward, but stays on
+    // record for retroactive queries about earlier instants.
+    Episode& last = episodes.back();
+    if (last.end > start) last.end = start;
+  }
+  // Retroactive queries only reach back kHistoryRetention; forget older
+  // episodes so long sessions stay bounded.
+  const sim::TimePoint horizon = start - kHistoryRetention;
+  std::erase_if(episodes,
+                [horizon](const Episode& ep) { return ep.end < horizon; });
+  episodes.push_back(
+      Episode{start, start + duration, UsageEnvelope(duration, ramp)});
 }
 
 void ManipulationWorld::end(adl::ToolId tool, sim::TimePoint now) {
-  const auto it = active_.find(tool);
-  if (it == active_.end()) return;
-  if (it->second.end > now) it->second.end = now;
+  const auto it = history_.find(tool);
+  if (it == history_.end() || it->second.empty()) return;
+  Episode& last = it->second.back();
+  if (last.end > now) last.end = now;
+}
+
+double ManipulationWorld::episode_activation(const Episode& ep,
+                                             sim::TimePoint at) {
+  if (at < ep.start || at > ep.end) return 0.0;
+  return ep.envelope.activation(at - ep.start);
 }
 
 double ManipulationWorld::activation(adl::ToolId tool,
-                                     sim::TimePoint now) const {
-  const auto it = active_.find(tool);
-  if (it == active_.end()) return 0.0;
-  const Episode& ep = it->second;
-  if (now < ep.start || now > ep.end) return 0.0;
-  return ep.envelope.activation(now - ep.start);
+                                     sim::TimePoint at) const {
+  const auto it = history_.find(tool);
+  if (it == history_.end()) return 0.0;
+  const std::vector<Episode>& episodes = it->second;
+  // Newest-first: at an instant shared by a superseded episode's clipped
+  // end and its successor's start, the successor is what a live reader saw.
+  for (auto ep = episodes.rbegin(); ep != episodes.rend(); ++ep) {
+    if (at >= ep->start) return episode_activation(*ep, at);
+  }
+  return 0.0;
 }
 
-bool ManipulationWorld::in_use(adl::ToolId tool, sim::TimePoint now) const {
-  const auto it = active_.find(tool);
-  if (it == active_.end()) return false;
-  return now >= it->second.start && now <= it->second.end;
+void ManipulationWorld::activation_block(adl::ToolId tool,
+                                         sim::TimePoint first,
+                                         sim::Duration step,
+                                         std::size_t count,
+                                         double* out) const {
+  const auto it = history_.find(tool);
+  if (it == history_.end() || it->second.empty()) {
+    std::fill(out, out + count, 0.0);
+    return;
+  }
+  const std::vector<Episode>& episodes = it->second;
+  sim::TimePoint at = first;
+  for (std::size_t i = 0; i < count; ++i, at = at + step) {
+    double value = 0.0;
+    for (auto ep = episodes.rbegin(); ep != episodes.rend(); ++ep) {
+      if (at >= ep->start) {
+        value = episode_activation(*ep, at);
+        break;
+      }
+    }
+    out[i] = value;
+  }
+}
+
+bool ManipulationWorld::in_use(adl::ToolId tool, sim::TimePoint at) const {
+  const auto it = history_.find(tool);
+  if (it == history_.end()) return false;
+  const std::vector<Episode>& episodes = it->second;
+  for (auto ep = episodes.rbegin(); ep != episodes.rend(); ++ep) {
+    if (at >= ep->start) return at <= ep->end;
+  }
+  return false;
 }
 
 void ManipulationWorld::garbage_collect(sim::TimePoint now) {
-  for (auto it = active_.begin(); it != active_.end();) {
-    if (it->second.end < now) {
-      it = active_.erase(it);
+  // Keep the retention window even here so a collect racing a batched
+  // firmware wake can't drop episodes the wake still needs to read back.
+  const sim::TimePoint horizon = now - kHistoryRetention;
+  for (auto it = history_.begin(); it != history_.end();) {
+    std::erase_if(it->second,
+                  [horizon](const Episode& ep) { return ep.end < horizon; });
+    if (it->second.empty()) {
+      it = history_.erase(it);
     } else {
       ++it;
     }

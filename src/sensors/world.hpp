@@ -1,7 +1,7 @@
 #pragma once
 
 #include <map>
-#include <optional>
+#include <vector>
 
 #include "adl/types.hpp"
 #include "sensors/envelope.hpp"
@@ -13,11 +13,26 @@ namespace coreda::sensors {
 /// manipulated right now and how far each manipulation has progressed.
 ///
 /// The patient model writes manipulations into the world; each PAVENET
-/// node's firmware tick reads back the activation of its own tool. This is
-/// the seam that replaces "a real person handling real tools" in the paper's
+/// node's firmware reads back the activation of its own tool. This is the
+/// seam that replaces "a real person handling real tools" in the paper's
 /// deployment — see DESIGN.md §2.
+///
+/// Queries are valid for any time within the last kHistoryRetention of
+/// virtual time, not just the current instant: the batched firmware task
+/// wakes once per vote window and evaluates the samples it would have taken
+/// at each 10 Hz tick retroactively, so the world keeps a short per-tool
+/// episode history. An episode superseded by a later begin() of the same
+/// tool stays answerable for times before the successor started (what a
+/// live per-tick reader would have seen), and is clipped from the
+/// successor's start onward.
 class ManipulationWorld {
  public:
+  /// How far back activation()/in_use() queries remain answerable. Must
+  /// cover the longest firmware batch window (vote_window / sampling_hz;
+  /// 1 s at the paper's 10 Hz, 5 s at the 2 Hz end of the energy sweep).
+  static constexpr sim::Duration kHistoryRetention =
+      sim::Duration::seconds(10.0);
+
   /// Starts (or restarts) a manipulation of `tool` lasting `duration`.
   /// `ramp` defaults to a 0.5 s grip transition, capped by the envelope to
   /// half the duration.
@@ -27,13 +42,21 @@ class ManipulationWorld {
   /// Ends any in-progress manipulation of `tool` early.
   void end(adl::ToolId tool, sim::TimePoint now);
 
-  /// Envelope activation of `tool` at `now`, in [0, 1]; 0 when idle.
-  double activation(adl::ToolId tool, sim::TimePoint now) const;
+  /// Envelope activation of `tool` at `at`, in [0, 1]; 0 when idle.
+  double activation(adl::ToolId tool, sim::TimePoint at) const;
 
-  /// Whether `tool` has a manipulation covering `now`.
-  bool in_use(adl::ToolId tool, sim::TimePoint now) const;
+  /// Fills out[0..count) with the activation of `tool` at `first`,
+  /// `first + step`, ... — one episode-list lookup for the whole block
+  /// (the firmware's per-wake-up envelope synthesis).
+  void activation_block(adl::ToolId tool, sim::TimePoint first,
+                        sim::Duration step, std::size_t count,
+                        double* out) const;
 
-  /// Drops episodes that ended before `now` (bounded memory on long runs).
+  /// Whether `tool` had a manipulation covering `at`.
+  bool in_use(adl::ToolId tool, sim::TimePoint at) const;
+
+  /// Drops episodes that ended more than kHistoryRetention before `now`
+  /// (bounded memory on long runs without breaking retroactive queries).
   void garbage_collect(sim::TimePoint now);
 
  private:
@@ -42,7 +65,12 @@ class ManipulationWorld {
     sim::TimePoint end;
     UsageEnvelope envelope;
   };
-  std::map<adl::ToolId, Episode> active_;
+
+  static double episode_activation(const Episode& ep, sim::TimePoint at);
+
+  /// Episodes per tool in start order (newest at the back); pruned against
+  /// kHistoryRetention on every begin().
+  std::map<adl::ToolId, std::vector<Episode>> history_;
 };
 
 }  // namespace coreda::sensors

@@ -1,17 +1,67 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace coreda::sim {
 
+void EventHandle::cancel() noexcept {
+  if (scheduler_) scheduler_->cancel_slot(slot_, generation_);
+}
+
+bool EventHandle::cancelled() const noexcept {
+  return scheduler_ && scheduler_->slot_cancelled(slot_, generation_);
+}
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.push_back(Slot{});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t slot) noexcept {
+  ++slots_[slot].generation;
+  slots_[slot].cancelled = false;
+  free_slots_.push_back(slot);
+}
+
+bool Scheduler::slot_cancelled(std::uint32_t slot,
+                               std::uint64_t generation) const noexcept {
+  // A generation mismatch means the event died (fired, series ended, or was
+  // cancelled and reaped); either way it will never fire again.
+  if (slots_[slot].generation != generation) return true;
+  return slots_[slot].cancelled;
+}
+
+void Scheduler::cancel_slot(std::uint32_t slot,
+                            std::uint64_t generation) noexcept {
+  if (slots_[slot].generation == generation) slots_[slot].cancelled = true;
+}
+
+void Scheduler::push_event(Event event) {
+  heap_.push_back(std::move(event));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Scheduler::Event Scheduler::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
+}
+
 EventHandle Scheduler::schedule_at(TimePoint when, Callback fn) {
   if (when < now_) {
     throw std::invalid_argument("Scheduler::schedule_at: time is in the past");
   }
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, flag, std::move(fn)});
-  return EventHandle(std::move(flag));
+  const std::uint32_t slot = acquire_slot();
+  push_event(Event{when, next_seq_++, slot, Duration(), std::move(fn)});
+  return EventHandle(this, slot, slots_[slot].generation);
 }
 
 EventHandle Scheduler::schedule_after(Duration delay, Callback fn) {
@@ -23,28 +73,43 @@ EventHandle Scheduler::schedule_periodic(Duration period, Callback fn) {
     throw std::invalid_argument(
         "Scheduler::schedule_periodic: period must be positive");
   }
-  auto flag = std::make_shared<bool>(false);
-  // The repeater reschedules itself unless the shared flag was set. Each
-  // iteration registers a fresh queue entry guarded by the same flag, so one
-  // cancel() stops the whole series.
-  auto repeat = std::make_shared<std::function<void()>>();
-  *repeat = [this, period, flag, fn = std::move(fn), repeat]() {
-    fn();
-    if (!*flag) {
-      queue_.push(Event{now_ + period, next_seq_++, flag, *repeat});
-    }
-  };
-  queue_.push(Event{now_ + period, next_seq_++, flag, *repeat});
-  return EventHandle(std::move(flag));
+  const std::uint32_t slot = acquire_slot();
+  push_event(Event{now_ + period, next_seq_++, slot, period, std::move(fn)});
+  return EventHandle(this, slot, slots_[slot].generation);
 }
 
 bool Scheduler::fire_next() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;
+  while (!heap_.empty()) {
+    Event ev = pop_event();
+    if (slots_[ev.slot].cancelled) {
+      release_slot(ev.slot);
+      continue;
+    }
     now_ = ev.when;
-    ev.fn();
+    if (ev.period > Duration()) {
+      // Periodic: the slot stays alive across reschedules, so the whole
+      // series costs one slot and one callback, reused every period. A
+      // throwing callback ends the series observably (the slot dies, so
+      // the handle reads cancelled() == true) and propagates.
+      try {
+        ev.fn();
+      } catch (...) {
+        release_slot(ev.slot);
+        throw;
+      }
+      if (slots_[ev.slot].cancelled) {
+        release_slot(ev.slot);
+      } else {
+        push_event(Event{now_ + ev.period, next_seq_++, ev.slot, ev.period,
+                         std::move(ev.fn)});
+      }
+    } else {
+      // One-shot: the event is spent the moment it fires; release before
+      // the callback so a reentrant schedule_* can reuse the slot (stale
+      // handles are protected by the generation counter).
+      release_slot(ev.slot);
+      ev.fn();
+    }
     return true;
   }
   return false;
@@ -58,11 +123,11 @@ std::size_t Scheduler::run(std::size_t limit) {
 
 std::size_t Scheduler::run_until(TimePoint deadline) {
   std::size_t fired = 0;
-  while (!queue_.empty()) {
-    // Skip cancelled events without advancing the clock.
-    const Event& top = queue_.top();
-    if (*top.cancelled) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    // Reap cancelled events without advancing the clock.
+    const Event& top = heap_.front();
+    if (slots_[top.slot].cancelled) {
+      release_slot(pop_event().slot);
       continue;
     }
     if (top.when > deadline) break;

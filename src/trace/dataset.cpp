@@ -31,6 +31,26 @@ std::vector<std::vector<adl::StepId>> DatasetBuilder::sensed_training_set(
   return out;
 }
 
+std::vector<std::vector<adl::StepId>>
+DatasetBuilder::sensed_training_set_parallel(
+    const adl::Adl& adl, std::size_t count, exec::TrialRunner& runner,
+    const SensingPipeline::Params& params) {
+  // One draw from the builder's stream seeds the whole set, so repeated
+  // calls produce fresh-but-reproducible sets just like the serial method.
+  const std::uint64_t set_seed = rng_();
+  return runner.run(
+      count, set_seed,
+      [this, &adl, &params](exec::TrialContext& ctx) {
+        // Episode-private generator and sensing stack: nothing here touches
+        // the builder's stream, so episodes are independent of placement.
+        patient::BehaviorGenerator gen(adl, library_->tools(), profile_,
+                                       ctx.rng.fork());
+        SensingPipeline pipeline(library_->tools(), adl.tools(), ctx.rng(),
+                                 params);
+        return pipeline.run(gen.timed_episode()).extracted;
+      });
+}
+
 std::vector<std::vector<patient::TimedStep>> DatasetBuilder::timed_set(
     const adl::Adl& adl, std::size_t count) {
   patient::BehaviorGenerator gen(adl, library_->tools(), profile_,

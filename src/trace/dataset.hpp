@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "adl/library.hpp"
+#include "exec/trial_runner.hpp"
 #include "patient/generator.hpp"
 #include "patient/profile.hpp"
 #include "trace/episode.hpp"
@@ -32,6 +33,15 @@ class DatasetBuilder {
   /// miss weakly-sensed steps or carry spurious ones.
   std::vector<std::vector<adl::StepId>> sensed_training_set(
       const adl::Adl& adl, std::size_t count,
+      const SensingPipeline::Params& params = SensingPipeline::Params());
+
+  /// Like sensed_training_set(), but fanned across `runner` with one
+  /// generator + sensing stack per episode, seeded per-episode by SplitMix
+  /// streams. Deterministic at any job count (including jobs=1), but the
+  /// episode streams differ from the serial method's fork chain, so the two
+  /// variants produce different (equally valid) datasets.
+  std::vector<std::vector<adl::StepId>> sensed_training_set_parallel(
+      const adl::Adl& adl, std::size_t count, exec::TrialRunner& runner,
       const SensingPipeline::Params& params = SensingPipeline::Params());
 
   /// Timed episodes (for pipeline and closed-loop experiments).

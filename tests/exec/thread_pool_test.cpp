@@ -1,0 +1,72 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace coreda::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingWork) {
+  // Queue far more work than the workers can start before shutdown() is
+  // called; graceful shutdown must still run every queued task.
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      ++counter;
+    });
+  }
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.submit([] {});
+  pool.shutdown();
+  pool.shutdown();  // must not hang or crash
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // ~ThreadPool == shutdown()
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, HardwareWorkersIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace coreda::exec

@@ -124,6 +124,54 @@ TEST_F(NodeFixture, ExplicitThresholdOverrides) {
   EXPECT_DOUBLE_EQ(node.threshold(), 0.77);
 }
 
+TEST(NodeBatchingTest, BatchedSamplingMatchesPerTickBitExactly) {
+  // The batched firmware task is a pure scheduling optimization: every
+  // sampled value, EEPROM record, and announcement must be identical to the
+  // literal per-tick loop, including partial windows flushed at power_off.
+  adl::AdlLibrary library;
+  struct Observed {
+    std::uint64_t samples;
+    std::uint64_t announcements;
+    std::size_t uplink;
+    std::vector<std::pair<std::int64_t, int>> records;
+    bool operator==(const Observed&) const = default;
+  };
+  auto run_one = [&](bool batch) {
+    sim::Scheduler scheduler;
+    sensors::ManipulationWorld world;
+    RadioChannel channel{scheduler, util::Rng(1)};
+    std::size_t uplink = 0;
+    channel.attach_receiver(0, [&](const Packet&) { ++uplink; });
+    FirmwareConfig config;
+    config.batch_sampling = batch;
+    PavenetNode node(library.tools().at(adl::tools::kKettle), scheduler, world,
+                     channel, util::Rng(7), config);
+    node.power_on();
+    // Episodes that start, truncate, and restart mid-window.
+    scheduler.schedule_at(TimePoint::from_seconds(1.23), [&] {
+      world.begin(adl::tools::kKettle, scheduler.now(), Duration::seconds(4.0));
+    });
+    scheduler.schedule_at(TimePoint::from_seconds(3.07), [&] {
+      world.end(adl::tools::kKettle, scheduler.now());
+    });
+    scheduler.schedule_at(TimePoint::from_seconds(3.55), [&] {
+      world.begin(adl::tools::kKettle, scheduler.now(), Duration::seconds(5.0));
+    });
+    scheduler.run_until(TimePoint::from_seconds(9.35));  // mid-window stop
+    node.power_off();
+    Observed obs{node.samples(), node.announcements(), uplink, {}};
+    for (const EepromRecord& r : node.eeprom().dump()) {
+      obs.records.emplace_back(r.at.total_micros(), r.hits);
+    }
+    return obs;
+  };
+  const Observed per_tick = run_one(false);
+  const Observed batched = run_one(true);
+  EXPECT_EQ(per_tick.samples, 93u);  // 9.35 s at 10 Hz, flushed to the tick
+  EXPECT_GT(per_tick.records.size(), 0u);
+  EXPECT_TRUE(per_tick == batched);
+}
+
 TEST_F(NodeFixture, UidMatchesTool) {
   PavenetNode node = make_node(adl::tools::kTeaBox);
   EXPECT_EQ(node.uid(), adl::tools::kTeaBox);

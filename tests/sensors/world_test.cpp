@@ -42,12 +42,60 @@ TEST(ManipulationWorldTest, EndOfUnknownToolIsNoop) {
   world.end(99, TimePoint::from_seconds(1.0));  // must not crash
 }
 
-TEST(ManipulationWorldTest, RestartReplacesEpisode) {
+TEST(ManipulationWorldTest, RestartSupersedesButKeepsRecentHistory) {
   ManipulationWorld world;
   world.begin(5, TimePoint::origin(), Duration::seconds(2.0));
-  world.begin(5, TimePoint::from_seconds(10.0), Duration::seconds(2.0));
-  EXPECT_FALSE(world.in_use(5, TimePoint::from_seconds(1.0)));
-  EXPECT_TRUE(world.in_use(5, TimePoint::from_seconds(11.0)));
+  world.begin(5, TimePoint::from_seconds(5.0), Duration::seconds(2.0));
+  // The superseded episode stays answerable for instants before the
+  // successor started (what a live 10 Hz reader saw at the time)...
+  EXPECT_TRUE(world.in_use(5, TimePoint::from_seconds(1.0)));
+  // ...while the gap between episodes and the new episode read normally.
+  EXPECT_FALSE(world.in_use(5, TimePoint::from_seconds(3.0)));
+  EXPECT_TRUE(world.in_use(5, TimePoint::from_seconds(6.0)));
+}
+
+TEST(ManipulationWorldTest, RestartClipsAnOverlappingPredecessor) {
+  ManipulationWorld world;
+  world.begin(5, TimePoint::origin(), Duration::seconds(10.0));
+  world.begin(5, TimePoint::from_seconds(4.0), Duration::seconds(10.0));
+  // From the restart onward only the new episode answers; its envelope
+  // restarts from zero progress at t = 4.
+  const double at_restart = world.activation(5, TimePoint::from_seconds(4.1));
+  const double before = world.activation(5, TimePoint::from_seconds(3.9));
+  EXPECT_GT(before, at_restart);
+}
+
+TEST(ManipulationWorldTest, HistoryRetentionBoundsEpisodeCount) {
+  ManipulationWorld world;
+  // Episodes older than kHistoryRetention are pruned on begin().
+  world.begin(5, TimePoint::origin(), Duration::seconds(1.0));
+  world.begin(5, TimePoint::from_seconds(100.0), Duration::seconds(1.0));
+  EXPECT_FALSE(world.in_use(5, TimePoint::from_seconds(0.5)));
+}
+
+TEST(ManipulationWorldTest, ActivationBlockMatchesPointQueries) {
+  ManipulationWorld world;
+  world.begin(5, TimePoint::from_seconds(0.3), Duration::seconds(2.0));
+  world.end(5, TimePoint::from_seconds(1.7));
+  world.begin(5, TimePoint::from_seconds(2.1), Duration::seconds(3.0));
+  const TimePoint first = TimePoint::from_seconds(0.05);
+  const Duration step = Duration::millis(100);
+  double block[40];
+  world.activation_block(5, first, step, 40, block);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const TimePoint at =
+        first + Duration::micros(step.total_micros() *
+                                 static_cast<std::int64_t>(i));
+    EXPECT_DOUBLE_EQ(block[i], world.activation(5, at)) << "sample " << i;
+  }
+}
+
+TEST(ManipulationWorldTest, ActivationBlockOfIdleToolIsZero) {
+  ManipulationWorld world;
+  double block[5] = {1.0, 1.0, 1.0, 1.0, 1.0};
+  world.activation_block(7, TimePoint::origin(), Duration::millis(100), 5,
+                         block);
+  for (double v : block) EXPECT_EQ(v, 0.0);
 }
 
 TEST(ManipulationWorldTest, ActivationFollowsEnvelope) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace coreda::sim {
@@ -149,6 +151,84 @@ TEST(SchedulerTest, EventsScheduledDuringRunAreHonored) {
   s.run();
   ASSERT_EQ(fire_times.size(), 2u);
   EXPECT_DOUBLE_EQ(fire_times[1], 2.0);
+}
+
+TEST(SchedulerTest, PeriodicCallbackThrowPropagatesAndCancelsSeries) {
+  Scheduler s;
+  int count = 0;
+  EventHandle h = s.schedule_periodic(Duration::seconds(1.0), [&] {
+    if (++count == 2) throw std::runtime_error("firmware fault");
+  });
+  EXPECT_THROW(s.run_until(TimePoint::from_seconds(10.0)),
+               std::runtime_error);
+  EXPECT_EQ(count, 2);
+  // The series is dead and observably so — not a silent stall.
+  EXPECT_TRUE(h.cancelled());
+  s.run_until(TimePoint::from_seconds(30.0));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SchedulerTest, OneShotThrowPropagatesAndSpendsEvent) {
+  Scheduler s;
+  EventHandle h = s.schedule_after(Duration::seconds(1.0),
+                                   [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(s.run(), std::runtime_error);
+  EXPECT_TRUE(h.cancelled());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, StaleHandleCancelDoesNotTouchRecycledSlot) {
+  Scheduler s;
+  bool first = false;
+  bool second = false;
+  EventHandle h1 = s.schedule_after(Duration::seconds(1.0),
+                                    [&] { first = true; });
+  s.run();
+  // h1's event fired; its internal slot is free for reuse.
+  EventHandle h2 = s.schedule_after(Duration::seconds(1.0),
+                                    [&] { second = true; });
+  h1.cancel();  // stale: must not cancel the recycled slot's new event
+  s.run();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+  EXPECT_TRUE(h1.cancelled());
+}
+
+TEST(SchedulerTest, CancelledPendingEventsAreReapedWithoutFiring) {
+  Scheduler s;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(
+        s.schedule_after(Duration::seconds(i + 1.0), [&] { ++fired; }));
+  }
+  for (int i = 0; i < 100; i += 2) handles[i].cancel();
+  EXPECT_EQ(s.run(), 50u);
+  EXPECT_EQ(fired, 50);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, HandleCopiesShareCancellation) {
+  Scheduler s;
+  bool fired = false;
+  EventHandle a = s.schedule_after(Duration::seconds(1.0),
+                                   [&] { fired = true; });
+  EventHandle b = a;
+  b.cancel();
+  EXPECT_TRUE(a.cancelled());
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, PeriodicSlotReuseSurvivesManyPeriods) {
+  // The periodic fast path must reuse its slot and callback across
+  // thousands of periods without drift in timing or order.
+  Scheduler s;
+  std::uint64_t count = 0;
+  s.schedule_periodic(Duration::millis(100), [&] { ++count; });
+  s.run_until(TimePoint::from_seconds(1000.0));
+  EXPECT_EQ(count, 10000u);
+  EXPECT_DOUBLE_EQ(s.now().to_seconds(), 1000.0);
 }
 
 TEST(SchedulerTest, ManyPeriodicTasksStayDeterministic) {

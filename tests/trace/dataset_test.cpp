@@ -70,6 +70,29 @@ TEST_F(DatasetFixture, DifferentSeedsDiffer) {
             b.sensed_training_set(library.tea_making(), 30));
 }
 
+TEST_F(DatasetFixture, ParallelSensedSetIsIdenticalAtAnyJobCount) {
+  DatasetBuilder a = make(0.0, 33);
+  DatasetBuilder b = make(0.0, 33);
+  exec::TrialRunner serial(1);
+  exec::TrialRunner parallel(8);
+  EXPECT_EQ(a.sensed_training_set_parallel(library.tea_making(), 24, serial),
+            b.sensed_training_set_parallel(library.tea_making(), 24,
+                                           parallel));
+}
+
+TEST_F(DatasetFixture, ParallelSensedSetLooksLikeTheSerialOne) {
+  // Different streams, same distribution: sequences still mostly follow the
+  // routine and are non-empty.
+  DatasetBuilder builder = make(0.0, 5);
+  exec::TrialRunner runner(2);
+  const auto set =
+      builder.sensed_training_set_parallel(library.tea_making(), 20, runner);
+  ASSERT_EQ(set.size(), 20u);
+  std::size_t nonempty = 0;
+  for (const auto& ep : set) nonempty += !ep.empty();
+  EXPECT_GE(nonempty, 18u);
+}
+
 TEST_F(DatasetFixture, MultiRoutineAdlSamplesBothRoutines) {
   DatasetBuilder builder = make();
   const auto set = builder.clean_training_set(library.dressing(), 40);

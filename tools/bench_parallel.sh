@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Measures trial-parallel bench wall-clock at several --jobs values and
+# assembles BENCH_parallel.json (JSON lines: bench, jobs, trials, seconds,
+# trials_per_sec). Bench stdout is discarded — it is byte-identical across
+# job counts by design; only the timing side-channel differs.
+#
+# Usage: tools/bench_parallel.sh [build-dir] [out-file]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_parallel.json}"
+
+BENCHES=(bench_sensitivity bench_table3_extract bench_ablation_radio
+         bench_ablation_detector bench_fig4_learning_curve)
+
+cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
+
+HW_JOBS="$(nproc)"
+JOB_COUNTS=(1 2 4)
+case " ${JOB_COUNTS[*]} " in
+  *" $HW_JOBS "*) ;;
+  *) JOB_COUNTS+=("$HW_JOBS") ;;
+esac
+
+: > "$OUT"
+for bench in "${BENCHES[@]}"; do
+  for jobs in "${JOB_COUNTS[@]}"; do
+    "$BUILD_DIR/bench/$bench" --jobs="$jobs" --timing-json="$OUT" \
+      > /dev/null
+  done
+done
+
+echo "Wrote $OUT:"
+cat "$OUT"

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the exec + sim test binaries under ThreadSanitizer and runs them.
+# The exec layer is the only intentionally multi-threaded code in the repo;
+# the sim scheduler rides along to prove a Scheduler instance stays
+# single-threaded under TrialRunner fan-out.
+#
+# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DCOREDA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target test_exec test_sim test_trace
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$BUILD_DIR"/tests/test_exec
+"$BUILD_DIR"/tests/test_sim
+# Dataset tests exercise sensed_training_set_parallel (sensing stacks on
+# pool workers).
+"$BUILD_DIR"/tests/test_trace --gtest_filter='DatasetFixture.*'
+
+echo "TSan: all exec/sim/trace-parallel tests passed."
