@@ -5,10 +5,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
-
 #include "adl/library.hpp"
 #include "pavenet/detector.hpp"
 #include "pavenet/node.hpp"
@@ -18,23 +14,10 @@
 #include "sim/scheduler.hpp"
 #include "trace/dataset.hpp"
 #include "trace/sensing_pipeline.hpp"
-
-// Global allocation counter: the scheduler benches assert their "zero
-// allocations per event at steady state" claim through it.
-namespace {
-std::atomic<std::uint64_t> g_allocations{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Global allocation counter (replaces this binary's operator new): the
+// scheduler and train_episode benches assert their "zero allocations per
+// event / episode at steady state" claims through it.
+#include "util/alloc_counter.hpp"
 
 namespace {
 
@@ -66,9 +49,18 @@ void BM_TrainEpisode(benchmark::State& state) {
   const std::vector<adl::StepId> steps{
       adl::tools::kTeaBox, adl::tools::kElectricPot, adl::tools::kKettle,
       adl::tools::kTeaCup};
+  // Warm the scratch buffers past their growth phase, then assert the
+  // training hot path's contract: allocs_per_episode == 0 at steady state.
+  for (int i = 0; i < 8; ++i) learner.train_episode(steps);
+  std::uint64_t episodes = 0;
+  const std::uint64_t allocs_before = util::allocation_count();
   for (auto _ : state) {
     learner.train_episode(steps);
+    ++episodes;
   }
+  state.counters["allocs_per_episode"] =
+      static_cast<double>(util::allocation_count() - allocs_before) /
+      static_cast<double>(episodes);
 }
 BENCHMARK(BM_TrainEpisode);
 
@@ -120,14 +112,14 @@ void BM_SchedulerOneShotScheduleFire(benchmark::State& state) {
   }
   s.run();
   std::uint64_t events = 0;
-  const std::uint64_t allocs_before = g_allocations.load();
+  const std::uint64_t allocs_before = util::allocation_count();
   for (auto _ : state) {
     s.schedule_after(sim::Duration::millis(1), [] {});
     s.run(1);
     ++events;
   }
   state.counters["allocs_per_event"] =
-      static_cast<double>(g_allocations.load() - allocs_before) /
+      static_cast<double>(util::allocation_count() - allocs_before) /
       static_cast<double>(events);
 }
 BENCHMARK(BM_SchedulerOneShotScheduleFire);
@@ -139,7 +131,7 @@ void BM_SchedulerScheduleCancel(benchmark::State& state) {
   }
   s.run();
   std::uint64_t events = 0;
-  const std::uint64_t allocs_before = g_allocations.load();
+  const std::uint64_t allocs_before = util::allocation_count();
   for (auto _ : state) {
     sim::EventHandle h = s.schedule_after(sim::Duration::millis(1), [] {});
     h.cancel();
@@ -147,7 +139,7 @@ void BM_SchedulerScheduleCancel(benchmark::State& state) {
     ++events;
   }
   state.counters["allocs_per_event"] =
-      static_cast<double>(g_allocations.load() - allocs_before) /
+      static_cast<double>(util::allocation_count() - allocs_before) /
       static_cast<double>(events);
 }
 BENCHMARK(BM_SchedulerScheduleCancel);
@@ -160,14 +152,14 @@ void BM_SchedulerPeriodicFire(benchmark::State& state) {
   s.schedule_periodic(sim::Duration::millis(100), [&ticks] { ++ticks; });
   s.run(64);  // steady state
   std::uint64_t events = 0;
-  const std::uint64_t allocs_before = g_allocations.load();
+  const std::uint64_t allocs_before = util::allocation_count();
   for (auto _ : state) {
     s.run(1);
     ++events;
   }
   benchmark::DoNotOptimize(ticks);
   state.counters["allocs_per_event"] =
-      static_cast<double>(g_allocations.load() - allocs_before) /
+      static_cast<double>(util::allocation_count() - allocs_before) /
       static_cast<double>(events);
 }
 BENCHMARK(BM_SchedulerPeriodicFire);

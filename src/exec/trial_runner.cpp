@@ -27,15 +27,17 @@ std::size_t jobs_from_flags(const util::Flags& flags) {
 }
 
 void append_timing_record(const std::string& path, const std::string& bench,
-                          std::size_t jobs, std::size_t trials,
-                          double seconds) {
+                          std::size_t jobs, std::size_t trials, double seconds,
+                          const std::string& extra) {
   if (path.empty()) return;
   std::ostringstream line;
   line << "{\"bench\": \"" << bench << "\", \"jobs\": " << jobs
+       << ", \"hardware_concurrency\": " << ThreadPool::hardware_workers()
        << ", \"trials\": " << trials << ", \"seconds\": " << seconds
        << ", \"trials_per_sec\": "
-       << (seconds > 0.0 ? static_cast<double>(trials) / seconds : 0.0)
-       << "}\n";
+       << (seconds > 0.0 ? static_cast<double>(trials) / seconds : 0.0);
+  if (!extra.empty()) line << ", " << extra;
+  line << "}\n";
   std::ofstream out(path, std::ios::app);
   out << line.str();
 }

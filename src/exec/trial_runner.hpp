@@ -112,11 +112,15 @@ class TrialRunner {
 std::size_t jobs_from_flags(const util::Flags& flags);
 
 /// Appends one JSON-lines timing record to `path` — the raw material of
-/// BENCH_parallel.json. Timing goes to a side file, never stdout, so bench
-/// tables stay byte-identical across job counts. No-op when `path` is empty.
+/// BENCH_parallel.json / BENCH_fleet.json. Timing goes to a side file,
+/// never stdout, so bench tables stay byte-identical across job counts.
+/// Every record carries `hardware_concurrency` so a jobs-vs-cores mismatch
+/// (the usual cause of parallel slowdown) is visible in the data itself.
+/// `extra` is spliced verbatim into the object as additional fields, e.g.
+/// `"episodes_per_sec": 1234.5` (empty = none). No-op when `path` is empty.
 void append_timing_record(const std::string& path, const std::string& bench,
-                          std::size_t jobs, std::size_t trials,
-                          double seconds);
+                          std::size_t jobs, std::size_t trials, double seconds,
+                          const std::string& extra = "");
 
 /// Monotonic wall-clock stopwatch for the timing records.
 class Stopwatch {

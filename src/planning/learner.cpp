@@ -22,70 +22,84 @@ RoutineLearner::RoutineLearner(const adl::Adl& adl, util::Rng rng,
       reward_(config.reward),
       learner_(states_.num_states(), actions_.num_actions(), config.td),
       policy_(config.epsilon, config.epsilon_decay, config.min_epsilon),
-      rng_(rng) {}
+      rng_(rng) {
+  const std::size_t num_actions = actions_.num_actions();
+  decoded_actions_.reserve(num_actions);
+  for (rl::ActionId a = 0; a < num_actions; ++a) {
+    decoded_actions_.push_back(actions_.decode(a));
+  }
+  const auto& symbols = states_.symbols();
+  step_rewards_.resize(symbols.size() * num_actions);
+  terminal_rewards_.resize(symbols.size() * num_actions);
+  for (std::size_t sym = 0; sym < symbols.size(); ++sym) {
+    for (rl::ActionId a = 0; a < num_actions; ++a) {
+      step_rewards_[sym * num_actions + a] =
+          reward_(decoded_actions_[a], symbols[sym], /*completes=*/false);
+      terminal_rewards_[sym * num_actions + a] =
+          reward_(decoded_actions_[a], symbols[sym], /*completes=*/true);
+    }
+  }
+}
 
 void RoutineLearner::train_episode(std::span<const adl::StepId> steps) {
   // Keep only steps the codec knows; sensing can interleave noise from
-  // tools of other ADLs, which must not crash the learner.
-  std::vector<adl::StepId> valid;
-  valid.reserve(steps.size());
+  // tools of other ADLs, which must not crash the learner. Every recorded
+  // process implicitly starts from "nothing is done" — the paper's
+  // StepID 0, prefixed here — so training the <idle, idle> context teaches
+  // the planner to prompt the *first* step of the routine, which the
+  // deployed system needs when a user freezes before ever touching a tool.
+  //
+  // Encoding <idle, s> yields 0 * n + symbol_index(s), so the encode doubles
+  // as the vocabulary test and hands back the symbol index the state and
+  // reward-row lookups below are built from.
+  episode_steps_.clear();
+  episode_symbols_.clear();
+  episode_steps_.push_back(adl::kIdleStep);
+  episode_symbols_.push_back(0);
   for (adl::StepId s : steps) {
-    if (states_.encode(PlannerState{adl::kIdleStep, s})) {
-      valid.push_back(s);
+    if (const auto sym = states_.encode(PlannerState{adl::kIdleStep, s})) {
+      episode_steps_.push_back(s);
+      episode_symbols_.push_back(static_cast<std::uint32_t>(*sym));
     } else {
       ++skipped_;
     }
   }
 
   ++episodes_;
-  if (valid.size() < 2) {
+  if (episode_steps_.size() < 3) {  // idle prefix + fewer than two valid steps
     policy_.decay_epsilon();
     return;
   }
 
-  // Every recorded process implicitly starts from "nothing is done" — the
-  // paper's StepID 0. Training the <idle, idle> context teaches the planner
-  // to prompt the *first* step of the routine, which the deployed system
-  // needs when a user freezes before ever touching a tool.
-  std::vector<adl::StepId> with_idle;
-  with_idle.reserve(valid.size() + 1);
-  with_idle.push_back(adl::kIdleStep);
-  with_idle.insert(with_idle.end(), valid.begin(), valid.end());
-  valid = std::move(with_idle);
-
+  const std::size_t num_symbols = states_.symbols().size();
+  const std::size_t num_actions = actions_.num_actions();
   learner_.begin_episode();
-  adl::StepId prev = adl::kIdleStep;
-  adl::StepId cur = valid[0];
-  for (std::size_t i = 1; i < valid.size(); ++i) {
-    const adl::StepId next = valid[i];
-    const auto s = states_.encode(PlannerState{prev, cur});
-    const auto s_next = states_.encode(PlannerState{cur, next});
+  for (std::size_t i = 1; i < episode_steps_.size(); ++i) {
+    const std::uint32_t prev_sym = i >= 2 ? episode_symbols_[i - 2] : 0;
+    const std::uint32_t cur_sym = episode_symbols_[i - 1];
+    const std::uint32_t next_sym = episode_symbols_[i];
+    const auto s = static_cast<rl::StateId>(prev_sym * num_symbols + cur_sym);
+    const auto s_next =
+        static_cast<rl::StateId>(cur_sym * num_symbols + next_sym);
 
-    const rl::ActionId a = policy_.select(learner_.q(), *s, rng_);
-    const PlannerAction action = actions_.decode(a);
+    const rl::ActionId a = policy_.select(learner_.q(), s, rng_);
 
     // A transition is terminal only when the ADL actually completed. A
     // sequence truncated by sensing loss just *ends* — flagging its last
     // transition terminal would erase the bootstrap and drag the correct
     // action's value toward the bare intermediate reward.
-    const bool completes = i + 1 == valid.size() &&
-                           routine_->is_terminal(next);
-    const double r = reward_(action, next, completes);
+    const bool completes = i + 1 == episode_steps_.size() &&
+                           routine_->is_terminal(episode_steps_[i]);
+    const std::span<const double> rewards{
+        (completes ? terminal_rewards_ : step_rewards_).data() +
+            next_sym * num_actions,
+        num_actions};
 
-    learner_.observe(rl::Transition{*s, a, r, *s_next,
+    learner_.observe(rl::Transition{s, a, rewards[a], s_next,
                                     /*terminal=*/completes});
-
     if (config_.counterfactual_sweep) {
-      for (rl::ActionId other = 0; other < actions_.num_actions(); ++other) {
-        if (other == a) continue;
-        const double r_other =
-            reward_(actions_.decode(other), next, completes);
-        learner_.update_counterfactual(*s, other, r_other, *s_next,
-                                       completes);
-      }
+      learner_.update_counterfactual_row(s, rewards, a, s_next, completes);
     }
-    prev = cur;
-    cur = next;
   }
   policy_.decay_epsilon();
 }
@@ -108,7 +122,7 @@ std::optional<PlannedPrompt> RoutineLearner::predict(
   const auto s = states_.encode(state);
   if (!s) return std::nullopt;
   const rl::ActionId a = learner_.q().best_action(*s);
-  return PlannedPrompt{actions_.decode(a), learner_.q().get(*s, a)};
+  return PlannedPrompt{decoded_actions_[a], learner_.q().get(*s, a)};
 }
 
 std::vector<PlannerState> RoutineLearner::predicting_states() const {

@@ -124,6 +124,21 @@ class RoutineLearner {
   util::Rng rng_;
   std::size_t episodes_ = 0;
   std::uint64_t skipped_ = 0;
+
+  // --- training hot path (see DESIGN.md) ----------------------------------
+  // Rewards depend only on (action, actual next step, completes-flag), so
+  // both reward matrices are built once in the ctor; train_episode then
+  // reads one row per transition instead of decoding every action and
+  // re-evaluating the reward function |A| times. Layout: symbol-major,
+  // row width = num_actions().
+  std::vector<PlannerAction> decoded_actions_;  ///< ActionId -> action
+  std::vector<double> step_rewards_;      ///< completes == false rows
+  std::vector<double> terminal_rewards_;  ///< completes == true rows
+  // Scratch for train_episode, reused across calls so the steady-state
+  // episode performs zero heap allocations: the filtered step sequence
+  // (idle-prefixed) and each step's codec symbol index.
+  std::vector<adl::StepId> episode_steps_;
+  std::vector<std::uint32_t> episode_symbols_;
 };
 
 }  // namespace coreda::planning

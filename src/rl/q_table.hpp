@@ -32,6 +32,14 @@ class QTable {
   /// The whole row for state `s` (one value per action).
   std::span<const double> row(StateId s) const;
 
+  /// Mutable view of row `s` — the hot-path API that lets a learner apply a
+  /// fused per-action update without one bounds check per cell.
+  std::span<double> row_mut(StateId s);
+
+  /// Row-wise fused update: Q(s, a) += scale * values[a] for every action.
+  /// Throws std::invalid_argument when `values` is not num_actions() wide.
+  void add_scaled_row(StateId s, std::span<const double> values, double scale);
+
   /// Highest Q value in state `s`.
   double max_q(StateId s) const;
 

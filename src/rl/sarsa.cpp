@@ -11,7 +11,7 @@ SarsaLambda::SarsaLambda(std::size_t num_states, std::size_t num_actions,
                          Config config)
     : config_(config),
       q_(num_states, num_actions),
-      traces_(config.trace_type) {
+      traces_(num_states, num_actions, config.trace_type) {
   if (config.alpha <= 0.0 || config.alpha > 1.0 || config.gamma < 0.0 ||
       config.gamma > 1.0 || config.lambda < 0.0 || config.lambda > 1.0) {
     throw std::invalid_argument("SarsaLambda: hyper-parameter out of range");

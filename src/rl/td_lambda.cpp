@@ -25,7 +25,7 @@ TdLambdaQLearning::TdLambdaQLearning(std::size_t num_states,
                                      TdLambdaConfig config)
     : config_((validate(config), config)),
       q_(num_states, num_actions, config.initial_q),
-      traces_(config.trace_type) {}
+      traces_(num_states, num_actions, config.trace_type) {}
 
 void TdLambdaQLearning::begin_episode() { traces_.clear(); }
 
@@ -66,6 +66,31 @@ double TdLambdaQLearning::observe(const Transition& t) {
     traces_.decay(config_.gamma * config_.lambda);
   }
   return delta;
+}
+
+void TdLambdaQLearning::update_counterfactual_row(
+    StateId s, std::span<const double> rewards, ActionId taken,
+    StateId next_state, bool terminal) {
+  const std::span<double> row = q_.row_mut(s);
+  if (rewards.size() != row.size()) {
+    throw std::invalid_argument(
+        "TdLambdaQLearning::update_counterfactual_row: width mismatch");
+  }
+  // When the sweep writes into the very row it bootstraps from (s == s'),
+  // each update can move max Q(s'); re-reading it per action preserves
+  // exact equivalence with the one-call-per-action formulation.
+  const bool aliased = !terminal && next_state == s;
+  double bootstrap = (terminal || aliased)
+                         ? 0.0
+                         : config_.gamma * q_.max_q(next_state);
+  for (ActionId a = 0; a < row.size(); ++a) {
+    if (a == taken) continue;
+    if (aliased) bootstrap = config_.gamma * q_.max_q(next_state);
+    const double target = terminal ? rewards[a] : rewards[a] + bootstrap;
+    const double delta = target - row[a];
+    row[a] += config_.alpha * delta;
+    ++updates_;
+  }
 }
 
 double TdLambdaQLearning::update_counterfactual(StateId s, ActionId a,

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <span>
+
 #include "rl/q_table.hpp"
 #include "rl/traces.hpp"
 #include "rl/types.hpp"
@@ -52,6 +54,17 @@ class TdLambdaQLearning {
   /// recorded trajectory). Returns the TD error δ.
   double update_counterfactual(StateId s, ActionId a, double reward,
                                StateId next_state, bool terminal);
+
+  /// Fused counterfactual sweep: exactly equivalent to calling
+  /// update_counterfactual(s, a, rewards[a], next_state, terminal) for
+  /// every action a != taken in ascending order, but with the bootstrap
+  /// max Q(s') hoisted out of the loop (it is re-read per action only in
+  /// the aliased s == s' case, where the sweep's own writes can move the
+  /// row maximum). `rewards` must be num_actions() wide
+  /// (std::invalid_argument otherwise).
+  void update_counterfactual_row(StateId s, std::span<const double> rewards,
+                                 ActionId taken, StateId next_state,
+                                 bool terminal);
 
   const QTable& q() const noexcept { return q_; }
   QTable& q() noexcept { return q_; }

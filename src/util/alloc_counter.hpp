@@ -1,0 +1,53 @@
+#pragma once
+
+// Global operator-new counter for zero-allocation assertions.
+//
+// Including this header replaces the global allocation functions of the
+// whole binary with counting variants, so it must be included in exactly
+// ONE translation unit per executable (a second inclusion is a duplicate-
+// symbol link error by design — replacement allocation functions must not
+// be inline). Used by bench/perf_micro.cpp, bench/fleet_throughput.cpp and
+// tests/planning/learner_alloc_test.cpp to pin the "0 allocations per
+// episode / event at steady state" contracts.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace coreda::util {
+
+namespace alloc_counter_detail {
+inline std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace alloc_counter_detail
+
+/// Number of operator-new calls since process start (monotonic).
+inline std::uint64_t allocation_count() noexcept {
+  return alloc_counter_detail::g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace coreda::util
+
+// GCC pairs new/delete lexically and flags std::free on a new-ed pointer;
+// here free IS the matching deallocator because the replacement new above
+// allocates with std::malloc.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  coreda::util::alloc_counter_detail::g_allocations.fetch_add(
+      1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

@@ -1,0 +1,109 @@
+// Golden-equivalence guard for the TD(λ) training hot path.
+//
+// The traces / learner internals are rewritten freely for speed (dense
+// eligibility arrays, cached reward rows, fused counterfactual sweeps), but
+// the *learning computation* must not move by a single bit: this test
+// re-runs the Figure 4 pipeline (seed 99, 120 sensed training samples per
+// ADL, exactly as bench_fig4_learning_curve does) and compares the
+// per-episode behaviour-accuracy series and the final Q-table against a
+// committed hexfloat CSV captured before the rewrite.
+//
+// Regenerate (only when the learning *semantics* intentionally change):
+//   COREDA_UPDATE_GOLDEN=1 ./tests/test_planning --gtest_filter='GoldenEquivalence.*'
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "adl/library.hpp"
+#include "exec/trial_runner.hpp"
+#include "planning/learner.hpp"
+#include "trace/dataset.hpp"
+
+#ifndef COREDA_GOLDEN_DIR
+#error "COREDA_GOLDEN_DIR must point at tests/planning/data"
+#endif
+
+namespace coreda::planning {
+namespace {
+
+std::string hexfloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// The exact fig4 training loop (bench/fig4_learning_curve.cpp run_curve),
+/// serialized to CSV lines: accuracy per episode, then the final Q-table.
+std::string render_adl(const adl::AdlLibrary& library, const adl::Adl& adl,
+                       const char* name) {
+  constexpr std::size_t kEpisodes = 120;
+  exec::TrialRunner runner(1);
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("User", 0.0), 99);
+  const auto training =
+      datasets.sensed_training_set_parallel(adl, kEpisodes, runner);
+
+  RoutineLearner learner(adl, util::Rng(99 * 31 + 7));
+  std::ostringstream out;
+  std::size_t episode = 0;
+  for (const auto& steps : training) {
+    learner.train_episode(steps);
+    out << name << ",accuracy," << episode++ << ","
+        << hexfloat(learner.behaviour_accuracy()) << "\n";
+  }
+  const rl::QTable& q = learner.q();
+  for (rl::StateId s = 0; s < q.num_states(); ++s) {
+    for (rl::ActionId a = 0; a < q.num_actions(); ++a) {
+      out << name << ",q," << s << "," << a << "," << hexfloat(q.get(s, a))
+          << "\n";
+    }
+  }
+  out << name << ",skipped,0," << learner.skipped_steps() << "\n";
+  return out.str();
+}
+
+TEST(GoldenEquivalence, Fig4SeriesAndQTableAreByteIdentical) {
+  adl::AdlLibrary library;
+  std::string rendered;
+  rendered += render_adl(library, library.by_name("Tooth-brushing"),
+                         "Tooth-brushing");
+  rendered += render_adl(library, library.by_name("Tea-making"), "Tea-making");
+
+  const std::string path = std::string(COREDA_GOLDEN_DIR) + "/fig4_golden.csv";
+  if (std::getenv("COREDA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run once with COREDA_UPDATE_GOLDEN=1 and commit the CSV";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  ASSERT_EQ(golden.str().size(), rendered.size())
+      << "golden size mismatch: the training hot path changed the learning "
+         "computation";
+  // Diff line-by-line so a failure names the first diverging quantity
+  // instead of dumping two ~8000-line blobs.
+  std::istringstream got(rendered), want(golden.str());
+  std::string got_line, want_line;
+  std::size_t line = 0;
+  while (std::getline(want, want_line)) {
+    ASSERT_TRUE(std::getline(got, got_line)) << "rendered output truncated";
+    ASSERT_EQ(want_line, got_line) << "first divergence at line " << line;
+    ++line;
+  }
+  EXPECT_FALSE(std::getline(got, got_line)) << "rendered output has extra lines";
+}
+
+}  // namespace
+}  // namespace coreda::planning

@@ -1,0 +1,62 @@
+// Pins the training hot path's allocation contract: after the first episode
+// has warmed the learner's scratch buffers, train_episode performs ZERO
+// heap allocations — the property that lets a fleet host retrain millions
+// of per-user learners without allocator contention (see DESIGN.md,
+// "training hot path").
+//
+// alloc_counter.hpp replaces the global allocation functions of this whole
+// test binary; it must stay included in exactly one TU of test_planning.
+
+#include "util/alloc_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adl/library.hpp"
+#include "planning/learner.hpp"
+
+namespace coreda::planning {
+namespace {
+
+TEST(LearnerAllocTest, TrainEpisodeIsAllocationFreeAtSteadyState) {
+  adl::AdlLibrary library;
+  RoutineLearner learner(library.tea_making(), util::Rng(1));
+  const std::vector<adl::StepId> steps{
+      adl::tools::kTeaBox, adl::tools::kElectricPot, adl::tools::kKettle,
+      adl::tools::kTeaCup};
+  // Warm-up: first episodes may grow the scratch buffers once.
+  for (int i = 0; i < 8; ++i) learner.train_episode(steps);
+
+  const std::uint64_t before = util::allocation_count();
+  for (int i = 0; i < 1000; ++i) learner.train_episode(steps);
+  EXPECT_EQ(util::allocation_count() - before, 0u);
+}
+
+TEST(LearnerAllocTest, NoisySequencesStayAllocationFreeOnceWarm) {
+  // Sequences with out-of-vocabulary glitches and varying lengths must not
+  // re-trigger allocation either, as long as they fit the warmed capacity.
+  adl::AdlLibrary library;
+  RoutineLearner learner(library.tea_making(), util::Rng(3));
+  const std::vector<adl::StepId> noisy{
+      adl::tools::kTeaBox,   adl::tools::kToothbrush,  // other ADL's tool
+      adl::tools::kTeaBox,   adl::tools::kElectricPot,
+      adl::tools::kKettle,   adl::tools::kKettle,
+      adl::tools::kTeaCup};
+  const std::vector<adl::StepId> truncated{adl::tools::kTeaBox,
+                                           adl::tools::kKettle};
+  for (int i = 0; i < 8; ++i) {
+    learner.train_episode(noisy);
+    learner.train_episode(truncated);
+  }
+
+  const std::uint64_t before = util::allocation_count();
+  for (int i = 0; i < 500; ++i) {
+    learner.train_episode(noisy);
+    learner.train_episode(truncated);
+  }
+  EXPECT_EQ(util::allocation_count() - before, 0u);
+}
+
+}  // namespace
+}  // namespace coreda::planning

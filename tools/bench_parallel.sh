@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # Measures trial-parallel bench wall-clock at several --jobs values and
-# assembles BENCH_parallel.json (JSON lines: bench, jobs, trials, seconds,
-# trials_per_sec). Bench stdout is discarded — it is byte-identical across
-# job counts by design; only the timing side-channel differs.
+# assembles BENCH_parallel.json (JSON lines: bench, jobs,
+# hardware_concurrency, trials, seconds, trials_per_sec). Bench stdout is
+# discarded — it is byte-identical across job counts by design; only the
+# timing side-channel differs.
+#
+# Every record carries hardware_concurrency: when jobs exceeds the machine's
+# cores the "parallel" runs time-slice one core and the pool handoff is pure
+# overhead — the PR-2 investigation found exactly that behind the jobs>1
+# slowdown of sensitivity/ablation_radio in the original container
+# (hardware_concurrency == 1; see EXPERIMENTS.md "Parallel scaling").
 #
 # Usage: tools/bench_parallel.sh [build-dir] [out-file]
 set -euo pipefail
@@ -12,7 +19,8 @@ BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_parallel.json}"
 
 BENCHES=(bench_sensitivity bench_table3_extract bench_ablation_radio
-         bench_ablation_detector bench_fig4_learning_curve)
+         bench_ablation_detector bench_fig4_learning_curve
+         bench_fleet_throughput)
 
 cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
 
@@ -25,6 +33,10 @@ esac
 
 : > "$OUT"
 for bench in "${BENCHES[@]}"; do
+  # Warm-up pass (timing discarded): first touch pays page faults, lazy
+  # pool construction and file-cache misses that would otherwise be
+  # misread as a jobs=1 advantage — jobs=1 always ran first.
+  "$BUILD_DIR/bench/$bench" --jobs=1 > /dev/null
   for jobs in "${JOB_COUNTS[@]}"; do
     "$BUILD_DIR/bench/$bench" --jobs="$jobs" --timing-json="$OUT" \
       > /dev/null

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compares fresh BENCH_*.json timing records against committed baselines.
+
+The committed BENCH_parallel.json / BENCH_fleet.json files double as
+performance baselines. This checker re-keys both files by
+(bench, jobs) and flags:
+
+  * missing records — a bench/jobs combination present in the baseline but
+    absent from the fresh run;
+  * throughput regressions — fresh trials_per_sec (and episodes_per_sec,
+    where present) below baseline by more than --tolerance (default 0.40,
+    i.e. a fresh run may be up to 40% slower before failing: wall-clock on
+    shared CI machines is noisy, and the committed numbers may come from
+    different hardware — catch collapses, not jitter);
+  * allocation regressions — steady_state_allocs_per_episode must never
+    exceed the baseline (the zero-allocation contract is exact, not noisy).
+
+Hardware mismatches (different hardware_concurrency) downgrade throughput
+findings to warnings: comparing wall-clock across machine shapes is
+meaningless, but the allocation contract still holds everywhere.
+
+Usage:
+  tools/check_bench_regression.py --fresh FRESH.json --baseline BASELINE.json
+      [--tolerance 0.40]
+
+Exit code 0 = OK, 1 = regression, 2 = usage/parse error. Wired as the
+opt-in ctest label `bench-regression` (configure with
+-DCOREDA_BENCH_REGRESSION=ON; see tests/CMakeLists.txt) so tier-1 runs
+never depend on wall-clock.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    """Parses a JSON-lines bench file into {(bench, jobs): record}."""
+    records = {}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(
+                        f"error: {path}:{line_no}: unparsable JSON: {e}")
+                key = (record.get("bench"), record.get("jobs"))
+                if None in key:
+                    raise SystemExit(
+                        f"error: {path}:{line_no}: record lacks bench/jobs")
+                # Later records win: re-running a bench appends.
+                records[key] = record
+    except OSError as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed fractional throughput drop (default "
+                             "0.40)")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        print("error: --tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    baseline = load_records(args.baseline)
+    fresh = load_records(args.fresh)
+
+    failures = []
+    warnings = []
+    for key, base in sorted(baseline.items()):
+        bench, jobs = key
+        got = fresh.get(key)
+        if got is None:
+            failures.append(f"{bench} (jobs={jobs}): missing from fresh run")
+            continue
+
+        same_hw = (base.get("hardware_concurrency") is not None and
+                   base.get("hardware_concurrency")
+                   == got.get("hardware_concurrency"))
+        for metric in ("trials_per_sec", "episodes_per_sec"):
+            if metric not in base:
+                continue
+            base_v, got_v = base[metric], got.get(metric, 0.0)
+            floor = base_v * (1.0 - args.tolerance)
+            if got_v >= floor:
+                continue
+            message = (f"{bench} (jobs={jobs}): {metric} {got_v:.1f} < "
+                       f"{floor:.1f} (baseline {base_v:.1f} - {args.tolerance:.0%})")
+            if same_hw:
+                failures.append(message)
+            else:
+                warnings.append(message + " [hardware mismatch: warning only]")
+
+        metric = "steady_state_allocs_per_episode"
+        if metric in base and got.get(metric, 0.0) > base[metric]:
+            failures.append(
+                f"{bench} (jobs={jobs}): {metric} {got.get(metric)} > "
+                f"baseline {base[metric]} — the zero-allocation contract "
+                f"broke")
+
+    for message in warnings:
+        print(f"warning: {message}")
+    if failures:
+        for message in failures:
+            print(f"REGRESSION: {message}")
+        return 1
+    print(f"ok: {len(baseline)} baseline records held "
+          f"(tolerance {args.tolerance:.0%}, {len(warnings)} warnings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DCOREDA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j --target test_exec test_sim test_trace
+cmake --build "$BUILD_DIR" -j --target test_exec test_sim test_trace \
+  bench_fleet_throughput
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_exec
@@ -19,5 +20,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # Dataset tests exercise sensed_training_set_parallel (sensing stacks on
 # pool workers).
 "$BUILD_DIR"/tests/test_trace --gtest_filter='DatasetFixture.*'
+# The fleet bench is the heaviest TrialRunner consumer: N concurrent
+# RoutineLearners plus the global operator-new counter (relaxed atomic) on
+# every worker. A small fleet at --jobs=4 is enough for TSan to observe
+# every cross-thread edge; timing output is irrelevant here.
+"$BUILD_DIR"/bench/bench_fleet_throughput --users=50 --episodes=40 --jobs=4 \
+  > /dev/null
 
-echo "TSan: all exec/sim/trace-parallel tests passed."
+echo "TSan: all exec/sim/trace-parallel tests and the fleet bench passed."
