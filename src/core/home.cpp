@@ -11,6 +11,13 @@ namespace coreda::core {
 HomeDeployment::HomeDeployment(const adl::AdlLibrary& library,
                                SystemConfig config)
     : library_(&library), config_(std::move(config)), rng_(config_.seed) {
+  // Wrong-tool errors draw from the whole registry; provision the world's
+  // episode table for every tool so first touches never allocate mid-session.
+  adl::ToolId max_tool = 0;
+  for (const adl::Tool& tool : library_->tools().tools()) {
+    max_tool = std::max(max_tool, tool.id);
+  }
+  world_.provision(static_cast<std::size_t>(max_tool) + 1);
   channel_ = std::make_unique<pavenet::RadioChannel>(scheduler_, rng_.fork(),
                                                      config_.radio);
   station_ = std::make_unique<pavenet::BaseStation>(scheduler_, *channel_,
@@ -29,19 +36,19 @@ HomeDeployment::HomeDeployment(const adl::AdlLibrary& library,
   reminder_ = std::make_unique<reminding::RemindingSubsystem>(
       *station_, library_->tools(),
       reminding::MessageCatalog(config_.user_name), config_.reminding);
+  // Bind-once hookup, as in CoredaSystem: no per-event std::function hops.
   trigger_ = std::make_unique<reminding::TriggerMonitor>(
       scheduler_,
-      [this](reminding::Trigger t, adl::ToolId observed) {
-        on_trigger(t, observed);
-      },
+      reminding::TriggerMonitor::Callback::bind<&HomeDeployment::on_trigger>(
+          this),
       config_.trigger);
   tracker_ = std::make_unique<recognition::ActivityTracker>(
-      recognizer_, [this](const std::string& name, sim::TimePoint at) {
-        on_activity(name, at);
-      });
-  station_->add_listener([this](adl::ToolId tool, sim::TimePoint at) {
-    on_usage(tool, at);
-  });
+      recognizer_,
+      recognition::ActivityTracker::ActivityCallback::bind<
+          &HomeDeployment::on_activity>(this));
+  station_->add_listener(
+      pavenet::BaseStation::UsageListener::bind<&HomeDeployment::on_usage>(
+          this));
 }
 
 void HomeDeployment::pretrain(std::size_t episodes_per_adl,
@@ -77,8 +84,12 @@ HomeSessionResult HomeDeployment::run_session(
     library_->by_name(schedule_hint);  // validate before starting
   }
 
-  actor_ = std::make_unique<patient::PatientActor>(
-      scheduler_, world_, library_->tools(), profile, rng_.fork());
+  if (actor_ == nullptr) {
+    actor_ = std::make_unique<patient::PatientActor>(
+        scheduler_, world_, library_->tools(), profile, rng_.fork());
+  } else {
+    actor_->reset(profile, rng_.fork());
+  }
 
   HomeSessionResult result;
   result.actual_adl = adl_name;
@@ -90,6 +101,12 @@ HomeSessionResult HomeDeployment::run_session(
   cur_ = adl::kIdleStep;
   prompt_outstanding_ = false;
   tracker_->close_episode();
+  station_->reset_usage_history();
+  reminder_->begin_session();
+  for (const auto& node : nodes_) {
+    node->led().all_off();
+    node->led().clear_history();
+  }
 
   const sim::TimePoint start = scheduler_.now();
   const sim::TimePoint deadline = start + max_duration;

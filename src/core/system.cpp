@@ -1,5 +1,7 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+
 #include "reminding/catalog.hpp"
 
 namespace coreda::core {
@@ -10,6 +12,14 @@ CoredaSystem::CoredaSystem(const adl::AdlLibrary& library,
       adl_(&adl),
       config_(std::move(config)),
       rng_(config_.seed) {
+  // The patient can grab any registered tool (wrong-tool errors draw from
+  // the whole registry), so provision the world's episode table for all of
+  // them — first touches then never allocate at serving time.
+  adl::ToolId max_tool = 0;
+  for (const adl::Tool& tool : library_->tools().tools()) {
+    max_tool = std::max(max_tool, tool.id);
+  }
+  world_.provision(static_cast<std::size_t>(max_tool) + 1);
   channel_ = std::make_unique<pavenet::RadioChannel>(scheduler_, rng_.fork(),
                                                      config_.radio);
   station_ = std::make_unique<pavenet::BaseStation>(scheduler_, *channel_,
@@ -25,15 +35,16 @@ CoredaSystem::CoredaSystem(const adl::AdlLibrary& library,
   reminder_ = std::make_unique<reminding::RemindingSubsystem>(
       *station_, library_->tools(),
       reminding::MessageCatalog(config_.user_name), config_.reminding);
+  // Bind-once hookup: FnRefs straight at the member functions, so the
+  // per-event dispatch chain never re-wraps a std::function.
   trigger_ = std::make_unique<reminding::TriggerMonitor>(
       scheduler_,
-      [this](reminding::Trigger t, adl::ToolId observed) {
-        on_trigger(t, observed);
-      },
+      reminding::TriggerMonitor::Callback::bind<&CoredaSystem::on_trigger>(
+          this),
       config_.trigger);
-  station_->add_listener([this](adl::ToolId tool, sim::TimePoint at) {
-    on_usage(tool, at);
-  });
+  station_->add_listener(
+      pavenet::BaseStation::UsageListener::bind<&CoredaSystem::on_usage>(
+          this));
 }
 
 const pavenet::PavenetNode& CoredaSystem::node(adl::ToolId tool) const {
@@ -49,6 +60,10 @@ void CoredaSystem::pretrain(
   for (const auto& ep : episodes) learner_->train_episode(ep);
 }
 
+void CoredaSystem::import_policy(const rl::QTable& q) {
+  learner_->import_q(q);
+}
+
 SessionResult CoredaSystem::run_session(
     const patient::PatientProfile& profile, sim::Duration max_duration) {
   return run_session(profile, max_duration, {});
@@ -57,16 +72,57 @@ SessionResult CoredaSystem::run_session(
 SessionResult CoredaSystem::run_session(
     const patient::PatientProfile& profile, sim::Duration max_duration,
     const std::function<void(patient::PatientActor&)>& setup) {
-  actor_ = std::make_unique<patient::PatientActor>(
-      scheduler_, world_, library_->tools(), profile, rng_.fork());
+  run_session_inplace(profile, max_duration, setup, scratch_result_);
+  return scratch_result_;
+}
+
+void CoredaSystem::run_session_inplace(
+    const patient::PatientProfile& profile, sim::Duration max_duration,
+    const std::function<void(patient::PatientActor&)>& setup,
+    SessionResult& result) {
+  // Reset, don't rebuild: the actor keeps its event buffer, the station its
+  // episode table, the reminder its string pools. Only the RNG stream moves
+  // forward (one fork per session, exactly as before).
+  if (actor_ == nullptr) {
+    actor_ = std::make_unique<patient::PatientActor>(
+        scheduler_, world_, library_->tools(), profile, rng_.fork());
+  } else {
+    actor_->reset(profile, rng_.fork());
+  }
   if (setup) setup(*actor_);
 
-  SessionResult result;
+  result.completed = false;
+  result.elapsed = sim::Duration{};
+  result.steps_completed = 0;
+  result.prompts_total = 0;
+  result.prompts_idle = 0;
+  result.prompts_wrong_tool = 0;
+  result.prompts_minimal = 0;
+  result.prompts_specific = 0;
+  result.praises = 0;
+  result.observed_steps.clear();
+  // Step counts vary session to session; pre-size past the worst realistic
+  // session once so recording steps never reallocates a warm result buffer.
+  if (result.observed_steps.capacity() < 256) {
+    result.observed_steps.reserve(256);
+  }
+
   result_ = &result;
   session_active_ = true;
   prev_ = adl::kIdleStep;
   cur_ = adl::kIdleStep;
   prompt_outstanding_ = false;
+  station_->reset_usage_history();
+  reminder_->begin_session();
+  // LED state and transcripts are per-session, like the reminder log:
+  // all_off() cancels any blink series still running from the previous
+  // session (otherwise leftover toggles pile into the next session's event
+  // queue and history), and clearing keeps the history vectors' capacity,
+  // so a warm session records for free.
+  for (const auto& node : nodes_) {
+    node->led().all_off();
+    node->led().clear_history();
+  }
 
   const sim::TimePoint start = scheduler_.now();
   const sim::TimePoint deadline = start + max_duration;
@@ -91,7 +147,6 @@ SessionResult CoredaSystem::run_session(
   if (config_.learn_from_sessions && result.completed) {
     learner_->train_episode(result.observed_steps);
   }
-  return result;
 }
 
 void CoredaSystem::on_usage(adl::ToolId tool, sim::TimePoint /*at*/) {

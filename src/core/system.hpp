@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -61,6 +62,12 @@ struct SessionResult {
 /// radio -> base station), planning subsystem (TD(λ) Q-Learning), and
 /// reminding subsystem (display + LEDs), wired on one discrete-event
 /// scheduler, closed by a simulated patient.
+///
+/// The system is a *serving engine*: one construction serves any number of
+/// back-to-back sessions. run_session resets component state (station
+/// episode table, reminder log, trigger, actor) instead of rebuilding the
+/// stack, and run_session_inplace reuses a caller-owned SessionResult so a
+/// warm system serves a whole session without allocating.
 class CoredaSystem {
  public:
   /// Deploys nodes on every tool of `adl`. `library` and `adl` must outlive
@@ -71,6 +78,11 @@ class CoredaSystem {
   /// Offline training from recorded StepId sequences (the 120-sample
   /// training phase of §3.2).
   void pretrain(std::span<const std::vector<adl::StepId>> episodes);
+
+  /// Adopts a pre-trained policy (Q-table) wholesale — the serving-side
+  /// half of a train-once / deploy-many split: train one learner offline,
+  /// then stamp its table into every serving system.
+  void import_policy(const rl::QTable& q);
 
   /// Runs one closed-loop session with a patient of the given profile:
   /// the patient attempts the ADL's primary routine; CoReDA watches,
@@ -84,6 +96,15 @@ class CoredaSystem {
   SessionResult run_session(
       const patient::PatientProfile& profile, sim::Duration max_duration,
       const std::function<void(patient::PatientActor&)>& setup);
+
+  /// The allocation-free serving entry point: like run_session(), but the
+  /// outcome lands in the caller-owned `result`, whose buffers (notably
+  /// observed_steps) are reused across calls. At steady state a session
+  /// runs with zero heap allocations.
+  void run_session_inplace(
+      const patient::PatientProfile& profile, sim::Duration max_duration,
+      const std::function<void(patient::PatientActor&)>& setup,
+      SessionResult& result);
 
   /// The actor of the most recent session (nullptr before the first).
   const patient::PatientActor* last_actor() const noexcept {
@@ -133,6 +154,9 @@ class CoredaSystem {
   bool session_active_ = false;
   bool prompt_outstanding_ = false;
   SessionResult* result_ = nullptr;
+  /// Reused by the by-value run_session overloads so their sessions also
+  /// run against warm buffers (the return itself still copies).
+  SessionResult scratch_result_;
 };
 
 }  // namespace coreda::core

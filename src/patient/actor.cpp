@@ -31,7 +31,20 @@ PatientActor::PatientActor(sim::Scheduler& scheduler,
       world_(&world),
       tools_(&tools),
       profile_(std::move(profile)),
-      rng_(rng) {}
+      rng_(rng) {
+  // Event counts vary session to session; pre-size for the worst realistic
+  // session so record() stays allocation-free on a warm actor.
+  events_.reserve(kEventReserve);
+}
+
+void PatientActor::reset(const PatientProfile& profile, util::Rng rng) {
+  pending_.cancel();
+  profile_ = profile;
+  rng_ = rng;
+  forced_.clear();
+  forced_next_ = 0;
+  routine_ = nullptr;
+}
 
 void PatientActor::begin(const adl::AdlRoutine& routine) {
   pending_.cancel();
@@ -59,10 +72,13 @@ void PatientActor::act() {
 
   PatientEvent::Kind outcome = PatientEvent::Kind::kStartedStep;
   adl::ToolId wrong = adl::kNoTool;
-  if (!forced_.empty()) {
-    outcome = forced_.front().first;
-    wrong = forced_.front().second;
-    forced_.pop_front();
+  if (forced_next_ < forced_.size()) {
+    outcome = forced_[forced_next_].first;
+    wrong = forced_[forced_next_].second;
+    if (++forced_next_ == forced_.size()) {
+      forced_.clear();
+      forced_next_ = 0;
+    }
   } else {
     const double draw = rng_.uniform();
     if (draw < profile_.p_idle) {

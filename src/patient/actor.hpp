@@ -1,6 +1,5 @@
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string_view>
@@ -59,6 +58,12 @@ class PatientActor {
   /// Starts performing `routine` (must outlive the run). Resets progress.
   void begin(const adl::AdlRoutine& routine);
 
+  /// Re-seats the actor for its next session without reconstructing it:
+  /// swaps in the new profile and RNG stream, cancels any scheduled
+  /// behaviour and forgets queued forced decisions. Buffers (the event
+  /// log) keep their capacity. Call begin() afterwards to start acting.
+  void reset(const PatientProfile& profile, util::Rng rng);
+
   /// Delivers a prompt (tool to use next + reminding level). No-op when the
   /// patient is mid-manipulation or the ADL is finished.
   void receive_prompt(adl::ToolId tool, planning::RemindingLevel level);
@@ -77,6 +82,10 @@ class PatientActor {
                            adl::ToolId wrong_tool = adl::kNoTool);
 
  private:
+  /// Event-log pre-size: above the busiest realistic session (a decision
+  /// or prompt reaction every few seconds of a 15-minute session).
+  static constexpr std::size_t kEventReserve = 512;
+
   void think_then_act();
   void act();
   void manipulate(adl::ToolId tool);
@@ -97,7 +106,11 @@ class PatientActor {
   sim::EventHandle pending_;
   std::vector<PatientEvent> events_;
 
-  std::deque<std::pair<PatientEvent::Kind, adl::ToolId>> forced_;
+  /// Queued forced decisions, consumed front to back via forced_next_.
+  /// A vector + cursor (not a deque): pops are index bumps, and the warm
+  /// buffer never re-allocates block-by-block the way a deque ring does.
+  std::vector<std::pair<PatientEvent::Kind, adl::ToolId>> forced_;
+  std::size_t forced_next_ = 0;
   /// A prompt that arrived mid-manipulation; acted on once the current
   /// manipulation ends (people notice the blinking LED but finish the
   /// motion first).

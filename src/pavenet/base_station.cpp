@@ -1,5 +1,7 @@
 #include "pavenet/base_station.hpp"
 
+#include <algorithm>
+
 namespace coreda::pavenet {
 
 BaseStation::BaseStation(sim::Scheduler& scheduler, RadioChannel& channel)
@@ -10,10 +12,16 @@ BaseStation::BaseStation(sim::Scheduler& scheduler, RadioChannel& channel,
     : scheduler_(&scheduler), channel_(&channel), params_(params) {
   channel_->attach_receiver(0,
                             [this](const Packet& p) { handle_uplink(p); });
+  // Sessions vary in episode count, so a capacity learned from early
+  // sessions can still be outgrown later; pre-size for the worst realistic
+  // session so the per-report path stays allocation-free once warm.
+  episodes_.reserve(kEpisodeReserve);
+  pending_downlinks_.reserve(kDownlinkReserve);
+  free_downlinks_.reserve(kDownlinkReserve);
 }
 
 void BaseStation::add_listener(UsageListener listener) {
-  listeners_.push_back(std::move(listener));
+  listeners_.push_back(listener);
 }
 
 void BaseStation::send_led_command(adl::ToolId tool, LedColor color,
@@ -33,10 +41,29 @@ void BaseStation::send_led_command(adl::ToolId tool, LedColor color,
   next_downlink_slot_ = slot + params_.downlink_spacing;
   if (slot == now) {
     channel_->transmit(packet);
-  } else {
-    scheduler_->schedule_at(slot,
-                            [this, packet] { channel_->transmit(packet); });
+    return;
   }
+  // Park the packet in the pool so the deferred callback captures only
+  // {this, index} — small enough to stay in std::function's inline buffer.
+  std::size_t index;
+  if (!free_downlinks_.empty()) {
+    index = free_downlinks_.back();
+    free_downlinks_.pop_back();
+  } else {
+    pending_downlinks_.emplace_back();
+    index = pending_downlinks_.size() - 1;
+    // Keep the free list big enough that the deferred callback's
+    // free_downlinks_.push_back below can never reallocate.
+    if (free_downlinks_.capacity() < pending_downlinks_.size()) {
+      free_downlinks_.reserve(pending_downlinks_.capacity());
+    }
+  }
+  pending_downlinks_[index] = packet;
+  scheduler_->schedule_at(slot, [this, index] {
+    const Packet queued = pending_downlinks_[index];
+    free_downlinks_.push_back(index);
+    channel_->transmit(queued);
+  });
 }
 
 void BaseStation::handle_uplink(const Packet& packet) {
@@ -45,9 +72,8 @@ void BaseStation::handle_uplink(const Packet& packet) {
   const auto tool = static_cast<adl::ToolId>(packet.source_uid);
   const sim::TimePoint now = scheduler_->now();
 
-  const auto it = open_episode_.find(tool);
-  if (it != open_episode_.end()) {
-    ToolUsageEvent& ep = episodes_[it->second];
+  if (tool < open_episode_.size() && open_episode_[tool] != kNoEpisode) {
+    ToolUsageEvent& ep = episodes_[open_episode_[tool]];
     if (now - ep.last_seen <= params_.merge_gap) {
       ep.last_seen = now;
       ++ep.reports;
@@ -57,8 +83,16 @@ void BaseStation::handle_uplink(const Packet& packet) {
 
   // New episode: record it and notify listeners of the usage edge.
   episodes_.push_back(ToolUsageEvent{tool, now, now, 1});
-  open_episode_[tool] = episodes_.size() - 1;
-  for (const auto& listener : listeners_) listener(tool, now);
+  if (tool >= open_episode_.size()) {
+    open_episode_.resize(tool + 1, kNoEpisode);
+  }
+  open_episode_[tool] = static_cast<std::uint32_t>(episodes_.size() - 1);
+  for (const UsageListener& listener : listeners_) listener(tool, now);
+}
+
+void BaseStation::reset_usage_history() noexcept {
+  episodes_.clear();
+  std::fill(open_episode_.begin(), open_episode_.end(), kNoEpisode);
 }
 
 }  // namespace coreda::pavenet

@@ -1,14 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <vector>
 
 #include "adl/types.hpp"
 #include "pavenet/radio.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
+#include "util/fn_ref.hpp"
 
 namespace coreda::pavenet {
 
@@ -28,10 +27,16 @@ struct ToolUsageEvent {
 /// episode starts when a tool has been silent for `merge_gap`) and notifies
 /// listeners of each episode's *start* — the edge the planning subsystem
 /// consumes as "the user started using tool X".
+///
+/// Per-event state is allocation-free at steady state: the open-episode
+/// table is a dense array keyed by ToolId, listeners are non-owning FnRefs
+/// bound once at hookup, and deferred downlink commands park their packet
+/// in a reusable slot pool instead of a heap-allocated closure.
 class BaseStation {
  public:
-  using UsageListener =
-      std::function<void(adl::ToolId tool, sim::TimePoint at)>;
+  /// Non-owning: the callable (or the object a member function is bound to)
+  /// must outlive the station. Bound once; invoking it never allocates.
+  using UsageListener = util::FnRef<void(adl::ToolId, sim::TimePoint)>;
 
   struct Params {
     /// Silence gap after which the next announcement opens a new episode.
@@ -61,7 +66,20 @@ class BaseStation {
 
   std::uint64_t packets_received() const noexcept { return packets_; }
 
+  /// Forgets all recorded episodes and open-episode state (capacity kept),
+  /// so the next serving session starts from a clean slate without
+  /// reconstructing the station. Cumulative packet stats are retained.
+  void reset_usage_history() noexcept;
+
  private:
+  static constexpr std::uint32_t kNoEpisode = 0xffffffffu;
+  /// Episode-table pre-size: comfortably above the busiest realistic
+  /// session (one episode per report burst, a few hundred per session).
+  static constexpr std::size_t kEpisodeReserve = 512;
+  /// Downlink-pool pre-size: more deferred commands than ever wait at once
+  /// in practice (commands drain every downlink_spacing).
+  static constexpr std::size_t kDownlinkReserve = 16;
+
   void handle_uplink(const Packet& packet);
 
   sim::Scheduler* scheduler_;
@@ -69,9 +87,15 @@ class BaseStation {
   Params params_;
   std::vector<UsageListener> listeners_;
   std::vector<ToolUsageEvent> episodes_;
-  std::map<adl::ToolId, std::size_t> open_episode_;  ///< tool -> index
+  /// tool -> index into episodes_ (kNoEpisode when none), dense by ToolId.
+  std::vector<std::uint32_t> open_episode_;
   std::uint64_t packets_ = 0;
   sim::TimePoint next_downlink_slot_;
+
+  /// Deferred downlink commands awaiting their serialization slot; pooled
+  /// so the scheduled callback captures only {this, index}.
+  std::vector<Packet> pending_downlinks_;
+  std::vector<std::size_t> free_downlinks_;
 };
 
 }  // namespace coreda::pavenet

@@ -17,16 +17,6 @@ ThresholdDetector::ThresholdDetector(double excitation_threshold,
   }
 }
 
-bool ThresholdDetector::add_sample(double excitation) {
-  if (excitation > threshold_) ++hits_;
-  ++filled_;
-  if (filled_ < window_) return false;
-  const bool in_use = hits_ >= votes_;
-  filled_ = 0;
-  hits_ = 0;
-  return in_use;
-}
-
 void ThresholdDetector::reset() noexcept {
   filled_ = 0;
   hits_ = 0;

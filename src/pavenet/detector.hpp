@@ -21,7 +21,16 @@ class ThresholdDetector {
 
   /// Feeds one excitation sample. Returns true when this sample completed a
   /// window whose vote passed (i.e. "tool is in use" was decided now).
-  bool add_sample(double excitation);
+  /// Inline: the firmware path calls this once per synthesized sample.
+  bool add_sample(double excitation) noexcept {
+    if (excitation > threshold_) ++hits_;
+    ++filled_;
+    if (filled_ < window_) return false;
+    const bool in_use = hits_ >= votes_;
+    filled_ = 0;
+    hits_ = 0;
+    return in_use;
+  }
 
   /// Hits in the current (incomplete) window.
   std::uint32_t pending_hits() const noexcept { return hits_; }

@@ -1,7 +1,5 @@
 #include "pavenet/led.hpp"
 
-#include <memory>
-
 namespace coreda::pavenet {
 
 void Led::blink(LedColor color, std::uint32_t count,
@@ -11,17 +9,20 @@ void Led::blink(LedColor color, std::uint32_t count,
   set(color, true);
   // The initial "on" is followed by 2*count - 1 toggles (off, on, off, ...)
   // completing `count` full on/off cycles.
-  const std::uint32_t total_toggles = 2 * count - 1;
-  auto done = std::make_shared<std::uint32_t>(0);
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, color, half_period, total_toggles, done, step]() {
-    ++*done;
-    set(color, *done % 2 == 0);
-    if (*done < total_toggles) {
-      pending_ = scheduler_->schedule_after(half_period, *step);
-    }
-  };
-  pending_ = scheduler_->schedule_after(half_period, *step);
+  blink_color_ = color;
+  half_period_ = half_period;
+  toggles_done_ = 0;
+  total_toggles_ = 2 * count - 1;
+  pending_ = scheduler_->schedule_after(half_period, [this] { on_toggle(); });
+}
+
+void Led::on_toggle() {
+  ++toggles_done_;
+  set(blink_color_, toggles_done_ % 2 == 0);
+  if (toggles_done_ < total_toggles_) {
+    pending_ =
+        scheduler_->schedule_after(half_period_, [this] { on_toggle(); });
+  }
 }
 
 void Led::all_off() {

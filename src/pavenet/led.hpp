@@ -22,9 +22,20 @@ struct LedEvent {
 /// The reminding subsystem uses the green LED for "use this tool" and the
 /// red LED for "you are using the wrong tool"; the number of blinks encodes
 /// the reminding level (minimal = fewer blinks, specific = more).
+///
+/// The blink series runs off member state and a {this}-capturing callback
+/// (inline in std::function's buffer), so driving LEDs never touches the
+/// heap — only the event history grows, and it is cleared per session.
 class Led {
  public:
-  explicit Led(sim::Scheduler& scheduler) : scheduler_(&scheduler) {}
+  explicit Led(sim::Scheduler& scheduler) : scheduler_(&scheduler) {
+    // Transcript lengths vary session to session (stochastic patients), so
+    // a warm capacity learned from early sessions can still be outgrown
+    // later. Pre-size for the worst realistic session instead: a prompt
+    // roughly every 30 s of a 15-minute session, each driving a full blink
+    // series, stays well under this.
+    history_.reserve(kHistoryReserve);
+  }
 
   /// Blinks `color` `count` times with the given on/off half-period.
   /// A new command preempts any blink series still in progress.
@@ -42,7 +53,10 @@ class Led {
   std::uint64_t blink_count(LedColor color) const noexcept;
 
  private:
+  static constexpr std::size_t kHistoryReserve = 1024;
+
   void set(LedColor color, bool on);
+  void on_toggle();
 
   sim::Scheduler* scheduler_;
   sim::EventHandle pending_;
@@ -51,6 +65,12 @@ class Led {
   std::uint64_t green_blinks_ = 0;
   std::uint64_t red_blinks_ = 0;
   std::vector<LedEvent> history_;
+
+  // Active blink series (valid while pending_ is live).
+  LedColor blink_color_ = LedColor::kGreen;
+  sim::Duration half_period_;
+  std::uint32_t toggles_done_ = 0;
+  std::uint32_t total_toggles_ = 0;
 };
 
 }  // namespace coreda::pavenet

@@ -83,17 +83,27 @@ void PavenetNode::synthesize_until(sim::TimePoint limit) {
   activation_buf_.resize(count);
   world_->activation_block(tool_.id, next_sample_time_, period, count,
                            activation_buf_.data());
+  // One virtual dispatch for the whole window; the buffer is overwritten
+  // in place with the excitations (sample_block reads each activation
+  // before writing the slot).
+  sensor_->sample_block(next_sample_time_, period, activation_buf_.data(),
+                        count, tool_.usage_intensity, rng_,
+                        activation_buf_.data());
   sim::TimePoint at = next_sample_time_;
   for (std::size_t i = 0; i < count; ++i, at = at + period) {
-    process_sample(at, activation_buf_[i]);
+    ++samples_;
+    process_excitation(at, activation_buf_[i]);
   }
   next_sample_time_ = at;
 }
 
 void PavenetNode::process_sample(sim::TimePoint at, double activation) {
   ++samples_;
-  const double excitation =
-      sensor_->sample(at, activation, tool_.usage_intensity, rng_);
+  process_excitation(
+      at, sensor_->sample(at, activation, tool_.usage_intensity, rng_));
+}
+
+void PavenetNode::process_excitation(sim::TimePoint at, double excitation) {
   const std::uint32_t hits_before = detector_.pending_hits();
   if (!detector_.add_sample(excitation)) return;
 

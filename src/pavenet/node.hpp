@@ -66,6 +66,7 @@ class PavenetNode {
   void firmware_batch();
   void synthesize_until(sim::TimePoint limit);
   void process_sample(sim::TimePoint at, double activation);
+  void process_excitation(sim::TimePoint at, double excitation);
   void handle_downlink(const Packet& packet);
   sim::Duration sample_period() const noexcept {
     return sim::Duration::micros(1'000'000 / config_.sampling_hz);

@@ -10,7 +10,29 @@ RadioChannel::RadioChannel(sim::Scheduler& scheduler, util::Rng rng,
     : scheduler_(&scheduler), rng_(rng), params_(params) {}
 
 void RadioChannel::attach_receiver(std::uint16_t uid, Receiver receiver) {
+  if (uid >= receivers_.size()) receivers_.resize(uid + 1);
   receivers_[uid] = std::move(receiver);
+}
+
+std::size_t RadioChannel::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::size_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  // Grown here so release_slot() (steady-state path) never reallocates: at
+  // most slots_.size() slots can be free at once.
+  if (free_slots_.capacity() < slots_.size()) {
+    free_slots_.reserve(slots_.capacity());
+  }
+  return slots_.size() - 1;
+}
+
+void RadioChannel::release_slot(std::size_t index) noexcept {
+  slots_[index].active = false;
+  slots_[index].delivery = sim::EventHandle{};
+  free_slots_.push_back(index);
 }
 
 void RadioChannel::transmit(Packet packet) {
@@ -28,8 +50,8 @@ void RadioChannel::transmit(Packet packet) {
   bool collided = false;
 
   if (params_.model_collisions) {
-    for (auto& [seq, other] : in_flight_) {
-      if (other.end <= start) continue;  // already off the air
+    for (Slot& other : slots_) {
+      if (!other.active || other.end <= start) continue;  // off the air
       // Overlapping airtime: both frames are corrupted.
       collided = true;
       if (!other.collided) {
@@ -42,34 +64,47 @@ void RadioChannel::transmit(Packet packet) {
 
   if (collided) {
     ++stats_.lost_collision;
-    in_flight_[packet.seq] = InFlight{start, end, sim::EventHandle{}, true};
-    // Keep the entry until airtime ends so later frames also collide with it.
-    scheduler_->schedule_at(end, [this, seq = packet.seq] {
-      in_flight_.erase(seq);
-    });
+    const std::size_t index = acquire_slot();
+    Slot& slot = slots_[index];
+    slot.packet = packet;
+    slot.start = start;
+    slot.end = end;
+    slot.collided = true;
+    slot.active = true;
+    // Keep the slot until airtime ends so later frames also collide with it.
+    scheduler_->schedule_at(end, [this, index] { release_slot(index); });
     return;
   }
 
   const sim::Duration latency =
       params_.latency +
       params_.latency_jitter * rng_.uniform(0.0, 1.0);
-  InFlight entry{start, end, sim::EventHandle{}, false};
-  entry.delivery = scheduler_->schedule_at(
-      start + latency, [this, packet] { deliver(packet); });
-  in_flight_[packet.seq] = std::move(entry);
-  scheduler_->schedule_at(end + latency, [this, seq = packet.seq] {
-    in_flight_.erase(seq);
+  const std::size_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.packet = packet;
+  slot.start = start;
+  slot.end = end;
+  slot.collided = false;
+  slot.active = true;
+  slot.delivery = scheduler_->schedule_at(start + latency, [this, index] {
+    // Copy out first: the receiver may transmit, which can grow the slot
+    // pool and invalidate references into it.
+    const Packet delivered = slots_[index].packet;
+    deliver(delivered);
+  });
+  scheduler_->schedule_at(end + latency, [this, index] {
+    release_slot(index);
   });
 }
 
 void RadioChannel::deliver(const Packet& packet) {
-  const auto it = receivers_.find(packet.dest_uid);
-  if (it == receivers_.end() || !it->second) {
+  if (packet.dest_uid >= receivers_.size() ||
+      !receivers_[packet.dest_uid]) {
     ++stats_.undeliverable;
     return;
   }
   ++stats_.delivered;
-  it->second(packet);
+  receivers_[packet.dest_uid](packet);
 }
 
 }  // namespace coreda::pavenet

@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "pavenet/led.hpp"
 #include "sim/scheduler.hpp"
@@ -50,6 +50,12 @@ struct ChannelStats {
 ///
 /// The collision model is pessimistic-simple: any two frames whose airtime
 /// windows overlap are both lost. Airtime is fixed per frame.
+///
+/// In-flight bookkeeping lives in a reusable slot pool and the scheduled
+/// delivery/cleanup callbacks capture only {channel, slot index} — small
+/// enough for std::function's inline buffer — so a warm channel transmits
+/// without touching the heap (the packet itself is stored in the slot, never
+/// in a callback capture).
 class RadioChannel {
  public:
   struct Params {
@@ -79,13 +85,19 @@ class RadioChannel {
   }
 
  private:
-  struct InFlight {
+  /// One frame on the air. Slots are pool-allocated and recycled when the
+  /// frame's airtime (plus delivery latency) has passed.
+  struct Slot {
+    Packet packet;
     sim::TimePoint start;
     sim::TimePoint end;
     sim::EventHandle delivery;
     bool collided = false;
+    bool active = false;
   };
 
+  std::size_t acquire_slot();
+  void release_slot(std::size_t index) noexcept;
   void deliver(const Packet& packet);
 
   sim::Scheduler* scheduler_;
@@ -93,8 +105,9 @@ class RadioChannel {
   Params params_;
   ChannelStats stats_;
   std::uint64_t next_seq_ = 0;
-  std::map<std::uint16_t, Receiver> receivers_;
-  std::map<std::uint64_t, InFlight> in_flight_;
+  std::vector<Receiver> receivers_;  ///< dense, indexed by uid
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> free_slots_;
 };
 
 }  // namespace coreda::pavenet

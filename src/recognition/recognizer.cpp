@@ -93,4 +93,26 @@ double AdlRecognizer::confidence(
   return 1.0 / denominator;
 }
 
+AdlRecognizer::Best AdlRecognizer::best(
+    std::span<const adl::StepId> sequence) const {
+  Best out;
+  if (sequence.empty() || models_.empty()) return out;
+  // Two passes over the (few) models instead of a ranked vector: find the
+  // winner, then the softmax denominator relative to it.
+  double best_ll = 0.0;
+  for (const auto& [name, model] : models_) {
+    const double ll = log_likelihood(model, sequence);
+    if (out.adl == nullptr || ll > best_ll) {
+      out.adl = &name;
+      best_ll = ll;
+    }
+  }
+  double denominator = 0.0;
+  for (const auto& [name, model] : models_) {
+    denominator += std::exp(log_likelihood(model, sequence) - best_ll);
+  }
+  out.confidence = 1.0 / denominator;
+  return out;
+}
+
 }  // namespace coreda::recognition

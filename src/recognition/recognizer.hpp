@@ -52,6 +52,16 @@ class AdlRecognizer {
   /// the per-ADL log-likelihoods); 0 when nothing can be said.
   double confidence(std::span<const adl::StepId> sequence) const;
 
+  /// classify() + confidence() fused into one allocation-free query — the
+  /// form the online tracker uses on every usage event. `adl` points at
+  /// this recognizer's stable model key (valid until the next train()),
+  /// or is nullptr when nothing can be said.
+  struct Best {
+    const std::string* adl = nullptr;
+    double confidence = 0.0;
+  };
+  Best best(std::span<const adl::StepId> sequence) const;
+
   std::size_t known_adls() const noexcept { return models_.size(); }
 
  private:

@@ -6,12 +6,12 @@ namespace coreda::recognition {
 
 ActivityTracker::ActivityTracker(const AdlRecognizer& recognizer,
                                  ActivityCallback on_start)
-    : ActivityTracker(recognizer, std::move(on_start), Params{}) {}
+    : ActivityTracker(recognizer, on_start, Params{}) {}
 
 ActivityTracker::ActivityTracker(const AdlRecognizer& recognizer,
                                  ActivityCallback on_start, Params params)
     : recognizer_(&recognizer),
-      on_start_(std::move(on_start)),
+      on_start_(on_start),
       params_(params) {
   if (!on_start_) {
     throw std::invalid_argument("ActivityTracker: null callback");
@@ -25,7 +25,7 @@ void ActivityTracker::observe(adl::ToolId tool, sim::TimePoint at) {
   if (!episode_open_) {
     episode_open_ = true;
     ++episodes_;
-    current_.reset();
+    current_ = nullptr;
     steps_.clear();
   }
   last_event_ = at;
@@ -33,23 +33,21 @@ void ActivityTracker::observe(adl::ToolId tool, sim::TimePoint at) {
     steps_.push_back(tool);
   }
 
-  if (!current_) {
-    const double confidence = recognizer_->confidence(steps_);
-    if (confidence >= params_.confidence_threshold) {
-      const auto best = recognizer_->classify(steps_);
-      if (best) {
-        current_ = best;
-        on_start_(*best, at);
-      }
+  if (current_ == nullptr) {
+    const AdlRecognizer::Best best = recognizer_->best(steps_);
+    if (best.adl != nullptr &&
+        best.confidence >= params_.confidence_threshold) {
+      current_ = best.adl;
+      on_start_(*best.adl, at);
     }
   }
 }
 
-void ActivityTracker::retract() { current_.reset(); }
+void ActivityTracker::retract() { current_ = nullptr; }
 
 void ActivityTracker::close_episode() {
   episode_open_ = false;
-  current_.reset();
+  current_ = nullptr;
   steps_.clear();
 }
 

@@ -1,13 +1,12 @@
 #pragma once
 
-#include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "adl/types.hpp"
 #include "recognition/recognizer.hpp"
 #include "sim/time.hpp"
+#include "util/fn_ref.hpp"
 
 namespace coreda::recognition {
 
@@ -20,6 +19,11 @@ namespace coreda::recognition {
 /// after every observed step and announces the activity once the
 /// recognizer's posterior clears `confidence_threshold` — typically after
 /// one or two steps, since most tools are ADL-specific.
+///
+/// The per-event path is allocation-free at steady state: the step buffer
+/// is reused across episodes, classification uses the recognizer's fused
+/// best() query, and the recognized activity is a pointer into the
+/// recognizer's stable model table.
 class ActivityTracker {
  public:
   struct Params {
@@ -30,8 +34,9 @@ class ActivityTracker {
   };
 
   /// Invoked once per episode when the activity is first recognized.
+  /// Non-owning: the callable (or bound object) must outlive the tracker.
   using ActivityCallback =
-      std::function<void(const std::string& adl, sim::TimePoint at)>;
+      util::FnRef<void(const std::string& adl, sim::TimePoint at)>;
 
   /// `recognizer` must outlive the tracker.
   ActivityTracker(const AdlRecognizer& recognizer, ActivityCallback on_start);
@@ -50,10 +55,9 @@ class ActivityTracker {
   void retract();
 
   bool episode_open() const noexcept { return episode_open_; }
-  /// The recognized activity of the current episode, if announced.
-  const std::optional<std::string>& current_activity() const noexcept {
-    return current_;
-  }
+  /// The recognized activity of the current episode, or nullptr while none
+  /// is announced. Points into the recognizer's model table.
+  const std::string* current_activity() const noexcept { return current_; }
   /// Steps observed in the current episode.
   const std::vector<adl::StepId>& episode_steps() const noexcept {
     return steps_;
@@ -65,7 +69,7 @@ class ActivityTracker {
   ActivityCallback on_start_;
   Params params_;
   bool episode_open_ = false;
-  std::optional<std::string> current_;
+  const std::string* current_ = nullptr;
   std::vector<adl::StepId> steps_;
   sim::TimePoint last_event_;
   std::size_t episodes_ = 0;

@@ -1,5 +1,7 @@
 #include "reminding/reminder.hpp"
 
+#include <algorithm>
+
 namespace coreda::reminding {
 
 std::string_view to_string(Trigger trigger) noexcept {
@@ -17,27 +19,83 @@ RemindingSubsystem::RemindingSubsystem(pavenet::BaseStation& station,
     : station_(&station),
       tools_(&tools),
       catalog_(std::move(catalog)),
-      params_(params) {}
+      params_(params),
+      praise_text_(catalog_.praise()) {
+  // Provision the serving pools up front. Prompt counts vary session to
+  // session, so high-water marks learned from early sessions can still be
+  // outgrown later; rendering every tool now and pre-sizing the log and
+  // display slots (including each slot's string capacity) makes a warm
+  // remind()/praise() allocation-free no matter which tools a session
+  // touches or how prompt-heavy it turns out to be.
+  std::size_t max_len = praise_text_.size();
+  for (const adl::Tool& tool : tools_->tools()) {
+    const RenderedTool& strings = rendered(tool.id, tool);
+    max_len = std::max({max_len, strings.minimal.size(),
+                        strings.specific.size(), strings.picture.size()});
+  }
+  log_.resize(kLogReserve);
+  for (DeliveredReminder& slot : log_) {
+    slot.text.reserve(max_len);
+    slot.picture.reserve(max_len);
+  }
+  display_.resize(kDisplayReserve);
+  for (std::string& line : display_) line.reserve(max_len);
+}
+
+const RemindingSubsystem::RenderedTool& RemindingSubsystem::rendered(
+    adl::ToolId id, const adl::Tool& tool) {
+  if (id >= render_cache_.size()) render_cache_.resize(id + 1);
+  RenderedTool& entry = render_cache_[id];
+  if (!entry.valid) {
+    entry.minimal = catalog_.message(tool, planning::RemindingLevel::kMinimal);
+    entry.specific =
+        catalog_.message(tool, planning::RemindingLevel::kSpecific);
+    entry.picture = catalog_.picture_ref(tool);
+    entry.valid = true;
+  }
+  return entry;
+}
+
+DeliveredReminder& RemindingSubsystem::next_log_slot() {
+  if (log_used_ == log_.size()) {
+    log_.emplace_back();
+  }
+  return log_[log_used_++];
+}
+
+std::string& RemindingSubsystem::next_display_line() {
+  if (display_used_ == display_.size()) {
+    display_.emplace_back();
+  }
+  return display_[display_used_++];
+}
 
 const DeliveredReminder& RemindingSubsystem::remind(
     sim::TimePoint at, Trigger trigger, adl::ToolId target,
     planning::RemindingLevel level, std::optional<adl::ToolId> wrong_tool) {
   const adl::Tool& tool = tools_->at(target);
+  const RenderedTool& strings = rendered(target, tool);
   const std::uint8_t blinks = level == planning::RemindingLevel::kMinimal
                                   ? params_.minimal_blinks
                                   : params_.specific_blinks;
 
-  DeliveredReminder out;
+  DeliveredReminder& out = next_log_slot();
   out.at = at;
   out.trigger = trigger;
   out.target_tool = target;
   out.level = level;
-  out.text = catalog_.message(tool, level);
-  out.picture = catalog_.picture_ref(tool);
+  // assign() into the reused slot: string capacity survives the rewind, so
+  // a warm subsystem renders without allocating.
+  out.text.assign(level == planning::RemindingLevel::kMinimal
+                      ? strings.minimal
+                      : strings.specific);
+  out.picture.assign(strings.picture);
   out.green_blinks = blinks;
+  out.wrong_tool.reset();
+  out.red_blinks = 0;
 
   station_->send_led_command(target, pavenet::LedColor::kGreen, blinks);
-  display_.push_back(out.text);
+  next_display_line().assign(out.text);
 
   if (trigger == Trigger::kWrongTool && wrong_tool) {
     tools_->at(*wrong_tool);  // validate before commanding
@@ -46,13 +104,17 @@ const DeliveredReminder& RemindingSubsystem::remind(
     station_->send_led_command(*wrong_tool, pavenet::LedColor::kRed, blinks);
   }
 
-  log_.push_back(std::move(out));
-  return log_.back();
+  return out;
 }
 
 void RemindingSubsystem::praise(sim::TimePoint /*at*/, adl::ToolId tool) {
-  display_.push_back(catalog_.praise());
+  next_display_line().assign(praise_text_);
   station_->send_led_command(tool, pavenet::LedColor::kGreen, 0);
+}
+
+void RemindingSubsystem::begin_session() noexcept {
+  log_used_ = 0;
+  display_used_ = 0;
 }
 
 }  // namespace coreda::reminding

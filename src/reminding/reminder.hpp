@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +39,12 @@ struct DeliveredReminder {
 /// The reminding subsystem: renders prompts into the three modalities (text
 /// message, tool picture, LED blinking) and pushes the LED commands to the
 /// nodes through the base station (paper §2.3).
+///
+/// Serving-path design: display strings are rendered once per (tool, level)
+/// into a dense cache on first use, and the log/display buffers are reused
+/// across sessions with a high-water mark (begin_session rewinds the mark;
+/// the retired entries keep their string capacity), so a warm subsystem
+/// delivers reminders without allocating.
 class RemindingSubsystem {
  public:
   struct Params {
@@ -65,19 +72,49 @@ class RemindingSubsystem {
   /// target tool's LEDs off.
   void praise(sim::TimePoint at, adl::ToolId tool);
 
-  const std::vector<DeliveredReminder>& log() const noexcept { return log_; }
-  const std::vector<std::string>& display_lines() const noexcept {
-    return display_;
+  /// Rewinds the reminder log and display for a fresh serving session.
+  /// Retired entries keep their allocated capacity for reuse.
+  void begin_session() noexcept;
+
+  /// Reminders delivered in the current session, oldest first.
+  std::span<const DeliveredReminder> log() const noexcept {
+    return {log_.data(), log_used_};
+  }
+  /// Display lines (reminders and praise) of the current session.
+  std::span<const std::string> display_lines() const noexcept {
+    return {display_.data(), display_used_};
   }
   const MessageCatalog& catalog() const noexcept { return catalog_; }
 
  private:
+  /// Serving-pool pre-sizes: comfortably above the most prompt-heavy
+  /// realistic session (a reminder every few seconds of a 15-minute
+  /// session); sessions needing more still work, they just allocate.
+  static constexpr std::size_t kLogReserve = 256;
+  static constexpr std::size_t kDisplayReserve = 384;
+
+  /// Rendered-once display strings of one tool.
+  struct RenderedTool {
+    std::string minimal;
+    std::string specific;
+    std::string picture;
+    bool valid = false;
+  };
+
+  const RenderedTool& rendered(adl::ToolId id, const adl::Tool& tool);
+  DeliveredReminder& next_log_slot();
+  std::string& next_display_line();
+
   pavenet::BaseStation* station_;
   const adl::ToolRegistry* tools_;
   MessageCatalog catalog_;
   Params params_;
   std::vector<DeliveredReminder> log_;
   std::vector<std::string> display_;
+  std::size_t log_used_ = 0;      ///< high-water mark into log_
+  std::size_t display_used_ = 0;  ///< high-water mark into display_
+  std::vector<RenderedTool> render_cache_;  ///< dense, indexed by ToolId
+  std::string praise_text_;
 };
 
 }  // namespace coreda::reminding

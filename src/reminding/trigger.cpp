@@ -5,12 +5,12 @@
 namespace coreda::reminding {
 
 TriggerMonitor::TriggerMonitor(sim::Scheduler& scheduler, Callback callback)
-    : TriggerMonitor(scheduler, std::move(callback), Params{}) {}
+    : TriggerMonitor(scheduler, callback, Params{}) {}
 
 TriggerMonitor::TriggerMonitor(sim::Scheduler& scheduler, Callback callback,
                                Params params)
     : scheduler_(&scheduler),
-      callback_(std::move(callback)),
+      callback_(callback),
       params_(params) {
   if (!callback_) {
     throw std::invalid_argument("TriggerMonitor: null callback");

@@ -1,10 +1,9 @@
 #pragma once
 
-#include <functional>
-
 #include "adl/tool.hpp"
 #include "reminding/reminder.hpp"
 #include "sim/scheduler.hpp"
+#include "util/fn_ref.hpp"
 
 namespace coreda::reminding {
 
@@ -22,8 +21,10 @@ namespace coreda::reminding {
 /// timer), or fire the wrong-tool callback immediately.
 class TriggerMonitor {
  public:
-  using Callback = std::function<void(Trigger trigger,
-                                      adl::ToolId observed_tool)>;
+  /// Non-owning: the callable (or bound object) must outlive the monitor.
+  /// Bound once at construction; firing a trigger never allocates.
+  using Callback = util::FnRef<void(Trigger trigger,
+                                    adl::ToolId observed_tool)>;
 
   struct Params {
     /// Fallback waiting period (the "30 s" of the paper's Figure 1 note).

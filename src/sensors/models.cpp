@@ -10,6 +10,16 @@ double Vec3::magnitude() const noexcept {
   return std::sqrt(x * x + y * y + z * z);
 }
 
+void SensorModel::sample_block(sim::TimePoint first, sim::Duration step,
+                               const double* activations, std::size_t count,
+                               double intensity, util::Rng& rng,
+                               double* out) {
+  sim::TimePoint at = first;
+  for (std::size_t i = 0; i < count; ++i, at = at + step) {
+    out[i] = sample(at, activations[i], intensity, rng);
+  }
+}
+
 double AccelerometerModel::sample(sim::TimePoint /*t*/, double activation,
                                   double intensity, util::Rng& rng) {
   // Gravity on z at rest; manipulation tilts and shakes the node so the
@@ -31,6 +41,18 @@ double AccelerometerModel::sample(sim::TimePoint /*t*/, double activation,
   return std::abs(last_.magnitude() - 1.0);
 }
 
+void AccelerometerModel::sample_block(sim::TimePoint first,
+                                      sim::Duration step,
+                                      const double* activations,
+                                      std::size_t count, double intensity,
+                                      util::Rng& rng, double* out) {
+  // Qualified call = devirtualized; one dispatch per window, not per sample.
+  sim::TimePoint at = first;
+  for (std::size_t i = 0; i < count; ++i, at = at + step) {
+    out[i] = AccelerometerModel::sample(at, activations[i], intensity, rng);
+  }
+}
+
 double PressureModel::sample(sim::TimePoint /*t*/, double activation,
                              double intensity, util::Rng& rng) {
   double value = activation * intensity * params_.usage_scale +
@@ -39,6 +61,16 @@ double PressureModel::sample(sim::TimePoint /*t*/, double activation,
     value += params_.bump_magnitude * rng.uniform(0.5, 1.0);
   }
   return std::max(0.0, value);
+}
+
+void PressureModel::sample_block(sim::TimePoint first, sim::Duration step,
+                                 const double* activations,
+                                 std::size_t count, double intensity,
+                                 util::Rng& rng, double* out) {
+  sim::TimePoint at = first;
+  for (std::size_t i = 0; i < count; ++i, at = at + step) {
+    out[i] = PressureModel::sample(at, activations[i], intensity, rng);
+  }
 }
 
 double MotionModel::sample(sim::TimePoint /*t*/, double activation,

@@ -33,6 +33,16 @@ class SensorModel {
   virtual double sample(sim::TimePoint t, double activation,
                         double intensity, util::Rng& rng) = 0;
 
+  /// Fills out[0..count) with consecutive samples at `first`,
+  /// `first + step`, ..., reading the matching activation for each from
+  /// `activations`. Values and RNG draw order are identical to calling
+  /// sample() in a loop; hot models override this to hoist the virtual
+  /// dispatch out of the batched firmware's per-sample loop. `out` may
+  /// alias `activations` (each element is read before it is written).
+  virtual void sample_block(sim::TimePoint first, sim::Duration step,
+                            const double* activations, std::size_t count,
+                            double intensity, util::Rng& rng, double* out);
+
   /// The threshold a node firmware should use with this model: chosen so a
   /// full-intensity manipulation comfortably exceeds it while idle noise
   /// (including accidental bumps) rarely does.
@@ -58,6 +68,9 @@ class AccelerometerModel final : public SensorModel {
 
   double sample(sim::TimePoint t, double activation, double intensity,
                 util::Rng& rng) override;
+  void sample_block(sim::TimePoint first, sim::Duration step,
+                    const double* activations, std::size_t count,
+                    double intensity, util::Rng& rng, double* out) override;
   double recommended_threshold() const noexcept override { return 0.30; }
 
   /// The full 3-axis reading behind the last sample() call; useful for
@@ -86,6 +99,9 @@ class PressureModel final : public SensorModel {
 
   double sample(sim::TimePoint t, double activation, double intensity,
                 util::Rng& rng) override;
+  void sample_block(sim::TimePoint first, sim::Duration step,
+                    const double* activations, std::size_t count,
+                    double intensity, util::Rng& rng, double* out) override;
   double recommended_threshold() const noexcept override { return 0.25; }
 
  private:

@@ -4,9 +4,22 @@
 
 namespace coreda::sensors {
 
+void ManipulationWorld::provision(std::size_t tool_capacity) {
+  if (history_.size() < tool_capacity) history_.resize(tool_capacity);
+  for (std::vector<Episode>& episodes : history_) {
+    if (episodes.capacity() < kEpisodeReserve) {
+      episodes.reserve(kEpisodeReserve);
+    }
+  }
+}
+
 void ManipulationWorld::begin(adl::ToolId tool, sim::TimePoint start,
                               sim::Duration duration, sim::Duration ramp) {
+  if (tool >= history_.size()) history_.resize(tool + 1);
   std::vector<Episode>& episodes = history_[tool];
+  // Pruning against kHistoryRetention keeps at most a handful of episodes
+  // per tool live; pre-size once so steady-state begin() never reallocates.
+  if (episodes.capacity() < kEpisodeReserve) episodes.reserve(kEpisodeReserve);
   if (!episodes.empty()) {
     // A new manipulation supersedes whatever was in progress: the previous
     // episode stops being the answer from `start` onward, but stays on
@@ -24,9 +37,8 @@ void ManipulationWorld::begin(adl::ToolId tool, sim::TimePoint start,
 }
 
 void ManipulationWorld::end(adl::ToolId tool, sim::TimePoint now) {
-  const auto it = history_.find(tool);
-  if (it == history_.end() || it->second.empty()) return;
-  Episode& last = it->second.back();
+  if (tool >= history_.size() || history_[tool].empty()) return;
+  Episode& last = history_[tool].back();
   if (last.end > now) last.end = now;
 }
 
@@ -38,12 +50,11 @@ double ManipulationWorld::episode_activation(const Episode& ep,
 
 double ManipulationWorld::activation(adl::ToolId tool,
                                      sim::TimePoint at) const {
-  const auto it = history_.find(tool);
-  if (it == history_.end()) return 0.0;
-  const std::vector<Episode>& episodes = it->second;
+  const std::vector<Episode>* episodes = find(tool);
+  if (episodes == nullptr) return 0.0;
   // Newest-first: at an instant shared by a superseded episode's clipped
   // end and its successor's start, the successor is what a live reader saw.
-  for (auto ep = episodes.rbegin(); ep != episodes.rend(); ++ep) {
+  for (auto ep = episodes->rbegin(); ep != episodes->rend(); ++ep) {
     if (at >= ep->start) return episode_activation(*ep, at);
   }
   return 0.0;
@@ -54,16 +65,15 @@ void ManipulationWorld::activation_block(adl::ToolId tool,
                                          sim::Duration step,
                                          std::size_t count,
                                          double* out) const {
-  const auto it = history_.find(tool);
-  if (it == history_.end() || it->second.empty()) {
+  const std::vector<Episode>* episodes = find(tool);
+  if (episodes == nullptr || episodes->empty()) {
     std::fill(out, out + count, 0.0);
     return;
   }
-  const std::vector<Episode>& episodes = it->second;
   sim::TimePoint at = first;
   for (std::size_t i = 0; i < count; ++i, at = at + step) {
     double value = 0.0;
-    for (auto ep = episodes.rbegin(); ep != episodes.rend(); ++ep) {
+    for (auto ep = episodes->rbegin(); ep != episodes->rend(); ++ep) {
       if (at >= ep->start) {
         value = episode_activation(*ep, at);
         break;
@@ -74,10 +84,9 @@ void ManipulationWorld::activation_block(adl::ToolId tool,
 }
 
 bool ManipulationWorld::in_use(adl::ToolId tool, sim::TimePoint at) const {
-  const auto it = history_.find(tool);
-  if (it == history_.end()) return false;
-  const std::vector<Episode>& episodes = it->second;
-  for (auto ep = episodes.rbegin(); ep != episodes.rend(); ++ep) {
+  const std::vector<Episode>* episodes = find(tool);
+  if (episodes == nullptr) return false;
+  for (auto ep = episodes->rbegin(); ep != episodes->rend(); ++ep) {
     if (at >= ep->start) return at <= ep->end;
   }
   return false;
@@ -87,15 +96,14 @@ void ManipulationWorld::garbage_collect(sim::TimePoint now) {
   // Keep the retention window even here so a collect racing a batched
   // firmware wake can't drop episodes the wake still needs to read back.
   const sim::TimePoint horizon = now - kHistoryRetention;
-  for (auto it = history_.begin(); it != history_.end();) {
-    std::erase_if(it->second,
+  for (std::vector<Episode>& episodes : history_) {
+    std::erase_if(episodes,
                   [horizon](const Episode& ep) { return ep.end < horizon; });
-    if (it->second.empty()) {
-      it = history_.erase(it);
-    } else {
-      ++it;
-    }
   }
+}
+
+void ManipulationWorld::reset() noexcept {
+  for (std::vector<Episode>& episodes : history_) episodes.clear();
 }
 
 }  // namespace coreda::sensors

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "adl/types.hpp"
@@ -25,6 +24,10 @@ namespace coreda::sensors {
 /// tool stays answerable for times before the successor started (what a
 /// live per-tick reader would have seen), and is clipped from the
 /// successor's start onward.
+///
+/// Storage is a dense table keyed by ToolId (the PAVENET uid space is small
+/// and dense — paper Table 2), so the per-sample activation lookups on the
+/// firmware hot path are an array index, not a tree walk.
 class ManipulationWorld {
  public:
   /// How far back activation()/in_use() queries remain answerable. Must
@@ -32,6 +35,16 @@ class ManipulationWorld {
   /// 1 s at the paper's 10 Hz, 5 s at the 2 Hz end of the energy sweep).
   static constexpr sim::Duration kHistoryRetention =
       sim::Duration::seconds(10.0);
+
+  /// Per-tool episode-list pre-size: pruning keeps only episodes younger
+  /// than kHistoryRetention, so a handful are ever live at once.
+  static constexpr std::size_t kEpisodeReserve = 16;
+
+  /// Pre-sizes the per-tool episode table for tool ids below
+  /// `tool_capacity`. Optional: begin() grows the table on demand; calling
+  /// this up front keeps even the first manipulation of a rarely-touched
+  /// tool (e.g. a random wrong-tool grab) allocation-free at serving time.
+  void provision(std::size_t tool_capacity);
 
   /// Starts (or restarts) a manipulation of `tool` lasting `duration`.
   /// `ramp` defaults to a 0.5 s grip transition, capped by the envelope to
@@ -59,6 +72,10 @@ class ManipulationWorld {
   /// (bounded memory on long runs without breaking retroactive queries).
   void garbage_collect(sim::TimePoint now);
 
+  /// Forgets all episode history but keeps per-tool buffer capacity, so a
+  /// reused world serves its next session without fresh allocations.
+  void reset() noexcept;
+
  private:
   struct Episode {
     sim::TimePoint start;
@@ -68,9 +85,13 @@ class ManipulationWorld {
 
   static double episode_activation(const Episode& ep, sim::TimePoint at);
 
-  /// Episodes per tool in start order (newest at the back); pruned against
-  /// kHistoryRetention on every begin().
-  std::map<adl::ToolId, std::vector<Episode>> history_;
+  const std::vector<Episode>* find(adl::ToolId tool) const noexcept {
+    return tool < history_.size() ? &history_[tool] : nullptr;
+  }
+
+  /// Episodes per tool in start order (newest at the back), indexed by
+  /// ToolId; pruned against kHistoryRetention on every begin().
+  std::vector<std::vector<Episode>> history_;
 };
 
 }  // namespace coreda::sensors

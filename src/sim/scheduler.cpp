@@ -21,6 +21,13 @@ std::uint32_t Scheduler::acquire_slot() {
     return slot;
   }
   slots_.push_back(Slot{});
+  // Keep the free list's capacity pegged to the slot table: at most
+  // slots_.size() slots can ever be free at once, so release_slot() below
+  // can stay allocation-free (it runs on the steady-state firing path; the
+  // only growth allocations happen here, when the high-water mark rises).
+  if (free_slots_.capacity() < slots_.size()) {
+    free_slots_.reserve(slots_.capacity());  // grow geometrically, in step
+  }
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -14,6 +15,11 @@ namespace coreda::util {
 /// the C++ UniformRandomBitGenerator concept and additionally offers the
 /// distribution helpers the simulators need (uniform, normal, bernoulli,
 /// exponential, pick).
+///
+/// The draw methods on the closed-loop serving hot path (raw output,
+/// uniform, bernoulli, normal) are defined inline: the sensor synthesis
+/// stack calls them tens of millions of times per simulated fleet session
+/// and the cross-TU call overhead dominates otherwise.
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -27,22 +33,57 @@ class Rng {
   }
 
   /// Next raw 64-bit output.
-  result_type operator()() noexcept;
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double uniform() noexcept;
+  double uniform() noexcept {
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept;
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Bernoulli trial with success probability p (clamped to [0, 1]).
-  bool bernoulli(double p) noexcept;
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   /// Normal deviate with the given mean and standard deviation.
-  double normal(double mean, double stddev) noexcept;
+  double normal(double mean, double stddev) noexcept {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return mean + stddev * cached_normal_;
+    }
+    // Marsaglia polar method.
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return mean + stddev * u * factor;
+  }
 
   /// Exponential deviate with the given mean (mean = 1 / rate).
   double exponential(double mean) noexcept;
@@ -58,6 +99,10 @@ class Rng {
   Rng fork() noexcept;
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_;
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "sim/scheduler.hpp"
 
 namespace coreda::pavenet {
@@ -15,12 +17,14 @@ struct StationFixture : ::testing::Test {
   RadioChannel channel{scheduler, util::Rng(3)};
   BaseStation station{scheduler, channel};
   std::vector<std::pair<adl::ToolId, TimePoint>> usages;
+  // Listeners are non-owning FnRefs: the callable must outlive the station
+  // hookup, so the fixture keeps it as a member.
+  std::function<void(adl::ToolId, TimePoint)> record_usage =
+      [this](adl::ToolId tool, TimePoint at) {
+        usages.emplace_back(tool, at);
+      };
 
-  StationFixture() {
-    station.add_listener([this](adl::ToolId tool, TimePoint at) {
-      usages.emplace_back(tool, at);
-    });
-  }
+  StationFixture() { station.add_listener(record_usage); }
 
   void announce(std::uint16_t uid, double at_seconds) {
     scheduler.schedule_at(TimePoint::from_seconds(at_seconds), [this, uid] {
@@ -76,11 +80,59 @@ TEST_F(StationFixture, CustomMergeGap) {
   params.merge_gap = Duration::seconds(0.5);
   BaseStation tight(scheduler, channel, params);
   int count = 0;
-  tight.add_listener([&](adl::ToolId, TimePoint) { ++count; });
+  auto bump = [&](adl::ToolId, TimePoint) { ++count; };
+  tight.add_listener(bump);
   announce(9, 1.0);
   announce(9, 2.0);  // 1 s apart > 0.5 s gap -> two episodes
   scheduler.run();
   EXPECT_EQ(count, 2);
+}
+
+TEST_F(StationFixture, AnnouncementExactlyAtMergeGapMerges) {
+  // Zero-latency channel so packets arrive exactly when announced and the
+  // boundary lands dead-on: a report exactly merge_gap after the previous
+  // one still MERGES (now - last_seen <= merge_gap); only exceeding the
+  // gap opens a new episode.
+  RadioChannel::Params radio;
+  radio.latency = Duration();
+  radio.latency_jitter = Duration();
+  RadioChannel exact_channel(scheduler, util::Rng(5), radio);
+  BaseStation exact(scheduler, exact_channel);  // default 3 s merge gap
+  int count = 0;
+  auto bump = [&](adl::ToolId, TimePoint) { ++count; };
+  exact.add_listener(bump);
+  auto send = [&](double at_seconds) {
+    scheduler.schedule_at(TimePoint::from_seconds(at_seconds),
+                          [&exact_channel] {
+                            Packet p;
+                            p.kind = Packet::Kind::kToolUsage;
+                            p.source_uid = 7;
+                            p.dest_uid = 0;
+                            exact_channel.transmit(p);
+                          });
+  };
+  send(1.0);
+  send(4.0);       // exactly last_seen + 3 s: same episode
+  send(7.000001);  // one microsecond past the gap: new episode
+  scheduler.run();
+  EXPECT_EQ(count, 2);
+  ASSERT_EQ(exact.episodes().size(), 2u);
+  EXPECT_EQ(exact.episodes()[0].reports, 2u);
+  EXPECT_EQ(exact.episodes()[0].last_seen, TimePoint::from_seconds(4.0));
+}
+
+TEST_F(StationFixture, ResetUsageHistoryStartsFresh) {
+  announce(7, 1.0);
+  scheduler.run();
+  ASSERT_EQ(usages.size(), 1u);
+  station.reset_usage_history();
+  EXPECT_TRUE(station.episodes().empty());
+  // Within the merge gap of the pre-reset report, but the reset dropped the
+  // open episode: the next report is a fresh usage edge, not a merge.
+  announce(7, 1.5);
+  scheduler.run();
+  EXPECT_EQ(usages.size(), 2u);
+  EXPECT_EQ(station.episodes().size(), 1u);
 }
 
 TEST_F(StationFixture, LedCommandGoesOut) {
@@ -109,7 +161,8 @@ TEST_F(StationFixture, IgnoresNonUsagePackets) {
 
 TEST_F(StationFixture, MultipleListenersAllNotified) {
   int second_count = 0;
-  station.add_listener([&](adl::ToolId, TimePoint) { ++second_count; });
+  auto bump = [&](adl::ToolId, TimePoint) { ++second_count; };
+  station.add_listener(bump);
   announce(7, 1.0);
   scheduler.run();
   EXPECT_EQ(usages.size(), 1u);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "adl/library.hpp"
 #include "trace/dataset.hpp"
 
@@ -16,6 +18,12 @@ struct TrackerFixture : ::testing::Test {
   adl::AdlLibrary library;
   AdlRecognizer recognizer;
   std::vector<std::string> announced;
+  // The tracker holds a non-owning FnRef, so the callable lives in the
+  // fixture, outliving any tracker made from it.
+  std::function<void(const std::string&, TimePoint)> record =
+      [this](const std::string& name, TimePoint) {
+        announced.push_back(name);
+      };
 
   void SetUp() override {
     trace::DatasetBuilder datasets(
@@ -28,15 +36,14 @@ struct TrackerFixture : ::testing::Test {
   }
 
   ActivityTracker make_tracker() {
-    return ActivityTracker(recognizer,
-                           [this](const std::string& name, TimePoint) {
-                             announced.push_back(name);
-                           });
+    return ActivityTracker(recognizer, record);
   }
 };
 
 TEST_F(TrackerFixture, NullCallbackThrows) {
-  EXPECT_THROW(ActivityTracker(recognizer, nullptr), std::invalid_argument);
+  EXPECT_THROW(
+      ActivityTracker(recognizer, ActivityTracker::ActivityCallback{}),
+      std::invalid_argument);
 }
 
 TEST_F(TrackerFixture, AnnouncesOncePerEpisode) {
@@ -46,7 +53,8 @@ TEST_F(TrackerFixture, AnnouncesOncePerEpisode) {
   tracker.observe(T::kKettle, TimePoint::from_seconds(30.0));
   ASSERT_EQ(announced.size(), 1u);
   EXPECT_EQ(announced[0], "Tea-making");
-  EXPECT_EQ(tracker.current_activity(), "Tea-making");
+  ASSERT_NE(tracker.current_activity(), nullptr);
+  EXPECT_EQ(*tracker.current_activity(), "Tea-making");
   EXPECT_TRUE(tracker.episode_open());
 }
 
@@ -61,12 +69,28 @@ TEST_F(TrackerFixture, IdleGapOpensNewEpisode) {
   EXPECT_EQ(announced[1], "Tooth-brushing");
 }
 
+TEST_F(TrackerFixture, ObservationExactlyAtIdleGapStaysOpen) {
+  ActivityTracker tracker = make_tracker();
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  // Default idle gap is 3 min: an observation exactly idle_gap after the
+  // last event is still part of the episode (it closes only when the gap
+  // is strictly exceeded).
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(190.0));
+  EXPECT_EQ(tracker.episodes_seen(), 1u);
+  EXPECT_EQ(tracker.episode_steps().size(), 2u);
+  // One microsecond past the gap closes and re-opens in the same call.
+  tracker.observe(T::kKettle,
+                  TimePoint::from_micros(190'000'001 + 180'000'000));
+  EXPECT_EQ(tracker.episodes_seen(), 2u);
+  EXPECT_EQ(tracker.episode_steps().size(), 1u);
+}
+
 TEST_F(TrackerFixture, CloseEpisodeResetsState) {
   ActivityTracker tracker = make_tracker();
   tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
   tracker.close_episode();
   EXPECT_FALSE(tracker.episode_open());
-  EXPECT_FALSE(tracker.current_activity().has_value());
+  EXPECT_EQ(tracker.current_activity(), nullptr);
   EXPECT_TRUE(tracker.episode_steps().empty());
 }
 
@@ -81,11 +105,7 @@ TEST_F(TrackerFixture, ConsecutiveDuplicatesCollapsed) {
 TEST_F(TrackerFixture, HighThresholdDelaysAnnouncement) {
   ActivityTracker::Params params;
   params.confidence_threshold = 0.999;
-  ActivityTracker tracker(recognizer,
-                          [this](const std::string& name, TimePoint) {
-                            announced.push_back(name);
-                          },
-                          params);
+  ActivityTracker tracker(recognizer, record, params);
   tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
   const std::size_t after_one = announced.size();
   tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));

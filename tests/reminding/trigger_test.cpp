@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "adl/library.hpp"
 #include "sim/scheduler.hpp"
 
@@ -14,16 +16,19 @@ using sim::TimePoint;
 struct TriggerFixture : ::testing::Test {
   sim::Scheduler scheduler;
   std::vector<std::pair<Trigger, adl::ToolId>> fired;
+  // The monitor holds a non-owning FnRef, so the callable lives in the
+  // fixture, outliving any monitor made from it.
+  std::function<void(Trigger, adl::ToolId)> record =
+      [this](Trigger t, adl::ToolId tool) { fired.emplace_back(t, tool); };
 
   TriggerMonitor make_monitor() {
-    return TriggerMonitor(scheduler, [this](Trigger t, adl::ToolId tool) {
-      fired.emplace_back(t, tool);
-    });
+    return TriggerMonitor(scheduler, record);
   }
 };
 
 TEST_F(TriggerFixture, NullCallbackThrows) {
-  EXPECT_THROW(TriggerMonitor(scheduler, nullptr), std::invalid_argument);
+  EXPECT_THROW(TriggerMonitor(scheduler, TriggerMonitor::Callback{}),
+               std::invalid_argument);
 }
 
 TEST_F(TriggerFixture, IdleTimeoutFires) {

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
-# Opt-in bench-regression gate: re-runs the fleet-throughput bench at the
-# baseline's job counts and compares the fresh timing records against the
-# committed BENCH_fleet.json via tools/check_bench_regression.py.
+# Opt-in bench-regression gate: re-runs the fleet-throughput and
+# session-throughput benches at the baselines' job counts and compares the
+# fresh timing records against the committed BENCH_fleet.json /
+# BENCH_sessions.json via tools/check_bench_regression.py.
 #
 # Wired as the ctest label `bench-regression` when the build is configured
 # with -DCOREDA_BENCH_REGRESSION=ON (see tests/CMakeLists.txt); never part
-# of the default tier-1 run because it depends on wall-clock. The fleet
-# bench is the gate of choice: it finishes in well under a second per job
-# count yet covers both the throughput number and the zero-allocation
-# steady-state contract.
+# of the default tier-1 run because it depends on wall-clock. These two
+# benches are the gates of choice: they finish in seconds per job count yet
+# cover the training and serving throughput numbers AND both
+# zero-allocation steady-state contracts.
 #
 # Usage: tools/bench_regression_test.sh [build-dir] [tolerance]
 set -euo pipefail
@@ -17,20 +18,31 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 TOLERANCE="${2:-0.40}"
 
-BENCH="$BUILD_DIR/bench/bench_fleet_throughput"
-if [[ ! -x "$BENCH" ]]; then
-  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target" \
-       "bench_fleet_throughput)" >&2
-  exit 2
-fi
+for bench in bench_fleet_throughput bench_session_throughput; do
+  if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
+    echo "error: $BUILD_DIR/bench/$bench not built (cmake --build" \
+         "$BUILD_DIR --target $bench)" >&2
+    exit 2
+  fi
+done
 
 FRESH="$BUILD_DIR/BENCH_fleet.fresh.json"
 : > "$FRESH"
 # Warm-up pass, timing discarded — same rationale as tools/bench_parallel.sh.
-"$BENCH" --jobs=1 > /dev/null
+"$BUILD_DIR/bench/bench_fleet_throughput" --jobs=1 > /dev/null
 for jobs in 1 2 4; do
-  "$BENCH" --jobs="$jobs" --timing-json="$FRESH" > /dev/null
+  "$BUILD_DIR/bench/bench_fleet_throughput" --jobs="$jobs" \
+    --timing-json="$FRESH" > /dev/null
 done
-
-exec python3 tools/check_bench_regression.py \
+python3 tools/check_bench_regression.py \
   --fresh "$FRESH" --baseline BENCH_fleet.json --tolerance "$TOLERANCE"
+
+FRESH="$BUILD_DIR/BENCH_sessions.fresh.json"
+: > "$FRESH"
+"$BUILD_DIR/bench/bench_session_throughput" --jobs=1 > /dev/null
+for jobs in 1 2 4; do
+  "$BUILD_DIR/bench/bench_session_throughput" --jobs="$jobs" \
+    --timing-json="$FRESH" > /dev/null
+done
+exec python3 tools/check_bench_regression.py \
+  --fresh "$FRESH" --baseline BENCH_sessions.json --tolerance "$TOLERANCE"

@@ -7,13 +7,15 @@ performance baselines. This checker re-keys both files by
 
   * missing records — a bench/jobs combination present in the baseline but
     absent from the fresh run;
-  * throughput regressions — fresh trials_per_sec (and episodes_per_sec,
-    where present) below baseline by more than --tolerance (default 0.40,
-    i.e. a fresh run may be up to 40% slower before failing: wall-clock on
-    shared CI machines is noisy, and the committed numbers may come from
-    different hardware — catch collapses, not jitter);
-  * allocation regressions — steady_state_allocs_per_episode must never
-    exceed the baseline (the zero-allocation contract is exact, not noisy).
+  * throughput regressions — fresh trials_per_sec (and episodes_per_sec /
+    sessions_per_sec, where present) below baseline by more than
+    --tolerance (default 0.40, i.e. a fresh run may be up to 40% slower
+    before failing: wall-clock on shared CI machines is noisy, and the
+    committed numbers may come from different hardware — catch collapses,
+    not jitter);
+  * allocation regressions — steady_state_allocs_per_episode and
+    steady_state_allocs_per_session must never exceed the baseline (the
+    zero-allocation contract is exact, not noisy).
 
 Hardware mismatches (different hardware_concurrency) downgrade throughput
 findings to warnings: comparing wall-clock across machine shapes is
@@ -88,7 +90,8 @@ def main():
         same_hw = (base.get("hardware_concurrency") is not None and
                    base.get("hardware_concurrency")
                    == got.get("hardware_concurrency"))
-        for metric in ("trials_per_sec", "episodes_per_sec"):
+        for metric in ("trials_per_sec", "episodes_per_sec",
+                       "sessions_per_sec"):
             if metric not in base:
                 continue
             base_v, got_v = base[metric], got.get(metric, 0.0)
@@ -102,12 +105,13 @@ def main():
             else:
                 warnings.append(message + " [hardware mismatch: warning only]")
 
-        metric = "steady_state_allocs_per_episode"
-        if metric in base and got.get(metric, 0.0) > base[metric]:
-            failures.append(
-                f"{bench} (jobs={jobs}): {metric} {got.get(metric)} > "
-                f"baseline {base[metric]} — the zero-allocation contract "
-                f"broke")
+        for metric in ("steady_state_allocs_per_episode",
+                       "steady_state_allocs_per_session"):
+            if metric in base and got.get(metric, 0.0) > base[metric]:
+                failures.append(
+                    f"{bench} (jobs={jobs}): {metric} {got.get(metric)} > "
+                    f"baseline {base[metric]} — the zero-allocation "
+                    f"contract broke")
 
     for message in warnings:
         print(f"warning: {message}")

@@ -12,7 +12,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DCOREDA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target test_exec test_sim test_trace \
-  bench_fleet_throughput
+  bench_fleet_throughput bench_session_throughput
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_exec
@@ -26,5 +26,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # every cross-thread edge; timing output is irrelevant here.
 "$BUILD_DIR"/bench/bench_fleet_throughput --users=50 --episodes=40 --jobs=4 \
   > /dev/null
+# The session bench fans whole closed-loop CoredaSystems (scheduler, radio,
+# station, actor — all single-threaded by contract) across pool workers:
+# TSan proves no system state leaks between concurrent trials.
+"$BUILD_DIR"/bench/bench_session_throughput --users=8 --sessions=5 --jobs=4 \
+  > /dev/null
 
-echo "TSan: all exec/sim/trace-parallel tests and the fleet bench passed."
+echo "TSan: all exec/sim/trace-parallel tests and the fleet/session" \
+     "benches passed."
