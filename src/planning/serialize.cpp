@@ -1,6 +1,9 @@
 #include "planning/serialize.hpp"
 
+#include <bit>
+#include <cstring>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -120,6 +123,272 @@ void load_policy(std::istream& in, RoutineLearner& learner) {
     }
   }
   learner.import_q(staged);
+}
+
+// --------------------------------------------------------------------------
+// v2 binary snapshots
+// --------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Serializes little-endian u64/f64 into a growing byte buffer; the FNV-1a
+/// checksum is computed over the buffer once at the end, so save and load
+/// agree on "every preceding byte" by construction.
+struct V2Writer {
+  std::string bytes;
+
+  void put_u64(std::uint64_t v) {
+    char raw[8];
+    for (int i = 0; i < 8; ++i) {
+      raw[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    bytes.append(raw, 8);
+  }
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  std::uint64_t checksum() const {
+    std::uint64_t h = kFnvOffset;
+    for (const char c : bytes) {
+      h ^= static_cast<unsigned char>(c);
+      h *= kFnvPrime;
+    }
+    return h;
+  }
+};
+
+/// Mirror of V2Writer: pulls little-endian fields off an istream while
+/// folding every consumed byte into the running checksum. Any short read
+/// throws — a truncated snapshot can never validate.
+struct V2Reader {
+  std::istream& in;
+  std::uint64_t hash = kFnvOffset;
+
+  std::uint64_t take_u64(const char* what) {
+    char raw[8];
+    if (!in.read(raw, 8)) {
+      throw std::runtime_error(
+          std::string("load_policy_v2: truncated snapshot (") + what + ")");
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      const auto byte = static_cast<unsigned char>(raw[i]);
+      v |= static_cast<std::uint64_t>(byte) << (8 * i);
+      hash ^= byte;
+      hash *= kFnvPrime;
+    }
+    return v;
+  }
+  double take_f64(const char* what) {
+    return std::bit_cast<double>(take_u64(what));
+  }
+  /// The trailing checksum field is read raw — it is not part of its own
+  /// coverage.
+  std::uint64_t take_checksum() {
+    char raw[8];
+    if (!in.read(raw, 8)) {
+      throw std::runtime_error(
+          "load_policy_v2: truncated snapshot (checksum)");
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(raw[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+};
+
+/// Parsed body of a v2 snapshot, validated for structure + checksum but not
+/// yet against any expected vocabulary.
+struct V2Snapshot {
+  std::uint64_t version = 0;
+  std::vector<std::uint64_t> steps;
+  std::vector<std::uint64_t> tools;
+  std::size_t num_states = 0;
+  std::size_t num_actions = 0;
+  std::vector<double> q;
+  bool checksum_ok = false;
+};
+
+/// Caps the header counts so a corrupt file cannot request a multi-GB
+/// allocation before the checksum gets a chance to reject it. The real
+/// spaces are tens of entries.
+constexpr std::uint64_t kSaneCount = 1u << 20;
+
+V2Snapshot read_v2(std::istream& in) {
+  V2Reader r{in};
+  char magic[8];
+  if (!in.read(magic, 8)) {
+    throw std::runtime_error("load_policy_v2: truncated snapshot (magic)");
+  }
+  if (std::memcmp(magic, kPolicyV2Magic, 8) != 0) {
+    throw std::runtime_error(
+        "load_policy_v2: not a coreda-policy v2 snapshot");
+  }
+  for (const char c : magic) {
+    r.hash ^= static_cast<unsigned char>(c);
+    r.hash *= kFnvPrime;
+  }
+
+  V2Snapshot snap;
+  snap.version = r.take_u64("version");
+  const std::uint64_t n_steps = r.take_u64("step count");
+  const std::uint64_t n_tools = r.take_u64("tool count");
+  const std::uint64_t n_states = r.take_u64("state count");
+  const std::uint64_t n_actions = r.take_u64("action count");
+  if (n_steps == 0 || n_tools == 0 || n_states == 0 || n_actions == 0 ||
+      n_steps > kSaneCount || n_tools > kSaneCount ||
+      n_states > kSaneCount || n_actions > kSaneCount) {
+    throw std::runtime_error("load_policy_v2: implausible dimensions");
+  }
+  snap.num_states = static_cast<std::size_t>(n_states);
+  snap.num_actions = static_cast<std::size_t>(n_actions);
+
+  snap.steps.reserve(n_steps);
+  for (std::uint64_t i = 0; i < n_steps; ++i) {
+    snap.steps.push_back(r.take_u64("step vocabulary"));
+  }
+  snap.tools.reserve(n_tools);
+  for (std::uint64_t i = 0; i < n_tools; ++i) {
+    snap.tools.push_back(r.take_u64("tool vocabulary"));
+  }
+  snap.q.reserve(snap.num_states * snap.num_actions);
+  for (std::size_t i = 0; i < snap.num_states * snap.num_actions; ++i) {
+    snap.q.push_back(r.take_f64("Q value"));
+  }
+  const std::uint64_t expected = r.hash;
+  snap.checksum_ok = (r.take_checksum() == expected);
+  return snap;
+}
+
+template <typename Id>
+void check_vocab(std::span<const std::uint64_t> got, std::span<const Id> want,
+                 const char* what) {
+  if (got.size() != want.size()) {
+    throw std::runtime_error(std::string("load_policy_v2: ") + what +
+                             " vocabulary size mismatch");
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != static_cast<std::uint64_t>(want[i])) {
+      throw std::runtime_error(std::string("load_policy_v2: ") + what +
+                               " vocabulary mismatch");
+    }
+  }
+}
+
+}  // namespace
+
+void save_policy_v2(std::ostream& out, std::span<const adl::StepId> steps,
+                    std::span<const adl::ToolId> tools, const rl::QTable& q,
+                    std::uint64_t version) {
+  V2Writer w;
+  w.bytes.reserve(8 * (6 + steps.size() + tools.size() +
+                       q.num_states() * q.num_actions() + 1));
+  w.bytes.append(kPolicyV2Magic, 8);
+  w.put_u64(version);
+  w.put_u64(steps.size());
+  w.put_u64(tools.size());
+  w.put_u64(q.num_states());
+  w.put_u64(q.num_actions());
+  for (const adl::StepId id : steps) w.put_u64(id);
+  for (const adl::ToolId id : tools) w.put_u64(id);
+  for (rl::StateId s = 0; s < q.num_states(); ++s) {
+    for (const double v : q.row(s)) w.put_f64(v);
+  }
+  const std::uint64_t sum = w.checksum();
+  w.put_u64(sum);
+  out.write(w.bytes.data(),
+            static_cast<std::streamsize>(w.bytes.size()));
+}
+
+void save_policy_v2(std::ostream& out, const RoutineLearner& learner,
+                    std::uint64_t version) {
+  save_policy_v2(out, learner.state_codec().symbols(),
+                 learner.action_codec().tools(), learner.q(), version);
+}
+
+std::uint64_t load_policy_v2(std::istream& in,
+                             std::span<const adl::StepId> steps,
+                             std::span<const adl::ToolId> tools,
+                             rl::QTable& q) {
+  const V2Snapshot snap = read_v2(in);
+  if (!snap.checksum_ok) {
+    throw std::runtime_error("load_policy_v2: checksum mismatch");
+  }
+  check_vocab<adl::StepId>(snap.steps, steps, "step");
+  check_vocab<adl::ToolId>(snap.tools, tools, "tool");
+  if (snap.num_states != q.num_states() ||
+      snap.num_actions != q.num_actions()) {
+    throw std::runtime_error("load_policy_v2: Q-table dimension mismatch");
+  }
+  // Fully validated: commit. Row-wise copy into the caller's storage keeps
+  // this allocation-free for a pre-shaped destination table.
+  std::size_t i = 0;
+  for (rl::StateId s = 0; s < q.num_states(); ++s) {
+    for (rl::ActionId a = 0; a < q.num_actions(); ++a) {
+      q.set(s, a, snap.q[i++]);
+    }
+  }
+  return snap.version;
+}
+
+std::uint64_t load_policy_v2(std::istream& in, RoutineLearner& learner) {
+  rl::QTable staged(learner.q().num_states(), learner.q().num_actions());
+  const std::uint64_t version =
+      load_policy_v2(in, learner.state_codec().symbols(),
+                     learner.action_codec().tools(), staged);
+  learner.import_q(staged);
+  return version;
+}
+
+PolicyV2Info inspect_policy_v2(std::istream& in) {
+  const V2Snapshot snap = read_v2(in);
+  PolicyV2Info info;
+  info.version = snap.version;
+  info.num_states = snap.num_states;
+  info.num_actions = snap.num_actions;
+  info.checksum_ok = snap.checksum_ok;
+  info.steps.reserve(snap.steps.size());
+  for (const std::uint64_t id : snap.steps) {
+    info.steps.push_back(static_cast<adl::StepId>(id));
+  }
+  info.tools.reserve(snap.tools.size());
+  for (const std::uint64_t id : snap.tools) {
+    info.tools.push_back(static_cast<adl::ToolId>(id));
+  }
+  return info;
+}
+
+PolicyFormat detect_policy_format(std::istream& in) {
+  char head[16] = {};
+  in.read(head, sizeof(head));
+  const std::streamsize got = in.gcount();
+  in.clear();
+  in.seekg(0);
+  if (got >= 8 && std::memcmp(head, kPolicyV2Magic, 8) == 0) {
+    return PolicyFormat::kBinaryV2;
+  }
+  if (got >= 16 && std::memcmp(head, kMagic, 16) == 0) {
+    return PolicyFormat::kTextV1;
+  }
+  return PolicyFormat::kUnknown;
+}
+
+std::uint64_t load_policy_any(std::istream& in, RoutineLearner& learner) {
+  switch (detect_policy_format(in)) {
+    case PolicyFormat::kBinaryV2:
+      return load_policy_v2(in, learner);
+    case PolicyFormat::kTextV1:
+      load_policy(in, learner);
+      return 0;  // v1 snapshots predate versioning
+    case PolicyFormat::kUnknown:
+      break;
+  }
+  throw std::runtime_error(
+      "load_policy_any: neither a v1 nor a v2 policy snapshot");
 }
 
 }  // namespace coreda::planning

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
+#include <vector>
 
 #include "planning/learner.hpp"
 
@@ -19,5 +22,82 @@ void save_policy(std::ostream& out, const RoutineLearner& learner);
 /// mismatch (or on a malformed/truncated snapshot), leaving the learner
 /// unchanged on failure.
 void load_policy(std::istream& in, RoutineLearner& learner);
+
+// ---------------------------------------------------------------------------
+// "coreda-policy v2" — the compact binary snapshot the serving tier uses
+// (serve::PolicyStore). Layout, all integers little-endian u64, doubles as
+// little-endian IEEE-754 bit patterns:
+//
+//   magic     8 bytes  "CRDAPOL2"
+//   version   u64      monotonically increasing per write-back
+//   n_steps   u64      |step vocabulary|
+//   n_tools   u64      |tool vocabulary|
+//   n_states  u64      Q rows
+//   n_actions u64      Q columns
+//   steps     n_steps  x u64
+//   tools     n_tools  x u64
+//   q         n_states x n_actions x f64, row-major
+//   checksum  u64      FNV-1a 64 over every preceding byte
+//
+// The trailing checksum rejects torn or bit-flipped files; the vocabularies
+// reject a snapshot from a different ADL. Loads stage into a scratch table
+// and only commit on full validation, so the destination is never left
+// half-written — the same contract as the v1 text loader.
+// ---------------------------------------------------------------------------
+
+/// The 8 magic bytes opening every v2 snapshot.
+inline constexpr char kPolicyV2Magic[8] = {'C', 'R', 'D', 'A',
+                                           'P', 'O', 'L', '2'};
+
+/// Header + integrity summary of a v2 snapshot, readable without a learner
+/// (the CLI `policy inspect` path).
+struct PolicyV2Info {
+  std::uint64_t version = 0;
+  std::vector<adl::StepId> steps;
+  std::vector<adl::ToolId> tools;
+  std::size_t num_states = 0;
+  std::size_t num_actions = 0;
+  bool checksum_ok = false;
+};
+
+/// Writes a v2 snapshot of `q` stamped with `version` under the given
+/// vocabularies (the PolicyStore write-back path, which owns the vocab and
+/// the per-user table but no learner).
+void save_policy_v2(std::ostream& out, std::span<const adl::StepId> steps,
+                    std::span<const adl::ToolId> tools, const rl::QTable& q,
+                    std::uint64_t version);
+
+/// Writes a v2 snapshot of `learner`'s table and vocabularies.
+void save_policy_v2(std::ostream& out, const RoutineLearner& learner,
+                    std::uint64_t version = 1);
+
+/// Restores a v2 snapshot into `q`, validating magic, checksum, and the
+/// expected vocabularies/dimensions. Returns the snapshot version. Throws
+/// std::runtime_error on any mismatch or corruption; `q` is only written
+/// after full validation (unchanged on failure).
+std::uint64_t load_policy_v2(std::istream& in,
+                             std::span<const adl::StepId> steps,
+                             std::span<const adl::ToolId> tools,
+                             rl::QTable& q);
+
+/// Restores a v2 snapshot into `learner` (vocabularies taken from its
+/// codecs). Returns the snapshot version; learner unchanged on failure.
+std::uint64_t load_policy_v2(std::istream& in, RoutineLearner& learner);
+
+/// Parses a v2 header + integrity check without needing a learner. Throws
+/// std::runtime_error when the stream is not a structurally complete v2
+/// snapshot; a wrong checksum is reported via `checksum_ok`, not thrown,
+/// so operators can inspect a damaged file.
+PolicyV2Info inspect_policy_v2(std::istream& in);
+
+/// Snapshot format sniffing for operator tooling: peeks at the stream head
+/// and rewinds. kUnknown means neither magic matched.
+enum class PolicyFormat { kUnknown, kTextV1, kBinaryV2 };
+PolicyFormat detect_policy_format(std::istream& in);
+
+/// Loads either format into `learner` (v1 text snapshots predate versioning
+/// and report version 0). Throws std::runtime_error when the stream is
+/// neither format or fails its format's validation.
+std::uint64_t load_policy_any(std::istream& in, RoutineLearner& learner);
 
 }  // namespace coreda::planning

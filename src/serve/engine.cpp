@@ -1,0 +1,121 @@
+#include "serve/engine.hpp"
+
+#include <stdexcept>
+
+namespace coreda::serve {
+
+namespace {
+
+std::uint64_t session_checksum(const core::SessionResult& r) {
+  std::uint64_t sum = r.prompts_total + r.steps_completed;
+  for (const adl::StepId id : r.observed_steps) sum += id;
+  return sum;
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(const adl::AdlLibrary& library, const adl::Adl& adl,
+                         PolicyStore& store, ServeEngineParams params)
+    : params_(params),
+      store_(&store),
+      pool_(library, adl, store, params.pool) {}
+
+UserId ServeEngine::add_user(std::string name,
+                             patient::PatientProfile profile) {
+  // Engine user ids and store user ids must coincide (the pool checks out
+  // by the shared id), so the engine either adopts the next store entry or
+  // creates it.
+  const UserId user = static_cast<UserId>(profiles_.size());
+  if (user == store_->num_users()) {
+    store_->add_user(std::move(name));
+  } else if (user > store_->num_users()) {
+    throw std::invalid_argument(
+        "ServeEngine::add_user: store is missing earlier users");
+  }
+  profiles_.push_back(std::move(profile));
+  stats_.emplace_back();
+  return user;
+}
+
+void ServeEngine::enqueue(UserId user, std::size_t sessions) {
+  if (user >= profiles_.size()) {
+    throw std::out_of_range("ServeEngine::enqueue: unknown user id " +
+                            std::to_string(user));
+  }
+  if (sessions == 0) return;
+  queue_.push_back(Request{user, sessions});
+}
+
+std::size_t ServeEngine::queued() const noexcept {
+  std::size_t total = 0;
+  for (const Request& r : queue_) total += r.sessions;
+  return total;
+}
+
+const ServeUserStats& ServeEngine::user_stats(UserId user) const {
+  if (user >= stats_.size()) {
+    throw std::out_of_range("ServeEngine::user_stats: unknown user id " +
+                            std::to_string(user));
+  }
+  return stats_[user];
+}
+
+void ServeEngine::serve_one(UserId user, core::SessionResult& result) {
+  pool_.serve_session(user, profiles_[user], params_.session_cap, {},
+                      result);
+  ServeUserStats& s = stats_[user];
+  const auto prompts = static_cast<double>(result.prompts_total);
+  // Seed the EWMA with the first observation instead of decaying up from
+  // zero — otherwise a warmup-length burst of prompts reads as calm.
+  s.prompt_ewma = (s.sessions == 0)
+                      ? prompts
+                      : s.prompt_ewma +
+                            params_.drift.alpha * (prompts - s.prompt_ewma);
+  ++s.sessions;
+  s.completed += result.completed ? 1 : 0;
+  s.prompts += result.prompts_total;
+  s.checksum += session_checksum(result);
+  if (s.sessions >= params_.drift.warmup_sessions &&
+      s.prompt_ewma >= params_.drift.threshold) {
+    s.needs_retraining = true;  // sticky until a retrain clears it
+  }
+}
+
+ServeReport ServeEngine::drain(exec::TrialRunner& runner) {
+  // Shard the queue by home slot, preserving enqueue order within a slot.
+  // Each slot is one trial: its users' sessions run serially, in order, on
+  // whichever worker picks the trial up — the same result at any --jobs.
+  std::vector<std::vector<Request>> by_slot(pool_.slots());
+  for (const Request& r : queue_) {
+    by_slot[pool_.slot_for(r.user)].push_back(r);
+  }
+  queue_.clear();
+
+  runner.run(pool_.slots(), /*base_seed=*/0,
+             [&](exec::TrialContext& ctx) -> char {
+               core::SessionResult result;
+               for (const Request& r : by_slot[ctx.index]) {
+                 for (std::size_t i = 0; i < r.sessions; ++i) {
+                   serve_one(r.user, result);
+                 }
+               }
+               return 0;  // results land in stats_ (disjoint per slot)
+             });
+
+  ServeReport report;
+  report.users = stats_;
+  for (const ServeUserStats& s : stats_) {
+    report.sessions += s.sessions;
+    report.completed += s.completed;
+    report.prompts += s.prompts;
+    report.checksum += s.checksum;
+    report.flagged_users += s.needs_retraining ? 1 : 0;
+  }
+  report.pool_hits = pool_.hits();
+  report.policy_swaps = pool_.swaps();
+  report.staged_writes = store_->staged_writes();
+  report.disk_writes = store_->disk_writes();
+  return report;
+}
+
+}  // namespace coreda::serve

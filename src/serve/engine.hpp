@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/trial_runner.hpp"
+#include "patient/profile.hpp"
+#include "serve/system_pool.hpp"
+
+namespace coreda::serve {
+
+/// Prompt-rate drift detection (ROADMAP "drift re-learning", first step).
+///
+/// A converged policy prompts rarely; a routine that drifted away from the
+/// trained one makes the planner prompt at the wrong moments and the
+/// re-prompt escalation kicks in — prompts per session spike. The engine
+/// tracks an EWMA of prompts-per-session per user and marks the user
+/// `needs_retraining` once it crosses the threshold. Detection only: the
+/// retraining scheduler is future work.
+struct DriftConfig {
+  /// EWMA weight of the newest session (ewma += alpha * (x - ewma); the
+  /// first session seeds the average).
+  double alpha = 0.3;
+  /// Prompts-per-session EWMA at or above this flags the user.
+  double threshold = 6.0;
+  /// Sessions a user must have served before the flag may fire — a single
+  /// bad day is not drift.
+  std::size_t warmup_sessions = 3;
+};
+
+struct ServeEngineParams {
+  SystemPoolParams pool{};
+  DriftConfig drift{};
+  /// Wall-clock cap per session (virtual time).
+  sim::Duration session_cap = sim::Duration::minutes(15.0);
+};
+
+/// Per-user serving metrics, persistent across drains (the EWMA must see a
+/// user's whole history, not one batch).
+struct ServeUserStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t prompts = 0;
+  double prompt_ewma = 0.0;
+  bool needs_retraining = false;
+  /// Order-independent digest of this user's session outcomes (steps,
+  /// prompts) — the cross---jobs determinism witness.
+  std::uint64_t checksum = 0;
+};
+
+struct ServeReport {
+  std::uint64_t sessions = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t prompts = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t policy_swaps = 0;
+  std::uint64_t staged_writes = 0;
+  std::uint64_t disk_writes = 0;
+  std::size_t flagged_users = 0;  ///< users currently marked needs_retraining
+  std::vector<ServeUserStats> users;
+};
+
+/// The multi-tenant serving frontend: a queue of per-user session requests
+/// drained through the SystemPool across the exec thread pool.
+///
+/// Requests are sharded by the user's home slot and each slot is one
+/// TrialRunner trial, so a drain is byte-identical at any --jobs — the
+/// TrialRunner determinism argument lifted one layer up (slots play the
+/// role trials played in the benches; users within a slot are served in
+/// enqueue order).
+class ServeEngine {
+ public:
+  /// `library`, `adl` and `store` must outlive the engine.
+  ServeEngine(const adl::AdlLibrary& library, const adl::Adl& adl,
+              PolicyStore& store, ServeEngineParams params = {});
+
+  /// Registers a user (must already exist in — or is added to — the store;
+  /// see implementation) with the profile their sessions will simulate.
+  /// Setup-phase only, like PolicyStore::add_user.
+  UserId add_user(std::string name, patient::PatientProfile profile);
+
+  /// Queues `sessions` session requests for the user.
+  void enqueue(UserId user, std::size_t sessions = 1);
+  std::size_t queued() const noexcept;
+
+  /// Serves every queued request and returns the cumulative report.
+  /// Deterministic for a given engine configuration and enqueue history at
+  /// any runner job count.
+  ServeReport drain(exec::TrialRunner& runner);
+
+  const SystemPool& pool() const noexcept { return pool_; }
+  const PolicyStore& store() const noexcept { return *store_; }
+  const ServeUserStats& user_stats(UserId user) const;
+  const ServeEngineParams& params() const noexcept { return params_; }
+
+ private:
+  struct Request {
+    UserId user;
+    std::size_t sessions;
+  };
+
+  void serve_one(UserId user, core::SessionResult& result);
+
+  ServeEngineParams params_;
+  PolicyStore* store_;
+  SystemPool pool_;
+  std::vector<patient::PatientProfile> profiles_;  // by UserId
+  std::vector<ServeUserStats> stats_;              // by UserId
+  std::vector<Request> queue_;
+};
+
+}  // namespace coreda::serve

@@ -1,0 +1,151 @@
+#include "serve/policy_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "planning/serialize.hpp"
+
+namespace coreda::serve {
+
+PolicyStore::PolicyStore(const planning::RoutineLearner& reference,
+                         PolicyStoreParams params)
+    : params_(std::move(params)),
+      steps_(reference.state_codec().symbols()),
+      tools_(reference.action_codec().tools()),
+      reference_(reference.q()) {
+  if (params_.flush_every == 0) {
+    throw std::invalid_argument("PolicyStore: flush_every must be >= 1");
+  }
+  if (!params_.dir.empty()) {
+    std::filesystem::create_directories(params_.dir);
+  }
+}
+
+PolicyStore::~PolicyStore() {
+  try {
+    flush_all();
+  } catch (...) {
+    // Destructors must not throw; an unflushed tail snapshot only costs the
+    // stages since the last flush, exactly like a power cut would.
+  }
+}
+
+UserId PolicyStore::add_user(std::string name) {
+  return add_user(std::move(name), reference_);
+}
+
+UserId PolicyStore::add_user(std::string name, const rl::QTable& initial) {
+  if (initial.num_states() != reference_.num_states() ||
+      initial.num_actions() != reference_.num_actions()) {
+    throw std::invalid_argument("PolicyStore::add_user: table shape differs "
+                                "from the reference policy");
+  }
+  entries_.push_back(Entry{std::move(name), initial});
+  return static_cast<UserId>(entries_.size() - 1);
+}
+
+PolicyStore::Entry& PolicyStore::entry(UserId user) {
+  if (user >= entries_.size()) {
+    throw std::out_of_range("PolicyStore: unknown user id " +
+                            std::to_string(user));
+  }
+  return entries_[user];
+}
+
+const PolicyStore::Entry& PolicyStore::entry(UserId user) const {
+  return const_cast<PolicyStore*>(this)->entry(user);
+}
+
+const std::string& PolicyStore::user_name(UserId user) const {
+  return entry(user).name;
+}
+
+const rl::QTable& PolicyStore::q(UserId user) const { return entry(user).q; }
+
+std::uint64_t PolicyStore::version(UserId user) const {
+  return entry(user).version;
+}
+
+void PolicyStore::stage(UserId user, const rl::QTable& q) {
+  Entry& e = entry(user);
+  if (q.num_states() != e.q.num_states() ||
+      q.num_actions() != e.q.num_actions()) {
+    throw std::invalid_argument("PolicyStore::stage: table shape mismatch");
+  }
+  e.q = q;  // same shape: the vector assign reuses capacity, no allocation
+  ++e.version;
+  ++e.staged;
+  ++e.unflushed;
+  if (!params_.dir.empty() && e.unflushed >= params_.flush_every) {
+    write_snapshot(e);
+  }
+}
+
+void PolicyStore::flush(UserId user) {
+  Entry& e = entry(user);
+  if (params_.dir.empty() || e.unflushed == 0) return;
+  write_snapshot(e);
+}
+
+void PolicyStore::flush_all() {
+  for (UserId u = 0; u < entries_.size(); ++u) flush(u);
+}
+
+void PolicyStore::write_snapshot(Entry& e) {
+  const std::string path = params_.dir + "/" + e.name + ".policy";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("PolicyStore: cannot write " + tmp);
+    }
+    planning::save_policy_v2(out, steps_, tools_, e.q, e.version);
+    if (!out.flush()) {
+      throw std::runtime_error("PolicyStore: short write to " + tmp);
+    }
+  }
+  // Atomic publish: readers (and a crashed writer's next restart) only ever
+  // see a complete snapshot or the previous one, never a torn file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("PolicyStore: cannot rename " + tmp + " to " +
+                             path);
+  }
+  ++e.disk;
+  e.unflushed = 0;
+}
+
+std::optional<std::uint64_t> PolicyStore::restore(UserId user) {
+  Entry& e = entry(user);
+  if (params_.dir.empty()) return std::nullopt;
+  const std::string path = params_.dir + "/" + e.name + ".policy";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  rl::QTable staged(e.q.num_states(), e.q.num_actions());
+  const std::uint64_t version =
+      planning::load_policy_v2(in, steps_, tools_, staged);
+  e.q = staged;
+  e.version = version;
+  e.unflushed = 0;
+  return version;
+}
+
+std::uint64_t PolicyStore::staged_writes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.staged;
+  return total;
+}
+
+std::uint64_t PolicyStore::disk_writes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.disk;
+  return total;
+}
+
+std::string PolicyStore::path_for(UserId user) const {
+  if (params_.dir.empty()) return {};
+  return params_.dir + "/" + entry(user).name + ".policy";
+}
+
+}  // namespace coreda::serve

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "planning/learner.hpp"
+#include "rl/q_table.hpp"
+
+namespace coreda::serve {
+
+/// Index of a registered user in a PolicyStore / ServeEngine. Users are
+/// registered once at startup and addressed by index on the serving hot
+/// path — no string lookups per session.
+using UserId = std::uint32_t;
+
+struct PolicyStoreParams {
+  /// Snapshot directory. One "coreda-policy v2" file per user,
+  /// `<dir>/<user>.policy`, written atomically (temp file + rename).
+  /// Empty = memory-only store: versions and staging still work, nothing
+  /// ever touches disk (the pure-serving configuration the benches use).
+  std::string dir;
+  /// Wear-aware write batching, mirroring the node EEPROM model: a policy
+  /// write-back lands in the in-memory entry immediately, but only every
+  /// `flush_every`-th staged write per user is persisted to disk (plus
+  /// explicit flush() / flush_all() / destruction). A box serving 20
+  /// sessions/user/day with the default batching writes each user's file
+  /// ~2-3 times a day instead of 20 — the same k-fold wear reduction the
+  /// nodes' EEPROM ring buys their flash.
+  std::size_t flush_every = 8;
+};
+
+/// Per-user versioned policy snapshots for the serving tier.
+///
+/// The store is the source of truth between sessions: a SystemPool slot
+/// checks a user's table out (import_policy), serves, and stages the table
+/// back. Every stage bumps the user's version monotonically, so operators
+/// can tell a stale snapshot from a current one, and a warm restart
+/// (restore()) resumes from the last flushed version.
+///
+/// Thread-safety: add_user() and restore() are setup-phase only. stage()
+/// and the per-user readers may be called concurrently for *different*
+/// users (the ServeEngine shards disjoint users across slots); concurrent
+/// calls for the same user are the caller's bug. Aggregate counters
+/// (staged_writes, disk_writes) are sums over per-user counters and are
+/// meant to be read after a drain, not mid-flight.
+class PolicyStore {
+ public:
+  /// Captures the snapshot schema — step/tool vocabularies and table shape
+  /// — from `reference`, typically the offline-trained donor learner.
+  /// Every user entry starts as a copy of the reference table (version 1).
+  /// Creates `params.dir` when set and missing.
+  explicit PolicyStore(const planning::RoutineLearner& reference,
+                       PolicyStoreParams params = {});
+
+  /// Flushes every dirty entry (best effort — errors are swallowed, a
+  /// destructor cannot throw; call flush_all() first to observe failures).
+  ~PolicyStore();
+
+  PolicyStore(const PolicyStore&) = delete;
+  PolicyStore& operator=(const PolicyStore&) = delete;
+
+  /// Registers a user starting from the reference policy. Not callable
+  /// while sessions are being served (entry references would move).
+  UserId add_user(std::string name);
+  /// Registers a user with an explicit starting table (must match the
+  /// reference shape; throws std::invalid_argument otherwise).
+  UserId add_user(std::string name, const rl::QTable& initial);
+
+  std::size_t num_users() const noexcept { return entries_.size(); }
+  const std::string& user_name(UserId user) const;
+  /// The user's current table — what the next checkout will serve.
+  const rl::QTable& q(UserId user) const;
+  std::uint64_t version(UserId user) const;
+
+  /// Write-back: copies `q` into the user's entry and bumps its version.
+  /// Allocation-free at steady state (same-shape table copy); flushes to
+  /// disk only when the wear batch fills (see PolicyStoreParams).
+  void stage(UserId user, const rl::QTable& q);
+
+  /// Persists the user's entry now (no-op when memory-only). Throws
+  /// std::runtime_error when the file cannot be written.
+  void flush(UserId user);
+  void flush_all();
+
+  /// Warm restart: loads `<dir>/<name>.policy` into the entry and adopts
+  /// its version. Returns the version, or nullopt when the store is
+  /// memory-only or no snapshot exists yet. Throws std::runtime_error on a
+  /// corrupt/mismatched snapshot (entry unchanged).
+  std::optional<std::uint64_t> restore(UserId user);
+
+  /// Total stage() calls across users — the writes the policy tier *asked*
+  /// for...
+  std::uint64_t staged_writes() const noexcept;
+  /// ...and the snapshot files actually written — the wear the disk *saw*.
+  std::uint64_t disk_writes() const noexcept;
+
+  /// Snapshot path for a user; empty when memory-only.
+  std::string path_for(UserId user) const;
+
+  std::span<const adl::StepId> steps() const noexcept { return steps_; }
+  std::span<const adl::ToolId> tools() const noexcept { return tools_; }
+  const PolicyStoreParams& params() const noexcept { return params_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    rl::QTable q;
+    std::uint64_t version = 1;
+    std::uint64_t staged = 0;    ///< stage() calls on this entry
+    std::uint64_t disk = 0;      ///< snapshot files written for this entry
+    std::size_t unflushed = 0;   ///< stages since the last disk write
+  };
+
+  Entry& entry(UserId user);
+  const Entry& entry(UserId user) const;
+  void write_snapshot(Entry& e);
+
+  PolicyStoreParams params_;
+  std::vector<adl::StepId> steps_;
+  std::vector<adl::ToolId> tools_;
+  rl::QTable reference_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace coreda::serve

@@ -1,0 +1,77 @@
+// Pins the multi-tenant serving allocation contract: once the pool is
+// warm, a full serve — checkout, policy import (every serve is a swap
+// here), run_session_inplace, and the write-back into the PolicyStore —
+// touches the heap zero times. This is what PR 3's per-system guarantee
+// (tests/core/session_alloc_test.cpp) buys the serving tier: tenancy
+// churn adds Q-table copies, and same-shape QTable assignment must reuse
+// capacity rather than reallocate.
+//
+// alloc_counter.hpp replaces the global allocation functions of this whole
+// test binary; it must stay included in exactly one TU of test_serve.
+
+#include "util/alloc_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adl/library.hpp"
+#include "serve/system_pool.hpp"
+
+namespace coreda::serve {
+namespace {
+
+namespace T = adl::tools;
+
+TEST(ServeAllocTest, ServeWithPolicySwapIsAllocationFreeAtSteadyState) {
+  adl::AdlLibrary library;
+  const adl::Adl& tea = library.tea_making();
+  planning::RoutineLearner donor(tea, util::Rng(17));
+  const std::vector<adl::StepId> routine{T::kTeaBox, T::kElectricPot,
+                                         T::kKettle, T::kTeaCup};
+  for (int i = 0; i < 80; ++i) donor.train_episode(routine);
+
+  PolicyStore store(donor);  // memory-only: stage() must not allocate
+  SystemPoolParams params;
+  params.slots = 1;
+  params.seed = 99;
+  SystemPool pool(library, tea, store, params);
+  store.add_user("A");
+  store.add_user("B");
+
+  // Same scripted session as the core allocation test: a correct step, a
+  // freeze, and a wrong tool, with the minimal prompt always ignored so
+  // the escalation branch fires too.
+  patient::PatientProfile profile =
+      patient::PatientProfile::with_severity("U", 0.0);
+  profile.comply_minimal = 0.0;
+  profile.comply_specific = 1.0;
+  const std::function<void(patient::PatientActor&)> script =
+      [](patient::PatientActor& actor) {
+        using Kind = patient::PatientEvent::Kind;
+        actor.force_next_decision(Kind::kStartedStep);
+        actor.force_next_decision(Kind::kFroze);
+        actor.force_next_decision(Kind::kWrongTool, adl::tools::kTeaCup);
+      };
+
+  // Alternating tenants on one slot: the resident never matches, so every
+  // single serve takes the expensive path (import + write-back).
+  core::SessionResult result;
+  for (int i = 0; i < 16; ++i) {
+    pool.serve_session(static_cast<UserId>(i % 2), profile,
+                       sim::Duration::minutes(15.0), script, result);
+  }
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(pool.hits(), 0u);
+  ASSERT_EQ(pool.swaps(), 16u);
+
+  const std::uint64_t before = util::allocation_count();
+  for (int i = 0; i < 64; ++i) {
+    pool.serve_session(static_cast<UserId>(i % 2), profile,
+                       sim::Duration::minutes(15.0), script, result);
+  }
+  EXPECT_EQ(util::allocation_count() - before, 0u);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(pool.swaps(), 80u);
+}
+
+}  // namespace
+}  // namespace coreda::serve

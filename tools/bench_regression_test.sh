@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
-# Opt-in bench-regression gate: re-runs the fleet-throughput and
-# session-throughput benches at the baselines' job counts and compares the
-# fresh timing records against the committed BENCH_fleet.json /
-# BENCH_sessions.json via tools/check_bench_regression.py.
+# Opt-in bench-regression gate: re-runs the fleet-throughput,
+# session-throughput and serve-throughput benches at the baselines' job
+# counts and compares the fresh timing records against the committed
+# BENCH_fleet.json / BENCH_sessions.json / BENCH_serve.json via
+# tools/check_bench_regression.py.
 #
 # Wired as the ctest label `bench-regression` when the build is configured
 # with -DCOREDA_BENCH_REGRESSION=ON (see tests/CMakeLists.txt); never part
-# of the default tier-1 run because it depends on wall-clock. These two
+# of the default tier-1 run because it depends on wall-clock. These three
 # benches are the gates of choice: they finish in seconds per job count yet
-# cover the training and serving throughput numbers AND both
-# zero-allocation steady-state contracts.
+# cover the training, serving and multi-tenant throughput numbers AND every
+# zero-allocation steady-state contract.
 #
 # Usage: tools/bench_regression_test.sh [build-dir] [tolerance]
 set -euo pipefail
@@ -18,7 +19,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 TOLERANCE="${2:-0.40}"
 
-for bench in bench_fleet_throughput bench_session_throughput; do
+for bench in bench_fleet_throughput bench_session_throughput \
+             bench_serve_throughput; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build" \
          "$BUILD_DIR --target $bench)" >&2
@@ -44,5 +46,15 @@ for jobs in 1 2 4; do
   "$BUILD_DIR/bench/bench_session_throughput" --jobs="$jobs" \
     --timing-json="$FRESH" > /dev/null
 done
-exec python3 tools/check_bench_regression.py \
+python3 tools/check_bench_regression.py \
   --fresh "$FRESH" --baseline BENCH_sessions.json --tolerance "$TOLERANCE"
+
+FRESH="$BUILD_DIR/BENCH_serve.fresh.json"
+: > "$FRESH"
+"$BUILD_DIR/bench/bench_serve_throughput" --jobs=1 > /dev/null
+for jobs in 1 2 4; do
+  "$BUILD_DIR/bench/bench_serve_throughput" --jobs="$jobs" \
+    --timing-json="$FRESH" > /dev/null
+done
+exec python3 tools/check_bench_regression.py \
+  --fresh "$FRESH" --baseline BENCH_serve.json --tolerance "$TOLERANCE"

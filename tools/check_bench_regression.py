@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Compares fresh BENCH_*.json timing records against committed baselines.
 
-The committed BENCH_parallel.json / BENCH_fleet.json files double as
-performance baselines. This checker re-keys both files by
-(bench, jobs) and flags:
+The committed BENCH_parallel.json / BENCH_fleet.json / BENCH_sessions.json /
+BENCH_serve.json files double as performance baselines. This checker re-keys
+both files by (bench, jobs) and flags:
 
   * missing records — a bench/jobs combination present in the baseline but
     absent from the fresh run;
@@ -15,7 +15,12 @@ performance baselines. This checker re-keys both files by
     not jitter);
   * allocation regressions — steady_state_allocs_per_episode and
     steady_state_allocs_per_session must never exceed the baseline (the
-    zero-allocation contract is exact, not noisy).
+    zero-allocation contract is exact, not noisy);
+  * determinism regressions — pool_hit_rate (the serve bench's hit/swap
+    split) is a pure function of the workload shape, independent of
+    hardware and job count, and must never decrease: a drop means the
+    slot-sharding or residency logic changed behaviour, not that the
+    machine was slow.
 
 Hardware mismatches (different hardware_concurrency) downgrade throughput
 findings to warnings: comparing wall-clock across machine shapes is
@@ -112,6 +117,16 @@ def main():
                     f"{bench} (jobs={jobs}): {metric} {got.get(metric)} > "
                     f"baseline {base[metric]} — the zero-allocation "
                     f"contract broke")
+
+        # Exact, hardware-independent: the serve bench's hit/swap split is
+        # determined entirely by the workload shape.
+        if "pool_hit_rate" in base and (got.get("pool_hit_rate", 0.0)
+                                        < base["pool_hit_rate"]):
+            failures.append(
+                f"{bench} (jobs={jobs}): pool_hit_rate "
+                f"{got.get('pool_hit_rate')} < baseline "
+                f"{base['pool_hit_rate']} — residency/sharding behaviour "
+                f"changed")
 
     for message in warnings:
         print(f"warning: {message}")

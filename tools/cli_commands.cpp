@@ -27,6 +27,12 @@ commands:
                               train a planner, save the policy snapshot
   prompt    --adl=<name> --policy=<file> [--prev=<uid>] [--cur=<uid>]
                               next-step prompt from a saved policy
+  policy save    --adl=<name> --out=<file> [--episodes=120] [--seed=42]
+                 [--format=v2|v1] [--version=1]
+                              train and save a policy snapshot
+  policy load    --adl=<name> --in=<file>
+                              load a snapshot (v1 or v2), report accuracy
+  policy inspect --in=<file>  decode a snapshot header without loading it
   scenario                     replay the paper's Figure 1 timeline
   report    [--days=7] [--seed=42]
                               multi-day caregiver summary
@@ -173,6 +179,132 @@ int cmd_prompt(const util::Flags& flags, std::ostream& out,
   return 0;
 }
 
+int cmd_policy_save(const util::Flags& flags, std::ostream& out,
+                    std::ostream& err) {
+  const std::string adl_name = flags.get("adl");
+  const std::string out_path = flags.get("out");
+  if (adl_name.empty() || out_path.empty()) {
+    err << "policy save: --adl=<name> and --out=<file> are required\n";
+    return 1;
+  }
+  const std::string format = flags.get("format", "v2");
+  if (format != "v1" && format != "v2") {
+    err << "policy save: --format must be v1 or v2\n";
+    return 1;
+  }
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.by_name(adl_name);
+  const auto episodes = flags.get_int("episodes", 120);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  planning::RoutineLearner learner(adl, util::Rng(seed));
+  trace::DatasetBuilder datasets(
+      library, patient::PatientProfile::with_severity("Trainer", 0.0),
+      seed + 1);
+  for (const auto& ep : datasets.sensed_training_set(
+           adl, static_cast<std::size_t>(episodes))) {
+    learner.train_episode(ep);
+  }
+
+  std::ofstream file(out_path, std::ios::binary);
+  if (!file) {
+    err << "policy save: cannot write '" << out_path << "'\n";
+    return 2;
+  }
+  if (format == "v1") {
+    planning::save_policy(file, learner);
+  } else {
+    planning::save_policy_v2(
+        file, learner,
+        static_cast<std::uint64_t>(flags.get_int("version", 1)));
+  }
+  out << "Trained " << adl.name() << " on " << episodes
+      << " sensed episodes (policy accuracy "
+      << util::format_percent(learner.greedy_accuracy()) << "); saved "
+      << format << " snapshot to " << out_path << '\n';
+  return 0;
+}
+
+int cmd_policy_load(const util::Flags& flags, std::ostream& out,
+                    std::ostream& err) {
+  const std::string adl_name = flags.get("adl");
+  const std::string in_path = flags.get("in");
+  if (adl_name.empty() || in_path.empty()) {
+    err << "policy load: --adl=<name> and --in=<file> are required\n";
+    return 1;
+  }
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.by_name(adl_name);
+  std::ifstream file(in_path, std::ios::binary);
+  if (!file) {
+    err << "policy load: cannot read '" << in_path << "'\n";
+    return 2;
+  }
+  const planning::PolicyFormat format = planning::detect_policy_format(file);
+  planning::RoutineLearner learner(adl, util::Rng(1));
+  const std::uint64_t version = planning::load_policy_any(file, learner);
+  out << "Loaded " << (format == planning::PolicyFormat::kTextV1
+                           ? "v1 (text)"
+                           : "v2 (binary)")
+      << " snapshot";
+  if (format == planning::PolicyFormat::kBinaryV2) {
+    out << ", user version " << version;
+  }
+  out << ": " << adl.name() << ", " << learner.q().num_states()
+      << " states x " << learner.q().num_actions()
+      << " actions, greedy accuracy "
+      << util::format_percent(learner.greedy_accuracy()) << '\n';
+  return 0;
+}
+
+int cmd_policy_inspect(const util::Flags& flags, std::ostream& out,
+                       std::ostream& err) {
+  const std::string in_path = flags.get("in");
+  if (in_path.empty()) {
+    err << "policy inspect: --in=<file> is required\n";
+    return 1;
+  }
+  std::ifstream file(in_path, std::ios::binary);
+  if (!file) {
+    err << "policy inspect: cannot read '" << in_path << "'\n";
+    return 2;
+  }
+  switch (planning::detect_policy_format(file)) {
+    case planning::PolicyFormat::kTextV1:
+      out << "format: coreda-policy v1 (text)\n"
+          << "checksum: none (v1 has no integrity trailer)\n";
+      return 0;
+    case planning::PolicyFormat::kBinaryV2: {
+      const planning::PolicyV2Info info = planning::inspect_policy_v2(file);
+      out << "format: coreda-policy v2 (binary)\n"
+          << "user version: " << info.version << '\n'
+          << "q-table: " << info.num_states << " states x "
+          << info.num_actions << " actions\n"
+          << "vocabulary: " << info.steps.size() << " steps, "
+          << info.tools.size() << " tools\n"
+          << "checksum: " << (info.checksum_ok ? "ok" : "MISMATCH") << '\n';
+      return info.checksum_ok ? 0 : 2;
+    }
+    case planning::PolicyFormat::kUnknown:
+      break;
+  }
+  err << "policy inspect: '" << in_path
+      << "' is not a coreda policy snapshot\n";
+  return 2;
+}
+
+int cmd_policy(const util::Flags& flags, std::ostream& out,
+               std::ostream& err) {
+  const std::string sub =
+      flags.positional().empty() ? "" : flags.positional().front();
+  if (sub == "save") return cmd_policy_save(flags, out, err);
+  if (sub == "load") return cmd_policy_load(flags, out, err);
+  if (sub == "inspect") return cmd_policy_inspect(flags, out, err);
+  err << "policy: expected a subcommand save|load|inspect (try 'coreda "
+         "help')\n";
+  return 1;
+}
+
 int cmd_scenario(std::ostream& out) {
   adl::AdlLibrary library;
   core::ScenarioPlayer player(library);
@@ -266,6 +398,7 @@ int run_command(const util::Flags& flags, std::ostream& out,
     if (command == "simulate") return cmd_simulate(flags, out, err);
     if (command == "train") return cmd_train(flags, out, err);
     if (command == "prompt") return cmd_prompt(flags, out, err);
+    if (command == "policy") return cmd_policy(flags, out, err);
     if (command == "scenario") return cmd_scenario(out);
     if (command == "report") return cmd_report(flags, out);
     if (command == "home") return cmd_home(flags, out);

@@ -13,6 +13,8 @@ namespace coreda::cli {
 ///   simulate   closed-loop assisted sessions and a summary
 ///   train      train a planner and save the policy snapshot
 ///   prompt     query a saved policy for the next-step prompt
+///   policy     snapshot management: save / load / inspect (v1 text and
+///              v2 binary formats; inspect decodes without a learner)
 ///   scenario   replay the paper's Figure 1 timeline
 ///   report     the multi-day caregiver summary
 ///   list       the deployment catalog (ADLs, tools, node uids)

@@ -12,7 +12,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DCOREDA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target test_exec test_sim test_trace \
-  bench_fleet_throughput bench_session_throughput
+  bench_fleet_throughput bench_session_throughput bench_serve_throughput
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_exec
@@ -31,6 +31,13 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # TSan proves no system state leaks between concurrent trials.
 "$BUILD_DIR"/bench/bench_session_throughput --users=8 --sessions=5 --jobs=4 \
   > /dev/null
+# The serve bench adds the multi-tenant edges on top: pool workers write
+# back Q-tables into a shared PolicyStore and bump shared-looking counters.
+# Correctness rests on disjoint ownership (each user belongs to exactly one
+# statically-sharded slot, each slot to exactly one trial); TSan proves the
+# partition really is disjoint — no locks anywhere on the serve path.
+"$BUILD_DIR"/bench/bench_serve_throughput --users=16 --slots=4 --sessions=5 \
+  --jobs=4 > /dev/null
 
-echo "TSan: all exec/sim/trace-parallel tests and the fleet/session" \
-     "benches passed."
+echo "TSan: all exec/sim/trace-parallel tests and the" \
+     "fleet/session/serve benches passed."
