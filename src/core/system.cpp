@@ -103,8 +103,8 @@ void CoredaSystem::run_session_inplace(
   result.observed_steps.clear();
   // Step counts vary session to session; pre-size past the worst realistic
   // session once so recording steps never reallocates a warm result buffer.
-  if (result.observed_steps.capacity() < 256) {
-    result.observed_steps.reserve(256);
+  if (result.observed_steps.capacity() < kMaxSessionSteps) {
+    result.observed_steps.reserve(kMaxSessionSteps);
   }
 
   result_ = &result;

@@ -44,6 +44,13 @@ struct SystemConfig {
   bool escalate_reprompts = true;
 };
 
+/// Provisioning bound on recorded steps per session: run_session_inplace
+/// pre-sizes SessionResult::observed_steps to this capacity so a warm
+/// session records allocation-free, and the serving tier's per-user
+/// transcript rings size their fixed slots to the same bound — a transcript
+/// that fits a session result always fits its ring slot.
+inline constexpr std::size_t kMaxSessionSteps = 256;
+
 /// Outcome of one closed-loop session (one attempt at one ADL).
 struct SessionResult {
   bool completed = false;

@@ -117,6 +117,12 @@ void RoutineLearner::import_q(const rl::QTable& q) {
   }
 }
 
+void RoutineLearner::begin_retraining(const rl::QTable& q, util::Rng rng) {
+  import_q(q);
+  rng_ = rng;
+  policy_.reset_epsilon(config_.epsilon);
+}
+
 std::optional<PlannedPrompt> RoutineLearner::predict(
     PlannerState state) const {
   const auto s = states_.encode(state);

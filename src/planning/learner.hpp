@@ -103,6 +103,16 @@ class RoutineLearner {
   /// Throws std::invalid_argument on a dimension mismatch.
   void import_q(const rl::QTable& q);
 
+  /// Re-arms the learner for a fresh training run over an adopted table:
+  /// imports `q`, replaces the exploration RNG, and restarts the ε decay
+  /// schedule from the configured initial value. The retrain outcome is a
+  /// pure function of (`q`, `rng`, the episodes trained next), independent
+  /// of whatever this learner trained before — which is what lets the
+  /// serving tier's retrain lanes reuse one warm learner per lane across
+  /// users and stay deterministic at any job count. Allocation-free (same
+  /// shape, same codecs; only values and RNG state change).
+  void begin_retraining(const rl::QTable& q, util::Rng rng);
+
   double epsilon() const noexcept { return policy_.epsilon(); }
   std::size_t episodes_trained() const noexcept { return episodes_; }
   std::uint64_t skipped_steps() const noexcept { return skipped_; }

@@ -34,6 +34,17 @@ void EpsilonGreedyPolicy::decay_epsilon() noexcept {
   epsilon_ = std::max(min_epsilon_, epsilon_ * decay_);
 }
 
+void EpsilonGreedyPolicy::reset_epsilon(double epsilon) {
+  if (epsilon < 0.0 || epsilon > 1.0) {
+    throw std::invalid_argument("EpsilonGreedyPolicy: epsilon not in [0,1]");
+  }
+  if (min_epsilon_ > epsilon) {
+    throw std::invalid_argument(
+        "EpsilonGreedyPolicy: epsilon below configured min_epsilon");
+  }
+  epsilon_ = epsilon;
+}
+
 SoftmaxPolicy::SoftmaxPolicy(double temperature) : temperature_(temperature) {
   if (temperature <= 0.0) {
     throw std::invalid_argument("SoftmaxPolicy: temperature must be > 0");

@@ -33,6 +33,11 @@ class EpsilonGreedyPolicy final : public Policy {
   /// Applies one decay step (call between episodes).
   void decay_epsilon() noexcept;
 
+  /// Restarts the decay schedule from `epsilon` (same validation as the
+  /// constructor). Lets a long-lived learner begin a fresh training run —
+  /// the serving tier's retrain lanes — without rebuilding the policy.
+  void reset_epsilon(double epsilon);
+
   double epsilon() const noexcept { return epsilon_; }
 
  private:

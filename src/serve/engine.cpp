@@ -18,7 +18,9 @@ ServeEngine::ServeEngine(const adl::AdlLibrary& library, const adl::Adl& adl,
                          PolicyStore& store, ServeEngineParams params)
     : params_(params),
       store_(&store),
-      pool_(library, adl, store, params.pool) {}
+      pool_(library, adl, store, params.pool),
+      retrainer_(adl, store, params.pool.system.learner, pool_.slots(),
+                 params.retrain) {}
 
 UserId ServeEngine::add_user(std::string name,
                              patient::PatientProfile profile) {
@@ -34,6 +36,7 @@ UserId ServeEngine::add_user(std::string name,
   }
   profiles_.push_back(std::move(profile));
   stats_.emplace_back();
+  retrainer_.add_user();
   return user;
 }
 
@@ -63,6 +66,13 @@ const ServeUserStats& ServeEngine::user_stats(UserId user) const {
 void ServeEngine::serve_one(UserId user, core::SessionResult& result) {
   pool_.serve_session(user, profiles_[user], params_.session_cap, {},
                       result);
+  // Completed sessions feed the user's transcript ring — what the user
+  // actually did is the ground truth a retrain replays. Recorded even with
+  // retraining disabled (it is allocation-free) so flipping the switch on a
+  // live engine starts from warm rings.
+  if (result.completed) {
+    retrainer_.record(user, result.observed_steps);
+  }
   ServeUserStats& s = stats_[user];
   const auto prompts = static_cast<double>(result.prompts_total);
   // Seed the EWMA with the first observation instead of decaying up from
@@ -77,8 +87,24 @@ void ServeEngine::serve_one(UserId user, core::SessionResult& result) {
   s.checksum += session_checksum(result);
   if (s.sessions >= params_.drift.warmup_sessions &&
       s.prompt_ewma >= params_.drift.threshold) {
-    s.needs_retraining = true;  // sticky until a retrain clears it
+    s.needs_retraining = true;  // sticky until a retrain recovers the EWMA
   }
+  // Redeploy verified: the post-retrain policy pulled the EWMA back under
+  // the threshold, so the loop for this drift episode is closed.
+  if (s.awaiting_recovery && s.prompt_ewma < params_.drift.threshold) {
+    s.needs_retraining = false;
+    s.awaiting_recovery = false;
+  }
+}
+
+bool ServeEngine::retrain_due(UserId user) const {
+  const ServeUserStats& s = stats_[user];
+  if (!s.needs_retraining) return false;
+  if (!retrainer_.has_enough_transcripts(user)) return false;
+  // After a retrain the refreshed policy gets cooldown_sessions of serving
+  // to move the EWMA before another job may queue for the same user.
+  return s.retrains == 0 || s.sessions - s.last_retrain_session >=
+                                params_.retrain.cooldown_sessions;
 }
 
 ServeReport ServeEngine::drain(exec::TrialRunner& runner) {
@@ -102,6 +128,27 @@ ServeReport ServeEngine::drain(exec::TrialRunner& runner) {
                return 0;  // results land in stats_ (disjoint per slot)
              });
 
+  // Close the loop: queue a retrain for every drift-flagged user whose ring
+  // is deep enough, fan the jobs across the same runner, and invalidate the
+  // retrained users' slot residency so their next session serves the
+  // refreshed table. Users are scanned in id order — the queue (and hence
+  // the drain) is a pure function of engine state, never of worker timing.
+  std::size_t retrained_now = 0;
+  if (params_.retrain.enabled) {
+    for (UserId user = 0; user < stats_.size(); ++user) {
+      if (retrain_due(user)) retrainer_.enqueue(user);
+    }
+    const std::span<const UserId> retrained = retrainer_.drain(runner);
+    retrained_now = retrained.size();
+    for (const UserId user : retrained) {
+      pool_.invalidate(user);
+      ServeUserStats& s = stats_[user];
+      ++s.retrains;
+      s.awaiting_recovery = true;
+      s.last_retrain_session = s.sessions;
+    }
+  }
+
   ServeReport report;
   report.users = stats_;
   for (const ServeUserStats& s : stats_) {
@@ -115,6 +162,8 @@ ServeReport ServeEngine::drain(exec::TrialRunner& runner) {
   report.policy_swaps = pool_.swaps();
   report.staged_writes = store_->staged_writes();
   report.disk_writes = store_->disk_writes();
+  report.retrained_this_drain = retrained_now;
+  report.retrain = retrainer_.counters();
   return report;
 }
 

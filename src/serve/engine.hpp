@@ -6,18 +6,20 @@
 
 #include "exec/trial_runner.hpp"
 #include "patient/profile.hpp"
+#include "serve/retrain_scheduler.hpp"
 #include "serve/system_pool.hpp"
 
 namespace coreda::serve {
 
-/// Prompt-rate drift detection (ROADMAP "drift re-learning", first step).
+/// Prompt-rate drift detection (ROADMAP "drift re-learning").
 ///
 /// A converged policy prompts rarely; a routine that drifted away from the
 /// trained one makes the planner prompt at the wrong moments and the
 /// re-prompt escalation kicks in — prompts per session spike. The engine
 /// tracks an EWMA of prompts-per-session per user and marks the user
-/// `needs_retraining` once it crosses the threshold. Detection only: the
-/// retraining scheduler is future work.
+/// `needs_retraining` once it crosses the threshold. With retraining
+/// enabled (RetrainParams::enabled) the flag feeds the RetrainScheduler and
+/// clears once the post-retrain EWMA drops back below the threshold.
 struct DriftConfig {
   /// EWMA weight of the newest session (ewma += alpha * (x - ewma); the
   /// first session seeds the average).
@@ -32,6 +34,9 @@ struct DriftConfig {
 struct ServeEngineParams {
   SystemPoolParams pool{};
   DriftConfig drift{};
+  /// The detect->retrain->redeploy loop (off by default; transcripts are
+  /// recorded either way so enabling it later starts warm).
+  RetrainParams retrain{};
   /// Wall-clock cap per session (virtual time).
   sim::Duration session_cap = sim::Duration::minutes(15.0);
 };
@@ -44,6 +49,14 @@ struct ServeUserStats {
   std::uint64_t prompts = 0;
   double prompt_ewma = 0.0;
   bool needs_retraining = false;
+  /// Retrained, EWMA not yet back under the threshold. While set, the
+  /// needs_retraining flag stays up but no further retrain is enqueued
+  /// (beyond the cooldown) — the refreshed policy gets its chance first.
+  bool awaiting_recovery = false;
+  /// Retrain jobs executed for this user.
+  std::uint64_t retrains = 0;
+  /// sessions count when the last retrain ran (cooldown anchor).
+  std::uint64_t last_retrain_session = 0;
   /// Order-independent digest of this user's session outcomes (steps,
   /// prompts) — the cross---jobs determinism witness.
   std::uint64_t checksum = 0;
@@ -59,6 +72,8 @@ struct ServeReport {
   std::uint64_t staged_writes = 0;
   std::uint64_t disk_writes = 0;
   std::size_t flagged_users = 0;  ///< users currently marked needs_retraining
+  std::size_t retrained_this_drain = 0;  ///< retrain jobs this drain ran
+  RetrainCounters retrain;               ///< cumulative scheduler counters
   std::vector<ServeUserStats> users;
 };
 
@@ -85,13 +100,17 @@ class ServeEngine {
   void enqueue(UserId user, std::size_t sessions = 1);
   std::size_t queued() const noexcept;
 
-  /// Serves every queued request and returns the cumulative report.
-  /// Deterministic for a given engine configuration and enqueue history at
-  /// any runner job count.
+  /// Serves every queued request, then — with retraining enabled — closes
+  /// the loop: drift-flagged users with enough transcripts are retrained on
+  /// the exec pool and their refreshed tables staged back through the
+  /// store (their slot residency invalidated so the next session serves the
+  /// new version). Returns the cumulative report. Deterministic for a given
+  /// engine configuration and enqueue history at any runner job count.
   ServeReport drain(exec::TrialRunner& runner);
 
   const SystemPool& pool() const noexcept { return pool_; }
   const PolicyStore& store() const noexcept { return *store_; }
+  const RetrainScheduler& retrainer() const noexcept { return retrainer_; }
   const ServeUserStats& user_stats(UserId user) const;
   const ServeEngineParams& params() const noexcept { return params_; }
 
@@ -102,10 +121,13 @@ class ServeEngine {
   };
 
   void serve_one(UserId user, core::SessionResult& result);
+  /// Whether the user should be queued for retraining this drain.
+  bool retrain_due(UserId user) const;
 
   ServeEngineParams params_;
   PolicyStore* store_;
   SystemPool pool_;
+  RetrainScheduler retrainer_;
   std::vector<patient::PatientProfile> profiles_;  // by UserId
   std::vector<ServeUserStats> stats_;              // by UserId
   std::vector<Request> queue_;

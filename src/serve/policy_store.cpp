@@ -106,6 +106,7 @@ void PolicyStore::write_snapshot(Entry& e) {
       throw std::runtime_error("PolicyStore: short write to " + tmp);
     }
   }
+  if (pre_publish_hook_) pre_publish_hook_(tmp);
   // Atomic publish: readers (and a crashed writer's next restart) only ever
   // see a complete snapshot or the previous one, never a torn file.
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {

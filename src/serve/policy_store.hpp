@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -100,6 +101,16 @@ class PolicyStore {
   /// Snapshot path for a user; empty when memory-only.
   std::string path_for(UserId user) const;
 
+  /// Fault-injection seam for the crash tests: invoked with the temp-file
+  /// path after the snapshot body is fully written but *before* the rename
+  /// publishes it. A hook that throws simulates a crash in the
+  /// write-then-publish window — the temp file is left behind, the
+  /// committed snapshot (if any) is untouched, and the entry still counts
+  /// as unflushed so a later flush retries. Never set in production.
+  void set_pre_publish_hook(std::function<void(const std::string&)> hook) {
+    pre_publish_hook_ = std::move(hook);
+  }
+
   std::span<const adl::StepId> steps() const noexcept { return steps_; }
   std::span<const adl::ToolId> tools() const noexcept { return tools_; }
   const PolicyStoreParams& params() const noexcept { return params_; }
@@ -123,6 +134,7 @@ class PolicyStore {
   std::vector<adl::ToolId> tools_;
   rl::QTable reference_;
   std::vector<Entry> entries_;
+  std::function<void(const std::string&)> pre_publish_hook_;
 };
 
 }  // namespace coreda::serve

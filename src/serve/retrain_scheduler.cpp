@@ -1,0 +1,146 @@
+#include "serve/retrain_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coreda::serve {
+
+RetrainScheduler::RetrainScheduler(const adl::Adl& adl, PolicyStore& store,
+                                   planning::LearnerConfig learner_config,
+                                   std::size_t lanes, RetrainParams params)
+    : params_(params), store_(&store) {
+  if (lanes == 0) {
+    throw std::invalid_argument("RetrainScheduler: lanes must be >= 1");
+  }
+  if (params_.ring_capacity == 0 || params_.max_transcript_steps == 0) {
+    throw std::invalid_argument(
+        "RetrainScheduler: ring_capacity and max_transcript_steps must be "
+        ">= 1");
+  }
+  if (params_.min_transcripts == 0 || params_.replay_passes == 0) {
+    throw std::invalid_argument(
+        "RetrainScheduler: min_transcripts and replay_passes must be >= 1");
+  }
+  lane_queues_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    Lane lane;
+    // One warm learner per lane, rebuilt for every job via
+    // begin_retraining; the placeholder seed never trains anything.
+    lane.learner = std::make_unique<planning::RoutineLearner>(
+        adl, util::Rng(0), learner_config);
+    lane_queues_.push_back(std::move(lane));
+  }
+}
+
+void RetrainScheduler::add_user() {
+  Ring ring;
+  ring.data.resize(params_.ring_capacity * params_.max_transcript_steps);
+  ring.lengths.resize(params_.ring_capacity, 0);
+  rings_.push_back(std::move(ring));
+  // Worst case every user queues one job on the same lane: reserving the
+  // user count keeps enqueue() allocation-free from here on.
+  for (Lane& lane : lane_queues_) lane.queue.reserve(rings_.size());
+  retrained_.reserve(rings_.size());
+}
+
+RetrainScheduler::Ring& RetrainScheduler::ring(UserId user) {
+  if (user >= rings_.size()) {
+    throw std::out_of_range("RetrainScheduler: unknown user id " +
+                            std::to_string(user));
+  }
+  return rings_[user];
+}
+
+const RetrainScheduler::Ring& RetrainScheduler::ring(UserId user) const {
+  return const_cast<RetrainScheduler*>(this)->ring(user);
+}
+
+void RetrainScheduler::record(UserId user,
+                              std::span<const adl::StepId> steps) {
+  Ring& r = ring(user);
+  const std::size_t len =
+      std::min(steps.size(), params_.max_transcript_steps);
+  adl::StepId* slot = r.data.data() + r.head * params_.max_transcript_steps;
+  std::copy_n(steps.data(), len, slot);
+  r.lengths[r.head] = static_cast<std::uint32_t>(len);
+  r.head = (r.head + 1) % params_.ring_capacity;
+  r.count = std::min(r.count + 1, params_.ring_capacity);
+}
+
+std::size_t RetrainScheduler::transcripts(UserId user) const {
+  return ring(user).count;
+}
+
+std::span<const adl::StepId> RetrainScheduler::transcript(
+    UserId user, std::size_t i) const {
+  const Ring& r = ring(user);
+  if (i >= r.count) {
+    throw std::out_of_range("RetrainScheduler: transcript index " +
+                            std::to_string(i) + " out of range");
+  }
+  const std::size_t cap = params_.ring_capacity;
+  const std::size_t slot = (r.head + cap - r.count + i) % cap;
+  return {r.data.data() + slot * params_.max_transcript_steps,
+          r.lengths[slot]};
+}
+
+void RetrainScheduler::enqueue(UserId user) {
+  (void)ring(user);  // validate the id
+  lane_queues_[lane_for(user)].queue.push_back(user);
+}
+
+std::size_t RetrainScheduler::queued() const noexcept {
+  std::size_t total = 0;
+  for (const Lane& lane : lane_queues_) total += lane.queue.size();
+  return total;
+}
+
+std::size_t RetrainScheduler::retrain_user(UserId user) {
+  const Ring& r = ring(user);
+  planning::RoutineLearner& learner = *lane_queues_[lane_for(user)].learner;
+  // The retrain stream is keyed by the user, not the trial: the outcome
+  // cannot depend on which lane (or how many) the job shares a drain with.
+  learner.begin_retraining(store_->q(user),
+                           util::Rng(exec::trial_seed(params_.seed, user)));
+  std::size_t episodes = 0;
+  for (std::size_t pass = 0; pass < params_.replay_passes; ++pass) {
+    for (std::size_t i = 0; i < r.count; ++i) {
+      learner.train_episode(transcript(user, i));
+      ++episodes;
+    }
+  }
+  // Stage the refreshed table back: a new version for the store, flushed to
+  // disk on the same wear batch as any serve-path write-back.
+  store_->stage(user, learner.q());
+  return episodes;
+}
+
+std::span<const UserId> RetrainScheduler::drain(exec::TrialRunner& runner) {
+  retrained_.clear();
+  if (queued() == 0) return retrained_;
+
+  // One trial per lane, like the engine's serve drain: a lane's jobs run
+  // serially in enqueue order on whichever worker takes the trial. Jobs of
+  // one lane share that lane's learner; jobs of different lanes touch
+  // disjoint learners, rings and store entries.
+  std::vector<std::size_t> lane_episodes(lane_queues_.size(), 0);
+  runner.run(lane_queues_.size(), /*base_seed=*/0,
+             [&](exec::TrialContext& ctx) -> char {
+               for (const UserId user : lane_queues_[ctx.index].queue) {
+                 lane_episodes[ctx.index] += retrain_user(user);
+               }
+               return 0;
+             });
+
+  for (std::size_t lane = 0; lane < lane_queues_.size(); ++lane) {
+    for (const UserId user : lane_queues_[lane].queue) {
+      retrained_.push_back(user);
+      ++counters_.jobs;
+    }
+    counters_.episodes += lane_episodes[lane];
+    lane_queues_[lane].queue.clear();
+  }
+  return retrained_;
+}
+
+}  // namespace coreda::serve

@@ -46,6 +46,14 @@ void SystemPool::serve_session(
   ++slot.sessions;
 }
 
+void SystemPool::invalidate(UserId user) {
+  Slot& slot = slots_[slot_for(user)];
+  if (slot.resident == user) {
+    slot.resident = kNoUser;
+    ++invalidations_;
+  }
+}
+
 std::uint64_t SystemPool::hits() const noexcept {
   std::uint64_t total = 0;
   for (const Slot& s : slots_) total += s.hits;

@@ -64,6 +64,15 @@ class SystemPool {
       const std::function<void(patient::PatientActor&)>& setup,
       core::SessionResult& result);
 
+  /// Drops the user's slot residency so their next session re-imports from
+  /// the store. The retraining scheduler calls this after staging a
+  /// refreshed table: residency means "the slot's learner already holds the
+  /// user's latest table", which a retrain makes false without the slot
+  /// ever seeing the new version. No-op when the user is not resident.
+  void invalidate(UserId user);
+  /// invalidate() calls that actually dropped a residency.
+  std::uint64_t invalidations() const noexcept { return invalidations_; }
+
   /// Sessions whose user was already resident on their slot (no import).
   std::uint64_t hits() const noexcept;
   /// Sessions that had to import the user's policy from the store.
@@ -85,6 +94,7 @@ class SystemPool {
 
   PolicyStore* store_;
   std::vector<Slot> slots_;
+  std::uint64_t invalidations_ = 0;
 };
 
 }  // namespace coreda::serve

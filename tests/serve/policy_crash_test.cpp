@@ -1,0 +1,150 @@
+// Crash injection for the snapshot flush path. The PolicyStore publishes
+// atomically (write <path>.tmp, then rename), so the window that matters is
+// between the completed temp write and the rename. The pre-publish hook
+// throws right there, simulating a crash with a fully written temp file on
+// disk:
+//
+//   * the committed snapshot is untouched — a reader (warm restart) still
+//     loads the previous version;
+//   * the entry still counts as unflushed, so the next flush retries and
+//     publishes cleanly once the "crash" stops;
+//   * a leftover garbage .tmp from a dead writer is simply overwritten by
+//     the next flush, never read;
+//   * the destructor's best-effort flush survives a throwing hook.
+
+#include "serve/policy_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "adl/library.hpp"
+#include "planning/serialize.hpp"
+
+namespace coreda::serve {
+namespace {
+
+namespace T = adl::tools;
+namespace fs = std::filesystem;
+
+struct PolicyCrashFixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  planning::RoutineLearner trained(std::uint64_t seed = 5) {
+    planning::RoutineLearner learner(library.tea_making(), util::Rng(seed));
+    const std::vector<adl::StepId> steps{T::kTeaBox, T::kElectricPot,
+                                         T::kKettle, T::kTeaCup};
+    for (int i = 0; i < 80; ++i) learner.train_episode(steps);
+    return learner;
+  }
+
+  std::string fresh_dir(const char* name) {
+    const std::string dir = ::testing::TempDir() + "/coreda_crash_" + name;
+    fs::remove_all(dir);
+    return dir;
+  }
+
+  std::uint64_t committed_version(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    const planning::PolicyV2Info info = planning::inspect_policy_v2(in);
+    EXPECT_TRUE(info.checksum_ok);
+    return info.version;
+  }
+};
+
+TEST_F(PolicyCrashFixture, CrashBeforeRenameKeepsCommittedSnapshotReadable) {
+  planning::RoutineLearner donor = trained();
+  const std::string dir = fresh_dir("window");
+  PolicyStoreParams params;
+  params.dir = dir;
+  params.flush_every = 1;
+  PolicyStore store(donor, params);
+  const UserId u = store.add_user("tanaka");
+
+  store.stage(u, donor.q());  // clean flush: version 2 committed
+  const std::string path = store.path_for(u);
+  ASSERT_EQ(committed_version(path), 2u);
+
+  // Arm the crash: the next flush dies after the temp file is fully
+  // written, before the rename publishes it.
+  store.set_pre_publish_hook([](const std::string&) {
+    throw std::runtime_error("injected crash before rename");
+  });
+  EXPECT_THROW(store.stage(u, donor.q()), std::runtime_error);
+  EXPECT_EQ(store.version(u), 3u);  // the in-memory entry did advance
+
+  // The temp file is the crash debris; the committed file is still the
+  // previous, complete snapshot.
+  EXPECT_TRUE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(committed_version(path), 2u);
+
+  // A reader restarting against the same directory sees version 2 — never
+  // the torn write.
+  {
+    PolicyStoreParams reader_params;
+    reader_params.dir = dir;
+    PolicyStore reader(donor, reader_params);
+    const UserId r = reader.add_user("tanaka");
+    EXPECT_EQ(reader.restore(r), std::optional<std::uint64_t>{2});
+  }
+
+  // Crash over: the entry is still dirty, so an explicit flush retries,
+  // publishes version 3 and clears the debris path by overwriting it.
+  store.set_pre_publish_hook(nullptr);
+  store.flush(u);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(committed_version(path), 3u);
+  EXPECT_EQ(store.disk_writes(), 2u);  // the crashed attempt cost no wear
+}
+
+TEST_F(PolicyCrashFixture, LeftoverGarbageTempFileIsNeverReadAndGetsReplaced) {
+  planning::RoutineLearner donor = trained();
+  const std::string dir = fresh_dir("debris");
+  PolicyStoreParams params;
+  params.dir = dir;
+  params.flush_every = 1;
+  PolicyStore store(donor, params);
+  const UserId u = store.add_user("tanaka");
+  const std::string path = store.path_for(u);
+
+  // A previous writer died mid-write: garbage under the temp name, no
+  // committed snapshot at all.
+  fs::create_directories(dir);
+  {
+    std::ofstream out(path + ".tmp", std::ios::binary);
+    out << "half a snapshot, then the power went";
+  }
+  // restore() reads only the committed path — debris is invisible.
+  EXPECT_EQ(store.restore(u), std::nullopt);
+
+  // The next flush truncates the debris and publishes a valid snapshot.
+  store.stage(u, donor.q());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(committed_version(path), 2u);
+  EXPECT_EQ(store.restore(u), std::optional<std::uint64_t>{2});
+}
+
+TEST_F(PolicyCrashFixture, DestructorFlushSwallowsInjectedCrash) {
+  planning::RoutineLearner donor = trained();
+  const std::string dir = fresh_dir("dtor");
+  {
+    PolicyStoreParams params;
+    params.dir = dir;
+    params.flush_every = 100;  // keep the entry dirty until destruction
+    PolicyStore store(donor, params);
+    const UserId u = store.add_user("tanaka");
+    store.stage(u, donor.q());
+    store.set_pre_publish_hook([](const std::string&) {
+      throw std::runtime_error("injected crash in destructor flush");
+    });
+  }  // ~PolicyStore must not terminate; the flush failure is swallowed
+
+  // Nothing was published — only the temp debris of the dying flush.
+  EXPECT_FALSE(fs::exists(dir + "/tanaka.policy"));
+  EXPECT_TRUE(fs::exists(dir + "/tanaka.policy.tmp"));
+}
+
+}  // namespace
+}  // namespace coreda::serve

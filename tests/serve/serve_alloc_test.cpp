@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "adl/library.hpp"
+#include "serve/retrain_scheduler.hpp"
 #include "serve/system_pool.hpp"
 
 namespace coreda::serve {
@@ -71,6 +72,40 @@ TEST(ServeAllocTest, ServeWithPolicySwapIsAllocationFreeAtSteadyState) {
   EXPECT_EQ(util::allocation_count() - before, 0u);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(pool.swaps(), 80u);
+}
+
+// The retraining tier's side of the contract: recording a transcript into
+// the provisioned ring never allocates, enqueueing a job is allocation-free
+// once the lane queues are provisioned (add_user reserves them), and a
+// retrain — import the user's table into the warm lane learner, replay the
+// whole ring, stage the result back — touches the heap zero times after
+// the first job has warmed the lane.
+TEST(ServeAllocTest, TranscriptRecordingAndRetrainAreAllocationFreeWarm) {
+  adl::AdlLibrary library;
+  const adl::Adl& tea = library.tea_making();
+  planning::RoutineLearner donor(tea, util::Rng(17));
+  const std::vector<adl::StepId> routine{T::kTeaBox, T::kElectricPot,
+                                         T::kKettle, T::kTeaCup};
+  for (int i = 0; i < 80; ++i) donor.train_episode(routine);
+
+  PolicyStore store(donor);  // memory-only: stage() must not allocate
+  RetrainScheduler scheduler(tea, store, planning::LearnerConfig{},
+                             /*lanes=*/1, RetrainParams{});
+  store.add_user("A");
+  scheduler.add_user();
+
+  for (std::size_t i = 0; i < scheduler.params().ring_capacity; ++i) {
+    scheduler.record(0, routine);
+  }
+  scheduler.retrain_user(0);  // warms the lane learner
+
+  const std::uint64_t before = util::allocation_count();
+  for (int i = 0; i < 64; ++i) scheduler.record(0, routine);
+  scheduler.enqueue(0);  // lane queue is pre-reserved to the user count
+  for (int i = 0; i < 8; ++i) scheduler.retrain_user(0);
+  EXPECT_EQ(util::allocation_count() - before, 0u);
+  EXPECT_EQ(scheduler.queued(), 1u);
+  EXPECT_EQ(store.version(0), 10u);  // warm-up + 8 probed retrains staged
 }
 
 }  // namespace

@@ -206,5 +206,26 @@ TEST(CliTest, ReportProducesTable) {
   EXPECT_NE(r.out.find("Tooth-brushing"), std::string::npos);
 }
 
+TEST(CliTest, RetrainClosesTheLoopAndReportsFullRecovery) {
+  const CliResult r = run({"retrain", "--users=8", "--slots=2",
+                           "--drifted=2", "--rounds=8", "--jobs=2"});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;  // 0 iff every drifted recovered
+  EXPECT_NE(r.out.find("Closed-loop drift recovery"), std::string::npos);
+  EXPECT_NE(r.out.find("2/2 drifted users recovered"), std::string::npos);
+
+  // Same fleet, same rounds, different worker count: the whole report is
+  // byte-identical.
+  const CliResult serial = run({"retrain", "--users=8", "--slots=2",
+                                "--drifted=2", "--rounds=8", "--jobs=1"});
+  EXPECT_EQ(serial.code, 0);
+  EXPECT_EQ(serial.out, r.out);
+}
+
+TEST(CliTest, RetrainValidatesItsFlags) {
+  const CliResult r = run({"retrain", "--users=2", "--drifted=5"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--drifted"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace coreda::cli

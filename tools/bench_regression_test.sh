@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Opt-in bench-regression gate: re-runs the fleet-throughput,
-# session-throughput and serve-throughput benches at the baselines' job
-# counts and compares the fresh timing records against the committed
-# BENCH_fleet.json / BENCH_sessions.json / BENCH_serve.json via
-# tools/check_bench_regression.py.
+# session-throughput, serve-throughput and retrain-recovery benches at the
+# baselines' job counts and compares the fresh timing records against the
+# committed BENCH_fleet.json / BENCH_sessions.json / BENCH_serve.json /
+# BENCH_retrain.json via tools/check_bench_regression.py.
 #
 # Wired as the ctest label `bench-regression` when the build is configured
 # with -DCOREDA_BENCH_REGRESSION=ON (see tests/CMakeLists.txt); never part
@@ -20,7 +20,7 @@ BUILD_DIR="${1:-build}"
 TOLERANCE="${2:-0.40}"
 
 for bench in bench_fleet_throughput bench_session_throughput \
-             bench_serve_throughput; do
+             bench_serve_throughput bench_retrain_recovery; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build" \
          "$BUILD_DIR --target $bench)" >&2
@@ -56,5 +56,15 @@ for jobs in 1 2 4; do
   "$BUILD_DIR/bench/bench_serve_throughput" --jobs="$jobs" \
     --timing-json="$FRESH" > /dev/null
 done
-exec python3 tools/check_bench_regression.py \
+python3 tools/check_bench_regression.py \
   --fresh "$FRESH" --baseline BENCH_serve.json --tolerance "$TOLERANCE"
+
+FRESH="$BUILD_DIR/BENCH_retrain.fresh.json"
+: > "$FRESH"
+"$BUILD_DIR/bench/bench_retrain_recovery" --jobs=1 > /dev/null
+for jobs in 1 2 4; do
+  "$BUILD_DIR/bench/bench_retrain_recovery" --jobs="$jobs" \
+    --timing-json="$FRESH" > /dev/null
+done
+exec python3 tools/check_bench_regression.py \
+  --fresh "$FRESH" --baseline BENCH_retrain.json --tolerance "$TOLERANCE"

@@ -20,7 +20,12 @@ both files by (bench, jobs) and flags:
     split) is a pure function of the workload shape, independent of
     hardware and job count, and must never decrease: a drop means the
     slot-sharding or residency logic changed behaviour, not that the
-    machine was slow.
+    machine was slow;
+  * recovery regressions — the retrain bench's closed loop is deterministic
+    too: recovered_users must not decrease, and recovery_sessions_max /
+    post_retrain_prompts_per_session must not increase. Any change means
+    the detect -> retrain -> redeploy loop got worse at its one job:
+    pulling a drifted user's prompt rate back down.
 
 Hardware mismatches (different hardware_concurrency) downgrade throughput
 findings to warnings: comparing wall-clock across machine shapes is
@@ -111,7 +116,8 @@ def main():
                 warnings.append(message + " [hardware mismatch: warning only]")
 
         for metric in ("steady_state_allocs_per_episode",
-                       "steady_state_allocs_per_session"):
+                       "steady_state_allocs_per_session",
+                       "steady_state_allocs_per_retrain"):
             if metric in base and got.get(metric, 0.0) > base[metric]:
                 failures.append(
                     f"{bench} (jobs={jobs}): {metric} {got.get(metric)} > "
@@ -127,6 +133,24 @@ def main():
                 f"{got.get('pool_hit_rate')} < baseline "
                 f"{base['pool_hit_rate']} — residency/sharding behaviour "
                 f"changed")
+
+        # The closed loop is deterministic end to end: every drifted user
+        # the baseline recovered must still recover, at least as fast, to
+        # at least as low a post-retrain prompt rate.
+        if "recovered_users" in base and (got.get("recovered_users", 0)
+                                          < base["recovered_users"]):
+            failures.append(
+                f"{bench} (jobs={jobs}): recovered_users "
+                f"{got.get('recovered_users')} < baseline "
+                f"{base['recovered_users']} — drifted users no longer "
+                f"recover")
+        for metric in ("recovery_sessions_max",
+                       "post_retrain_prompts_per_session"):
+            if metric in base and got.get(metric, 0.0) > base[metric]:
+                failures.append(
+                    f"{bench} (jobs={jobs}): {metric} {got.get(metric)} > "
+                    f"baseline {base[metric]} — the retrain loop recovers "
+                    f"slower")
 
     for message in warnings:
         print(f"warning: {message}")

@@ -8,6 +8,7 @@
 #include "core/scenario.hpp"
 #include "core/system.hpp"
 #include "planning/serialize.hpp"
+#include "serve/engine.hpp"
 #include "trace/dataset.hpp"
 #include "util/table.hpp"
 
@@ -36,6 +37,12 @@ commands:
   scenario                     replay the paper's Figure 1 timeline
   report    [--days=7] [--seed=42]
                               multi-day caregiver summary
+  retrain   [--users=12] [--slots=3] [--drifted=3] [--rounds=8]
+            [--burst=2] [--threshold=2.5] [--jobs=N]
+                              closed-loop drift recovery: serve a fleet
+                              where some users start from a stale policy,
+                              flag them, retrain on their transcripts and
+                              report the recovery
   home      [--severity=0.5] [--sessions=6] [--seed=42] [--hints]
                               multi-ADL sessions with activity recognition
   help                         this message
@@ -384,6 +391,89 @@ int cmd_report(const util::Flags& flags, std::ostream& out) {
   return 0;
 }
 
+int cmd_retrain(const util::Flags& flags, std::ostream& out,
+                std::ostream& err) {
+  const auto users = static_cast<std::size_t>(flags.get_int("users", 12));
+  const auto slots = static_cast<std::size_t>(flags.get_int("slots", 3));
+  const auto drifted = static_cast<std::size_t>(flags.get_int("drifted", 3));
+  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 8));
+  const auto burst = static_cast<std::size_t>(flags.get_int("burst", 2));
+  const double threshold = flags.get_double("threshold", 2.5);
+  if (users == 0 || drifted > users) {
+    err << "retrain: need --users >= 1 and --drifted <= --users\n";
+    return 1;
+  }
+
+  adl::AdlLibrary library;
+  const adl::Adl& tea = library.tea_making();
+  std::vector<adl::StepId> routine;
+  for (const adl::AdlStep& s : tea.primary_routine().steps()) {
+    routine.push_back(s.step_id());
+  }
+  std::vector<adl::StepId> stale_routine = routine;
+  std::swap(stale_routine[0], stale_routine[1]);
+
+  planning::RoutineLearner donor(tea, util::Rng(17));
+  planning::RoutineLearner stale(tea, util::Rng(18));
+  for (int i = 0; i < 80; ++i) donor.train_episode(routine);
+  for (int i = 0; i < 120; ++i) stale.train_episode(stale_routine);
+
+  serve::PolicyStore store(donor);
+  serve::ServeEngineParams params;
+  params.pool.slots = slots;
+  params.pool.seed = 4242;
+  params.drift.threshold = threshold;
+  params.retrain.enabled = true;
+  // Spread the stale tables across slots/lanes, like the recovery bench.
+  std::vector<bool> is_drifted(users, false);
+  for (std::size_t u = 0; u < users; ++u) {
+    const bool drift = drifted > 0 && u % (users / drifted) == 0 &&
+                       u / (users / drifted) < drifted;
+    is_drifted[u] = drift;
+    store.add_user("U" + std::to_string(u), drift ? stale.q() : donor.q());
+  }
+  serve::ServeEngine engine(library, tea, store, params);
+  for (std::size_t u = 0; u < users; ++u) {
+    util::Rng rng(exec::trial_seed(9001, u));
+    engine.add_user("U" + std::to_string(u),
+                    patient::PatientProfile::with_severity(
+                        "U" + std::to_string(u), 0.1 + 0.4 * rng.uniform()));
+  }
+
+  exec::TrialRunner runner(exec::jobs_from_flags(flags));
+  util::TextTable table("Closed-loop drift recovery (" +
+                        std::to_string(users) + " users, " +
+                        std::to_string(drifted) + " on stale policies)");
+  table.set_header({"round", "flagged", "retrains", "recovered"});
+  serve::ServeReport report;
+  std::size_t recovered = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t u = 0; u < users; ++u) {
+      engine.enqueue(static_cast<serve::UserId>(u), burst);
+    }
+    report = engine.drain(runner);
+    recovered = 0;
+    for (std::size_t u = 0; u < users; ++u) {
+      const serve::ServeUserStats& s = report.users[u];
+      if (is_drifted[u] && s.retrains > 0 && !s.needs_retraining) {
+        ++recovered;
+      }
+    }
+    table.add_row({std::to_string(round),
+                   std::to_string(report.flagged_users),
+                   std::to_string(report.retrain.jobs),
+                   std::to_string(recovered) + "/" +
+                       std::to_string(drifted)});
+  }
+  out << table.render();
+  out << report.sessions << " sessions served; " << report.retrain.jobs
+      << " retrain jobs replayed " << report.retrain.episodes
+      << " transcript episodes; " << recovered << "/" << drifted
+      << " drifted users recovered (prompt EWMA back under "
+      << util::format_fixed(threshold, 1) << ")\n";
+  return recovered == drifted ? 0 : 2;
+}
+
 }  // namespace
 
 int run_command(const util::Flags& flags, std::ostream& out,
@@ -401,6 +491,7 @@ int run_command(const util::Flags& flags, std::ostream& out,
     if (command == "policy") return cmd_policy(flags, out, err);
     if (command == "scenario") return cmd_scenario(out);
     if (command == "report") return cmd_report(flags, out);
+    if (command == "retrain") return cmd_retrain(flags, out, err);
     if (command == "home") return cmd_home(flags, out);
     err << "unknown command '" << command << "' (try 'coreda help')\n";
     return 1;

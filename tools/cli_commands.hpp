@@ -17,6 +17,9 @@ namespace coreda::cli {
 ///              v2 binary formats; inspect decodes without a learner)
 ///   scenario   replay the paper's Figure 1 timeline
 ///   report     the multi-day caregiver summary
+///   retrain    closed-loop drift recovery demo: flag users serving from
+///              stale policies, retrain them on their own transcripts,
+///              report the prompt-rate recovery (exit 0 iff all recover)
 ///   list       the deployment catalog (ADLs, tools, node uids)
 ///   help       usage
 int run_command(const util::Flags& flags, std::ostream& out,

@@ -12,7 +12,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DCOREDA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target test_exec test_sim test_trace \
-  bench_fleet_throughput bench_session_throughput bench_serve_throughput
+  bench_fleet_throughput bench_session_throughput bench_serve_throughput \
+  bench_retrain_recovery
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_exec
@@ -38,6 +39,12 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # partition really is disjoint — no locks anywhere on the serve path.
 "$BUILD_DIR"/bench/bench_serve_throughput --users=16 --slots=4 --sessions=5 \
   --jobs=4 > /dev/null
+# The retrain bench closes the loop under TSan: serve trials hand off to
+# retrain trials within one drain, lane learners replay transcript rings
+# concurrently, and the refreshed tables are staged back into the shared
+# store — all still lock-free on disjoint static shards.
+"$BUILD_DIR"/bench/bench_retrain_recovery --users=12 --slots=4 --drifted=4 \
+  --rounds=4 --jobs=4 > /dev/null
 
 echo "TSan: all exec/sim/trace-parallel tests and the" \
-     "fleet/session/serve benches passed."
+     "fleet/session/serve/retrain benches passed."
