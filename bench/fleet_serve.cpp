@@ -1,0 +1,243 @@
+// Million-user fleet tier: sharded FleetEngine over the mmap segment store.
+//
+// bench_serve_throughput prices multi-tenancy with every user's table
+// resident in RAM (a PolicyStore entry per user). This bench prices the
+// next order of magnitude: `--users` registered patients (default 100k)
+// whose tables live in the memory-mapped segment store, with only
+// shards x slots-per-shard warm systems and ~25 bytes of engine RAM per
+// registered user. Each round draws a sparse active set from a
+// seed-deterministic arrival stream and drains it shard-parallel; a serve
+// is pool hit -> run, or evict -> append -> mmap load -> import -> run.
+//
+// Two traffic shapes run the same fleet size:
+//   * fleet_serve_uniform — every patient equally active: residency almost
+//     never pays off, nearly every serve cold-loads from the store;
+//   * fleet_serve         — Zipf(`--zipf`) skew, the clinically realistic
+//     shape: a hot head of heavy users keeps slots resident.
+//
+// Stdout (session counts, hit/cold split, store counters, the checksum,
+// the steady-state allocation probe) is byte-identical at any --jobs: one
+// trial per shard, users statically owned by shards, latency never printed.
+// Wall-clock AND the p50/p99/p999 serve-latency percentiles go only to
+// --timing-json (BENCH_fleet_serve.json), where the regression checker
+// gates sessions_per_sec, the percentiles, and the allocation contract.
+//
+// Usage:
+//   bench_fleet_serve --users=100000 --active=1500 --rounds=3 --shards=4
+//       --slots-per-shard=2 --zipf=1.1 --jobs=4
+//       --timing-json=BENCH_fleet_serve.json
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adl/library.hpp"
+#include "exec/trial_runner.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/fleet_engine.hpp"
+#include "util/alloc_counter.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace coreda;
+
+/// Same severity band as the serve/session benches, a pure function of the
+/// user index: every traffic shape (and job count) serves one population.
+double user_severity(std::uint64_t user) {
+  util::Rng rng(exec::trial_seed(9001, user));
+  return 0.1 + 0.4 * rng.uniform();
+}
+
+struct ShapeRun {
+  serve::FleetReport report;   ///< cumulative over the timed rounds
+  std::uint64_t sessions = 0;  ///< timed sessions only
+  double seconds = 0.0;
+  double allocs_per_session = 0.0;
+  double steady_state_allocs = 0.0;
+  std::size_t segments = 0;
+  std::uint64_t live = 0;
+  std::uint64_t dead = 0;
+  std::uint64_t compactions = 0;
+};
+
+template <typename Arrivals>
+ShapeRun run_shape(const adl::AdlLibrary& library, const adl::Adl& adl,
+                   const planning::RoutineLearner& donor,
+                   const std::string& dir, std::size_t users,
+                   std::size_t active, std::size_t rounds,
+                   const serve::FleetEngineParams& params,
+                   Arrivals& arrivals, exec::TrialRunner& runner) {
+  std::filesystem::remove_all(dir);
+  serve::SegmentStoreParams store_params;
+  store_params.dir = dir;
+  store_params.writers = params.shards;
+  serve::SegmentStore store(donor.state_codec().symbols(),
+                            donor.action_codec().tools(),
+                            donor.q().num_states(), donor.q().num_actions(),
+                            store_params);
+  serve::FleetEngine fleet(library, adl, store, donor.q(), params);
+  for (std::size_t u = 0; u < users; ++u) {
+    fleet.register_user(user_severity(u));
+  }
+
+  // Warm-up round: pays the reference starts, first-touch page faults and
+  // queue growth, and seeds the store so the timed rounds cold-load real
+  // records out of the mapping.
+  for (std::size_t i = 0; i < active; ++i) fleet.enqueue(arrivals.next());
+  fleet.drain(runner);
+  fleet.reset_latency();
+
+  ShapeRun run;
+  const std::uint64_t allocs_before = util::allocation_count();
+  const exec::Stopwatch timer;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < active; ++i) fleet.enqueue(arrivals.next());
+    run.report = fleet.drain(runner);
+  }
+  run.seconds = timer.seconds();
+  run.sessions = run.report.sessions - active;  // minus the warm-up round
+  run.allocs_per_session =
+      static_cast<double>(util::allocation_count() - allocs_before) /
+      static_cast<double>(run.sessions);
+
+  // Steady-state probe on a serial runner so the number is independent of
+  // --jobs: everything is warm, so the only allowed heap traffic is the
+  // runner's per-drain results vector (amortized across 64 sessions) and
+  // whatever segment roll / compaction the deterministic append sequence
+  // happens to schedule here.
+  exec::TrialRunner probe_runner(1);
+  constexpr std::size_t kProbe = 64;
+  for (std::size_t i = 0; i < kProbe; ++i) fleet.enqueue(arrivals.next());
+  const std::uint64_t probe_before = util::allocation_count();
+  fleet.drain(probe_runner);
+  run.steady_state_allocs =
+      static_cast<double>(util::allocation_count() - probe_before) / kProbe;
+
+  fleet.flush_residents();
+  run.segments = store.num_segments();
+  run.live = store.live_records();
+  run.dead = store.dead_records();
+  run.compactions = store.compactions();
+  return run;
+}
+
+std::string format2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  exec::TrialRunner runner(exec::jobs_from_flags(flags));
+  const auto users = static_cast<std::size_t>(flags.get_int("users", 100000));
+  const auto active = static_cast<std::size_t>(flags.get_int("active", 1500));
+  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 3));
+  const double zipf = flags.get_double("zipf", 1.1);
+
+  serve::FleetEngineParams params;
+  params.shards = static_cast<std::size_t>(flags.get_int("shards", 4));
+  params.slots_per_shard =
+      static_cast<std::size_t>(flags.get_int("slots-per-shard", 2));
+  params.system.learn_from_sessions = true;  // write-backs carry real deltas
+  params.write_back_every =
+      static_cast<std::size_t>(flags.get_int("write-back-every", 1));
+
+  adl::AdlLibrary library;
+  const adl::Adl& tea = library.tea_making();
+  std::vector<adl::StepId> routine;
+  for (const adl::AdlStep& s : tea.primary_routine().steps()) {
+    routine.push_back(s.step_id());
+  }
+  planning::RoutineLearner donor(tea, util::Rng(17));
+  for (int i = 0; i < 80; ++i) donor.train_episode(routine);
+
+  const std::string base_dir =
+      flags.get("dir").empty()
+          ? (std::filesystem::temp_directory_path() / "coreda_fleet_serve")
+                .string()
+          : flags.get("dir");
+
+  std::printf("Fleet tier: %zu registered users, %zu shards x %zu slots, "
+              "%zu active sessions/round over %zu timed rounds\n\n",
+              users, params.shards, params.slots_per_shard, active, rounds);
+
+  serve::UniformArrivals uniform(users, 777);
+  serve::ZipfianArrivals skewed(users, zipf, 777);
+  const ShapeRun flat = run_shape(library, tea, donor, base_dir + "_uniform",
+                                  users, active, rounds, params, uniform,
+                                  runner);
+  const ShapeRun hot = run_shape(library, tea, donor, base_dir + "_zipf",
+                                 users, active, rounds, params, skewed,
+                                 runner);
+
+  const auto rate = [](const ShapeRun& r) {
+    return static_cast<double>(r.report.pool_hits) /
+           static_cast<double>(r.report.sessions);
+  };
+  util::TextTable table("Fleet serving (timing/percentiles in --timing-json "
+                        "only)");
+  table.set_header({"metric", "uniform", std::string("zipf(") +
+                                             format2(zipf) + ")"});
+  table.add_row({"sessions (incl. warm-up)",
+                 std::to_string(flat.report.sessions),
+                 std::to_string(hot.report.sessions)});
+  table.add_row({"completed", std::to_string(flat.report.completed),
+                 std::to_string(hot.report.completed)});
+  table.add_row({"prompts", std::to_string(flat.report.prompts),
+                 std::to_string(hot.report.prompts)});
+  table.add_row({"pool hit rate", format2(rate(flat)), format2(rate(hot))});
+  table.add_row({"cold loads (mmap)", std::to_string(flat.report.cold_loads),
+                 std::to_string(hot.report.cold_loads)});
+  table.add_row({"reference starts",
+                 std::to_string(flat.report.reference_starts),
+                 std::to_string(hot.report.reference_starts)});
+  table.add_row({"store appends", std::to_string(flat.report.appends),
+                 std::to_string(hot.report.appends)});
+  table.add_row({"store segments", std::to_string(flat.segments),
+                 std::to_string(hot.segments)});
+  table.add_row({"live/dead records",
+                 std::to_string(flat.live) + "/" + std::to_string(flat.dead),
+                 std::to_string(hot.live) + "/" + std::to_string(hot.dead)});
+  table.add_row({"compactions", std::to_string(flat.compactions),
+                 std::to_string(hot.compactions)});
+  table.add_row({"fleet checksum", std::to_string(flat.report.checksum),
+                 std::to_string(hot.report.checksum)});
+  table.add_row({"steady-state allocs/serve",
+                 format2(flat.steady_state_allocs),
+                 format2(hot.steady_state_allocs)});
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nThe summary is byte-identical at any --jobs: users are owned\n"
+            "by shards statically and each shard drains as one seed-split\n"
+            "trial; serve latency goes only to the timing side-channel.");
+
+  const std::string timing_path = flags.get("timing-json");
+  const auto emit = [&](const char* name, const ShapeRun& run) {
+    const util::LatencyHistogram& lat = run.report.latency;
+    std::ostringstream extra;
+    extra << "\"users\": " << users << ", \"shards\": " << params.shards
+          << ", \"active_per_round\": " << active
+          << ", \"sessions\": " << run.sessions << ", \"sessions_per_sec\": "
+          << (run.seconds > 0.0
+                  ? static_cast<double>(run.sessions) / run.seconds
+                  : 0.0)
+          << ", \"pool_hit_rate\": " << rate(run)
+          << ", \"p50_ns\": " << lat.quantile(0.50)
+          << ", \"p99_ns\": " << lat.quantile(0.99)
+          << ", \"p999_ns\": " << lat.quantile(0.999)
+          << ", \"allocs_per_session\": " << run.allocs_per_session
+          << ", \"steady_state_allocs_per_session\": "
+          << run.steady_state_allocs;
+    exec::append_timing_record(timing_path, name, runner.jobs(), rounds,
+                               run.seconds, extra.str());
+  };
+  emit("fleet_serve_uniform", flat);
+  emit("fleet_serve", hot);
+  return 0;
+}

@@ -36,6 +36,7 @@
 #include "exec/trial_runner.hpp"
 #include "patient/profile.hpp"
 #include "planning/learner.hpp"
+#include "serve/arrivals.hpp"
 #include "serve/engine.hpp"
 #include "util/alloc_counter.hpp"
 #include "util/flags.hpp"
@@ -83,6 +84,42 @@ EngineRun run_workload(const adl::AdlLibrary& library, const adl::Adl& adl,
       engine.enqueue(static_cast<serve::UserId>(u), take);
     }
     queued_per_user += take;
+  }
+
+  EngineRun run;
+  const std::uint64_t allocs_before = util::allocation_count();
+  const exec::Stopwatch timer;
+  run.report = engine.drain(runner);
+  run.seconds = timer.seconds();
+  run.allocs_per_session =
+      static_cast<double>(util::allocation_count() - allocs_before) /
+      static_cast<double>(run.report.sessions);
+  return run;
+}
+
+/// Arrival-stream variant: the same pooled engine, but the enqueue order
+/// comes from a seed-deterministic arrival generator instead of per-user
+/// bursts — uniform traffic (residency almost never pays) vs Zipf-skewed
+/// traffic (a hot head of heavy users keeps slots resident). The hit-rate
+/// spread between the two is the residency win the pool buys under the
+/// clinically realistic load shape.
+template <typename Arrivals>
+EngineRun run_arrival_workload(const adl::AdlLibrary& library,
+                               const adl::Adl& adl,
+                               const planning::RoutineLearner& donor,
+                               std::size_t users, std::size_t slots,
+                               std::size_t total_sessions, Arrivals& arrivals,
+                               exec::TrialRunner& runner) {
+  serve::PolicyStore store(donor);
+  serve::ServeEngineParams params;
+  params.pool.slots = slots;
+  params.pool.seed = 4242;
+  serve::ServeEngine engine(library, adl, store, params);
+  for (std::size_t u = 0; u < users; ++u) {
+    engine.add_user("U" + std::to_string(u), user_profile(u));
+  }
+  for (std::size_t i = 0; i < total_sessions; ++i) {
+    engine.enqueue(static_cast<serve::UserId>(arrivals.next()), 1);
   }
 
   EngineRun run;
@@ -176,6 +213,19 @@ int main(int argc, char** argv) {
   const EngineRun dedicated = run_workload(library, tea, donor, users, users,
                                            sessions, burst, runner);
 
+  // Traffic-shape comparison on the pooled configuration: identical session
+  // volume, arrival order drawn uniformly vs Zipf-skewed.
+  const double zipf_s = flags.get_double("zipf", 1.1);
+  serve::UniformArrivals uniform_arrivals(users, 777);
+  serve::ZipfianArrivals zipf_arrivals(users, zipf_s, 777);
+  const std::size_t total_sessions = users * sessions;
+  const EngineRun uniform =
+      run_arrival_workload(library, tea, donor, users, slots, total_sessions,
+                           uniform_arrivals, runner);
+  const EngineRun zipf =
+      run_arrival_workload(library, tea, donor, users, slots, total_sessions,
+                           zipf_arrivals, runner);
+
   const auto& rep = pooled.report;
   const double total = static_cast<double>(rep.sessions);
   util::TextTable table("Serving summary (timing in --timing-json only)");
@@ -204,6 +254,23 @@ int main(int argc, char** argv) {
                  std::to_string(dedicated.report.checksum)});
   table.add_row({"steady-state allocs/serve", format2(probe), "-"});
   std::fputs(table.render().c_str(), stdout);
+
+  const auto hit_rate = [](const EngineRun& run) {
+    return static_cast<double>(run.report.pool_hits) /
+           static_cast<double>(run.report.sessions);
+  };
+  util::TextTable shapes("Traffic shape (pooled slots, arrival streams)");
+  shapes.set_header({"metric", "uniform",
+                     "zipf(" + format2(zipf_s) + ")"});
+  shapes.add_row({"sessions served", std::to_string(uniform.report.sessions),
+                  std::to_string(zipf.report.sessions)});
+  shapes.add_row({"pool hit rate", format2(hit_rate(uniform)),
+                  format2(hit_rate(zipf))});
+  shapes.add_row({"policy swaps", std::to_string(uniform.report.policy_swaps),
+                  std::to_string(zipf.report.policy_swaps)});
+  shapes.add_row({"fleet checksum", std::to_string(uniform.report.checksum),
+                  std::to_string(zipf.report.checksum)});
+  std::fputs(shapes.render().c_str(), stdout);
   std::puts("\nThe summary is byte-identical at any --jobs: requests shard\n"
             "statically onto slots and each slot is one seed-split trial.");
 
@@ -225,5 +292,7 @@ int main(int argc, char** argv) {
   };
   emit("serve_throughput", pooled, slots);
   emit("serve_throughput_dedicated", dedicated, users);
+  emit("serve_throughput_uniform", uniform, slots);
+  emit("serve_throughput_zipf", zipf, slots);
   return 0;
 }

@@ -20,10 +20,17 @@ CoredaSystem::CoredaSystem(const adl::AdlLibrary& library,
     max_tool = std::max(max_tool, tool.id);
   }
   world_.provision(static_cast<std::size_t>(max_tool) + 1);
+  // Same rationale for every lazily-grown simulation container: pay the
+  // high-water capacity here, once, instead of inside a slot's first timed
+  // session. 256 pending events / 16 in-flight frames sit well above what
+  // the busiest session of any bench or test reaches.
+  scheduler_.reserve(256);
   channel_ = std::make_unique<pavenet::RadioChannel>(scheduler_, rng_.fork(),
                                                      config_.radio);
+  channel_->reserve(16);
   station_ = std::make_unique<pavenet::BaseStation>(scheduler_, *channel_,
                                                     config_.station);
+  station_->provision_tools(static_cast<std::size_t>(max_tool) + 1);
   for (adl::ToolId id : adl_->tools()) {
     nodes_.push_back(std::make_unique<pavenet::PavenetNode>(
         library_->tools().at(id), scheduler_, world_, *channel_, rng_.fork(),
@@ -45,6 +52,15 @@ CoredaSystem::CoredaSystem(const adl::AdlLibrary& library,
   station_->add_listener(
       pavenet::BaseStation::UsageListener::bind<&CoredaSystem::on_usage>(
           this));
+  // Build the actor warm with a placeholder profile and a throwaway Rng —
+  // NOT rng_.fork(), which would shift every downstream stream. Every
+  // session (including the very first) then takes the reset path below with
+  // exactly one fork, so construction order cannot change any outcome, and
+  // a slot's first serve inside a timed drain no longer pays the actor's
+  // allocations (the dedicated-slot allocs_per_session artifact).
+  actor_ = std::make_unique<patient::PatientActor>(
+      scheduler_, world_, library_->tools(), patient::PatientProfile{},
+      util::Rng());
 }
 
 const pavenet::PavenetNode& CoredaSystem::node(adl::ToolId tool) const {
@@ -83,12 +99,7 @@ void CoredaSystem::run_session_inplace(
   // Reset, don't rebuild: the actor keeps its event buffer, the station its
   // episode table, the reminder its string pools. Only the RNG stream moves
   // forward (one fork per session, exactly as before).
-  if (actor_ == nullptr) {
-    actor_ = std::make_unique<patient::PatientActor>(
-        scheduler_, world_, library_->tools(), profile, rng_.fork());
-  } else {
-    actor_->reset(profile, rng_.fork());
-  }
+  actor_->reset(profile, rng_.fork());
   if (setup) setup(*actor_);
 
   result.completed = false;

@@ -113,7 +113,8 @@ class CoredaSystem {
       const std::function<void(patient::PatientActor&)>& setup,
       SessionResult& result);
 
-  /// The actor of the most recent session (nullptr before the first).
+  /// The actor of the most recent session (constructed warm at startup;
+  /// meaningful only after a session has run).
   const patient::PatientActor* last_actor() const noexcept {
     return actor_.get();
   }

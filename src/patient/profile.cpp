@@ -7,21 +7,25 @@ namespace coreda::patient {
 
 PatientProfile PatientProfile::with_severity(std::string name,
                                              double severity) {
-  if (severity < 0.0 || severity > 1.0) {
-    throw std::invalid_argument("PatientProfile: severity not in [0, 1]");
-  }
   PatientProfile p;
   p.name = std::move(name);
-  p.severity = severity;
+  p.apply_severity(severity);
+  return p;
+}
+
+void PatientProfile::apply_severity(double new_severity) {
+  if (new_severity < 0.0 || new_severity > 1.0) {
+    throw std::invalid_argument("PatientProfile: severity not in [0, 1]");
+  }
+  severity = new_severity;
   // Freezes dominate wrong-tool intrusions roughly 3:2 in observational
   // dementia-care literature; total error rate scales to ~50 % at the top.
-  p.p_idle = 0.30 * severity;
-  p.p_wrong_tool = 0.20 * severity;
-  p.comply_minimal = std::max(0.5, 0.90 - 0.25 * severity);
-  p.comply_specific = std::max(0.75, 0.99 - 0.10 * severity);
-  p.pace = 1.0 + 0.6 * severity;
-  p.think_mean = sim::Duration::seconds(4.0 + 6.0 * severity);
-  return p;
+  p_idle = 0.30 * severity;
+  p_wrong_tool = 0.20 * severity;
+  comply_minimal = std::max(0.5, 0.90 - 0.25 * severity);
+  comply_specific = std::max(0.75, 0.99 - 0.10 * severity);
+  pace = 1.0 + 0.6 * severity;
+  think_mean = sim::Duration::seconds(4.0 + 6.0 * severity);
 }
 
 }  // namespace coreda::patient

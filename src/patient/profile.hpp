@@ -45,6 +45,12 @@ struct PatientProfile {
   /// Derives a coherent profile from a severity level: a severity-0 user
   /// never errs; at severity 1 roughly half the decisions go wrong.
   static PatientProfile with_severity(std::string name, double severity);
+
+  /// In-place flavor of with_severity for hot paths that recycle one
+  /// profile object per shard (FleetEngine): rewrites only the
+  /// severity-derived fields, leaving `name` (and its string capacity)
+  /// alone — no allocation. Throws on severity outside [0, 1].
+  void apply_severity(double severity);
 };
 
 }  // namespace coreda::patient

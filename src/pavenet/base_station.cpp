@@ -24,6 +24,10 @@ void BaseStation::add_listener(UsageListener listener) {
   listeners_.push_back(listener);
 }
 
+void BaseStation::provision_tools(std::size_t count) {
+  if (open_episode_.size() < count) open_episode_.resize(count, kNoEpisode);
+}
+
 void BaseStation::send_led_command(adl::ToolId tool, LedColor color,
                                    std::uint8_t blink_count) {
   Packet packet;

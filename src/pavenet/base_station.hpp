@@ -55,6 +55,11 @@ class BaseStation {
   /// Adds a listener invoked at the start of every usage episode.
   void add_listener(UsageListener listener);
 
+  /// Pre-sizes the tool -> open-episode map for tool ids below `count`, so
+  /// the first uplink from each tool never grows it mid-session. Purely a
+  /// capacity hint; unknown higher ids still work (and grow it lazily).
+  void provision_tools(std::size_t count);
+
   /// Sends a blink command to the node on `tool` (blink_count 0 = all off).
   void send_led_command(adl::ToolId tool, LedColor color,
                         std::uint8_t blink_count);

@@ -14,6 +14,11 @@ void RadioChannel::attach_receiver(std::uint16_t uid, Receiver receiver) {
   receivers_[uid] = std::move(receiver);
 }
 
+void RadioChannel::reserve(std::size_t frames) {
+  slots_.reserve(frames);
+  free_slots_.reserve(frames);
+}
+
 std::size_t RadioChannel::acquire_slot() {
   if (!free_slots_.empty()) {
     const std::size_t index = free_slots_.back();

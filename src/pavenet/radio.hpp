@@ -75,6 +75,10 @@ class RadioChannel {
   /// previous registration.
   void attach_receiver(std::uint16_t uid, Receiver receiver);
 
+  /// Pre-sizes the in-flight slot pool for `frames` simultaneous frames.
+  /// Capacity hint only — the pool still grows on demand past it.
+  void reserve(std::size_t frames);
+
   /// Queues a frame for transmission at the current virtual time.
   void transmit(Packet packet);
 

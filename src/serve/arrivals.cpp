@@ -1,0 +1,34 @@
+#include "serve/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace coreda::serve {
+
+ZipfianArrivals::ZipfianArrivals(std::size_t n, double exponent,
+                                 std::uint64_t seed)
+    : exponent_(exponent), rng_(seed) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfianArrivals: n must be >= 1");
+  }
+  if (!(exponent > 0.0)) {
+    throw std::invalid_argument("ZipfianArrivals: exponent must be > 0");
+  }
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail unreachable
+}
+
+std::size_t ZipfianArrivals::next() noexcept {
+  const double u = rng_.uniform();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace coreda::serve

@@ -20,7 +20,13 @@ ServeEngine::ServeEngine(const adl::AdlLibrary& library, const adl::Adl& adl,
       store_(&store),
       pool_(library, adl, store, params.pool),
       retrainer_(adl, store, params.pool.system.learner, pool_.slots(),
-                 params.retrain) {}
+                 params.retrain),
+      by_slot_(pool_.slots()),
+      results_(pool_.slots()) {
+  for (core::SessionResult& r : results_) {
+    r.observed_steps.reserve(core::kMaxSessionSteps);
+  }
+}
 
 UserId ServeEngine::add_user(std::string name,
                              patient::PatientProfile profile) {
@@ -46,12 +52,14 @@ void ServeEngine::enqueue(UserId user, std::size_t sessions) {
                             std::to_string(user));
   }
   if (sessions == 0) return;
-  queue_.push_back(Request{user, sessions});
+  by_slot_[pool_.slot_for(user)].push_back(Request{user, sessions});
 }
 
 std::size_t ServeEngine::queued() const noexcept {
   std::size_t total = 0;
-  for (const Request& r : queue_) total += r.sessions;
+  for (const std::vector<Request>& slot : by_slot_) {
+    for (const Request& r : slot) total += r.sessions;
+  }
   return total;
 }
 
@@ -108,23 +116,19 @@ bool ServeEngine::retrain_due(UserId user) const {
 }
 
 ServeReport ServeEngine::drain(exec::TrialRunner& runner) {
-  // Shard the queue by home slot, preserving enqueue order within a slot.
-  // Each slot is one trial: its users' sessions run serially, in order, on
-  // whichever worker picks the trial up — the same result at any --jobs.
-  std::vector<std::vector<Request>> by_slot(pool_.slots());
-  for (const Request& r : queue_) {
-    by_slot[pool_.slot_for(r.user)].push_back(r);
-  }
-  queue_.clear();
-
+  // The queue is already bucketed by home slot (enqueue order preserved
+  // within a slot). Each slot is one trial: its users' sessions run
+  // serially, in order, on whichever worker picks the trial up — the same
+  // result at any --jobs — against the slot's persistent scratch result.
   runner.run(pool_.slots(), /*base_seed=*/0,
              [&](exec::TrialContext& ctx) -> char {
-               core::SessionResult result;
-               for (const Request& r : by_slot[ctx.index]) {
+               core::SessionResult& result = results_[ctx.index];
+               for (const Request& r : by_slot_[ctx.index]) {
                  for (std::size_t i = 0; i < r.sessions; ++i) {
                    serve_one(r.user, result);
                  }
                }
+               by_slot_[ctx.index].clear();  // keeps its capacity
                return 0;  // results land in stats_ (disjoint per slot)
              });
 

@@ -96,7 +96,9 @@ class ServeEngine {
   /// Setup-phase only, like PolicyStore::add_user.
   UserId add_user(std::string name, patient::PatientProfile profile);
 
-  /// Queues `sessions` session requests for the user.
+  /// Queues `sessions` session requests for the user — bucketed straight
+  /// onto the user's home slot, so a drain never redistributes (and never
+  /// allocates once the per-slot buckets are warm).
   void enqueue(UserId user, std::size_t sessions = 1);
   std::size_t queued() const noexcept;
 
@@ -130,7 +132,12 @@ class ServeEngine {
   RetrainScheduler retrainer_;
   std::vector<patient::PatientProfile> profiles_;  // by UserId
   std::vector<ServeUserStats> stats_;              // by UserId
-  std::vector<Request> queue_;
+  /// Request queue, bucketed by home slot at enqueue time. Buckets keep
+  /// their capacity across drains.
+  std::vector<std::vector<Request>> by_slot_;
+  /// Per-slot session scratch, pre-provisioned at construction so even a
+  /// slot's first session of a drain records allocation-free.
+  std::vector<core::SessionResult> results_;
 };
 
 }  // namespace coreda::serve

@@ -1,0 +1,196 @@
+#include "serve/fleet_engine.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <ostream>
+#include <stdexcept>
+
+namespace coreda::serve {
+
+namespace {
+
+std::uint64_t session_checksum(const core::SessionResult& r) {
+  std::uint64_t sum = r.prompts_total + r.steps_completed;
+  for (const adl::StepId id : r.observed_steps) sum += id;
+  return sum;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+FleetEngine::FleetEngine(const adl::AdlLibrary& library, const adl::Adl& adl,
+                         SegmentStore& store, const rl::QTable& reference,
+                         FleetEngineParams params)
+    : params_(params), store_(&store), reference_(&reference) {
+  if (params_.shards == 0 || params_.slots_per_shard == 0) {
+    throw std::invalid_argument("FleetEngine: shards and slots_per_shard "
+                                "must be >= 1");
+  }
+  if (store.writers() != params_.shards) {
+    throw std::invalid_argument(
+        "FleetEngine: store.writers() must equal shards — the lock-free "
+        "writer partitioning holds only when shard threads own disjoint "
+        "segment chains");
+  }
+  if (reference.num_states() != store.num_states() ||
+      reference.num_actions() != store.num_actions()) {
+    throw std::invalid_argument(
+        "FleetEngine: reference table shape differs from the store schema");
+  }
+  shards_.reserve(params_.shards);
+  for (std::size_t sh = 0; sh < params_.shards; ++sh) {
+    shards_.emplace_back(reference.num_states(), reference.num_actions());
+    Shard& shard = shards_.back();
+    shard.slots.resize(params_.slots_per_shard);
+    for (std::size_t s = 0; s < params_.slots_per_shard; ++s) {
+      core::SystemConfig config = params_.system;
+      config.seed =
+          exec::trial_seed(params_.seed, sh * params_.slots_per_shard + s);
+      shard.slots[s].system =
+          std::make_unique<core::CoredaSystem>(library, adl, config);
+      shard.slots[s].system->import_policy(reference);
+    }
+    shard.result.observed_steps.reserve(core::kMaxSessionSteps);
+  }
+}
+
+std::uint64_t FleetEngine::register_user(double severity) {
+  const std::uint64_t user = severity_.size();
+  severity_.push_back(severity);
+  store_->reserve_users(severity_.size());
+  // Resume from the store: a fleet restart keeps every user's version
+  // history monotonic instead of appending version 1 on top of a newer
+  // stored record.
+  version_.push_back(store_->latest_version(user).value_or(0));
+  unflushed_.push_back(0);
+  return user;
+}
+
+void FleetEngine::enqueue(std::uint64_t user) {
+  if (user >= severity_.size()) {
+    throw std::out_of_range("FleetEngine::enqueue: unknown user id " +
+                            std::to_string(user));
+  }
+  shards_[shard_for(user)].queue.push_back(user);
+}
+
+std::size_t FleetEngine::queued() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) total += sh.queue.size();
+  return total;
+}
+
+std::uint64_t FleetEngine::version(std::uint64_t user) const {
+  if (user >= version_.size()) {
+    throw std::out_of_range("FleetEngine::version: unknown user id " +
+                            std::to_string(user));
+  }
+  return version_[user];
+}
+
+void FleetEngine::append_user(Shard& sh, const Slot& slot,
+                              std::uint64_t user) {
+  store_->append(user, slot.system->learner().q(), version_[user]);
+  unflushed_[user] = 0;
+  ++sh.appends;
+}
+
+void FleetEngine::serve_one(Shard& sh, std::uint64_t user) {
+  const std::uint64_t t0 = now_ns();
+  Slot& slot = sh.slots[slot_in_shard(user)];
+  if (slot.resident != user) {
+    // Never lose an evicted user's learned updates: append before the slot
+    // is repurposed (no-op wear-wise when nothing is unwritten).
+    if (slot.resident != kNoUser && unflushed_[slot.resident] > 0) {
+      append_user(sh, slot, slot.resident);
+    }
+    if (store_->load(user, sh.scratch_q).has_value()) {
+      slot.system->import_policy(sh.scratch_q);
+      ++sh.cold_loads;
+    } else {
+      slot.system->import_policy(*reference_);
+      ++sh.reference_starts;
+    }
+    slot.resident = user;
+  } else {
+    ++sh.pool_hits;
+  }
+  char name[24] = {'U'};
+  const auto [end, ec] = std::to_chars(name + 1, name + sizeof name, user);
+  sh.profile.name.assign(name, static_cast<std::size_t>(end - name));
+  sh.profile.apply_severity(severity_[user]);
+  slot.system->run_session_inplace(sh.profile, params_.session_cap, {},
+                                   sh.result);
+  ++version_[user];
+  if (params_.write_back_every != 0 &&
+      ++unflushed_[user] >= params_.write_back_every) {
+    append_user(sh, slot, user);
+  }
+  ++sh.sessions;
+  sh.completed += sh.result.completed ? 1 : 0;
+  sh.prompts += sh.result.prompts_total;
+  sh.checksum += (user + 1) * session_checksum(sh.result);
+  sh.latency.record(now_ns() - t0);
+}
+
+FleetReport FleetEngine::drain(exec::TrialRunner& runner) {
+  runner.run(shards_.size(), params_.seed,
+             [&](exec::TrialContext& ctx) -> char {
+               Shard& sh = shards_[ctx.index];
+               for (const std::uint64_t user : sh.queue) serve_one(sh, user);
+               sh.queue.clear();
+               return 0;  // results land in the shard (disjoint per trial)
+             });
+  FleetReport report;
+  for (const Shard& sh : shards_) {
+    report.sessions += sh.sessions;
+    report.completed += sh.completed;
+    report.prompts += sh.prompts;
+    report.checksum += sh.checksum;
+    report.pool_hits += sh.pool_hits;
+    report.cold_loads += sh.cold_loads;
+    report.reference_starts += sh.reference_starts;
+    report.appends += sh.appends;
+    report.latency.merge(sh.latency);
+  }
+  return report;
+}
+
+void FleetEngine::reset_latency() {
+  for (Shard& sh : shards_) sh.latency.reset();
+}
+
+void FleetEngine::flush_residents() {
+  for (Shard& sh : shards_) {
+    for (const Slot& slot : sh.slots) {
+      if (slot.resident != kNoUser && unflushed_[slot.resident] > 0) {
+        append_user(sh, slot, slot.resident);
+      }
+    }
+  }
+}
+
+void FleetEngine::dump_policies(std::ostream& out) const {
+  rl::QTable q(reference_->num_states(), reference_->num_actions());
+  out << std::hexfloat;
+  for (std::uint64_t user = 0; user < severity_.size(); ++user) {
+    const std::optional<std::uint64_t> version = store_->load(user, q);
+    if (!version) continue;
+    out << "user " << user << " v" << *version;
+    for (std::size_t s = 0; s < q.num_states(); ++s) {
+      for (const double v : q.row(static_cast<rl::StateId>(s))) {
+        out << ' ' << v;
+      }
+    }
+    out << '\n';
+  }
+  out << std::defaultfloat;
+}
+
+}  // namespace coreda::serve

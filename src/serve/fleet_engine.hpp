@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/system.hpp"
+#include "exec/trial_runner.hpp"
+#include "patient/profile.hpp"
+#include "serve/segment_store.hpp"
+#include "util/latency_histogram.hpp"
+
+namespace coreda::serve {
+
+struct FleetEngineParams {
+  /// Per-core shards. A user lives on shard `user % shards` forever; a
+  /// drain runs one TrialRunner trial per shard, so any --jobs value
+  /// produces byte-identical tables and stdout (the ServeEngine determinism
+  /// argument, lifted from slots to shards).
+  std::size_t shards = 4;
+  /// Warm CoredaSystem slots per shard. Within its shard a user maps to
+  /// slot `(user / shards) % slots_per_shard`.
+  std::size_t slots_per_shard = 2;
+  /// Slot system `shard * slots_per_shard + slot` is seeded with
+  /// exec::trial_seed(seed, that global index).
+  std::uint64_t seed = 99;
+  /// Template for every slot's system (seed overridden per slot).
+  core::SystemConfig system{};
+  /// Wall-clock cap per session (virtual time).
+  sim::Duration session_cap = sim::Duration::minutes(15.0);
+  /// Append the user's table into the segment store every Nth session
+  /// (wear batching at fleet scale; 0 = only on eviction/flush). An
+  /// evicted user with unwritten sessions is always appended first, so
+  /// learning-enabled fleets never lose table updates.
+  std::size_t write_back_every = 1;
+};
+
+/// Cumulative fleet-wide serving counters, merged across shards after a
+/// drain. All fields except `latency` are deterministic functions of the
+/// configuration + enqueue history; `latency` is wall-clock and belongs in
+/// timing side-channels only, never on stdout.
+struct FleetReport {
+  std::uint64_t sessions = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t prompts = 0;
+  std::uint64_t checksum = 0;          ///< order-independent digest
+  std::uint64_t pool_hits = 0;         ///< user already resident on its slot
+  std::uint64_t cold_loads = 0;        ///< policy loaded from the mmap store
+  std::uint64_t reference_starts = 0;  ///< no stored record: donor table
+  std::uint64_t appends = 0;           ///< write-backs into the store
+  util::LatencyHistogram latency;      ///< per-session serve latency (ns)
+};
+
+/// The million-user tier: a sharded serving frontend over a SegmentStore.
+///
+/// Where ServeEngine keeps a resident QTable per user (PolicyStore entry),
+/// FleetEngine keeps ~25 bytes of RAM per registered user — severity,
+/// version, unflushed count — plus the store's index entry; every table
+/// lives in the mmap'd segment store and is faulted in on checkout. That is
+/// what lets one box *register* 100k–1M users while only the active set
+/// costs anything per round.
+///
+/// Thread-safety mirrors the store's writer partitioning: the engine sets
+/// the store's writers == shards and only ever touches user `u` from shard
+/// `u % shards`, so concurrent drains append to disjoint segments and
+/// disjoint index entries. register_user / enqueue / flush_residents /
+/// dump_policies are main-thread (setup or post-drain) only.
+class FleetEngine {
+ public:
+  static constexpr std::uint64_t kNoUser =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// `library`, `adl`, `store` and `reference` must outlive the engine.
+  /// `reference` is the donor table users start from before their first
+  /// write-back; its shape must match the store's schema.
+  /// Throws std::invalid_argument when store.writers() != params.shards
+  /// (the partitioning argument above would not hold).
+  FleetEngine(const adl::AdlLibrary& library, const adl::Adl& adl,
+              SegmentStore& store, const rl::QTable& reference,
+              FleetEngineParams params = {});
+
+  /// Registers a user with the given dementia severity. Ids are dense and
+  /// shared with the store. Setup-phase only.
+  std::uint64_t register_user(double severity);
+  std::size_t num_users() const noexcept { return severity_.size(); }
+
+  std::size_t shard_for(std::uint64_t user) const noexcept {
+    return static_cast<std::size_t>(user % shards_.size());
+  }
+
+  /// Queues one session for the user (bucketed straight onto its shard —
+  /// no per-drain redistribution pass).
+  void enqueue(std::uint64_t user);
+  std::size_t queued() const noexcept;
+
+  /// Serves every queued session, one trial per shard, and returns the
+  /// merged cumulative report.
+  FleetReport drain(exec::TrialRunner& runner);
+
+  /// Appends every resident table with unwritten sessions to the store
+  /// (post-drain, main thread) — the fleet-wide flush_all.
+  void flush_residents();
+
+  /// Clears the per-shard latency histograms (main thread, between drains).
+  /// The bench calls this after its warm-up round so the reported
+  /// percentiles cover only the timed traffic.
+  void reset_latency();
+
+  /// Hexfloat dump of every user's *stored* table and version — the
+  /// cross---jobs byte-identity witness the determinism test compares.
+  void dump_policies(std::ostream& out) const;
+
+  std::uint64_t version(std::uint64_t user) const;
+  const SegmentStore& store() const noexcept { return *store_; }
+  const FleetEngineParams& params() const noexcept { return params_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<core::CoredaSystem> system;
+    std::uint64_t resident = kNoUser;
+  };
+  struct Shard {
+    explicit Shard(std::size_t num_states, std::size_t num_actions)
+        : scratch_q(num_states, num_actions) {}
+    std::vector<Slot> slots;
+    std::vector<std::uint64_t> queue;  ///< users, in enqueue order
+    // Per-shard scratch reused across every session of every drain: the
+    // serve loop is allocation-free at steady state.
+    core::SessionResult result;
+    patient::PatientProfile profile;
+    rl::QTable scratch_q;
+    util::LatencyHistogram latency;
+    std::uint64_t sessions = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t prompts = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t cold_loads = 0;
+    std::uint64_t reference_starts = 0;
+    std::uint64_t appends = 0;
+  };
+
+  std::size_t slot_in_shard(std::uint64_t user) const noexcept {
+    return static_cast<std::size_t>((user / shards_.size()) %
+                                    params_.slots_per_shard);
+  }
+  void serve_one(Shard& sh, std::uint64_t user);
+  void append_user(Shard& sh, const Slot& slot, std::uint64_t user);
+
+  FleetEngineParams params_;
+  SegmentStore* store_;
+  const rl::QTable* reference_;
+  std::vector<Shard> shards_;
+  // Dense per-user state — the entire RAM cost of a registered user.
+  std::vector<double> severity_;
+  std::vector<std::uint64_t> version_;
+  std::vector<std::uint32_t> unflushed_;
+};
+
+}  // namespace coreda::serve

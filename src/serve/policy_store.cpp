@@ -79,21 +79,25 @@ void PolicyStore::stage(UserId user, const rl::QTable& q) {
   ++e.staged;
   ++e.unflushed;
   if (!params_.dir.empty() && e.unflushed >= params_.flush_every) {
-    write_snapshot(e);
+    persist_snapshot(user, e);
+    ++e.disk;
+    e.unflushed = 0;
   }
 }
 
 void PolicyStore::flush(UserId user) {
   Entry& e = entry(user);
   if (params_.dir.empty() || e.unflushed == 0) return;
-  write_snapshot(e);
+  persist_snapshot(user, e);
+  ++e.disk;
+  e.unflushed = 0;
 }
 
 void PolicyStore::flush_all() {
   for (UserId u = 0; u < entries_.size(); ++u) flush(u);
 }
 
-void PolicyStore::write_snapshot(Entry& e) {
+void PolicyStore::persist_snapshot(UserId, Entry& e) {
   const std::string path = params_.dir + "/" + e.name + ".policy";
   const std::string tmp = path + ".tmp";
   {
@@ -113,21 +117,24 @@ void PolicyStore::write_snapshot(Entry& e) {
     throw std::runtime_error("PolicyStore: cannot rename " + tmp + " to " +
                              path);
   }
-  ++e.disk;
-  e.unflushed = 0;
+}
+
+std::optional<std::uint64_t> PolicyStore::read_snapshot(UserId user,
+                                                        rl::QTable& staged) {
+  if (params_.dir.empty()) return std::nullopt;
+  const std::string path = params_.dir + "/" + entry(user).name + ".policy";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return planning::load_policy_v2(in, steps_, tools_, staged);
 }
 
 std::optional<std::uint64_t> PolicyStore::restore(UserId user) {
   Entry& e = entry(user);
-  if (params_.dir.empty()) return std::nullopt;
-  const std::string path = params_.dir + "/" + e.name + ".policy";
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
   rl::QTable staged(e.q.num_states(), e.q.num_actions());
-  const std::uint64_t version =
-      planning::load_policy_v2(in, steps_, tools_, staged);
+  const std::optional<std::uint64_t> version = read_snapshot(user, staged);
+  if (!version) return std::nullopt;
   e.q = staged;
-  e.version = version;
+  e.version = *version;
   e.unflushed = 0;
   return version;
 }

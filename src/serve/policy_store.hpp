@@ -41,6 +41,15 @@ struct PolicyStoreParams {
 /// can tell a stale snapshot from a current one, and a warm restart
 /// (restore()) resumes from the last flushed version.
 ///
+/// The class is open for alternative persistence backends: the staging /
+/// versioning / wear-batching logic lives here, while the four protected
+/// virtuals (persist_snapshot, read_snapshot, path_for,
+/// set_pre_publish_hook) define where bytes actually land. The base class
+/// writes one v2 snapshot file per user; SegmentPolicyStore
+/// (segment_store.hpp) overrides the seam to append into a memory-mapped
+/// segmented store instead, without ServeEngine or RetrainScheduler
+/// noticing the difference.
+///
 /// Thread-safety: add_user() and restore() are setup-phase only. stage()
 /// and the per-user readers may be called concurrently for *different*
 /// users (the ServeEngine shards disjoint users across slots); concurrent
@@ -58,17 +67,20 @@ class PolicyStore {
 
   /// Flushes every dirty entry (best effort — errors are swallowed, a
   /// destructor cannot throw; call flush_all() first to observe failures).
-  ~PolicyStore();
+  /// Derived stores must flush in their own destructor: by the time this
+  /// one runs, virtual dispatch has already fallen back to the base
+  /// persistence.
+  virtual ~PolicyStore();
 
   PolicyStore(const PolicyStore&) = delete;
   PolicyStore& operator=(const PolicyStore&) = delete;
 
   /// Registers a user starting from the reference policy. Not callable
   /// while sessions are being served (entry references would move).
-  UserId add_user(std::string name);
+  virtual UserId add_user(std::string name);
   /// Registers a user with an explicit starting table (must match the
   /// reference shape; throws std::invalid_argument otherwise).
-  UserId add_user(std::string name, const rl::QTable& initial);
+  virtual UserId add_user(std::string name, const rl::QTable& initial);
 
   std::size_t num_users() const noexcept { return entries_.size(); }
   const std::string& user_name(UserId user) const;
@@ -82,12 +94,12 @@ class PolicyStore {
   void stage(UserId user, const rl::QTable& q);
 
   /// Persists the user's entry now (no-op when memory-only). Throws
-  /// std::runtime_error when the file cannot be written.
+  /// std::runtime_error when the snapshot cannot be written.
   void flush(UserId user);
   void flush_all();
 
-  /// Warm restart: loads `<dir>/<name>.policy` into the entry and adopts
-  /// its version. Returns the version, or nullopt when the store is
+  /// Warm restart: loads the user's committed snapshot into the entry and
+  /// adopts its version. Returns the version, or nullopt when the store is
   /// memory-only or no snapshot exists yet. Throws std::runtime_error on a
   /// corrupt/mismatched snapshot (entry unchanged).
   std::optional<std::uint64_t> restore(UserId user);
@@ -95,11 +107,13 @@ class PolicyStore {
   /// Total stage() calls across users — the writes the policy tier *asked*
   /// for...
   std::uint64_t staged_writes() const noexcept;
-  /// ...and the snapshot files actually written — the wear the disk *saw*.
+  /// ...and the snapshots actually persisted — the wear the disk *saw*.
   std::uint64_t disk_writes() const noexcept;
 
-  /// Snapshot path for a user; empty when memory-only.
-  std::string path_for(UserId user) const;
+  /// Snapshot location for a user; empty when memory-only. The per-file
+  /// base store returns `<dir>/<name>.policy`; a segmented store returns
+  /// its directory (users share segments there).
+  virtual std::string path_for(UserId user) const;
 
   /// Fault-injection seam for the crash tests: invoked with the temp-file
   /// path after the snapshot body is fully written but *before* the rename
@@ -107,7 +121,8 @@ class PolicyStore {
   /// write-then-publish window — the temp file is left behind, the
   /// committed snapshot (if any) is untouched, and the entry still counts
   /// as unflushed so a later flush retries. Never set in production.
-  void set_pre_publish_hook(std::function<void(const std::string&)> hook) {
+  virtual void set_pre_publish_hook(
+      std::function<void(const std::string&)> hook) {
     pre_publish_hook_ = std::move(hook);
   }
 
@@ -115,19 +130,33 @@ class PolicyStore {
   std::span<const adl::ToolId> tools() const noexcept { return tools_; }
   const PolicyStoreParams& params() const noexcept { return params_; }
 
- private:
+ protected:
   struct Entry {
     std::string name;
     rl::QTable q;
     std::uint64_t version = 1;
     std::uint64_t staged = 0;    ///< stage() calls on this entry
-    std::uint64_t disk = 0;      ///< snapshot files written for this entry
-    std::size_t unflushed = 0;   ///< stages since the last disk write
+    std::uint64_t disk = 0;      ///< snapshot writes persisted for this entry
+    std::size_t unflushed = 0;   ///< stages since the last persisted write
   };
 
   Entry& entry(UserId user);
   const Entry& entry(UserId user) const;
-  void write_snapshot(Entry& e);
+
+  /// Backend seam: durably record `e` (table + version) for `user`. The
+  /// base implementation writes `<dir>/<name>.policy.tmp` then renames.
+  /// Must be atomic-publish (a crash mid-write leaves the previous
+  /// committed snapshot readable) and must leave `e.unflushed`/`e.disk`
+  /// untouched — the caller accounts for wear after a successful return.
+  virtual void persist_snapshot(UserId user, Entry& e);
+
+  /// Backend seam: load the committed snapshot for `user` into `staged`
+  /// (already shaped like the reference table) and return its version;
+  /// nullopt when the backend is memory-only or holds nothing for this
+  /// user; std::runtime_error when the committed bytes are corrupt. Must
+  /// not touch the resident entry — restore() commits only on success.
+  virtual std::optional<std::uint64_t> read_snapshot(UserId user,
+                                                     rl::QTable& staged);
 
   PolicyStoreParams params_;
   std::vector<adl::StepId> steps_;

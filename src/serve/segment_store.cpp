@@ -1,0 +1,671 @@
+#include "serve/segment_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "planning/serialize.hpp"
+
+namespace coreda::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::size_t kSegmentHeaderBytes = 40;
+constexpr char kMetaFileName[] = "store.meta";
+constexpr std::uint64_t kMetaFormatVersion = 1;
+
+std::uint64_t fnv1a(const unsigned char* data, std::size_t n) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void store_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void store_f64(unsigned char* p, double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  store_u64(p, bits);
+}
+
+double load_f64(const unsigned char* p) {
+  const std::uint64_t bits = load_u64(p);
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+std::string segment_file_name(std::uint64_t writer, std::uint64_t seq) {
+  char name[64];
+  std::snprintf(name, sizeof name, "seg-w%llu-%06llu.seg",
+                static_cast<unsigned long long>(writer),
+                static_cast<unsigned long long>(seq));
+  return name;
+}
+
+bool parse_segment_file_name(const std::string& name, std::uint64_t& writer,
+                             std::uint64_t& seq) {
+  unsigned long long w = 0, s = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "seg-w%llu-%llu.seg%n", &w, &s, &consumed) !=
+          2 ||
+      static_cast<std::size_t>(consumed) != name.size()) {
+    return false;
+  }
+  writer = w;
+  seq = s;
+  return true;
+}
+
+}  // namespace
+
+struct SegmentStore::Segment {
+  std::string path;
+  unsigned char* base = nullptr;
+  std::size_t bytes = 0;
+  std::uint64_t writer = 0;
+  std::uint64_t seq = 0;
+  std::size_t capacity = 0;  ///< record slots
+  std::size_t consumed = 0;  ///< leading slots written (published or torn)
+  std::atomic<std::uint64_t> live{0};  ///< records the index points at
+
+  ~Segment() {
+    if (base != nullptr) ::munmap(base, bytes);
+  }
+};
+
+struct SegmentStore::Writer {
+  std::uint64_t id = 0;
+  std::vector<std::unique_ptr<Segment>> segs;
+  Segment* tail = nullptr;  ///< append target; last element of segs
+  std::uint64_t next_seq = 0;
+};
+
+SegmentStore::SegmentStore(std::span<const adl::StepId> steps,
+                           std::span<const adl::ToolId> tools,
+                           std::size_t num_states, std::size_t num_actions,
+                           SegmentStoreParams params)
+    : params_(std::move(params)),
+      steps_(steps.begin(), steps.end()),
+      tools_(tools.begin(), tools.end()),
+      num_states_(num_states),
+      num_actions_(num_actions) {
+  if (params_.dir.empty()) {
+    throw std::invalid_argument("SegmentStore: dir is required");
+  }
+  if (params_.writers == 0) {
+    throw std::invalid_argument("SegmentStore: writers must be >= 1");
+  }
+  if (num_states_ == 0 || num_actions_ == 0) {
+    throw std::invalid_argument("SegmentStore: degenerate table shape");
+  }
+  record_bytes_ = 8 * (4 + num_states_ * num_actions_) + 8;
+  capacity_per_segment_ =
+      params_.segment_bytes > kSegmentHeaderBytes
+          ? (params_.segment_bytes - kSegmentHeaderBytes) / record_bytes_
+          : 0;
+  if (capacity_per_segment_ == 0) capacity_per_segment_ = 1;
+  for (std::size_t w = 0; w < params_.writers; ++w) {
+    writers_.push_back(std::make_unique<Writer>());
+    writers_.back()->id = w;
+  }
+  fs::create_directories(params_.dir);
+  if (fs::exists(params_.dir + "/" + kMetaFileName)) {
+    validate_meta();
+  } else {
+    write_meta();
+  }
+  open_existing_segments();
+}
+
+SegmentStore::~SegmentStore() = default;
+
+void SegmentStore::write_meta() const {
+  std::vector<unsigned char> buf(8 + 6 * 8 +
+                                 8 * (steps_.size() + tools_.size()) + 8);
+  unsigned char* p = buf.data();
+  std::memcpy(p, kStoreMetaMagic, 8);
+  p += 8;
+  store_u64(p, kMetaFormatVersion);
+  p += 8;
+  store_u64(p, steps_.size());
+  p += 8;
+  store_u64(p, tools_.size());
+  p += 8;
+  store_u64(p, num_states_);
+  p += 8;
+  store_u64(p, num_actions_);
+  p += 8;
+  store_u64(p, params_.segment_bytes);
+  p += 8;
+  for (const adl::StepId s : steps_) {
+    store_u64(p, static_cast<std::uint64_t>(s));
+    p += 8;
+  }
+  for (const adl::ToolId t : tools_) {
+    store_u64(p, static_cast<std::uint64_t>(t));
+    p += 8;
+  }
+  store_u64(p, fnv1a(buf.data(), buf.size() - 8));
+  const std::string path = params_.dir + "/" + kMetaFileName;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    if (!out.flush()) {
+      throw std::runtime_error("SegmentStore: cannot write " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("SegmentStore: cannot publish " + path);
+  }
+}
+
+void SegmentStore::validate_meta() const {
+  const std::string path = params_.dir + "/" + kMetaFileName;
+  std::ifstream in(path, std::ios::binary);
+  std::vector<unsigned char> buf{std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>()};
+  const std::size_t expected =
+      8 + 6 * 8 + 8 * (steps_.size() + tools_.size()) + 8;
+  if (buf.size() < 8 + 6 * 8 + 8 ||
+      std::memcmp(buf.data(), kStoreMetaMagic, 8) != 0) {
+    throw std::runtime_error("SegmentStore: " + path +
+                             " is not a coreda-policy store");
+  }
+  if (load_u64(buf.data() + buf.size() - 8) !=
+      fnv1a(buf.data(), buf.size() - 8)) {
+    throw std::runtime_error("SegmentStore: " + path + " checksum mismatch");
+  }
+  const unsigned char* p = buf.data() + 8;
+  const std::uint64_t format = load_u64(p);
+  const std::uint64_t n_steps = load_u64(p + 8);
+  const std::uint64_t n_tools = load_u64(p + 16);
+  const std::uint64_t n_states = load_u64(p + 24);
+  const std::uint64_t n_actions = load_u64(p + 32);
+  if (format != kMetaFormatVersion || buf.size() != expected ||
+      n_steps != steps_.size() || n_tools != tools_.size() ||
+      n_states != num_states_ || n_actions != num_actions_) {
+    throw std::runtime_error("SegmentStore: " + path +
+                             " schema differs from this deployment");
+  }
+  const unsigned char* vocab = buf.data() + 8 + 6 * 8;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (load_u64(vocab + 8 * i) != static_cast<std::uint64_t>(steps_[i])) {
+      throw std::runtime_error("SegmentStore: " + path +
+                               " step vocabulary differs");
+    }
+  }
+  vocab += 8 * steps_.size();
+  for (std::size_t i = 0; i < tools_.size(); ++i) {
+    if (load_u64(vocab + 8 * i) != static_cast<std::uint64_t>(tools_[i])) {
+      throw std::runtime_error("SegmentStore: " + path +
+                               " tool vocabulary differs");
+    }
+  }
+}
+
+void SegmentStore::open_existing_segments() {
+  struct Found {
+    std::uint64_t writer;
+    std::uint64_t seq;
+    std::string path;
+  };
+  std::vector<Found> found;
+  for (const fs::directory_entry& de : fs::directory_iterator(params_.dir)) {
+    std::uint64_t w = 0, seq = 0;
+    if (de.is_regular_file() &&
+        parse_segment_file_name(de.path().filename().string(), w, seq)) {
+      found.push_back({w, seq, de.path().string()});
+    }
+  }
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    return a.writer != b.writer ? a.writer < b.writer : a.seq < b.seq;
+  });
+  for (const Found& f : found) {
+    auto seg = std::make_unique<Segment>();
+    seg->path = f.path;
+    seg->writer = f.writer;
+    seg->seq = f.seq;
+    const int fd = ::open(f.path.c_str(), O_RDWR);
+    if (fd < 0) {
+      throw std::runtime_error("SegmentStore: cannot open " + f.path);
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw std::runtime_error("SegmentStore: cannot stat " + f.path);
+    }
+    seg->bytes = static_cast<std::size_t>(st.st_size);
+    void* map = ::mmap(nullptr, seg->bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+      throw std::runtime_error("SegmentStore: cannot mmap " + f.path);
+    }
+    seg->base = static_cast<unsigned char*>(map);
+    if (seg->bytes < kSegmentHeaderBytes ||
+        std::memcmp(seg->base, kSegmentMagic, 8) != 0 ||
+        load_u64(seg->base + 8) != f.writer ||
+        load_u64(seg->base + 16) != f.seq ||
+        load_u64(seg->base + 24) != record_bytes_) {
+      throw std::runtime_error("SegmentStore: " + f.path +
+                               " header does not match this store's schema");
+    }
+    seg->capacity = load_u64(seg->base + 32);
+    if (kSegmentHeaderBytes + seg->capacity * record_bytes_ > seg->bytes) {
+      throw std::runtime_error("SegmentStore: " + f.path +
+                               " is shorter than its header claims");
+    }
+    scan_segment(*seg);
+    if (f.writer < params_.writers) {
+      Writer& w = *writers_[f.writer];
+      w.next_seq = std::max(w.next_seq, f.seq + 1);
+      w.tail = seg.get();  // ascending seq: the last one wins
+      w.segs.push_back(std::move(seg));
+    } else {
+      retired_.push_back(std::move(seg));
+    }
+  }
+}
+
+void SegmentStore::scan_segment(Segment& seg) {
+  const std::uint64_t qn = num_states_ * num_actions_;
+  seg.consumed = seg.capacity;
+  for (std::size_t slot = 0; slot < seg.capacity; ++slot) {
+    const std::uint64_t offset = kSegmentHeaderBytes + slot * record_bytes_;
+    const unsigned char* rec = seg.base + offset;
+    if (load_u64(rec) == 0) {
+      // A never-published slot: the tail. (A crashed append leaves its body
+      // here with the magic still zero — overwritten by the next append.)
+      seg.consumed = slot;
+      break;
+    }
+    if (std::memcmp(rec, kRecordMagic, 8) != 0) continue;  // torn: dead weight
+    if (load_u64(rec + 24) != qn) continue;
+    if (load_u64(rec + record_bytes_ - 8) !=
+        fnv1a(rec + 8, record_bytes_ - 16)) {
+      continue;  // bit rot: the index falls back to an older valid record
+    }
+    publish_index(load_u64(rec + 8), &seg, offset, load_u64(rec + 16));
+  }
+}
+
+void SegmentStore::publish_index(std::uint64_t user, Segment* seg,
+                                 std::uint64_t offset, std::uint64_t version) {
+  if (user >= index_.size()) {
+    index_.resize(user + 1);  // scan/setup phase only; appends pre-check
+  }
+  IndexEntry& e = index_[user];
+  if (e.seg != nullptr) {
+    // Scan order is (writer, seq, slot) ascending, so an equal version seen
+    // later is a compaction copy of the same table: later position wins.
+    if (version < e.version) return;
+    e.seg->live.fetch_sub(1, std::memory_order_relaxed);
+  }
+  e = IndexEntry{seg, offset, version};
+  seg->live.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SegmentStore::reserve_users(std::uint64_t users) {
+  if (users > index_.size()) index_.resize(users);
+}
+
+SegmentStore::Segment* SegmentStore::new_segment(Writer& w) {
+  auto seg = std::make_unique<Segment>();
+  seg->writer = w.id;
+  seg->seq = w.next_seq++;
+  seg->capacity = capacity_per_segment_;
+  seg->bytes = kSegmentHeaderBytes + seg->capacity * record_bytes_;
+  seg->path = params_.dir + "/" + segment_file_name(w.id, seg->seq);
+  const int fd = ::open(seg->path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("SegmentStore: cannot create " + seg->path);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(seg->bytes)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("SegmentStore: cannot size " + seg->path);
+  }
+  void* map =
+      ::mmap(nullptr, seg->bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    throw std::runtime_error("SegmentStore: cannot mmap " + seg->path);
+  }
+  seg->base = static_cast<unsigned char*>(map);
+  std::memcpy(seg->base, kSegmentMagic, 8);
+  store_u64(seg->base + 8, w.id);
+  store_u64(seg->base + 16, seg->seq);
+  store_u64(seg->base + 24, record_bytes_);
+  store_u64(seg->base + 32, seg->capacity);
+  Segment* raw = seg.get();
+  w.segs.push_back(std::move(seg));
+  w.tail = raw;
+  return raw;
+}
+
+void SegmentStore::append(std::uint64_t user, const rl::QTable& q,
+                          std::uint64_t version) {
+  if (q.num_states() != num_states_ || q.num_actions() != num_actions_) {
+    throw std::runtime_error("SegmentStore::append: table shape mismatch");
+  }
+  if (user >= index_.size()) {
+    throw std::runtime_error(
+        "SegmentStore::append: user id beyond reserve_users()");
+  }
+  Writer& w = *writers_[user % params_.writers];
+  maybe_compact(w);
+  Segment* seg =
+      (w.tail != nullptr && w.tail->consumed < w.tail->capacity)
+          ? w.tail
+          : new_segment(w);
+  const std::uint64_t offset =
+      kSegmentHeaderBytes + seg->consumed * record_bytes_;
+  unsigned char* rec = seg->base + offset;
+  const std::uint64_t qn = num_states_ * num_actions_;
+  store_u64(rec, 0);  // never expose a stale magic while the body lands
+  store_u64(rec + 8, user);
+  store_u64(rec + 16, version);
+  store_u64(rec + 24, qn);
+  unsigned char* qp = rec + 32;
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    for (const double v : q.row(static_cast<rl::StateId>(s))) {
+      store_f64(qp, v);
+      qp += 8;
+    }
+  }
+  store_u64(rec + record_bytes_ - 8, fnv1a(rec + 8, record_bytes_ - 16));
+  if (pre_publish_hook_) pre_publish_hook_(seg->path);
+  // Publish: only now can a scan (or a crashed restart) see the record.
+  std::memcpy(rec, kRecordMagic, 8);
+  ++seg->consumed;
+  IndexEntry& e = index_[user];
+  if (e.seg != nullptr) e.seg->live.fetch_sub(1, std::memory_order_relaxed);
+  e = IndexEntry{seg, offset, version};
+  seg->live.fetch_add(1, std::memory_order_relaxed);
+  ++appends_;
+}
+
+std::optional<std::uint64_t> SegmentStore::latest_version(
+    std::uint64_t user) const {
+  if (user >= index_.size() || index_[user].seg == nullptr) {
+    return std::nullopt;
+  }
+  return index_[user].version;
+}
+
+std::optional<std::uint64_t> SegmentStore::load(std::uint64_t user,
+                                                rl::QTable& q) const {
+  if (q.num_states() != num_states_ || q.num_actions() != num_actions_) {
+    throw std::runtime_error("SegmentStore::load: table shape mismatch");
+  }
+  if (user >= index_.size()) return std::nullopt;
+  const IndexEntry& e = index_[user];
+  if (e.seg == nullptr) return std::nullopt;
+  const unsigned char* rec = e.seg->base + e.offset;
+  const std::uint64_t qn = num_states_ * num_actions_;
+  if (std::memcmp(rec, kRecordMagic, 8) != 0 || load_u64(rec + 8) != user ||
+      load_u64(rec + 16) != e.version || load_u64(rec + 24) != qn ||
+      load_u64(rec + record_bytes_ - 8) != fnv1a(rec + 8, record_bytes_ - 16)) {
+    throw std::runtime_error(
+        "SegmentStore::load: record failed validation (bit rot since the "
+        "open-time scan) for user " +
+        std::to_string(user));
+  }
+  const unsigned char* qp = rec + 32;
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    for (double& v : q.row_mut(static_cast<rl::StateId>(s))) {
+      v = load_f64(qp);
+      qp += 8;
+    }
+  }
+  return e.version;
+}
+
+void SegmentStore::maybe_compact(Writer& w) {
+  std::uint64_t consumed = 0, live = 0;
+  for (const auto& s : w.segs) {
+    consumed += s->consumed;
+    live += s->live.load(std::memory_order_relaxed);
+  }
+  if (consumed < params_.compact_min_records) return;
+  const std::uint64_t dead = consumed - std::min(live, consumed);
+  if (static_cast<double>(dead) <=
+      params_.compact_dead_ratio * static_cast<double>(consumed)) {
+    return;
+  }
+  compact_writer(w);
+}
+
+void SegmentStore::compact_writer(Writer& w) {
+  // Swap the chain out; relocations below append into fresh segments.
+  std::vector<std::unique_ptr<Segment>> old = std::move(w.segs);
+  w.segs.clear();
+  w.tail = nullptr;
+  for (std::uint64_t u = w.id; u < index_.size(); u += params_.writers) {
+    IndexEntry& e = index_[u];
+    if (e.seg == nullptr) continue;
+    Segment* dst =
+        (w.tail != nullptr && w.tail->consumed < w.tail->capacity)
+            ? w.tail
+            : new_segment(w);
+    const std::uint64_t offset =
+        kSegmentHeaderBytes + dst->consumed * record_bytes_;
+    std::memcpy(dst->base + offset, e.seg->base + e.offset, record_bytes_);
+    ++dst->consumed;
+    e.seg->live.fetch_sub(1, std::memory_order_relaxed);
+    dst->live.fetch_add(1, std::memory_order_relaxed);
+    e.seg = dst;
+    e.offset = offset;
+  }
+  // Unlink chain segments nothing references anymore. A segment still
+  // holding another writer's users (possible after a writers-count change)
+  // survives, ahead of the fresh tail so appends keep landing at the end.
+  std::vector<std::unique_ptr<Segment>> fresh = std::move(w.segs);
+  w.segs.clear();
+  for (auto& s : old) {
+    if (s->live.load(std::memory_order_relaxed) == 0) {
+      const std::string path = s->path;
+      s.reset();  // munmap before unlink
+      fs::remove(path);
+    } else {
+      w.segs.push_back(std::move(s));
+    }
+  }
+  for (auto& s : fresh) w.segs.push_back(std::move(s));
+  ++compactions_;
+}
+
+std::size_t SegmentStore::num_segments() const noexcept {
+  std::size_t n = retired_.size();
+  for (const auto& w : writers_) n += w->segs.size();
+  return n;
+}
+
+std::uint64_t SegmentStore::live_records() const noexcept {
+  std::uint64_t live = 0;
+  for (const auto& w : writers_) {
+    for (const auto& s : w->segs) live += s->live.load(std::memory_order_relaxed);
+  }
+  for (const auto& s : retired_) live += s->live.load(std::memory_order_relaxed);
+  return live;
+}
+
+std::uint64_t SegmentStore::dead_records() const noexcept {
+  std::uint64_t consumed = 0;
+  for (const auto& w : writers_) {
+    for (const auto& s : w->segs) consumed += s->consumed;
+  }
+  for (const auto& s : retired_) consumed += s->consumed;
+  const std::uint64_t live = live_records();
+  return consumed - std::min(live, consumed);
+}
+
+bool SegmentStore::is_store_dir(const std::string& dir) {
+  std::error_code ec;
+  return fs::is_regular_file(dir + "/" + kMetaFileName, ec);
+}
+
+SegmentStore::Info SegmentStore::inspect(const std::string& dir) {
+  Info info;
+  std::ifstream meta_in(dir + "/" + kMetaFileName, std::ios::binary);
+  std::vector<unsigned char> meta{std::istreambuf_iterator<char>(meta_in),
+                                  std::istreambuf_iterator<char>()};
+  if (meta.size() < 8 + 6 * 8 + 8 ||
+      std::memcmp(meta.data(), kStoreMetaMagic, 8) != 0) {
+    return info;
+  }
+  info.num_steps = load_u64(meta.data() + 16);
+  info.num_tools = load_u64(meta.data() + 24);
+  info.num_states = load_u64(meta.data() + 32);
+  info.num_actions = load_u64(meta.data() + 40);
+  info.meta_ok =
+      meta.size() == 8 + 6 * 8 + 8 * (info.num_steps + info.num_tools) + 8 &&
+      load_u64(meta.data() + meta.size() - 8) ==
+          fnv1a(meta.data(), meta.size() - 8);
+  if (!info.meta_ok) return info;
+
+  const std::uint64_t qn = info.num_states * info.num_actions;
+  const std::size_t record_bytes = 8 * (4 + qn) + 8;
+  std::vector<std::pair<std::uint64_t, std::string>> files;  // (writer<<32|seq)
+  for (const fs::directory_entry& de : fs::directory_iterator(dir)) {
+    std::uint64_t w = 0, seq = 0;
+    if (de.is_regular_file() &&
+        parse_segment_file_name(de.path().filename().string(), w, seq)) {
+      files.emplace_back((w << 32) | seq, de.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::map<std::uint64_t, std::uint64_t> latest;  // user -> newest version
+  for (const auto& [key, path] : files) {
+    ++info.segments;
+    std::ifstream in(path, std::ios::binary);
+    std::vector<unsigned char> buf{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+    if (buf.size() < kSegmentHeaderBytes ||
+        std::memcmp(buf.data(), kSegmentMagic, 8) != 0 ||
+        load_u64(buf.data() + 24) != record_bytes) {
+      ++info.corrupt_records;
+      continue;
+    }
+    const std::uint64_t capacity = load_u64(buf.data() + 32);
+    for (std::uint64_t slot = 0; slot < capacity; ++slot) {
+      const std::size_t off = kSegmentHeaderBytes + slot * record_bytes;
+      if (off + record_bytes > buf.size()) break;
+      const unsigned char* rec = buf.data() + off;
+      if (load_u64(rec) == 0) break;  // tail
+      if (std::memcmp(rec, kRecordMagic, 8) != 0 ||
+          load_u64(rec + 24) != qn ||
+          load_u64(rec + record_bytes - 8) !=
+              fnv1a(rec + 8, record_bytes - 16)) {
+        ++info.corrupt_records;
+        continue;
+      }
+      ++info.records;
+      const std::uint64_t user = load_u64(rec + 8);
+      const std::uint64_t version = load_u64(rec + 16);
+      auto [it, inserted] = latest.emplace(user, version);
+      if (!inserted) it->second = std::max(it->second, version);
+      info.max_version = std::max(info.max_version, version);
+    }
+  }
+  info.users = latest.size();
+  info.live_records = latest.size();
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentPolicyStore
+// ---------------------------------------------------------------------------
+
+SegmentPolicyStore::SegmentPolicyStore(
+    const planning::RoutineLearner& reference, SegmentPolicyStoreParams params)
+    : PolicyStore(reference,
+                  PolicyStoreParams{params.dir, params.flush_every}),
+      seg_(steps(), tools(), reference.q().num_states(),
+           reference.q().num_actions(),
+           SegmentStoreParams{params.dir, params.segment_bytes, params.writers,
+                              params.compact_dead_ratio,
+                              params.compact_min_records}) {}
+
+SegmentPolicyStore::~SegmentPolicyStore() {
+  try {
+    flush_all();
+  } catch (...) {
+    // Same contract as the base destructor: an unflushed tail only costs
+    // the stages since the last flush.
+  }
+}
+
+UserId SegmentPolicyStore::add_user(std::string name) {
+  const UserId u = PolicyStore::add_user(std::move(name));
+  seg_.reserve_users(num_users());
+  return u;
+}
+
+UserId SegmentPolicyStore::add_user(std::string name,
+                                    const rl::QTable& initial) {
+  const UserId u = PolicyStore::add_user(std::move(name), initial);
+  seg_.reserve_users(num_users());
+  return u;
+}
+
+std::string SegmentPolicyStore::path_for(UserId user) const {
+  entry(user);  // same unknown-id validation as the base store
+  return params().dir;
+}
+
+void SegmentPolicyStore::persist_snapshot(UserId user, Entry& e) {
+  seg_.append(user, e.q, e.version);
+}
+
+std::optional<std::uint64_t> SegmentPolicyStore::read_snapshot(
+    UserId user, rl::QTable& staged) {
+  return seg_.load(user, staged);
+}
+
+std::size_t SegmentPolicyStore::import_v2_dir(const std::string& from_dir) {
+  std::size_t imported = 0;
+  for (UserId u = 0; u < num_users(); ++u) {
+    const std::string path = from_dir + "/" + user_name(u) + ".policy";
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    Entry& e = entry(u);
+    rl::QTable staged(e.q.num_states(), e.q.num_actions());
+    const std::uint64_t version =
+        planning::load_policy_v2(in, steps_, tools_, staged);
+    e.q = staged;
+    e.version = version;
+    persist_snapshot(u, e);
+    ++e.disk;
+    e.unflushed = 0;
+    ++imported;
+  }
+  return imported;
+}
+
+}  // namespace coreda::serve

@@ -1,0 +1,254 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/policy_store.hpp"
+
+namespace coreda::serve {
+
+// ---------------------------------------------------------------------------
+// "coreda-policy store v1" — the fleet tier's memory-mapped segmented store.
+//
+// One directory holds the whole fleet's policies:
+//
+//   store.meta            schema: vocabularies + table shape (atomic
+//                         temp+rename publish, FNV-1a 64 trailer)
+//   seg-w<writer>-<seq>.seg   fixed-size mmap'd segments of packed records
+//
+// Segment layout (all integers little-endian u64, doubles as LE IEEE-754
+// bit patterns):
+//
+//   header   40 bytes   magic "CRDASEG1", writer, seq, record_bytes,
+//                       capacity (record slots)
+//   records  capacity x record_bytes, fixed stride
+//
+// Record layout (record_bytes = 8 * (4 + n_states * n_actions) + 8):
+//
+//   rec_magic  u64   "CRDAREC1" — written LAST: the atomic publish
+//   user       u64
+//   version    u64
+//   q_count    u64   n_states * n_actions
+//   q          q_count x f64, row-major
+//   checksum   u64   FNV-1a 64 over bytes [8, record_bytes - 8)
+//
+// Appends never rewrite a published record: a new version is a new record,
+// the in-memory user -> (segment, offset, version) index flips to it, and
+// the superseded record becomes dead weight until compaction rewrites the
+// writer's live records into fresh segments and unlinks the empties. The
+// crash story mirrors PolicyStore's temp+rename: the record body and
+// checksum land first, the magic word last, so a crash in between leaves a
+// slot whose magic is still zero — the scan-on-open treats it as the tail
+// and the next append simply overwrites it. A bit flip anywhere in a
+// published record fails the checksum on scan and on load, and the index
+// falls back to the newest *valid* record for that user.
+//
+// Writer partitioning: user `u` belongs to writer `u % writers`, and each
+// writer owns its own segment chain and tail. The ServeEngine/FleetEngine
+// map writers 1:1 onto slot/shard threads, so concurrent drains append to
+// disjoint segments and touch disjoint index entries — no locks on the hot
+// path. The only cross-writer traffic is the relaxed per-segment `live`
+// counter (a record superseded by another writer after a writers-count
+// change decrements a foreign segment).
+// ---------------------------------------------------------------------------
+
+/// The 8 magic bytes opening store.meta / every segment / every record.
+inline constexpr char kStoreMetaMagic[8] = {'C', 'R', 'D', 'A',
+                                            'S', 'T', 'R', '1'};
+inline constexpr char kSegmentMagic[8] = {'C', 'R', 'D', 'A',
+                                          'S', 'E', 'G', '1'};
+inline constexpr char kRecordMagic[8] = {'C', 'R', 'D', 'A',
+                                         'R', 'E', 'C', '1'};
+
+struct SegmentStoreParams {
+  /// Store directory (required). Created when missing; an existing store
+  /// is validated against the constructor's schema and its index rebuilt
+  /// by scanning every segment.
+  std::string dir;
+  /// Target segment file size. The record capacity is whatever fits after
+  /// the header (at least one record, so a table bigger than the target
+  /// still stores).
+  std::size_t segment_bytes = std::size_t{1} << 20;
+  /// Writer lanes: user `u` appends via writer `u % writers`. Size this to
+  /// the number of threads appending concurrently (pool slots / fleet
+  /// shards). Determinism note: the records a store holds are independent
+  /// of `writers`; only their distribution across segment files changes.
+  std::size_t writers = 1;
+  /// Compact a writer's chain when dead records exceed this fraction of
+  /// its records (and the chain has at least compact_min_records).
+  double compact_dead_ratio = 0.5;
+  std::size_t compact_min_records = 64;
+};
+
+/// The raw record store: append / load / scan / compact. Knows nothing of
+/// PolicyStore entries — SegmentPolicyStore below adapts it to the serving
+/// tier's staging protocol, and FleetEngine drives it directly (at fleet
+/// scale there is no resident per-user table to adapt).
+class SegmentStore {
+ public:
+  /// Opens (or creates) the store at params.dir with the given schema.
+  /// Throws std::runtime_error when an existing store.meta disagrees with
+  /// the schema, std::invalid_argument on degenerate params.
+  SegmentStore(std::span<const adl::StepId> steps,
+               std::span<const adl::ToolId> tools, std::size_t num_states,
+               std::size_t num_actions, SegmentStoreParams params);
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Pre-sizes the user index (setup phase only — concurrent appends must
+  /// never grow it). Appending for a user id >= the reserved count throws.
+  void reserve_users(std::uint64_t users);
+
+  /// Durably records (user, version, q). Steady-state allocation-free: the
+  /// record lands straight in the current tail segment's mapping; only a
+  /// segment roll or compaction allocates. Throws std::runtime_error on a
+  /// shape mismatch or I/O failure. Safe to call concurrently for users of
+  /// *different* writers (`user % writers()`).
+  void append(std::uint64_t user, const rl::QTable& q, std::uint64_t version);
+
+  /// Version of the newest valid record for `user`, nullopt when none.
+  std::optional<std::uint64_t> latest_version(std::uint64_t user) const;
+
+  /// Loads the newest record for `user` into `q` (must match the schema
+  /// shape). Returns its version, or nullopt when the store holds nothing
+  /// for this user. Throws std::runtime_error when the indexed record
+  /// fails validation (bit rot after the open-time scan); `q` is written
+  /// only after full validation. Allocation-free.
+  std::optional<std::uint64_t> load(std::uint64_t user, rl::QTable& q) const;
+
+  std::size_t writers() const noexcept { return params_.writers; }
+  std::size_t num_segments() const noexcept;
+  /// Records published and still current / superseded-or-invalid.
+  std::uint64_t live_records() const noexcept;
+  std::uint64_t dead_records() const noexcept;
+  std::uint64_t appends() const noexcept { return appends_; }
+  std::uint64_t compactions() const noexcept { return compactions_; }
+  const SegmentStoreParams& params() const noexcept { return params_; }
+  std::size_t num_states() const noexcept { return num_states_; }
+  std::size_t num_actions() const noexcept { return num_actions_; }
+
+  /// Crash seam, mirroring PolicyStore: called with the segment path after
+  /// the record body + checksum are written but before the magic publishes
+  /// the record. A throwing hook aborts the append — the tail does not
+  /// advance, the index keeps the previous version, and the half-written
+  /// slot is overwritten by the next append (or ignored by the next scan).
+  void set_pre_publish_hook(std::function<void(const std::string&)> hook) {
+    pre_publish_hook_ = std::move(hook);
+  }
+
+  /// Offline summary of a store directory for operator tooling (`coreda
+  /// policy inspect`). Opens read-only; never repairs anything.
+  struct Info {
+    std::size_t num_steps = 0;
+    std::size_t num_tools = 0;
+    std::size_t num_states = 0;
+    std::size_t num_actions = 0;
+    std::size_t segments = 0;
+    std::uint64_t records = 0;        ///< published slots scanned
+    std::uint64_t corrupt_records = 0;  ///< failed magic/checksum validation
+    std::uint64_t users = 0;          ///< distinct users with a valid record
+    std::uint64_t live_records = 0;   ///< == users (newest per user)
+    std::uint64_t max_version = 0;
+    bool meta_ok = false;
+  };
+  static Info inspect(const std::string& dir);
+  /// Whether `dir` looks like a segment store (has a store.meta).
+  static bool is_store_dir(const std::string& dir);
+
+ private:
+  struct Segment;
+  struct Writer;
+  struct IndexEntry {
+    Segment* seg = nullptr;
+    std::uint64_t offset = 0;  ///< record start, bytes from segment base
+    std::uint64_t version = 0;
+  };
+
+  void write_meta() const;
+  void validate_meta() const;
+  void open_existing_segments();
+  Segment* new_segment(Writer& w);
+  void scan_segment(Segment& seg);
+  void publish_index(std::uint64_t user, Segment* seg, std::uint64_t offset,
+                     std::uint64_t version);
+  void maybe_compact(Writer& w);
+  void compact_writer(Writer& w);
+
+  SegmentStoreParams params_;
+  std::vector<adl::StepId> steps_;
+  std::vector<adl::ToolId> tools_;
+  std::size_t num_states_ = 0;
+  std::size_t num_actions_ = 0;
+  std::size_t record_bytes_ = 0;
+  std::size_t capacity_per_segment_ = 0;
+  std::vector<std::unique_ptr<Writer>> writers_;
+  /// Segments found on open whose writer id exceeds params.writers (the
+  /// store was reopened with fewer lanes). Read-only until compaction of
+  /// the owning users' new writers drains them to zero live records — they
+  /// are never appended to.
+  std::vector<std::unique_ptr<Segment>> retired_;
+  std::vector<IndexEntry> index_;
+  std::uint64_t appends_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::function<void(const std::string&)> pre_publish_hook_;
+};
+
+struct SegmentPolicyStoreParams {
+  std::string dir;  ///< required: the segment store directory
+  std::size_t flush_every = 8;
+  std::size_t segment_bytes = std::size_t{1} << 20;
+  std::size_t writers = 1;
+  double compact_dead_ratio = 0.5;
+  std::size_t compact_min_records = 64;
+};
+
+/// PolicyStore backed by a SegmentStore: same staging / versioning / wear
+/// batching / crash semantics, but flushes append mmap records instead of
+/// writing one file per user. Drop-in for ServeEngine and RetrainScheduler.
+class SegmentPolicyStore final : public PolicyStore {
+ public:
+  SegmentPolicyStore(const planning::RoutineLearner& reference,
+                     SegmentPolicyStoreParams params);
+  /// Flushes dirty entries into the segment store (best effort) before the
+  /// base destructor runs with its virtual dispatch gone.
+  ~SegmentPolicyStore() override;
+
+  UserId add_user(std::string name) override;
+  UserId add_user(std::string name, const rl::QTable& initial) override;
+
+  /// Imports every `<name>.policy` v2 snapshot in `from_dir` whose stem
+  /// matches a registered user: the entry adopts the snapshot's table and
+  /// version and is flushed into the segment store immediately. Returns
+  /// the number of users imported. Throws std::runtime_error on a corrupt
+  /// or mismatched snapshot (the migration CLI wants loud failures, not
+  /// silently dropped users).
+  std::size_t import_v2_dir(const std::string& from_dir);
+
+  const SegmentStore& segments() const noexcept { return seg_; }
+
+  /// The segment store shares segment files across users: path_for returns
+  /// the store directory.
+  std::string path_for(UserId user) const override;
+  void set_pre_publish_hook(
+      std::function<void(const std::string&)> hook) override {
+    seg_.set_pre_publish_hook(std::move(hook));
+  }
+
+ protected:
+  void persist_snapshot(UserId user, Entry& e) override;
+  std::optional<std::uint64_t> read_snapshot(UserId user,
+                                             rl::QTable& staged) override;
+
+ private:
+  SegmentStore seg_;
+};
+
+}  // namespace coreda::serve

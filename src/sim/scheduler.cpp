@@ -14,6 +14,12 @@ bool EventHandle::cancelled() const noexcept {
   return scheduler_ && scheduler_->slot_cancelled(slot_, generation_);
 }
 
+void Scheduler::reserve(std::size_t events) {
+  heap_.reserve(events);
+  slots_.reserve(events);
+  free_slots_.reserve(events);
+}
+
 std::uint32_t Scheduler::acquire_slot() {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();

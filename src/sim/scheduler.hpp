@@ -65,6 +65,12 @@ class Scheduler {
 
   TimePoint now() const noexcept { return now_; }
 
+  /// Pre-sizes the event heap and the slot pool for `events` simultaneously
+  /// pending events. Purely a capacity hint: a cold system's first session
+  /// otherwise pays the growth allocations mid-run, which shows up in the
+  /// serving benches' allocs_per_session.
+  void reserve(std::size_t events);
+
   /// Schedules `fn` at absolute time `when`. Scheduling in the past is a
   /// programming error and throws std::invalid_argument.
   EventHandle schedule_at(TimePoint when, Callback fn);

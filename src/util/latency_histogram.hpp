@@ -1,0 +1,97 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace coreda::util {
+
+/// Fixed-bucket log-linear latency histogram for the serving hot path.
+///
+/// Buckets are HDR-style: 8 linear sub-buckets per power of two, giving a
+/// worst-case quantile error of ~12.5% of the value — plenty for p50/p99/
+/// p999 serve-latency gating — over the full u64 nanosecond range. The
+/// whole state is one inline std::array, so record() is noexcept and
+/// allocation-free (the zero-allocation contract the serve tier's session
+/// loop keeps), and merge() makes per-shard histograms safe: each shard
+/// records into its own instance during a drain and the engine folds them
+/// together afterwards, no atomics on the hot path.
+///
+/// Values are nanoseconds by convention, but nothing depends on the unit.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kSubBits = 3;  ///< 8 sub-buckets per octave
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;
+  /// Identity region [0, 8) + one kSub group per remaining exponent.
+  static constexpr std::size_t kBuckets = kSub + (64 - kSubBits) * kSub;
+
+  void record(std::uint64_t value) noexcept {
+    counts_[bucket_of(value)] += 1;
+    ++count_;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  void reset() noexcept { *this = LatencyHistogram{}; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  /// Value at quantile `q` in [0, 1]: the midpoint of the bucket holding
+  /// the ceil(q * count)-th smallest sample, clamped into [min, max] so the
+  /// extremes are exact. 0 when the histogram is empty.
+  double quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return static_cast<double>(min_);
+    if (q >= 1.0) return static_cast<double>(max_);
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;  // 0-based index of the sample
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen > rank) {
+        const double lo = static_cast<double>(bucket_floor(b));
+        const double hi = static_cast<double>(bucket_floor(b + 1));
+        double mid = lo + (hi - lo) / 2.0;
+        if (mid < static_cast<double>(min_)) mid = static_cast<double>(min_);
+        if (mid > static_cast<double>(max_)) mid = static_cast<double>(max_);
+        return mid;
+      }
+    }
+    return static_cast<double>(max_);  // unreachable when counts are coherent
+  }
+
+  /// Smallest value mapping into bucket `b` (inverse of bucket_of).
+  static constexpr std::uint64_t bucket_floor(std::size_t b) noexcept {
+    if (b < kSub) return b;
+    const std::size_t group = (b - kSub) >> kSubBits;
+    const std::size_t sub = (b - kSub) & (kSub - 1);
+    return (kSub + sub) << group;
+  }
+
+  static constexpr std::size_t bucket_of(std::uint64_t value) noexcept {
+    if (value < kSub) return static_cast<std::size_t>(value);
+    const int exponent = 63 - std::countl_zero(value);  // value in [2^e, 2^e+1)
+    const std::size_t group = static_cast<std::size_t>(exponent) - kSubBits;
+    const std::size_t sub =
+        static_cast<std::size_t>(value >> group) & (kSub - 1);
+    return kSub + (group << kSubBits) + sub;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace coreda::util

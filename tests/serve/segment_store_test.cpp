@@ -1,0 +1,491 @@
+// The segment store's contract, mirroring the per-file PolicyStore suite
+// one storage generation up:
+//
+//   * append/load round-trips are bit-exact, latest version wins, and a
+//     reopen rebuilds the index to exactly the pre-shutdown view;
+//   * the exhaustive corruption sweep (policy_fuzz_test's) — a one-byte
+//     flip at EVERY offset of a committed record is caught by the record
+//     checksum: an open store's load() throws with the destination table
+//     untouched, and a reopening store falls back to the newest *valid*
+//     record for that user;
+//   * crash injection between the record write and the magic publish
+//     (policy_crash_test's window): the append aborts, the index keeps the
+//     previous version, the half-written slot is invisible to a restart
+//     and gets overwritten by the retry;
+//   * compaction preserves every user's latest version and actually
+//     returns disk space (segment files are unlinked);
+//   * SegmentPolicyStore is a drop-in PolicyStore: the ServeEngine drains
+//     the same sessions to the same checksums over either backend, and v2
+//     per-file snapshots import.
+
+#include "serve/segment_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "adl/library.hpp"
+#include "serve/engine.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Format constants (segment_store.hpp): a 6x5 table gives
+// record_bytes = 8 * (4 + 30) + 8 = 280 after the 40-byte segment header.
+constexpr std::size_t kHeaderBytes = 40;
+constexpr std::size_t kRecordBytes = 280;
+
+bool bit_equal(const rl::QTable& a, const rl::QTable& b) {
+  if (a.num_states() != b.num_states() ||
+      a.num_actions() != b.num_actions()) {
+    return false;
+  }
+  for (rl::StateId s = 0; s < a.num_states(); ++s) {
+    const std::span<const double> ra = a.row(s);
+    const std::span<const double> rb = b.row(s);
+    if (std::memcmp(ra.data(), rb.data(), ra.size_bytes()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SegmentStoreFixture : ::testing::Test {
+  static constexpr std::size_t kStates = 6;
+  static constexpr std::size_t kActions = 5;
+
+  std::vector<adl::StepId> steps = [] {
+    std::vector<adl::StepId> v(kStates);
+    for (std::size_t i = 0; i < kStates; ++i) {
+      v[i] = static_cast<adl::StepId>(i + 1);
+    }
+    return v;
+  }();
+  std::vector<adl::ToolId> tools = [] {
+    std::vector<adl::ToolId> v(kActions);
+    for (std::size_t i = 0; i < kActions; ++i) {
+      v[i] = static_cast<adl::ToolId>(100 + i);
+    }
+    return v;
+  }();
+
+  std::string fresh_dir(const char* name) {
+    const std::string dir = ::testing::TempDir() + "/coreda_seg_" + name;
+    fs::remove_all(dir);
+    return dir;
+  }
+
+  SegmentStoreParams small_params(const std::string& dir) {
+    SegmentStoreParams p;
+    p.dir = dir;
+    return p;
+  }
+
+  rl::QTable table(std::uint64_t seed) {
+    rl::QTable q(kStates, kActions);
+    util::Rng rng(seed);
+    for (rl::StateId s = 0; s < kStates; ++s) {
+      for (rl::ActionId a = 0; a < kActions; ++a) {
+        q.set(s, a, rng.uniform(-1e3, 1e3));
+      }
+    }
+    return q;
+  }
+
+  std::unique_ptr<SegmentStore> open(const SegmentStoreParams& p) {
+    return std::make_unique<SegmentStore>(steps, tools, kStates, kActions, p);
+  }
+
+  std::size_t segment_files(const std::string& dir) {
+    std::size_t n = 0;
+    for (const fs::directory_entry& de : fs::directory_iterator(dir)) {
+      if (de.path().extension() == ".seg") ++n;
+    }
+    return n;
+  }
+};
+
+TEST_F(SegmentStoreFixture, AppendLoadRoundTripsAndLatestVersionWins) {
+  const std::string dir = fresh_dir("roundtrip");
+  auto store = open(small_params(dir));
+  store->reserve_users(3);
+
+  const rl::QTable q1 = table(1), q2 = table(2), q3 = table(3);
+  store->append(0, q1, 1);
+  store->append(1, q2, 1);
+  store->append(0, q3, 2);  // supersedes user 0's first record
+
+  EXPECT_EQ(store->latest_version(0), std::optional<std::uint64_t>{2});
+  EXPECT_EQ(store->latest_version(1), std::optional<std::uint64_t>{1});
+  EXPECT_EQ(store->latest_version(2), std::nullopt);
+
+  rl::QTable out(kStates, kActions);
+  EXPECT_EQ(store->load(0, out), std::optional<std::uint64_t>{2});
+  EXPECT_TRUE(bit_equal(out, q3));
+  EXPECT_EQ(store->load(1, out), std::optional<std::uint64_t>{1});
+  EXPECT_TRUE(bit_equal(out, q2));
+  EXPECT_EQ(store->load(2, out), std::nullopt);
+  EXPECT_TRUE(bit_equal(out, q2));  // a miss never touches the destination
+
+  EXPECT_EQ(store->appends(), 3u);
+  EXPECT_EQ(store->live_records(), 2u);
+  EXPECT_EQ(store->dead_records(), 1u);
+}
+
+TEST_F(SegmentStoreFixture, ReopenRebuildsTheIndexIdentically) {
+  const std::string dir = fresh_dir("reopen");
+  std::vector<rl::QTable> latest;
+  {
+    auto store = open(small_params(dir));
+    store->reserve_users(8);
+    for (std::uint64_t u = 0; u < 8; ++u) {
+      for (std::uint64_t v = 1; v <= u % 3 + 1; ++v) {
+        store->append(u, table(10 * u + v), v);
+      }
+      latest.push_back(table(10 * u + (u % 3 + 1)));
+    }
+  }  // destructor unmaps everything
+
+  auto reopened = open(small_params(dir));
+  rl::QTable out(kStates, kActions);
+  for (std::uint64_t u = 0; u < 8; ++u) {
+    ASSERT_EQ(reopened->load(u, out), std::optional<std::uint64_t>{u % 3 + 1})
+        << "user " << u;
+    EXPECT_TRUE(bit_equal(out, latest[u])) << "user " << u;
+  }
+  EXPECT_EQ(reopened->live_records(), 8u);
+  // Appending after the reopen lands after the scanned tail, never on top
+  // of an existing record.
+  const std::uint64_t dead_before = reopened->dead_records();
+  reopened->append(0, table(777), 9);
+  EXPECT_EQ(reopened->latest_version(0), std::optional<std::uint64_t>{9});
+  EXPECT_EQ(reopened->dead_records(), dead_before + 1);
+}
+
+TEST_F(SegmentStoreFixture, ReopenRejectsASchemaMismatch) {
+  const std::string dir = fresh_dir("schema");
+  { open(small_params(dir)); }
+  SegmentStoreParams p = small_params(dir);
+  EXPECT_THROW(SegmentStore(steps, tools, kStates + 1, kActions, p),
+               std::runtime_error);
+  std::vector<adl::ToolId> other_tools = tools;
+  other_tools.back() = 999;
+  EXPECT_THROW(SegmentStore(steps, other_tools, kStates, kActions, p),
+               std::runtime_error);
+}
+
+TEST_F(SegmentStoreFixture, EveryOneByteFlipInACommittedRecordIsRejected) {
+  const std::string dir = fresh_dir("sweep");
+  const rl::QTable v1 = table(41), v2 = table(42);
+  auto store = open(small_params(dir));
+  store->reserve_users(1);
+  store->append(0, v1, 1);
+  store->append(0, v2, 2);
+  // Both records live in writer 0's first segment: v1 at slot 0, v2 at
+  // slot 1.
+  const std::string seg_path = dir + "/seg-w0-000000.seg";
+  ASSERT_TRUE(fs::exists(seg_path));
+  const std::size_t rec_off = kHeaderBytes + 1 * kRecordBytes;
+
+  const auto flip = [&](std::size_t offset) {
+    std::fstream f(seg_path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.get(byte);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(static_cast<char>(byte ^ 0x5A));
+    f.flush();
+  };
+
+  rl::QTable out(kStates, kActions);
+  ASSERT_EQ(store->load(0, out), std::optional<std::uint64_t>{2});
+  for (std::size_t i = 0; i < kRecordBytes; ++i) {
+    flip(rec_off + i);
+    // The open store's index points at the now-corrupt v2 record: the load
+    // must throw and leave the destination untouched (MAP_SHARED makes the
+    // file flip visible through the mapping immediately).
+    rl::QTable victim(kStates, kActions, 7.5);
+    const rl::QTable before = victim;
+    EXPECT_THROW(store->load(0, victim), std::runtime_error)
+        << "offset " << i;
+    EXPECT_TRUE(bit_equal(victim, before)) << "offset " << i;
+    // A restarting reader scans past the bad record and falls back to the
+    // newest valid one: version 1.
+    {
+      auto reader = open(small_params(dir));
+      rl::QTable fallback(kStates, kActions);
+      ASSERT_EQ(reader->load(0, fallback), std::optional<std::uint64_t>{1})
+          << "offset " << i;
+      EXPECT_TRUE(bit_equal(fallback, v1)) << "offset " << i;
+    }
+    flip(rec_off + i);  // restore
+  }
+  // Control: with every byte restored the record validates again.
+  EXPECT_EQ(store->load(0, out), std::optional<std::uint64_t>{2});
+  EXPECT_TRUE(bit_equal(out, v2));
+}
+
+TEST_F(SegmentStoreFixture, CrashBetweenAppendAndPublishLeavesStoreOnOld) {
+  const std::string dir = fresh_dir("crash");
+  const rl::QTable v1 = table(51), v2 = table(52);
+  auto store = open(small_params(dir));
+  store->reserve_users(1);
+  store->append(0, v1, 1);
+
+  store->set_pre_publish_hook([](const std::string&) {
+    throw std::runtime_error("injected crash before the magic publish");
+  });
+  EXPECT_THROW(store->append(0, v2, 2), std::runtime_error);
+  // The tail did not advance and the index still serves version 1.
+  EXPECT_EQ(store->latest_version(0), std::optional<std::uint64_t>{1});
+  rl::QTable out(kStates, kActions);
+  EXPECT_EQ(store->load(0, out), std::optional<std::uint64_t>{1});
+  EXPECT_TRUE(bit_equal(out, v1));
+  EXPECT_EQ(store->appends(), 1u);
+
+  // A restart over the crashed store sees only the committed record — the
+  // half-written slot has no magic and is invisible to the scan.
+  {
+    auto reader = open(small_params(dir));
+    EXPECT_EQ(reader->latest_version(0), std::optional<std::uint64_t>{1});
+    EXPECT_EQ(reader->live_records(), 1u);
+    EXPECT_EQ(reader->dead_records(), 0u);
+  }
+
+  // Crash over: the retry overwrites the abandoned slot and publishes.
+  store->set_pre_publish_hook(nullptr);
+  store->append(0, v2, 2);
+  EXPECT_EQ(store->load(0, out), std::optional<std::uint64_t>{2});
+  EXPECT_TRUE(bit_equal(out, v2));
+  EXPECT_EQ(store->live_records(), 1u);
+  EXPECT_EQ(store->dead_records(), 1u);  // v1, superseded
+}
+
+TEST_F(SegmentStoreFixture, CompactionKeepsLatestVersionsAndUnlinksSegments) {
+  const std::string dir = fresh_dir("compact");
+  SegmentStoreParams p = small_params(dir);
+  p.segment_bytes = kHeaderBytes + 4 * kRecordBytes;  // 4 records per segment
+  p.compact_min_records = 8;
+  p.compact_dead_ratio = 0.5;
+  auto store = open(p);
+  store->reserve_users(3);
+
+  // 3 users x 16 versions: all but the last 3 records are dead, so the
+  // dead ratio crosses 0.5 over and over.
+  for (std::uint64_t v = 1; v <= 16; ++v) {
+    for (std::uint64_t u = 0; u < 3; ++u) {
+      store->append(u, table(100 * u + v), v);
+    }
+  }
+  EXPECT_GT(store->compactions(), 0u);
+  EXPECT_EQ(store->live_records(), 3u);
+  // Without compaction 48 appends at 4 records/segment would be 12
+  // segments; reclamation must have unlinked most of them.
+  EXPECT_LT(store->num_segments(), 6u);
+  EXPECT_EQ(segment_files(dir), store->num_segments());
+
+  rl::QTable out(kStates, kActions);
+  for (std::uint64_t u = 0; u < 3; ++u) {
+    ASSERT_EQ(store->load(u, out), std::optional<std::uint64_t>{16});
+    EXPECT_TRUE(bit_equal(out, table(100 * u + 16))) << "user " << u;
+  }
+
+  // The compacted layout survives a restart bit-for-bit.
+  store.reset();
+  auto reopened = open(p);
+  for (std::uint64_t u = 0; u < 3; ++u) {
+    ASSERT_EQ(reopened->load(u, out), std::optional<std::uint64_t>{16});
+    EXPECT_TRUE(bit_equal(out, table(100 * u + 16))) << "user " << u;
+  }
+}
+
+TEST_F(SegmentStoreFixture, InspectSummarizesAStoreDirectory) {
+  const std::string dir = fresh_dir("inspect");
+  {
+    auto store = open(small_params(dir));
+    store->reserve_users(4);
+    store->append(0, table(1), 1);
+    store->append(0, table(2), 2);
+    store->append(3, table(3), 5);
+  }
+  ASSERT_TRUE(SegmentStore::is_store_dir(dir));
+  EXPECT_FALSE(SegmentStore::is_store_dir(::testing::TempDir()));
+
+  const SegmentStore::Info info = SegmentStore::inspect(dir);
+  EXPECT_TRUE(info.meta_ok);
+  EXPECT_EQ(info.num_states, kStates);
+  EXPECT_EQ(info.num_actions, kActions);
+  EXPECT_EQ(info.records, 3u);
+  EXPECT_EQ(info.corrupt_records, 0u);
+  EXPECT_EQ(info.users, 2u);
+  EXPECT_EQ(info.live_records, 2u);
+  EXPECT_EQ(info.max_version, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// SegmentPolicyStore: the drop-in proof.
+// ---------------------------------------------------------------------------
+
+namespace T = adl::tools;
+
+struct SegmentPolicyFixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  planning::RoutineLearner trained(std::uint64_t seed = 5) {
+    planning::RoutineLearner learner(library.tea_making(), util::Rng(seed));
+    const std::vector<adl::StepId> routine{T::kTeaBox, T::kElectricPot,
+                                           T::kKettle, T::kTeaCup};
+    for (int i = 0; i < 80; ++i) learner.train_episode(routine);
+    return learner;
+  }
+
+  std::string fresh_dir(const char* name) {
+    const std::string dir = ::testing::TempDir() + "/coreda_segpol_" + name;
+    fs::remove_all(dir);
+    return dir;
+  }
+};
+
+TEST_F(SegmentPolicyFixture, ServeEngineDrainsIdenticallyOverEitherBackend) {
+  planning::RoutineLearner donor = trained();
+  PolicyStoreParams file_params;
+  file_params.dir = fresh_dir("files");
+  file_params.flush_every = 2;
+  PolicyStore file_store(donor, file_params);
+
+  SegmentPolicyStoreParams seg_params;
+  seg_params.dir = fresh_dir("segments");
+  seg_params.flush_every = 2;
+  seg_params.writers = 3;
+  SegmentPolicyStore seg_store(donor, seg_params);
+
+  ServeEngineParams engine_params;
+  engine_params.pool.slots = 3;
+  ServeEngine file_engine(library, library.tea_making(), file_store,
+                          engine_params);
+  ServeEngine seg_engine(library, library.tea_making(), seg_store,
+                         engine_params);
+  for (int u = 0; u < 9; ++u) {
+    const std::string name = "user" + std::to_string(u);
+    patient::PatientProfile profile =
+        patient::PatientProfile::with_severity(name, 0.1 * u / 9.0 + 0.2);
+    file_engine.add_user(name, profile);
+    seg_engine.add_user(name, profile);
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (UserId u = 0; u < 9; ++u) {
+      file_engine.enqueue(u, 2);
+      seg_engine.enqueue(u, 2);
+    }
+  }
+  exec::TrialRunner runner(1);
+  const ServeReport file_report = file_engine.drain(runner);
+  const ServeReport seg_report = seg_engine.drain(runner);
+
+  EXPECT_EQ(file_report.sessions, seg_report.sessions);
+  EXPECT_EQ(file_report.checksum, seg_report.checksum);
+  EXPECT_EQ(file_report.prompts, seg_report.prompts);
+  EXPECT_EQ(file_report.pool_hits, seg_report.pool_hits);
+  EXPECT_EQ(file_report.staged_writes, seg_report.staged_writes);
+  EXPECT_EQ(file_report.disk_writes, seg_report.disk_writes);
+  for (UserId u = 0; u < 9; ++u) {
+    EXPECT_EQ(file_store.version(u), seg_store.version(u)) << "user " << u;
+  }
+  EXPECT_GT(seg_store.segments().appends(), 0u);
+}
+
+TEST_F(SegmentPolicyFixture, RestoreReadsTheNewestFlushedRecordAfterRestart) {
+  planning::RoutineLearner donor = trained();
+  const std::string dir = fresh_dir("restore");
+  rl::QTable staged_q = donor.q();
+  {
+    SegmentPolicyStoreParams params;
+    params.dir = dir;
+    params.flush_every = 1;
+    SegmentPolicyStore store(donor, params);
+    const UserId u = store.add_user("tanaka");
+    store.stage(u, staged_q);  // version 2, flushed immediately
+    store.stage(u, staged_q);  // version 3
+  }
+  planning::RoutineLearner same_donor = trained();
+  SegmentPolicyStoreParams params;
+  params.dir = dir;
+  SegmentPolicyStore reader(same_donor, params);
+  const UserId u = reader.add_user("tanaka");
+  EXPECT_EQ(reader.restore(u), std::optional<std::uint64_t>{3});
+  EXPECT_TRUE(bit_equal(reader.q(u), staged_q));
+  // An unknown user restores to nothing, exactly like the per-file store.
+  const UserId fresh = reader.add_user("nobody");
+  EXPECT_EQ(reader.restore(fresh), std::nullopt);
+}
+
+TEST_F(SegmentPolicyFixture, CrashInjectedStageKeepsCommittedVersionReadable) {
+  planning::RoutineLearner donor = trained();
+  const std::string dir = fresh_dir("crash");
+  SegmentPolicyStoreParams params;
+  params.dir = dir;
+  params.flush_every = 1;
+  SegmentPolicyStore store(donor, params);
+  const UserId u = store.add_user("tanaka");
+  store.stage(u, donor.q());  // version 2 committed
+  ASSERT_EQ(store.segments().latest_version(u), std::optional<std::uint64_t>{2});
+
+  store.set_pre_publish_hook([](const std::string&) {
+    throw std::runtime_error("injected crash before the magic publish");
+  });
+  EXPECT_THROW(store.stage(u, donor.q()), std::runtime_error);
+  EXPECT_EQ(store.version(u), 3u);  // the in-memory entry did advance
+  EXPECT_EQ(store.segments().latest_version(u),
+            std::optional<std::uint64_t>{2});
+
+  // Crash over: the dirty entry flushes on the next attempt.
+  store.set_pre_publish_hook(nullptr);
+  store.flush(u);
+  EXPECT_EQ(store.segments().latest_version(u),
+            std::optional<std::uint64_t>{3});
+  EXPECT_EQ(store.disk_writes(), 2u);  // the crashed attempt cost no wear
+}
+
+TEST_F(SegmentPolicyFixture, ImportV2DirAdoptsPerFileSnapshots) {
+  planning::RoutineLearner donor = trained();
+  const std::string v2_dir = fresh_dir("v2files");
+  rl::QTable staged_q = donor.q();
+  staged_q.set(0, 0, 1234.5);
+  {
+    PolicyStoreParams params;
+    params.dir = v2_dir;
+    params.flush_every = 1;
+    PolicyStore legacy(donor, params);
+    legacy.add_user("alice");
+    legacy.add_user("bob");
+    legacy.stage(0, staged_q);  // alice: version 2 on disk
+    legacy.stage(1, donor.q());
+    legacy.stage(1, donor.q());  // bob: version 3 on disk
+  }
+
+  SegmentPolicyStoreParams params;
+  params.dir = fresh_dir("migrated");
+  SegmentPolicyStore store(donor, params);
+  store.add_user("alice");
+  store.add_user("bob");
+  store.add_user("carol");  // no snapshot: untouched by the import
+  EXPECT_EQ(store.import_v2_dir(v2_dir), 2u);
+
+  EXPECT_EQ(store.version(0), 2u);
+  EXPECT_EQ(store.version(1), 3u);
+  EXPECT_EQ(store.version(2), 1u);
+  EXPECT_TRUE(bit_equal(store.q(0), staged_q));
+  EXPECT_EQ(store.segments().latest_version(0),
+            std::optional<std::uint64_t>{2});
+  EXPECT_EQ(store.segments().latest_version(2), std::nullopt);
+}
+
+}  // namespace
+}  // namespace coreda::serve

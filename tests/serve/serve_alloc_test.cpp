@@ -13,7 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "adl/library.hpp"
+#include "serve/fleet_engine.hpp"
 #include "serve/retrain_scheduler.hpp"
 #include "serve/system_pool.hpp"
 
@@ -106,6 +109,54 @@ TEST(ServeAllocTest, TranscriptRecordingAndRetrainAreAllocationFreeWarm) {
   EXPECT_EQ(util::allocation_count() - before, 0u);
   EXPECT_EQ(scheduler.queued(), 1u);
   EXPECT_EQ(store.version(0), 10u);  // warm-up + 8 probed retrains staged
+}
+
+// The fleet tier's side: a warm drain over the mmap segment store —
+// enqueue, evict-with-append, cold load from the mapping, import, serve,
+// write back, record latency — is allocation-free per session. Only the
+// TrialRunner's per-drain results vector may touch the heap, so a 128-
+// session drain is allowed a small constant, not a per-session rate.
+// Compaction thresholds are pushed out of reach: a compaction pass
+// legitimately allocates (fresh segments), and the bench gate measures
+// steady state between compactions.
+TEST(ServeAllocTest, FleetDrainIsAllocationFreePerSessionWarm) {
+  adl::AdlLibrary library;
+  const adl::Adl& tea = library.tea_making();
+  planning::RoutineLearner donor(tea, util::Rng(17));
+  const std::vector<adl::StepId> routine{T::kTeaBox, T::kElectricPot,
+                                         T::kKettle, T::kTeaCup};
+  for (int i = 0; i < 80; ++i) donor.train_episode(routine);
+
+  const std::string dir =
+      ::testing::TempDir() + "/coreda_fleet_alloc";
+  std::filesystem::remove_all(dir);
+  SegmentStoreParams store_params;
+  store_params.dir = dir;
+  store_params.compact_min_records = std::size_t{1} << 20;  // never compact
+  // Roomy segments: a mid-drain segment roll allocates (fresh mapping) and
+  // would be noise here, exactly like compaction.
+  store_params.segment_bytes = std::size_t{8} << 20;
+  SegmentStore store(donor.state_codec().symbols(),
+                     donor.action_codec().tools(), donor.q().num_states(),
+                     donor.q().num_actions(), store_params);
+  FleetEngineParams params;
+  params.shards = 1;
+  params.slots_per_shard = 1;  // alternating users force the eviction path
+  params.system.learn_from_sessions = true;
+  FleetEngine fleet(library, tea, store, donor.q(), params);
+  fleet.register_user(0.2);
+  fleet.register_user(0.4);
+
+  exec::TrialRunner runner(1);
+  for (int i = 0; i < 128; ++i) fleet.enqueue(i % 2);  // warms the queue
+  fleet.drain(runner);
+
+  const std::uint64_t before = util::allocation_count();
+  for (int i = 0; i < 128; ++i) fleet.enqueue(i % 2);
+  const FleetReport report = fleet.drain(runner);
+  EXPECT_LE(util::allocation_count() - before, 2u);
+  EXPECT_EQ(report.sessions, 256u);
+  EXPECT_EQ(report.appends, 256u);  // every session wrote back into the mmap
 }
 
 }  // namespace

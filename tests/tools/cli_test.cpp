@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -172,10 +173,77 @@ TEST(CliTest, PolicyInspectFlagsCorruption) {
   std::remove(path.c_str());
 }
 
+TEST(CliTest, PolicyMigrateBuildsAnInspectableSegmentStore) {
+  const std::string from = ::testing::TempDir() + "/cli_migrate_v2";
+  const std::string store = ::testing::TempDir() + "/cli_migrate_store";
+  std::filesystem::remove_all(from);
+  std::filesystem::remove_all(store);
+  std::filesystem::create_directories(from);
+  ASSERT_EQ(run({"policy", "save", "--adl=Tea-making",
+                 "--out=" + from + "/alice.policy", "--episodes=40",
+                 "--version=3"})
+                .code,
+            0);
+  ASSERT_EQ(run({"policy", "save", "--adl=Tea-making",
+                 "--out=" + from + "/bob.policy", "--episodes=40",
+                 "--version=7", "--seed=43"})
+                .code,
+            0);
+
+  const CliResult migrate =
+      run({"policy", "migrate", "--adl=Tea-making", "--from=" + from,
+           "--out=" + store, "--writers=2"});
+  EXPECT_EQ(migrate.code, 0) << migrate.err;
+  EXPECT_NE(migrate.out.find("Migrated 2/2 v2 snapshots"),
+            std::string::npos);
+
+  // The migrated store is a directory: `policy inspect` dispatches to the
+  // segment-store summary instead of the per-file header decoder.
+  const CliResult inspect = run({"policy", "inspect", "--in=" + store});
+  EXPECT_EQ(inspect.code, 0) << inspect.err;
+  EXPECT_NE(inspect.out.find("coreda-policy store v1"), std::string::npos);
+  EXPECT_NE(inspect.out.find("meta: ok"), std::string::npos);
+  EXPECT_NE(inspect.out.find("2 live, 0 dead, 0 corrupt"),
+            std::string::npos);
+  EXPECT_NE(inspect.out.find("users: 2 (max version 7)"),
+            std::string::npos);
+  std::filesystem::remove_all(from);
+  std::filesystem::remove_all(store);
+}
+
+TEST(CliTest, PolicyMigrateRejectsBadInputs) {
+  const CliResult no_flags = run({"policy", "migrate"});
+  EXPECT_EQ(no_flags.code, 1);
+  EXPECT_NE(no_flags.err.find("--from"), std::string::npos);
+
+  const CliResult bad_dir =
+      run({"policy", "migrate", "--adl=Tea-making",
+           "--from=/nonexistent/dir", "--out=" + ::testing::TempDir() +
+                                          "/cli_migrate_none"});
+  EXPECT_EQ(bad_dir.code, 2);
+
+  // An empty source directory is an operator mistake, not a no-op success.
+  const std::string empty = ::testing::TempDir() + "/cli_migrate_empty";
+  std::filesystem::remove_all(empty);
+  std::filesystem::create_directories(empty);
+  const CliResult no_snapshots =
+      run({"policy", "migrate", "--adl=Tea-making", "--from=" + empty,
+           "--out=" + ::testing::TempDir() + "/cli_migrate_none"});
+  EXPECT_EQ(no_snapshots.code, 2);
+  EXPECT_NE(no_snapshots.err.find("no *.policy"), std::string::npos);
+  std::filesystem::remove_all(empty);
+
+  // A directory that is not a segment store fails inspect cleanly too.
+  const CliResult not_store =
+      run({"policy", "inspect", "--in=" + ::testing::TempDir()});
+  EXPECT_EQ(not_store.code, 2);
+  EXPECT_NE(not_store.err.find("store.meta"), std::string::npos);
+}
+
 TEST(CliTest, PolicyRequiresKnownSubcommand) {
   const CliResult r = run({"policy", "frobnicate"});
   EXPECT_EQ(r.code, 1);
-  EXPECT_NE(r.err.find("save|load|inspect"), std::string::npos);
+  EXPECT_NE(r.err.find("save|load|inspect|migrate"), std::string::npos);
   const CliResult missing = run({"policy", "inspect"});
   EXPECT_EQ(missing.code, 1);
   EXPECT_NE(missing.err.find("--in"), std::string::npos);

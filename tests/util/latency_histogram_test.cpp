@@ -1,0 +1,115 @@
+// The latency histogram's accuracy contract: HDR-style log-linear buckets
+// (8 sub-buckets per octave) bound the quantile error at ~12.5% of the
+// value over the full u64 range, extremes are exact, and merge() equals
+// recording everything into one instance — the property the fleet's
+// per-shard histograms rely on.
+
+#include "util/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace coreda::util {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketFloorInvertsBucketOf) {
+  // Every bucket's floor maps back into that bucket, and floors are
+  // strictly increasing — together: buckets tile the range with no gaps.
+  for (std::size_t b = 0; b + 1 < LatencyHistogram::kBuckets; ++b) {
+    const std::uint64_t floor = LatencyHistogram::bucket_floor(b);
+    EXPECT_EQ(LatencyHistogram::bucket_of(floor), b) << "bucket " << b;
+    EXPECT_LT(floor, LatencyHistogram::bucket_floor(b + 1)) << "bucket " << b;
+    // The last value of the bucket still maps into it.
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_floor(b + 1) - 1),
+              b)
+        << "bucket " << b;
+  }
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_LT(LatencyHistogram::bucket_of(
+                std::numeric_limits<std::uint64_t>::max()),
+            LatencyHistogram::kBuckets);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // The identity region [0, 8): one value per bucket, so a quantile lands in
+  // exactly the bucket of its order statistic (midpoint v + 0.5), and the
+  // extremes are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) h.record(v);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 7.0);
+  EXPECT_EQ(h.quantile(0.5), 4.5);  // the 4th smallest of 8 lives in bucket 4
+}
+
+TEST(LatencyHistogramTest, QuantilesStayWithinTheBucketErrorBound) {
+  // Log-uniform samples over [1, 2^40]: for each probed quantile the
+  // histogram answer must land within one sub-bucket (12.5%) of the exact
+  // order statistic.
+  util::Rng rng(2026);
+  std::vector<std::uint64_t> values;
+  LatencyHistogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const double exponent = rng.uniform(0.0, 40.0);
+    const auto v = static_cast<std::uint64_t>(std::pow(2.0, exponent)) + 1;
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(h.count(), values.size());
+  EXPECT_EQ(h.min(), values.front());
+  EXPECT_EQ(h.max(), values.back());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::uint64_t exact =
+        values[static_cast<std::size_t>(q * static_cast<double>(values.size()))];
+    const double approx = h.quantile(q);
+    EXPECT_GE(approx, static_cast<double>(exact) * (1.0 - 0.125)) << "q=" << q;
+    EXPECT_LE(approx, static_cast<double>(exact) * (1.0 + 0.125)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeEqualsRecordingIntoOne) {
+  util::Rng rng(7);
+  LatencyHistogram all, a, b, merged;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform(1.0, 1e9));
+    all.record(v);
+    (i % 3 == 0 ? a : b).record(v);
+  }
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+  for (const double q : {0.01, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, ResetForgetsEverything) {
+  LatencyHistogram h;
+  h.record(123456);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+}  // namespace
+}  // namespace coreda::util

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Opt-in bench-regression gate: re-runs the fleet-throughput,
-# session-throughput, serve-throughput and retrain-recovery benches at the
-# baselines' job counts and compares the fresh timing records against the
-# committed BENCH_fleet.json / BENCH_sessions.json / BENCH_serve.json /
-# BENCH_retrain.json via tools/check_bench_regression.py.
+# session-throughput, serve-throughput, retrain-recovery and fleet-serve
+# benches at the baselines' job counts and compares the fresh timing records
+# against the committed BENCH_fleet.json / BENCH_sessions.json /
+# BENCH_serve.json / BENCH_retrain.json / BENCH_fleet_serve.json via
+# tools/check_bench_regression.py.
 #
 # Wired as the ctest label `bench-regression` when the build is configured
 # with -DCOREDA_BENCH_REGRESSION=ON (see tests/CMakeLists.txt); never part
@@ -20,7 +21,8 @@ BUILD_DIR="${1:-build}"
 TOLERANCE="${2:-0.40}"
 
 for bench in bench_fleet_throughput bench_session_throughput \
-             bench_serve_throughput bench_retrain_recovery; do
+             bench_serve_throughput bench_retrain_recovery \
+             bench_fleet_serve; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build" \
          "$BUILD_DIR --target $bench)" >&2
@@ -66,5 +68,19 @@ for jobs in 1 2 4; do
   "$BUILD_DIR/bench/bench_retrain_recovery" --jobs="$jobs" \
     --timing-json="$FRESH" > /dev/null
 done
-exec python3 tools/check_bench_regression.py \
+python3 tools/check_bench_regression.py \
   --fresh "$FRESH" --baseline BENCH_retrain.json --tolerance "$TOLERANCE"
+
+# Fleet tier: 100k registered users over the mmap segment store. The gate
+# adds the p50/p99/p999 serve-latency percentiles on top of throughput and
+# the allocation contract (see --latency-tolerance in the checker).
+FRESH="$BUILD_DIR/BENCH_fleet_serve.fresh.json"
+: > "$FRESH"
+"$BUILD_DIR/bench/bench_fleet_serve" --jobs=1 \
+  --dir="$BUILD_DIR/fleet_serve_bench" > /dev/null
+for jobs in 1 2 4; do
+  "$BUILD_DIR/bench/bench_fleet_serve" --jobs="$jobs" \
+    --dir="$BUILD_DIR/fleet_serve_bench" --timing-json="$FRESH" > /dev/null
+done
+exec python3 tools/check_bench_regression.py \
+  --fresh "$FRESH" --baseline BENCH_fleet_serve.json --tolerance "$TOLERANCE"

@@ -15,7 +15,23 @@ both files by (bench, jobs) and flags:
     not jitter);
   * allocation regressions — steady_state_allocs_per_episode and
     steady_state_allocs_per_session must never exceed the baseline (the
-    zero-allocation contract is exact, not noisy);
+    zero-allocation contract is exact, not noisy); the whole-drain
+    allocs_per_session may exceed the baseline by at most 0.05 (the
+    parallel path's per-trial task handoff allocates a few times per
+    drain, amortized over hundreds of sessions — a per-session cold-path
+    allocation shows up as a jump of ~1.0, far past the epsilon);
+  * tail-latency regressions — the fleet bench's p50_ns / p99_ns / p999_ns
+    serve-latency percentiles get per-metric bands scaled from
+    --latency-tolerance (default 1.00): p50 may grow 1x the tolerance, p99
+    2x, p999 4x (ceilings of 2x / 3x / 5x baseline at the default), plus a
+    per-metric absolute slack (1 ms / 2 ms / 10 ms) on top. The slack is
+    what makes a microsecond-scale baseline gateable at all: scheduler
+    preemption adds milliseconds in absolute terms, and the deeper the
+    percentile the fewer sessions stand behind it — a bench round's p999
+    rests on a handful, so one unlucky preemption lands there. The gate
+    exists to catch the mmap/eviction path collapsing (10-100x into the
+    tens of milliseconds), not jitter. Hardware mismatches downgrade these
+    to warnings like the throughput gates;
   * determinism regressions — pool_hit_rate (the serve bench's hit/swap
     split) is a pure function of the workload shape, independent of
     hardware and job count, and must never decrease: a drop means the
@@ -80,9 +96,15 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.40,
                         help="allowed fractional throughput drop (default "
                              "0.40)")
+    parser.add_argument("--latency-tolerance", type=float, default=1.00,
+                        help="allowed fractional growth of the p50/p99/p999 "
+                             "latency percentiles (default 1.00 = 2x)")
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         print("error: --tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.latency_tolerance < 0.0:
+        print("error: --latency-tolerance must be >= 0", file=sys.stderr)
         return 2
 
     baseline = load_records(args.baseline)
@@ -115,6 +137,29 @@ def main():
             else:
                 warnings.append(message + " [hardware mismatch: warning only]")
 
+        # Tail latency: wall-clock-noisy, and noisier the deeper the
+        # percentile (p999 of a bench round rests on a handful of
+        # sessions), so both the relative band and the absolute slack
+        # widen per metric. The gate is for order-of-magnitude collapses
+        # of the serve path, not jitter.
+        for metric, scale, slack_ns in (("p50_ns", 1.0, 1e6),
+                                        ("p99_ns", 2.0, 2e6),
+                                        ("p999_ns", 4.0, 10e6)):
+            if metric not in base:
+                continue
+            base_v, got_v = base[metric], got.get(metric, 0.0)
+            tolerance = scale * args.latency_tolerance
+            ceiling = base_v * (1.0 + tolerance) + slack_ns
+            if got_v <= ceiling:
+                continue
+            message = (f"{bench} (jobs={jobs}): {metric} {got_v:.0f} > "
+                       f"{ceiling:.0f} (baseline {base_v:.0f} + "
+                       f"{tolerance:.0%} + {slack_ns / 1e6:.0f} ms slack)")
+            if same_hw:
+                failures.append(message)
+            else:
+                warnings.append(message + " [hardware mismatch: warning only]")
+
         for metric in ("steady_state_allocs_per_episode",
                        "steady_state_allocs_per_session",
                        "steady_state_allocs_per_retrain"):
@@ -123,6 +168,19 @@ def main():
                     f"{bench} (jobs={jobs}): {metric} {got.get(metric)} > "
                     f"baseline {base[metric]} — the zero-allocation "
                     f"contract broke")
+
+        # Whole-drain allocations per session: near-exact. The epsilon only
+        # absorbs the parallel path's per-trial task handoff (a few heap
+        # allocations per drain, amortized); a real cold-path allocation is
+        # +1.0 per session and sails past it.
+        if "allocs_per_session" in base and (
+                got.get("allocs_per_session", 0.0)
+                > base["allocs_per_session"] + 0.05):
+            failures.append(
+                f"{bench} (jobs={jobs}): allocs_per_session "
+                f"{got.get('allocs_per_session')} > baseline "
+                f"{base['allocs_per_session']} + 0.05 — a per-session "
+                f"allocation crept into the drain path")
 
         # Exact, hardware-independent: the serve bench's hit/swap split is
         # determined entirely by the workload shape.

@@ -1,5 +1,7 @@
 #include "tools/cli_commands.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -9,6 +11,7 @@
 #include "core/system.hpp"
 #include "planning/serialize.hpp"
 #include "serve/engine.hpp"
+#include "serve/segment_store.hpp"
 #include "trace/dataset.hpp"
 #include "util/table.hpp"
 
@@ -33,7 +36,13 @@ commands:
                               train and save a policy snapshot
   policy load    --adl=<name> --in=<file>
                               load a snapshot (v1 or v2), report accuracy
-  policy inspect --in=<file>  decode a snapshot header without loading it
+  policy inspect --in=<file|store dir>
+                              decode a snapshot header, or summarize a
+                              segment-store directory, without loading it
+  policy migrate --adl=<name> --from=<v2 dir> --out=<store dir>
+                 [--writers=1]
+                              migrate per-file v2 snapshots into a
+                              fleet-tier segment store
   scenario                     replay the paper's Figure 1 timeline
   report    [--days=7] [--seed=42]
                               multi-day caregiver summary
@@ -264,12 +273,40 @@ int cmd_policy_load(const util::Flags& flags, std::ostream& out,
   return 0;
 }
 
+int inspect_segment_store(const std::string& dir, std::ostream& out,
+                          std::ostream& err) {
+  if (!serve::SegmentStore::is_store_dir(dir)) {
+    err << "policy inspect: '" << dir
+        << "' is a directory without a store.meta — not a segment store\n";
+    return 2;
+  }
+  const serve::SegmentStore::Info info = serve::SegmentStore::inspect(dir);
+  const std::uint64_t dead =
+      info.records - info.live_records - info.corrupt_records;
+  out << "format: coreda-policy store v1 (segmented)\n"
+      << "meta: " << (info.meta_ok ? "ok" : "MISMATCH") << '\n'
+      << "q-table: " << info.num_states << " states x " << info.num_actions
+      << " actions\n"
+      << "vocabulary: " << info.num_steps << " steps, " << info.num_tools
+      << " tools\n"
+      << "segments: " << info.segments << '\n'
+      << "records: " << info.records << " (" << info.live_records
+      << " live, " << dead << " dead, " << info.corrupt_records
+      << " corrupt)\n"
+      << "users: " << info.users << " (max version " << info.max_version
+      << ")\n";
+  return info.meta_ok && info.corrupt_records == 0 ? 0 : 2;
+}
+
 int cmd_policy_inspect(const util::Flags& flags, std::ostream& out,
                        std::ostream& err) {
   const std::string in_path = flags.get("in");
   if (in_path.empty()) {
-    err << "policy inspect: --in=<file> is required\n";
+    err << "policy inspect: --in=<file|store dir> is required\n";
     return 1;
+  }
+  if (std::filesystem::is_directory(in_path)) {
+    return inspect_segment_store(in_path, out, err);
   }
   std::ifstream file(in_path, std::ios::binary);
   if (!file) {
@@ -300,6 +337,60 @@ int cmd_policy_inspect(const util::Flags& flags, std::ostream& out,
   return 2;
 }
 
+int cmd_policy_migrate(const util::Flags& flags, std::ostream& out,
+                       std::ostream& err) {
+  const std::string adl_name = flags.get("adl");
+  const std::string from_dir = flags.get("from");
+  const std::string out_dir = flags.get("out");
+  if (adl_name.empty() || from_dir.empty() || out_dir.empty()) {
+    err << "policy migrate: --adl=<name>, --from=<v2 dir> and --out=<store "
+           "dir> are required\n";
+    return 1;
+  }
+  if (!std::filesystem::is_directory(from_dir)) {
+    err << "policy migrate: '" << from_dir << "' is not a directory\n";
+    return 2;
+  }
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.by_name(adl_name);
+
+  // Register every snapshot's stem as a user, in sorted order so user ids
+  // (and hence writer lanes) never depend on directory iteration order.
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(from_dir)) {
+    if (entry.path().extension() == ".policy") {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  if (names.empty()) {
+    err << "policy migrate: no *.policy snapshots in '" << from_dir << "'\n";
+    return 2;
+  }
+
+  // An untrained learner carries the ADL's schema (codecs + table shape);
+  // every table the store ends up holding comes from the snapshots.
+  planning::RoutineLearner reference(adl, util::Rng(1));
+  serve::SegmentPolicyStoreParams params;
+  params.dir = out_dir;
+  params.writers =
+      static_cast<std::size_t>(flags.get_int("writers", 1));
+  std::size_t imported = 0;
+  {
+    serve::SegmentPolicyStore store(reference, params);
+    for (const std::string& name : names) store.add_user(name);
+    imported = store.import_v2_dir(from_dir);
+  }  // destructor flushes; inspect below reads the closed store
+
+  const serve::SegmentStore::Info info = serve::SegmentStore::inspect(out_dir);
+  out << "Migrated " << imported << "/" << names.size()
+      << " v2 snapshots from " << from_dir << " into segment store "
+      << out_dir << " (" << info.segments << " segments, "
+      << info.live_records << " live records, max version "
+      << info.max_version << ")\n";
+  return imported == names.size() ? 0 : 2;
+}
+
 int cmd_policy(const util::Flags& flags, std::ostream& out,
                std::ostream& err) {
   const std::string sub =
@@ -307,8 +398,9 @@ int cmd_policy(const util::Flags& flags, std::ostream& out,
   if (sub == "save") return cmd_policy_save(flags, out, err);
   if (sub == "load") return cmd_policy_load(flags, out, err);
   if (sub == "inspect") return cmd_policy_inspect(flags, out, err);
-  err << "policy: expected a subcommand save|load|inspect (try 'coreda "
-         "help')\n";
+  if (sub == "migrate") return cmd_policy_migrate(flags, out, err);
+  err << "policy: expected a subcommand save|load|inspect|migrate (try "
+         "'coreda help')\n";
   return 1;
 }
 

@@ -13,7 +13,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DCOREDA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target test_exec test_sim test_trace \
   bench_fleet_throughput bench_session_throughput bench_serve_throughput \
-  bench_retrain_recovery
+  bench_retrain_recovery bench_fleet_serve
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_exec
@@ -45,6 +45,13 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # store — all still lock-free on disjoint static shards.
 "$BUILD_DIR"/bench/bench_retrain_recovery --users=12 --slots=4 --drifted=4 \
   --rounds=4 --jobs=4 > /dev/null
+# The fleet-serve bench stacks the mmap segment store under the shard fan-
+# out: shard trials append/load through disjoint writer chains (relaxed
+# atomic live counters are the only shared-looking store state) while the
+# main thread publishes the user index between drains. TSan proves the
+# writer partitioning really is disjoint.
+"$BUILD_DIR"/bench/bench_fleet_serve --users=200 --active=50 --rounds=2 \
+  --jobs=4 --dir="$BUILD_DIR/fleet_serve_tsan" > /dev/null
 
 echo "TSan: all exec/sim/trace-parallel tests and the" \
-     "fleet/session/serve/retrain benches passed."
+     "fleet/session/serve/retrain/fleet-serve benches passed."
