@@ -22,11 +22,19 @@
 // --timing-json (BENCH_fleet_serve.json), where the regression checker
 // gates sessions_per_sec, the percentiles, and the allocation contract.
 //
+// With --lanes=N (off by default, so the serving baselines are untouched)
+// an extra *nightly lane replay* phase runs after the serving rounds: a
+// cohort of fleet users is retrained in lockstep batches of N through the
+// SoA lane engine — the batch-maintenance shape (every user, off-peak)
+// that complements the scheduler's targeted drift retrains. Fleet users
+// share the reference routine, so the whole cohort is one signature group.
+//
 // Usage:
 //   bench_fleet_serve --users=100000 --active=1500 --rounds=3 --shards=4
-//       --slots-per-shard=2 --zipf=1.1 --jobs=4
+//       --slots-per-shard=2 --zipf=1.1 --jobs=4 --lanes=8
 //       --timing-json=BENCH_fleet_serve.json
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -35,6 +43,7 @@
 
 #include "adl/library.hpp"
 #include "exec/trial_runner.hpp"
+#include "planning/lane_trainer.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/fleet_engine.hpp"
 #include "util/alloc_counter.hpp"
@@ -217,6 +226,40 @@ int main(int argc, char** argv) {
             "by shards statically and each shard drains as one seed-split\n"
             "trial; serve latency goes only to the timing side-channel.");
 
+  // Optional nightly lane replay (off by default): batch-maintenance
+  // retraining of a user cohort through the SoA lane engine, 8 replay
+  // passes each — the RetrainScheduler's ring budget, but for every cohort
+  // member at once rather than drift-flagged users only. Deterministic
+  // (fixed seeds, timing only in the JSON side channel).
+  const auto lanes = static_cast<std::size_t>(flags.get_int("lanes", 0));
+  double nightly_seconds = 0.0;
+  std::uint64_t nightly_episodes = 0;
+  std::size_t replay_users = 0;
+  if (lanes > 0) {
+    replay_users =
+        static_cast<std::size_t>(flags.get_int("replay-users", 512));
+    constexpr std::size_t kPasses = 8;
+    planning::LaneTrainer trainer(tea, lanes);
+    const exec::Stopwatch timer;
+    for (std::size_t base = 0; base < replay_users; base += lanes) {
+      const std::size_t n = std::min(lanes, replay_users - base);
+      for (std::size_t i = 0; i < n; ++i) {
+        trainer.reset_slot(i, util::Rng(exec::trial_seed(778, base + i)));
+      }
+      for (std::size_t pass = 0; pass < kPasses; ++pass) {
+        for (std::size_t i = 0; i < n; ++i) {
+          trainer.queue_episode(i, routine);
+        }
+        trainer.train_queued();
+      }
+      nightly_episodes += n * kPasses;
+    }
+    nightly_seconds = timer.seconds();
+    std::printf("\nNightly lane replay: %zu users x %zu episodes in "
+                "lockstep batches of %zu\n",
+                replay_users, kPasses, lanes);
+  }
+
   const std::string timing_path = flags.get("timing-json");
   const auto emit = [&](const char* name, const ShapeRun& run) {
     const util::LatencyHistogram& lat = run.report.latency;
@@ -239,5 +282,17 @@ int main(int argc, char** argv) {
   };
   emit("fleet_serve_uniform", flat);
   emit("fleet_serve", hot);
+  if (lanes > 0) {
+    std::ostringstream extra;
+    extra << "\"lanes\": " << lanes << ", \"replay_users\": " << replay_users
+          << ", \"episodes\": " << nightly_episodes
+          << ", \"episodes_per_sec\": "
+          << (nightly_seconds > 0.0
+                  ? static_cast<double>(nightly_episodes) / nightly_seconds
+                  : 0.0);
+    exec::append_timing_record(timing_path, "fleet_nightly_replay",
+                               runner.jobs(), replay_users, nightly_seconds,
+                               extra.str());
+  }
   return 0;
 }

@@ -14,16 +14,28 @@
 // (BENCH_fleet.json). Stdout stays byte-identical at any --jobs so the
 // determinism contract of the trial runner can be checked by diffing.
 //
+// With --lanes=N (N > 1) the fleet is grouped by routine signature and
+// stepped through planning::LaneTrainer in lockstep batches of N users —
+// the SoA lane engine's batched kernels replace N independent learners.
+// Per-user RNG streams, ε schedules and tables are preserved exactly, so
+// stdout stays byte-identical to the scalar path (and to any --jobs);
+// only the wall-clock side channel changes.
+//
 // Usage:
 //   bench_fleet_throughput --users=1000 --episodes=120 --jobs=4
-//       --timing-json=BENCH_fleet.json
+//       --lanes=8 --timing-json=BENCH_fleet.json
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
+#include <map>
+#include <span>
 #include <sstream>
 #include <vector>
 
 #include "adl/library.hpp"
 #include "exec/trial_runner.hpp"
+#include "planning/lane_trainer.hpp"
 #include "planning/learner.hpp"
 #include "util/alloc_counter.hpp"
 #include "util/flags.hpp"
@@ -40,6 +52,13 @@ struct UserSpec {
   double p_drop = 0.0;               ///< per-step extraction miss
   double p_repeat = 0.0;             ///< per-step sensor re-trigger
   double p_spurious = 0.0;           ///< per-step foreign-tool glitch
+  /// Joint cumulative table of the three independent per-step events, so
+  /// sensed_episode spends one uniform() per routine step instead of three.
+  /// Outcome order: clean, drop, repeat, spurious+clean, spurious+drop
+  /// (spurious+repeat is the implied tail). Same joint distribution as the
+  /// three Bernoulli draws it replaces — only the stream mapping differs,
+  /// and it is shared by the scalar and lane paths alike.
+  std::array<double, 5> cum{};
 };
 
 /// Derives user `rng`'s personal routine: the reference order with up to
@@ -64,6 +83,12 @@ UserSpec make_user(const adl::AdlRoutine& reference, util::Rng& rng) {
   user.p_drop = 0.05 + 0.15 * severity;     // the electronic-pot regime
   user.p_repeat = 0.05 * severity;
   user.p_spurious = 0.05 * severity;
+  const double ps = user.p_spurious, pd = user.p_drop, pr = user.p_repeat;
+  user.cum[0] = (1.0 - ps) * (1.0 - pd) * (1.0 - pr);     // clean
+  user.cum[1] = user.cum[0] + (1.0 - ps) * pd;            // drop
+  user.cum[2] = user.cum[1] + (1.0 - ps) * (1.0 - pd) * pr;  // repeat
+  user.cum[3] = user.cum[2] + ps * (1.0 - pd) * (1.0 - pr);  // spur+clean
+  user.cum[4] = user.cum[3] + ps * pd;                    // spur+drop
   return user;
 }
 
@@ -76,10 +101,26 @@ void sensed_episode(const UserSpec& user, adl::StepId foreign_tool,
                     util::Rng& rng, std::vector<adl::StepId>& out) {
   out.clear();
   for (const adl::StepId step : user.routine) {
-    if (rng.uniform() < user.p_spurious) out.push_back(foreign_tool);
-    if (rng.uniform() < user.p_drop) continue;
-    out.push_back(step);
-    if (rng.uniform() < user.p_repeat) out.push_back(step);
+    // One draw through the user's joint cumulative table; the first compare
+    // resolves the clean case (p >= 0.76 at worst severity).
+    const double u = rng.uniform();
+    if (u < user.cum[0]) {
+      out.push_back(step);
+      continue;
+    }
+    if (u < user.cum[1]) continue;
+    if (u < user.cum[2]) {
+      out.push_back(step);
+      out.push_back(step);
+      continue;
+    }
+    out.push_back(foreign_tool);
+    if (u < user.cum[3]) {
+      out.push_back(step);
+    } else if (u >= user.cum[4]) {
+      out.push_back(step);
+      out.push_back(step);
+    }
   }
 }
 
@@ -98,6 +139,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("users", 1000));
   const auto episodes =
       static_cast<std::size_t>(flags.get_int("episodes", 120));
+  const auto lanes = static_cast<std::size_t>(flags.get_int("lanes", 1));
 
   adl::AdlLibrary library;
   const adl::Adl& reference = library.tea_making();
@@ -143,39 +185,108 @@ int main(int argc, char** argv) {
 
   const std::uint64_t fleet_allocs_before = util::allocation_count();
   const exec::Stopwatch timer;
-  const std::vector<UserResult> results =
-      runner.run(users, 777, [&](exec::TrialContext& ctx) {
-        const UserSpec user = make_user(reference.primary_routine(), ctx.rng);
-        // The user's personal ADL: same tool set, their own order — the
-        // learner's reference routine IS the personal one, so accuracy
-        // scores personalization, not conformance to the factory default.
-        std::vector<adl::AdlStep> steps;
-        for (const adl::StepId id : user.routine) {
-          steps.push_back(adl::AdlStep{std::string(), id});
-        }
-        const adl::Adl personal(
-            reference.name(),
-            {adl::AdlRoutine(reference.name(), std::move(steps))});
+  std::vector<UserResult> results;
+  if (lanes <= 1) {
+    results = runner.run(users, 777, [&](exec::TrialContext& ctx) {
+      const UserSpec user = make_user(reference.primary_routine(), ctx.rng);
+      // The user's personal ADL: same tool set, their own order — the
+      // learner's reference routine IS the personal one, so accuracy
+      // scores personalization, not conformance to the factory default.
+      std::vector<adl::AdlStep> steps;
+      for (const adl::StepId id : user.routine) {
+        steps.push_back(adl::AdlStep{std::string(), id});
+      }
+      const adl::Adl personal(
+          reference.name(),
+          {adl::AdlRoutine(reference.name(), std::move(steps))});
 
-        planning::RoutineLearner learner(
-            personal, util::Rng(exec::trial_seed(778, ctx.index)));
-        std::vector<adl::StepId> episode;
-        episode.reserve(user.routine.size() * 3);
-        UserResult result;
-        for (std::size_t e = 0; e < episodes; ++e) {
-          sensed_episode(user, foreign_tool, ctx.rng, episode);
-          learner.train_episode(episode);
-          ++result.episodes;
+      planning::RoutineLearner learner(
+          personal, util::Rng(exec::trial_seed(778, ctx.index)));
+      std::vector<adl::StepId> episode;
+      episode.reserve(user.routine.size() * 3);
+      UserResult result;
+      for (std::size_t e = 0; e < episodes; ++e) {
+        sensed_episode(user, foreign_tool, ctx.rng, episode);
+        learner.train_episode(episode);
+        ++result.episodes;
+      }
+      result.final_accuracy = learner.greedy_accuracy();
+      const rl::QTable& q = learner.q();
+      for (rl::StateId s = 0; s < q.num_states(); ++s) {
+        for (rl::ActionId a = 0; a < q.num_actions(); ++a) {
+          result.q_checksum += q.get(s, a);
         }
-        result.final_accuracy = learner.greedy_accuracy();
-        const rl::QTable& q = learner.q();
-        for (rl::StateId s = 0; s < q.num_states(); ++s) {
-          for (rl::ActionId a = 0; a < q.num_actions(); ++a) {
-            result.q_checksum += q.get(s, a);
-          }
+      }
+      return result;
+    });
+  } else {
+    // Lane path: identical per-user streams (env rng = the trial rng the
+    // scalar path would get, learner rng = trial_seed(778, user)), batched
+    // through the SoA engine. Results land user-indexed, so the summary
+    // below accumulates in the same order as the scalar path — the stdout
+    // byte-identity check covers --lanes as well as --jobs.
+    results.assign(users, UserResult{});
+    std::vector<UserSpec> specs;
+    specs.reserve(users);
+    std::vector<util::Rng> env;
+    env.reserve(users);
+    for (std::size_t u = 0; u < users; ++u) {
+      env.emplace_back(exec::trial_seed(777, u));
+      specs.push_back(make_user(reference.primary_routine(), env.back()));
+    }
+    // Lane slots must share the codec (tool set and first-seen order), so
+    // batches are drawn from same-routine-signature groups only.
+    std::map<std::vector<adl::StepId>, std::vector<std::size_t>> groups;
+    for (std::size_t u = 0; u < users; ++u) {
+      groups[specs[u].routine].push_back(u);
+    }
+    struct Batch {
+      const std::vector<adl::StepId>* routine = nullptr;
+      std::span<const std::size_t> members;
+    };
+    std::vector<Batch> batches;
+    for (const auto& [routine, members] : groups) {
+      for (std::size_t base = 0; base < members.size(); base += lanes) {
+        const std::size_t n = std::min(lanes, members.size() - base);
+        batches.push_back(Batch{&routine, {members.data() + base, n}});
+      }
+    }
+    // Batches touch disjoint users, so fanning them across the pool keeps
+    // --jobs determinism for free.
+    runner.run(batches.size(), 0, [&](exec::TrialContext& ctx) {
+      const Batch& b = batches[ctx.index];
+      std::vector<adl::AdlStep> steps;
+      for (const adl::StepId id : *b.routine) {
+        steps.push_back(adl::AdlStep{std::string(), id});
+      }
+      const adl::Adl personal(
+          reference.name(),
+          {adl::AdlRoutine(reference.name(), std::move(steps))});
+
+      planning::LaneTrainer trainer(personal, b.members.size());
+      std::vector<std::vector<adl::StepId>> episode(b.members.size());
+      for (std::size_t i = 0; i < b.members.size(); ++i) {
+        trainer.reset_slot(
+            i, util::Rng(exec::trial_seed(778, b.members[i])));
+        episode[i].reserve(b.routine->size() * 3);
+      }
+      for (std::size_t e = 0; e < episodes; ++e) {
+        for (std::size_t i = 0; i < b.members.size(); ++i) {
+          sensed_episode(specs[b.members[i]], foreign_tool,
+                         env[b.members[i]], episode[i]);
+          trainer.queue_episode(i, episode[i]);
         }
-        return result;
-      });
+        trainer.train_queued();
+      }
+      for (std::size_t i = 0; i < b.members.size(); ++i) {
+        UserResult& r = results[b.members[i]];
+        r.final_accuracy = trainer.greedy_accuracy(i);
+        r.q_checksum = trainer.q_sum(i);
+        r.episodes = episodes;
+      }
+      return char{0};
+    });
+  }
   const double seconds = timer.seconds();
   const std::uint64_t fleet_allocs =
       util::allocation_count() - fleet_allocs_before;
@@ -210,10 +321,21 @@ int main(int argc, char** argv) {
   std::puts("\nThe summary is byte-identical at any --jobs (seed-split\n"
             "TrialRunner); only the wall-clock side channel may differ.");
 
+  const double eps_per_sec =
+      seconds > 0.0 ? static_cast<double>(trained) / seconds : 0.0;
+  // Scaling sanity for bench_parallel.sh: with a jobs=1 reference rate
+  // supplied, parallel_efficiency = eps/sec / (jobs x reference) — 1.0 is
+  // perfect scaling, < 1/jobs means adding workers *lost* throughput.
+  const double ref_eps = flags.get_double("ref-eps-per-sec", 0.0);
+  const double parallel_efficiency =
+      ref_eps > 0.0
+          ? eps_per_sec / (static_cast<double>(runner.jobs()) * ref_eps)
+          : 1.0;
   std::ostringstream extra;
   extra << "\"users\": " << users << ", \"episodes_per_user\": " << episodes
-        << ", \"episodes_per_sec\": "
-        << (seconds > 0.0 ? static_cast<double>(trained) / seconds : 0.0)
+        << ", \"lanes\": " << lanes
+        << ", \"episodes_per_sec\": " << eps_per_sec
+        << ", \"parallel_efficiency\": " << parallel_efficiency
         << ", \"allocs_per_episode\": "
         << (trained > 0
                 ? static_cast<double>(fleet_allocs) /

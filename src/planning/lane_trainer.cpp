@@ -1,0 +1,225 @@
+#include "planning/lane_trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coreda::planning {
+
+namespace {
+
+std::vector<adl::StepId> step_vocabulary(const adl::Adl& adl) {
+  std::vector<adl::StepId> out;
+  for (adl::ToolId t : adl.tools()) out.push_back(t);
+  return out;
+}
+
+}  // namespace
+
+LaneTrainer::LaneTrainer(const adl::Adl& adl, std::size_t width,
+                         LearnerConfig config, std::size_t max_episode_steps)
+    : routine_(&adl.primary_routine()),
+      config_(config),
+      states_(step_vocabulary(adl)),
+      actions_(adl.tools()),
+      reward_(config.reward),
+      engine_(width, states_.num_states(), actions_.num_actions(),
+              // One trace entry per transition; the idle prefix adds one
+              // step but no trailing transition.
+              max_episode_steps == 0 ? 16 : max_episode_steps,
+              config.td),
+      slots_(width) {
+  const std::size_t num_actions = actions_.num_actions();
+  decoded_actions_.reserve(num_actions);
+  for (rl::ActionId a = 0; a < num_actions; ++a) {
+    decoded_actions_.push_back(actions_.decode(a));
+  }
+  const auto& symbols = states_.symbols();
+  step_rewards_.resize(symbols.size() * num_actions);
+  terminal_rewards_.resize(symbols.size() * num_actions);
+  for (std::size_t sym = 0; sym < symbols.size(); ++sym) {
+    for (rl::ActionId a = 0; a < num_actions; ++a) {
+      step_rewards_[sym * num_actions + a] =
+          reward_(decoded_actions_[a], symbols[sym], /*completes=*/false);
+      terminal_rewards_[sym * num_actions + a] =
+          reward_(decoded_actions_[a], symbols[sym], /*completes=*/true);
+    }
+  }
+
+  // Direct-index symbol lookup: StateCodec::encode's linear find is the
+  // scalar prologue's per-step cost; step ids are small (< 64 across the
+  // ADL library), so a flat table replaces it with one load. Result-equal
+  // to the codec by construction.
+  adl::StepId max_id = 0;
+  for (const adl::StepId id : symbols) max_id = std::max(max_id, id);
+  tool_to_symbol_.assign(static_cast<std::size_t>(max_id) + 1, -1);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    tool_to_symbol_[symbols[i]] = static_cast<std::int32_t>(i);
+  }
+
+  // Pre-resolve the predicting states (RoutineLearner::predicting_states):
+  // the fully-idle context plus each non-terminal routine position.
+  const auto add_scored = [&](PlannerState ps, adl::StepId want) {
+    ++predicting_states_;  // unencodable states still count in the mean
+    if (const auto s = states_.encode(ps)) {
+      scored_states_.push_back(ScoredState{*s, want});
+    }
+  };
+  add_scored(PlannerState{adl::kIdleStep, adl::kIdleStep},
+             routine_->first_step());
+  adl::StepId prev = adl::kIdleStep;
+  const auto& steps = routine_->steps();
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    add_scored(PlannerState{prev, steps[i].step_id()},
+               routine_->next_after(steps[i].step_id()));
+    prev = steps[i].step_id();
+  }
+
+  const std::size_t reserve =
+      max_episode_steps == 0 ? 0 : max_episode_steps + 1;
+  for (Slot& slot : slots_) {
+    slot.epsilon = config_.epsilon;
+    slot.symbols.reserve(reserve);
+  }
+  active_.reserve(slots_.size());
+}
+
+void LaneTrainer::reset_slot(std::size_t slot, util::Rng rng) {
+  Slot& sl = slots_[slot];
+  sl.rng = rng;
+  sl.epsilon = config_.epsilon;
+  sl.episodes = 0;
+  sl.skipped = 0;
+  sl.queued = false;
+  double* q = engine_.slot_q(slot);
+  std::fill(q, q + num_states() * num_actions(), config_.td.initial_q);
+  engine_.begin_episode(slot);
+}
+
+void LaneTrainer::begin_retraining(std::size_t slot, const rl::QTable& q,
+                                   util::Rng rng) {
+  engine_.load(slot, q);  // shape-checked; also clears the slot's traces
+  Slot& sl = slots_[slot];
+  sl.rng = rng;
+  sl.epsilon = config_.epsilon;
+  sl.queued = false;
+}
+
+void LaneTrainer::queue_episode(std::size_t slot,
+                                std::span<const adl::StepId> steps) {
+  Slot& sl = slots_[slot];
+  if (sl.queued) {
+    throw std::logic_error("LaneTrainer: slot already has a queued episode");
+  }
+  sl.symbols.clear();
+  sl.symbols.push_back(0);  // the idle prefix
+  adl::StepId last = adl::kIdleStep;
+  for (const adl::StepId s : steps) {
+    const std::int32_t sym =
+        s < tool_to_symbol_.size() ? tool_to_symbol_[s] : -1;
+    if (sym >= 0) {
+      sl.symbols.push_back(static_cast<std::uint32_t>(sym));
+      last = s;
+    } else {
+      ++sl.skipped;
+    }
+  }
+  sl.terminal_tail = sl.symbols.size() >= 2 && routine_->is_terminal(last);
+  sl.queued = true;
+}
+
+void LaneTrainer::train_queued() {
+  const std::size_t num_symbols = states_.symbols().size();
+  const std::size_t num_actions = actions_.num_actions();
+  const std::size_t width = slots_.size();
+  const bool sweep = config_.counterfactual_sweep;
+  const double* step_rewards = step_rewards_.data();
+  const double* terminal_rewards = terminal_rewards_.data();
+
+  // Build the round's active list: slots with at least two valid steps (an
+  // episode below that trains nothing — ε still decays, the scalar path's
+  // early return). The list carries each slot's symbol cursor so the tick
+  // loop walks a dense array instead of re-deriving per-slot state.
+  active_.clear();
+  std::size_t max_transitions = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    Slot& sl = slots_[i];
+    if (!sl.queued) continue;
+    ++sl.episodes;
+    if (sl.symbols.size() < 3) continue;
+    const std::size_t n = sl.symbols.size() - 1;
+    engine_.begin_episode(i);
+    if (n > max_transitions) max_transitions = n;
+    active_.push_back(ActiveSlot{&sl, static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(sl.symbols.size()),
+                                 sl.symbols.data(), 0, sl.symbols[0]});
+  }
+  if (max_transitions > engine_.trace_capacity()) {
+    engine_.reserve_traces(max_transitions);  // all traces clear here
+  }
+
+  // Slot-major: each slot's episode runs to completion before the next
+  // slot starts. Slots never interact (the engine's interleaving-freedom
+  // contract), so this orders identically to the tick-lockstep sweep per
+  // user — but the slot's RNG state, symbol cursor and Q slab stay
+  // register- and L1-resident across its whole episode instead of being
+  // reloaded every tick.
+  for (ActiveSlot& a : active_) {
+    Slot& sl = *a.sl;
+    const double epsilon = sl.epsilon;
+    std::uint32_t prev = a.prev;
+    std::uint32_t cur = a.cur;
+    rl::LaneEngine::MaxCarry carry;  // s_{t+1} == s'_t along a trajectory
+    for (std::uint32_t i = 1; i < a.n; ++i) {
+      const std::uint32_t next_sym = a.sym[i];
+      const auto s = static_cast<rl::StateId>(prev * num_symbols + cur);
+      const auto s_next =
+          static_cast<rl::StateId>(cur * num_symbols + next_sym);
+
+      const rl::LaneEngine::Selected sel =
+          engine_.select(a.slot, s, epsilon, sl.rng, carry);
+
+      const bool completes = i + 1 == a.n && sl.terminal_tail;
+      const double* rewards =
+          (completes ? terminal_rewards : step_rewards) +
+          next_sym * num_actions;
+
+      engine_.step(a.slot, sel, s, rewards, s_next, completes, sweep,
+                   &carry);
+      prev = cur;
+      cur = next_sym;
+    }
+  }
+
+  for (Slot& sl : slots_) {
+    if (!sl.queued) continue;
+    sl.queued = false;
+    sl.epsilon = std::max(config_.min_epsilon, sl.epsilon * config_.epsilon_decay);
+  }
+}
+
+double LaneTrainer::greedy_accuracy(std::size_t slot) const {
+  const double* q = engine_.slot_q(slot);
+  const std::size_t num_actions = actions_.num_actions();
+  std::size_t hits = 0;
+  for (const ScoredState& sc : scored_states_) {
+    const double* row = q + static_cast<std::size_t>(sc.state) * num_actions;
+    // QTable::best_action(s): first-max index.
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < num_actions; ++a) {
+      if (row[a] > row[best]) best = a;
+    }
+    if (decoded_actions_[best].tool == sc.want) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(predicting_states_);
+}
+
+double LaneTrainer::q_sum(std::size_t slot) const {
+  const double* q = engine_.slot_q(slot);
+  const std::size_t n = num_states() * num_actions();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += q[i];
+  return sum;
+}
+
+}  // namespace coreda::planning

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adl/routine.hpp"
+#include "planning/codec.hpp"
+#include "planning/learner.hpp"
+#include "rl/lane_engine.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::planning {
+
+/// Lockstep trainer: N same-routine users trained through one rl::LaneEngine
+/// lane, byte-identical per user to N independent RoutineLearners.
+///
+/// "Same routine" means the same reference Adl — the users share the codec
+/// vocabulary (tool set AND first-seen order), hence the same Q-table shape
+/// and reward slabs. Group a fleet by routine signature before batching;
+/// tests/planning/lane_trainer_test.cpp proves the per-user equivalence
+/// across widths and ragged batches.
+///
+/// Usage per round: queue_episode(slot, steps) for any subset of slots, then
+/// train_queued() once. Slots advance independently (their ε schedules,
+/// RNG streams and tables never interact); the lockstep interleaving only
+/// exists so the engine's batched kernels get dense work.
+class LaneTrainer {
+ public:
+  /// `max_episode_steps`, when nonzero, pre-sizes every per-slot scratch
+  /// buffer and the trace slabs so steady-state training performs zero heap
+  /// allocations (the retrain scheduler passes its transcript slot width).
+  LaneTrainer(const adl::Adl& adl, std::size_t width,
+              LearnerConfig config = LearnerConfig(),
+              std::size_t max_episode_steps = 0);
+
+  std::size_t width() const noexcept { return slots_.size(); }
+  std::size_t num_states() const noexcept { return states_.num_states(); }
+  std::size_t num_actions() const noexcept { return actions_.num_actions(); }
+  const LearnerConfig& config() const noexcept { return config_; }
+  const rl::LaneEngine& engine() const noexcept { return engine_; }
+
+  /// Re-arms the slot for a fresh user: optimistic-initial table, cleared
+  /// traces, ε restarted, new RNG. Equivalent to constructing a
+  /// RoutineLearner(adl, rng, config).
+  void reset_slot(std::size_t slot, util::Rng rng);
+
+  /// Re-arms the slot on an adopted table —
+  /// RoutineLearner::begin_retraining. Throws std::invalid_argument on a
+  /// shape mismatch.
+  void begin_retraining(std::size_t slot, const rl::QTable& q, util::Rng rng);
+
+  /// Queues one recorded ADL process for the slot (at most one per slot per
+  /// round). Vocabulary filtering happens here, exactly as
+  /// RoutineLearner::train_episode's prologue.
+  void queue_episode(std::size_t slot, std::span<const adl::StepId> steps);
+
+  /// Trains every queued slot's episode, interleaved transition-by-
+  /// transition across slots with one batched trace-decay kernel pass per
+  /// tick. Clears the queue.
+  void train_queued();
+
+  /// RoutineLearner::greedy_accuracy over the slot's table.
+  double greedy_accuracy(std::size_t slot) const;
+
+  /// Sum of the slot's Q values in state-major, action-minor order — the
+  /// accumulation order of bench_fleet_throughput's per-user checksum.
+  double q_sum(std::size_t slot) const;
+
+  /// Scatters the slot's table into `q` (shape-checked).
+  void export_q(std::size_t slot, rl::QTable& q) const {
+    engine_.store(slot, q);
+  }
+
+  double epsilon(std::size_t slot) const { return slots_[slot].epsilon; }
+  std::size_t episodes_trained(std::size_t slot) const {
+    return slots_[slot].episodes;
+  }
+  std::uint64_t skipped_steps(std::size_t slot) const {
+    return slots_[slot].skipped;
+  }
+
+ private:
+  struct Slot {
+    util::Rng rng{0};
+    double epsilon = 0.0;
+    std::size_t episodes = 0;
+    std::uint64_t skipped = 0;
+    bool queued = false;
+    /// Whether the queued episode's last valid step is the routine's
+    /// terminal step — hoisted out of the transition loop (the scalar
+    /// path's per-transition `i + 1 == size && is_terminal(steps[i])`
+    /// check only ever consults the last step).
+    bool terminal_tail = false;
+    /// Filtered episode scratch (idle-prefixed), as in RoutineLearner —
+    /// already encoded; the StepId form is never re-read after queueing.
+    std::vector<std::uint32_t> symbols;
+  };
+
+  /// Per-round cursor over one trainable slot: the symbol stream pointer
+  /// and the rolling (prev, cur) context, so the tick loop touches a dense
+  /// array instead of re-deriving them from Slot each pass.
+  struct ActiveSlot {
+    Slot* sl = nullptr;
+    std::uint32_t slot = 0;
+    std::uint32_t n = 0;  ///< symbol count (transitions + 1)
+    const std::uint32_t* sym = nullptr;
+    std::uint32_t prev = 0;
+    std::uint32_t cur = 0;
+  };
+
+  /// A predicting state pre-resolved against the codec: the encoded StateId
+  /// and the ActionIds that count as a correct greedy prompt (both
+  /// reminding levels of the wanted tool).
+  struct ScoredState {
+    rl::StateId state = 0;
+    adl::ToolId want = 0;
+  };
+
+  const adl::AdlRoutine* routine_;
+  LearnerConfig config_;
+  StateCodec states_;
+  ActionCodec actions_;
+  CoredaRewardFunction reward_;
+  std::vector<PlannerAction> decoded_actions_;
+  std::vector<double> step_rewards_;      ///< symbol-major, width A
+  std::vector<double> terminal_rewards_;  ///< symbol-major, width A
+  std::vector<std::int32_t> tool_to_symbol_;  ///< StepId -> symbol, -1 miss
+  std::vector<ScoredState> scored_states_;
+  std::size_t predicting_states_ = 0;  ///< accuracy denominator
+  rl::LaneEngine engine_;
+  std::vector<Slot> slots_;
+  std::vector<ActiveSlot> active_;  ///< train_queued scratch (alloc-free)
+};
+
+}  // namespace coreda::planning

@@ -62,10 +62,12 @@ struct PolicyV2Info {
 
 /// Writes a v2 snapshot of `q` stamped with `version` under the given
 /// vocabularies (the PolicyStore write-back path, which owns the vocab and
-/// the per-user table but no learner).
-void save_policy_v2(std::ostream& out, std::span<const adl::StepId> steps,
-                    std::span<const adl::ToolId> tools, const rl::QTable& q,
-                    std::uint64_t version);
+/// the per-user table but no learner). Returns the bytes written, so stores
+/// can account flush traffic.
+std::size_t save_policy_v2(std::ostream& out,
+                           std::span<const adl::StepId> steps,
+                           std::span<const adl::ToolId> tools,
+                           const rl::QTable& q, std::uint64_t version);
 
 /// Writes a v2 snapshot of `learner`'s table and vocabularies.
 void save_policy_v2(std::ostream& out, const RoutineLearner& learner,
@@ -90,9 +92,92 @@ std::uint64_t load_policy_v2(std::istream& in, RoutineLearner& learner);
 /// so operators can inspect a damaged file.
 PolicyV2Info inspect_policy_v2(std::istream& in);
 
+// ---------------------------------------------------------------------------
+// "coreda-policy v3" — delta-encoded snapshot chains.
+//
+// A v3 file is one *full* record (byte-identical to the v2 layout except the
+// magic reads "CRDAPOL3") followed by zero or more appended *delta* records,
+// each diffing changed Q rows against the table produced by everything
+// before it:
+//
+//   magic     8 bytes  "CRDADEL3"
+//   version   u64      version this delta produces
+//   parent    u64      version it applies on top of (chain check)
+//   n_rows    u64      changed Q rows in this delta
+//   n_actions u64      row width (must match the anchor)
+//   rows      n_rows x (u64 row_index + n_actions x f64)
+//   checksum  u64      FNV-1a 64 over every preceding byte of THIS record
+//
+// Appending a delta touches only the file tail, so a snapshot of a
+// 100-row table that changed 3 rows writes ~3 rows, not 100 — the
+// write-amplification fix for large-vocab tables. Integrity inherits the
+// v2 posture per record: a corrupt/torn/mis-parented delta ends the chain
+// at the longest valid prefix (the loader returns that prefix's table and
+// version — exactly what was durable before the bad append), while a
+// corrupt full record rejects the file outright, as v2 does. Every K
+// deltas the writer rebases: rewrites one fresh full record (atomic
+// tmp+rename), bounding both chain-replay time and tail-corruption
+// blast radius.
+// ---------------------------------------------------------------------------
+
+/// The 8 magic bytes opening a v3 snapshot file (full/anchor record).
+inline constexpr char kPolicyV3Magic[8] = {'C', 'R', 'D', 'A',
+                                           'P', 'O', 'L', '3'};
+/// The 8 magic bytes opening each appended v3 delta record.
+inline constexpr char kPolicyV3DeltaMagic[8] = {'C', 'R', 'D', 'A',
+                                                'D', 'E', 'L', '3'};
+
+/// Writes a v3 full (anchor) record. Returns the bytes written.
+std::size_t save_policy_v3_full(std::ostream& out,
+                                std::span<const adl::StepId> steps,
+                                std::span<const adl::ToolId> tools,
+                                const rl::QTable& q, std::uint64_t version);
+
+/// Serializes one delta record carrying every row where `q` differs
+/// bitwise from `base` (shapes must match — std::invalid_argument).
+/// `parent` must name the version the chain currently ends at. Returns the
+/// record's bytes so callers can account flush traffic; write it with
+/// ostream::write in append mode.
+std::string encode_policy_v3_delta(const rl::QTable& base,
+                                   const rl::QTable& q,
+                                   std::uint64_t version,
+                                   std::uint64_t parent);
+
+/// Result of loading a v3 chain.
+struct PolicyV3Chain {
+  std::uint64_t version = 0;      ///< version after the applied prefix
+  std::size_t deltas_applied = 0; ///< valid deltas folded in
+  /// True when a torn/corrupt/mis-parented tail record was skipped (the
+  /// crash-recovery path: everything durable before it was still loaded).
+  bool tail_skipped = false;
+};
+
+/// Restores a v3 chain into `q`: validates the full record exactly as v2
+/// (magic/checksum/vocabulary/dimensions — std::runtime_error, `q`
+/// untouched), then applies the longest valid prefix of delta records.
+PolicyV3Chain load_policy_v3(std::istream& in,
+                             std::span<const adl::StepId> steps,
+                             std::span<const adl::ToolId> tools,
+                             rl::QTable& q);
+
+/// Chain-level summary of a v3 file, readable without a learner (CLI
+/// `policy inspect`). Throws only when the full record is structurally
+/// invalid; a bad anchor checksum is reported, not thrown.
+struct PolicyV3Info {
+  PolicyV2Info anchor;             ///< the full record's header
+  std::uint64_t version = 0;       ///< version after the valid chain
+  std::size_t delta_count = 0;     ///< valid deltas since the anchor
+  std::size_t on_disk_bytes = 0;   ///< anchor + valid delta bytes
+  /// Bytes one fresh full snapshot of the reconstructed table would take —
+  /// the denominator of the delta format's write savings.
+  std::size_t reconstructed_bytes = 0;
+  bool tail_skipped = false;       ///< invalid tail record(s) ignored
+};
+PolicyV3Info inspect_policy_v3(std::istream& in);
+
 /// Snapshot format sniffing for operator tooling: peeks at the stream head
-/// and rewinds. kUnknown means neither magic matched.
-enum class PolicyFormat { kUnknown, kTextV1, kBinaryV2 };
+/// and rewinds. kUnknown means no magic matched.
+enum class PolicyFormat { kUnknown, kTextV1, kBinaryV2, kBinaryV3 };
 PolicyFormat detect_policy_format(std::istream& in);
 
 /// Loads either format into `learner` (v1 text snapshots predate versioning

@@ -1,0 +1,213 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define COREDA_LANE_KERNELS_X86 1
+#endif
+
+namespace coreda::rl::kern {
+
+namespace detail {
+#ifdef COREDA_LANE_KERNELS_X86
+/// Cached result of the startup AVX2 probe (see simd_enabled()).
+extern const bool g_simd;
+/// Out-of-line AVX2 bodies (lane_kernels.cpp, function-level target
+/// attributes). Callers must check g_simd and the stated width
+/// preconditions — the inline dispatchers below are the only intended
+/// call sites.
+double row_max_avx2(const double* row, std::size_t n) noexcept;  // n >= 4
+std::size_t count_ge_avx2(const double* row, double threshold,
+                          std::size_t n) noexcept;
+struct RowStatsResult {
+  double max;
+  std::uint64_t tie_mask;
+  std::uint32_t near_count;
+};
+RowStatsResult row_stats_avx2(const double* row, double tolerance,
+                              std::size_t n) noexcept;  // 4 <= n <= 64
+RowStatsResult row_stats_given_max_avx2(const double* row, double max,
+                                        double tolerance,
+                                        std::size_t n) noexcept;  // n <= 64
+void cf_update_avx2(double* row, const double* rewards, double bootstrap,
+                    double alpha, std::size_t taken, std::size_t n) noexcept;
+void cf_update_terminal_avx2(double* row, const double* rewards, double alpha,
+                             std::size_t taken, std::size_t n) noexcept;
+void decay_compact_avx2(double* vals, std::uint32_t* idxs, std::uint32_t* len,
+                        double factor, double cutoff) noexcept;  // *len >= 4
+#endif
+}  // namespace detail
+
+/// Whether the explicit SIMD kernel path is active. True when the CPU
+/// reports AVX2 and the COREDA_LANE_SIMD environment variable is not "0"
+/// (the override exists so the equivalence tests can exercise both paths on
+/// the same machine). Decided once per process.
+bool simd_enabled() noexcept;
+
+/// Maximum of `row[0..n)` — the value std::max_element would return.
+/// n must be >= 1. The AVX2 path falls back to the scalar scan whenever the
+/// maximum is a zero: a vector max reduction may return the other-signed
+/// zero of a {+0.0, -0.0} tie, and the lane engine's contract is
+/// bit-identical doubles, not just numerically-equal ones.
+///
+/// The scalar bodies of all five kernels live here in the header: a lane
+/// transition makes four to six kernel calls over rows of a handful of
+/// doubles, and the cross-TU call + dispatch overhead measurably exceeded
+/// the work itself on bench_fleet_throughput. The dispatch reads one cached
+/// bool; the AVX2 bodies stay out of line behind it.
+inline double row_max(const double* row, std::size_t n) noexcept {
+#ifdef COREDA_LANE_KERNELS_X86
+  if (detail::g_simd && n >= 4) return detail::row_max_avx2(row, n);
+#endif
+  double m = row[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (row[i] > m) m = row[i];
+  }
+  return m;
+}
+
+/// Number of entries with row[i] >= threshold (the tie count of
+/// QTable::is_uniquely_greedy).
+inline std::size_t count_ge(const double* row, double threshold,
+                            std::size_t n) noexcept {
+#ifdef COREDA_LANE_KERNELS_X86
+  if (detail::g_simd) return detail::count_ge_avx2(row, threshold, n);
+#endif
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (row[i] >= threshold) ++count;
+  }
+  return count;
+}
+
+/// Everything ε-greedy selection + the Watkins unique-greedy test need from
+/// one Q row, in one fused pass: the row maximum (row_max semantics,
+/// including the signed-zero rule), a bitmask of the exact ties
+/// (bit a set iff row[a] == max — the reservoir's candidate set) and the
+/// count of entries within `tolerance` of the maximum (count_ge's tie
+/// count). Branch-free accumulation: the separate reservoir scan +
+/// count_ge pass cost two data-dependent branch streams per transition.
+/// n must be in [1, 64] (the mask is one word; Q rows are action counts).
+struct RowStats {
+  double max = 0.0;
+  std::uint64_t tie_mask = 0;    ///< bit a set iff row[a] == max
+  std::uint32_t near_count = 0;  ///< entries with row[a] >= max - tolerance
+};
+
+inline RowStats row_stats(const double* row, double tolerance,
+                          std::size_t n) noexcept {
+#ifdef COREDA_LANE_KERNELS_X86
+  if (detail::g_simd && n >= 4) {
+    const detail::RowStatsResult r = detail::row_stats_avx2(row, tolerance, n);
+    return RowStats{r.max, r.tie_mask, r.near_count};
+  }
+#endif
+  RowStats st;
+  st.max = row[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (row[i] > st.max) st.max = row[i];
+  }
+  const double threshold = st.max - tolerance;
+  for (std::size_t i = 0; i < n; ++i) {
+    st.tie_mask |= static_cast<std::uint64_t>(row[i] == st.max) << i;
+    st.near_count += row[i] >= threshold;
+  }
+  return st;
+}
+
+/// row_stats when the row maximum is already known (carried from a prior
+/// row_max over bitwise-identical row bytes): skips the max reduction and
+/// performs only the tie-mask / tolerance-count sweep. Callers must
+/// guarantee `max` is exactly what row_max(row, n) would return — the lane
+/// engine's transition carry proves this via its touched-row tracking.
+inline RowStats row_stats_given_max(const double* row, double max,
+                                    double tolerance,
+                                    std::size_t n) noexcept {
+#ifdef COREDA_LANE_KERNELS_X86
+  if (detail::g_simd && n >= 4) {
+    const detail::RowStatsResult r =
+        detail::row_stats_given_max_avx2(row, max, tolerance, n);
+    return RowStats{r.max, r.tie_mask, r.near_count};
+  }
+#endif
+  RowStats st;
+  st.max = max;
+  const double threshold = max - tolerance;
+  for (std::size_t i = 0; i < n; ++i) {
+    st.tie_mask |= static_cast<std::uint64_t>(row[i] == max) << i;
+    st.near_count += row[i] >= threshold;
+  }
+  return st;
+}
+
+/// Fused counterfactual row backup for a non-terminal transition:
+///   row[a] += alpha * ((rewards[a] + bootstrap) - row[a])   for a != taken.
+/// Per-cell IEEE ops in the exact shape of
+/// TdLambdaQLearning::update_counterfactual_row; the AVX2 path keeps
+/// mul and add separate (no FMA contraction) and preserves row[taken]
+/// bit-exactly via a blend instead of adding a zero delta.
+inline void cf_update(double* row, const double* rewards, double bootstrap,
+                      double alpha, std::size_t taken,
+                      std::size_t n) noexcept {
+#ifdef COREDA_LANE_KERNELS_X86
+  if (detail::g_simd) {
+    detail::cf_update_avx2(row, rewards, bootstrap, alpha, taken, n);
+    return;
+  }
+#endif
+  for (std::size_t a = 0; a < n; ++a) {
+    if (a == taken) continue;
+    const double target = rewards[a] + bootstrap;
+    const double delta = target - row[a];
+    row[a] += alpha * delta;
+  }
+}
+
+/// Terminal variant: target is rewards[a] alone. Kept separate instead of
+/// passing bootstrap = 0.0 because rewards[a] + 0.0 flips the sign of a
+/// -0.0 reward — the scalar path never performs that add.
+inline void cf_update_terminal(double* row, const double* rewards,
+                               double alpha, std::size_t taken,
+                               std::size_t n) noexcept {
+#ifdef COREDA_LANE_KERNELS_X86
+  if (detail::g_simd) {
+    detail::cf_update_terminal_avx2(row, rewards, alpha, taken, n);
+    return;
+  }
+#endif
+  for (std::size_t a = 0; a < n; ++a) {
+    if (a == taken) continue;
+    const double delta = rewards[a] - row[a];
+    row[a] += alpha * delta;
+  }
+}
+
+/// Batched eligibility-trace decay over one lane slot: vals[i] *= factor
+/// for the first `*len` entries, then compacts out entries whose decayed
+/// value fell below `cutoff` (dropping an entry zeroes nothing — entries
+/// are a sparse set, identical to EligibilityTraces' swap-pop semantics).
+/// idxs is compacted in step with vals; *len is updated.
+inline void decay_compact(double* vals, std::uint32_t* idxs,
+                          std::uint32_t* len, double factor,
+                          double cutoff) noexcept {
+#ifdef COREDA_LANE_KERNELS_X86
+  if (detail::g_simd && *len >= 4) {
+    detail::decay_compact_avx2(vals, idxs, len, factor, cutoff);
+    return;
+  }
+#endif
+  const std::uint32_t n = *len;
+  std::uint32_t out = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Branchless compaction: always store, advance only on kept entries
+    // (out <= i, so the store never outruns the read cursor).
+    const double v = vals[i] * factor;
+    vals[out] = v;
+    idxs[out] = idxs[i];
+    out += !(v < cutoff);  // NOT v >= cutoff: NaN must stay kept, as before
+  }
+  *len = out;
+}
+
+}  // namespace coreda::rl::kern

@@ -100,12 +100,52 @@ void PolicyStore::flush_all() {
 void PolicyStore::persist_snapshot(UserId, Entry& e) {
   const std::string path = params_.dir + "/" + e.name + ".policy";
   const std::string tmp = path + ".tmp";
+
+  if (params_.format == SnapshotFormat::kV3Delta && e.flushed &&
+      e.chain_deltas < params_.rebase_every) {
+    // Delta append: only the changed rows since the committed chain state.
+    const std::string record = planning::encode_policy_v3_delta(
+        *e.flushed, e.q, e.version, e.flushed_version);
+    // The crash seam fires before any byte lands, so a simulated crash here
+    // leaves the committed file untouched (the append-mode analog of
+    // "before the rename").
+    if (pre_publish_hook_) pre_publish_hook_(path);
+    try {
+      std::ofstream out(path, std::ios::binary | std::ios::app);
+      if (!out) {
+        throw std::runtime_error("PolicyStore: cannot append to " + path);
+      }
+      out.write(record.data(), static_cast<std::streamsize>(record.size()));
+      if (!out.flush()) {
+        throw std::runtime_error("PolicyStore: short append to " + path);
+      }
+    } catch (...) {
+      // The file tail may now be torn. The chain loader recovers the valid
+      // prefix on read; dropping the diff base forces the next flush to
+      // rewrite a clean full anchor instead of appending after the tear.
+      e.flushed.reset();
+      e.chain_deltas = 0;
+      throw;
+    }
+    ++e.chain_deltas;
+    *e.flushed = e.q;
+    e.flushed_version = e.version;
+    e.flush_bytes += record.size();
+    return;
+  }
+
+  // Full snapshot (v2 mode always; v3 anchor/rebase), atomically published.
+  std::size_t bytes = 0;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       throw std::runtime_error("PolicyStore: cannot write " + tmp);
     }
-    planning::save_policy_v2(out, steps_, tools_, e.q, e.version);
+    bytes = params_.format == SnapshotFormat::kV3Delta
+                ? planning::save_policy_v3_full(out, steps_, tools_, e.q,
+                                                e.version)
+                : planning::save_policy_v2(out, steps_, tools_, e.q,
+                                           e.version);
     if (!out.flush()) {
       throw std::runtime_error("PolicyStore: short write to " + tmp);
     }
@@ -117,6 +157,16 @@ void PolicyStore::persist_snapshot(UserId, Entry& e) {
     throw std::runtime_error("PolicyStore: cannot rename " + tmp + " to " +
                              path);
   }
+  e.flush_bytes += bytes;
+  if (params_.format == SnapshotFormat::kV3Delta) {
+    e.chain_deltas = 0;
+    if (e.flushed) {
+      *e.flushed = e.q;
+    } else {
+      e.flushed = std::make_unique<rl::QTable>(e.q);
+    }
+    e.flushed_version = e.version;
+  }
 }
 
 std::optional<std::uint64_t> PolicyStore::read_snapshot(UserId user,
@@ -125,7 +175,18 @@ std::optional<std::uint64_t> PolicyStore::read_snapshot(UserId user,
   const std::string path = params_.dir + "/" + entry(user).name + ".policy";
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
-  return planning::load_policy_v2(in, steps_, tools_, staged);
+  // Sniff the committed format rather than assuming the configured one:
+  // a v3 store restores v2 files transparently (and rebases them to v3 on
+  // the next flush), and vice versa — which is all `policy migrate` needs.
+  switch (planning::detect_policy_format(in)) {
+    case planning::PolicyFormat::kBinaryV2:
+      return planning::load_policy_v2(in, steps_, tools_, staged);
+    case planning::PolicyFormat::kBinaryV3:
+      return planning::load_policy_v3(in, steps_, tools_, staged).version;
+    default:
+      throw std::runtime_error("PolicyStore: unrecognized snapshot format in " +
+                               path);
+  }
 }
 
 std::optional<std::uint64_t> PolicyStore::restore(UserId user) {
@@ -136,6 +197,11 @@ std::optional<std::uint64_t> PolicyStore::restore(UserId user) {
   e.q = staged;
   e.version = *version;
   e.unflushed = 0;
+  // In v3 mode the chain may have lost a torn tail (or the file may be v2):
+  // drop the diff base so the next flush rewrites a clean full anchor
+  // instead of appending to an uncertain chain.
+  e.flushed.reset();
+  e.chain_deltas = 0;
   return version;
 }
 
@@ -148,6 +214,12 @@ std::uint64_t PolicyStore::staged_writes() const noexcept {
 std::uint64_t PolicyStore::disk_writes() const noexcept {
   std::uint64_t total = 0;
   for (const Entry& e : entries_) total += e.disk;
+  return total;
+}
+
+std::uint64_t PolicyStore::flush_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.flush_bytes;
   return total;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -17,9 +18,14 @@ namespace coreda::serve {
 /// path — no string lookups per session.
 using UserId = std::uint32_t;
 
+/// On-disk snapshot encoding of the per-file PolicyStore backend.
+enum class SnapshotFormat : std::uint8_t {
+  kV2 = 2,       ///< one full "coreda-policy v2" record per flush
+  kV3Delta = 3,  ///< v3 anchor + appended changed-row delta records
+};
+
 struct PolicyStoreParams {
-  /// Snapshot directory. One "coreda-policy v2" file per user,
-  /// `<dir>/<user>.policy`, written atomically (temp file + rename).
+  /// Snapshot directory. One policy file per user, `<dir>/<user>.policy`.
   /// Empty = memory-only store: versions and staging still work, nothing
   /// ever touches disk (the pure-serving configuration the benches use).
   std::string dir;
@@ -31,6 +37,17 @@ struct PolicyStoreParams {
   /// ~2-3 times a day instead of 20 — the same k-fold wear reduction the
   /// nodes' EEPROM ring buys their flash.
   std::size_t flush_every = 8;
+  /// v2 (default): every flush atomically rewrites the full snapshot.
+  /// v3: a flush appends one delta record carrying only the Q rows that
+  /// changed since the last persisted state — the write-amplification fix
+  /// for large-vocab tables — with a fresh full anchor (atomic tmp+rename)
+  /// every `rebase_every` deltas and after every restore. A v3 store
+  /// restores v2 files transparently and rebases them to v3 on the next
+  /// flush (the in-place migration path `policy migrate` batch-drives).
+  SnapshotFormat format = SnapshotFormat::kV2;
+  /// Max delta records between full anchors in v3 mode (bounds chain replay
+  /// time and the blast radius of a torn tail).
+  std::size_t rebase_every = 8;
 };
 
 /// Per-user versioned policy snapshots for the serving tier.
@@ -109,6 +126,10 @@ class PolicyStore {
   std::uint64_t staged_writes() const noexcept;
   /// ...and the snapshots actually persisted — the wear the disk *saw*.
   std::uint64_t disk_writes() const noexcept;
+  /// Bytes those persisted snapshots put on disk (full records in v2 mode;
+  /// anchors + delta records in v3 mode) — the write-amplification metric
+  /// the retrain bench gates.
+  std::uint64_t flush_bytes() const noexcept;
 
   /// Snapshot location for a user; empty when memory-only. The per-file
   /// base store returns `<dir>/<name>.policy`; a segmented store returns
@@ -138,6 +159,14 @@ class PolicyStore {
     std::uint64_t staged = 0;    ///< stage() calls on this entry
     std::uint64_t disk = 0;      ///< snapshot writes persisted for this entry
     std::size_t unflushed = 0;   ///< stages since the last persisted write
+    std::uint64_t flush_bytes = 0;  ///< snapshot bytes persisted so far
+    // --- v3 chain state ---------------------------------------------------
+    /// The table as the committed file reconstructs it — the diff base for
+    /// the next delta. Null until the first v3 anchor lands (or after a
+    /// restore/append failure), which forces a full rewrite.
+    std::unique_ptr<rl::QTable> flushed = nullptr;
+    std::uint64_t flushed_version = 0;  ///< version the chain ends at
+    std::size_t chain_deltas = 0;       ///< deltas since the last anchor
   };
 
   Entry& entry(UserId user);

@@ -21,6 +21,9 @@ RetrainScheduler::RetrainScheduler(const adl::Adl& adl, PolicyStore& store,
     throw std::invalid_argument(
         "RetrainScheduler: min_transcripts and replay_passes must be >= 1");
   }
+  if (params_.lane_width == 0) {
+    throw std::invalid_argument("RetrainScheduler: lane_width must be >= 1");
+  }
   lane_queues_.reserve(lanes);
   for (std::size_t i = 0; i < lanes; ++i) {
     Lane lane;
@@ -28,6 +31,16 @@ RetrainScheduler::RetrainScheduler(const adl::Adl& adl, PolicyStore& store,
     // begin_retraining; the placeholder seed never trains anything.
     lane.learner = std::make_unique<planning::RoutineLearner>(
         adl, util::Rng(0), learner_config);
+    if (params_.lane_width > 1) {
+      // The lockstep replay engine; transcript slots bound episode length,
+      // so pre-sizing its traces/scratch here makes retrains alloc-free.
+      lane.trainer = std::make_unique<planning::LaneTrainer>(
+          adl, params_.lane_width, learner_config,
+          params_.max_transcript_steps);
+      const rl::QTable& shape = lane.learner->q();
+      lane.scratch = std::make_unique<rl::QTable>(shape.num_states(),
+                                                  shape.num_actions());
+    }
     lane_queues_.push_back(std::move(lane));
   }
 }
@@ -115,6 +128,38 @@ std::size_t RetrainScheduler::retrain_user(UserId user) {
   return episodes;
 }
 
+std::size_t RetrainScheduler::retrain_batch(std::size_t lane,
+                                            std::span<const UserId> users) {
+  planning::LaneTrainer& trainer = *lane_queues_[lane].trainer;
+  std::size_t episodes = 0;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    trainer.begin_retraining(
+        i, store_->q(users[i]),
+        util::Rng(exec::trial_seed(params_.seed, users[i])));
+  }
+  // Pass-major lockstep over every slot's replay sequence (the exact
+  // episode order retrain_user feeds its scalar learner), ragged when
+  // users' rings hold different transcript counts.
+  for (std::size_t round = 0;; ++round) {
+    bool any = false;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      const Ring& r = ring(users[i]);
+      if (round >= params_.replay_passes * r.count) continue;
+      trainer.queue_episode(i, transcript(users[i], round % r.count));
+      any = true;
+      ++episodes;
+    }
+    if (!any) break;
+    trainer.train_queued();
+  }
+  rl::QTable& scratch = *lane_queues_[lane].scratch;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    trainer.export_q(i, scratch);
+    store_->stage(users[i], scratch);
+  }
+  return episodes;
+}
+
 std::span<const UserId> RetrainScheduler::drain(exec::TrialRunner& runner) {
   retrained_.clear();
   if (queued() == 0) return retrained_;
@@ -122,12 +167,27 @@ std::span<const UserId> RetrainScheduler::drain(exec::TrialRunner& runner) {
   // One trial per lane, like the engine's serve drain: a lane's jobs run
   // serially in enqueue order on whichever worker takes the trial. Jobs of
   // one lane share that lane's learner; jobs of different lanes touch
-  // disjoint learners, rings and store entries.
+  // disjoint learners, rings and store entries. With lane_width > 1 the
+  // lane queue is chunked through the lane's lockstep trainer instead —
+  // same per-user streams, same staging order, byte-identical outcome.
+  const std::size_t width = params_.lane_width;
   std::vector<std::size_t> lane_episodes(lane_queues_.size(), 0);
   runner.run(lane_queues_.size(), /*base_seed=*/0,
              [&](exec::TrialContext& ctx) -> char {
-               for (const UserId user : lane_queues_[ctx.index].queue) {
-                 lane_episodes[ctx.index] += retrain_user(user);
+               const std::vector<UserId>& queue =
+                   lane_queues_[ctx.index].queue;
+               if (width > 1) {
+                 for (std::size_t base = 0; base < queue.size();
+                      base += width) {
+                   const std::size_t n =
+                       std::min(width, queue.size() - base);
+                   lane_episodes[ctx.index] += retrain_batch(
+                       ctx.index, {queue.data() + base, n});
+                 }
+               } else {
+                 for (const UserId user : queue) {
+                   lane_episodes[ctx.index] += retrain_user(user);
+                 }
                }
                return 0;
              });

@@ -7,6 +7,7 @@
 
 #include "core/system.hpp"
 #include "exec/trial_runner.hpp"
+#include "planning/lane_trainer.hpp"
 #include "planning/learner.hpp"
 #include "serve/policy_store.hpp"
 
@@ -44,6 +45,12 @@ struct RetrainParams {
   /// retrained again — gives the refreshed policy time to move the EWMA
   /// (and fresh transcripts time to displace pre-retrain ones).
   std::size_t cooldown_sessions = 4;
+  /// Users replayed in lockstep per lane batch during drain. 1 keeps the
+  /// scalar path (one warm RoutineLearner per lane); >1 steps chunks of the
+  /// lane queue through a SoA planning::LaneTrainer. Per-user results are
+  /// byte-identical either way — retrain streams are seeded per user and
+  /// lane slots never interact — so this is purely a throughput knob.
+  std::size_t lane_width = 1;
 };
 
 /// Cumulative retraining counters, reported through the ServeReport.
@@ -117,6 +124,12 @@ class RetrainScheduler {
   /// the episodes replayed.
   std::size_t retrain_user(UserId user);
 
+  /// Lockstep-retrains up to lane_width users of one lane through its
+  /// LaneTrainer (the drain inner loop when lane_width > 1; public for the
+  /// allocation tests). All users must belong to `lane`. Returns the
+  /// episodes replayed.
+  std::size_t retrain_batch(std::size_t lane, std::span<const UserId> users);
+
   const RetrainCounters& counters() const noexcept { return counters_; }
   const RetrainParams& params() const noexcept { return params_; }
   std::size_t lanes() const noexcept { return lane_queues_.size(); }
@@ -136,6 +149,10 @@ class RetrainScheduler {
 
   struct Lane {
     std::unique_ptr<planning::RoutineLearner> learner;
+    /// Lockstep replay engine, built only when lane_width > 1.
+    std::unique_ptr<planning::LaneTrainer> trainer;
+    /// Scatter target reused across jobs so staging stays allocation-free.
+    std::unique_ptr<rl::QTable> scratch;
     std::vector<UserId> queue;
   };
 

@@ -407,7 +407,7 @@ void SegmentStore::append(std::uint64_t user, const rl::QTable& q,
   if (e.seg != nullptr) e.seg->live.fetch_sub(1, std::memory_order_relaxed);
   e = IndexEntry{seg, offset, version};
   seg->live.fetch_add(1, std::memory_order_relaxed);
-  ++appends_;
+  appends_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::optional<std::uint64_t> SegmentStore::latest_version(

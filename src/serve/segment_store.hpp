@@ -129,7 +129,9 @@ class SegmentStore {
   /// Records published and still current / superseded-or-invalid.
   std::uint64_t live_records() const noexcept;
   std::uint64_t dead_records() const noexcept;
-  std::uint64_t appends() const noexcept { return appends_; }
+  std::uint64_t appends() const noexcept {
+    return appends_.load(std::memory_order_relaxed);
+  }
   std::uint64_t compactions() const noexcept { return compactions_; }
   const SegmentStoreParams& params() const noexcept { return params_; }
   std::size_t num_states() const noexcept { return num_states_; }
@@ -196,7 +198,10 @@ class SegmentStore {
   /// are never appended to.
   std::vector<std::unique_ptr<Segment>> retired_;
   std::vector<IndexEntry> index_;
-  std::uint64_t appends_ = 0;
+  /// Atomic: incremented by concurrent shard writers (everything else an
+  /// append touches is partitioned per writer or per user, but this
+  /// counter is store-wide).
+  std::atomic<std::uint64_t> appends_{0};
   std::uint64_t compactions_ = 0;
   std::function<void(const std::string&)> pre_publish_hook_;
 };

@@ -1,0 +1,224 @@
+// Byte-identity of LaneTrainer (lockstep SoA lanes) vs RoutineLearner.
+//
+// The fleet benches may only use the lane path because every user's result
+// is bit-for-bit what the scalar path produces. This test replays the
+// bench_fleet_throughput workload shape — personal noisy routines, the
+// foreign-tool skip path, truncated episodes — through both paths across
+// lane widths 1/4/8 with ragged tail batches, and compares final Q tables
+// (bitwise), greedy accuracy, the fleet checksum sum, ε, and the skipped
+// counter. Also covers the retrain-scheduler entry point
+// (begin_retraining on an adopted table).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "adl/library.hpp"
+#include "planning/lane_trainer.hpp"
+#include "planning/learner.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::planning {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// bench_fleet_throughput's StepId-level noise model.
+struct NoiseProfile {
+  double p_drop = 0.12;
+  double p_repeat = 0.04;
+  double p_spurious = 0.04;
+};
+
+void sensed_episode(const std::vector<adl::StepId>& routine,
+                    const NoiseProfile& noise, adl::StepId foreign,
+                    util::Rng& rng, std::vector<adl::StepId>& out) {
+  out.clear();
+  for (const adl::StepId step : routine) {
+    if (rng.uniform() < noise.p_spurious) out.push_back(foreign);
+    if (rng.uniform() < noise.p_drop) continue;
+    out.push_back(step);
+    if (rng.uniform() < noise.p_repeat) out.push_back(step);
+  }
+}
+
+void expect_user_equal(const RoutineLearner& scalar, LaneTrainer& lane,
+                       std::size_t slot, std::size_t user) {
+  const rl::QTable& want = scalar.q();
+  rl::QTable got(want.num_states(), want.num_actions(), 0.0);
+  lane.export_q(slot, got);
+  for (rl::StateId s = 0; s < want.num_states(); ++s) {
+    for (rl::ActionId a = 0; a < want.num_actions(); ++a) {
+      ASSERT_EQ(bits(got.get(s, a)), bits(want.get(s, a)))
+          << "user " << user << " Q(" << s << "," << a << ")";
+    }
+  }
+  EXPECT_EQ(bits(lane.greedy_accuracy(slot)), bits(scalar.greedy_accuracy()))
+      << "user " << user;
+  double sum = 0.0;
+  for (rl::StateId s = 0; s < want.num_states(); ++s) {
+    for (rl::ActionId a = 0; a < want.num_actions(); ++a) {
+      sum += want.get(s, a);
+    }
+  }
+  EXPECT_EQ(bits(lane.q_sum(slot)), bits(sum)) << "user " << user;
+  EXPECT_EQ(bits(lane.epsilon(slot)), bits(scalar.epsilon()))
+      << "user " << user;
+  EXPECT_EQ(lane.skipped_steps(slot), scalar.skipped_steps())
+      << "user " << user;
+}
+
+/// Trains `users` fleet members through scalar learners and through
+/// width-`width` lanes (last batch ragged when width does not divide
+/// users), asserting per-user bitwise identity.
+void run_fleet_equivalence(std::size_t width, std::size_t users,
+                           std::size_t episodes) {
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.tea_making();
+  const adl::StepId foreign = adl::tools::kToothbrush;
+  std::vector<adl::StepId> routine;
+  for (const adl::AdlStep& step : adl.primary_routine().steps()) {
+    routine.push_back(step.step_id());
+  }
+
+  LaneTrainer lane(adl, width);
+  std::vector<adl::StepId> episode;
+  for (std::size_t base = 0; base < users; base += width) {
+    const std::size_t batch = std::min(width, users - base);
+
+    // Scalar side first (independent instances, so order is irrelevant).
+    std::vector<RoutineLearner> scalar;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::size_t u = base + i;
+      scalar.emplace_back(adl, util::Rng(5000 + u));
+      NoiseProfile noise;
+      noise.p_drop = 0.05 + 0.02 * static_cast<double>(u % 7);
+      util::Rng env(9000 + u);
+      // Users differ in episode count too (ragged within the batch).
+      const std::size_t my_episodes = episodes - (u % 3);
+      for (std::size_t e = 0; e < my_episodes; ++e) {
+        sensed_episode(routine, noise, foreign, env, episode);
+        scalar[i].train_episode(episode);
+      }
+    }
+
+    // Lane side: same seeds, lockstep.
+    std::vector<util::Rng> env;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::size_t u = base + i;
+      lane.reset_slot(i, util::Rng(5000 + u));
+      env.emplace_back(9000 + u);
+    }
+    for (std::size_t e = 0; e < episodes; ++e) {
+      bool any = false;
+      for (std::size_t i = 0; i < batch; ++i) {
+        const std::size_t u = base + i;
+        if (e >= episodes - (u % 3)) continue;
+        NoiseProfile noise;
+        noise.p_drop = 0.05 + 0.02 * static_cast<double>(u % 7);
+        sensed_episode(routine, noise, foreign, env[i], episode);
+        lane.queue_episode(i, episode);
+        any = true;
+      }
+      if (any) lane.train_queued();
+    }
+
+    for (std::size_t i = 0; i < batch; ++i) {
+      expect_user_equal(scalar[i], lane, i, base + i);
+    }
+  }
+}
+
+TEST(LaneTrainer, Width1MatchesScalarLearner) {
+  run_fleet_equivalence(1, 3, 40);
+}
+
+TEST(LaneTrainer, Width4MatchesScalarLearnerRaggedTail) {
+  run_fleet_equivalence(4, 7, 40);  // 4 + ragged 3
+}
+
+TEST(LaneTrainer, Width8MatchesScalarLearnerRaggedTail) {
+  run_fleet_equivalence(8, 13, 25);  // 8 + ragged 5
+}
+
+TEST(LaneTrainer, ShortAndForeignEpisodesMatchScalar) {
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.tea_making();
+  RoutineLearner scalar(adl, util::Rng(1));
+  LaneTrainer lane(adl, 2);
+  lane.reset_slot(0, util::Rng(1));
+
+  const std::vector<std::vector<adl::StepId>> episodes = {
+      {},                                        // idle-only: ε decay path
+      {adl::tools::kToothbrush},                 // all skipped
+      {adl.primary_routine().first_step()},      // < 2 valid steps
+      {adl.primary_routine().first_step(), adl::tools::kToothbrush,
+       adl.primary_routine().steps()[1].step_id()},  // skip inside
+  };
+  for (const auto& e : episodes) {
+    scalar.train_episode(e);
+    lane.queue_episode(0, e);
+    lane.train_queued();
+  }
+  expect_user_equal(scalar, lane, 0, 0);
+  EXPECT_EQ(scalar.skipped_steps(), 2u);
+}
+
+TEST(LaneTrainer, BeginRetrainingMatchesScalar) {
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.tea_making();
+  std::vector<adl::StepId> routine;
+  for (const adl::AdlStep& step : adl.primary_routine().steps()) {
+    routine.push_back(step.step_id());
+  }
+
+  // A warm table from a first training run.
+  RoutineLearner warm(adl, util::Rng(77));
+  {
+    util::Rng env(78);
+    std::vector<adl::StepId> episode;
+    NoiseProfile noise;
+    for (int e = 0; e < 30; ++e) {
+      sensed_episode(routine, noise, adl::tools::kToothbrush, env, episode);
+      warm.train_episode(episode);
+    }
+  }
+
+  RoutineLearner scalar(adl, util::Rng(1));
+  scalar.begin_retraining(warm.q(), util::Rng(314));
+  LaneTrainer lane(adl, 4);
+  lane.begin_retraining(2, warm.q(), util::Rng(314));
+
+  util::Rng env_s(400);
+  util::Rng env_l(400);
+  std::vector<adl::StepId> episode;
+  NoiseProfile noise;
+  for (int e = 0; e < 20; ++e) {
+    sensed_episode(routine, noise, adl::tools::kToothbrush, env_s, episode);
+    scalar.train_episode(episode);
+    sensed_episode(routine, noise, adl::tools::kToothbrush, env_l, episode);
+    lane.queue_episode(2, episode);
+    lane.train_queued();
+  }
+  expect_user_equal(scalar, lane, 2, 0);
+}
+
+TEST(LaneTrainer, RejectsDoubleQueueAndShapeMismatch) {
+  adl::AdlLibrary library;
+  const adl::Adl& adl = library.tea_making();
+  LaneTrainer lane(adl, 2);
+  lane.reset_slot(0, util::Rng(1));
+  const std::vector<adl::StepId> e = {adl.primary_routine().first_step()};
+  lane.queue_episode(0, e);
+  EXPECT_THROW(lane.queue_episode(0, e), std::logic_error);
+  lane.train_queued();
+
+  rl::QTable wrong(2, 2, 0.0);
+  EXPECT_THROW(lane.begin_retraining(0, wrong, util::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coreda::planning

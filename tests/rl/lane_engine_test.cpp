@@ -1,0 +1,228 @@
+// Byte-identity of the SoA LaneEngine against the scalar TD(λ) stack.
+//
+// Each slot of a lane must evolve its Q table exactly as an independent
+// TdLambdaQLearning + EpsilonGreedyPolicy pair would — the same IEEE-754
+// operation sequence, the same RNG draw order — regardless of lane width or
+// how slot work is interleaved. The test drives both sides through the same
+// randomized transition streams (aliased s == s' sweeps, terminal cuts,
+// exploration, ragged per-slot episode lengths) and compares every Q cell
+// bit-for-bit. Runs under whatever kernel path the host dispatches
+// (COREDA_LANE_SIMD=0 forces scalar; the CI default on AVX2 machines
+// exercises the vector kernels).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "rl/lane_engine.hpp"
+#include "rl/policy.hpp"
+#include "rl/td_lambda.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::rl {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+struct ScalarSide {
+  TdLambdaQLearning learner;
+  EpsilonGreedyPolicy policy;
+  util::Rng rng;
+
+  ScalarSide(std::size_t S, std::size_t A, TdLambdaConfig td, double eps,
+             std::uint64_t seed)
+      : learner(S, A, td), policy(eps, 0.978, 0.005), rng(seed) {}
+};
+
+void expect_tables_equal(const QTable& scalar, const LaneEngine& engine,
+                         std::size_t slot, const char* ctx) {
+  const double* lane = engine.slot_q(slot);
+  for (StateId s = 0; s < scalar.num_states(); ++s) {
+    for (ActionId a = 0; a < scalar.num_actions(); ++a) {
+      const std::size_t i =
+          static_cast<std::size_t>(s) * scalar.num_actions() + a;
+      ASSERT_EQ(bits(lane[i]), bits(scalar.get(s, a)))
+          << ctx << ": slot " << slot << " Q(" << s << "," << a
+          << ") lane=" << lane[i] << " scalar=" << scalar.get(s, a);
+    }
+  }
+}
+
+/// Drives `width` slots through `episodes` randomized episodes, scalar and
+/// lane in lockstep, asserting bitwise equality after every episode.
+void run_equivalence(std::size_t width, TdLambdaConfig td, bool sweep,
+                     std::uint64_t seed, bool fused_step = false) {
+  constexpr std::size_t S = 25;
+  constexpr std::size_t A = 8;
+  constexpr std::size_t kEpisodes = 30;
+  const double eps0 = 0.2;
+
+  LaneEngine engine(width, S, A, /*trace_capacity=*/4, td);
+  std::vector<ScalarSide> scalar;
+  std::vector<util::Rng> lane_rng;
+  std::vector<double> lane_eps(width, eps0);
+  std::vector<util::Rng> env;  // shared transition-stream generators
+  for (std::size_t w = 0; w < width; ++w) {
+    scalar.emplace_back(S, A, td, eps0, seed + w);
+    lane_rng.emplace_back(seed + w);
+    env.emplace_back(seed * 131 + w);
+    engine.begin_episode(w);
+  }
+
+  std::vector<double> rewards(A);
+  // Per-slot bootstrap carry for the fused path: valid only within one
+  // slot's episode (the stream honors s_{t+1} == s'_t per slot), so it is
+  // re-armed invalid at every episode start.
+  std::vector<LaneEngine::MaxCarry> carry(width);
+  for (std::size_t e = 0; e < kEpisodes; ++e) {
+    // Ragged: each slot's episode has its own length this round.
+    std::vector<std::size_t> len(width);
+    std::vector<StateId> state(width);
+    for (std::size_t w = 0; w < width; ++w) {
+      len[w] = 1 + env[w].pick_index(9);
+      state[w] = static_cast<StateId>(env[w].pick_index(S));
+      scalar[w].learner.begin_episode();
+      engine.begin_episode(w);
+      carry[w] = LaneEngine::MaxCarry{};
+    }
+    if (10 > engine.trace_capacity()) engine.reserve_traces(10);
+
+    std::size_t max_len = 0;
+    for (const std::size_t l : len) max_len = std::max(max_len, l);
+
+    for (std::size_t t = 0; t < max_len; ++t) {
+      for (std::size_t w = 0; w < width; ++w) {
+        if (t >= len[w]) continue;
+        const bool terminal = t + 1 == len[w] && env[w].bernoulli(0.5);
+        // ~1/5 transitions are aliased (s' == s) to hit the re-read sweep.
+        const StateId s = state[w];
+        const StateId s_next =
+            env[w].bernoulli(0.2)
+                ? s
+                : static_cast<StateId>(env[w].pick_index(S));
+        for (double& r : rewards) {
+          r = (env[w].uniform() - 0.5) * 200.0;
+        }
+        if (env[w].bernoulli(0.1)) rewards[env[w].pick_index(A)] = -0.0;
+
+        // Scalar side.
+        const ActionId a_scalar =
+            scalar[w].policy.select(scalar[w].learner.q(), s, scalar[w].rng);
+        scalar[w].learner.observe(
+            Transition{s, a_scalar, rewards[a_scalar], s_next, terminal});
+        if (sweep) {
+          scalar[w].learner.update_counterfactual_row(
+              s, std::span<const double>(rewards), a_scalar, s_next,
+              terminal);
+        }
+
+        // Lane side: same draws from an identically-seeded Rng. The fused
+        // branch threads the MaxCarry hint exactly as LaneTrainer does.
+        const LaneEngine::Selected sel =
+            fused_step
+                ? engine.select(w, s, lane_eps[w], lane_rng[w], carry[w])
+                : engine.select(w, s, lane_eps[w], lane_rng[w]);
+        ASSERT_EQ(sel.action, a_scalar) << "episode " << e << " t " << t;
+        if (fused_step) {
+          engine.step(w, sel, s, rewards.data(), s_next, terminal, sweep,
+                      &carry[w]);
+        } else {
+          engine.observe(w, sel, s, rewards[sel.action], s_next, terminal);
+          if (sweep) {
+            engine.counterfactual_row(w, s, rewards.data(), sel.action,
+                                      s_next, terminal);
+          }
+        }
+        state[w] = s_next;
+      }
+      engine.decay_pending();
+    }
+    for (std::size_t w = 0; w < width; ++w) {
+      scalar[w].policy.decay_epsilon();
+      lane_eps[w] = std::max(0.005, lane_eps[w] * 0.978);
+      expect_tables_equal(scalar[w].learner.q(), engine, w, "post-episode");
+    }
+  }
+}
+
+TdLambdaConfig planner_td() {
+  TdLambdaConfig td;
+  td.alpha = 0.1;
+  td.initial_q = 1000.0;
+  return td;
+}
+
+TEST(LaneEngine, Width1MatchesScalar) {
+  run_equivalence(1, planner_td(), /*sweep=*/true, 42);
+}
+
+TEST(LaneEngine, Width4MatchesScalar) {
+  run_equivalence(4, planner_td(), /*sweep=*/true, 43);
+}
+
+TEST(LaneEngine, Width8MatchesScalar) {
+  run_equivalence(8, planner_td(), /*sweep=*/true, 44);
+}
+
+TEST(LaneEngine, NoSweepMatchesScalar) {
+  run_equivalence(4, planner_td(), /*sweep=*/false, 45);
+}
+
+// The fused step() shares observe's bootstrap row scan with the sweep when
+// the apply pass left the next state's row untouched; aliased (s == s'),
+// touched-next and terminal transitions all appear in the stream, so this
+// proves step() == observe() + counterfactual_row() bit for bit.
+TEST(LaneEngine, FusedStepMatchesScalar) {
+  run_equivalence(4, planner_td(), /*sweep=*/true, 48, /*fused_step=*/true);
+}
+
+TEST(LaneEngine, FusedStepNoSweepMatchesScalar) {
+  run_equivalence(4, planner_td(), /*sweep=*/false, 49, /*fused_step=*/true);
+}
+
+TEST(LaneEngine, AccumulatingTracesMatchScalar) {
+  TdLambdaConfig td = planner_td();
+  td.trace_type = TraceType::kAccumulating;
+  run_equivalence(4, td, /*sweep=*/true, 46);
+}
+
+TEST(LaneEngine, NoWatkinsCutMatchesScalar) {
+  TdLambdaConfig td = planner_td();
+  td.watkins_cut = false;
+  run_equivalence(4, td, /*sweep=*/true, 47);
+}
+
+TEST(LaneEngine, LoadStoreRoundTripsBitwise) {
+  LaneEngine engine(2, 5, 3, 4, planner_td());
+  QTable q(5, 3, 0.0);
+  util::Rng rng(9);
+  for (StateId s = 0; s < 5; ++s) {
+    for (ActionId a = 0; a < 3; ++a) {
+      q.set(s, a, (rng.uniform() - 0.5) * 1e6);
+    }
+  }
+  q.set(0, 0, -0.0);  // sign-of-zero must survive the round trip
+  engine.load(1, q);
+  QTable out(5, 3, 7.0);
+  engine.store(1, out);
+  for (StateId s = 0; s < 5; ++s) {
+    for (ActionId a = 0; a < 3; ++a) {
+      EXPECT_EQ(bits(out.get(s, a)), bits(q.get(s, a)));
+    }
+  }
+}
+
+TEST(LaneEngine, RejectsInvalidShapes) {
+  EXPECT_THROW(LaneEngine(0, 5, 3, 4), std::invalid_argument);
+  EXPECT_THROW(LaneEngine(2, 0, 3, 4), std::invalid_argument);
+  EXPECT_THROW(LaneEngine(2, 5, 0, 4), std::invalid_argument);
+  LaneEngine engine(2, 5, 3, 4);
+  QTable wrong(4, 3, 0.0);
+  EXPECT_THROW(engine.load(0, wrong), std::invalid_argument);
+  EXPECT_THROW(engine.store(0, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coreda::rl

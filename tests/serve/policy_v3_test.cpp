@@ -1,0 +1,416 @@
+// Delta-chain snapshot robustness ("coreda-policy v3"): anchor + delta
+// round-trips, a corruption sweep over every byte of the delta region
+// (the loader must hand back a valid committed prefix — never garbage),
+// rebase-anchor recovery after a missing / mis-parented / torn delta,
+// the pre-append crash seam, the store's rebase cadence, and transparent
+// v2 <-> v3 restore (the migration seam `policy migrate --to=v3` drives).
+
+#include "serve/policy_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "adl/library.hpp"
+#include "planning/serialize.hpp"
+
+namespace coreda::serve {
+namespace {
+
+namespace T = adl::tools;
+namespace fs = std::filesystem;
+
+struct PolicyV3Fixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  planning::RoutineLearner trained(std::uint64_t seed = 5) {
+    planning::RoutineLearner learner(library.tea_making(), util::Rng(seed));
+    const std::vector<adl::StepId> steps{T::kTeaBox, T::kElectricPot,
+                                         T::kKettle, T::kTeaCup};
+    for (int i = 0; i < 80; ++i) learner.train_episode(steps);
+    return learner;
+  }
+
+  std::string fresh_dir(const char* name) {
+    const std::string dir = ::testing::TempDir() + "/coreda_v3_" + name;
+    fs::remove_all(dir);
+    return dir;
+  }
+
+  static std::string file_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  // Bitwise table comparison via the serializer: byte equality of the
+  // canonical encoding implies bit equality of every Q cell.
+  static std::string table_bytes(std::span<const adl::StepId> steps,
+                                 std::span<const adl::ToolId> tools,
+                                 const rl::QTable& q) {
+    std::ostringstream out(std::ios::binary);
+    planning::save_policy_v2(out, steps, tools, q, 1);
+    return out.str();
+  }
+};
+
+TEST_F(PolicyV3Fixture, FullRecordRoundTripIsByteIdentical) {
+  planning::RoutineLearner source = trained();
+  const auto steps = source.state_codec().symbols();
+  const auto tools = source.action_codec().tools();
+
+  std::ostringstream out(std::ios::binary);
+  const std::size_t bytes =
+      planning::save_policy_v3_full(out, steps, tools, source.q(), 7);
+  EXPECT_EQ(out.str().size(), bytes);
+
+  rl::QTable q(source.q().num_states(), source.q().num_actions());
+  std::istringstream in(out.str(), std::ios::binary);
+  const planning::PolicyV3Chain chain =
+      planning::load_policy_v3(in, steps, tools, q);
+  EXPECT_EQ(chain.version, 7u);
+  EXPECT_EQ(chain.deltas_applied, 0u);
+  EXPECT_FALSE(chain.tail_skipped);
+
+  std::ostringstream again(std::ios::binary);
+  planning::save_policy_v3_full(again, steps, tools, q, 7);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST_F(PolicyV3Fixture, DeltaChainRoundTripAppliesEveryRecord) {
+  planning::RoutineLearner source = trained();
+  const auto steps = source.state_codec().symbols();
+  const auto tools = source.action_codec().tools();
+
+  const rl::QTable q0 = source.q();
+  rl::QTable q1 = q0;
+  q1.set(0, 0, q1.get(0, 0) + 1.5);
+  q1.set(3, 1, -0.0);  // sign-of-zero must survive the trip bit-exactly
+  rl::QTable q2 = q1;
+  q2.set(2, 0, 42.0);
+
+  std::ostringstream out(std::ios::binary);
+  planning::save_policy_v3_full(out, steps, tools, q0, 10);
+  std::string bytes = out.str();
+  bytes += planning::encode_policy_v3_delta(q0, q1, 11, 10);
+  bytes += planning::encode_policy_v3_delta(q1, q2, 12, 11);
+  // An idle flush writes an empty (zero-row) delta; it must still chain.
+  bytes += planning::encode_policy_v3_delta(q2, q2, 13, 12);
+
+  rl::QTable q(q0.num_states(), q0.num_actions());
+  std::istringstream in(bytes, std::ios::binary);
+  const planning::PolicyV3Chain chain =
+      planning::load_policy_v3(in, steps, tools, q);
+  EXPECT_EQ(chain.version, 13u);
+  EXPECT_EQ(chain.deltas_applied, 3u);
+  EXPECT_FALSE(chain.tail_skipped);
+  EXPECT_EQ(table_bytes(steps, tools, q), table_bytes(steps, tools, q2));
+
+  // Shape mismatches are caller bugs, rejected before any bytes exist.
+  rl::QTable wrong(q0.num_states() + 1, q0.num_actions());
+  EXPECT_THROW(planning::encode_policy_v3_delta(wrong, q1, 14, 13),
+               std::invalid_argument);
+}
+
+TEST_F(PolicyV3Fixture, CorruptAnchorRejectsTheFileOutright) {
+  planning::RoutineLearner source = trained();
+  const auto steps = source.state_codec().symbols();
+  const auto tools = source.action_codec().tools();
+
+  std::ostringstream out(std::ios::binary);
+  planning::save_policy_v3_full(out, steps, tools, source.q(), 10);
+  const std::string anchor = out.str();
+
+  for (const std::size_t off :
+       {std::size_t{0}, std::size_t{9}, std::size_t{30}, anchor.size() / 2,
+        anchor.size() - 2}) {
+    std::string mutated = anchor;
+    mutated[off] ^= 0x20;
+    rl::QTable q(source.q().num_states(), source.q().num_actions());
+    const double before = q.get(1, 1);
+    std::istringstream in(mutated, std::ios::binary);
+    EXPECT_THROW(planning::load_policy_v3(in, steps, tools, q),
+                 std::runtime_error)
+        << "flipped anchor byte " << off;
+    EXPECT_DOUBLE_EQ(q.get(1, 1), before);
+  }
+}
+
+TEST_F(PolicyV3Fixture, CorruptionSweepOverEveryDeltaByteRecoversAPrefix) {
+  planning::RoutineLearner source = trained();
+  const auto steps = source.state_codec().symbols();
+  const auto tools = source.action_codec().tools();
+
+  const rl::QTable q0 = source.q();
+  rl::QTable q1 = q0;
+  q1.set(0, 0, q1.get(0, 0) + 1.5);
+  q1.set(1, 2, -3.25);
+  rl::QTable q2 = q1;
+  q2.set(2, 0, 42.0);
+
+  std::ostringstream out(std::ios::binary);
+  planning::save_policy_v3_full(out, steps, tools, q0, 10);
+  const std::size_t anchor_size = out.str().size();
+  const std::string d1 = planning::encode_policy_v3_delta(q0, q1, 11, 10);
+  const std::string d2 = planning::encode_policy_v3_delta(q1, q2, 12, 11);
+  const std::string file = out.str() + d1 + d2;
+
+  const std::string bytes0 = table_bytes(steps, tools, q0);
+  const std::string bytes1 = table_bytes(steps, tools, q1);
+
+  // Flip one bit at EVERY offset of the delta region. Whatever the damage
+  // hits — magic, version, parent, row counts, row payload, checksum — the
+  // loader must return the longest valid prefix (and exactly its table),
+  // flagged as a skipped tail. Never a throw, never a garbled table.
+  for (std::size_t off = anchor_size; off < file.size(); ++off) {
+    std::string mutated = file;
+    mutated[off] ^= 0x20;
+    rl::QTable q(q0.num_states(), q0.num_actions());
+    std::istringstream in(mutated, std::ios::binary);
+    planning::PolicyV3Chain chain;
+    ASSERT_NO_THROW(chain = planning::load_policy_v3(in, steps, tools, q))
+        << "flipped delta byte " << off;
+    EXPECT_TRUE(chain.tail_skipped) << "flipped delta byte " << off;
+    const bool in_first = off < anchor_size + d1.size();
+    EXPECT_EQ(chain.version, in_first ? 10u : 11u)
+        << "flipped delta byte " << off;
+    EXPECT_EQ(chain.deltas_applied, in_first ? 0u : 1u)
+        << "flipped delta byte " << off;
+    EXPECT_EQ(table_bytes(steps, tools, q), in_first ? bytes0 : bytes1)
+        << "flipped delta byte " << off;
+  }
+}
+
+TEST_F(PolicyV3Fixture, MissingDeltaEndsTheChainAtItsLastValidParent) {
+  planning::RoutineLearner source = trained();
+  const auto steps = source.state_codec().symbols();
+  const auto tools = source.action_codec().tools();
+
+  const rl::QTable q0 = source.q();
+  rl::QTable q1 = q0;
+  q1.set(0, 0, 7.0);
+  rl::QTable q2 = q1;
+  q2.set(1, 0, 8.0);
+  rl::QTable q3 = q2;
+  q3.set(2, 0, 9.0);
+
+  // Delta 12 never made it to disk: 13's parent doesn't match the chain.
+  std::ostringstream out(std::ios::binary);
+  planning::save_policy_v3_full(out, steps, tools, q0, 10);
+  std::string bytes = out.str();
+  bytes += planning::encode_policy_v3_delta(q0, q1, 11, 10);
+  bytes += planning::encode_policy_v3_delta(q2, q3, 13, 12);
+
+  rl::QTable q(q0.num_states(), q0.num_actions());
+  std::istringstream in(bytes, std::ios::binary);
+  const planning::PolicyV3Chain chain =
+      planning::load_policy_v3(in, steps, tools, q);
+  EXPECT_EQ(chain.version, 11u);
+  EXPECT_EQ(chain.deltas_applied, 1u);
+  EXPECT_TRUE(chain.tail_skipped);
+  EXPECT_EQ(table_bytes(steps, tools, q), table_bytes(steps, tools, q1));
+}
+
+TEST_F(PolicyV3Fixture, StoreAppendsDeltasRebasesOnCadenceAndRestores) {
+  planning::RoutineLearner donor = trained();
+  const std::string dir = fresh_dir("cadence");
+  PolicyStoreParams params;
+  params.dir = dir;
+  params.flush_every = 1;
+  params.format = SnapshotFormat::kV3Delta;
+  params.rebase_every = 3;
+  PolicyStore store(donor, params);
+  const UserId u = store.add_user("tanaka");
+  const std::string path = store.path_for(u);
+
+  rl::QTable q = donor.q();
+  store.stage(u, q);  // version 2: the first flush is always a full anchor
+  const std::size_t anchor_size = fs::file_size(path);
+
+  q.set(0, 0, q.get(0, 0) + 1.0);
+  store.stage(u, q);  // version 3: delta #1
+  const std::size_t after_delta = fs::file_size(path);
+  EXPECT_GT(after_delta, anchor_size);
+  // One changed row costs rows*(1 idx + A values) + 6 header/checksum words.
+  const std::size_t delta_size =
+      8 * (6 + 1 * (1 + donor.q().num_actions()));
+  EXPECT_EQ(after_delta - anchor_size, delta_size);
+
+  q.set(0, 1, q.get(0, 1) + 1.0);
+  store.stage(u, q);  // version 4: delta #2
+  q.set(0, 2, q.get(0, 2) + 1.0);
+  store.stage(u, q);  // version 5: delta #3 fills the cadence
+  EXPECT_EQ(fs::file_size(path), anchor_size + 3 * delta_size);
+
+  q.set(1, 0, q.get(1, 0) + 1.0);
+  store.stage(u, q);  // version 6: rebase — one fresh full anchor
+  EXPECT_EQ(fs::file_size(path), anchor_size);
+  {
+    std::ifstream in(path, std::ios::binary);
+    const planning::PolicyV3Info info = planning::inspect_policy_v3(in);
+    EXPECT_EQ(info.anchor.version, 6u);
+    EXPECT_EQ(info.delta_count, 0u);
+    EXPECT_FALSE(info.tail_skipped);
+  }
+
+  // Deltas cost a fraction of the full-snapshot traffic the same staging
+  // sequence pays in v2 mode: 2 anchors + 3 single-row deltas vs 5 fulls.
+  EXPECT_EQ(store.flush_bytes(), 2 * anchor_size + 3 * delta_size);
+  EXPECT_LT(store.flush_bytes(), 5 * anchor_size);
+  EXPECT_EQ(store.disk_writes(), 5u);
+
+  // A warm restart reconstructs the exact staged table and version.
+  PolicyStoreParams reader_params = params;
+  PolicyStore reader(donor, reader_params);
+  const UserId r = reader.add_user("tanaka");
+  EXPECT_EQ(reader.restore(r), std::optional<std::uint64_t>{6});
+  EXPECT_EQ(table_bytes(store.steps(), store.tools(), reader.q(r)),
+            table_bytes(store.steps(), store.tools(), q));
+}
+
+TEST_F(PolicyV3Fixture, TornAppendTailRecoversAndNextFlushRebases) {
+  planning::RoutineLearner donor = trained();
+  const std::string dir = fresh_dir("torn");
+  PolicyStoreParams params;
+  params.dir = dir;
+  params.flush_every = 1;
+  params.format = SnapshotFormat::kV3Delta;
+  std::string path;
+  rl::QTable q = donor.q();
+  {
+    PolicyStore store(donor, params);
+    const UserId u = store.add_user("tanaka");
+    path = store.path_for(u);
+    store.stage(u, q);  // version 2: anchor
+    q.set(0, 0, 5.0);
+    store.stage(u, q);  // version 3: delta
+    q.set(1, 0, 6.0);
+    store.stage(u, q);  // version 4: delta
+  }
+
+  // The power died mid-append: the last delta is half on disk.
+  fs::resize_file(path, fs::file_size(path) - 5);
+
+  PolicyStore store(donor, params);
+  const UserId u = store.add_user("tanaka");
+  EXPECT_EQ(store.restore(u), std::optional<std::uint64_t>{3});
+  {
+    std::ifstream in(path, std::ios::binary);
+    const planning::PolicyV3Info info = planning::inspect_policy_v3(in);
+    EXPECT_TRUE(info.tail_skipped);
+    EXPECT_EQ(info.version, 3u);
+    EXPECT_EQ(info.delta_count, 1u);
+  }
+
+  // Restore dropped the diff base, so the next flush rewrites a clean full
+  // anchor — the torn tail is truncated away, not appended after.
+  rl::QTable q2 = store.q(u);
+  q2.set(2, 0, 7.0);
+  store.stage(u, q2);  // version 4 again, now durable
+  {
+    std::ifstream in(path, std::ios::binary);
+    const planning::PolicyV3Info info = planning::inspect_policy_v3(in);
+    EXPECT_FALSE(info.tail_skipped);
+    EXPECT_EQ(info.anchor.version, 4u);
+    EXPECT_EQ(info.delta_count, 0u);
+    EXPECT_TRUE(info.anchor.checksum_ok);
+  }
+}
+
+TEST_F(PolicyV3Fixture, CrashBeforeDeltaAppendLeavesCommittedChainIntact) {
+  planning::RoutineLearner donor = trained();
+  const std::string dir = fresh_dir("crash");
+  PolicyStoreParams params;
+  params.dir = dir;
+  params.flush_every = 1;
+  params.format = SnapshotFormat::kV3Delta;
+  PolicyStore store(donor, params);
+  const UserId u = store.add_user("tanaka");
+  const std::string path = store.path_for(u);
+
+  rl::QTable q = donor.q();
+  store.stage(u, q);  // version 2: anchor
+  q.set(0, 0, 5.0);
+  store.stage(u, q);  // version 3: delta
+  const std::string committed = file_bytes(path);
+
+  // The crash seam fires before any append byte lands, so the committed
+  // chain is byte-identical afterwards.
+  store.set_pre_publish_hook([](const std::string&) {
+    throw std::runtime_error("injected crash before append");
+  });
+  q.set(1, 0, 6.0);
+  EXPECT_THROW(store.stage(u, q), std::runtime_error);
+  EXPECT_EQ(file_bytes(path), committed);
+  {
+    PolicyStore reader(donor, params);
+    const UserId r = reader.add_user("tanaka");
+    EXPECT_EQ(reader.restore(r), std::optional<std::uint64_t>{3});
+  }
+
+  // Crash over: the entry is still dirty and the diff base still matches
+  // the committed chain, so the retry appends the pending delta normally.
+  store.set_pre_publish_hook(nullptr);
+  store.flush(u);
+  {
+    std::ifstream in(path, std::ios::binary);
+    const planning::PolicyV3Info info = planning::inspect_policy_v3(in);
+    EXPECT_EQ(info.version, 4u);
+    EXPECT_EQ(info.delta_count, 2u);
+    EXPECT_FALSE(info.tail_skipped);
+  }
+}
+
+TEST_F(PolicyV3Fixture, V2AndV3SnapshotsRestoreAcrossStoreModes) {
+  planning::RoutineLearner donor = trained();
+  const std::string dir = fresh_dir("migrate");
+  rl::QTable q = donor.q();
+  q.set(0, 0, 123.0);
+
+  // A v2-mode store commits a v2 file...
+  {
+    PolicyStoreParams v2_params;
+    v2_params.dir = dir;
+    v2_params.flush_every = 1;
+    PolicyStore store(donor, v2_params);
+    store.stage(store.add_user("tanaka"), q);
+  }
+  const std::string path = dir + "/tanaka.policy";
+
+  // ...which a v3-mode store restores transparently (format sniffing) and
+  // rebases to a v3 anchor on its next flush — in-place migration.
+  PolicyStoreParams v3_params;
+  v3_params.dir = dir;
+  v3_params.flush_every = 1;
+  v3_params.format = SnapshotFormat::kV3Delta;
+  {
+    PolicyStore store(donor, v3_params);
+    const UserId u = store.add_user("tanaka");
+    EXPECT_EQ(store.restore(u), std::optional<std::uint64_t>{2});
+    EXPECT_EQ(table_bytes(store.steps(), store.tools(), store.q(u)),
+              table_bytes(store.steps(), store.tools(), q));
+    store.stage(u, store.q(u));  // version 3, persisted as a v3 anchor
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_EQ(planning::detect_policy_format(in),
+              planning::PolicyFormat::kBinaryV3);
+  }
+
+  // And back: a v2-mode store reads the v3 chain just as transparently.
+  PolicyStoreParams back_params;
+  back_params.dir = dir;
+  back_params.flush_every = 1;
+  PolicyStore store(donor, back_params);
+  const UserId u = store.add_user("tanaka");
+  EXPECT_EQ(store.restore(u), std::optional<std::uint64_t>{3});
+  EXPECT_EQ(table_bytes(store.steps(), store.tools(), store.q(u)),
+            table_bytes(store.steps(), store.tools(), q));
+}
+
+}  // namespace
+}  // namespace coreda::serve

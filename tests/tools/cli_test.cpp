@@ -7,6 +7,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "adl/library.hpp"
+#include "serve/policy_store.hpp"
+
 namespace coreda::cli {
 namespace {
 
@@ -149,7 +152,7 @@ TEST(CliTest, PolicyCommandsHandleV1Format) {
   // `policy load` / the serving tier.
   const CliResult bad_format =
       run({"policy", "save", "--adl=Tea-making", "--out=" + path,
-           "--format=v3"});
+           "--format=v9"});
   EXPECT_EQ(bad_format.code, 1);
 }
 
@@ -209,6 +212,80 @@ TEST(CliTest, PolicyMigrateBuildsAnInspectableSegmentStore) {
             std::string::npos);
   std::filesystem::remove_all(from);
   std::filesystem::remove_all(store);
+}
+
+TEST(CliTest, PolicyMigrateToV3AndChainInspect) {
+  const std::string from = ::testing::TempDir() + "/cli_v3_from";
+  const std::string out = ::testing::TempDir() + "/cli_v3_out";
+  std::filesystem::remove_all(from);
+  std::filesystem::remove_all(out);
+  std::filesystem::create_directories(from);
+  ASSERT_EQ(run({"policy", "save", "--adl=Tea-making",
+                 "--out=" + from + "/alice.policy", "--episodes=40",
+                 "--version=3"})
+                .code,
+            0);
+
+  // Per-file v2 -> v3 migration rewrites each snapshot as a v3 anchor,
+  // keeping its version.
+  const CliResult migrate =
+      run({"policy", "migrate", "--adl=Tea-making", "--from=" + from,
+           "--out=" + out, "--to=v3"});
+  EXPECT_EQ(migrate.code, 0) << migrate.err;
+  EXPECT_NE(migrate.out.find("Migrated 1/1 v2 snapshots"),
+            std::string::npos);
+  EXPECT_NE(migrate.out.find("v3 snapshots"), std::string::npos);
+
+  const std::string path = out + "/alice.policy";
+  const CliResult fresh = run({"policy", "inspect", "--in=" + path});
+  EXPECT_EQ(fresh.code, 0) << fresh.err;
+  EXPECT_NE(fresh.out.find("coreda-policy v3"), std::string::npos);
+  EXPECT_NE(fresh.out.find("anchor version: 3"), std::string::npos);
+  EXPECT_NE(fresh.out.find("deltas since last full: 0"), std::string::npos);
+  EXPECT_NE(fresh.out.find("tail: ok"), std::string::npos);
+
+  const CliResult load =
+      run({"policy", "load", "--adl=Tea-making", "--in=" + path});
+  EXPECT_EQ(load.code, 0) << load.err;
+  EXPECT_NE(load.out.find("v3 (binary, delta chain)"), std::string::npos);
+  EXPECT_NE(load.out.find("user version 3"), std::string::npos);
+  EXPECT_NE(load.out.find("100%"), std::string::npos);
+
+  // Extend the chain through a v3-mode store: restore the migrated anchor,
+  // then flush twice — one full rebase (restore drops the diff base) and
+  // one appended delta.
+  {
+    adl::AdlLibrary library;
+    planning::RoutineLearner reference(library.by_name("Tea-making"),
+                                       util::Rng(1));
+    serve::PolicyStoreParams params;
+    params.dir = out;
+    params.flush_every = 1;
+    params.format = serve::SnapshotFormat::kV3Delta;
+    serve::PolicyStore store(reference, params);
+    const serve::UserId alice = store.add_user("alice");
+    ASSERT_TRUE(store.restore(alice).has_value());
+    rl::QTable q = store.q(alice);
+    q.set(0, 0, q.get(0, 0) + 1.0);
+    store.stage(alice, q);  // version 4: full anchor rewrite
+    q.set(0, 1, q.get(0, 1) + 1.0);
+    store.stage(alice, q);  // version 5: delta append
+  }
+  const CliResult chained = run({"policy", "inspect", "--in=" + path});
+  EXPECT_EQ(chained.code, 0) << chained.err;
+  EXPECT_NE(chained.out.find("anchor version: 4"), std::string::npos);
+  EXPECT_NE(chained.out.find("chain version: 5"), std::string::npos);
+  EXPECT_NE(chained.out.find("deltas since last full: 1"),
+            std::string::npos);
+  EXPECT_NE(chained.out.find("tail: ok"), std::string::npos);
+
+  const CliResult reload =
+      run({"policy", "load", "--adl=Tea-making", "--in=" + path});
+  EXPECT_EQ(reload.code, 0) << reload.err;
+  EXPECT_NE(reload.out.find("user version 5"), std::string::npos);
+
+  std::filesystem::remove_all(from);
+  std::filesystem::remove_all(out);
 }
 
 TEST(CliTest, PolicyMigrateRejectsBadInputs) {

@@ -38,11 +38,50 @@ for bench in "${BENCHES[@]}"; do
   # pool construction and file-cache misses that would otherwise be
   # misread as a jobs=1 advantage — jobs=1 always ran first.
   "$BUILD_DIR/bench/$bench" --jobs=1 > /dev/null
+  # The fleet training bench's jobs=1 episodes/sec seeds its jobs>1 runs'
+  # parallel_efficiency field (eps/sec divided by jobs x the reference).
+  REF_EPS=""
   for jobs in "${JOB_COUNTS[@]}"; do
+    EXTRA_ARGS=()
+    if [[ "$bench" == bench_fleet_throughput && -n "$REF_EPS" ]]; then
+      EXTRA_ARGS+=("--ref-eps-per-sec=$REF_EPS")
+    fi
     "$BUILD_DIR/bench/$bench" --jobs="$jobs" --timing-json="$OUT" \
-      > /dev/null
+      ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"} > /dev/null
+    if [[ "$bench" == bench_fleet_throughput && "$jobs" == 1 ]]; then
+      REF_EPS="$(tail -n 1 "$OUT" | python3 -c \
+        'import json,sys; print(json.load(sys.stdin)["episodes_per_sec"])')"
+    fi
   done
 done
+
+# Surface parallel-scaling inversions instead of silently recording them:
+# on a box where jobs exceed the cores (hardware_concurrency below the job
+# count) the pool handoff is pure overhead and jobs>1 loses to jobs=1 —
+# expected there, but worth a warning either way so nobody reads the
+# committed JSON as a healthy scaling curve.
+python3 - "$OUT" <<'PYEOF'
+import json, sys
+records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+base = {r["bench"]: r for r in records if r.get("jobs") == 1}
+for r in records:
+    jobs = r.get("jobs", 1)
+    ref = base.get(r.get("bench"))
+    if jobs <= 1 or ref is None:
+        continue
+    for metric in ("trials_per_sec", "episodes_per_sec", "sessions_per_sec"):
+        if metric in r and metric in ref and r[metric] < ref[metric]:
+            eff = r.get("parallel_efficiency")
+            eff_txt = (f", parallel_efficiency {eff:.2f}"
+                       if isinstance(eff, (int, float)) else "")
+            hw = r.get("hardware_concurrency")
+            expected = (" (expected: jobs exceed hardware_concurrency"
+                        f"={hw}, the pool handoff is pure overhead)"
+                        if isinstance(hw, int) and jobs > hw else "")
+            print(f"warning: {r['bench']} jobs={jobs} {metric} "
+                  f"{r[metric]:.0f} < jobs=1 {ref[metric]:.0f}"
+                  f"{eff_txt}{expected}", file=sys.stderr)
+PYEOF
 
 echo "Wrote $OUT:"
 cat "$OUT"

@@ -38,6 +38,11 @@ for jobs in 1 2 4; do
   "$BUILD_DIR/bench/bench_fleet_throughput" --jobs="$jobs" \
     --timing-json="$FRESH" > /dev/null
 done
+# Lane-engine record: same fleet, batched through the SoA lane path. The
+# checker keys records by (bench, jobs, lanes), so this gates the batched
+# episodes_per_sec alongside the scalar numbers.
+"$BUILD_DIR/bench/bench_fleet_throughput" --jobs=1 --lanes=16 \
+  --timing-json="$FRESH" > /dev/null
 python3 tools/check_bench_regression.py \
   --fresh "$FRESH" --baseline BENCH_fleet.json --tolerance "$TOLERANCE"
 

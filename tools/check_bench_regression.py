@@ -2,20 +2,25 @@
 """Compares fresh BENCH_*.json timing records against committed baselines.
 
 The committed BENCH_parallel.json / BENCH_fleet.json / BENCH_sessions.json /
-BENCH_serve.json files double as performance baselines. This checker re-keys
-both files by (bench, jobs) and flags:
+BENCH_serve.json / BENCH_retrain.json files double as performance baselines.
+This checker re-keys both files by (bench, jobs, lanes) and flags:
 
   * missing records — a bench/jobs combination present in the baseline but
     absent from the fresh run;
   * throughput regressions — fresh trials_per_sec (and episodes_per_sec /
-    sessions_per_sec, where present) below baseline by more than
+    sessions_per_sec, where present — episodes_per_sec is the fleet
+    training bench's primary metric, so BENCH_fleet.json records are
+    gated on it explicitly, lane records included) below baseline by more
+    than
     --tolerance (default 0.40, i.e. a fresh run may be up to 40% slower
     before failing: wall-clock on shared CI machines is noisy, and the
     committed numbers may come from different hardware — catch collapses,
     not jitter);
-  * allocation regressions — steady_state_allocs_per_episode and
+  * allocation regressions — steady_state_allocs_per_episode (the fleet
+    training bench's steady-state contract) and
     steady_state_allocs_per_session must never exceed the baseline (the
-    zero-allocation contract is exact, not noisy); the whole-drain
+    zero-allocation contract is exact, not noisy, and holds on any
+    hardware — no mismatch downgrade); the whole-drain
     allocs_per_session may exceed the baseline by at most 0.05 (the
     parallel path's per-trial task handoff allocates a few times per
     drain, amortized over hundreds of sessions — a per-session cold-path
@@ -37,6 +42,11 @@ both files by (bench, jobs) and flags:
     hardware and job count, and must never decrease: a drop means the
     slot-sharding or residency logic changed behaviour, not that the
     machine was slow;
+  * flush-traffic regressions — the retrain bench's flush_bytes_per_retrain
+    is deterministic (snapshot file sizes are pure functions of the table
+    shape and the replay stream, not of wall-clock), so the gate is exact
+    and hardware-independent: the v3 delta chain's write amplification
+    must never grow past the committed baseline;
   * recovery regressions — the retrain bench's closed loop is deterministic
     too: recovered_users must not decrease, and recovery_sessions_max /
     post_retrain_prompts_per_session must not increase. Any change means
@@ -63,7 +73,7 @@ import sys
 
 
 def load_records(path):
-    """Parses a JSON-lines bench file into {(bench, jobs): record}."""
+    """Parses a JSON-lines bench file into {(bench, jobs, lanes): record}."""
     records = {}
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -76,8 +86,12 @@ def load_records(path):
                 except json.JSONDecodeError as e:
                     raise SystemExit(
                         f"error: {path}:{line_no}: unparsable JSON: {e}")
-                key = (record.get("bench"), record.get("jobs"))
-                if None in key:
+                # Lane records share a bench name with their scalar
+                # siblings; "lanes" (default 1 — most benches don't emit
+                # it) keeps them as separate gated entries.
+                key = (record.get("bench"), record.get("jobs"),
+                       record.get("lanes", 1))
+                if key[0] is None or key[1] is None:
                     raise SystemExit(
                         f"error: {path}:{line_no}: record lacks bench/jobs")
                 # Later records win: re-running a bench appends.
@@ -113,10 +127,12 @@ def main():
     failures = []
     warnings = []
     for key, base in sorted(baseline.items()):
-        bench, jobs = key
+        bench, jobs, lanes = key
+        label = (f"{bench} (jobs={jobs}, lanes={lanes})" if lanes != 1
+                 else f"{bench} (jobs={jobs})")
         got = fresh.get(key)
         if got is None:
-            failures.append(f"{bench} (jobs={jobs}): missing from fresh run")
+            failures.append(f"{label}: missing from fresh run")
             continue
 
         same_hw = (base.get("hardware_concurrency") is not None and
@@ -130,7 +146,7 @@ def main():
             floor = base_v * (1.0 - args.tolerance)
             if got_v >= floor:
                 continue
-            message = (f"{bench} (jobs={jobs}): {metric} {got_v:.1f} < "
+            message = (f"{label}: {metric} {got_v:.1f} < "
                        f"{floor:.1f} (baseline {base_v:.1f} - {args.tolerance:.0%})")
             if same_hw:
                 failures.append(message)
@@ -152,7 +168,7 @@ def main():
             ceiling = base_v * (1.0 + tolerance) + slack_ns
             if got_v <= ceiling:
                 continue
-            message = (f"{bench} (jobs={jobs}): {metric} {got_v:.0f} > "
+            message = (f"{label}: {metric} {got_v:.0f} > "
                        f"{ceiling:.0f} (baseline {base_v:.0f} + "
                        f"{tolerance:.0%} + {slack_ns / 1e6:.0f} ms slack)")
             if same_hw:
@@ -165,7 +181,7 @@ def main():
                        "steady_state_allocs_per_retrain"):
             if metric in base and got.get(metric, 0.0) > base[metric]:
                 failures.append(
-                    f"{bench} (jobs={jobs}): {metric} {got.get(metric)} > "
+                    f"{label}: {metric} {got.get(metric)} > "
                     f"baseline {base[metric]} — the zero-allocation "
                     f"contract broke")
 
@@ -177,7 +193,7 @@ def main():
                 got.get("allocs_per_session", 0.0)
                 > base["allocs_per_session"] + 0.05):
             failures.append(
-                f"{bench} (jobs={jobs}): allocs_per_session "
+                f"{label}: allocs_per_session "
                 f"{got.get('allocs_per_session')} > baseline "
                 f"{base['allocs_per_session']} + 0.05 — a per-session "
                 f"allocation crept into the drain path")
@@ -187,10 +203,28 @@ def main():
         if "pool_hit_rate" in base and (got.get("pool_hit_rate", 0.0)
                                         < base["pool_hit_rate"]):
             failures.append(
-                f"{bench} (jobs={jobs}): pool_hit_rate "
+                f"{label}: pool_hit_rate "
                 f"{got.get('pool_hit_rate')} < baseline "
                 f"{base['pool_hit_rate']} — residency/sharding behaviour "
                 f"changed")
+
+        # Flush traffic is deterministic: snapshot bytes are a pure
+        # function of the table shape and the replay stream. If the v3
+        # delta chain starts writing more per retrain than the committed
+        # baseline, the write-amplification win regressed — exact gate,
+        # no hardware downgrade.
+        if "flush_bytes_per_retrain" in base:
+            got_v = got.get("flush_bytes_per_retrain")
+            if got_v is None:
+                failures.append(
+                    f"{label}: flush_bytes_per_retrain "
+                    f"missing from fresh run (baseline "
+                    f"{base['flush_bytes_per_retrain']})")
+            elif got_v > base["flush_bytes_per_retrain"]:
+                failures.append(
+                    f"{label}: flush_bytes_per_retrain "
+                    f"{got_v} > baseline {base['flush_bytes_per_retrain']} "
+                    f"— snapshot write amplification grew")
 
         # The closed loop is deterministic end to end: every drifted user
         # the baseline recovered must still recover, at least as fast, to
@@ -198,7 +232,7 @@ def main():
         if "recovered_users" in base and (got.get("recovered_users", 0)
                                           < base["recovered_users"]):
             failures.append(
-                f"{bench} (jobs={jobs}): recovered_users "
+                f"{label}: recovered_users "
                 f"{got.get('recovered_users')} < baseline "
                 f"{base['recovered_users']} — drifted users no longer "
                 f"recover")
@@ -206,7 +240,7 @@ def main():
                        "post_retrain_prompts_per_session"):
             if metric in base and got.get(metric, 0.0) > base[metric]:
                 failures.append(
-                    f"{bench} (jobs={jobs}): {metric} {got.get(metric)} > "
+                    f"{label}: {metric} {got.get(metric)} > "
                     f"baseline {base[metric]} — the retrain loop recovers "
                     f"slower")
 

@@ -32,17 +32,19 @@ commands:
   prompt    --adl=<name> --policy=<file> [--prev=<uid>] [--cur=<uid>]
                               next-step prompt from a saved policy
   policy save    --adl=<name> --out=<file> [--episodes=120] [--seed=42]
-                 [--format=v2|v1] [--version=1]
+                 [--format=v2|v1|v3] [--version=1]
                               train and save a policy snapshot
   policy load    --adl=<name> --in=<file>
-                              load a snapshot (v1 or v2), report accuracy
+                              load a snapshot (v1, v2 or v3), report accuracy
   policy inspect --in=<file|store dir>
-                              decode a snapshot header, or summarize a
-                              segment-store directory, without loading it
+                              decode a snapshot header (v3: walk the delta
+                              chain), or summarize a segment-store
+                              directory, without loading it
   policy migrate --adl=<name> --from=<v2 dir> --out=<store dir>
-                 [--writers=1]
+                 [--writers=1] [--to=store|v3]
                               migrate per-file v2 snapshots into a
-                              fleet-tier segment store
+                              fleet-tier segment store, or (--to=v3) into
+                              per-file delta-encoded v3 snapshots
   scenario                     replay the paper's Figure 1 timeline
   report    [--days=7] [--seed=42]
                               multi-day caregiver summary
@@ -204,8 +206,8 @@ int cmd_policy_save(const util::Flags& flags, std::ostream& out,
     return 1;
   }
   const std::string format = flags.get("format", "v2");
-  if (format != "v1" && format != "v2") {
-    err << "policy save: --format must be v1 or v2\n";
+  if (format != "v1" && format != "v2" && format != "v3") {
+    err << "policy save: --format must be v1, v2 or v3\n";
     return 1;
   }
   adl::AdlLibrary library;
@@ -229,6 +231,11 @@ int cmd_policy_save(const util::Flags& flags, std::ostream& out,
   }
   if (format == "v1") {
     planning::save_policy(file, learner);
+  } else if (format == "v3") {
+    planning::save_policy_v3_full(
+        file, learner.state_codec().symbols(),
+        learner.action_codec().tools(), learner.q(),
+        static_cast<std::uint64_t>(flags.get_int("version", 1)));
   } else {
     planning::save_policy_v2(
         file, learner,
@@ -259,11 +266,14 @@ int cmd_policy_load(const util::Flags& flags, std::ostream& out,
   const planning::PolicyFormat format = planning::detect_policy_format(file);
   planning::RoutineLearner learner(adl, util::Rng(1));
   const std::uint64_t version = planning::load_policy_any(file, learner);
-  out << "Loaded " << (format == planning::PolicyFormat::kTextV1
-                           ? "v1 (text)"
-                           : "v2 (binary)")
+  out << "Loaded "
+      << (format == planning::PolicyFormat::kTextV1 ? "v1 (text)"
+          : format == planning::PolicyFormat::kBinaryV3
+              ? "v3 (binary, delta chain)"
+              : "v2 (binary)")
       << " snapshot";
-  if (format == planning::PolicyFormat::kBinaryV2) {
+  if (format == planning::PolicyFormat::kBinaryV2 ||
+      format == planning::PolicyFormat::kBinaryV3) {
     out << ", user version " << version;
   }
   out << ": " << adl.name() << ", " << learner.q().num_states()
@@ -329,6 +339,25 @@ int cmd_policy_inspect(const util::Flags& flags, std::ostream& out,
           << "checksum: " << (info.checksum_ok ? "ok" : "MISMATCH") << '\n';
       return info.checksum_ok ? 0 : 2;
     }
+    case planning::PolicyFormat::kBinaryV3: {
+      const planning::PolicyV3Info info = planning::inspect_policy_v3(file);
+      out << "format: coreda-policy v3 (binary, delta chain)\n"
+          << "anchor version: " << info.anchor.version << '\n'
+          << "q-table: " << info.anchor.num_states << " states x "
+          << info.anchor.num_actions << " actions\n"
+          << "vocabulary: " << info.anchor.steps.size() << " steps, "
+          << info.anchor.tools.size() << " tools\n"
+          << "anchor checksum: "
+          << (info.anchor.checksum_ok ? "ok" : "MISMATCH") << '\n';
+      if (!info.anchor.checksum_ok) return 2;
+      out << "chain version: " << info.version << '\n'
+          << "deltas since last full: " << info.delta_count << '\n'
+          << "on-disk bytes: " << info.on_disk_bytes << " (full snapshot: "
+          << info.reconstructed_bytes << ")\n"
+          << "tail: "
+          << (info.tail_skipped ? "SKIPPED invalid record(s)" : "ok") << '\n';
+      return info.tail_skipped ? 2 : 0;
+    }
     case planning::PolicyFormat::kUnknown:
       break;
   }
@@ -368,9 +397,63 @@ int cmd_policy_migrate(const util::Flags& flags, std::ostream& out,
     return 2;
   }
 
+  const std::string to = flags.get("to", "store");
+  if (to != "store" && to != "v3") {
+    err << "policy migrate: --to must be store or v3\n";
+    return 1;
+  }
+
   // An untrained learner carries the ADL's schema (codecs + table shape);
   // every table the store ends up holding comes from the snapshots.
   planning::RoutineLearner reference(adl, util::Rng(1));
+
+  if (to == "v3") {
+    // Per-file migration: each v2 snapshot is rewritten as a v3 anchor
+    // (atomic tmp+rename), preserving its version. A v3-mode PolicyStore
+    // pointed at --out then extends each file with delta appends.
+    std::filesystem::create_directories(out_dir);
+    const auto steps = reference.state_codec().symbols();
+    const auto tools = reference.action_codec().tools();
+    rl::QTable q(reference.q().num_states(), reference.q().num_actions());
+    std::size_t migrated = 0;
+    for (const std::string& name : names) {
+      const std::string src = from_dir + "/" + name + ".policy";
+      std::ifstream in(src, std::ios::binary);
+      std::uint64_t version = 0;
+      try {
+        version = planning::load_policy_v2(in, steps, tools, q);
+      } catch (const std::exception& ex) {
+        err << "policy migrate: skipping '" << src << "': " << ex.what()
+            << '\n';
+        continue;
+      }
+      const std::string dst = out_dir + "/" + name + ".policy";
+      const std::string tmp = dst + ".tmp";
+      {
+        std::ofstream dst_file(tmp, std::ios::binary | std::ios::trunc);
+        if (!dst_file) {
+          err << "policy migrate: cannot write '" << tmp << "'\n";
+          continue;
+        }
+        planning::save_policy_v3_full(dst_file, steps, tools, q, version);
+        if (!dst_file.flush()) {
+          err << "policy migrate: short write to '" << tmp << "'\n";
+          continue;
+        }
+      }
+      std::error_code rename_error;
+      std::filesystem::rename(tmp, dst, rename_error);
+      if (rename_error) {
+        err << "policy migrate: cannot publish '" << dst << "'\n";
+        continue;
+      }
+      ++migrated;
+    }
+    out << "Migrated " << migrated << "/" << names.size()
+        << " v2 snapshots from " << from_dir << " into v3 snapshots in "
+        << out_dir << '\n';
+    return migrated == names.size() ? 0 : 2;
+  }
   serve::SegmentPolicyStoreParams params;
   params.dir = out_dir;
   params.writers =

@@ -27,6 +27,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # every cross-thread edge; timing output is irrelevant here.
 "$BUILD_DIR"/bench/bench_fleet_throughput --users=50 --episodes=40 --jobs=4 \
   > /dev/null
+# Same fleet through the SoA lane engine: lane batches train inside trial
+# workers, so TSan checks the batched kernels' slabs never alias across
+# concurrent trials.
+"$BUILD_DIR"/bench/bench_fleet_throughput --users=50 --episodes=40 --jobs=4 \
+  --lanes=8 > /dev/null
 # The session bench fans whole closed-loop CoredaSystems (scheduler, radio,
 # station, actor — all single-threaded by contract) across pool workers:
 # TSan proves no system state leaks between concurrent trials.
