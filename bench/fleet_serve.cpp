@@ -2,10 +2,11 @@
 //
 // bench_serve_throughput prices multi-tenancy with every user's table
 // resident in RAM (a PolicyStore entry per user). This bench prices the
-// next order of magnitude: `--users` registered patients (default 100k)
+// next order of magnitude: `--users` registered patients (default 1M)
 // whose tables live in the memory-mapped segment store, with only
-// shards x slots-per-shard warm systems and ~25 bytes of engine RAM per
-// registered user. Each round draws a sparse active set from a
+// shards x slots-per-shard warm systems and <16 bytes of resident RAM per
+// registered user (one packed u32 in the engine plus the store's
+// open-addressed index slab). Each round draws a sparse active set from a
 // seed-deterministic arrival stream and drains it shard-parallel; a serve
 // is pool hit -> run, or evict -> append -> mmap load -> import -> run.
 //
@@ -29,8 +30,12 @@
 // that complements the scheduler's targeted drift retrains. Fleet users
 // share the reference routine, so the whole cohort is one signature group.
 //
+// After each traffic shape the store directory is reopened once and the
+// scan-on-open is timed (cold_start_scan_ms, --timing-json only): the
+// restart cost of the whole fleet, which the regression checker gates.
+//
 // Usage:
-//   bench_fleet_serve --users=100000 --active=1500 --rounds=3 --shards=4
+//   bench_fleet_serve --users=1000000 --active=1500 --rounds=3 --shards=4
 //       --slots-per-shard=2 --zipf=1.1 --jobs=4 --lanes=8
 //       --timing-json=BENCH_fleet_serve.json
 
@@ -61,6 +66,11 @@ double user_severity(std::uint64_t user) {
   return 0.1 + 0.4 * rng.uniform();
 }
 
+/// Chain cap for every store this bench opens (--rebase-every). 32 keeps
+/// the per-retrain append traffic well past the 4x gate while staying
+/// under the 63-record format cap a chain walk tolerates.
+std::size_t g_rebase_every = 32;
+
 struct ShapeRun {
   serve::FleetReport report;   ///< cumulative over the timed rounds
   std::uint64_t sessions = 0;  ///< timed sessions only
@@ -71,6 +81,15 @@ struct ShapeRun {
   std::uint64_t live = 0;
   std::uint64_t dead = 0;
   std::uint64_t compactions = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t anchors_written = 0;
+  std::uint64_t deltas_written = 0;
+  std::size_t anchor_record_bytes = 0;
+  std::size_t index_slab_bytes = 0;
+  std::size_t resident_state_bytes = 0;
+  double cold_start_ms = 0.0;          ///< reopen scan wall-clock (JSON only)
+  std::uint64_t cold_scanned = 0;      ///< records the reopen scan accepted
 };
 
 template <typename Arrivals>
@@ -84,11 +103,13 @@ ShapeRun run_shape(const adl::AdlLibrary& library, const adl::Adl& adl,
   serve::SegmentStoreParams store_params;
   store_params.dir = dir;
   store_params.writers = params.shards;
+  store_params.rebase_every = g_rebase_every;
   serve::SegmentStore store(donor.state_codec().symbols(),
                             donor.action_codec().tools(),
                             donor.q().num_states(), donor.q().num_actions(),
                             store_params);
   serve::FleetEngine fleet(library, adl, store, donor.q(), params);
+  fleet.reserve_users(users);  // one slab + one index table, no doubling
   for (std::size_t u = 0; u < users; ++u) {
     fleet.register_user(user_severity(u));
   }
@@ -131,7 +152,85 @@ ShapeRun run_shape(const adl::AdlLibrary& library, const adl::Adl& adl,
   run.live = store.live_records();
   run.dead = store.dead_records();
   run.compactions = store.compactions();
+  run.appends = store.appends();
+  run.appended_bytes = store.appended_bytes();
+  run.anchors_written = store.anchor_records_written();
+  run.deltas_written = store.delta_records_written();
+  run.anchor_record_bytes = store.anchor_record_bytes();
+  run.index_slab_bytes = store.index_slab_bytes();
+  run.resident_state_bytes = fleet.resident_state_bytes();
   return run;
+}
+
+/// The retrain write-back shape the storage gate prices: every cohort
+/// member is served (and appended) once per round, so after the warm-up
+/// round's anchors the write-backs ride the delta chain until the
+/// rebase_every cap forces the next anchor. `segment_bytes_per_retrain`
+/// and the reduction vs full v2 anchor records are measured over the
+/// timed rounds only — the steady state of a fleet whose patients are
+/// retrained daily.
+ShapeRun run_retrain(const adl::AdlLibrary& library, const adl::Adl& adl,
+                     const planning::RoutineLearner& donor,
+                     const std::string& dir, std::size_t cohort,
+                     std::size_t rounds,
+                     const serve::FleetEngineParams& params,
+                     exec::TrialRunner& runner) {
+  std::filesystem::remove_all(dir);
+  serve::SegmentStoreParams store_params;
+  store_params.dir = dir;
+  store_params.writers = params.shards;
+  store_params.rebase_every = g_rebase_every;
+  serve::SegmentStore store(donor.state_codec().symbols(),
+                            donor.action_codec().tools(),
+                            donor.q().num_states(), donor.q().num_actions(),
+                            store_params);
+  serve::FleetEngine fleet(library, adl, store, donor.q(), params);
+  fleet.reserve_users(cohort);
+  for (std::size_t u = 0; u < cohort; ++u) {
+    fleet.register_user(user_severity(u));
+  }
+  // Warm-up: the first write-back per user is necessarily a full anchor.
+  for (std::size_t u = 0; u < cohort; ++u) fleet.enqueue(u);
+  fleet.drain(runner);
+
+  ShapeRun run;
+  const std::uint64_t appends0 = store.appends();
+  const std::uint64_t bytes0 = store.appended_bytes();
+  const std::uint64_t anchors0 = store.anchor_records_written();
+  const std::uint64_t deltas0 = store.delta_records_written();
+  const exec::Stopwatch timer;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t u = 0; u < cohort; ++u) fleet.enqueue(u);
+    run.report = fleet.drain(runner);
+  }
+  run.seconds = timer.seconds();
+  run.sessions = cohort * rounds;
+  run.appends = store.appends() - appends0;
+  run.appended_bytes = store.appended_bytes() - bytes0;
+  run.anchors_written = store.anchor_records_written() - anchors0;
+  run.deltas_written = store.delta_records_written() - deltas0;
+  run.anchor_record_bytes = store.anchor_record_bytes();
+  run.segments = store.num_segments();
+  run.compactions = store.compactions();
+  return run;
+}
+
+/// Times one reopen of a just-closed store directory: the fleet restart
+/// cost. The scan is the dominant term (map + validate every record and
+/// rebuild the user index); wall-clock, so JSON side-channel only.
+void time_cold_start(const planning::RoutineLearner& donor,
+                     const std::string& dir, std::size_t writers,
+                     ShapeRun& run) {
+  serve::SegmentStoreParams store_params;
+  store_params.dir = dir;
+  store_params.writers = writers;
+  const exec::Stopwatch timer;
+  serve::SegmentStore reopened(donor.state_codec().symbols(),
+                               donor.action_codec().tools(),
+                               donor.q().num_states(),
+                               donor.q().num_actions(), store_params);
+  run.cold_start_ms = timer.seconds() * 1e3;
+  run.cold_scanned = reopened.scanned_records();
 }
 
 std::string format2(double v) {
@@ -145,7 +244,8 @@ std::string format2(double v) {
 int main(int argc, char** argv) {
   const util::Flags flags = util::Flags::parse(argc, argv);
   exec::TrialRunner runner(exec::jobs_from_flags(flags));
-  const auto users = static_cast<std::size_t>(flags.get_int("users", 100000));
+  const auto users =
+      static_cast<std::size_t>(flags.get_int("users", 1000000));
   const auto active = static_cast<std::size_t>(flags.get_int("active", 1500));
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 3));
   const double zipf = flags.get_double("zipf", 1.1);
@@ -157,6 +257,8 @@ int main(int argc, char** argv) {
   params.system.learn_from_sessions = true;  // write-backs carry real deltas
   params.write_back_every =
       static_cast<std::size_t>(flags.get_int("write-back-every", 1));
+  g_rebase_every =
+      static_cast<std::size_t>(flags.get_int("rebase-every", 32));
 
   adl::AdlLibrary library;
   const adl::Adl& tea = library.tea_making();
@@ -179,12 +281,12 @@ int main(int argc, char** argv) {
 
   serve::UniformArrivals uniform(users, 777);
   serve::ZipfianArrivals skewed(users, zipf, 777);
-  const ShapeRun flat = run_shape(library, tea, donor, base_dir + "_uniform",
-                                  users, active, rounds, params, uniform,
-                                  runner);
-  const ShapeRun hot = run_shape(library, tea, donor, base_dir + "_zipf",
-                                 users, active, rounds, params, skewed,
-                                 runner);
+  ShapeRun flat = run_shape(library, tea, donor, base_dir + "_uniform",
+                            users, active, rounds, params, uniform, runner);
+  time_cold_start(donor, base_dir + "_uniform", params.shards, flat);
+  ShapeRun hot = run_shape(library, tea, donor, base_dir + "_zipf", users,
+                           active, rounds, params, skewed, runner);
+  time_cold_start(donor, base_dir + "_zipf", params.shards, hot);
 
   const auto rate = [](const ShapeRun& r) {
     return static_cast<double>(r.report.pool_hits) /
@@ -216,6 +318,35 @@ int main(int argc, char** argv) {
                  std::to_string(hot.live) + "/" + std::to_string(hot.dead)});
   table.add_row({"compactions", std::to_string(flat.compactions),
                  std::to_string(hot.compactions)});
+  const auto bytes_per_append = [](const ShapeRun& r) {
+    return r.appends > 0 ? static_cast<double>(r.appended_bytes) /
+                               static_cast<double>(r.appends)
+                         : 0.0;
+  };
+  const auto reduction = [&](const ShapeRun& r) {
+    const double per = bytes_per_append(r);
+    return per > 0.0 ? static_cast<double>(r.anchor_record_bytes) / per : 0.0;
+  };
+  table.add_row({"anchors/deltas written",
+                 std::to_string(flat.anchors_written) + "/" +
+                     std::to_string(flat.deltas_written),
+                 std::to_string(hot.anchors_written) + "/" +
+                     std::to_string(hot.deltas_written)});
+  table.add_row({"bytes/append", format2(bytes_per_append(flat)),
+                 format2(bytes_per_append(hot))});
+  table.add_row({"append reduction vs anchors", format2(reduction(flat)),
+                 format2(reduction(hot))});
+  table.add_row({"drift flagged", std::to_string(flat.report.drift_flagged),
+                 std::to_string(hot.report.drift_flagged)});
+  const auto resident_per_user = [users](const ShapeRun& r) {
+    return static_cast<double>(r.resident_state_bytes + r.index_slab_bytes) /
+           static_cast<double>(users);
+  };
+  table.add_row({"resident B/user (engine+index)",
+                 format2(resident_per_user(flat)),
+                 format2(resident_per_user(hot))});
+  table.add_row({"reopen scan records", std::to_string(flat.cold_scanned),
+                 std::to_string(hot.cold_scanned)});
   table.add_row({"fleet checksum", std::to_string(flat.report.checksum),
                  std::to_string(hot.report.checksum)});
   table.add_row({"steady-state allocs/serve",
@@ -225,6 +356,25 @@ int main(int argc, char** argv) {
   std::puts("\nThe summary is byte-identical at any --jobs: users are owned\n"
             "by shards statically and each shard drains as one seed-split\n"
             "trial; serve latency goes only to the timing side-channel.");
+
+  // The storage gate: per-retrain append traffic once every cohort member
+  // has its anchor. This is where the delta encoding must buy >= 4x.
+  const auto retrain_users =
+      static_cast<std::size_t>(flags.get_int("retrain-users", 256));
+  const auto retrain_rounds =
+      static_cast<std::size_t>(flags.get_int("retrain-rounds", 32));
+  const ShapeRun retrain =
+      run_retrain(library, tea, donor, base_dir + "_retrain", retrain_users,
+                  retrain_rounds, params, runner);
+  std::printf("\nRetrain write-back: %zu users x %zu rounds, %s bytes/"
+              "retrain vs %zu-byte full records (%sx reduction, %llu "
+              "anchors / %llu deltas)\n",
+              retrain_users, retrain_rounds,
+              format2(bytes_per_append(retrain)).c_str(),
+              retrain.anchor_record_bytes,
+              format2(reduction(retrain)).c_str(),
+              static_cast<unsigned long long>(retrain.anchors_written),
+              static_cast<unsigned long long>(retrain.deltas_written));
 
   // Optional nightly lane replay (off by default): batch-maintenance
   // retraining of a user cohort through the SoA lane engine, 8 replay
@@ -276,12 +426,39 @@ int main(int argc, char** argv) {
           << ", \"p999_ns\": " << lat.quantile(0.999)
           << ", \"allocs_per_session\": " << run.allocs_per_session
           << ", \"steady_state_allocs_per_session\": "
-          << run.steady_state_allocs;
+          << run.steady_state_allocs
+          << ", \"segment_bytes_per_retrain\": " << bytes_per_append(run)
+          << ", \"segment_full_record_bytes\": " << run.anchor_record_bytes
+          << ", \"append_reduction\": " << reduction(run)
+          << ", \"index_bytes_per_user\": "
+          << (static_cast<double>(run.index_slab_bytes) /
+              static_cast<double>(users))
+          << ", \"resident_bytes_per_user\": " << resident_per_user(run)
+          << ", \"cold_start_scan_ms\": " << run.cold_start_ms
+          << ", \"cold_start_records\": " << run.cold_scanned;
     exec::append_timing_record(timing_path, name, runner.jobs(), rounds,
                                run.seconds, extra.str());
   };
   emit("fleet_serve_uniform", flat);
   emit("fleet_serve", hot);
+  {
+    std::ostringstream extra;
+    extra << "\"retrain_users\": " << retrain_users
+          << ", \"retrain_rounds\": " << retrain_rounds
+          << ", \"sessions\": " << retrain.sessions
+          << ", \"sessions_per_sec\": "
+          << (retrain.seconds > 0.0
+                  ? static_cast<double>(retrain.sessions) / retrain.seconds
+                  : 0.0)
+          << ", \"segment_bytes_per_retrain\": " << bytes_per_append(retrain)
+          << ", \"segment_full_record_bytes\": "
+          << retrain.anchor_record_bytes
+          << ", \"append_reduction\": " << reduction(retrain)
+          << ", \"anchors_written\": " << retrain.anchors_written
+          << ", \"deltas_written\": " << retrain.deltas_written;
+    exec::append_timing_record(timing_path, "fleet_retrain", runner.jobs(),
+                               retrain_rounds, retrain.seconds, extra.str());
+  }
   if (lanes > 0) {
     std::ostringstream extra;
     extra << "\"lanes\": " << lanes << ", \"replay_users\": " << replay_users

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <numeric>
 #include <sstream>
 
@@ -14,6 +15,8 @@
 #include "planning/learner.hpp"
 #include "planning/serialize.hpp"
 #include "rl/lane_kernels.hpp"
+#include "serve/segment_store.hpp"
+#include "serve/user_index.hpp"
 #include "rl/td_lambda.hpp"
 #include "sensors/models.hpp"
 #include "sim/scheduler.hpp"
@@ -331,6 +334,100 @@ void BM_PolicyV3ChainDecode(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes.size()));
 }
 BENCHMARK(BM_PolicyV3ChainDecode);
+
+void BM_SegmentDeltaAppend(benchmark::State& state) {
+  // One fleet write-back on the delta path: diff the session's touched row
+  // against the user's previous record and append a CRDADEL2 record into
+  // the mmap tail (anchor every rebase_every-th iteration, amortized in).
+  adl::AdlLibrary library;
+  planning::RoutineLearner learner(library.tea_making(), util::Rng(1));
+  const std::vector<adl::StepId> steps{
+      adl::tools::kTeaBox, adl::tools::kElectricPot, adl::tools::kKettle,
+      adl::tools::kTeaCup};
+  for (int i = 0; i < 80; ++i) learner.train_episode(steps);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "coreda_micro_delta")
+          .string();
+  std::filesystem::remove_all(dir);
+  serve::SegmentStoreParams params;
+  params.dir = dir;
+  params.compact_min_records = std::size_t{1} << 30;  // never compact
+  serve::SegmentStore store(learner.state_codec().symbols(),
+                            learner.action_codec().tools(),
+                            learner.q().num_states(),
+                            learner.q().num_actions(), params);
+  store.reserve_users(1);
+  rl::QTable q = learner.q();
+  std::uint64_t version = 0;
+  store.append(0, q, ++version);
+  for (auto _ : state) {
+    const auto s = static_cast<rl::StateId>(version % q.num_states());
+    q.set(s, 0, q.get(s, 0) + 1.0);
+    store.append(0, q, ++version);
+    benchmark::DoNotOptimize(version);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(store.appended_bytes()));
+  state.counters["bytes_per_append"] =
+      static_cast<double>(store.appended_bytes()) /
+      static_cast<double>(store.appends());
+}
+BENCHMARK(BM_SegmentDeltaAppend);
+
+void BM_SegmentChainLoad(benchmark::State& state) {
+  // Cold checkout of a user sitting at the deep end of a delta chain:
+  // walk back-pointers to the anchor, then apply every delta forward.
+  adl::AdlLibrary library;
+  planning::RoutineLearner learner(library.tea_making(), util::Rng(1));
+  const std::vector<adl::StepId> steps{
+      adl::tools::kTeaBox, adl::tools::kElectricPot, adl::tools::kKettle,
+      adl::tools::kTeaCup};
+  for (int i = 0; i < 80; ++i) learner.train_episode(steps);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "coreda_micro_chain")
+          .string();
+  std::filesystem::remove_all(dir);
+  serve::SegmentStoreParams params;
+  params.dir = dir;
+  params.rebase_every = 16;
+  serve::SegmentStore store(learner.state_codec().symbols(),
+                            learner.action_codec().tools(),
+                            learner.q().num_states(),
+                            learner.q().num_actions(), params);
+  store.reserve_users(1);
+  rl::QTable q = learner.q();
+  for (std::uint64_t v = 1; v <= 16; ++v) {  // anchor + 15 deltas
+    store.append(0, q, v);
+    const auto s = static_cast<rl::StateId>(v % q.num_states());
+    q.set(s, 0, q.get(s, 0) + 1.0);
+  }
+  rl::QTable scratch(q.num_states(), q.num_actions());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.load(0, scratch));
+  }
+}
+BENCHMARK(BM_SegmentChainLoad);
+
+void BM_UserIndexProbe(benchmark::State& state) {
+  // The per-serve index lookup at fleet scale: 1M dense user ids in the
+  // open-addressed robin-hood slab at 7/8 load, hit probes only.
+  constexpr std::uint64_t kUsers = 1'000'000;
+  serve::UserIndex index;
+  index.reserve(kUsers);
+  for (std::uint64_t u = 0; u < kUsers; ++u) {
+    index.put(u, {static_cast<std::uint32_t>(u & 0x3FFF),
+                  static_cast<std::uint32_t>(u & 0xFFFFF)});
+  }
+  serve::UserIndex::Loc loc;
+  std::uint64_t u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.find(u, loc));
+    u = (u + 777779) % kUsers;  // co-prime stride: visit every id
+  }
+  state.counters["slab_bytes_per_user"] =
+      static_cast<double>(index.slab_bytes()) / static_cast<double>(kUsers);
+}
+BENCHMARK(BM_UserIndexProbe);
 
 void BM_FullSensedEpisode(benchmark::State& state) {
   adl::AdlLibrary library;

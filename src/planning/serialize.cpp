@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "util/wire.hpp"
+
 namespace coreda::planning {
 
 namespace {
@@ -460,6 +462,44 @@ std::size_t save_policy_v3_full(std::ostream& out,
   return w.bytes.size();
 }
 
+std::size_t count_changed_rows(const rl::QTable& base, const rl::QTable& q) {
+  if (base.num_states() != q.num_states() ||
+      base.num_actions() != q.num_actions()) {
+    throw std::invalid_argument("count_changed_rows: table shape mismatch");
+  }
+  std::size_t n_rows = 0;
+  for (rl::StateId s = 0; s < q.num_states(); ++s) {
+    const auto b = base.row(s);
+    const auto n = q.row(s);
+    if (std::memcmp(b.data(), n.data(), n.size() * sizeof(double)) != 0) {
+      ++n_rows;
+    }
+  }
+  return n_rows;
+}
+
+unsigned char* encode_changed_rows(const rl::QTable& base, const rl::QTable& q,
+                                   unsigned char* dst) {
+  if (base.num_states() != q.num_states() ||
+      base.num_actions() != q.num_actions()) {
+    throw std::invalid_argument("encode_changed_rows: table shape mismatch");
+  }
+  for (rl::StateId s = 0; s < q.num_states(); ++s) {
+    const auto b = base.row(s);
+    const auto n = q.row(s);
+    if (std::memcmp(b.data(), n.data(), n.size() * sizeof(double)) == 0) {
+      continue;
+    }
+    util::wire::store_u64(dst, s);
+    dst += 8;
+    for (const double v : n) {
+      util::wire::store_f64(dst, v);
+      dst += 8;
+    }
+  }
+  return dst;
+}
+
 std::string encode_policy_v3_delta(const rl::QTable& base,
                                    const rl::QTable& q,
                                    std::uint64_t version,
@@ -473,25 +513,13 @@ std::string encode_policy_v3_delta(const rl::QTable& base,
   w.bytes.append(kPolicyV3DeltaMagic, 8);
   w.put_u64(version);
   w.put_u64(parent);
-  std::uint64_t n_rows = 0;
-  for (rl::StateId s = 0; s < q.num_states(); ++s) {
-    const auto b = base.row(s);
-    const auto n = q.row(s);
-    if (std::memcmp(b.data(), n.data(), n.size() * sizeof(double)) != 0) {
-      ++n_rows;
-    }
-  }
+  const std::size_t n_rows = count_changed_rows(base, q);
   w.put_u64(n_rows);
   w.put_u64(q.num_actions());
-  for (rl::StateId s = 0; s < q.num_states(); ++s) {
-    const auto b = base.row(s);
-    const auto n = q.row(s);
-    if (std::memcmp(b.data(), n.data(), n.size() * sizeof(double)) == 0) {
-      continue;
-    }
-    w.put_u64(s);
-    for (const double v : n) w.put_f64(v);
-  }
+  const std::size_t head = w.bytes.size();
+  w.bytes.resize(head + n_rows * (1 + q.num_actions()) * 8);
+  encode_changed_rows(base, q,
+                      reinterpret_cast<unsigned char*>(w.bytes.data()) + head);
   w.put_u64(w.checksum());
   return std::move(w.bytes);
 }

@@ -143,6 +143,22 @@ std::string encode_policy_v3_delta(const rl::QTable& base,
                                    std::uint64_t version,
                                    std::uint64_t parent);
 
+// Shared changed-row codec. Both the v3 snapshot files above and the fleet
+// tier's segment delta records (serve/segment_store) encode "rows of q that
+// differ bitwise from base" the same way: u64 row index followed by
+// num_actions LE f64 values per changed row. These two helpers are that
+// codec; keeping them here means the formats cannot drift apart.
+
+/// Number of rows where `q` differs bitwise from `base` (shapes must match —
+/// std::invalid_argument). Allocation-free.
+std::size_t count_changed_rows(const rl::QTable& base, const rl::QTable& q);
+
+/// Encodes every changed row into `dst`, which must have room for
+/// count_changed_rows(base, q) * (1 + q.num_actions()) * 8 bytes. Returns
+/// one past the last byte written. Allocation-free.
+unsigned char* encode_changed_rows(const rl::QTable& base, const rl::QTable& q,
+                                   unsigned char* dst);
+
 /// Result of loading a v3 chain.
 struct PolicyV3Chain {
   std::uint64_t version = 0;      ///< version after the applied prefix

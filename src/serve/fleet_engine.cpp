@@ -60,20 +60,22 @@ FleetEngine::FleetEngine(const adl::AdlLibrary& library, const adl::Adl& adl,
   }
 }
 
+void FleetEngine::reserve_users(std::uint64_t users) {
+  packed_.reserve(static_cast<std::size_t>(users));
+  store_->reserve_users(users);
+}
+
 std::uint64_t FleetEngine::register_user(double severity) {
-  const std::uint64_t user = severity_.size();
-  severity_.push_back(severity);
-  store_->reserve_users(severity_.size());
-  // Resume from the store: a fleet restart keeps every user's version
-  // history monotonic instead of appending version 1 on top of a newer
-  // stored record.
-  version_.push_back(store_->latest_version(user).value_or(0));
-  unflushed_.push_back(0);
+  const std::uint64_t user = packed_.size();
+  packed_.push_back(quantize_severity(severity));
+  // The store index is reserved ahead by reserve_users(); this keeps the
+  // contract when a caller registers past the reservation.
+  store_->reserve_users(packed_.size());
   return user;
 }
 
 void FleetEngine::enqueue(std::uint64_t user) {
-  if (user >= severity_.size()) {
+  if (user >= packed_.size()) {
     throw std::out_of_range("FleetEngine::enqueue: unknown user id " +
                             std::to_string(user));
   }
@@ -87,17 +89,33 @@ std::size_t FleetEngine::queued() const noexcept {
 }
 
 std::uint64_t FleetEngine::version(std::uint64_t user) const {
-  if (user >= version_.size()) {
+  if (user >= packed_.size()) {
     throw std::out_of_range("FleetEngine::version: unknown user id " +
                             std::to_string(user));
   }
-  return version_[user];
+  // Both halves advance together: a session bumps the unwritten count, an
+  // append moves those sessions into the stored version.
+  return store_->latest_version(user).value_or(0) +
+         unflushed_count(packed_[user]);
+}
+
+double FleetEngine::prompt_ewma(std::uint64_t user) const {
+  if (user >= packed_.size()) {
+    throw std::out_of_range("FleetEngine::prompt_ewma: unknown user id " +
+                            std::to_string(user));
+  }
+  const std::uint32_t packed = packed_[user];
+  if (!(packed & kPrimedBit)) return 0.0;
+  return static_cast<double>((packed >> 16) & 0xFF) / 8.0;
 }
 
 void FleetEngine::append_user(Shard& sh, const Slot& slot,
                               std::uint64_t user) {
-  store_->append(user, slot.system->learner().q(), version_[user]);
-  unflushed_[user] = 0;
+  std::uint32_t& packed = packed_[user];
+  const std::uint64_t version =
+      store_->latest_version(user).value_or(0) + unflushed_count(packed);
+  store_->append(user, slot.system->learner().q(), version);
+  packed &= ~kUnflushedMask;
   ++sh.appends;
 }
 
@@ -107,7 +125,7 @@ void FleetEngine::serve_one(Shard& sh, std::uint64_t user) {
   if (slot.resident != user) {
     // Never lose an evicted user's learned updates: append before the slot
     // is repurposed (no-op wear-wise when nothing is unwritten).
-    if (slot.resident != kNoUser && unflushed_[slot.resident] > 0) {
+    if (slot.resident != kNoUser && unflushed_count(packed_[slot.resident]) > 0) {
       append_user(sh, slot, slot.resident);
     }
     if (store_->load(user, sh.scratch_q).has_value()) {
@@ -124,12 +142,33 @@ void FleetEngine::serve_one(Shard& sh, std::uint64_t user) {
   char name[24] = {'U'};
   const auto [end, ec] = std::to_chars(name + 1, name + sizeof name, user);
   sh.profile.name.assign(name, static_cast<std::size_t>(end - name));
-  sh.profile.apply_severity(severity_[user]);
+  std::uint32_t& packed = packed_[user];
+  sh.profile.apply_severity(severity_of(packed));
   slot.system->run_session_inplace(sh.profile, params_.session_cap, {},
                                    sh.result);
-  ++version_[user];
-  if (params_.write_back_every != 0 &&
-      ++unflushed_[user] >= params_.write_back_every) {
+  // One more session not yet in the store — the derived version advances.
+  const std::uint32_t unflushed = unflushed_count(packed) + 1;
+  packed = (packed & ~kUnflushedMask) | (unflushed << 8);
+  // Drift EWMA over prompts/session in 5.3 fixed point: q' = q + (x - q)/8.
+  // Integer truncation stalls within 7/8 of a prompt of the true mean —
+  // well inside the threshold's resolution.
+  const auto x8 = static_cast<std::uint32_t>(
+      sh.result.prompts_total >= 31 ? 255 : sh.result.prompts_total * 8);
+  std::uint32_t q = (packed >> 16) & 0xFF;
+  if (packed & kPrimedBit) {
+    q = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(q) +
+        (static_cast<std::int32_t>(x8) - static_cast<std::int32_t>(q)) / 8);
+  } else {
+    q = x8;
+  }
+  packed = (packed & ~kEwmaMask) | (q << 16) | kPrimedBit;
+  if (static_cast<double>(q) / 8.0 >= params_.drift_threshold) {
+    ++sh.drift_flagged;
+  }
+  if ((params_.write_back_every != 0 &&
+       unflushed >= params_.write_back_every) ||
+      unflushed == 255) {  // counter saturation: the append is forced
     append_user(sh, slot, user);
   }
   ++sh.sessions;
@@ -157,6 +196,7 @@ FleetReport FleetEngine::drain(exec::TrialRunner& runner) {
     report.cold_loads += sh.cold_loads;
     report.reference_starts += sh.reference_starts;
     report.appends += sh.appends;
+    report.drift_flagged += sh.drift_flagged;
     report.latency.merge(sh.latency);
   }
   return report;
@@ -169,7 +209,8 @@ void FleetEngine::reset_latency() {
 void FleetEngine::flush_residents() {
   for (Shard& sh : shards_) {
     for (const Slot& slot : sh.slots) {
-      if (slot.resident != kNoUser && unflushed_[slot.resident] > 0) {
+      if (slot.resident != kNoUser &&
+          unflushed_count(packed_[slot.resident]) > 0) {
         append_user(sh, slot, slot.resident);
       }
     }
@@ -179,7 +220,7 @@ void FleetEngine::flush_residents() {
 void FleetEngine::dump_policies(std::ostream& out) const {
   rl::QTable q(reference_->num_states(), reference_->num_actions());
   out << std::hexfloat;
-  for (std::uint64_t user = 0; user < severity_.size(); ++user) {
+  for (std::uint64_t user = 0; user < packed_.size(); ++user) {
     const std::optional<std::uint64_t> version = store_->load(user, q);
     if (!version) continue;
     out << "user " << user << " v" << *version;

@@ -33,8 +33,15 @@ struct FleetEngineParams {
   /// Append the user's table into the segment store every Nth session
   /// (wear batching at fleet scale; 0 = only on eviction/flush). An
   /// evicted user with unwritten sessions is always appended first, so
-  /// learning-enabled fleets never lose table updates.
+  /// learning-enabled fleets never lose table updates. Regardless of the
+  /// setting, a user is force-appended when its 8-bit unwritten-session
+  /// counter would saturate (255 sessions), keeping the packed record
+  /// exact.
   std::size_t write_back_every = 1;
+  /// A session whose post-update prompt EWMA (alpha = 1/8) reaches this
+  /// many prompts flags the user as drifting — the care-side signal that a
+  /// patient needs attention, surfaced fleet-wide for ~0 resident bytes.
+  double drift_threshold = 6.0;
 };
 
 /// Cumulative fleet-wide serving counters, merged across shards after a
@@ -50,17 +57,23 @@ struct FleetReport {
   std::uint64_t cold_loads = 0;        ///< policy loaded from the mmap store
   std::uint64_t reference_starts = 0;  ///< no stored record: donor table
   std::uint64_t appends = 0;           ///< write-backs into the store
+  std::uint64_t drift_flagged = 0;     ///< sessions whose EWMA crossed the
+                                       ///< drift threshold
   util::LatencyHistogram latency;      ///< per-session serve latency (ns)
 };
 
 /// The million-user tier: a sharded serving frontend over a SegmentStore.
 ///
 /// Where ServeEngine keeps a resident QTable per user (PolicyStore entry),
-/// FleetEngine keeps ~25 bytes of RAM per registered user — severity,
-/// version, unflushed count — plus the store's index entry; every table
-/// lives in the mmap'd segment store and is faulted in on checkout. That is
-/// what lets one box *register* 100k–1M users while only the active set
-/// costs anything per round.
+/// FleetEngine keeps FOUR bytes of RAM per registered user — one packed u32
+/// holding quantized severity, the unwritten-session count, and a prompt
+/// EWMA for drift flagging — plus ~9 bytes of store index slab. The
+/// version is not resident at all: it is derived as the store's latest
+/// version plus the unwritten-session count (both always advance
+/// together). Every table lives in the mmap'd segment store and is faulted
+/// in on checkout. Total resident cost lands under 16 bytes per registered
+/// user, which is what lets one box register a million users while only
+/// the active set costs anything per round.
 ///
 /// Thread-safety mirrors the store's writer partitioning: the engine sets
 /// the store's writers == shards and only ever touches user `u` from shard
@@ -81,10 +94,15 @@ class FleetEngine {
               SegmentStore& store, const rl::QTable& reference,
               FleetEngineParams params = {});
 
-  /// Registers a user with the given dementia severity. Ids are dense and
-  /// shared with the store. Setup-phase only.
+  /// Pre-sizes the packed-record slab and the store's index for `users`
+  /// registrations — one allocation instead of doubling growth (setup
+  /// phase).
+  void reserve_users(std::uint64_t users);
+
+  /// Registers a user with the given dementia severity (quantized to 1/256
+  /// steps). Ids are dense and shared with the store. Setup-phase only.
   std::uint64_t register_user(double severity);
-  std::size_t num_users() const noexcept { return severity_.size(); }
+  std::size_t num_users() const noexcept { return packed_.size(); }
 
   std::size_t shard_for(std::uint64_t user) const noexcept {
     return static_cast<std::size_t>(user % shards_.size());
@@ -112,11 +130,43 @@ class FleetEngine {
   /// cross---jobs byte-identity witness the determinism test compares.
   void dump_policies(std::ostream& out) const;
 
+  /// The user's session count lineage: stored version + sessions not yet
+  /// appended (derived — no resident u64 per user).
   std::uint64_t version(std::uint64_t user) const;
+  /// The user's prompt EWMA in prompts/session (0 until the first session).
+  double prompt_ewma(std::uint64_t user) const;
+  /// Bytes of engine-resident per-user state: the packed u32 slab. The
+  /// store's index slab (SegmentStore::index_slab_bytes) is the only other
+  /// per-user resident cost.
+  std::size_t resident_state_bytes() const noexcept {
+    return packed_.size() * sizeof(std::uint32_t);
+  }
   const SegmentStore& store() const noexcept { return *store_; }
   const FleetEngineParams& params() const noexcept { return params_; }
 
  private:
+  // One u32 of resident state per registered user:
+  //   [7:0]   severity, quantized to 1/256 (dequantized as (q + 0.5)/256)
+  //   [15:8]  sessions since the last store append (append forced at 255)
+  //   [23:16] prompts-per-session EWMA, 5.3 fixed point, alpha = 1/8
+  //   [24]    EWMA primed (first session seeds instead of blending)
+  static constexpr std::uint32_t kUnflushedMask = 0xFFu << 8;
+  static constexpr std::uint32_t kEwmaMask = 0xFFu << 16;
+  static constexpr std::uint32_t kPrimedBit = 1u << 24;
+
+  static std::uint32_t quantize_severity(double severity) noexcept {
+    if (severity <= 0.0) return 0;
+    if (severity >= 1.0) return 255;
+    const auto q = static_cast<std::uint32_t>(severity * 256.0);
+    return q > 255 ? 255 : q;
+  }
+  static double severity_of(std::uint32_t packed) noexcept {
+    return (static_cast<double>(packed & 0xFF) + 0.5) / 256.0;
+  }
+  static std::uint32_t unflushed_count(std::uint32_t packed) noexcept {
+    return (packed >> 8) & 0xFF;
+  }
+
   struct Slot {
     std::unique_ptr<core::CoredaSystem> system;
     std::uint64_t resident = kNoUser;
@@ -140,6 +190,7 @@ class FleetEngine {
     std::uint64_t cold_loads = 0;
     std::uint64_t reference_starts = 0;
     std::uint64_t appends = 0;
+    std::uint64_t drift_flagged = 0;
   };
 
   std::size_t slot_in_shard(std::uint64_t user) const noexcept {
@@ -153,10 +204,9 @@ class FleetEngine {
   SegmentStore* store_;
   const rl::QTable* reference_;
   std::vector<Shard> shards_;
-  // Dense per-user state — the entire RAM cost of a registered user.
-  std::vector<double> severity_;
-  std::vector<std::uint64_t> version_;
-  std::vector<std::uint32_t> unflushed_;
+  /// Dense per-user state — the ENTIRE engine-resident RAM cost of a
+  /// registered user (layout above).
+  std::vector<std::uint32_t> packed_;
 };
 
 }  // namespace coreda::serve

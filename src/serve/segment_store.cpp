@@ -12,51 +12,29 @@
 #include <fstream>
 #include <map>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "planning/serialize.hpp"
+#include "util/wire.hpp"
 
 namespace coreda::serve {
 namespace {
 
 namespace fs = std::filesystem;
+namespace wire = util::wire;
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 constexpr std::size_t kSegmentHeaderBytes = 40;
 constexpr char kMetaFileName[] = "store.meta";
 constexpr std::uint64_t kMetaFormatVersion = 1;
-
-std::uint64_t fnv1a(const unsigned char* data, std::size_t n) {
-  std::uint64_t h = kFnvOffset;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= data[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-void store_u64(unsigned char* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-std::uint64_t load_u64(const unsigned char* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-
-void store_f64(unsigned char* p, double d) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &d, 8);
-  store_u64(p, bits);
-}
-
-double load_f64(const unsigned char* p) {
-  const std::uint64_t bits = load_u64(p);
-  double d;
-  std::memcpy(&d, &bits, 8);
-  return d;
-}
+/// Segment files never exceed 8 MiB: UserIndex packs the record offset into
+/// 20 bits of offset/8.
+constexpr std::size_t kMaxSegmentBytes = std::size_t{1} << 23;
+/// Hard cap on a chain walk (rebase_every is clamped below this; the load
+/// scratch array is sized to it).
+constexpr std::size_t kMaxChainRecords = 63;
+/// Smallest well-formed v2 record: an anchor for a 1-cell table (56 bytes);
+/// an empty delta is 64.
+constexpr std::uint64_t kMinRecordBytes = 56;
 
 std::string segment_file_name(std::uint64_t writer, std::uint64_t seq) {
   char name[64];
@@ -80,6 +58,10 @@ bool parse_segment_file_name(const std::string& name, std::uint64_t& writer,
   return true;
 }
 
+std::size_t delta_record_bytes(std::size_t n_rows, std::size_t num_actions) {
+  return 8 * (8 + n_rows * (1 + num_actions));
+}
+
 }  // namespace
 
 struct SegmentStore::Segment {
@@ -88,9 +70,17 @@ struct SegmentStore::Segment {
   std::size_t bytes = 0;
   std::uint64_t writer = 0;
   std::uint64_t seq = 0;
-  std::size_t capacity = 0;  ///< record slots
-  std::size_t consumed = 0;  ///< leading slots written (published or torn)
-  std::atomic<std::uint64_t> live{0};  ///< records the index points at
+  std::uint32_t id = 0;      ///< store-global, packed into index entries
+  bool legacy = false;       ///< v1 "CRDASEG1" fixed-stride segment
+  std::size_t capacity = 0;  ///< v1 only: record slots
+  std::size_t used = 0;      ///< bytes consumed incl. header (append target)
+  std::uint64_t records = 0; ///< consumed records (v1: slots incl. torn)
+  /// Records the index points at (newest per user).
+  std::atomic<std::uint64_t> live{0};
+  /// Records on some live chain: live records plus the delta ancestry
+  /// under them. A segment with reachable == 0 holds nothing any load
+  /// could ever need and can be unlinked.
+  std::atomic<std::uint64_t> reachable{0};
 
   ~Segment() {
     if (base != nullptr) ::munmap(base, bytes);
@@ -100,8 +90,14 @@ struct SegmentStore::Segment {
 struct SegmentStore::Writer {
   std::uint64_t id = 0;
   std::vector<std::unique_ptr<Segment>> segs;
-  Segment* tail = nullptr;  ///< append target; last element of segs
+  Segment* tail = nullptr;  ///< v2 append target; null until the first roll
   std::uint64_t next_seq = 0;
+  /// This lane's user -> location slab (see user_index.hpp for why the
+  /// table is per-lane).
+  UserIndex index;
+  /// Reused across appends as the delta base and across compactions as the
+  /// relocation shuttle — keeps both paths allocation-free.
+  std::unique_ptr<rl::QTable> scratch;
 };
 
 SegmentStore::SegmentStore(std::span<const adl::StepId> steps,
@@ -122,16 +118,26 @@ SegmentStore::SegmentStore(std::span<const adl::StepId> steps,
   if (num_states_ == 0 || num_actions_ == 0) {
     throw std::invalid_argument("SegmentStore: degenerate table shape");
   }
-  record_bytes_ = 8 * (4 + num_states_ * num_actions_) + 8;
-  capacity_per_segment_ =
-      params_.segment_bytes > kSegmentHeaderBytes
-          ? (params_.segment_bytes - kSegmentHeaderBytes) / record_bytes_
-          : 0;
-  if (capacity_per_segment_ == 0) capacity_per_segment_ = 1;
+  if (params_.segment_bytes > kMaxSegmentBytes) {
+    throw std::invalid_argument(
+        "SegmentStore: segment_bytes above 8 MiB — the flat index packs "
+        "record offsets into 20 bits of offset/8");
+  }
+  params_.rebase_every =
+      std::clamp<std::size_t>(params_.rebase_every, 1, kMaxChainRecords);
+  legacy_record_bytes_ = 8 * (4 + num_states_ * num_actions_) + 8;
+  anchor_bytes_ = 8 * (6 + num_states_ * num_actions_);
+  if (kSegmentHeaderBytes + anchor_bytes_ > kMaxSegmentBytes) {
+    throw std::invalid_argument(
+        "SegmentStore: table too large for an 8 MiB segment");
+  }
   for (std::size_t w = 0; w < params_.writers; ++w) {
     writers_.push_back(std::make_unique<Writer>());
     writers_.back()->id = w;
+    writers_.back()->scratch =
+        std::make_unique<rl::QTable>(num_states_, num_actions_);
   }
+  seg_by_id_.assign(UserIndex::kMaxSegments, nullptr);
   fs::create_directories(params_.dir);
   if (fs::exists(params_.dir + "/" + kMetaFileName)) {
     validate_meta();
@@ -149,27 +155,27 @@ void SegmentStore::write_meta() const {
   unsigned char* p = buf.data();
   std::memcpy(p, kStoreMetaMagic, 8);
   p += 8;
-  store_u64(p, kMetaFormatVersion);
+  wire::store_u64(p, kMetaFormatVersion);
   p += 8;
-  store_u64(p, steps_.size());
+  wire::store_u64(p, steps_.size());
   p += 8;
-  store_u64(p, tools_.size());
+  wire::store_u64(p, tools_.size());
   p += 8;
-  store_u64(p, num_states_);
+  wire::store_u64(p, num_states_);
   p += 8;
-  store_u64(p, num_actions_);
+  wire::store_u64(p, num_actions_);
   p += 8;
-  store_u64(p, params_.segment_bytes);
+  wire::store_u64(p, params_.segment_bytes);
   p += 8;
   for (const adl::StepId s : steps_) {
-    store_u64(p, static_cast<std::uint64_t>(s));
+    wire::store_u64(p, static_cast<std::uint64_t>(s));
     p += 8;
   }
   for (const adl::ToolId t : tools_) {
-    store_u64(p, static_cast<std::uint64_t>(t));
+    wire::store_u64(p, static_cast<std::uint64_t>(t));
     p += 8;
   }
-  store_u64(p, fnv1a(buf.data(), buf.size() - 8));
+  wire::store_u64(p, wire::fnv1a(buf.data(), buf.size() - 8));
   const std::string path = params_.dir + "/" + kMetaFileName;
   const std::string tmp = path + ".tmp";
   {
@@ -197,16 +203,16 @@ void SegmentStore::validate_meta() const {
     throw std::runtime_error("SegmentStore: " + path +
                              " is not a coreda-policy store");
   }
-  if (load_u64(buf.data() + buf.size() - 8) !=
-      fnv1a(buf.data(), buf.size() - 8)) {
+  if (wire::load_u64(buf.data() + buf.size() - 8) !=
+      wire::fnv1a(buf.data(), buf.size() - 8)) {
     throw std::runtime_error("SegmentStore: " + path + " checksum mismatch");
   }
   const unsigned char* p = buf.data() + 8;
-  const std::uint64_t format = load_u64(p);
-  const std::uint64_t n_steps = load_u64(p + 8);
-  const std::uint64_t n_tools = load_u64(p + 16);
-  const std::uint64_t n_states = load_u64(p + 24);
-  const std::uint64_t n_actions = load_u64(p + 32);
+  const std::uint64_t format = wire::load_u64(p);
+  const std::uint64_t n_steps = wire::load_u64(p + 8);
+  const std::uint64_t n_tools = wire::load_u64(p + 16);
+  const std::uint64_t n_states = wire::load_u64(p + 24);
+  const std::uint64_t n_actions = wire::load_u64(p + 32);
   if (format != kMetaFormatVersion || buf.size() != expected ||
       n_steps != steps_.size() || n_tools != tools_.size() ||
       n_states != num_states_ || n_actions != num_actions_) {
@@ -215,14 +221,16 @@ void SegmentStore::validate_meta() const {
   }
   const unsigned char* vocab = buf.data() + 8 + 6 * 8;
   for (std::size_t i = 0; i < steps_.size(); ++i) {
-    if (load_u64(vocab + 8 * i) != static_cast<std::uint64_t>(steps_[i])) {
+    if (wire::load_u64(vocab + 8 * i) !=
+        static_cast<std::uint64_t>(steps_[i])) {
       throw std::runtime_error("SegmentStore: " + path +
                                " step vocabulary differs");
     }
   }
   vocab += 8 * steps_.size();
   for (std::size_t i = 0; i < tools_.size(); ++i) {
-    if (load_u64(vocab + 8 * i) != static_cast<std::uint64_t>(tools_[i])) {
+    if (wire::load_u64(vocab + 8 * i) !=
+        static_cast<std::uint64_t>(tools_[i])) {
       throw std::runtime_error("SegmentStore: " + path +
                                " tool vocabulary differs");
     }
@@ -246,11 +254,20 @@ void SegmentStore::open_existing_segments() {
   std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
     return a.writer != b.writer ? a.writer < b.writer : a.seq < b.seq;
   });
+
+  // Phase 1: map + validate every header, collecting the advisory record
+  // counts. No records are touched yet.
+  std::vector<std::unique_ptr<Segment>> opened;
+  std::vector<std::uint64_t> advisory;
   for (const Found& f : found) {
     auto seg = std::make_unique<Segment>();
     seg->path = f.path;
     seg->writer = f.writer;
     seg->seq = f.seq;
+    if (opened.size() >= UserIndex::kMaxSegments) {
+      throw std::runtime_error("SegmentStore: segment id space exhausted");
+    }
+    seg->id = static_cast<std::uint32_t>(opened.size());
     const int fd = ::open(f.path.c_str(), O_RDWR);
     if (fd < 0) {
       throw std::runtime_error("SegmentStore: cannot open " + f.path);
@@ -269,78 +286,250 @@ void SegmentStore::open_existing_segments() {
     }
     seg->base = static_cast<unsigned char*>(map);
     if (seg->bytes < kSegmentHeaderBytes ||
-        std::memcmp(seg->base, kSegmentMagic, 8) != 0 ||
-        load_u64(seg->base + 8) != f.writer ||
-        load_u64(seg->base + 16) != f.seq ||
-        load_u64(seg->base + 24) != record_bytes_) {
+        seg->bytes > kMaxSegmentBytes ||
+        wire::load_u64(seg->base + 8) != f.writer ||
+        wire::load_u64(seg->base + 16) != f.seq) {
       throw std::runtime_error("SegmentStore: " + f.path +
                                " header does not match this store's schema");
     }
-    seg->capacity = load_u64(seg->base + 32);
-    if (kSegmentHeaderBytes + seg->capacity * record_bytes_ > seg->bytes) {
+    std::uint64_t count = 0;
+    if (std::memcmp(seg->base, kSegmentMagicV2, 8) == 0) {
+      const std::uint64_t file_bytes = wire::load_u64(seg->base + 24);
+      if (file_bytes < kSegmentHeaderBytes || file_bytes > seg->bytes) {
+        throw std::runtime_error("SegmentStore: " + f.path +
+                                 " is shorter than its header claims");
+      }
+      // Advisory only — a torn in-place header update cannot corrupt the
+      // store, just mis-size the pre-reserve. Clamp to what could fit.
+      count = std::min<std::uint64_t>(wire::load_u64(seg->base + 32),
+                                      seg->bytes / kMinRecordBytes);
+    } else if (std::memcmp(seg->base, kSegmentMagic, 8) == 0) {
+      if (wire::load_u64(seg->base + 24) != legacy_record_bytes_) {
+        throw std::runtime_error("SegmentStore: " + f.path +
+                                 " header does not match this store's schema");
+      }
+      seg->legacy = true;
+      seg->capacity = wire::load_u64(seg->base + 32);
+      if (kSegmentHeaderBytes + seg->capacity * legacy_record_bytes_ >
+          seg->bytes) {
+        throw std::runtime_error("SegmentStore: " + f.path +
+                                 " is shorter than its header claims");
+      }
+      count = seg->capacity;
+    } else {
       throw std::runtime_error("SegmentStore: " + f.path +
-                               " is shorter than its header claims");
+                               " header does not match this store's schema");
     }
-    scan_segment(*seg);
-    if (f.writer < params_.writers) {
-      Writer& w = *writers_[f.writer];
-      w.next_seq = std::max(w.next_seq, f.seq + 1);
-      w.tail = seg.get();  // ascending seq: the last one wins
+    // Batch the cold-start scan: tell the kernel to read the whole file
+    // ahead instead of faulting page by page as the scan walks it.
+    ::posix_madvise(seg->base, seg->bytes, POSIX_MADV_WILLNEED);
+    advisory.push_back(count);
+    opened.push_back(std::move(seg));
+  }
+
+  // Phase 2: pre-reserve every lane's index slab so the scan below does
+  // zero allocations per record. Lane w's users live in lane-w segments
+  // while the writer count is stable; retired/foreign segments could feed
+  // any lane, so their counts pad every lane (put_grow still covers a
+  // writer-count change, at the cost of a rehash).
+  std::vector<std::uint64_t> per_writer(params_.writers, 0);
+  std::uint64_t foreign = 0;
+  for (std::size_t i = 0; i < opened.size(); ++i) {
+    if (opened[i]->writer < params_.writers) {
+      per_writer[opened[i]->writer] += advisory[i];
+    } else {
+      foreign += advisory[i];
+    }
+  }
+  for (std::size_t w = 0; w < params_.writers; ++w) {
+    writers_[w]->index.reserve(per_writer[w] + foreign);
+  }
+
+  // Phase 3: scan in (writer, seq) order — publish order is what makes
+  // "equal version seen later wins" pick compaction copies.
+  for (auto& seg : opened) {
+    seg_by_id_[seg->id] = seg.get();
+    if (seg->legacy) {
+      scan_segment_v1(*seg);
+    } else {
+      scan_segment_v2(*seg);
+    }
+    if (seg->writer < params_.writers) {
+      Writer& w = *writers_[seg->writer];
+      w.next_seq = std::max(w.next_seq, seg->seq + 1);
+      // Ascending seq: the last segment wins the tail — unless it is a
+      // legacy one, which is never appended to.
+      w.tail = seg->legacy ? nullptr : seg.get();
       w.segs.push_back(std::move(seg));
     } else {
       retired_.push_back(std::move(seg));
     }
   }
+  next_seg_id_.store(static_cast<std::uint32_t>(opened.size()),
+                     std::memory_order_relaxed);
 }
 
-void SegmentStore::scan_segment(Segment& seg) {
+void SegmentStore::scan_segment_v1(Segment& seg) {
   const std::uint64_t qn = num_states_ * num_actions_;
-  seg.consumed = seg.capacity;
+  seg.records = seg.capacity;
+  seg.used = kSegmentHeaderBytes + seg.capacity * legacy_record_bytes_;
   for (std::size_t slot = 0; slot < seg.capacity; ++slot) {
-    const std::uint64_t offset = kSegmentHeaderBytes + slot * record_bytes_;
+    const std::uint64_t offset =
+        kSegmentHeaderBytes + slot * legacy_record_bytes_;
     const unsigned char* rec = seg.base + offset;
-    if (load_u64(rec) == 0) {
+    if (wire::load_u64(rec) == 0) {
       // A never-published slot: the tail. (A crashed append leaves its body
-      // here with the magic still zero — overwritten by the next append.)
-      seg.consumed = slot;
+      // here with the magic still zero.)
+      seg.records = slot;
+      seg.used = offset;
       break;
     }
-    if (std::memcmp(rec, kRecordMagic, 8) != 0) continue;  // torn: dead weight
-    if (load_u64(rec + 24) != qn) continue;
-    if (load_u64(rec + record_bytes_ - 8) !=
-        fnv1a(rec + 8, record_bytes_ - 16)) {
+    // Fixed stride makes skip-and-continue sound for legacy segments: a
+    // torn or bit-rotted record is dead weight, later slots still parse.
+    if (std::memcmp(rec, kRecordMagic, 8) != 0) continue;
+    if (wire::load_u64(rec + 24) != qn) continue;
+    if (wire::load_u64(rec + legacy_record_bytes_ - 8) !=
+        wire::fnv1a(rec + 8, legacy_record_bytes_ - 16)) {
       continue;  // bit rot: the index falls back to an older valid record
     }
-    publish_index(load_u64(rec + 8), &seg, offset, load_u64(rec + 16));
+    ++scanned_records_;
+    publish_index(wire::load_u64(rec + 8), seg, offset,
+                  wire::load_u64(rec + 16));
   }
 }
 
-void SegmentStore::publish_index(std::uint64_t user, Segment* seg,
+void SegmentStore::scan_segment_v2(Segment& seg) {
+  const std::uint64_t qn = num_states_ * num_actions_;
+  seg.used = kSegmentHeaderBytes;
+  seg.records = 0;
+  while (seg.used + kMinRecordBytes <= seg.bytes) {
+    const unsigned char* rec = seg.base + seg.used;
+    const std::uint64_t magic = wire::load_u64(rec);
+    if (magic == 0) break;  // clean tail (or crashed, unpublished append)
+    const bool anchor = std::memcmp(rec, kAnchorMagic, 8) == 0;
+    const bool delta = !anchor && std::memcmp(rec, kDeltaMagic, 8) == 0;
+    // Variable strides mean a record after an invalid one cannot be
+    // located: the valid prefix ends here and the next append overwrites
+    // whatever follows (the longest-valid-prefix recovery the v3 snapshot
+    // chains already use).
+    if (!anchor && !delta) break;
+    const std::uint64_t len = wire::load_u64(rec + 8);
+    if (len < kMinRecordBytes || len % 8 != 0 || seg.used + len > seg.bytes) {
+      break;
+    }
+    if (wire::load_u64(rec + len - 8) != wire::fnv1a(rec + 8, len - 16)) {
+      break;
+    }
+    if (anchor) {
+      if (wire::load_u64(rec + 32) != qn || len != anchor_bytes_) break;
+    } else {
+      const std::uint64_t n_rows = wire::load_u64(rec + 48);
+      if (n_rows > num_states_ ||
+          len != delta_record_bytes(n_rows, num_actions_)) {
+        break;
+      }
+      const std::uint64_t parent = wire::load_u64(rec + 40);
+      if (parent < kSegmentHeaderBytes || parent % 8 != 0 ||
+          parent >= seg.used) {
+        break;
+      }
+    }
+    ++scanned_records_;
+    publish_index(wire::load_u64(rec + 16), seg, seg.used,
+                  wire::load_u64(rec + 24));
+    ++seg.records;
+    seg.used += len;
+  }
+  // Resync the advisory header count (e.g. after recovering a torn tail)
+  // so the next reopen pre-reserves exactly.
+  wire::store_u64(seg.base + 32, seg.records);
+}
+
+std::uint64_t SegmentStore::version_at(UserIndex::Loc loc) const noexcept {
+  const Segment* seg = seg_by_id_[loc.seg];
+  const unsigned char* rec = seg->base + std::size_t{loc.off8} * 8;
+  return wire::load_u64(rec + (seg->legacy ? 16 : 24));
+}
+
+std::size_t SegmentStore::chain_depth(UserIndex::Loc loc) const noexcept {
+  const Segment* seg = seg_by_id_[loc.seg];
+  if (seg == nullptr) return params_.rebase_every + 1;
+  if (seg->legacy) return 1;
+  std::size_t off = std::size_t{loc.off8} * 8;
+  std::size_t depth = 1;
+  while (true) {
+    const unsigned char* rec = seg->base + off;
+    if (std::memcmp(rec, kAnchorMagic, 8) == 0) return depth;
+    if (std::memcmp(rec, kDeltaMagic, 8) != 0 || depth > kMaxChainRecords) {
+      return params_.rebase_every + 1;  // anomaly: force a rebase
+    }
+    const std::uint64_t parent = wire::load_u64(rec + 40);
+    if (parent < kSegmentHeaderBytes || parent % 8 != 0 || parent >= off) {
+      return params_.rebase_every + 1;
+    }
+    off = static_cast<std::size_t>(parent);
+    ++depth;
+  }
+}
+
+void SegmentStore::publish_index(std::uint64_t user, Segment& seg,
                                  std::uint64_t offset, std::uint64_t version) {
-  if (user >= index_.size()) {
-    index_.resize(user + 1);  // scan/setup phase only; appends pre-check
+  Writer& w = writer_for(user);
+  const UserIndex::Loc loc{seg.id, static_cast<std::uint32_t>(offset / 8)};
+  UserIndex::Loc old;
+  bool extends = false;
+  if (w.index.find(user, old)) {
+    // Scan order is (writer, seq, offset) ascending, so an equal version
+    // seen later is a compaction copy of the same table: later wins.
+    if (version < version_at(old)) return;
+    Segment* oseg = seg_by_id_[old.seg];
+    oseg->live.fetch_sub(1, std::memory_order_relaxed);
+    // A delta whose parent is the superseded record extends its chain —
+    // the old records stay reachable underneath it.
+    if (!seg.legacy && old.seg == seg.id) {
+      const unsigned char* rec = seg.base + offset;
+      extends = std::memcmp(rec, kDeltaMagic, 8) == 0 &&
+                wire::load_u64(rec + 40) == std::uint64_t{old.off8} * 8;
+    }
+    if (!extends) {
+      oseg->reachable.fetch_sub(chain_depth(old), std::memory_order_relaxed);
+    }
   }
-  IndexEntry& e = index_[user];
-  if (e.seg != nullptr) {
-    // Scan order is (writer, seq, slot) ascending, so an equal version seen
-    // later is a compaction copy of the same table: later position wins.
-    if (version < e.version) return;
-    e.seg->live.fetch_sub(1, std::memory_order_relaxed);
-  }
-  e = IndexEntry{seg, offset, version};
-  seg->live.fetch_add(1, std::memory_order_relaxed);
+  w.index.put_grow(user, loc);
+  seg.live.fetch_add(1, std::memory_order_relaxed);
+  seg.reachable.fetch_add(extends ? 1 : chain_depth(loc),
+                          std::memory_order_relaxed);
+  if (user >= reserved_users_) reserved_users_ = user + 1;
 }
 
 void SegmentStore::reserve_users(std::uint64_t users) {
-  if (users > index_.size()) index_.resize(users);
+  if (users > UserIndex::kMaxUsers) {
+    throw std::invalid_argument("SegmentStore: too many users for the index");
+  }
+  if (users > reserved_users_) reserved_users_ = users;
+  for (std::size_t w = 0; w < params_.writers; ++w) {
+    // Lane w owns users w, w+W, w+2W, ... below `users`.
+    const std::uint64_t lane_users =
+        users > w ? (users - w - 1) / params_.writers + 1 : 0;
+    writers_[w]->index.reserve(lane_users);
+  }
 }
 
 SegmentStore::Segment* SegmentStore::new_segment(Writer& w) {
+  const std::uint32_t id =
+      next_seg_id_.fetch_add(1, std::memory_order_relaxed);
+  if (id >= UserIndex::kMaxSegments) {
+    // Ids are never reused (16384 of them — far beyond any bench or soak;
+    // a free-list from compaction-unlinked segments is the escape hatch if
+    // a deployment ever gets close).
+    throw std::runtime_error("SegmentStore: segment id space exhausted");
+  }
   auto seg = std::make_unique<Segment>();
   seg->writer = w.id;
   seg->seq = w.next_seq++;
-  seg->capacity = capacity_per_segment_;
-  seg->bytes = kSegmentHeaderBytes + seg->capacity * record_bytes_;
+  seg->id = id;
+  seg->bytes =
+      std::max(params_.segment_bytes, kSegmentHeaderBytes + anchor_bytes_);
   seg->path = params_.dir + "/" + segment_file_name(w.id, seg->seq);
   const int fd = ::open(seg->path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -357,15 +546,104 @@ SegmentStore::Segment* SegmentStore::new_segment(Writer& w) {
     throw std::runtime_error("SegmentStore: cannot mmap " + seg->path);
   }
   seg->base = static_cast<unsigned char*>(map);
-  std::memcpy(seg->base, kSegmentMagic, 8);
-  store_u64(seg->base + 8, w.id);
-  store_u64(seg->base + 16, seg->seq);
-  store_u64(seg->base + 24, record_bytes_);
-  store_u64(seg->base + 32, seg->capacity);
+  std::memcpy(seg->base, kSegmentMagicV2, 8);
+  wire::store_u64(seg->base + 8, w.id);
+  wire::store_u64(seg->base + 16, seg->seq);
+  wire::store_u64(seg->base + 24, seg->bytes);
+  wire::store_u64(seg->base + 32, 0);
+  seg->used = kSegmentHeaderBytes;
   Segment* raw = seg.get();
+  seg_by_id_[id] = raw;
   w.segs.push_back(std::move(seg));
   w.tail = raw;
   return raw;
+}
+
+std::size_t SegmentStore::write_record(Writer& w, std::uint64_t user,
+                                       const rl::QTable& q,
+                                       std::uint64_t version,
+                                       bool allow_delta) {
+  const std::uint64_t qn = num_states_ * num_actions_;
+  bool use_delta = false;
+  std::size_t n_rows = 0;
+  std::uint64_t parent_version = 0;
+  std::uint64_t parent_off = 0;
+  UserIndex::Loc cur{};
+  const bool have_cur = w.index.find(user, cur);
+  if (allow_delta && params_.rebase_every > 1 && have_cur) {
+    Segment* cseg = seg_by_id_[cur.seg];
+    // Chains never span segments, so a delta is only possible when the
+    // previous record already sits in the current tail.
+    if (cseg != nullptr && cseg == w.tail && !cseg->legacy &&
+        chain_depth(cur) < params_.rebase_every) {
+      bool base_ok = true;
+      try {
+        load(user, *w.scratch);
+      } catch (const std::runtime_error&) {
+        base_ok = false;  // rot under the chain: rebase with an anchor
+      }
+      if (base_ok) {
+        n_rows = planning::count_changed_rows(*w.scratch, q);
+        if (delta_record_bytes(n_rows, num_actions_) < anchor_bytes_) {
+          use_delta = true;
+          parent_off = std::uint64_t{cur.off8} * 8;
+          parent_version = wire::load_u64(cseg->base + parent_off + 24);
+        }
+      }
+    }
+  }
+  std::size_t need =
+      use_delta ? delta_record_bytes(n_rows, num_actions_) : anchor_bytes_;
+  Segment* seg = w.tail;
+  if (seg == nullptr || seg->legacy || seg->used + need > seg->bytes) {
+    seg = new_segment(w);
+    if (use_delta) {  // the parent stayed behind: rebase instead
+      use_delta = false;
+      need = anchor_bytes_;
+    }
+  }
+  unsigned char* rec = seg->base + seg->used;
+  wire::store_u64(rec, 0);  // never expose a stale magic while the body lands
+  wire::store_u64(rec + 8, need);
+  wire::store_u64(rec + 16, user);
+  wire::store_u64(rec + 24, version);
+  if (use_delta) {
+    wire::store_u64(rec + 32, parent_version);
+    wire::store_u64(rec + 40, parent_off);
+    wire::store_u64(rec + 48, n_rows);
+    planning::encode_changed_rows(*w.scratch, q, rec + 56);
+  } else {
+    wire::store_u64(rec + 32, qn);
+    unsigned char* qp = rec + 40;
+    for (std::size_t s = 0; s < num_states_; ++s) {
+      for (const double v : q.row(static_cast<rl::StateId>(s))) {
+        wire::store_f64(qp, v);
+        qp += 8;
+      }
+    }
+  }
+  wire::store_u64(rec + need - 8, wire::fnv1a(rec + 8, need - 16));
+  if (pre_publish_hook_) pre_publish_hook_(seg->path);
+  // Publish: only now can a scan (or a crashed restart) see the record.
+  std::memcpy(rec, use_delta ? kDeltaMagic : kAnchorMagic, 8);
+  const auto off8 = static_cast<std::uint32_t>(seg->used / 8);
+  seg->used += need;
+  ++seg->records;
+  wire::store_u64(seg->base + 32, seg->records);  // advisory reopen count
+  if (have_cur) {
+    Segment* oseg = seg_by_id_[cur.seg];
+    oseg->live.fetch_sub(1, std::memory_order_relaxed);
+    // A delta keeps its whole ancestry reachable; an anchor orphans it.
+    if (!use_delta) {
+      oseg->reachable.fetch_sub(chain_depth(cur), std::memory_order_relaxed);
+    }
+  }
+  w.index.put(user, UserIndex::Loc{seg->id, off8});
+  seg->live.fetch_add(1, std::memory_order_relaxed);
+  seg->reachable.fetch_add(1, std::memory_order_relaxed);
+  (use_delta ? delta_records_ : anchor_records_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return need;
 }
 
 void SegmentStore::append(std::uint64_t user, const rl::QTable& q,
@@ -373,49 +651,23 @@ void SegmentStore::append(std::uint64_t user, const rl::QTable& q,
   if (q.num_states() != num_states_ || q.num_actions() != num_actions_) {
     throw std::runtime_error("SegmentStore::append: table shape mismatch");
   }
-  if (user >= index_.size()) {
+  if (user >= reserved_users_) {
     throw std::runtime_error(
         "SegmentStore::append: user id beyond reserve_users()");
   }
-  Writer& w = *writers_[user % params_.writers];
+  Writer& w = writer_for(user);
   maybe_compact(w);
-  Segment* seg =
-      (w.tail != nullptr && w.tail->consumed < w.tail->capacity)
-          ? w.tail
-          : new_segment(w);
-  const std::uint64_t offset =
-      kSegmentHeaderBytes + seg->consumed * record_bytes_;
-  unsigned char* rec = seg->base + offset;
-  const std::uint64_t qn = num_states_ * num_actions_;
-  store_u64(rec, 0);  // never expose a stale magic while the body lands
-  store_u64(rec + 8, user);
-  store_u64(rec + 16, version);
-  store_u64(rec + 24, qn);
-  unsigned char* qp = rec + 32;
-  for (std::size_t s = 0; s < num_states_; ++s) {
-    for (const double v : q.row(static_cast<rl::StateId>(s))) {
-      store_f64(qp, v);
-      qp += 8;
-    }
-  }
-  store_u64(rec + record_bytes_ - 8, fnv1a(rec + 8, record_bytes_ - 16));
-  if (pre_publish_hook_) pre_publish_hook_(seg->path);
-  // Publish: only now can a scan (or a crashed restart) see the record.
-  std::memcpy(rec, kRecordMagic, 8);
-  ++seg->consumed;
-  IndexEntry& e = index_[user];
-  if (e.seg != nullptr) e.seg->live.fetch_sub(1, std::memory_order_relaxed);
-  e = IndexEntry{seg, offset, version};
-  seg->live.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t bytes = write_record(w, user, q, version, true);
   appends_.fetch_add(1, std::memory_order_relaxed);
+  appended_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 std::optional<std::uint64_t> SegmentStore::latest_version(
     std::uint64_t user) const {
-  if (user >= index_.size() || index_[user].seg == nullptr) {
-    return std::nullopt;
-  }
-  return index_[user].version;
+  const Writer& w = writer_for(user);
+  UserIndex::Loc loc;
+  if (!w.index.find(user, loc)) return std::nullopt;
+  return version_at(loc);
 }
 
 std::optional<std::uint64_t> SegmentStore::load(std::uint64_t user,
@@ -423,37 +675,119 @@ std::optional<std::uint64_t> SegmentStore::load(std::uint64_t user,
   if (q.num_states() != num_states_ || q.num_actions() != num_actions_) {
     throw std::runtime_error("SegmentStore::load: table shape mismatch");
   }
-  if (user >= index_.size()) return std::nullopt;
-  const IndexEntry& e = index_[user];
-  if (e.seg == nullptr) return std::nullopt;
-  const unsigned char* rec = e.seg->base + e.offset;
+  const Writer& w = writer_for(user);
+  UserIndex::Loc loc;
+  if (!w.index.find(user, loc)) return std::nullopt;
+  const Segment* seg = seg_by_id_[loc.seg];
   const std::uint64_t qn = num_states_ * num_actions_;
-  if (std::memcmp(rec, kRecordMagic, 8) != 0 || load_u64(rec + 8) != user ||
-      load_u64(rec + 16) != e.version || load_u64(rec + 24) != qn ||
-      load_u64(rec + record_bytes_ - 8) != fnv1a(rec + 8, record_bytes_ - 16)) {
-    throw std::runtime_error(
+  const unsigned char* base = seg->base;
+  const std::size_t off0 = std::size_t{loc.off8} * 8;
+  const auto fail = [user] {
+    return std::runtime_error(
         "SegmentStore::load: record failed validation (bit rot since the "
         "open-time scan) for user " +
         std::to_string(user));
+  };
+
+  if (seg->legacy) {
+    const unsigned char* rec = base + off0;
+    if (std::memcmp(rec, kRecordMagic, 8) != 0 ||
+        wire::load_u64(rec + 8) != user || wire::load_u64(rec + 24) != qn ||
+        wire::load_u64(rec + legacy_record_bytes_ - 8) !=
+            wire::fnv1a(rec + 8, legacy_record_bytes_ - 16)) {
+      throw fail();
+    }
+    const unsigned char* qp = rec + 32;
+    for (std::size_t s = 0; s < num_states_; ++s) {
+      for (double& v : q.row_mut(static_cast<rl::StateId>(s))) {
+        v = wire::load_f64(qp);
+        qp += 8;
+      }
+    }
+    return wire::load_u64(rec + 16);
   }
-  const unsigned char* qp = rec + 32;
+
+  // Validate the whole chain newest -> anchor before touching q: `q` is
+  // written only after every record it depends on has checked out.
+  std::array<const unsigned char*, kMaxChainRecords + 1> chain;
+  std::size_t depth = 0;
+  std::size_t off = off0;
+  std::uint64_t expect_version = 0;
+  bool expect = false;  // the child's parent_version pins this version
+  while (true) {
+    if (off + kMinRecordBytes > seg->bytes) throw fail();
+    const unsigned char* rec = base + off;
+    const bool anchor = std::memcmp(rec, kAnchorMagic, 8) == 0;
+    const bool is_delta = !anchor && std::memcmp(rec, kDeltaMagic, 8) == 0;
+    if (!anchor && !is_delta) throw fail();
+    const std::uint64_t len = wire::load_u64(rec + 8);
+    if (len < kMinRecordBytes || len % 8 != 0 || off + len > seg->bytes) {
+      throw fail();
+    }
+    if (wire::load_u64(rec + 16) != user) throw fail();
+    const std::uint64_t version = wire::load_u64(rec + 24);
+    if (expect && version != expect_version) throw fail();
+    if (wire::load_u64(rec + len - 8) != wire::fnv1a(rec + 8, len - 16)) {
+      throw fail();
+    }
+    if (depth >= chain.size()) throw fail();
+    if (anchor) {
+      if (wire::load_u64(rec + 32) != qn || len != anchor_bytes_) throw fail();
+      chain[depth++] = rec;
+      break;
+    }
+    const std::uint64_t n_rows = wire::load_u64(rec + 48);
+    if (n_rows > num_states_ ||
+        len != delta_record_bytes(n_rows, num_actions_)) {
+      throw fail();
+    }
+    const unsigned char* rp = rec + 56;
+    for (std::uint64_t i = 0; i < n_rows; ++i) {
+      if (wire::load_u64(rp) >= num_states_) throw fail();
+      rp += 8 * (1 + num_actions_);
+    }
+    const std::uint64_t parent = wire::load_u64(rec + 40);
+    if (parent < kSegmentHeaderBytes || parent % 8 != 0 || parent >= off) {
+      throw fail();
+    }
+    chain[depth++] = rec;
+    expect = true;
+    expect_version = wire::load_u64(rec + 32);
+    off = static_cast<std::size_t>(parent);
+  }
+
+  // Apply: the anchor, then every delta oldest -> newest.
+  const unsigned char* qp = chain[depth - 1] + 40;
   for (std::size_t s = 0; s < num_states_; ++s) {
     for (double& v : q.row_mut(static_cast<rl::StateId>(s))) {
-      v = load_f64(qp);
+      v = wire::load_f64(qp);
       qp += 8;
     }
   }
-  return e.version;
+  for (std::size_t i = depth - 1; i-- > 0;) {
+    const unsigned char* rec = chain[i];
+    const std::uint64_t n_rows = wire::load_u64(rec + 48);
+    const unsigned char* rp = rec + 56;
+    for (std::uint64_t r = 0; r < n_rows; ++r) {
+      const auto row = static_cast<rl::StateId>(wire::load_u64(rp));
+      rp += 8;
+      for (double& v : q.row_mut(row)) {
+        v = wire::load_f64(rp);
+        rp += 8;
+      }
+    }
+  }
+  return wire::load_u64(chain[0] + 24);
 }
 
 void SegmentStore::maybe_compact(Writer& w) {
-  std::uint64_t consumed = 0, live = 0;
+  std::uint64_t consumed = 0, reachable = 0;
   for (const auto& s : w.segs) {
-    consumed += s->consumed;
-    live += s->live.load(std::memory_order_relaxed);
+    consumed += s->records;
+    reachable += s->reachable.load(std::memory_order_relaxed);
   }
   if (consumed < params_.compact_min_records) return;
-  const std::uint64_t dead = consumed - std::min(live, consumed);
+  const std::uint64_t dead = consumed - std::min(reachable, consumed);
   if (static_cast<double>(dead) <=
       params_.compact_dead_ratio * static_cast<double>(consumed)) {
     return;
@@ -462,33 +796,49 @@ void SegmentStore::maybe_compact(Writer& w) {
 }
 
 void SegmentStore::compact_writer(Writer& w) {
-  // Swap the chain out; relocations below append into fresh segments.
+  // Sorted users make the rebased record order — and therefore the fresh
+  // segment bytes — independent of index layout history: the cross---jobs
+  // byte-identity contract extends through compaction.
+  std::vector<std::uint64_t> users;
+  users.reserve(static_cast<std::size_t>(w.index.size()));
+  w.index.for_each(
+      [&users](std::uint64_t u, UserIndex::Loc) { users.push_back(u); });
+  std::sort(users.begin(), users.end());
   std::vector<std::unique_ptr<Segment>> old = std::move(w.segs);
   w.segs.clear();
   w.tail = nullptr;
-  for (std::uint64_t u = w.id; u < index_.size(); u += params_.writers) {
-    IndexEntry& e = index_[u];
-    if (e.seg == nullptr) continue;
-    Segment* dst =
-        (w.tail != nullptr && w.tail->consumed < w.tail->capacity)
-            ? w.tail
-            : new_segment(w);
-    const std::uint64_t offset =
-        kSegmentHeaderBytes + dst->consumed * record_bytes_;
-    std::memcpy(dst->base + offset, e.seg->base + e.offset, record_bytes_);
-    ++dst->consumed;
-    e.seg->live.fetch_sub(1, std::memory_order_relaxed);
-    dst->live.fetch_add(1, std::memory_order_relaxed);
-    e.seg = dst;
-    e.offset = offset;
+  try {
+    for (const std::uint64_t u : users) {
+      std::optional<std::uint64_t> v;
+      try {
+        v = load(u, *w.scratch);
+      } catch (const std::runtime_error&) {
+        // Bit rot since the open-time scan: leave this user's entry
+        // pointing into its old segment (reachable > 0 keeps the file).
+        continue;
+      }
+      if (!v) continue;
+      // Anchor rebase: every live user restarts as a fresh full record.
+      write_record(w, u, *w.scratch, *v, /*allow_delta=*/false);
+    }
+  } catch (...) {
+    // Crash seam / I/O failure mid-rebase: stitch the old segments back in
+    // front of whatever fresh ones were already written. Users already
+    // rebased keep their new locations; everything else still points into
+    // the old chain. The store stays fully consistent.
+    std::vector<std::unique_ptr<Segment>> fresh = std::move(w.segs);
+    w.segs = std::move(old);
+    for (auto& s : fresh) w.segs.push_back(std::move(s));
+    throw;
   }
-  // Unlink chain segments nothing references anymore. A segment still
-  // holding another writer's users (possible after a writers-count change)
+  // Unlink segments nothing references anymore. A segment still holding
+  // another writer's users (possible after a writers-count change)
   // survives, ahead of the fresh tail so appends keep landing at the end.
   std::vector<std::unique_ptr<Segment>> fresh = std::move(w.segs);
   w.segs.clear();
   for (auto& s : old) {
-    if (s->live.load(std::memory_order_relaxed) == 0) {
+    if (s->reachable.load(std::memory_order_relaxed) == 0) {
+      seg_by_id_[s->id] = nullptr;
       const std::string path = s->path;
       s.reset();  // munmap before unlink
       fs::remove(path);
@@ -497,7 +847,7 @@ void SegmentStore::compact_writer(Writer& w) {
     }
   }
   for (auto& s : fresh) w.segs.push_back(std::move(s));
-  ++compactions_;
+  compactions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t SegmentStore::num_segments() const noexcept {
@@ -509,20 +859,46 @@ std::size_t SegmentStore::num_segments() const noexcept {
 std::uint64_t SegmentStore::live_records() const noexcept {
   std::uint64_t live = 0;
   for (const auto& w : writers_) {
-    for (const auto& s : w->segs) live += s->live.load(std::memory_order_relaxed);
+    for (const auto& s : w->segs) {
+      live += s->live.load(std::memory_order_relaxed);
+    }
   }
-  for (const auto& s : retired_) live += s->live.load(std::memory_order_relaxed);
+  for (const auto& s : retired_) {
+    live += s->live.load(std::memory_order_relaxed);
+  }
   return live;
 }
 
 std::uint64_t SegmentStore::dead_records() const noexcept {
-  std::uint64_t consumed = 0;
+  std::uint64_t consumed = 0, reachable = 0;
   for (const auto& w : writers_) {
-    for (const auto& s : w->segs) consumed += s->consumed;
+    for (const auto& s : w->segs) {
+      consumed += s->records;
+      reachable += s->reachable.load(std::memory_order_relaxed);
+    }
   }
-  for (const auto& s : retired_) consumed += s->consumed;
-  const std::uint64_t live = live_records();
-  return consumed - std::min(live, consumed);
+  for (const auto& s : retired_) {
+    consumed += s->records;
+    reachable += s->reachable.load(std::memory_order_relaxed);
+  }
+  return consumed - std::min(reachable, consumed);
+}
+
+std::size_t SegmentStore::index_slab_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& w : writers_) bytes += w->index.slab_bytes();
+  return bytes;
+}
+
+std::vector<std::uint64_t> SegmentStore::user_ids() const {
+  std::vector<std::uint64_t> users;
+  for (const auto& w : writers_) {
+    users.reserve(users.size() + static_cast<std::size_t>(w->index.size()));
+    w->index.for_each(
+        [&users](std::uint64_t u, UserIndex::Loc) { users.push_back(u); });
+  }
+  std::sort(users.begin(), users.end());
+  return users;
 }
 
 bool SegmentStore::is_store_dir(const std::string& dir) {
@@ -539,62 +915,155 @@ SegmentStore::Info SegmentStore::inspect(const std::string& dir) {
       std::memcmp(meta.data(), kStoreMetaMagic, 8) != 0) {
     return info;
   }
-  info.num_steps = load_u64(meta.data() + 16);
-  info.num_tools = load_u64(meta.data() + 24);
-  info.num_states = load_u64(meta.data() + 32);
-  info.num_actions = load_u64(meta.data() + 40);
+  info.num_steps = wire::load_u64(meta.data() + 16);
+  info.num_tools = wire::load_u64(meta.data() + 24);
+  info.num_states = wire::load_u64(meta.data() + 32);
+  info.num_actions = wire::load_u64(meta.data() + 40);
   info.meta_ok =
       meta.size() == 8 + 6 * 8 + 8 * (info.num_steps + info.num_tools) + 8 &&
-      load_u64(meta.data() + meta.size() - 8) ==
-          fnv1a(meta.data(), meta.size() - 8);
+      wire::load_u64(meta.data() + meta.size() - 8) ==
+          wire::fnv1a(meta.data(), meta.size() - 8);
   if (!info.meta_ok) return info;
 
   const std::uint64_t qn = info.num_states * info.num_actions;
-  const std::size_t record_bytes = 8 * (4 + qn) + 8;
-  std::vector<std::pair<std::uint64_t, std::string>> files;  // (writer<<32|seq)
+  const std::size_t legacy_bytes = 8 * (4 + qn) + 8;
+  const std::size_t anchor_bytes = 8 * (6 + qn);
+  struct FileKey {
+    std::uint64_t writer;
+    std::uint64_t seq;
+    std::string path;
+  };
+  std::vector<FileKey> files;
   for (const fs::directory_entry& de : fs::directory_iterator(dir)) {
     std::uint64_t w = 0, seq = 0;
     if (de.is_regular_file() &&
         parse_segment_file_name(de.path().filename().string(), w, seq)) {
-      files.emplace_back((w << 32) | seq, de.path().string());
+      files.push_back({w, seq, de.path().string()});
     }
   }
-  std::sort(files.begin(), files.end());
-  std::map<std::uint64_t, std::uint64_t> latest;  // user -> newest version
-  for (const auto& [key, path] : files) {
+  std::sort(files.begin(), files.end(),
+            [](const FileKey& a, const FileKey& b) {
+              return a.writer != b.writer ? a.writer < b.writer
+                                          : a.seq < b.seq;
+            });
+
+  struct Latest {
+    std::size_t file = 0;
+    std::uint64_t version = 0;
+    std::uint32_t depth = 0;
+  };
+  std::map<std::uint64_t, Latest> latest;  // user -> newest record
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    SegmentInfo detail;
+    detail.writer = files[fi].writer;
+    detail.seq = files[fi].seq;
     ++info.segments;
-    std::ifstream in(path, std::ios::binary);
+    std::ifstream in(files[fi].path, std::ios::binary);
     std::vector<unsigned char> buf{std::istreambuf_iterator<char>(in),
                                    std::istreambuf_iterator<char>()};
-    if (buf.size() < kSegmentHeaderBytes ||
-        std::memcmp(buf.data(), kSegmentMagic, 8) != 0 ||
-        load_u64(buf.data() + 24) != record_bytes) {
-      ++info.corrupt_records;
-      continue;
-    }
-    const std::uint64_t capacity = load_u64(buf.data() + 32);
-    for (std::uint64_t slot = 0; slot < capacity; ++slot) {
-      const std::size_t off = kSegmentHeaderBytes + slot * record_bytes;
-      if (off + record_bytes > buf.size()) break;
-      const unsigned char* rec = buf.data() + off;
-      if (load_u64(rec) == 0) break;  // tail
-      if (std::memcmp(rec, kRecordMagic, 8) != 0 ||
-          load_u64(rec + 24) != qn ||
-          load_u64(rec + record_bytes - 8) !=
-              fnv1a(rec + 8, record_bytes - 16)) {
-        ++info.corrupt_records;
-        continue;
+    const auto publish = [&](std::uint64_t user, std::uint64_t version,
+                             std::uint32_t depth) {
+      auto [it, inserted] = latest.emplace(user, Latest{fi, version, depth});
+      if (!inserted && version >= it->second.version) {
+        it->second = Latest{fi, version, depth};
       }
-      ++info.records;
-      const std::uint64_t user = load_u64(rec + 8);
-      const std::uint64_t version = load_u64(rec + 16);
-      auto [it, inserted] = latest.emplace(user, version);
-      if (!inserted) it->second = std::max(it->second, version);
       info.max_version = std::max(info.max_version, version);
+    };
+    if (buf.size() >= kSegmentHeaderBytes &&
+        std::memcmp(buf.data(), kSegmentMagic, 8) == 0 &&
+        wire::load_u64(buf.data() + 24) == legacy_bytes) {
+      detail.legacy = true;
+      const std::uint64_t capacity = wire::load_u64(buf.data() + 32);
+      for (std::uint64_t slot = 0; slot < capacity; ++slot) {
+        const std::size_t off = kSegmentHeaderBytes + slot * legacy_bytes;
+        if (off + legacy_bytes > buf.size()) break;
+        const unsigned char* rec = buf.data() + off;
+        if (wire::load_u64(rec) == 0) break;  // tail
+        if (std::memcmp(rec, kRecordMagic, 8) != 0 ||
+            wire::load_u64(rec + 24) != qn ||
+            wire::load_u64(rec + legacy_bytes - 8) !=
+                wire::fnv1a(rec + 8, legacy_bytes - 16)) {
+          ++info.corrupt_records;
+          continue;
+        }
+        ++info.records;
+        ++info.anchors;
+        ++detail.anchors;
+        publish(wire::load_u64(rec + 8), wire::load_u64(rec + 16), 1);
+      }
+    } else if (buf.size() >= kSegmentHeaderBytes &&
+               std::memcmp(buf.data(), kSegmentMagicV2, 8) == 0) {
+      // offset -> chain depth of the record starting there (chains are
+      // segment-local, so one per-file map suffices).
+      std::unordered_map<std::uint64_t, std::uint32_t> depth_at;
+      std::size_t off = kSegmentHeaderBytes;
+      while (off + kMinRecordBytes <= buf.size()) {
+        const unsigned char* rec = buf.data() + off;
+        if (wire::load_u64(rec) == 0) break;  // tail
+        const bool anchor = std::memcmp(rec, kAnchorMagic, 8) == 0;
+        const bool is_delta =
+            !anchor && std::memcmp(rec, kDeltaMagic, 8) == 0;
+        const std::uint64_t len =
+            (anchor || is_delta) ? wire::load_u64(rec + 8) : 0;
+        if ((!anchor && !is_delta) || len < kMinRecordBytes || len % 8 != 0 ||
+            off + len > buf.size() ||
+            wire::load_u64(rec + len - 8) !=
+                wire::fnv1a(rec + 8, len - 16)) {
+          ++info.corrupt_records;  // prefix ends: the rest is unreachable
+          break;
+        }
+        std::uint32_t depth = 1;
+        if (anchor) {
+          if (wire::load_u64(rec + 32) != qn || len != anchor_bytes) {
+            ++info.corrupt_records;
+            break;
+          }
+          ++info.anchors;
+          ++detail.anchors;
+        } else {
+          const std::uint64_t n_rows = wire::load_u64(rec + 48);
+          const std::uint64_t parent = wire::load_u64(rec + 40);
+          if (len != 8 * (8 + n_rows * (1 + info.num_actions)) ||
+              parent < kSegmentHeaderBytes || parent >= off) {
+            ++info.corrupt_records;
+            break;
+          }
+          ++info.deltas;
+          ++detail.deltas;
+          const auto pit = depth_at.find(parent);
+          depth = (pit != depth_at.end() ? pit->second : 0) + 1;
+        }
+        depth_at.emplace(off, depth);
+        ++info.records;
+        publish(wire::load_u64(rec + 16), wire::load_u64(rec + 24), depth);
+        off += len;
+      }
+    } else {
+      ++info.corrupt_records;
     }
+    info.segment_details.push_back(detail);
   }
   info.users = latest.size();
   info.live_records = latest.size();
+  std::vector<std::uint64_t> depth_sum(files.size(), 0);
+  std::vector<std::uint64_t> live_count(files.size(), 0);
+  std::uint64_t total_depth = 0;
+  for (const auto& [user, l] : latest) {
+    depth_sum[l.file] += l.depth;
+    ++live_count[l.file];
+    total_depth += l.depth;
+  }
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    info.segment_details[fi].live = live_count[fi];
+    info.segment_details[fi].mean_chain_length =
+        live_count[fi] == 0 ? 0.0
+                            : static_cast<double>(depth_sum[fi]) /
+                                  static_cast<double>(live_count[fi]);
+  }
+  info.mean_chain_length =
+      latest.empty() ? 0.0
+                     : static_cast<double>(total_depth) /
+                           static_cast<double>(latest.size());
   return info;
 }
 
@@ -610,7 +1079,8 @@ SegmentPolicyStore::SegmentPolicyStore(
            reference.q().num_actions(),
            SegmentStoreParams{params.dir, params.segment_bytes, params.writers,
                               params.compact_dead_ratio,
-                              params.compact_min_records}) {}
+                              params.compact_min_records,
+                              params.rebase_every}) {}
 
 SegmentPolicyStore::~SegmentPolicyStore() {
   try {

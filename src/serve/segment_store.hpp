@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -10,80 +11,115 @@
 #include <vector>
 
 #include "serve/policy_store.hpp"
+#include "serve/user_index.hpp"
 
 namespace coreda::serve {
 
 // ---------------------------------------------------------------------------
-// "coreda-policy store v1" — the fleet tier's memory-mapped segmented store.
+// "coreda-policy store" — the fleet tier's memory-mapped segmented store.
 //
 // One directory holds the whole fleet's policies:
 //
 //   store.meta            schema: vocabularies + table shape (atomic
 //                         temp+rename publish, FNV-1a 64 trailer)
-//   seg-w<writer>-<seq>.seg   fixed-size mmap'd segments of packed records
+//   seg-w<writer>-<seq>.seg   mmap'd append-only segments
 //
-// Segment layout (all integers little-endian u64, doubles as LE IEEE-754
-// bit patterns):
+// Segment format v2 ("CRDASEG2", all integers little-endian u64, doubles as
+// LE IEEE-754 bit patterns) — variable-stride records, 8-byte aligned:
 //
-//   header   40 bytes   magic "CRDASEG1", writer, seq, record_bytes,
-//                       capacity (record slots)
-//   records  capacity x record_bytes, fixed stride
+//   header   40 bytes  magic "CRDASEG2", writer, seq, file_bytes,
+//                      records (advisory valid-record count, updated in
+//                      place after each publish so a reopen can pre-size
+//                      the user index before scanning)
 //
-// Record layout (record_bytes = 8 * (4 + n_states * n_actions) + 8):
+// Every record starts with the same 32-byte prefix:
 //
-//   rec_magic  u64   "CRDAREC1" — written LAST: the atomic publish
+//   rec_magic  u64  "CRDAREC2" (anchor) / "CRDADEL2" (delta) — written
+//                   LAST: the atomic publish
+//   len        u64  total record bytes (multiple of 8)
 //   user       u64
 //   version    u64
-//   q_count    u64   n_states * n_actions
+//
+// Anchor — a full table (len = 8 * (6 + q_count)):
+//
+//   q_count    u64  n_states * n_actions
 //   q          q_count x f64, row-major
-//   checksum   u64   FNV-1a 64 over bytes [8, record_bytes - 8)
+//   checksum   u64  FNV-1a 64 over bytes [8, len - 8)
 //
-// Appends never rewrite a published record: a new version is a new record,
-// the in-memory user -> (segment, offset, version) index flips to it, and
-// the superseded record becomes dead weight until compaction rewrites the
-// writer's live records into fresh segments and unlinks the empties. The
-// crash story mirrors PolicyStore's temp+rename: the record body and
-// checksum land first, the magic word last, so a crash in between leaves a
-// slot whose magic is still zero — the scan-on-open treats it as the tail
-// and the next append simply overwrites it. A bit flip anywhere in a
-// published record fails the checksum on scan and on load, and the index
-// falls back to the newest *valid* record for that user.
+// Delta — the v3 changed-row encoding carried into the segment format
+// (len = 8 * (8 + n_rows * (1 + n_actions))):
 //
-// Writer partitioning: user `u` belongs to writer `u % writers`, and each
-// writer owns its own segment chain and tail. The ServeEngine/FleetEngine
-// map writers 1:1 onto slot/shard threads, so concurrent drains append to
-// disjoint segments and touch disjoint index entries — no locks on the hot
-// path. The only cross-writer traffic is the relaxed per-segment `live`
-// counter (a record superseded by another writer after a writers-count
+//   parent_version u64  version the delta applies on top of
+//   parent_off     u64  byte offset of the parent record in THIS segment
+//   n_rows         u64  changed Q rows
+//   rows           n_rows x (u64 row_index + n_actions x f64)
+//   checksum       u64  FNV-1a 64 over bytes [8, len - 8)
+//
+// A user's records form a chain: each delta back-points to that user's
+// previous record via parent_off. Chains never span segments — the first
+// record a user writes into a segment is always an anchor — so recovery,
+// compaction and the back-pointer stay segment-local. The writer rebases
+// (writes a fresh anchor) every `rebase_every` records per user, bounding
+// chain-replay cost and tail-corruption blast radius, and compaction
+// rewrites every live user as a fresh anchor (the v3 "rebase on compaction").
+//
+// Crash story: body + checksum land first, the magic last, so a crashed
+// append leaves a tail whose magic is still zero. The scan-on-open stops at
+// the first invalid record — the longest valid prefix, exactly the durable
+// state before the crash — and the next append overwrites the torn tail.
+// (Variable strides make the v1 skip-and-continue unsound: a record after
+// a corrupt one cannot be located, and a delta after a corrupt parent
+// cannot be applied. Prefix semantics are what the v3 file chains already
+// promise.) Legacy "CRDASEG1" fixed-stride segments remain fully readable
+// — a v1 store opens in place; new appends land in v2 segments.
+//
+// Writer partitioning: user `u` belongs to writer `u % writers`; each
+// writer owns its segment chain, its tail, and its own flat open-addressed
+// UserIndex (one slab, ~9 bytes/user — see user_index.hpp for why the
+// index must be per-lane). Concurrent shard drains therefore append to
+// disjoint segments and probe disjoint slabs — no locks on the hot path.
+// The only cross-writer traffic is the relaxed per-segment live/reachable
+// counters (a record superseded by another writer after a writers-count
 // change decrements a foreign segment).
 // ---------------------------------------------------------------------------
 
-/// The 8 magic bytes opening store.meta / every segment / every record.
+/// The 8 magic bytes opening store.meta / segments / records.
 inline constexpr char kStoreMetaMagic[8] = {'C', 'R', 'D', 'A',
                                             'S', 'T', 'R', '1'};
 inline constexpr char kSegmentMagic[8] = {'C', 'R', 'D', 'A',
                                           'S', 'E', 'G', '1'};
 inline constexpr char kRecordMagic[8] = {'C', 'R', 'D', 'A',
                                          'R', 'E', 'C', '1'};
+inline constexpr char kSegmentMagicV2[8] = {'C', 'R', 'D', 'A',
+                                            'S', 'E', 'G', '2'};
+inline constexpr char kAnchorMagic[8] = {'C', 'R', 'D', 'A',
+                                         'R', 'E', 'C', '2'};
+inline constexpr char kDeltaMagic[8] = {'C', 'R', 'D', 'A',
+                                        'D', 'E', 'L', '2'};
 
 struct SegmentStoreParams {
   /// Store directory (required). Created when missing; an existing store
   /// is validated against the constructor's schema and its index rebuilt
   /// by scanning every segment.
   std::string dir;
-  /// Target segment file size. The record capacity is whatever fits after
-  /// the header (at least one record, so a table bigger than the target
-  /// still stores).
+  /// Target segment file size. Capped at 8 MiB: the flat user index packs
+  /// a record offset into 20 bits of offset/8. A table bigger than the
+  /// target still stores (a segment always fits at least one anchor).
   std::size_t segment_bytes = std::size_t{1} << 20;
   /// Writer lanes: user `u` appends via writer `u % writers`. Size this to
   /// the number of threads appending concurrently (pool slots / fleet
   /// shards). Determinism note: the records a store holds are independent
   /// of `writers`; only their distribution across segment files changes.
   std::size_t writers = 1;
-  /// Compact a writer's chain when dead records exceed this fraction of
-  /// its records (and the chain has at least compact_min_records).
+  /// Compact a writer's chain when unreachable records exceed this
+  /// fraction of its records (and the chain has at least
+  /// compact_min_records).
   double compact_dead_ratio = 0.5;
   std::size_t compact_min_records = 64;
+  /// Maximum records per user chain (1 anchor + rebase_every-1 deltas)
+  /// before the next append rebases to a fresh anchor. Clamped to [1, 63].
+  /// 1 disables deltas entirely.
+  std::size_t rebase_every = 16;
 };
 
 /// The raw record store: append / load / scan / compact. Knows nothing of
@@ -103,63 +139,110 @@ class SegmentStore {
   SegmentStore(const SegmentStore&) = delete;
   SegmentStore& operator=(const SegmentStore&) = delete;
 
-  /// Pre-sizes the user index (setup phase only — concurrent appends must
-  /// never grow it). Appending for a user id >= the reserved count throws.
+  /// Pre-sizes every writer lane's user index (setup phase only —
+  /// concurrent appends must never grow a slab). Appending for a user id
+  /// >= the reserved count throws.
   void reserve_users(std::uint64_t users);
 
-  /// Durably records (user, version, q). Steady-state allocation-free: the
-  /// record lands straight in the current tail segment's mapping; only a
-  /// segment roll or compaction allocates. Throws std::runtime_error on a
-  /// shape mismatch or I/O failure. Safe to call concurrently for users of
-  /// *different* writers (`user % writers()`).
+  /// Durably records (user, version, q). When the user's previous record
+  /// lives in the current tail segment and its chain is short enough, this
+  /// appends a changed-row delta; otherwise a full anchor. Steady-state
+  /// allocation-free: the record lands straight in the tail mapping; only
+  /// a segment roll or compaction allocates. Throws std::runtime_error on
+  /// a shape mismatch or I/O failure. Safe to call concurrently for users
+  /// of *different* writers (`user % writers()`).
   void append(std::uint64_t user, const rl::QTable& q, std::uint64_t version);
 
   /// Version of the newest valid record for `user`, nullopt when none.
   std::optional<std::uint64_t> latest_version(std::uint64_t user) const;
 
-  /// Loads the newest record for `user` into `q` (must match the schema
-  /// shape). Returns its version, or nullopt when the store holds nothing
-  /// for this user. Throws std::runtime_error when the indexed record
-  /// fails validation (bit rot after the open-time scan); `q` is written
-  /// only after full validation. Allocation-free.
+  /// Loads the newest table for `user` into `q` (must match the schema
+  /// shape): validates the user's whole record chain (anchor + deltas),
+  /// then applies it. Returns its version, or nullopt when the store holds
+  /// nothing for this user. Throws std::runtime_error when any chain
+  /// record fails validation (bit rot after the open-time scan); `q` is
+  /// written only after the full chain validates. Allocation-free.
   std::optional<std::uint64_t> load(std::uint64_t user, rl::QTable& q) const;
 
   std::size_t writers() const noexcept { return params_.writers; }
   std::size_t num_segments() const noexcept;
-  /// Records published and still current / superseded-or-invalid.
+  /// Records that are the newest for some user / superseded-or-invalid.
+  /// Chain parents of a live record count as neither live nor dead until
+  /// the chain is rebased (they are still reachable).
   std::uint64_t live_records() const noexcept;
   std::uint64_t dead_records() const noexcept;
   std::uint64_t appends() const noexcept {
     return appends_.load(std::memory_order_relaxed);
   }
-  std::uint64_t compactions() const noexcept { return compactions_; }
+  /// Bytes written by append() — anchors + deltas, excluding compaction
+  /// rewrites. appended_bytes()/appends() is the per-retrain write traffic
+  /// the fleet bench gates.
+  std::uint64_t appended_bytes() const noexcept {
+    return appended_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t anchor_records_written() const noexcept {
+    return anchor_records_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delta_records_written() const noexcept {
+    return delta_records_.load(std::memory_order_relaxed);
+  }
+  /// Bytes one full anchor record takes — the denominator of the delta
+  /// format's write savings.
+  std::size_t anchor_record_bytes() const noexcept { return anchor_bytes_; }
+  /// Total bytes across every writer lane's index slab (the resident
+  /// index cost; divide by users for the gated index_bytes_per_user).
+  std::size_t index_slab_bytes() const noexcept;
+  /// Valid records seen by the open-time scan (cold-start work measure).
+  std::uint64_t scanned_records() const noexcept { return scanned_records_; }
+  std::uint64_t compactions() const noexcept {
+    return compactions_.load(std::memory_order_relaxed);
+  }
   const SegmentStoreParams& params() const noexcept { return params_; }
   std::size_t num_states() const noexcept { return num_states_; }
   std::size_t num_actions() const noexcept { return num_actions_; }
+
+  /// Every user with a record, ascending (offline tooling / migration).
+  std::vector<std::uint64_t> user_ids() const;
 
   /// Crash seam, mirroring PolicyStore: called with the segment path after
   /// the record body + checksum are written but before the magic publishes
   /// the record. A throwing hook aborts the append — the tail does not
   /// advance, the index keeps the previous version, and the half-written
-  /// slot is overwritten by the next append (or ignored by the next scan).
+  /// bytes are overwritten by the next append (or ignored by the next
+  /// scan). Compaction publishes through the same seam, so crash injection
+  /// covers the rebase path too.
   void set_pre_publish_hook(std::function<void(const std::string&)> hook) {
     pre_publish_hook_ = std::move(hook);
   }
 
   /// Offline summary of a store directory for operator tooling (`coreda
   /// policy inspect`). Opens read-only; never repairs anything.
+  struct SegmentInfo {
+    std::uint64_t writer = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t anchors = 0;  ///< valid anchor / full records
+    std::uint64_t deltas = 0;   ///< valid delta records
+    std::uint64_t live = 0;     ///< users whose newest record is here
+    double mean_chain_length = 0.0;  ///< mean records per live chain here
+    bool legacy = false;        ///< v1 fixed-stride segment
+  };
   struct Info {
     std::size_t num_steps = 0;
     std::size_t num_tools = 0;
     std::size_t num_states = 0;
     std::size_t num_actions = 0;
     std::size_t segments = 0;
-    std::uint64_t records = 0;        ///< published slots scanned
-    std::uint64_t corrupt_records = 0;  ///< failed magic/checksum validation
-    std::uint64_t users = 0;          ///< distinct users with a valid record
-    std::uint64_t live_records = 0;   ///< == users (newest per user)
+    std::uint64_t records = 0;          ///< valid records scanned
+    std::uint64_t anchors = 0;          ///< ... of which full tables
+    std::uint64_t deltas = 0;           ///< ... of which changed-row deltas
+    std::uint64_t corrupt_records = 0;  ///< failed validation (v1 skip or
+                                        ///< v2 prefix-stop remainder)
+    std::uint64_t users = 0;            ///< distinct users with a valid record
+    std::uint64_t live_records = 0;     ///< == users (newest per user)
     std::uint64_t max_version = 0;
+    double mean_chain_length = 0.0;     ///< mean records per live chain
     bool meta_ok = false;
+    std::vector<SegmentInfo> segment_details;
   };
   static Info inspect(const std::string& dir);
   /// Whether `dir` looks like a segment store (has a store.meta).
@@ -168,41 +251,58 @@ class SegmentStore {
  private:
   struct Segment;
   struct Writer;
-  struct IndexEntry {
-    Segment* seg = nullptr;
-    std::uint64_t offset = 0;  ///< record start, bytes from segment base
-    std::uint64_t version = 0;
-  };
 
   void write_meta() const;
   void validate_meta() const;
   void open_existing_segments();
   Segment* new_segment(Writer& w);
-  void scan_segment(Segment& seg);
-  void publish_index(std::uint64_t user, Segment* seg, std::uint64_t offset,
+  void scan_segment_v1(Segment& seg);
+  void scan_segment_v2(Segment& seg);
+  void publish_index(std::uint64_t user, Segment& seg, std::uint64_t offset,
                      std::uint64_t version);
+  /// Appends one record (delta when profitable and allowed) and flips the
+  /// index. Returns the bytes written.
+  std::size_t write_record(Writer& w, std::uint64_t user, const rl::QTable& q,
+                           std::uint64_t version, bool allow_delta);
   void maybe_compact(Writer& w);
   void compact_writer(Writer& w);
+  /// Records in the chain ending at loc (1 for an anchor/legacy record);
+  /// structural walk only. Returns rebase_every+1 on any anomaly so
+  /// callers fall back to writing an anchor.
+  std::size_t chain_depth(UserIndex::Loc loc) const noexcept;
+  std::uint64_t version_at(UserIndex::Loc loc) const noexcept;
+  Writer& writer_for(std::uint64_t user) const noexcept {
+    return *writers_[user % params_.writers];
+  }
 
   SegmentStoreParams params_;
   std::vector<adl::StepId> steps_;
   std::vector<adl::ToolId> tools_;
   std::size_t num_states_ = 0;
   std::size_t num_actions_ = 0;
-  std::size_t record_bytes_ = 0;
-  std::size_t capacity_per_segment_ = 0;
+  std::size_t legacy_record_bytes_ = 0;  ///< v1 fixed stride
+  std::size_t anchor_bytes_ = 0;         ///< v2 anchor record length
   std::vector<std::unique_ptr<Writer>> writers_;
   /// Segments found on open whose writer id exceeds params.writers (the
   /// store was reopened with fewer lanes). Read-only until compaction of
-  /// the owning users' new writers drains them to zero live records — they
-  /// are never appended to.
+  /// the owning users' new writers drains them to zero reachable records —
+  /// they are never appended to.
   std::vector<std::unique_ptr<Segment>> retired_;
-  std::vector<IndexEntry> index_;
-  /// Atomic: incremented by concurrent shard writers (everything else an
-  /// append touches is partitioned per writer or per user, but this
-  /// counter is store-wide).
+  /// Store-global segment id -> segment, pre-sized to the id space so
+  /// concurrent writer threads publish into disjoint slots without
+  /// resizing. Ids come from next_seg_id_.
+  std::vector<Segment*> seg_by_id_;
+  std::atomic<std::uint32_t> next_seg_id_{0};
+  std::uint64_t reserved_users_ = 0;
+  std::uint64_t scanned_records_ = 0;
+  // Atomics: incremented by concurrent shard writers (everything else an
+  // append touches is partitioned per writer or per user, but these
+  // counters are store-wide).
   std::atomic<std::uint64_t> appends_{0};
-  std::uint64_t compactions_ = 0;
+  std::atomic<std::uint64_t> appended_bytes_{0};
+  std::atomic<std::uint64_t> anchor_records_{0};
+  std::atomic<std::uint64_t> delta_records_{0};
+  std::atomic<std::uint64_t> compactions_{0};
   std::function<void(const std::string&)> pre_publish_hook_;
 };
 
@@ -213,6 +313,7 @@ struct SegmentPolicyStoreParams {
   std::size_t writers = 1;
   double compact_dead_ratio = 0.5;
   std::size_t compact_min_records = 64;
+  std::size_t rebase_every = 16;
 };
 
 /// PolicyStore backed by a SegmentStore: same staging / versioning / wear

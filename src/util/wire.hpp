@@ -1,0 +1,50 @@
+#pragma once
+
+// Little-endian wire helpers + FNV-1a 64, shared by every binary format in
+// the repo (coreda-policy v2/v3 snapshot files, the fleet tier's segment
+// store). One definition keeps the formats' byte-level conventions —
+// integers little-endian u64, doubles as LE IEEE-754 bit patterns, FNV-1a
+// over "every preceding byte" — in one place instead of three anonymous
+// namespaces drifting apart.
+
+#include <cstdint>
+#include <cstring>
+
+namespace coreda::util::wire {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a(const unsigned char* data, std::size_t n) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline void store_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+inline std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline void store_f64(unsigned char* p, double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  store_u64(p, bits);
+}
+
+inline double load_f64(const unsigned char* p) {
+  const std::uint64_t bits = load_u64(p);
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+}  // namespace coreda::util::wire

@@ -122,8 +122,10 @@ TEST_F(FleetFixture, DrainIsByteIdenticalAtOneAndFourJobs) {
   EXPECT_EQ(r1.cold_loads, r4.cold_loads);
   EXPECT_EQ(r1.reference_starts, r4.reference_starts);
   EXPECT_EQ(r1.appends, r4.appends);
+  EXPECT_EQ(r1.drift_flagged, r4.drift_flagged);
   for (std::size_t u = 0; u < kUsers; ++u) {
     EXPECT_EQ(fleet1.version(u), fleet4.version(u)) << "user " << u;
+    EXPECT_EQ(fleet1.prompt_ewma(u), fleet4.prompt_ewma(u)) << "user " << u;
   }
 
   // Hexfloat dump: every stored table, every mantissa bit.
@@ -253,6 +255,75 @@ TEST_F(FleetFixture, RestartResumesFromStoredTables) {
   EXPECT_EQ(report.reference_starts, 0u);
   // Versions continue from the stored ones, not from 0.
   EXPECT_EQ(store->latest_version(0), std::optional<std::uint64_t>{3});
+}
+
+// The tentpole budget: a registered-but-idle user may cost at most 16
+// bytes of resident RAM — the engine's packed u32 plus the store's index
+// slab share. (An *active* user additionally borrows a pool slot, which is
+// bounded by shards * slots_per_shard, not by fleet size.)
+TEST_F(FleetFixture, ResidentStateStaysUnderSixteenBytesPerUser) {
+  const std::string dir = fresh_dir("budget");
+  FleetEngineParams params;
+  params.shards = 4;
+  auto store = open_store(dir, params.shards);
+  FleetEngine fleet(library, library.tea_making(), *store, donor.q(), params);
+
+  constexpr std::uint64_t kUsers = 20000;
+  fleet.reserve_users(kUsers);
+  for (std::uint64_t u = 0; u < kUsers; ++u) {
+    fleet.register_user(0.1 + 0.8 * static_cast<double>(u % 100) / 100.0);
+  }
+  ASSERT_EQ(fleet.num_users(), kUsers);
+  EXPECT_EQ(fleet.resident_state_bytes(), kUsers * 4);
+  const double per_user =
+      static_cast<double>(fleet.resident_state_bytes() +
+                          store->index_slab_bytes()) /
+      static_cast<double>(kUsers);
+  EXPECT_LT(per_user, 16.0);
+
+  // The derived version costs no resident bytes and still reads correctly
+  // before any session.
+  EXPECT_EQ(fleet.version(0), 0u);
+  EXPECT_EQ(fleet.version(kUsers - 1), 0u);
+}
+
+// Drift flagging comes out of the packed EWMA: with the threshold at zero
+// every session flags; with it unreachable none do; and the EWMA itself is
+// readable (and zero before a user's first session).
+TEST_F(FleetFixture, DriftFlaggingFollowsThePackedEwma) {
+  const std::string dir = fresh_dir("drift");
+  FleetEngineParams params;
+  params.shards = 1;
+  params.slots_per_shard = 1;
+  params.drift_threshold = 0.0;
+  auto store = open_store(dir, params.shards);
+  FleetEngine fleet(library, library.tea_making(), *store, donor.q(), params);
+  fleet.register_user(0.3);
+  fleet.register_user(0.6);
+  EXPECT_EQ(fleet.prompt_ewma(0), 0.0);  // unprimed
+
+  exec::TrialRunner runner(1);
+  for (int i = 0; i < 3; ++i) fleet.enqueue(0);
+  fleet.enqueue(1);
+  const FleetReport report = fleet.drain(runner);
+  EXPECT_EQ(report.sessions, 4u);
+  EXPECT_EQ(report.drift_flagged, 4u);  // threshold 0: every session flags
+  EXPECT_GE(fleet.prompt_ewma(0), 0.0);
+  EXPECT_LE(fleet.prompt_ewma(0), 255.0 / 8.0);
+
+  // Same traffic, unreachable threshold: nothing flags (the EWMA tops out
+  // at 31.875 prompts/session by construction).
+  const std::string dir2 = fresh_dir("drift_quiet");
+  FleetEngineParams quiet = params;
+  quiet.drift_threshold = 1000.0;
+  auto store2 = open_store(dir2, quiet.shards);
+  FleetEngine fleet2(library, library.tea_making(), *store2, donor.q(),
+                     quiet);
+  fleet2.register_user(0.3);
+  fleet2.register_user(0.6);
+  for (int i = 0; i < 3; ++i) fleet2.enqueue(0);
+  fleet2.enqueue(1);
+  EXPECT_EQ(fleet2.drain(runner).drift_flagged, 0u);
 }
 
 }  // namespace

@@ -36,10 +36,14 @@ namespace {
 
 namespace fs = std::filesystem;
 
-// Format constants (segment_store.hpp): a 6x5 table gives
-// record_bytes = 8 * (4 + 30) + 8 = 280 after the 40-byte segment header.
+// Format constants (segment_store.hpp): a 6x5 table gives a v2 anchor of
+// 8 * (6 + 30) = 288 bytes after the 40-byte segment header. The tables in
+// this suite differ in every row, so a changed-row delta (352 bytes here)
+// is never profitable and every append lands as an anchor — the fixed
+// record arithmetic below stays exact. segment_delta_test.cpp covers the
+// delta chains.
 constexpr std::size_t kHeaderBytes = 40;
-constexpr std::size_t kRecordBytes = 280;
+constexpr std::size_t kRecordBytes = 288;
 
 bool bit_equal(const rl::QTable& a, const rl::QTable& b) {
   if (a.num_states() != b.num_states() ||
@@ -323,10 +327,14 @@ TEST_F(SegmentStoreFixture, InspectSummarizesAStoreDirectory) {
   EXPECT_EQ(info.num_states, kStates);
   EXPECT_EQ(info.num_actions, kActions);
   EXPECT_EQ(info.records, 3u);
+  EXPECT_EQ(info.anchors, 3u);  // full-row changes: deltas never profitable
+  EXPECT_EQ(info.deltas, 0u);
   EXPECT_EQ(info.corrupt_records, 0u);
   EXPECT_EQ(info.users, 2u);
   EXPECT_EQ(info.live_records, 2u);
   EXPECT_EQ(info.max_version, 5u);
+  EXPECT_DOUBLE_EQ(info.mean_chain_length, 1.0);
+  ASSERT_EQ(info.segment_details.size(), info.segments);
 }
 
 // ---------------------------------------------------------------------------

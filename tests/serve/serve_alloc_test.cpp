@@ -159,5 +159,61 @@ TEST(ServeAllocTest, FleetDrainIsAllocationFreePerSessionWarm) {
   EXPECT_EQ(report.appends, 256u);  // every session wrote back into the mmap
 }
 
+// Cold-start contract: the scan-on-open does per-SEGMENT work on the heap
+// (mapping the file, one index-slab reserve sized by the header's advisory
+// record count) but ZERO allocations per record — that is what keeps a
+// million-user reopen inside the cold-start budget. Witness: two stores
+// identical in everything but record count (10x) must allocate EXACTLY the
+// same number of times while reopening.
+TEST(ServeAllocTest, ReopenScanAllocatesPerSegmentNotPerRecord) {
+  adl::AdlLibrary library;
+  const adl::Adl& tea = library.tea_making();
+  planning::RoutineLearner donor(tea, util::Rng(17));
+  const std::vector<adl::StepId> routine{T::kTeaBox, T::kElectricPot,
+                                         T::kKettle, T::kTeaCup};
+  for (int i = 0; i < 80; ++i) donor.train_episode(routine);
+
+  SegmentStoreParams base;
+  base.segment_bytes = std::size_t{4} << 20;  // everything fits one segment
+  const auto build = [&](const std::string& dir, std::uint64_t users) {
+    std::filesystem::remove_all(dir);
+    SegmentStoreParams p = base;
+    p.dir = dir;
+    SegmentStore store(donor.state_codec().symbols(),
+                       donor.action_codec().tools(), donor.q().num_states(),
+                       donor.q().num_actions(), p);
+    store.reserve_users(users);
+    for (std::uint64_t u = 0; u < users; ++u) {
+      store.append(u, donor.q(), 1);  // anchors
+    }
+    // Plus a short delta chain, so the scan's chain accounting is covered.
+    rl::QTable q = donor.q();
+    q.set(0, 0, 123.0);
+    store.append(0, q, 2);
+    q.set(1, 0, 456.0);
+    store.append(0, q, 3);
+  };
+  const auto reopen_allocs = [&](const std::string& dir,
+                                 std::uint64_t expect_records) {
+    SegmentStoreParams p = base;
+    p.dir = dir;
+    const std::uint64_t before = util::allocation_count();
+    SegmentStore reopened(donor.state_codec().symbols(),
+                          donor.action_codec().tools(),
+                          donor.q().num_states(), donor.q().num_actions(), p);
+    const std::uint64_t allocs = util::allocation_count() - before;
+    EXPECT_EQ(reopened.scanned_records(), expect_records);
+    return allocs;
+  };
+
+  const std::string small_dir = ::testing::TempDir() + "/coreda_scan_small";
+  const std::string large_dir = ::testing::TempDir() + "/coreda_scan_large";
+  build(small_dir, 40);
+  build(large_dir, 400);
+  const std::uint64_t small = reopen_allocs(small_dir, 40 + 2);
+  const std::uint64_t large = reopen_allocs(large_dir, 400 + 2);
+  EXPECT_EQ(small, large) << "reopen allocations scale with record count";
+}
+
 }  // namespace
 }  // namespace coreda::serve

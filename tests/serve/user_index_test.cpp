@@ -1,0 +1,189 @@
+// The flat open-addressed user index: packing round-trips, robin-hood
+// probing under adversarial collisions, the reserve()/put() growth
+// contract, and the slab-size arithmetic the <16 B/user budget rests on.
+
+#include "serve/user_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace coreda::serve {
+namespace {
+
+TEST(UserIndexTest, PutFindRoundTripsAndUpdatesInPlace) {
+  UserIndex idx;
+  idx.reserve(100);
+  for (std::uint64_t u = 0; u < 100; ++u) {
+    idx.put(u, {static_cast<std::uint32_t>(u % 7),
+                static_cast<std::uint32_t>(u * 11)});
+  }
+  EXPECT_EQ(idx.size(), 100u);
+  UserIndex::Loc loc;
+  for (std::uint64_t u = 0; u < 100; ++u) {
+    ASSERT_TRUE(idx.find(u, loc)) << "user " << u;
+    EXPECT_EQ(loc.seg, u % 7);
+    EXPECT_EQ(loc.off8, u * 11);
+  }
+  // Updates replace the location without growing the table.
+  idx.put(42, {3, 999});
+  EXPECT_EQ(idx.size(), 100u);
+  ASSERT_TRUE(idx.find(42, loc));
+  EXPECT_EQ(loc.seg, 3u);
+  EXPECT_EQ(loc.off8, 999u);
+}
+
+TEST(UserIndexTest, MissesReturnFalseWithoutTouchingOut) {
+  UserIndex idx;
+  UserIndex::Loc loc{77, 88};
+  EXPECT_FALSE(idx.find(5, loc));  // empty table: no slab yet
+  EXPECT_EQ(loc.seg, 77u);
+  idx.reserve(10);
+  idx.put(5, {1, 2});
+  EXPECT_FALSE(idx.find(6, loc));
+  EXPECT_EQ(loc.seg, 77u);
+  EXPECT_EQ(loc.off8, 88u);
+}
+
+TEST(UserIndexTest, ExtremeFieldValuesPackAndUnpack) {
+  UserIndex idx;
+  idx.reserve(4);
+  const std::uint64_t user = UserIndex::kMaxUsers - 1;
+  const UserIndex::Loc in{UserIndex::kMaxSegments - 1, UserIndex::kMaxOff8 - 1};
+  idx.put(user, in);
+  idx.put(0, {0, 0});
+  UserIndex::Loc out;
+  ASSERT_TRUE(idx.find(user, out));
+  EXPECT_EQ(out.seg, in.seg);
+  EXPECT_EQ(out.off8, in.off8);
+  ASSERT_TRUE(idx.find(0, out));
+  EXPECT_EQ(out.seg, 0u);
+  EXPECT_EQ(out.off8, 0u);
+}
+
+TEST(UserIndexTest, OutOfRangeFieldsThrow) {
+  UserIndex idx;
+  idx.reserve(4);
+  EXPECT_THROW(idx.put(UserIndex::kMaxUsers, {0, 0}), std::length_error);
+  EXPECT_THROW(idx.put(0, {UserIndex::kMaxSegments, 0}), std::length_error);
+  EXPECT_THROW(idx.put(0, {0, UserIndex::kMaxOff8}), std::length_error);
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(UserIndexTest, PutThrowsAboveTheLoadCeilingButUpdatesStillLand) {
+  UserIndex idx;
+  idx.reserve(8);
+  std::uint64_t u = 0;
+  // Fill to the ceiling: put() itself must never grow the slab.
+  const std::size_t cap_before = idx.capacity();
+  try {
+    for (;; ++u) idx.put(u, {1, static_cast<std::uint32_t>(u)});
+  } catch (const std::length_error&) {
+  }
+  EXPECT_EQ(idx.capacity(), cap_before);
+  EXPECT_GE(idx.size(), 8u);
+  // At the ceiling, updating a resident key still succeeds...
+  idx.put(0, {2, 777});
+  UserIndex::Loc loc;
+  ASSERT_TRUE(idx.find(0, loc));
+  EXPECT_EQ(loc.seg, 2u);
+  EXPECT_EQ(loc.off8, 777u);
+  // ...and a new key keeps throwing without corrupting the residents.
+  EXPECT_THROW(idx.put(u + 1, {0, 0}), std::length_error);
+  for (std::uint64_t k = 1; k < idx.size(); ++k) {
+    ASSERT_TRUE(idx.find(k, loc)) << "user " << k;
+    EXPECT_EQ(loc.off8, k);
+  }
+  // put_grow() is the escape hatch: it rehashes and the insert lands.
+  idx.put_grow(u + 1, {3, 44});
+  ASSERT_TRUE(idx.find(u + 1, loc));
+  EXPECT_EQ(loc.seg, 3u);
+}
+
+TEST(UserIndexTest, ReserveRehashKeepsEveryEntry) {
+  UserIndex idx;
+  idx.reserve(16);
+  for (std::uint64_t u = 0; u < 14; ++u) {
+    idx.put(u * 1000 + 3, {static_cast<std::uint32_t>(u),
+                           static_cast<std::uint32_t>(100 + u)});
+  }
+  const std::size_t small_cap = idx.capacity();
+  idx.reserve(100000);
+  EXPECT_GT(idx.capacity(), small_cap);
+  EXPECT_EQ(idx.size(), 14u);
+  UserIndex::Loc loc;
+  for (std::uint64_t u = 0; u < 14; ++u) {
+    ASSERT_TRUE(idx.find(u * 1000 + 3, loc)) << "user " << u;
+    EXPECT_EQ(loc.seg, u);
+    EXPECT_EQ(loc.off8, 100 + u);
+  }
+  // reserve() never shrinks.
+  const std::size_t big_cap = idx.capacity();
+  idx.reserve(10);
+  EXPECT_EQ(idx.capacity(), big_cap);
+}
+
+TEST(UserIndexTest, DenseSequentialIdsStayBelowSixteenBytesPerUser) {
+  // The fleet registers users 0..N-1 — exactly the pattern a weak hash
+  // would clump. The slab must stay ~9.15 B/user (and the robin-hood
+  // probes must still find everything).
+  UserIndex idx;
+  const std::uint64_t kUsers = 50000;
+  idx.reserve(kUsers);
+  for (std::uint64_t u = 0; u < kUsers; ++u) {
+    idx.put(u, {static_cast<std::uint32_t>(u % UserIndex::kMaxSegments),
+                static_cast<std::uint32_t>(u % UserIndex::kMaxOff8)});
+  }
+  EXPECT_LT(static_cast<double>(idx.slab_bytes()) / kUsers, 10.0);
+  UserIndex::Loc loc;
+  for (std::uint64_t u = 0; u < kUsers; u += 17) {
+    ASSERT_TRUE(idx.find(u, loc)) << "user " << u;
+    EXPECT_EQ(loc.seg, u % UserIndex::kMaxSegments);
+  }
+}
+
+TEST(UserIndexTest, ForEachVisitsEveryEntryExactlyOnce) {
+  UserIndex idx;
+  idx.reserve(64);
+  std::map<std::uint64_t, std::uint32_t> expected;
+  for (std::uint64_t u = 0; u < 50; ++u) {
+    const std::uint64_t key = u * 7 + 1;
+    idx.put(key, {0, static_cast<std::uint32_t>(u)});
+    expected[key] = static_cast<std::uint32_t>(u);
+  }
+  std::map<std::uint64_t, std::uint32_t> seen;
+  idx.for_each([&seen](std::uint64_t user, UserIndex::Loc loc) {
+    EXPECT_TRUE(seen.emplace(user, loc.off8).second)
+        << "user " << user << " visited twice";
+  });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(UserIndexTest, SurvivesLongCollisionRuns) {
+  // Force a crowded neighbourhood: a small table at high load makes long
+  // shared probe chains, exercising robin-hood displacement both on insert
+  // and on the early-exit miss path.
+  UserIndex idx;
+  idx.reserve(32);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t u = 0; u < 28; ++u) keys.push_back(u * 131071 + 9);
+  for (const std::uint64_t k : keys) {
+    idx.put(k, {5, static_cast<std::uint32_t>(k & 0xFFFFF)});
+  }
+  UserIndex::Loc loc;
+  for (const std::uint64_t k : keys) {
+    ASSERT_TRUE(idx.find(k, loc)) << "key " << k;
+    EXPECT_EQ(loc.off8, k & 0xFFFFF);
+  }
+  // Misses adjacent to residents terminate (early exit, not a full scan).
+  for (const std::uint64_t k : keys) {
+    EXPECT_FALSE(idx.find(k + 1, loc));
+  }
+}
+
+}  // namespace
+}  // namespace coreda::serve

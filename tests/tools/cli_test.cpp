@@ -8,7 +8,9 @@
 #include <sstream>
 
 #include "adl/library.hpp"
+#include "planning/serialize.hpp"
 #include "serve/policy_store.hpp"
+#include "serve/segment_store.hpp"
 
 namespace coreda::cli {
 namespace {
@@ -210,8 +212,75 @@ TEST(CliTest, PolicyMigrateBuildsAnInspectableSegmentStore) {
             std::string::npos);
   EXPECT_NE(inspect.out.find("users: 2 (max version 7)"),
             std::string::npos);
+  // Chain shape: a user's first record in a segment is always an anchor,
+  // so a one-shot migration is all anchors with unit-length chains.
+  EXPECT_NE(inspect.out.find("chain shape: 2 anchors, 0 deltas"),
+            std::string::npos);
+  EXPECT_NE(inspect.out.find("mean chain length 1.00"), std::string::npos);
+  EXPECT_NE(inspect.out.find("  seg w"), std::string::npos);
   std::filesystem::remove_all(from);
   std::filesystem::remove_all(store);
+}
+
+// Mirror of policy_v3_test's round-trip at store granularity: v2 snapshots
+// migrated into a v2-segment store must read back bit-exact — same table,
+// same version — through a SegmentPolicyStore opened over the migrated dir.
+TEST(CliTest, PolicyMigrateRoundTripsTablesBitExact) {
+  const std::string from = ::testing::TempDir() + "/cli_rt_v2";
+  const std::string out = ::testing::TempDir() + "/cli_rt_store";
+  std::filesystem::remove_all(from);
+  std::filesystem::remove_all(out);
+  std::filesystem::create_directories(from);
+  ASSERT_EQ(run({"policy", "save", "--adl=Tea-making",
+                 "--out=" + from + "/alice.policy", "--episodes=40",
+                 "--version=3"})
+                .code,
+            0);
+  ASSERT_EQ(run({"policy", "save", "--adl=Tea-making",
+                 "--out=" + from + "/bob.policy", "--episodes=40",
+                 "--version=7", "--seed=43"})
+                .code,
+            0);
+  ASSERT_EQ(run({"policy", "migrate", "--adl=Tea-making", "--from=" + from,
+                 "--out=" + out})
+                .code,
+            0);
+
+  adl::AdlLibrary library;
+  planning::RoutineLearner reference(library.by_name("Tea-making"),
+                                     util::Rng(1));
+  const auto steps = reference.state_codec().symbols();
+  const auto tools = reference.action_codec().tools();
+
+  serve::SegmentPolicyStoreParams params;
+  params.dir = out;
+  serve::SegmentPolicyStore store(reference, params);
+  const serve::UserId alice = store.add_user("alice");
+  const serve::UserId bob = store.add_user("bob");
+
+  const auto expect_matches = [&](serve::UserId user,
+                                  const std::string& name,
+                                  std::uint64_t version) {
+    std::ifstream src(from + "/" + name + ".policy", std::ios::binary);
+    rl::QTable expect(reference.q().num_states(),
+                      reference.q().num_actions());
+    ASSERT_EQ(planning::load_policy_v2(src, steps, tools, expect), version);
+    ASSERT_EQ(store.restore(user), version);
+    const rl::QTable& got = store.q(user);
+    for (std::size_t s = 0; s < expect.num_states(); ++s) {
+      for (std::size_t a = 0; a < expect.num_actions(); ++a) {
+        ASSERT_EQ(got.get(static_cast<rl::StateId>(s),
+                          static_cast<rl::ActionId>(a)),
+                  expect.get(static_cast<rl::StateId>(s),
+                             static_cast<rl::ActionId>(a)))
+            << name << " state " << s << " action " << a;
+      }
+    }
+  };
+  expect_matches(alice, "alice", 3);
+  expect_matches(bob, "bob", 7);
+  std::filesystem::remove_all(from);
+  std::filesystem::remove_all(out);
 }
 
 TEST(CliTest, PolicyMigrateToV3AndChainInspect) {

@@ -18,6 +18,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_parallel.json}"
 
+# bench_fleet_serve runs at its production default of 1,000,000 registered
+# users: registration + packed-slab + index-reserve cost is part of what
+# the parallel curve prices, and only the sparse active set pays per-round.
 BENCHES=(bench_sensitivity bench_table3_extract bench_ablation_radio
          bench_ablation_detector bench_fig4_learning_curve
          bench_fleet_throughput bench_session_throughput

@@ -76,9 +76,12 @@ done
 python3 tools/check_bench_regression.py \
   --fresh "$FRESH" --baseline BENCH_retrain.json --tolerance "$TOLERANCE"
 
-# Fleet tier: 100k registered users over the mmap segment store. The gate
-# adds the p50/p99/p999 serve-latency percentiles on top of throughput and
-# the allocation contract (see --latency-tolerance in the checker).
+# Fleet tier: 1M registered users (the bench default) over the mmap
+# segment store. The gate adds the p50/p99/p999 serve-latency percentiles,
+# the cold_start_scan_ms reopen ceiling, and the exact per-user memory
+# (resident_bytes_per_user, index_bytes_per_user) and per-retrain append
+# traffic (segment_bytes_per_retrain, append_reduction) contracts on top
+# of throughput and the allocation contract.
 FRESH="$BUILD_DIR/BENCH_fleet_serve.fresh.json"
 : > "$FRESH"
 "$BUILD_DIR/bench/bench_fleet_serve" --jobs=1 \

@@ -2,64 +2,56 @@
 """Compares fresh BENCH_*.json timing records against committed baselines.
 
 The committed BENCH_parallel.json / BENCH_fleet.json / BENCH_sessions.json /
-BENCH_serve.json / BENCH_retrain.json files double as performance baselines.
-This checker re-keys both files by (bench, jobs, lanes) and flags:
+BENCH_serve.json / BENCH_retrain.json / BENCH_fleet_serve.json files double
+as performance baselines. This checker re-keys both files by (bench, jobs,
+lanes) and gates every metric through one of two explicit tables:
 
-  * missing records — a bench/jobs combination present in the baseline but
-    absent from the fresh run;
-  * throughput regressions — fresh trials_per_sec (and episodes_per_sec /
-    sessions_per_sec, where present — episodes_per_sec is the fleet
-    training bench's primary metric, so BENCH_fleet.json records are
-    gated on it explicitly, lane records included) below baseline by more
-    than
-    --tolerance (default 0.40, i.e. a fresh run may be up to 40% slower
-    before failing: wall-clock on shared CI machines is noisy, and the
-    committed numbers may come from different hardware — catch collapses,
-    not jitter);
-  * allocation regressions — steady_state_allocs_per_episode (the fleet
-    training bench's steady-state contract) and
-    steady_state_allocs_per_session must never exceed the baseline (the
-    zero-allocation contract is exact, not noisy, and holds on any
-    hardware — no mismatch downgrade); the whole-drain
-    allocs_per_session may exceed the baseline by at most 0.05 (the
-    parallel path's per-trial task handoff allocates a few times per
-    drain, amortized over hundreds of sessions — a per-session cold-path
-    allocation shows up as a jump of ~1.0, far past the epsilon);
-  * tail-latency regressions — the fleet bench's p50_ns / p99_ns / p999_ns
-    serve-latency percentiles get per-metric bands scaled from
-    --latency-tolerance (default 1.00): p50 may grow 1x the tolerance, p99
-    2x, p999 4x (ceilings of 2x / 3x / 5x baseline at the default), plus a
-    per-metric absolute slack (1 ms / 2 ms / 10 ms) on top. The slack is
-    what makes a microsecond-scale baseline gateable at all: scheduler
-    preemption adds milliseconds in absolute terms, and the deeper the
-    percentile the fewer sessions stand behind it — a bench round's p999
-    rests on a handful, so one unlucky preemption lands there. The gate
-    exists to catch the mmap/eviction path collapsing (10-100x into the
-    tens of milliseconds), not jitter. Hardware mismatches downgrade these
-    to warnings like the throughput gates;
-  * determinism regressions — pool_hit_rate (the serve bench's hit/swap
-    split) is a pure function of the workload shape, independent of
-    hardware and job count, and must never decrease: a drop means the
-    slot-sharding or residency logic changed behaviour, not that the
-    machine was slow;
-  * flush-traffic regressions — the retrain bench's flush_bytes_per_retrain
-    is deterministic (snapshot file sizes are pure functions of the table
-    shape and the replay stream, not of wall-clock), so the gate is exact
-    and hardware-independent: the v3 delta chain's write amplification
-    must never grow past the committed baseline;
-  * recovery regressions — the retrain bench's closed loop is deterministic
-    too: recovered_users must not decrease, and recovery_sessions_max /
-    post_retrain_prompts_per_session must not increase. Any change means
-    the detect -> retrain -> redeploy loop got worse at its one job:
-    pulling a drifted user's prompt rate back down.
+EXACT gates — deterministic functions of the workload shape and the build,
+identical on any machine. These are NEVER downgraded to warnings on a
+hardware mismatch; a miss is a behaviour change, not noise:
 
-Hardware mismatches (different hardware_concurrency) downgrade throughput
-findings to warnings: comparing wall-clock across machine shapes is
-meaningless, but the allocation contract still holds everywhere.
+  * allocation contracts — steady_state_allocs_per_{episode,session,retrain}
+    must never exceed baseline (zero-allocation contracts are exact);
+    whole-drain allocs_per_session gets a 0.05 epsilon that only absorbs
+    the parallel path's per-trial task handoff (a real per-session cold
+    allocation shows up as ~+1.0);
+  * hit rates — pool_hit_rate is a pure function of the workload shape and
+    must never decrease: a drop means residency/sharding changed behaviour;
+  * byte counts — flush_bytes_per_retrain (v3 snapshot chain) and
+    segment_bytes_per_retrain (v2 segment delta chain) must never grow:
+    write amplification is a pure function of table shape + replay stream.
+    index_bytes_per_user and resident_bytes_per_user gate the fleet's
+    per-user memory budget the same way. append_reduction (anchor bytes /
+    actual bytes per append) must never decrease;
+  * closed-loop recovery — recovered_users must not decrease;
+    recovery_sessions_max / post_retrain_prompts_per_session must not
+    increase.
+
+BANDED gates — wall-clock, hence noisy and machine-shaped. Only these are
+downgraded to warnings when hardware_concurrency differs from the baseline:
+
+  * throughput floors — trials_per_sec / episodes_per_sec /
+    sessions_per_sec may drop at most --tolerance (default 0.40) below
+    baseline: catch collapses, not jitter;
+  * tail-latency ceilings — p50_ns / p99_ns / p999_ns get per-metric bands
+    scaled from --latency-tolerance (default 1.00): p50 may grow 1x the
+    tolerance, p99 2x, p999 4x, plus absolute slack (1 ms / 2 ms / 10 ms).
+    The slack makes microsecond-scale baselines gateable: preemption adds
+    milliseconds in absolute terms, and a round's p999 rests on a handful
+    of sessions. The gate catches the mmap/eviction path collapsing
+    (10-100x), not scheduler jitter;
+  * cold-start ceiling — cold_start_scan_ms (the fleet store's
+    scan-on-open index rebuild) may grow 4x the latency tolerance plus
+    50 ms slack: reopen cost scales with records on disk, and the gate is
+    for the scan going accidentally quadratic, not for a cold page cache.
+
+Any metric present in a baseline record but absent from the fresh run is a
+failure for exact gates (the bench stopped reporting a contract) and a
+warning for banded ones.
 
 Usage:
   tools/check_bench_regression.py --fresh FRESH.json --baseline BASELINE.json
-      [--tolerance 0.40]
+      [--tolerance 0.40] [--latency-tolerance 1.00]
 
 Exit code 0 = OK, 1 = regression, 2 = usage/parse error. Wired as the
 opt-in ctest label `bench-regression` (configure with
@@ -70,6 +62,49 @@ never depend on wall-clock.
 import argparse
 import json
 import sys
+
+# --- Exact gates: never hardware-downgraded --------------------------------
+# metric -> (epsilon, reason). Fresh value must be <= baseline + epsilon.
+EXACT_CEILINGS = {
+    "steady_state_allocs_per_episode":
+        (0.0, "the zero-allocation contract broke"),
+    "steady_state_allocs_per_session":
+        (0.0, "the zero-allocation contract broke"),
+    "steady_state_allocs_per_retrain":
+        (0.0, "the zero-allocation contract broke"),
+    "allocs_per_session":
+        (0.05, "a per-session allocation crept into the drain path"),
+    "flush_bytes_per_retrain":
+        (0.0, "snapshot write amplification grew"),
+    "segment_bytes_per_retrain":
+        (1e-6, "segment write amplification grew — the delta chain "
+               "stopped paying"),
+    "index_bytes_per_user":
+        (1e-6, "the user-index slab grew past its per-user budget"),
+    "resident_bytes_per_user":
+        (1e-6, "resident per-user state grew past its budget"),
+    "recovery_sessions_max":
+        (0.0, "the retrain loop recovers slower"),
+    "post_retrain_prompts_per_session":
+        (0.0, "the retrain loop recovers slower"),
+}
+# metric -> reason. Fresh value must be >= baseline.
+EXACT_FLOORS = {
+    "pool_hit_rate": "residency/sharding behaviour changed",
+    "recovered_users": "drifted users no longer recover",
+    "append_reduction": "the delta chain's append-traffic win shrank",
+}
+
+# --- Banded gates: hardware mismatch downgrades to warnings ----------------
+THROUGHPUT_METRICS = ("trials_per_sec", "episodes_per_sec",
+                      "sessions_per_sec")
+# metric -> (tolerance scale, absolute slack in the metric's own unit).
+LATENCY_CEILINGS = {
+    "p50_ns": (1.0, 1e6),
+    "p99_ns": (2.0, 2e6),
+    "p999_ns": (4.0, 10e6),
+    "cold_start_scan_ms": (4.0, 50.0),
+}
 
 
 def load_records(path):
@@ -111,8 +146,8 @@ def main():
                         help="allowed fractional throughput drop (default "
                              "0.40)")
     parser.add_argument("--latency-tolerance", type=float, default=1.00,
-                        help="allowed fractional growth of the p50/p99/p999 "
-                             "latency percentiles (default 1.00 = 2x)")
+                        help="allowed fractional growth of the latency "
+                             "ceilings (default 1.00 = 2x for p50)")
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         print("error: --tolerance must be in [0, 1)", file=sys.stderr)
@@ -138,111 +173,64 @@ def main():
         same_hw = (base.get("hardware_concurrency") is not None and
                    base.get("hardware_concurrency")
                    == got.get("hardware_concurrency"))
-        for metric in ("trials_per_sec", "episodes_per_sec",
-                       "sessions_per_sec"):
+
+        def banded(message):
+            """Banded gates are wall-clock: a hardware mismatch makes the
+            comparison meaningless, so the finding becomes a warning."""
+            if same_hw:
+                failures.append(message)
+            else:
+                warnings.append(message +
+                                " [hardware mismatch: warning only]")
+
+        # --- Exact gates (never downgraded) ----------------------------
+        for metric, (epsilon, reason) in EXACT_CEILINGS.items():
+            if metric not in base:
+                continue
+            got_v = got.get(metric)
+            if got_v is None:
+                failures.append(
+                    f"{label}: {metric} missing from fresh run "
+                    f"(baseline {base[metric]})")
+            elif got_v > base[metric] + epsilon:
+                bound = (f"{base[metric]} + {epsilon}" if epsilon
+                         else f"{base[metric]}")
+                failures.append(
+                    f"{label}: {metric} {got_v} > baseline {bound} — "
+                    f"{reason}")
+        for metric, reason in EXACT_FLOORS.items():
+            if metric not in base:
+                continue
+            got_v = got.get(metric)
+            if got_v is None:
+                failures.append(
+                    f"{label}: {metric} missing from fresh run "
+                    f"(baseline {base[metric]})")
+            elif got_v < base[metric]:
+                failures.append(
+                    f"{label}: {metric} {got_v} < baseline "
+                    f"{base[metric]} — {reason}")
+
+        # --- Banded gates (hardware mismatch -> warning) ---------------
+        for metric in THROUGHPUT_METRICS:
             if metric not in base:
                 continue
             base_v, got_v = base[metric], got.get(metric, 0.0)
             floor = base_v * (1.0 - args.tolerance)
-            if got_v >= floor:
-                continue
-            message = (f"{label}: {metric} {got_v:.1f} < "
-                       f"{floor:.1f} (baseline {base_v:.1f} - {args.tolerance:.0%})")
-            if same_hw:
-                failures.append(message)
-            else:
-                warnings.append(message + " [hardware mismatch: warning only]")
+            if got_v < floor:
+                banded(f"{label}: {metric} {got_v:.1f} < {floor:.1f} "
+                       f"(baseline {base_v:.1f} - {args.tolerance:.0%})")
 
-        # Tail latency: wall-clock-noisy, and noisier the deeper the
-        # percentile (p999 of a bench round rests on a handful of
-        # sessions), so both the relative band and the absolute slack
-        # widen per metric. The gate is for order-of-magnitude collapses
-        # of the serve path, not jitter.
-        for metric, scale, slack_ns in (("p50_ns", 1.0, 1e6),
-                                        ("p99_ns", 2.0, 2e6),
-                                        ("p999_ns", 4.0, 10e6)):
+        for metric, (scale, slack) in LATENCY_CEILINGS.items():
             if metric not in base:
                 continue
             base_v, got_v = base[metric], got.get(metric, 0.0)
             tolerance = scale * args.latency_tolerance
-            ceiling = base_v * (1.0 + tolerance) + slack_ns
-            if got_v <= ceiling:
-                continue
-            message = (f"{label}: {metric} {got_v:.0f} > "
-                       f"{ceiling:.0f} (baseline {base_v:.0f} + "
-                       f"{tolerance:.0%} + {slack_ns / 1e6:.0f} ms slack)")
-            if same_hw:
-                failures.append(message)
-            else:
-                warnings.append(message + " [hardware mismatch: warning only]")
-
-        for metric in ("steady_state_allocs_per_episode",
-                       "steady_state_allocs_per_session",
-                       "steady_state_allocs_per_retrain"):
-            if metric in base and got.get(metric, 0.0) > base[metric]:
-                failures.append(
-                    f"{label}: {metric} {got.get(metric)} > "
-                    f"baseline {base[metric]} — the zero-allocation "
-                    f"contract broke")
-
-        # Whole-drain allocations per session: near-exact. The epsilon only
-        # absorbs the parallel path's per-trial task handoff (a few heap
-        # allocations per drain, amortized); a real cold-path allocation is
-        # +1.0 per session and sails past it.
-        if "allocs_per_session" in base and (
-                got.get("allocs_per_session", 0.0)
-                > base["allocs_per_session"] + 0.05):
-            failures.append(
-                f"{label}: allocs_per_session "
-                f"{got.get('allocs_per_session')} > baseline "
-                f"{base['allocs_per_session']} + 0.05 — a per-session "
-                f"allocation crept into the drain path")
-
-        # Exact, hardware-independent: the serve bench's hit/swap split is
-        # determined entirely by the workload shape.
-        if "pool_hit_rate" in base and (got.get("pool_hit_rate", 0.0)
-                                        < base["pool_hit_rate"]):
-            failures.append(
-                f"{label}: pool_hit_rate "
-                f"{got.get('pool_hit_rate')} < baseline "
-                f"{base['pool_hit_rate']} — residency/sharding behaviour "
-                f"changed")
-
-        # Flush traffic is deterministic: snapshot bytes are a pure
-        # function of the table shape and the replay stream. If the v3
-        # delta chain starts writing more per retrain than the committed
-        # baseline, the write-amplification win regressed — exact gate,
-        # no hardware downgrade.
-        if "flush_bytes_per_retrain" in base:
-            got_v = got.get("flush_bytes_per_retrain")
-            if got_v is None:
-                failures.append(
-                    f"{label}: flush_bytes_per_retrain "
-                    f"missing from fresh run (baseline "
-                    f"{base['flush_bytes_per_retrain']})")
-            elif got_v > base["flush_bytes_per_retrain"]:
-                failures.append(
-                    f"{label}: flush_bytes_per_retrain "
-                    f"{got_v} > baseline {base['flush_bytes_per_retrain']} "
-                    f"— snapshot write amplification grew")
-
-        # The closed loop is deterministic end to end: every drifted user
-        # the baseline recovered must still recover, at least as fast, to
-        # at least as low a post-retrain prompt rate.
-        if "recovered_users" in base and (got.get("recovered_users", 0)
-                                          < base["recovered_users"]):
-            failures.append(
-                f"{label}: recovered_users "
-                f"{got.get('recovered_users')} < baseline "
-                f"{base['recovered_users']} — drifted users no longer "
-                f"recover")
-        for metric in ("recovery_sessions_max",
-                       "post_retrain_prompts_per_session"):
-            if metric in base and got.get(metric, 0.0) > base[metric]:
-                failures.append(
-                    f"{label}: {metric} {got.get(metric)} > "
-                    f"baseline {base[metric]} — the retrain loop recovers "
-                    f"slower")
+            ceiling = base_v * (1.0 + tolerance) + slack
+            if got_v > ceiling:
+                banded(f"{label}: {metric} {got_v:.0f} > {ceiling:.0f} "
+                       f"(baseline {base_v:.0f} + {tolerance:.0%} + "
+                       f"{slack:g} slack)")
 
     for message in warnings:
         print(f"warning: {message}")

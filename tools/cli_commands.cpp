@@ -305,6 +305,19 @@ int inspect_segment_store(const std::string& dir, std::ostream& out,
       << " corrupt)\n"
       << "users: " << info.users << " (max version " << info.max_version
       << ")\n";
+  // Chain shape: how well the delta encoding is amortizing appends. A mean
+  // chain length near rebase_every means most appends were deltas; 1.0
+  // means every record is a full anchor.
+  out << "chain shape: " << info.anchors << " anchors, " << info.deltas
+      << " deltas, mean chain length "
+      << util::format_fixed(info.mean_chain_length, 2) << '\n';
+  for (const serve::SegmentStore::SegmentInfo& seg : info.segment_details) {
+    out << "  seg w" << seg.writer << '/' << seg.seq << ": " << seg.anchors
+        << " anchors, " << seg.deltas << " deltas, " << seg.live
+        << " live chains, mean length "
+        << util::format_fixed(seg.mean_chain_length, 2)
+        << (seg.legacy ? " [legacy v1]" : "") << '\n';
+  }
   return info.meta_ok && info.corrupt_records == 0 ? 0 : 2;
 }
 

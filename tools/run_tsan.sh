@@ -52,11 +52,18 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
   --rounds=4 --jobs=4 > /dev/null
 # The fleet-serve bench stacks the mmap segment store under the shard fan-
 # out: shard trials append/load through disjoint writer chains (relaxed
-# atomic live counters are the only shared-looking store state) while the
-# main thread publishes the user index between drains. TSan proves the
-# writer partitioning really is disjoint.
+# atomic live/reachable counters are the only shared-looking store state)
+# while the main thread publishes the user index between drains. TSan
+# proves the writer partitioning really is disjoint. Two shapes: a small
+# fleet that compacts and rolls segments quickly, and the 1M-user register
+# + packed-slab + index-reserve path of the production config (sparse
+# active set keeps the session count TSan-sized; the retrain write-back
+# phase runs its delta chains under the same fan-out in both).
 "$BUILD_DIR"/bench/bench_fleet_serve --users=200 --active=50 --rounds=2 \
   --jobs=4 --dir="$BUILD_DIR/fleet_serve_tsan" > /dev/null
+"$BUILD_DIR"/bench/bench_fleet_serve --users=1000000 --active=100 \
+  --rounds=1 --retrain-users=64 --retrain-rounds=8 --jobs=4 \
+  --dir="$BUILD_DIR/fleet_serve_tsan_1m" > /dev/null
 
 echo "TSan: all exec/sim/trace-parallel tests and the" \
      "fleet/session/serve/retrain/fleet-serve benches passed."
