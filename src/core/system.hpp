@@ -126,6 +126,10 @@ class CoredaSystem {
     return *reminder_;
   }
   const pavenet::RadioChannel& channel() const noexcept { return *channel_; }
+  /// Mutable channel access for the fault-injection layer: the channel
+  /// persists across reset-don't-rebuild sessions, so an armed burst chain
+  /// keeps its state for the slot's whole lifetime.
+  pavenet::RadioChannel& channel_mut() noexcept { return *channel_; }
   const pavenet::BaseStation& station() const noexcept { return *station_; }
   sim::Scheduler& scheduler() noexcept { return scheduler_; }
   const adl::Adl& adl() const noexcept { return *adl_; }

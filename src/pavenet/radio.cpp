@@ -45,6 +45,14 @@ void RadioChannel::transmit(Packet packet) {
   packet.seq = next_seq_++;
   packet.sent_at = scheduler_->now();
 
+  // Injected burst fade first: radio-silence windows trump the independent
+  // noise model (and draw from their own stream, so arming a fault plan
+  // cannot shift the channel's fading RNG).
+  if (fault_burst_.drop_frame()) {
+    ++stats_.lost_fault;
+    return;
+  }
+
   if (rng_.bernoulli(params_.loss_probability)) {
     ++stats_.lost_noise;
     return;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "faults/faults.hpp"
 #include "pavenet/led.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
@@ -37,6 +38,7 @@ struct ChannelStats {
   std::uint64_t delivered = 0;
   std::uint64_t lost_noise = 0;      ///< independent random loss
   std::uint64_t lost_collision = 0;  ///< overlapping transmissions
+  std::uint64_t lost_fault = 0;      ///< injected Gilbert–Elliott burst loss
   std::uint64_t undeliverable = 0;   ///< no receiver registered for dest
 
   double delivery_ratio() const noexcept {
@@ -88,6 +90,19 @@ class RadioChannel {
     params_.loss_probability = p;
   }
 
+  /// Arms the injected Gilbert–Elliott burst-loss chain against `site`
+  /// (typically a fleet-wide "radio.loss_burst" handle) with this channel's
+  /// global lane id. The chain advances once per transmitted frame from its
+  /// own per-lane stream, so it never perturbs the channel's fading RNG and
+  /// stays deterministic at any --jobs (each channel is driven by exactly
+  /// one shard's serial frame sequence).
+  void arm_fault_burst(faults::Site& site, std::uint64_t lane) noexcept {
+    fault_burst_.arm(site, lane);
+  }
+  const faults::BurstState& fault_burst() const noexcept {
+    return fault_burst_;
+  }
+
  private:
   /// One frame on the air. Slots are pool-allocated and recycled when the
   /// frame's airtime (plus delivery latency) has passed.
@@ -106,6 +121,7 @@ class RadioChannel {
 
   sim::Scheduler* scheduler_;
   util::Rng rng_;
+  faults::BurstState fault_burst_;
   Params params_;
   ChannelStats stats_;
   std::uint64_t next_seq_ = 0;

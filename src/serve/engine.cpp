@@ -1,6 +1,8 @@
 #include "serve/engine.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 namespace coreda::serve {
 
@@ -115,13 +117,28 @@ bool ServeEngine::retrain_due(UserId user) const {
                                 params_.retrain.cooldown_sessions;
 }
 
+void ServeEngine::attach_faults(faults::Injector& injector) {
+  injector.attach(stall_site_);
+  injector.attach(radio_site_);
+  store_->attach_faults(injector);
+  retrainer_.attach_faults(injector);
+  pool_.arm_fault_bursts(radio_site_);
+}
+
 ServeReport ServeEngine::drain(exec::TrialRunner& runner) {
+  ++drains_;
   // The queue is already bucketed by home slot (enqueue order preserved
   // within a slot). Each slot is one trial: its users' sessions run
   // serially, in order, on whichever worker picks the trial up — the same
   // result at any --jobs — against the slot's persistent scratch result.
   runner.run(pool_.slots(), /*base_seed=*/0,
              [&](exec::TrialContext& ctx) -> char {
+               // Stalled slot: injected scheduling delay, wall-clock only.
+               const std::uint64_t stall =
+                   stall_site_.stall_ns(ctx.index, drains_);
+               if (stall != 0) {
+                 std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+               }
                core::SessionResult& result = results_[ctx.index];
                for (const Request& r : by_slot_[ctx.index]) {
                  for (std::size_t i = 0; i < r.sessions; ++i) {
@@ -166,6 +183,7 @@ ServeReport ServeEngine::drain(exec::TrialRunner& runner) {
   report.policy_swaps = pool_.swaps();
   report.staged_writes = store_->staged_writes();
   report.disk_writes = store_->disk_writes();
+  report.crashed_stages = pool_.crashed_stages();
   report.retrained_this_drain = retrained_now;
   report.retrain = retrainer_.counters();
   return report;

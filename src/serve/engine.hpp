@@ -71,6 +71,8 @@ struct ServeReport {
   std::uint64_t policy_swaps = 0;
   std::uint64_t staged_writes = 0;
   std::uint64_t disk_writes = 0;
+  std::uint64_t crashed_stages = 0;  ///< serve-path flushes an injected
+                                     ///< crash aborted (memory state kept)
   std::size_t flagged_users = 0;  ///< users currently marked needs_retraining
   std::size_t retrained_this_drain = 0;  ///< retrain jobs this drain ran
   RetrainCounters retrain;               ///< cumulative scheduler counters
@@ -113,6 +115,12 @@ class ServeEngine {
   const SystemPool& pool() const noexcept { return pool_; }
   const PolicyStore& store() const noexcept { return *store_; }
   const RetrainScheduler& retrainer() const noexcept { return retrainer_; }
+
+  /// Arms the serving tier's fault seams against `injector`'s plan: slot
+  /// stalls ("serve.stall"), the store's crash/corruption sites, the
+  /// retrainer's abort seam, and every pool system's radio burst chain
+  /// ("radio.loss_burst"). Setup phase or between drains only.
+  void attach_faults(faults::Injector& injector);
   const ServeUserStats& user_stats(UserId user) const;
   const ServeEngineParams& params() const noexcept { return params_; }
 
@@ -138,6 +146,9 @@ class ServeEngine {
   /// Per-slot session scratch, pre-provisioned at construction so even a
   /// slot's first session of a drain records allocation-free.
   std::vector<core::SessionResult> results_;
+  faults::Site stall_site_{"serve.stall"};
+  faults::Site radio_site_{"radio.loss_burst"};
+  std::uint64_t drains_ = 0;  ///< stall decision tick
 };
 
 }  // namespace coreda::serve

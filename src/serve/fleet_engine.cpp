@@ -4,6 +4,7 @@
 #include <chrono>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 
 namespace coreda::serve {
 
@@ -114,12 +115,28 @@ void FleetEngine::append_user(Shard& sh, const Slot& slot,
   std::uint32_t& packed = packed_[user];
   const std::uint64_t version =
       store_->latest_version(user).value_or(0) + unflushed_count(packed);
-  store_->append(user, slot.system->learner().q(), version);
+  try {
+    store_->append(user, slot.system->learner().q(), version);
+  } catch (const faults::InjectedCrash&) {
+    // An injected crash aborts the append exactly like a power cut: the
+    // store keeps its committed prefix, the unflushed count stays, and a
+    // later write-back (or flush_residents) retries at a higher version.
+    ++sh.crashed_appends;
+    return;
+  }
   packed &= ~kUnflushedMask;
   ++sh.appends;
 }
 
 void FleetEngine::serve_one(Shard& sh, std::uint64_t user) {
+  // Node dropout: the user's node never came up for this session. Keyed on
+  // the shard-serial attempt counter, so the schedule is a pure function of
+  // the enqueue history at any --jobs.
+  ++sh.attempts;
+  if (dropout_site_.should_inject(user, sh.attempts)) {
+    ++sh.dropped;
+    return;
+  }
   const std::uint64_t t0 = now_ns();
   Slot& slot = sh.slots[slot_in_shard(user)];
   if (slot.resident != user) {
@@ -179,15 +196,29 @@ void FleetEngine::serve_one(Shard& sh, std::uint64_t user) {
 }
 
 FleetReport FleetEngine::drain(exec::TrialRunner& runner) {
+  ++drains_;
   runner.run(shards_.size(), params_.seed,
              [&](exec::TrialContext& ctx) -> char {
                Shard& sh = shards_[ctx.index];
+               // Stalled shard: an injected scheduling delay at drain start.
+               // Wall-clock only — it moves the latency histogram (a timing
+               // side-channel), never the served results.
+               const std::uint64_t stall =
+                   stall_site_.stall_ns(ctx.index, drains_);
+               if (stall != 0) {
+                 std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+               }
                for (const std::uint64_t user : sh.queue) serve_one(sh, user);
                sh.queue.clear();
                return 0;  // results land in the shard (disjoint per trial)
              });
   FleetReport report;
   for (const Shard& sh : shards_) {
+    for (const Slot& slot : sh.slots) {
+      report.radio_lost_frames += slot.system->channel().stats().lost_fault;
+    }
+    report.dropped_sessions += sh.dropped;
+    report.crashed_appends += sh.crashed_appends;
     report.sessions += sh.sessions;
     report.completed += sh.completed;
     report.prompts += sh.prompts;
@@ -204,6 +235,19 @@ FleetReport FleetEngine::drain(exec::TrialRunner& runner) {
 
 void FleetEngine::reset_latency() {
   for (Shard& sh : shards_) sh.latency.reset();
+}
+
+void FleetEngine::attach_faults(faults::Injector& injector) {
+  injector.attach(stall_site_);
+  injector.attach(dropout_site_);
+  injector.attach(radio_site_);
+  store_->attach_faults(injector);
+  for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+    for (std::size_t s = 0; s < shards_[sh].slots.size(); ++s) {
+      shards_[sh].slots[s].system->channel_mut().arm_fault_burst(
+          radio_site_, sh * params_.slots_per_shard + s);
+    }
+  }
 }
 
 void FleetEngine::flush_residents() {

@@ -59,6 +59,14 @@ struct FleetReport {
   std::uint64_t appends = 0;           ///< write-backs into the store
   std::uint64_t drift_flagged = 0;     ///< sessions whose EWMA crossed the
                                        ///< drift threshold
+  std::uint64_t dropped_sessions = 0;  ///< injected node dropouts (the
+                                       ///< session never ran; retried only
+                                       ///< if re-enqueued)
+  std::uint64_t crashed_appends = 0;   ///< store write-backs aborted by an
+                                       ///< injected crash (entry stays
+                                       ///< unflushed and retries later)
+  std::uint64_t radio_lost_frames = 0; ///< frames dropped by injected
+                                       ///< Gilbert–Elliott radio bursts
   util::LatencyHistogram latency;      ///< per-session serve latency (ns)
 };
 
@@ -126,6 +134,13 @@ class FleetEngine {
   /// percentiles cover only the timed traffic.
   void reset_latency();
 
+  /// Arms the fleet's fault seams against `injector`'s plan: shard stalls
+  /// ("fleet.stall"), node dropouts ("fleet.node_dropout"), the store's
+  /// crash/corruption sites, and every slot system's radio burst chain
+  /// ("radio.loss_burst", lane = global slot index). Setup phase or between
+  /// drains only — never while shard trials run.
+  void attach_faults(faults::Injector& injector);
+
   /// Hexfloat dump of every user's *stored* table and version — the
   /// cross---jobs byte-identity witness the determinism test compares.
   void dump_policies(std::ostream& out) const;
@@ -191,6 +206,9 @@ class FleetEngine {
     std::uint64_t reference_starts = 0;
     std::uint64_t appends = 0;
     std::uint64_t drift_flagged = 0;
+    std::uint64_t attempts = 0;  ///< serve_one calls (dropout decision tick)
+    std::uint64_t dropped = 0;
+    std::uint64_t crashed_appends = 0;
   };
 
   std::size_t slot_in_shard(std::uint64_t user) const noexcept {
@@ -204,6 +222,10 @@ class FleetEngine {
   SegmentStore* store_;
   const rl::QTable* reference_;
   std::vector<Shard> shards_;
+  faults::Site stall_site_{"fleet.stall"};
+  faults::Site dropout_site_{"fleet.node_dropout"};
+  faults::Site radio_site_{"radio.loss_burst"};
+  std::uint64_t drains_ = 0;  ///< stall decision tick
   /// Dense per-user state — the ENTIRE engine-resident RAM cost of a
   /// registered user (layout above).
   std::vector<std::uint32_t> packed_;

@@ -8,6 +8,27 @@
 #include "planning/serialize.hpp"
 
 namespace coreda::serve {
+namespace {
+
+/// XOR-flips the byte `back_off` bytes before EOF (the same 0x5A flip the
+/// every-offset fuzz sweep uses) — the corruption site's write primitive.
+void corrupt_tail_byte(const std::string& path, std::size_t back_off) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) throw std::runtime_error("faults: cannot reopen " + path);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  if (back_off == 0 || back_off > size) return;
+  const auto pos = static_cast<std::streamoff>(size - back_off);
+  f.seekg(pos);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  f.seekp(pos);
+  f.write(&byte, 1);
+  f.flush();
+}
+
+}  // namespace
 
 PolicyStore::PolicyStore(const planning::RoutineLearner& reference,
                          PolicyStoreParams params)
@@ -97,7 +118,7 @@ void PolicyStore::flush_all() {
   for (UserId u = 0; u < entries_.size(); ++u) flush(u);
 }
 
-void PolicyStore::persist_snapshot(UserId, Entry& e) {
+void PolicyStore::persist_snapshot(UserId user, Entry& e) {
   const std::string path = params_.dir + "/" + e.name + ".policy";
   const std::string tmp = path + ".tmp";
 
@@ -109,7 +130,7 @@ void PolicyStore::persist_snapshot(UserId, Entry& e) {
     // The crash seam fires before any byte lands, so a simulated crash here
     // leaves the committed file untouched (the append-mode analog of
     // "before the rename").
-    if (pre_publish_hook_) pre_publish_hook_(path);
+    pre_publish_site_.crash_point(user, e.version, path);
     try {
       std::ofstream out(path, std::ios::binary | std::ios::app);
       if (!out) {
@@ -118,6 +139,17 @@ void PolicyStore::persist_snapshot(UserId, Entry& e) {
       out.write(record.data(), static_cast<std::streamsize>(record.size()));
       if (!out.flush()) {
         throw std::runtime_error("PolicyStore: short append to " + path);
+      }
+      // Corruption seam: a planned byte flip tears the delta we just
+      // appended. Throwing makes the caller treat the flush as failed, and
+      // the catch below drops the diff base so the next flush rebases with
+      // a clean anchor — the chain loader skips the torn tail meanwhile.
+      const std::size_t off =
+          corrupt_site_.corrupt_offset(user, e.version, record.size());
+      if (off != faults::Site::kNoCorruption) {
+        corrupt_tail_byte(path, record.size() - off);
+        throw faults::InjectedCrash(
+            "policy_store.corrupt: torn delta appended to " + path);
       }
     } catch (...) {
       // The file tail may now be torn. The chain loader recovers the valid
@@ -150,7 +182,17 @@ void PolicyStore::persist_snapshot(UserId, Entry& e) {
       throw std::runtime_error("PolicyStore: short write to " + tmp);
     }
   }
-  if (pre_publish_hook_) pre_publish_hook_(tmp);
+  pre_publish_site_.crash_point(user, e.version, tmp);
+  // Corruption seam, full-snapshot flavor: flip a byte in the still-
+  // unpublished temp file and abandon it — the committed snapshot stays
+  // whole and the garbage temp is never read (proven by the crash tests).
+  const std::size_t corrupt_at =
+      corrupt_site_.corrupt_offset(user, e.version, bytes);
+  if (corrupt_at != faults::Site::kNoCorruption) {
+    corrupt_tail_byte(tmp, bytes - corrupt_at);
+    throw faults::InjectedCrash("policy_store.corrupt: torn temp snapshot " +
+                                tmp);
+  }
   // Atomic publish: readers (and a crashed writer's next restart) only ever
   // see a complete snapshot or the previous one, never a torn file.
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/faults.hpp"
 #include "planning/learner.hpp"
 #include "rl/q_table.hpp"
 
@@ -136,15 +137,30 @@ class PolicyStore {
   /// its directory (users share segments there).
   virtual std::string path_for(UserId user) const;
 
-  /// Fault-injection seam for the crash tests: invoked with the temp-file
-  /// path after the snapshot body is fully written but *before* the rename
-  /// publishes it. A hook that throws simulates a crash in the
-  /// write-then-publish window — the temp file is left behind, the
-  /// committed snapshot (if any) is untouched, and the entry still counts
-  /// as unflushed so a later flush retries. Never set in production.
-  virtual void set_pre_publish_hook(
-      std::function<void(const std::string&)> hook) {
-    pre_publish_hook_ = std::move(hook);
+  /// The crash seam, as a faults::Site: evaluated with the publish target
+  /// after the snapshot body is fully written but *before* the rename (v2 /
+  /// v3 anchor) or before any byte lands (v3 delta append). A crash here —
+  /// a throwing test hook or a planned faults::InjectedCrash — leaves the
+  /// committed snapshot untouched and the entry still unflushed, so a later
+  /// flush retries. SegmentPolicyStore returns the segment store's site:
+  /// both backends expose ONE seam with ONE contract.
+  virtual faults::Site& pre_publish_site() noexcept {
+    return pre_publish_site_;
+  }
+
+  /// Arms this store's fault sites (crash + snapshot-byte corruption)
+  /// against `injector`'s plan. Setup-phase only.
+  virtual void attach_faults(faults::Injector& injector) {
+    injector.attach(pre_publish_site_);
+    injector.attach(corrupt_site_);
+  }
+
+  /// Deprecated: the raw hook setter predates coreda::faults. Routes into
+  /// pre_publish_site().set_hook() so legacy callers keep working with the
+  /// unified contract.
+  [[deprecated("use pre_publish_site().set_hook()")]] void
+  set_pre_publish_hook(std::function<void(const std::string&)> hook) {
+    pre_publish_site().set_hook(std::move(hook));
   }
 
   std::span<const adl::StepId> steps() const noexcept { return steps_; }
@@ -192,7 +208,8 @@ class PolicyStore {
   std::vector<adl::ToolId> tools_;
   rl::QTable reference_;
   std::vector<Entry> entries_;
-  std::function<void(const std::string&)> pre_publish_hook_;
+  faults::Site pre_publish_site_{"policy_store.pre_publish"};
+  faults::Site corrupt_site_{"policy_store.corrupt"};
 };
 
 }  // namespace coreda::serve

@@ -50,6 +50,7 @@ void RetrainScheduler::add_user() {
   ring.data.resize(params_.ring_capacity * params_.max_transcript_steps);
   ring.lengths.resize(params_.ring_capacity, 0);
   rings_.push_back(std::move(ring));
+  attempts_.push_back(0);
   // Worst case every user queues one job on the same lane: reserving the
   // user count keeps enqueue() allocation-free from here on.
   for (Lane& lane : lane_queues_) lane.queue.reserve(rings_.size());
@@ -124,8 +125,29 @@ std::size_t RetrainScheduler::retrain_user(UserId user) {
   }
   // Stage the refreshed table back: a new version for the store, flushed to
   // disk on the same wear batch as any serve-path write-back.
-  store_->stage(user, learner.q());
+  stage_retrained(user, learner.q());
   return episodes;
+}
+
+bool RetrainScheduler::stage_retrained(UserId user, const rl::QTable& q) {
+  // Abort seam: the job dies after replay, before publishing — the user
+  // keeps the stale table and the drift flag, and the engine's cooldown
+  // retries on a later drain. The per-user attempt counter advances even on
+  // an abort, so a retried job rolls a fresh decision.
+  const std::uint32_t attempt = ++attempts_[user];
+  if (abort_site_.should_inject(user, attempt)) {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  try {
+    store_->stage(user, q);
+  } catch (const faults::InjectedCrash&) {
+    // stage() updated the in-memory entry before the disk flush crashed:
+    // the refreshed table IS live and versioned, only its persistence is
+    // deferred to a later wear batch.
+    crashed_stages_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
 }
 
 std::size_t RetrainScheduler::retrain_batch(std::size_t lane,
@@ -155,7 +177,7 @@ std::size_t RetrainScheduler::retrain_batch(std::size_t lane,
   rl::QTable& scratch = *lane_queues_[lane].scratch;
   for (std::size_t i = 0; i < users.size(); ++i) {
     trainer.export_q(i, scratch);
-    store_->stage(users[i], scratch);
+    stage_retrained(users[i], scratch);
   }
   return episodes;
 }

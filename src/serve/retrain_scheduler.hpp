@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -57,6 +58,11 @@ struct RetrainParams {
 struct RetrainCounters {
   std::uint64_t jobs = 0;      ///< retrain jobs executed
   std::uint64_t episodes = 0;  ///< transcript replays fed to lane learners
+  std::uint64_t aborted = 0;   ///< jobs killed by "retrain.abort" before
+                               ///< staging (retried after the cooldown)
+  std::uint64_t crashed_stages = 0;  ///< staged write-backs whose disk flush
+                                     ///< an injected crash aborted (memory
+                                     ///< state kept; flush retried later)
 };
 
 /// The detect->retrain->redeploy queue behind ServeEngine::drain.
@@ -130,8 +136,24 @@ class RetrainScheduler {
   /// episodes replayed.
   std::size_t retrain_batch(std::size_t lane, std::span<const UserId> users);
 
-  const RetrainCounters& counters() const noexcept { return counters_; }
+  /// Cumulative counters. By value: the abort/crash tallies live in
+  /// atomics (lane trials bump them concurrently) and are folded in here.
+  RetrainCounters counters() const noexcept {
+    RetrainCounters c = counters_;
+    c.aborted = aborted_.load(std::memory_order_relaxed);
+    c.crashed_stages = crashed_stages_.load(std::memory_order_relaxed);
+    return c;
+  }
   const RetrainParams& params() const noexcept { return params_; }
+
+  /// Arms the scheduler's "retrain.abort" seam: a planned abort kills a
+  /// retrain job after replay but before the refreshed table is staged —
+  /// the user keeps their stale policy and the drift flag, and the engine's
+  /// cooldown retries the job on a later drain. Keyed per (user, attempt
+  /// counter), so the schedule is queue-composition-independent.
+  void attach_faults(faults::Injector& injector) {
+    injector.attach(abort_site_);
+  }
   std::size_t lanes() const noexcept { return lane_queues_.size(); }
   std::size_t lane_for(UserId user) const noexcept {
     return user % lane_queues_.size();
@@ -159,12 +181,21 @@ class RetrainScheduler {
   Ring& ring(UserId user);
   const Ring& ring(UserId user) const;
 
+  /// Stages `q` back for `user` unless an injected abort or flush crash
+  /// intervenes (counted; memory/disk retry semantics documented on the
+  /// counters). Returns whether the table was staged.
+  bool stage_retrained(UserId user, const rl::QTable& q);
+
   RetrainParams params_;
   PolicyStore* store_;
   std::vector<Ring> rings_;  // by UserId
   std::vector<Lane> lane_queues_;
   std::vector<UserId> retrained_;  ///< last drain's jobs, lane-major
   RetrainCounters counters_;
+  faults::Site abort_site_{"retrain.abort"};
+  std::vector<std::uint32_t> attempts_;  ///< per-user abort decision tick
+  std::atomic<std::uint64_t> aborted_{0};
+  std::atomic<std::uint64_t> crashed_stages_{0};
 };
 
 }  // namespace coreda::serve

@@ -623,7 +623,24 @@ std::size_t SegmentStore::write_record(Writer& w, std::uint64_t user,
     }
   }
   wire::store_u64(rec + need - 8, wire::fnv1a(rec + 8, need - 16));
-  if (pre_publish_hook_) pre_publish_hook_(seg->path);
+  // Fault tick: a compaction rebase (the only !allow_delta caller) re-writes
+  // a (user, version) pair whose original append already proved fault-free,
+  // so it gets its own keying bit — otherwise planned crashes could never
+  // hit the rebase publish.
+  const std::uint64_t fault_tick =
+      allow_delta ? version : (version | (1ULL << 63));
+  pre_publish_site_.crash_point(user, fault_tick, seg->path);
+  // Corruption seam, append-window flavor: flip a byte of the fully-written
+  // but unpublished record and abort. The magic stays zero and the tail
+  // does not advance, so the torn bytes are exactly the debris a power cut
+  // leaves — overwritten by the next append, stopped at by the next scan.
+  const std::size_t corrupt_at =
+      corrupt_site_.corrupt_offset(user, fault_tick, need);
+  if (corrupt_at != faults::Site::kNoCorruption) {
+    rec[corrupt_at] ^= 0x5A;
+    throw faults::InjectedCrash("segment_store.corrupt: torn record in " +
+                                seg->path);
+  }
   // Publish: only now can a scan (or a crashed restart) see the record.
   std::memcpy(rec, use_delta ? kDeltaMagic : kAnchorMagic, 8);
   const auto off8 = static_cast<std::uint32_t>(seg->used / 8);

@@ -204,15 +204,27 @@ class SegmentStore {
   /// Every user with a record, ascending (offline tooling / migration).
   std::vector<std::uint64_t> user_ids() const;
 
-  /// Crash seam, mirroring PolicyStore: called with the segment path after
-  /// the record body + checksum are written but before the magic publishes
-  /// the record. A throwing hook aborts the append — the tail does not
-  /// advance, the index keeps the previous version, and the half-written
-  /// bytes are overwritten by the next append (or ignored by the next
-  /// scan). Compaction publishes through the same seam, so crash injection
-  /// covers the rebase path too.
-  void set_pre_publish_hook(std::function<void(const std::string&)> hook) {
-    pre_publish_hook_ = std::move(hook);
+  /// Crash seam, mirroring PolicyStore: evaluated with the segment path
+  /// after the record body + checksum are written but before the magic
+  /// publishes the record. A crash here — a throwing test hook or a planned
+  /// faults::InjectedCrash — aborts the append: the tail does not advance,
+  /// the index keeps the previous version, and the half-written bytes are
+  /// overwritten by the next append (or ignored by the next scan).
+  /// Compaction publishes through the same seam, so crash injection covers
+  /// the rebase path too.
+  faults::Site& pre_publish_site() noexcept { return pre_publish_site_; }
+
+  /// Arms the store's fault sites (pre-publish crash + record-byte
+  /// corruption) against `injector`'s plan. Setup-phase only.
+  void attach_faults(faults::Injector& injector) {
+    injector.attach(pre_publish_site_);
+    injector.attach(corrupt_site_);
+  }
+
+  /// Deprecated: route crash hooks through pre_publish_site().set_hook().
+  [[deprecated("use pre_publish_site().set_hook()")]] void
+  set_pre_publish_hook(std::function<void(const std::string&)> hook) {
+    pre_publish_site_.set_hook(std::move(hook));
   }
 
   /// Offline summary of a store directory for operator tooling (`coreda
@@ -303,7 +315,8 @@ class SegmentStore {
   std::atomic<std::uint64_t> anchor_records_{0};
   std::atomic<std::uint64_t> delta_records_{0};
   std::atomic<std::uint64_t> compactions_{0};
-  std::function<void(const std::string&)> pre_publish_hook_;
+  faults::Site pre_publish_site_{"segment_store.pre_publish"};
+  faults::Site corrupt_site_{"segment_store.corrupt"};
 };
 
 struct SegmentPolicyStoreParams {
@@ -343,9 +356,15 @@ class SegmentPolicyStore final : public PolicyStore {
   /// The segment store shares segment files across users: path_for returns
   /// the store directory.
   std::string path_for(UserId user) const override;
-  void set_pre_publish_hook(
-      std::function<void(const std::string&)> hook) override {
-    seg_.set_pre_publish_hook(std::move(hook));
+
+  /// Both backends expose one crash seam with one contract: the adapter's
+  /// site IS the segment store's site (a hook armed through either handle
+  /// fires on segment appends and compaction publishes alike).
+  faults::Site& pre_publish_site() noexcept override {
+    return seg_.pre_publish_site();
+  }
+  void attach_faults(faults::Injector& injector) override {
+    seg_.attach_faults(injector);
   }
 
  protected:

@@ -42,8 +42,28 @@ void SystemPool::serve_session(
   // Write-back even when learning is off: the version bump marks the
   // snapshot current, and a user whose next session lands after another
   // tenant evicted them re-imports exactly what they left behind.
-  store_->stage(user, slot.system->learner().q());
+  try {
+    store_->stage(user, slot.system->learner().q());
+  } catch (const faults::InjectedCrash&) {
+    // The crash hit the disk flush after stage() already committed the
+    // in-memory entry: serving state is intact, persistence retries on a
+    // later wear batch — exactly the power-cut contract the crash tests
+    // prove.
+    ++slot.crashed_stages;
+  }
   ++slot.sessions;
+}
+
+void SystemPool::arm_fault_bursts(faults::Site& site) noexcept {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].system->channel_mut().arm_fault_burst(site, i);
+  }
+}
+
+std::uint64_t SystemPool::crashed_stages() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& s : slots_) total += s.crashed_stages;
+  return total;
 }
 
 void SystemPool::invalidate(UserId user) {

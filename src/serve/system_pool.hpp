@@ -73,6 +73,13 @@ class SystemPool {
   /// invalidate() calls that actually dropped a residency.
   std::uint64_t invalidations() const noexcept { return invalidations_; }
 
+  /// Arms every slot system's radio burst chain against `site` (lane =
+  /// slot index). Setup phase only.
+  void arm_fault_bursts(faults::Site& site) noexcept;
+  /// Write-backs whose disk flush an injected crash aborted (the staged
+  /// in-memory entry is kept; the flush retries on a later wear batch).
+  std::uint64_t crashed_stages() const noexcept;
+
   /// Sessions whose user was already resident on their slot (no import).
   std::uint64_t hits() const noexcept;
   /// Sessions that had to import the user's policy from the store.
@@ -90,6 +97,7 @@ class SystemPool {
     std::uint64_t hits = 0;
     std::uint64_t swaps = 0;
     std::uint64_t sessions = 0;
+    std::uint64_t crashed_stages = 0;
   };
 
   PolicyStore* store_;

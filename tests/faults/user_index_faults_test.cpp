@@ -1,0 +1,276 @@
+// The flat user index under fault pressure. Two layers:
+//
+//   * UserIndex directly — the 7/8 load ceiling is a hard contract (put
+//     throws std::length_error for a NEW key above it, updates always
+//     succeed), duplicate registration is idempotent, and out-of-range
+//     keys are rejected before they can alias the empty sentinel;
+//   * SegmentStore — a crash/corruption storm across appends AND the
+//     compactions they trigger must leave every committed chain loadable,
+//     never grow the hot-path index slab (append uses the
+//     allocation-free put), and keep enforcing the reserve_users()
+//     ceiling afterwards.
+
+#include "serve/user_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "serve/segment_store.hpp"
+#include "util/rng.hpp"
+
+namespace coreda::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(UserIndex, SevenEighthsCeilingRejectsNewKeysButAcceptsUpdates) {
+  UserIndex index;
+  index.reserve(64);
+  const std::size_t cap = index.capacity();
+  const std::size_t limit = cap - cap / 8;  // the documented 7/8 ceiling
+  ASSERT_GE(limit, 64u);
+
+  for (std::uint64_t u = 0; u < limit; ++u) {
+    index.put(u, UserIndex::Loc{1, static_cast<std::uint32_t>(u)});
+  }
+  EXPECT_EQ(index.size(), limit);
+
+  // One more NEW key breaches the ceiling.
+  EXPECT_THROW(index.put(limit, UserIndex::Loc{1, 0}), std::length_error);
+  EXPECT_EQ(index.size(), limit);
+
+  // Updates of resident keys still succeed at the ceiling — a full table
+  // must never block the append hot path's in-place location flips.
+  index.put(0, UserIndex::Loc{7, 42});
+  UserIndex::Loc loc;
+  ASSERT_TRUE(index.find(0, loc));
+  EXPECT_EQ(loc.seg, 7u);
+  EXPECT_EQ(loc.off8, 42u);
+  EXPECT_EQ(index.size(), limit);
+
+  // Every earlier key is still reachable after the robin-hood shuffling.
+  for (std::uint64_t u = 1; u < limit; ++u) {
+    ASSERT_TRUE(index.find(u, loc)) << u;
+    EXPECT_EQ(loc.off8, static_cast<std::uint32_t>(u)) << u;
+  }
+}
+
+TEST(UserIndex, DuplicateRegistrationIsIdempotentAndDeterministic) {
+  UserIndex index;
+  index.reserve(8);
+  index.put(5, UserIndex::Loc{1, 10});
+  index.put(5, UserIndex::Loc{2, 20});  // re-register: update, not insert
+  EXPECT_EQ(index.size(), 1u);
+  UserIndex::Loc loc;
+  ASSERT_TRUE(index.find(5, loc));
+  EXPECT_EQ(loc.seg, 2u);
+  EXPECT_EQ(loc.off8, 20u);
+
+  // put_grow shares the semantics: same key, still one entry.
+  index.put_grow(5, UserIndex::Loc{3, 30});
+  EXPECT_EQ(index.size(), 1u);
+  ASSERT_TRUE(index.find(5, loc));
+  EXPECT_EQ(loc.seg, 3u);
+
+  std::size_t visited = 0;
+  index.for_each([&](std::uint64_t user, UserIndex::Loc l) {
+    ++visited;
+    EXPECT_EQ(user, 5u);
+    EXPECT_EQ(l.seg, 3u);
+    EXPECT_EQ(l.off8, 30u);
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(UserIndex, RejectsKeysThatWouldAliasTheEmptySentinel) {
+  UserIndex index;
+  index.reserve(8);
+  EXPECT_THROW(index.put(UserIndex::kMaxUsers, UserIndex::Loc{0, 0}),
+               std::length_error);
+  EXPECT_THROW(index.put(0, UserIndex::Loc{UserIndex::kMaxSegments, 0}),
+               std::length_error);
+  EXPECT_THROW(index.put(0, UserIndex::Loc{0, UserIndex::kMaxOff8}),
+               std::length_error);
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(UserIndex, PutGrowCarriesScanPathsPastAnyReserve) {
+  UserIndex index;  // no reserve: the scan path cannot rely on one
+  for (std::uint64_t u = 0; u < 1000; ++u) {
+    index.put_grow(u, UserIndex::Loc{2, static_cast<std::uint32_t>(u)});
+  }
+  EXPECT_EQ(index.size(), 1000u);
+  EXPECT_LE(index.size(), index.capacity() - index.capacity() / 8);
+  UserIndex::Loc loc;
+  for (std::uint64_t u = 0; u < 1000; ++u) {
+    ASSERT_TRUE(index.find(u, loc)) << u;
+    EXPECT_EQ(loc.off8, static_cast<std::uint32_t>(u)) << u;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SegmentStore: the index contract under injected crash-compactions.
+
+struct UserIndexFaultsFixture : ::testing::Test {
+  static constexpr std::size_t kStates = 6;
+  static constexpr std::size_t kActions = 5;
+
+  std::vector<adl::StepId> steps = [] {
+    std::vector<adl::StepId> v(kStates);
+    for (std::size_t i = 0; i < kStates; ++i) {
+      v[i] = static_cast<adl::StepId>(i + 1);
+    }
+    return v;
+  }();
+  std::vector<adl::ToolId> tools = [] {
+    std::vector<adl::ToolId> v(kActions);
+    for (std::size_t i = 0; i < kActions; ++i) {
+      v[i] = static_cast<adl::ToolId>(100 + i);
+    }
+    return v;
+  }();
+
+  std::string fresh_dir(const char* name) {
+    const std::string dir = ::testing::TempDir() + "/coreda_uif_" + name;
+    fs::remove_all(dir);
+    return dir;
+  }
+
+  rl::QTable table(std::uint64_t seed) {
+    rl::QTable q(kStates, kActions);
+    util::Rng rng(seed);
+    for (rl::StateId s = 0; s < kStates; ++s) {
+      for (rl::ActionId a = 0; a < kActions; ++a) {
+        q.set(s, a, rng.uniform(-1e3, 1e3));
+      }
+    }
+    return q;
+  }
+
+  std::unique_ptr<SegmentStore> open(const SegmentStoreParams& p) {
+    return std::make_unique<SegmentStore>(steps, tools, kStates, kActions, p);
+  }
+
+  static bool bit_equal(const rl::QTable& a, const rl::QTable& b) {
+    for (rl::StateId s = 0; s < a.num_states(); ++s) {
+      for (rl::ActionId act = 0; act < a.num_actions(); ++act) {
+        if (a.get(s, act) != b.get(s, act)) return false;
+      }
+    }
+    return true;
+  }
+};
+
+TEST_F(UserIndexFaultsFixture, CeilingAndChainsSurviveCrashCompactionStorm) {
+  const std::string dir = fresh_dir("storm");
+  SegmentStoreParams p;
+  p.dir = dir;
+  p.writers = 2;
+  p.segment_bytes = std::size_t{1} << 13;  // ~28 anchors: frequent rolls
+  p.compact_min_records = 8;
+  p.compact_dead_ratio = 0.3;
+  p.rebase_every = 4;
+  auto store = open(p);
+  constexpr std::uint64_t kUsers = 32;
+  store->reserve_users(kUsers);
+  const std::size_t slab_after_reserve = store->index_slab_bytes();
+
+  // Like every real soak, the plan is WINDOWED: chaos for eight epochs,
+  // then silence. An unbounded window would livelock — fault decisions are
+  // pure (user, version) hashes, so a compaction whose rebase of some user
+  // deterministically crashes would crash again on every retry until that
+  // user's version moves, which the crash itself prevents.
+  constexpr std::uint64_t kChaosRounds = 8;
+  constexpr std::uint64_t kRounds = 12;
+  faults::FaultPlan plan;
+  plan.seed = 99;
+  plan.sites["segment_store.pre_publish"].rate = 0.15;
+  plan.sites["segment_store.pre_publish"].epoch_end = kChaosRounds;
+  plan.sites["segment_store.corrupt"].rate = 0.08;
+  plan.sites["segment_store.corrupt"].epoch_end = kChaosRounds;
+  faults::Injector injector(plan);
+  store->attach_faults(injector);
+
+  // Append storm: every crash (injected at the publish seam of appends and
+  // of the compactions they trigger) aborts that one append; the user's
+  // previous committed record must survive it.
+  std::vector<std::uint64_t> committed(kUsers, 0);
+  std::uint64_t crashes = 0;
+  for (std::uint64_t round = 1; round <= kRounds; ++round) {
+    for (std::uint64_t u = 0; u < kUsers; ++u) {
+      try {
+        store->append(u, table(round * 100 + u), round);
+        committed[u] = round;
+      } catch (const faults::InjectedCrash&) {
+        ++crashes;
+      }
+      // Monotonicity after every single operation, crashed or not.
+      ASSERT_EQ(store->latest_version(u).value_or(0), committed[u])
+          << "round " << round << " user " << u;
+    }
+    injector.advance_epoch();
+  }
+  // The storm must actually have crashed appends, and once the window
+  // closed the clean rounds' compactions (rebase_every=4 chains die
+  // quickly at compact_dead_ratio=0.3) must have gone through.
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(store->compactions(), 0u);
+  // Every user committed the final clean round.
+  for (std::uint64_t u = 0; u < kUsers; ++u) {
+    ASSERT_EQ(committed[u], kRounds) << u;
+  }
+
+  // The hot path never grew any lane's slab: appends go through the
+  // allocation-free put(), and 32 reserved users stay under every ceiling.
+  EXPECT_EQ(store->index_slab_bytes(), slab_after_reserve);
+
+  // Every committed chain is loadable and bit-exact.
+  rl::QTable q(kStates, kActions);
+  for (std::uint64_t u = 0; u < kUsers; ++u) {
+    ASSERT_EQ(store->load(u, q), std::optional<std::uint64_t>{committed[u]});
+    EXPECT_TRUE(bit_equal(q, table(committed[u] * 100 + u))) << u;
+  }
+
+  // The reserve ceiling still holds after the storm.
+  EXPECT_THROW(store->append(kUsers, table(1), 1), std::runtime_error);
+
+  // A reopen (fresh index rebuilt by the scan) recovers the same view.
+  store.reset();
+  auto reopened = open(p);
+  for (std::uint64_t u = 0; u < kUsers; ++u) {
+    ASSERT_EQ(reopened->load(u, q), std::optional<std::uint64_t>{committed[u]})
+        << u;
+    EXPECT_TRUE(bit_equal(q, table(committed[u] * 100 + u))) << u;
+  }
+}
+
+TEST_F(UserIndexFaultsFixture, ReRegisteringAUserKeepsOneIndexEntry) {
+  const std::string dir = fresh_dir("reregister");
+  SegmentStoreParams p;
+  p.dir = dir;
+  auto store = open(p);
+  store->reserve_users(4);
+  store->reserve_users(4);  // duplicate reserve is a no-op
+  const std::size_t slab = store->index_slab_bytes();
+  store->reserve_users(2);  // smaller reserve never shrinks
+  EXPECT_EQ(store->index_slab_bytes(), slab);
+
+  // Re-appending the same user updates its one location in place.
+  store->append(1, table(1), 1);
+  store->append(1, table(2), 2);
+  store->append(1, table(3), 3);
+  EXPECT_EQ(store->user_ids(), std::vector<std::uint64_t>{1});
+  rl::QTable q(kStates, kActions);
+  EXPECT_EQ(store->load(1, q), std::optional<std::uint64_t>{3});
+  EXPECT_TRUE(bit_equal(q, table(3)));
+}
+
+}  // namespace
+}  // namespace coreda::serve

@@ -69,7 +69,7 @@ TEST_F(PolicyCrashFixture, CrashBeforeRenameKeepsCommittedSnapshotReadable) {
 
   // Arm the crash: the next flush dies after the temp file is fully
   // written, before the rename publishes it.
-  store.set_pre_publish_hook([](const std::string&) {
+  store.pre_publish_site().set_hook([](const std::string&) {
     throw std::runtime_error("injected crash before rename");
   });
   EXPECT_THROW(store.stage(u, donor.q()), std::runtime_error);
@@ -92,7 +92,7 @@ TEST_F(PolicyCrashFixture, CrashBeforeRenameKeepsCommittedSnapshotReadable) {
 
   // Crash over: the entry is still dirty, so an explicit flush retries,
   // publishes version 3 and clears the debris path by overwriting it.
-  store.set_pre_publish_hook(nullptr);
+  store.pre_publish_site().set_hook(nullptr);
   store.flush(u);
   EXPECT_FALSE(fs::exists(path + ".tmp"));
   EXPECT_EQ(committed_version(path), 3u);
@@ -136,7 +136,7 @@ TEST_F(PolicyCrashFixture, DestructorFlushSwallowsInjectedCrash) {
     PolicyStore store(donor, params);
     const UserId u = store.add_user("tanaka");
     store.stage(u, donor.q());
-    store.set_pre_publish_hook([](const std::string&) {
+    store.pre_publish_site().set_hook([](const std::string&) {
       throw std::runtime_error("injected crash in destructor flush");
     });
   }  // ~PolicyStore must not terminate; the flush failure is swallowed

@@ -340,7 +340,7 @@ TEST_F(PolicyV3Fixture, CrashBeforeDeltaAppendLeavesCommittedChainIntact) {
 
   // The crash seam fires before any append byte lands, so the committed
   // chain is byte-identical afterwards.
-  store.set_pre_publish_hook([](const std::string&) {
+  store.pre_publish_site().set_hook([](const std::string&) {
     throw std::runtime_error("injected crash before append");
   });
   q.set(1, 0, 6.0);
@@ -354,7 +354,7 @@ TEST_F(PolicyV3Fixture, CrashBeforeDeltaAppendLeavesCommittedChainIntact) {
 
   // Crash over: the entry is still dirty and the diff base still matches
   // the committed chain, so the retry appends the pending delta normally.
-  store.set_pre_publish_hook(nullptr);
+  store.pre_publish_site().set_hook(nullptr);
   store.flush(u);
   {
     std::ifstream in(path, std::ios::binary);

@@ -342,7 +342,7 @@ TEST_F(SegmentDeltaFixture, CrashAtCompactionRebasePublishKeepsEveryUser) {
   // a normal append. Let the first rebased user land, then die on the
   // second — a mid-compaction crash with part of the fleet already moved.
   int publishes = 0;
-  store->set_pre_publish_hook([&publishes](const std::string&) {
+  store->pre_publish_site().set_hook([&publishes](const std::string&) {
     if (++publishes == 2) {
       throw std::runtime_error("injected crash mid-compaction");
     }
@@ -375,7 +375,7 @@ TEST_F(SegmentDeltaFixture, CrashAtCompactionRebasePublishKeepsEveryUser) {
   }
 
   // Crash over: the retry compacts and the fleet moves on.
-  store->set_pre_publish_hook(nullptr);
+  store->pre_publish_site().set_hook(nullptr);
   fill(2);
   EXPECT_GT(store->compactions(), 0u);
   EXPECT_EQ(store->live_records(), 3u);

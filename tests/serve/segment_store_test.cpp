@@ -243,7 +243,7 @@ TEST_F(SegmentStoreFixture, CrashBetweenAppendAndPublishLeavesStoreOnOld) {
   store->reserve_users(1);
   store->append(0, v1, 1);
 
-  store->set_pre_publish_hook([](const std::string&) {
+  store->pre_publish_site().set_hook([](const std::string&) {
     throw std::runtime_error("injected crash before the magic publish");
   });
   EXPECT_THROW(store->append(0, v2, 2), std::runtime_error);
@@ -264,7 +264,7 @@ TEST_F(SegmentStoreFixture, CrashBetweenAppendAndPublishLeavesStoreOnOld) {
   }
 
   // Crash over: the retry overwrites the abandoned slot and publishes.
-  store->set_pre_publish_hook(nullptr);
+  store->pre_publish_site().set_hook(nullptr);
   store->append(0, v2, 2);
   EXPECT_EQ(store->load(0, out), std::optional<std::uint64_t>{2});
   EXPECT_TRUE(bit_equal(out, v2));
@@ -445,7 +445,7 @@ TEST_F(SegmentPolicyFixture, CrashInjectedStageKeepsCommittedVersionReadable) {
   store.stage(u, donor.q());  // version 2 committed
   ASSERT_EQ(store.segments().latest_version(u), std::optional<std::uint64_t>{2});
 
-  store.set_pre_publish_hook([](const std::string&) {
+  store.pre_publish_site().set_hook([](const std::string&) {
     throw std::runtime_error("injected crash before the magic publish");
   });
   EXPECT_THROW(store.stage(u, donor.q()), std::runtime_error);
@@ -454,7 +454,7 @@ TEST_F(SegmentPolicyFixture, CrashInjectedStageKeepsCommittedVersionReadable) {
             std::optional<std::uint64_t>{2});
 
   // Crash over: the dirty entry flushes on the next attempt.
-  store.set_pre_publish_hook(nullptr);
+  store.pre_publish_site().set_hook(nullptr);
   store.flush(u);
   EXPECT_EQ(store.segments().latest_version(u),
             std::optional<std::uint64_t>{3});

@@ -441,5 +441,61 @@ TEST(CliTest, RetrainValidatesItsFlags) {
   EXPECT_NE(r.err.find("--drifted"), std::string::npos);
 }
 
+TEST(CliTest, FaultsRequiresASubcommand) {
+  const CliResult r = run({"faults"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("plan|replay"), std::string::npos);
+}
+
+TEST(CliTest, FaultsPlanDumpsAndReplayConsumesIt) {
+  // `faults plan` with no --out writes the plan text to stdout.
+  const CliResult dumped = run({"faults", "plan", "--seed=9", "--rounds=2"});
+  EXPECT_EQ(dumped.code, 0) << dumped.err;
+  EXPECT_NE(dumped.out.find("seed = 9"), std::string::npos);
+  EXPECT_NE(dumped.out.find("[site segment_store.pre_publish]"),
+            std::string::npos);
+
+  // With --out it lands in a file that `faults replay --plan=` accepts.
+  const std::string plan_path = ::testing::TempDir() + "/cli_chaos.plan";
+  const std::string dir = ::testing::TempDir() + "/cli_faults_replay";
+  std::filesystem::remove_all(dir);
+  const CliResult saved = run({"faults", "plan", "--seed=9", "--rounds=2",
+                               "--out=" + plan_path});
+  EXPECT_EQ(saved.code, 0) << saved.err;
+
+  const CliResult replay =
+      run({"faults", "replay", "--plan=" + plan_path, "--users=48",
+           "--active=24", "--rounds=2", "--tail-rounds=1", "--jobs=2",
+           "--dir=" + dir});
+  EXPECT_EQ(replay.code, 0) << replay.out << replay.err;
+  // The per-site injection log names the seams and the summary proves the
+  // soak both injected faults and held its invariants.
+  EXPECT_NE(replay.out.find("Per-site injection log"), std::string::npos);
+  EXPECT_NE(replay.out.find("segment_store.pre_publish"), std::string::npos);
+  EXPECT_NE(replay.out.find("radio.loss_burst"), std::string::npos);
+  EXPECT_NE(replay.out.find("0 invariant violations"), std::string::npos);
+
+  // Replay means replay: the same {seed, plan} at a different job count
+  // prints the identical report.
+  std::filesystem::remove_all(dir);
+  const CliResult serial =
+      run({"faults", "replay", "--plan=" + plan_path, "--users=48",
+           "--active=24", "--rounds=2", "--tail-rounds=1", "--jobs=1",
+           "--dir=" + dir});
+  EXPECT_EQ(serial.code, 0);
+  EXPECT_EQ(serial.out, replay.out);
+}
+
+TEST(CliTest, FaultsReplayRejectsAMalformedPlan) {
+  const std::string plan_path = ::testing::TempDir() + "/cli_bad.plan";
+  {
+    std::ofstream file(plan_path);
+    file << "seed = 1\n[site x]\nrate = not-a-number\n";
+  }
+  const CliResult r = run({"faults", "replay", "--plan=" + plan_path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("line 3"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace coreda::cli

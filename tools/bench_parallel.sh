@@ -24,7 +24,8 @@ OUT="${2:-BENCH_parallel.json}"
 BENCHES=(bench_sensitivity bench_table3_extract bench_ablation_radio
          bench_ablation_detector bench_fig4_learning_curve
          bench_fleet_throughput bench_session_throughput
-         bench_serve_throughput bench_retrain_recovery bench_fleet_serve)
+         bench_serve_throughput bench_retrain_recovery bench_fleet_serve
+         bench_chaos_soak)
 
 cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Opt-in bench-regression gate: re-runs the fleet-throughput,
-# session-throughput, serve-throughput, retrain-recovery and fleet-serve
-# benches at the baselines' job counts and compares the fresh timing records
-# against the committed BENCH_fleet.json / BENCH_sessions.json /
-# BENCH_serve.json / BENCH_retrain.json / BENCH_fleet_serve.json via
+# session-throughput, serve-throughput, retrain-recovery, fleet-serve and
+# chaos-soak benches at the baselines' job counts and compares the fresh
+# timing records against the committed BENCH_fleet.json /
+# BENCH_sessions.json / BENCH_serve.json / BENCH_retrain.json /
+# BENCH_fleet_serve.json / BENCH_chaos.json via
 # tools/check_bench_regression.py.
 #
 # Wired as the ctest label `bench-regression` when the build is configured
@@ -22,7 +23,7 @@ TOLERANCE="${2:-0.40}"
 
 for bench in bench_fleet_throughput bench_session_throughput \
              bench_serve_throughput bench_retrain_recovery \
-             bench_fleet_serve; do
+             bench_fleet_serve bench_chaos_soak; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build" \
          "$BUILD_DIR --target $bench)" >&2
@@ -90,5 +91,21 @@ for jobs in 1 2 4; do
   "$BUILD_DIR/bench/bench_fleet_serve" --jobs="$jobs" \
     --dir="$BUILD_DIR/fleet_serve_bench" --timing-json="$FRESH" > /dev/null
 done
-exec python3 tools/check_bench_regression.py \
+python3 tools/check_bench_regression.py \
   --fresh "$FRESH" --baseline BENCH_fleet_serve.json --tolerance "$TOLERANCE"
+
+# Chaos soak: both serving tiers under the standard fault plan. The gate
+# here is correctness-first: invariant_violations and
+# committed_versions_lost are exact counters (0 in the baseline, never
+# hardware-downgraded), recovered_users is an exact floor, and the
+# steady-state allocation contract must survive the fault window closing.
+FRESH="$BUILD_DIR/BENCH_chaos.fresh.json"
+: > "$FRESH"
+"$BUILD_DIR/bench/bench_chaos_soak" --jobs=1 \
+  --dir="$BUILD_DIR/chaos_bench" > /dev/null
+for jobs in 1 2 4; do
+  "$BUILD_DIR/bench/bench_chaos_soak" --jobs="$jobs" \
+    --dir="$BUILD_DIR/chaos_bench" --timing-json="$FRESH" > /dev/null
+done
+exec python3 tools/check_bench_regression.py \
+  --fresh "$FRESH" --baseline BENCH_chaos.json --tolerance "$TOLERANCE"

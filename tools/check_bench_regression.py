@@ -87,6 +87,19 @@ EXACT_CEILINGS = {
         (0.0, "the retrain loop recovers slower"),
     "post_retrain_prompts_per_session":
         (0.0, "the retrain loop recovers slower"),
+    # Chaos-soak invariants (bench_chaos_soak). Counters, not timings: a
+    # baseline of 0 means any nonzero fresh value is a crash-consistency
+    # bug, so these are never hardware-downgraded.
+    "invariant_violations":
+        (0.0, "a chaos-soak invariant broke — committed state was lost, "
+              "a reopen diverged from the live store, or a drifted user "
+              "failed to recover under faults"),
+    "committed_versions_lost":
+        (0.0, "a committed policy version regressed under fault "
+              "injection — the pre-publish crash contract broke"),
+    "reopen_mismatches":
+        (0.0, "a reopened store recovered a different view than the live "
+              "store — the longest-valid-prefix contract broke"),
 }
 # metric -> reason. Fresh value must be >= baseline.
 EXACT_FLOORS = {

@@ -9,7 +9,9 @@
 #include "core/home.hpp"
 #include "core/scenario.hpp"
 #include "core/system.hpp"
+#include "faults/faults.hpp"
 #include "planning/serialize.hpp"
+#include "serve/chaos.hpp"
 #include "serve/engine.hpp"
 #include "serve/segment_store.hpp"
 #include "trace/dataset.hpp"
@@ -45,6 +47,15 @@ commands:
                               migrate per-file v2 snapshots into a
                               fleet-tier segment store, or (--to=v3) into
                               per-file delta-encoded v3 snapshots
+  faults plan    [--seed=1] [--rounds=6] [--out=<file>]
+                              write the standard chaos fault plan (text,
+                              editable, re-playable)
+  faults replay  [--seed=1] [--plan=<file>] [--users=96] [--active=48]
+                 [--rounds=4] [--tail-rounds=1] [--dir=<store dir>]
+                 [--jobs=N]   deterministic chaos replay: soak the fleet
+                              tier under {seed, plan}, print the per-round
+                              invariant log and the per-site injection
+                              log (byte-identical at any --jobs)
   scenario                     replay the paper's Figure 1 timeline
   report    [--days=7] [--seed=42]
                               multi-day caregiver summary
@@ -500,6 +511,117 @@ int cmd_policy(const util::Flags& flags, std::ostream& out,
   return 1;
 }
 
+int cmd_faults_plan(const util::Flags& flags, std::ostream& out,
+                    std::ostream& err) {
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto rounds = static_cast<std::uint64_t>(flags.get_int("rounds", 6));
+  const faults::FaultPlan plan = faults::FaultPlan::standard_chaos(seed, rounds);
+  const std::string out_path = flags.get("out");
+  if (out_path.empty()) {
+    plan.save(out);
+    return 0;
+  }
+  std::ofstream file(out_path);
+  if (!file) {
+    err << "faults plan: cannot write '" << out_path << "'\n";
+    return 2;
+  }
+  plan.save(file);
+  out << "Wrote standard chaos plan (seed " << seed << ", " << rounds
+      << " chaos epochs, " << plan.sites.size() << " sites) to " << out_path
+      << '\n';
+  return 0;
+}
+
+int cmd_faults_replay(const util::Flags& flags, std::ostream& out,
+                      std::ostream& err) {
+  serve::ChaosFleetParams p;
+  p.users = static_cast<std::size_t>(flags.get_int("users", 96));
+  p.active = static_cast<std::size_t>(flags.get_int("active", 48));
+  p.chaos_rounds = static_cast<std::size_t>(flags.get_int("rounds", 4));
+  p.tail_rounds = static_cast<std::size_t>(flags.get_int("tail-rounds", 1));
+  p.dir = flags.get("dir");
+  if (p.dir.empty()) {
+    p.dir = (std::filesystem::temp_directory_path() / "coreda_faults_replay")
+                .string();
+  }
+
+  // The replay contract is {seed, plan}: a plan file fixes the schedule, an
+  // explicit --seed re-rolls it without editing the file.
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  faults::FaultPlan plan;
+  const std::string plan_path = flags.get("plan");
+  if (plan_path.empty()) {
+    plan = faults::FaultPlan::standard_chaos(seed, p.chaos_rounds);
+  } else {
+    std::ifstream file(plan_path);
+    if (!file) {
+      err << "faults replay: cannot read '" << plan_path << "'\n";
+      return 2;
+    }
+    try {
+      plan = faults::FaultPlan::parse(file);
+    } catch (const std::exception& ex) {
+      err << "faults replay: " << plan_path << ": " << ex.what() << '\n';
+      return 2;
+    }
+    if (flags.has("seed")) plan.seed = seed;
+  }
+
+  out << "Replaying fault plan seed " << plan.seed << " (" << plan.sites.size()
+      << " sites) over " << p.users << " fleet users, " << p.chaos_rounds
+      << " chaos + " << p.tail_rounds << " tail rounds x " << p.active
+      << " sessions\n\n";
+
+  serve::ChaosFleetSoak soak(p, std::move(plan));
+  exec::TrialRunner runner(exec::jobs_from_flags(flags));
+  const serve::ChaosFleetResult result = soak.run(runner);
+
+  util::TextTable rounds("Replay per round (cumulative counters)");
+  rounds.set_header({"round", "epoch", "sessions", "dropped", "crashed",
+                     "radio lost", "committed", "lost", "reopen bad"});
+  for (std::size_t r = 0; r < result.rounds.size(); ++r) {
+    const serve::ChaosRoundStats& rs = result.rounds[r];
+    rounds.add_row({std::to_string(r), std::to_string(rs.epoch),
+                    std::to_string(rs.sessions), std::to_string(rs.dropped),
+                    std::to_string(rs.crashed_appends),
+                    std::to_string(rs.radio_lost),
+                    std::to_string(rs.committed_users),
+                    std::to_string(rs.round_versions_lost),
+                    std::to_string(rs.round_reopen_mismatches +
+                                   rs.round_reopen_load_failures)});
+  }
+  out << rounds.render();
+
+  out << "\nPer-site injection log:\n";
+  soak.injector().report(out);
+  out << '\n'
+      << result.injected_crashes << " injected crashes, "
+      << result.injected_corruptions << " corruptions, "
+      << result.report.dropped_sessions << " dropped sessions, "
+      << result.report.radio_lost_frames << " radio frames lost; "
+      << result.invariant_violations << " invariant violations\n";
+  if (result.invariant_violations != 0) {
+    err << "faults replay: " << result.invariant_violations
+        << " invariant violation(s) — committed_versions_lost="
+        << result.committed_versions_lost
+        << " reopen_mismatches=" << result.reopen_mismatches
+        << " reopen_load_failures=" << result.reopen_load_failures << '\n';
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_faults(const util::Flags& flags, std::ostream& out,
+               std::ostream& err) {
+  const std::string sub =
+      flags.positional().empty() ? "" : flags.positional().front();
+  if (sub == "plan") return cmd_faults_plan(flags, out, err);
+  if (sub == "replay") return cmd_faults_replay(flags, out, err);
+  err << "faults: expected a subcommand plan|replay (try 'coreda help')\n";
+  return 1;
+}
+
 int cmd_scenario(std::ostream& out) {
   adl::AdlLibrary library;
   core::ScenarioPlayer player(library);
@@ -677,6 +799,7 @@ int run_command(const util::Flags& flags, std::ostream& out,
     if (command == "train") return cmd_train(flags, out, err);
     if (command == "prompt") return cmd_prompt(flags, out, err);
     if (command == "policy") return cmd_policy(flags, out, err);
+    if (command == "faults") return cmd_faults(flags, out, err);
     if (command == "scenario") return cmd_scenario(out);
     if (command == "report") return cmd_report(flags, out);
     if (command == "retrain") return cmd_retrain(flags, out, err);

@@ -13,7 +13,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DCOREDA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target test_exec test_sim test_trace \
   bench_fleet_throughput bench_session_throughput bench_serve_throughput \
-  bench_retrain_recovery bench_fleet_serve
+  bench_retrain_recovery bench_fleet_serve bench_chaos_soak
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_exec
@@ -64,6 +64,14 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/bench/bench_fleet_serve --users=1000000 --active=100 \
   --rounds=1 --retrain-users=64 --retrain-rounds=8 --jobs=4 \
   --dir="$BUILD_DIR/fleet_serve_tsan_1m" > /dev/null
+# The chaos soak runs every fault seam concurrently: shard trials evaluate
+# their sites' pure decision hashes and bump the shared relaxed injection
+# counters while InjectedCrash unwinds through concurrent appends and the
+# per-channel burst chains advance inside their owning shard. TSan proves
+# injection adds no cross-thread edges beyond the counters it owns.
+"$BUILD_DIR"/bench/bench_chaos_soak --users=128 --active=64 --rounds=3 \
+  --tail-rounds=1 --serve-users=12 --drifted=3 --serve-rounds=3 \
+  --serve-tail-rounds=4 --jobs=4 --dir="$BUILD_DIR/chaos_tsan" > /dev/null
 
 echo "TSan: all exec/sim/trace-parallel tests and the" \
-     "fleet/session/serve/retrain/fleet-serve benches passed."
+     "fleet/session/serve/retrain/fleet-serve/chaos benches passed."
