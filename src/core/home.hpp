@@ -25,6 +25,53 @@ struct HomeSessionResult {
   sim::Duration elapsed;
   std::size_t prompts_total = 0;
   std::size_t praises = 0;
+  /// Wrong-tool prompts the resident subsequently corrected (the praise
+  /// that closed an outstanding prompt followed a wrong-tool trigger).
+  std::size_t wrong_tool_recoveries = 0;
+  /// Recognition-gated mid-episode activity switches the deployment acted
+  /// on (0 unless switching is enabled via set_tracker_params()).
+  std::size_t segment_switches = 0;
+};
+
+/// One part of a scripted multi-ADL session: a segment of an ADL
+/// (`adl` non-empty) or a caregiver interruption (`adl` empty, `pause` > 0).
+struct ScriptPart {
+  std::string adl;
+  /// Steps to attempt in this segment; 0 = the rest of the routine.
+  std::size_t steps = 0;
+  /// Continue from this ADL's progress saved by an earlier segment.
+  bool resume = false;
+  /// Forced freeze decisions injected before the segment's first step.
+  std::size_t freeze = 0;
+  /// Forced wrong-tool grabs injected before the segment's first step.
+  std::size_t wrong_tool = 0;
+  /// Tool grabbed by forced wrong-tool decisions (kNoTool = random).
+  adl::ToolId wrong_tool_id = adl::kNoTool;
+  /// Interruption length (only read when `adl` is empty).
+  sim::Duration pause;
+};
+
+/// A scripted multi-ADL session: the resident interleaves ADL segments and
+/// caregiver interruptions inside ONE continuous session.
+struct SessionScript {
+  std::vector<ScriptPart> parts;
+  /// Schedule hint applied before the first segment (as in run_session).
+  std::string hint;
+};
+
+/// Outcome of one scripted session.
+struct HomeScriptResult {
+  /// Counters aggregated across all segments (prompts, praises, switches,
+  /// recoveries, elapsed). `actual_adl` holds the last segment's ADL.
+  HomeSessionResult session;
+  std::size_t segments = 0;
+  std::size_t segments_completed = 0;
+  /// Episodes the tracker closed on an idle gap during the run (a long
+  /// caregiver interruption closes one; a recognition-gated switch or a
+  /// short interruption does not).
+  std::size_t idle_episodes = 0;
+  /// Every segment reached its step target before the deadline.
+  bool completed = false;
 };
 
 /// A whole-home CoReDA deployment: every tool of every ADL carries a node
@@ -61,6 +108,34 @@ class HomeDeployment {
                                 const patient::PatientProfile& profile,
                                 sim::Duration max_duration,
                                 const std::string& schedule_hint = "");
+
+  /// Runs one continuous scripted session: the resident works through the
+  /// script's ADL segments and interruptions without the session ever
+  /// ending in between — the tracker's episode stays open across segment
+  /// boundaries, the recognizer announces mid-episode switches (enable
+  /// them via set_tracker_params()), and each ADL's planner context and
+  /// step progress are saved when the resident walks away and restored
+  /// when a later segment returns to that ADL. This is the serving shape
+  /// of interleaved daily life (start the tea, brush teeth while the
+  /// kettle heats, come back) that single-ADL run_session() cannot model.
+  HomeScriptResult run_script(const SessionScript& script,
+                              const patient::PatientProfile& profile,
+                              sim::Duration max_duration);
+
+  /// Replaces the activity tracker's parameters (e.g. to enable
+  /// recognition-gated switching). Must not be called mid-session; resets
+  /// episode/switch counters.
+  void set_tracker_params(const recognition::ActivityTracker::Params& params);
+
+  /// Replaces one ADL's policy table (restore from a snapshot/bundle).
+  /// Throws std::out_of_range for unknown ADLs, std::invalid_argument on a
+  /// dimension mismatch.
+  void import_policy(const std::string& adl_name, const rl::QTable& q);
+
+  /// Replaces the recognition model with a pretrained donor's — serving
+  /// pools train recognition once and share it across slots instead of
+  /// re-training per user. Closes any open tracker episode first.
+  void adopt_recognizer(const recognition::AdlRecognizer& donor);
 
   const recognition::AdlRecognizer& recognizer() const noexcept {
     return recognizer_;
@@ -104,7 +179,21 @@ class HomeDeployment {
   adl::StepId prev_ = adl::kIdleStep;
   adl::StepId cur_ = adl::kIdleStep;
   bool prompt_outstanding_ = false;
+  /// The outstanding prompt was fired by a wrong-tool trigger; the praise
+  /// that clears it counts as a wrong-tool recovery.
+  bool wrong_tool_prompted_ = false;
   HomeSessionResult* result_ = nullptr;
+
+  /// Planner context of an ADL the resident switched away from, restored
+  /// when a later segment returns to it (scripted sessions only; cleared
+  /// per session).
+  struct AdlContext {
+    adl::StepId prev = adl::kIdleStep;
+    adl::StepId cur = adl::kIdleStep;
+  };
+  std::map<std::string, AdlContext> contexts_;
+  /// Steps completed per ADL across this script's segments (resume).
+  std::map<std::string, std::size_t> progress_;
 };
 
 }  // namespace coreda::core

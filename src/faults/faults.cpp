@@ -5,6 +5,9 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
+
+#include "util/plan_text.hpp"
 
 namespace coreda::faults {
 namespace {
@@ -201,101 +204,60 @@ FaultPlan FaultPlan::standard_chaos(std::uint64_t seed,
   return plan;
 }
 
+// The trim / number-parse / diagnostic helpers this parser originally
+// carried now live in util/plan_text (shared with sim::ScenarioPlan); the
+// "fault plan line N: ..." message text is unchanged.
 namespace {
-
-[[noreturn]] void parse_fail(std::size_t line_no, const std::string& what) {
-  std::ostringstream msg;
-  msg << "fault plan line " << line_no << ": " << what;
-  throw std::runtime_error(msg.str());
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
-}
-
-double parse_double(const std::string& v, std::size_t line_no) {
-  try {
-    std::size_t pos = 0;
-    const double d = std::stod(v, &pos);
-    if (pos != v.size()) parse_fail(line_no, "trailing junk in '" + v + "'");
-    return d;
-  } catch (const std::invalid_argument&) {
-    parse_fail(line_no, "expected a number, got '" + v + "'");
-  } catch (const std::out_of_range&) {
-    parse_fail(line_no, "number out of range: '" + v + "'");
-  }
-}
-
-std::uint64_t parse_u64(const std::string& v, std::size_t line_no) {
-  try {
-    std::size_t pos = 0;
-    const unsigned long long u = std::stoull(v, &pos);
-    if (pos != v.size()) parse_fail(line_no, "trailing junk in '" + v + "'");
-    return static_cast<std::uint64_t>(u);
-  } catch (const std::invalid_argument&) {
-    parse_fail(line_no, "expected an integer, got '" + v + "'");
-  } catch (const std::out_of_range&) {
-    parse_fail(line_no, "integer out of range: '" + v + "'");
-  }
-}
-
+constexpr std::string_view kPlanContext = "fault plan";
 }  // namespace
 
 FaultPlan FaultPlan::parse(std::istream& in) {
+  using util::parse_double;
+  using util::parse_fail;
+  using util::parse_u64;
   FaultPlan plan;
   SiteConfig* current = nullptr;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    const std::string text = trim(line);
+    const std::string text = util::trim(line);
     if (text.empty() || text[0] == '#') continue;
     if (text.front() == '[') {
-      if (text.back() != ']') parse_fail(line_no, "unterminated section");
-      const std::string header = trim(text.substr(1, text.size() - 2));
-      if (header.rfind("site ", 0) != 0) {
-        parse_fail(line_no, "expected [site NAME], got [" + header + "]");
-      }
-      const std::string name = trim(header.substr(5));
-      if (name.empty()) parse_fail(line_no, "empty site name");
+      const std::string name =
+          util::parse_section(kPlanContext, text, "site", line_no);
       current = &plan.sites[name];
       continue;
     }
-    const std::size_t eq = text.find('=');
-    if (eq == std::string::npos) {
-      parse_fail(line_no, "expected key = value, got '" + text + "'");
-    }
-    const std::string key = trim(text.substr(0, eq));
-    const std::string value = trim(text.substr(eq + 1));
+    const util::KeyValue kv = util::split_key_value(kPlanContext, text, line_no);
+    const std::string& key = kv.key;
+    const std::string& value = kv.value;
     if (current == nullptr) {
       if (key == "seed") {
-        plan.seed = parse_u64(value, line_no);
+        plan.seed = parse_u64(kPlanContext, value, line_no);
       } else {
-        parse_fail(line_no, "unknown top-level key '" + key + "'");
+        parse_fail(kPlanContext, line_no, "unknown top-level key '" + key + "'");
       }
       continue;
     }
     if (key == "rate") {
-      current->rate = parse_double(value, line_no);
+      current->rate = parse_double(kPlanContext, value, line_no);
     } else if (key == "delay_us") {
-      current->delay_us = parse_u64(value, line_no);
+      current->delay_us = parse_u64(kPlanContext, value, line_no);
     } else if (key == "epoch_begin") {
-      current->epoch_begin = parse_u64(value, line_no);
+      current->epoch_begin = parse_u64(kPlanContext, value, line_no);
     } else if (key == "epoch_end") {
-      current->epoch_end = parse_u64(value, line_no);
+      current->epoch_end = parse_u64(kPlanContext, value, line_no);
     } else if (key == "p_enter") {
-      current->burst.p_enter = parse_double(value, line_no);
+      current->burst.p_enter = parse_double(kPlanContext, value, line_no);
     } else if (key == "p_exit") {
-      current->burst.p_exit = parse_double(value, line_no);
+      current->burst.p_exit = parse_double(kPlanContext, value, line_no);
     } else if (key == "loss_in_good") {
-      current->burst.loss_in_good = parse_double(value, line_no);
+      current->burst.loss_in_good = parse_double(kPlanContext, value, line_no);
     } else if (key == "loss_in_bad") {
-      current->burst.loss_in_bad = parse_double(value, line_no);
+      current->burst.loss_in_bad = parse_double(kPlanContext, value, line_no);
     } else {
-      parse_fail(line_no, "unknown site key '" + key + "'");
+      parse_fail(kPlanContext, line_no, "unknown site key '" + key + "'");
     }
   }
   return plan;

@@ -46,16 +46,24 @@ void PatientActor::reset(const PatientProfile& profile, util::Rng rng) {
   routine_ = nullptr;
 }
 
-void PatientActor::begin(const adl::AdlRoutine& routine) {
+void PatientActor::begin(const adl::AdlRoutine& routine,
+                         std::size_t resume_from) {
   pending_.cancel();
   routine_ = &routine;
-  completed_ = 0;
+  completed_ = std::min(resume_from, routine.size());
   busy_ = false;
   waiting_ = false;
-  finished_ = false;
+  finished_ = completed_ == routine.size();
   pending_prompt_.reset();
   events_.clear();
-  think_then_act();
+  if (!finished_) think_then_act();
+}
+
+void PatientActor::pause() {
+  pending_.cancel();
+  busy_ = false;
+  waiting_ = false;
+  pending_prompt_.reset();
 }
 
 void PatientActor::think_then_act() {

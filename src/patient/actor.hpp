@@ -55,8 +55,16 @@ class PatientActor {
   PatientActor(const PatientActor&) = delete;
   PatientActor& operator=(const PatientActor&) = delete;
 
-  /// Starts performing `routine` (must outlive the run). Resets progress.
-  void begin(const adl::AdlRoutine& routine);
+  /// Starts performing `routine` (must outlive the run). `resume_from`
+  /// continues from that many already-completed steps (segment resume in
+  /// scripted multi-ADL sessions); 0 starts fresh. Resuming at or past the
+  /// routine's end marks the ADL finished without acting.
+  void begin(const adl::AdlRoutine& routine, std::size_t resume_from = 0);
+
+  /// Halts self-initiated behaviour without forgetting progress: cancels
+  /// the scheduled think/act event (caregiver interruption, or a scripted
+  /// segment handing the session to another ADL). begin() restarts acting.
+  void pause();
 
   /// Re-seats the actor for its next session without reconstructing it:
   /// swaps in the new profile and RNG stream, cancels any scheduled

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 #include <istream>
+#include <iterator>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -603,6 +604,134 @@ PolicyV3Info inspect_policy_v3(std::istream& in) {
     info.on_disk_bytes += delta.bytes;
   }
   return info;
+}
+
+// --------------------------------------------------------------------------
+// bundle records (one record = all ADL policies of one user)
+// --------------------------------------------------------------------------
+
+std::size_t save_policy_bundle(std::ostream& out,
+                               std::span<const PolicyBundleItem> items,
+                               std::uint64_t version) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].q == nullptr) {
+      throw std::invalid_argument("save_policy_bundle: null table");
+    }
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      if (items[i].name == items[j].name) {
+        throw std::invalid_argument(
+            "save_policy_bundle: duplicate entry name '" +
+            std::string(items[i].name) + "'");
+      }
+    }
+  }
+  V2Writer w;
+  w.bytes.append(kPolicyBundleMagic, 8);
+  w.put_u64(version);
+  w.put_u64(items.size());
+  for (const PolicyBundleItem& item : items) {
+    w.put_u64(item.name.size());
+    w.bytes.append(item.name.data(), item.name.size());
+    std::ostringstream embedded;
+    save_policy_v2(embedded, item.steps, item.tools, *item.q, version);
+    w.bytes += embedded.str();
+  }
+  w.put_u64(w.checksum());
+  out.write(w.bytes.data(), static_cast<std::streamsize>(w.bytes.size()));
+  return w.bytes.size();
+}
+
+std::uint64_t load_policy_bundle(std::istream& in,
+                                 std::span<const PolicyBundleSlot> slots) {
+  // The outer checksum is the last 8 bytes and covers everything before
+  // it, so the whole record is pulled into memory first — also what lets
+  // validation finish completely before any slot table is written.
+  std::string blob(std::istreambuf_iterator<char>(in), {});
+  if (blob.size() < 8 + 8 + 8 + 8) {
+    throw std::runtime_error("load_policy_bundle: truncated bundle");
+  }
+  if (std::memcmp(blob.data(), kPolicyBundleMagic, 8) != 0) {
+    throw std::runtime_error("load_policy_bundle: not a coreda bundle");
+  }
+  std::uint64_t stored = 0;
+  std::uint64_t hash = kFnvOffset;
+  for (std::size_t i = 0; i < blob.size() - 8; ++i) {
+    hash ^= static_cast<unsigned char>(blob[i]);
+    hash *= kFnvPrime;
+  }
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                  blob[blob.size() - 8 + i]))
+              << (8 * i);
+  }
+  if (stored != hash) {
+    throw std::runtime_error("load_policy_bundle: checksum mismatch");
+  }
+
+  std::istringstream body(blob.substr(8, blob.size() - 16));
+  V2Reader r{body};
+  const std::uint64_t version = r.take_u64("bundle version");
+  const std::uint64_t count = r.take_u64("bundle entry count");
+  if (count != slots.size()) {
+    throw std::runtime_error("load_policy_bundle: entry count mismatch");
+  }
+  if (count > kSaneCount) {
+    throw std::runtime_error("load_policy_bundle: implausible entry count");
+  }
+
+  // Stage every entry against its slot; commit only after the last one
+  // validates.
+  std::vector<rl::QTable> staged;
+  std::vector<std::size_t> staged_slot;
+  std::vector<bool> filled(slots.size(), false);
+  staged.reserve(slots.size());
+  staged_slot.reserve(slots.size());
+  for (std::uint64_t e = 0; e < count; ++e) {
+    const std::uint64_t name_len = r.take_u64("entry name length");
+    if (name_len > kSaneCount) {
+      throw std::runtime_error("load_policy_bundle: implausible name");
+    }
+    std::string name(name_len, '\0');
+    if (!body.read(name.data(), static_cast<std::streamsize>(name_len))) {
+      throw std::runtime_error("load_policy_bundle: truncated entry name");
+    }
+    std::size_t slot_index = slots.size();
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s].name == name) {
+        slot_index = s;
+        break;
+      }
+    }
+    if (slot_index == slots.size() || filled[slot_index]) {
+      throw std::runtime_error(
+          "load_policy_bundle: unexpected entry '" + name + "'");
+    }
+    const PolicyBundleSlot& slot = slots[slot_index];
+    if (slot.q == nullptr) {
+      throw std::runtime_error("load_policy_bundle: null slot table");
+    }
+    filled[slot_index] = true;
+    staged.emplace_back(slot.q->num_states(), slot.q->num_actions());
+    staged_slot.push_back(slot_index);
+    // Embedded records validate exactly as standalone v2 snapshots.
+    load_policy_v2(body, slot.steps, slot.tools, staged.back());
+  }
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (!filled[s]) {
+      throw std::runtime_error("load_policy_bundle: missing entry '" +
+                               std::string(slots[s].name) + "'");
+    }
+  }
+
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    rl::QTable& dst = *slots[staged_slot[i]].q;
+    for (rl::StateId s = 0; s < dst.num_states(); ++s) {
+      for (rl::ActionId a = 0; a < dst.num_actions(); ++a) {
+        dst.set(s, a, staged[i].get(s, a));
+      }
+    }
+  }
+  return version;
 }
 
 PolicyFormat detect_policy_format(std::istream& in) {

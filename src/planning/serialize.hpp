@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "planning/learner.hpp"
@@ -190,6 +191,64 @@ struct PolicyV3Info {
   bool tail_skipped = false;       ///< invalid tail record(s) ignored
 };
 PolicyV3Info inspect_policy_v3(std::istream& in);
+
+// ---------------------------------------------------------------------------
+// "coreda-bundle v1" — one record holding every ADL policy of one user.
+//
+// A resident who interleaves ADLs mid-session needs all of their per-ADL
+// policy snapshots restored together; storing them as separate records
+// reintroduces torn multi-file states (tea restored, tooth-brushing not).
+// The bundle frames several named v2 records inside ONE checksummed record,
+// so a user's whole home policy set is durable or absent atomically:
+//
+//   magic     8 bytes  "CRDABNDL"
+//   version   u64      monotonically increasing per write-back
+//   count     u64      number of named entries
+//   entries   count x { name_len u64, name bytes,
+//                       full v2 record (self-checksummed, see above) }
+//   checksum  u64      FNV-1a 64 over every preceding byte
+//
+// Loads are all-or-nothing: every entry must parse, pass both checksum
+// layers, match a requested slot by name, and fill every slot — otherwise
+// std::runtime_error and no destination table is touched.
+// ---------------------------------------------------------------------------
+
+/// The 8 magic bytes opening every bundle record.
+inline constexpr char kPolicyBundleMagic[8] = {'C', 'R', 'D', 'A',
+                                               'B', 'N', 'D', 'L'};
+
+/// One named policy to embed when saving a bundle. Non-owning views; the
+/// caller's vocabularies and table must stay alive across the call.
+struct PolicyBundleItem {
+  std::string_view name;
+  std::span<const adl::StepId> steps;
+  std::span<const adl::ToolId> tools;
+  const rl::QTable* q = nullptr;
+};
+
+/// Writes a bundle of `items` stamped with `version`. Entry versions inside
+/// the embedded v2 records carry the same stamp. Returns the bytes written.
+/// Throws std::invalid_argument on duplicate names or a null table.
+std::size_t save_policy_bundle(std::ostream& out,
+                               std::span<const PolicyBundleItem> items,
+                               std::uint64_t version);
+
+/// One destination for a bundle entry, matched by name.
+struct PolicyBundleSlot {
+  std::string_view name;
+  std::span<const adl::StepId> steps;
+  std::span<const adl::ToolId> tools;
+  rl::QTable* q = nullptr;
+};
+
+/// Restores a bundle into `slots`: every entry must match exactly one slot
+/// by name and every slot must be filled. Validates the outer checksum,
+/// then each embedded v2 record exactly as load_policy_v2 (magic, checksum,
+/// vocabulary, dimensions). Returns the bundle version. Throws
+/// std::runtime_error on any mismatch or corruption; no slot table is
+/// written unless the whole bundle validates.
+std::uint64_t load_policy_bundle(std::istream& in,
+                                 std::span<const PolicyBundleSlot> slots);
 
 /// Snapshot format sniffing for operator tooling: peeks at the stream head
 /// and rewinds. kUnknown means no magic matched.

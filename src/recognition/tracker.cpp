@@ -1,5 +1,7 @@
 #include "recognition/tracker.hpp"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace coreda::recognition {
@@ -40,14 +42,49 @@ void ActivityTracker::observe(adl::ToolId tool, sim::TimePoint at) {
       current_ = best.adl;
       on_start_(*best.adl, at);
     }
+    return;
+  }
+
+  // Recognition-gated switching: re-score the trailing window and hand the
+  // episode to a challenger ADL once it has won convincingly for
+  // switch_patience consecutive observations. Allocation-free: the window
+  // is a span over the tail of the reused step buffer.
+  if (params_.switch_window == 0) return;
+  const std::size_t window = std::min(params_.switch_window, steps_.size());
+  const std::span<const adl::StepId> tail(steps_.data() +
+                                              (steps_.size() - window),
+                                          window);
+  const AdlRecognizer::Best best = recognizer_->best(tail);
+  if (best.adl == nullptr || best.adl == current_ ||
+      best.confidence < params_.switch_threshold) {
+    challenger_ = nullptr;
+    challenger_streak_ = 0;
+    return;
+  }
+  if (best.adl != challenger_) {
+    challenger_ = best.adl;
+    challenger_streak_ = 0;
+  }
+  if (++challenger_streak_ >= params_.switch_patience) {
+    current_ = challenger_;
+    challenger_ = nullptr;
+    challenger_streak_ = 0;
+    ++switches_;
+    on_start_(*current_, at);
   }
 }
 
-void ActivityTracker::retract() { current_ = nullptr; }
+void ActivityTracker::retract() {
+  current_ = nullptr;
+  challenger_ = nullptr;
+  challenger_streak_ = 0;
+}
 
 void ActivityTracker::close_episode() {
   episode_open_ = false;
   current_ = nullptr;
+  challenger_ = nullptr;
+  challenger_streak_ = 0;
   steps_.clear();
 }
 

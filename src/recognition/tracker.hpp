@@ -31,6 +31,20 @@ class ActivityTracker {
     sim::Duration idle_gap = sim::Duration::minutes(3.0);
     /// Posterior required before announcing the activity.
     double confidence_threshold = 0.7;
+    /// Recognition-gated mid-episode switching. 0 disables it (the legacy
+    /// announce-once behavior). When > 0, an announced episode keeps being
+    /// re-scored over its trailing `switch_window` steps; when a *different*
+    /// ADL wins that window at confidence >= `switch_threshold` for
+    /// `switch_patience` consecutive observations, the tracker announces
+    /// the new ADL through the same callback without closing the episode —
+    /// segmentation beyond the single idle-gap close, for residents who
+    /// interleave ADLs with no idle time between them.
+    std::size_t switch_window = 0;
+    /// Posterior the challenger must reach over the trailing window.
+    double switch_threshold = 0.85;
+    /// Consecutive winning observations required before switching; > 1
+    /// keeps a lone wrong-tool intrusion from flapping the activity.
+    std::size_t switch_patience = 2;
   };
 
   /// Invoked once per episode when the activity is first recognized.
@@ -63,6 +77,9 @@ class ActivityTracker {
     return steps_;
   }
   std::size_t episodes_seen() const noexcept { return episodes_; }
+  /// Mid-episode activity switches announced (recognition-gated; 0 when
+  /// switching is disabled).
+  std::size_t switches() const noexcept { return switches_; }
 
  private:
   const AdlRecognizer* recognizer_;
@@ -73,6 +90,11 @@ class ActivityTracker {
   std::vector<adl::StepId> steps_;
   sim::TimePoint last_event_;
   std::size_t episodes_ = 0;
+  std::size_t switches_ = 0;
+  /// Challenger ADL currently winning the trailing window, and for how
+  /// many consecutive observations (the switch_patience counter).
+  const std::string* challenger_ = nullptr;
+  std::size_t challenger_streak_ = 0;
 };
 
 }  // namespace coreda::recognition

@@ -1,0 +1,82 @@
+#include "serve/bundle_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace coreda::serve {
+
+BundleStore::BundleStore(BundleStoreParams params)
+    : params_(std::move(params)) {
+  if (!params_.dir.empty()) {
+    std::filesystem::create_directories(params_.dir);
+  }
+}
+
+UserId BundleStore::add_user(std::string name) {
+  entries_.push_back(Entry{std::move(name), {}, 0, 0});
+  return static_cast<UserId>(entries_.size() - 1);
+}
+
+const std::string& BundleStore::user_name(UserId user) const {
+  return entries_.at(user).name;
+}
+
+const std::string& BundleStore::bytes(UserId user) const {
+  return entries_.at(user).record;
+}
+
+std::uint64_t BundleStore::version(UserId user) const {
+  return entries_.at(user).version;
+}
+
+std::string BundleStore::path_for(UserId user) const {
+  return params_.dir + "/user_" + std::to_string(user) + ".bundle";
+}
+
+void BundleStore::stage(UserId user, std::string_view record) {
+  Entry& entry = entries_.at(user);
+  entry.record.assign(record.data(), record.size());
+  ++entry.version;
+  if (params_.dir.empty()) return;
+
+  const std::string path = path_for(user);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("BundleStore: cannot write " + tmp);
+    }
+    out.write(entry.record.data(),
+              static_cast<std::streamsize>(entry.record.size()));
+    if (!out) {
+      throw std::runtime_error("BundleStore: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("BundleStore: cannot rename " + tmp + " to " +
+                             path);
+  }
+  ++entry.disk_writes;
+}
+
+void BundleStore::restore_all() {
+  if (params_.dir.empty()) return;
+  for (UserId user = 0; user < entries_.size(); ++user) {
+    std::ifstream in(path_for(user), std::ios::binary);
+    if (!in) continue;  // no bundle persisted for this user yet
+    std::ostringstream blob;
+    blob << in.rdbuf();
+    entries_[user].record = blob.str();
+  }
+}
+
+std::uint64_t BundleStore::disk_writes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Entry& entry : entries_) total += entry.disk_writes;
+  return total;
+}
+
+}  // namespace coreda::serve

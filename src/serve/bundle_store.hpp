@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/policy_store.hpp"
+
+namespace coreda::serve {
+
+struct BundleStoreParams {
+  /// Bundle directory, one file per user: `<dir>/user_<id>.bundle`. Empty
+  /// = memory-only (the scenario benches' configuration: versions and
+  /// staging still work, nothing touches disk).
+  std::string dir;
+};
+
+/// Per-user "coreda-bundle v1" records for the multi-ADL serving tier.
+///
+/// Where PolicyStore keeps one decoded Q table per (user, ADL), the bundle
+/// store keeps each user's *entire* home policy set — every ADL's v2
+/// record framed into one checksummed blob (planning::save_policy_bundle).
+/// One record per user means a slot checkout restores tea-making and
+/// tooth-brushing policies atomically: there is no torn state where half a
+/// user's ADLs are current and half are stale.
+///
+/// The store itself treats bundles as opaque bytes; validation happens at
+/// checkout, where HomePool decodes the blob against its learners and
+/// falls back to the donor baseline when the record is corrupt (counted as
+/// a rejected bundle, never an error mid-serve).
+///
+/// Thread-safety: add_user() and restore_all() are setup-phase only.
+/// stage()/bytes()/version() may run concurrently for *different* users —
+/// the entry vector never moves after setup and every counter lives in the
+/// user's own entry (the HomePool shards users across slots, so same-user
+/// races cannot happen by construction).
+class BundleStore {
+ public:
+  /// Creates `params.dir` when set and missing.
+  explicit BundleStore(BundleStoreParams params = {});
+
+  /// Registers a user with no bundle yet (their first checkout serves the
+  /// donor baseline). Setup-phase only.
+  UserId add_user(std::string name);
+
+  std::size_t num_users() const noexcept { return entries_.size(); }
+  const std::string& user_name(UserId user) const;
+
+  /// The user's current bundle record, empty before the first stage().
+  const std::string& bytes(UserId user) const;
+  bool has_bundle(UserId user) const { return !bytes(user).empty(); }
+  /// Bumped by every stage(); 0 before the first.
+  std::uint64_t version(UserId user) const;
+
+  /// Write-back: copies `record` into the user's entry, bumps its version,
+  /// and (when a directory is configured) persists it atomically
+  /// (tmp+rename). Throws std::runtime_error when the file cannot be
+  /// written; the in-memory entry keeps the new record either way.
+  void stage(UserId user, std::string_view record);
+
+  /// Warm restart: loads every user's bundle file back into memory (users
+  /// whose file is absent keep an empty entry). Setup-phase only; no-op
+  /// when memory-only. Byte corruption is NOT detected here — checkout
+  /// validation owns that.
+  void restore_all();
+
+  /// Bundle files written to disk across all users.
+  std::uint64_t disk_writes() const noexcept;
+
+  const std::string& dir() const noexcept { return params_.dir; }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string record;
+    std::uint64_t version = 0;
+    std::uint64_t disk_writes = 0;
+  };
+
+  std::string path_for(UserId user) const;
+
+  BundleStoreParams params_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace coreda::serve

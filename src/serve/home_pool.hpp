@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/home.hpp"
+#include "serve/bundle_store.hpp"
+
+namespace coreda::serve {
+
+struct HomePoolParams {
+  /// Warm HomeDeployment instances; users shard statically to
+  /// slot = user % slots.
+  std::size_t slots = 4;
+  /// Slot i's deployment is seeded with exec::trial_seed(seed, i).
+  std::uint64_t seed = 42;
+  /// Template for the donor and every slot deployment (seed overridden
+  /// per slot).
+  core::SystemConfig system{};
+  /// Tracker parameters for every slot (the serving tier enables
+  /// recognition-gated switching here; window 2 / patience 1 announces a
+  /// switch on the second consecutive routine-ordered challenger tool).
+  recognition::ActivityTracker::Params tracker{
+      .switch_window = 2, .switch_threshold = 0.8, .switch_patience = 1};
+  /// Donor pretraining: episodes per ADL, and the dataset seed.
+  std::size_t pretrain_episodes = 120;
+  std::uint64_t pretrain_seed = 7;
+};
+
+/// A fixed pool of warm whole-home deployments shared by many users — the
+/// multi-ADL counterpart of SystemPool.
+///
+/// One donor HomeDeployment trains recognition and every ADL planner once;
+/// each slot adopts the donor's recognizer and baseline policies at
+/// construction. A session then is: checkout (restore the user's per-ADL
+/// policies from their ONE bundle record, or fall back to the donor
+/// baseline when they have none — or theirs is corrupt) -> run the scripted
+/// session -> stage every ADL policy back into a fresh bundle record.
+/// Because all of a user's ADLs live in one checksummed record, a user who
+/// interleaves tea-making and tooth-brushing mid-session can never check
+/// out a torn policy set.
+///
+/// Determinism: static sharding (slot = user % slots) plus per-slot seeds
+/// make every outcome a pure function of (params, store contents, request
+/// order). The ScenarioRunner runs one trial per slot on the exec pool, so
+/// any --jobs value produces byte-identical results.
+///
+/// Thread-safety: calls for users of different slots may run concurrently
+/// (disjoint deployments, disjoint store entries); calls within one slot
+/// must be serialized — which per-slot trial sharding gives for free.
+class HomePool {
+ public:
+  static constexpr UserId kNoUser = std::numeric_limits<UserId>::max();
+
+  /// `library` and `store` must outlive the pool. The donor pretrains and
+  /// every slot is built warm here — construction is the expensive phase.
+  HomePool(const adl::AdlLibrary& library, BundleStore& store,
+           HomePoolParams params = {});
+
+  std::size_t slots() const noexcept { return slots_.size(); }
+  std::size_t slot_for(UserId user) const noexcept {
+    return user % slots_.size();
+  }
+
+  /// Serves one scripted multi-ADL session for `user` on its home slot:
+  /// checkout -> run_script -> bundle stage-back.
+  core::HomeScriptResult serve_script(UserId user,
+                                      const core::SessionScript& script,
+                                      const patient::PatientProfile& profile,
+                                      sim::Duration max_duration);
+
+  /// Sessions whose user was already resident on their slot (no restore).
+  std::uint64_t hits() const noexcept;
+  /// Sessions that restored the user's policies (bundle or donor).
+  std::uint64_t swaps() const noexcept;
+  std::uint64_t sessions() const noexcept;
+  /// Checkouts whose bundle record failed validation (corrupt/truncated);
+  /// each fell back to the donor baseline.
+  std::uint64_t rejected_bundles() const noexcept;
+
+  UserId resident(std::size_t slot) const;
+  const core::HomeDeployment& deployment(std::size_t slot) const;
+  const core::HomeDeployment& donor() const noexcept { return *donor_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<core::HomeDeployment> home;
+    UserId resident = kNoUser;
+    std::uint64_t hits = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t sessions = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  void checkout(UserId user, Slot& slot);
+  void stage_back(UserId user, Slot& slot);
+
+  const adl::AdlLibrary* library_;
+  BundleStore* store_;
+  std::unique_ptr<core::HomeDeployment> donor_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace coreda::serve

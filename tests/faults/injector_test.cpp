@@ -110,6 +110,35 @@ TEST(FaultPlan, ParseRejectsGarbageWithLineNumbers) {
   }
 }
 
+TEST(FaultPlan, ParseDiagnosticsUnchangedByPlanTextExtraction) {
+  // The parser now delegates to util/plan_text; these messages predate the
+  // extraction and are pinned byte-for-byte (replay scripts grep for them).
+  const auto message = [](const std::string& plan) {
+    std::stringstream text(plan);
+    try {
+      FaultPlan::parse(text);
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+    return std::string("<no throw>");
+  };
+  EXPECT_EQ(message("seed = 1\n[site a.b]\nrate = x\n"),
+            "fault plan line 3: expected a number, got 'x'");
+  EXPECT_EQ(message("seed = 1\n[site a.b]\ndelay_us = 1q\n"),
+            "fault plan line 3: trailing junk in '1q'");
+  EXPECT_EQ(message("[site a\n"), "fault plan line 1: unterminated section");
+  EXPECT_EQ(message("[chunk a]\n"),
+            "fault plan line 1: expected [site NAME], got [chunk a]");
+  EXPECT_EQ(message("[site ]\n"),
+            "fault plan line 1: expected [site NAME], got [site]");
+  EXPECT_EQ(message("seed 1\n"),
+            "fault plan line 1: expected key = value, got 'seed 1'");
+  EXPECT_EQ(message("rate = 0.5\n"),
+            "fault plan line 1: unknown top-level key 'rate'");
+  EXPECT_EQ(message("seed = 1\n[site a.b]\nbogus = 1\n"),
+            "fault plan line 3: unknown site key 'bogus'");
+}
+
 TEST(FaultPlan, ParseIgnoresCommentsAndBlankLines) {
   std::stringstream text(
       "# a comment\n"

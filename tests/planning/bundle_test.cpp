@@ -1,0 +1,213 @@
+// "coreda-bundle v1": one checksummed record holding every ADL policy of
+// one user, so interleaved multi-ADL serving restores them atomically.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "adl/library.hpp"
+#include "planning/serialize.hpp"
+
+namespace coreda::planning {
+namespace {
+
+namespace T = adl::tools;
+
+struct BundleFixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  RoutineLearner trained(const adl::Adl& adl, std::uint64_t seed) {
+    RoutineLearner learner(adl, util::Rng(seed));
+    std::vector<adl::StepId> steps;
+    for (std::size_t i = 0; i < adl.primary_routine().size(); ++i) {
+      steps.push_back(adl.primary_routine().step(i).tool);
+    }
+    for (int i = 0; i < 80; ++i) learner.train_episode(steps);
+    return learner;
+  }
+
+  static PolicyBundleItem item(const RoutineLearner& learner,
+                               std::string_view name) {
+    return PolicyBundleItem{name, learner.state_codec().symbols(),
+                            learner.action_codec().tools(), &learner.q()};
+  }
+
+  static PolicyBundleSlot slot(const RoutineLearner& learner,
+                               std::string_view name, rl::QTable& dst) {
+    return PolicyBundleSlot{name, learner.state_codec().symbols(),
+                            learner.action_codec().tools(), &dst};
+  }
+
+  static void expect_same(const rl::QTable& a, const rl::QTable& b) {
+    ASSERT_EQ(a.num_states(), b.num_states());
+    ASSERT_EQ(a.num_actions(), b.num_actions());
+    for (rl::StateId s = 0; s < a.num_states(); ++s) {
+      for (rl::ActionId x = 0; x < a.num_actions(); ++x) {
+        EXPECT_DOUBLE_EQ(a.get(s, x), b.get(s, x));
+      }
+    }
+  }
+};
+
+TEST_F(BundleFixture, RoundTripsEveryEntry) {
+  const RoutineLearner tea = trained(library.tea_making(), 5);
+  const RoutineLearner teeth = trained(library.tooth_brushing(), 6);
+
+  std::stringstream buffer;
+  const std::vector<PolicyBundleItem> items{item(tea, "Tea-making"),
+                                            item(teeth, "Tooth-brushing")};
+  const std::size_t bytes = save_policy_bundle(buffer, items, 7);
+  EXPECT_EQ(bytes, buffer.str().size());
+
+  rl::QTable tea_q(tea.q().num_states(), tea.q().num_actions());
+  rl::QTable teeth_q(teeth.q().num_states(), teeth.q().num_actions());
+  const std::vector<PolicyBundleSlot> slots{
+      slot(tea, "Tea-making", tea_q),
+      slot(teeth, "Tooth-brushing", teeth_q)};
+  EXPECT_EQ(load_policy_bundle(buffer, slots), 7u);
+  expect_same(tea_q, tea.q());
+  expect_same(teeth_q, teeth.q());
+}
+
+TEST_F(BundleFixture, SlotOrderDoesNotMatter) {
+  const RoutineLearner tea = trained(library.tea_making(), 5);
+  const RoutineLearner teeth = trained(library.tooth_brushing(), 6);
+  std::stringstream buffer;
+  const std::vector<PolicyBundleItem> items{item(tea, "Tea-making"),
+                                            item(teeth, "Tooth-brushing")};
+  save_policy_bundle(buffer, items, 3);
+
+  rl::QTable tea_q(tea.q().num_states(), tea.q().num_actions());
+  rl::QTable teeth_q(teeth.q().num_states(), teeth.q().num_actions());
+  // Slots listed in the opposite order of the entries: matching is by name.
+  const std::vector<PolicyBundleSlot> slots{
+      slot(teeth, "Tooth-brushing", teeth_q),
+      slot(tea, "Tea-making", tea_q)};
+  EXPECT_EQ(load_policy_bundle(buffer, slots), 3u);
+  expect_same(tea_q, tea.q());
+  expect_same(teeth_q, teeth.q());
+}
+
+TEST_F(BundleFixture, FlippedByteAnywhereRejectsTheWholeBundle) {
+  const RoutineLearner tea = trained(library.tea_making(), 5);
+  const RoutineLearner teeth = trained(library.tooth_brushing(), 6);
+  std::stringstream buffer;
+  const std::vector<PolicyBundleItem> items{item(tea, "Tea-making"),
+                                            item(teeth, "Tooth-brushing")};
+  save_policy_bundle(buffer, items, 1);
+  const std::string good = buffer.str();
+
+  // A handful of positions across header, entry names, embedded records,
+  // and the outer checksum itself.
+  for (const std::size_t pos :
+       {std::size_t{0}, std::size_t{9}, std::size_t{30}, good.size() / 2,
+        good.size() - 9, good.size() - 1}) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    rl::QTable tea_q(tea.q().num_states(), tea.q().num_actions());
+    rl::QTable teeth_q(teeth.q().num_states(), teeth.q().num_actions());
+    const double before = tea_q.get(0, 0);
+    std::istringstream in(bad);
+    EXPECT_THROW(load_policy_bundle(
+                     in, std::vector<PolicyBundleSlot>{
+                             slot(tea, "Tea-making", tea_q),
+                             slot(teeth, "Tooth-brushing", teeth_q)}),
+                 std::runtime_error)
+        << "flipped byte at " << pos;
+    // All-or-nothing: no slot table may have been touched.
+    EXPECT_DOUBLE_EQ(tea_q.get(0, 0), before) << pos;
+  }
+}
+
+TEST_F(BundleFixture, TruncationRejected) {
+  const RoutineLearner tea = trained(library.tea_making(), 5);
+  std::stringstream buffer;
+  const std::vector<PolicyBundleItem> items{item(tea, "Tea-making")};
+  save_policy_bundle(buffer, items, 1);
+  const std::string good = buffer.str();
+
+  rl::QTable tea_q(tea.q().num_states(), tea.q().num_actions());
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{7},
+                                 std::size_t{24}, good.size() - 1}) {
+    std::istringstream in(good.substr(0, keep));
+    EXPECT_THROW(load_policy_bundle(
+                     in, std::vector<PolicyBundleSlot>{
+                             slot(tea, "Tea-making", tea_q)}),
+                 std::runtime_error)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(BundleFixture, MissingAndUnknownEntriesRejected) {
+  const RoutineLearner tea = trained(library.tea_making(), 5);
+  const RoutineLearner teeth = trained(library.tooth_brushing(), 6);
+  std::stringstream buffer;
+  save_policy_bundle(
+      buffer, std::vector<PolicyBundleItem>{item(tea, "Tea-making")}, 1);
+  const std::string one_entry = buffer.str();
+
+  rl::QTable tea_q(tea.q().num_states(), tea.q().num_actions());
+  rl::QTable teeth_q(teeth.q().num_states(), teeth.q().num_actions());
+  {
+    // Two slots requested, bundle has one entry.
+    std::istringstream in(one_entry);
+    EXPECT_THROW(load_policy_bundle(
+                     in, std::vector<PolicyBundleSlot>{
+                             slot(tea, "Tea-making", tea_q),
+                             slot(teeth, "Tooth-brushing", teeth_q)}),
+                 std::runtime_error);
+  }
+  {
+    // One slot requested under a name the bundle does not carry.
+    std::istringstream in(one_entry);
+    EXPECT_THROW(load_policy_bundle(
+                     in, std::vector<PolicyBundleSlot>{
+                             slot(teeth, "Tooth-brushing", teeth_q)}),
+                 std::runtime_error);
+  }
+}
+
+TEST_F(BundleFixture, WrongVocabularyInOneEntryRejectsAll) {
+  const RoutineLearner tea = trained(library.tea_making(), 5);
+  const RoutineLearner teeth = trained(library.tooth_brushing(), 6);
+  std::stringstream buffer;
+  const std::vector<PolicyBundleItem> items{item(tea, "Tea-making"),
+                                            item(teeth, "Tooth-brushing")};
+  save_policy_bundle(buffer, items, 1);
+
+  rl::QTable tea_q(tea.q().num_states(), tea.q().num_actions());
+  rl::QTable teeth_q(teeth.q().num_states(), teeth.q().num_actions());
+  const double before = tea_q.get(0, 0);
+  // Swap the slots' names: each entry then meets the other ADL's
+  // vocabulary and must fail v2 validation.
+  EXPECT_THROW(load_policy_bundle(
+                   buffer, std::vector<PolicyBundleSlot>{
+                               slot(tea, "Tooth-brushing", tea_q),
+                               slot(teeth, "Tea-making", teeth_q)}),
+               std::runtime_error);
+  EXPECT_DOUBLE_EQ(tea_q.get(0, 0), before);
+}
+
+TEST_F(BundleFixture, DuplicateItemNamesRejectedOnSave) {
+  const RoutineLearner tea = trained(library.tea_making(), 5);
+  std::stringstream buffer;
+  const std::vector<PolicyBundleItem> items{item(tea, "Tea-making"),
+                                            item(tea, "Tea-making")};
+  EXPECT_THROW(save_policy_bundle(buffer, items, 1), std::invalid_argument);
+}
+
+TEST_F(BundleFixture, SingleEntryBundleWorks) {
+  const RoutineLearner wash = trained(library.hand_washing(), 9);
+  std::stringstream buffer;
+  save_policy_bundle(
+      buffer, std::vector<PolicyBundleItem>{item(wash, "Hand-washing")}, 42);
+  rl::QTable q(wash.q().num_states(), wash.q().num_actions());
+  EXPECT_EQ(load_policy_bundle(buffer,
+                               std::vector<PolicyBundleSlot>{
+                                   slot(wash, "Hand-washing", q)}),
+            42u);
+  expect_same(q, wash.q());
+}
+
+}  // namespace
+}  // namespace coreda::planning

@@ -1,0 +1,178 @@
+// Recognition-gated mid-episode switching (Params::switch_window > 0):
+// after the first announcement the tracker keeps re-scoring the trailing
+// window and hands the episode to a different ADL once it wins
+// convincingly for switch_patience consecutive observations — without an
+// idle gap ever opening. The boundary cases here mirror the idle-gap edge
+// tests in tracker_test.cpp: a switch decided by tools that arrive exactly
+// at the idle gap still happens inside one episode; one microsecond past
+// the gap it becomes an episode close instead.
+#include "recognition/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "adl/library.hpp"
+#include "trace/dataset.hpp"
+
+namespace coreda::recognition {
+namespace {
+
+namespace T = adl::tools;
+using sim::Duration;
+using sim::TimePoint;
+
+struct SwitchFixture : ::testing::Test {
+  adl::AdlLibrary library;
+  AdlRecognizer recognizer;
+  std::vector<std::string> announced;
+  std::function<void(const std::string&, TimePoint)> record =
+      [this](const std::string& name, TimePoint) {
+        announced.push_back(name);
+      };
+
+  void SetUp() override {
+    trace::DatasetBuilder datasets(
+        library, patient::PatientProfile::with_severity("U", 0.0), 31);
+    for (const adl::Adl& adl : library.adls()) {
+      for (const auto& ep : datasets.clean_training_set(adl, 40)) {
+        recognizer.train(adl.name(), ep);
+      }
+    }
+  }
+
+  ActivityTracker::Params switching_params() {
+    ActivityTracker::Params params;
+    params.switch_window = 3;
+    params.switch_threshold = 0.8;
+    params.switch_patience = 2;
+    return params;
+  }
+};
+
+TEST_F(SwitchFixture, SwitchingDisabledByDefault) {
+  ActivityTracker tracker(recognizer, record);
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  // A solid run of tooth-brushing tools with no idle gap: the legacy
+  // tracker stays on its one announcement.
+  tracker.observe(T::kToothbrush, TimePoint::from_seconds(30.0));
+  tracker.observe(T::kPasteTube, TimePoint::from_seconds(40.0));
+  tracker.observe(T::kGargleCup, TimePoint::from_seconds(50.0));
+  ASSERT_EQ(announced.size(), 1u);
+  EXPECT_EQ(announced[0], "Tea-making");
+  EXPECT_EQ(tracker.switches(), 0u);
+}
+
+TEST_F(SwitchFixture, SwitchesMidEpisodeWithoutIdleGap) {
+  ActivityTracker tracker(recognizer, record, switching_params());
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  ASSERT_EQ(announced.size(), 1u);
+  EXPECT_EQ(announced[0], "Tea-making");
+  // Interleave: the resident walks to the bathroom mid-tea and brushes in
+  // routine order. The first two observations still carry tea context in
+  // the trailing window; the third and fourth are pure tooth-brushing
+  // windows, and patience 2 announces the switch on the fourth.
+  tracker.observe(T::kPasteTube, TimePoint::from_seconds(30.0));
+  tracker.observe(T::kToothbrush, TimePoint::from_seconds(40.0));
+  tracker.observe(T::kGargleCup, TimePoint::from_seconds(50.0));
+  tracker.observe(T::kTowel, TimePoint::from_seconds(60.0));
+  ASSERT_GE(announced.size(), 2u);
+  EXPECT_EQ(announced.back(), "Tooth-brushing");
+  EXPECT_EQ(tracker.switches(), 1u);
+  EXPECT_EQ(tracker.episodes_seen(), 1u);  // one episode, no idle close
+  ASSERT_NE(tracker.current_activity(), nullptr);
+  EXPECT_EQ(*tracker.current_activity(), "Tooth-brushing");
+}
+
+TEST_F(SwitchFixture, LoneWrongToolDoesNotFlapTheActivity) {
+  ActivityTracker::Params params = switching_params();
+  params.switch_patience = 2;
+  ActivityTracker tracker(recognizer, record, params);
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  // One stray toothbrush grab (the wrong-tool error mode), then back to
+  // tea: patience 2 never sees two consecutive winning observations.
+  tracker.observe(T::kToothbrush, TimePoint::from_seconds(30.0));
+  tracker.observe(T::kKettle, TimePoint::from_seconds(40.0));
+  tracker.observe(T::kTeaCup, TimePoint::from_seconds(50.0));
+  EXPECT_EQ(tracker.switches(), 0u);
+  ASSERT_NE(tracker.current_activity(), nullptr);
+  EXPECT_EQ(*tracker.current_activity(), "Tea-making");
+}
+
+TEST_F(SwitchFixture, BackToBackSwitchAtExactlyTheIdleGapStaysOneEpisode) {
+  ActivityTracker::Params params = switching_params();
+  ActivityTracker tracker(recognizer, record, params);
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  // The switch-deciding observations arrive exactly idle_gap (3 min)
+  // apart: the episode must NOT close (the gap closes only when strictly
+  // exceeded), so this is a recognition-gated switch inside one episode.
+  tracker.observe(T::kPasteTube, TimePoint::from_seconds(200.0));
+  tracker.observe(T::kToothbrush, TimePoint::from_seconds(380.0));
+  tracker.observe(T::kGargleCup, TimePoint::from_seconds(560.0));
+  tracker.observe(T::kTowel, TimePoint::from_seconds(740.0));
+  EXPECT_EQ(tracker.episodes_seen(), 1u);
+  EXPECT_EQ(tracker.switches(), 1u);
+  ASSERT_NE(tracker.current_activity(), nullptr);
+  EXPECT_EQ(*tracker.current_activity(), "Tooth-brushing");
+}
+
+TEST_F(SwitchFixture, OneMicrosecondPastTheGapClosesInsteadOfSwitching) {
+  ActivityTracker::Params params = switching_params();
+  ActivityTracker tracker(recognizer, record, params);
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  ASSERT_EQ(announced.size(), 1u);
+  // Same tool sequence, but the first bathroom tool lands one microsecond
+  // past the idle gap: the tea episode closes and tooth-brushing is a
+  // fresh episode's first announcement, not a switch.
+  tracker.observe(T::kToothbrush,
+                  TimePoint::from_micros(20'000'001 + 180'000'000));
+  tracker.observe(T::kPasteTube,
+                  TimePoint::from_micros(21'000'001 + 180'000'000));
+  EXPECT_EQ(tracker.episodes_seen(), 2u);
+  EXPECT_EQ(tracker.switches(), 0u);
+  ASSERT_GE(announced.size(), 2u);
+  EXPECT_EQ(announced.back(), "Tooth-brushing");
+}
+
+TEST_F(SwitchFixture, RetractClearsChallengerStreak) {
+  ActivityTracker tracker(recognizer, record, switching_params());
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  tracker.observe(T::kPasteTube, TimePoint::from_seconds(30.0));
+  tracker.observe(T::kToothbrush, TimePoint::from_seconds(40.0));
+  tracker.observe(T::kGargleCup, TimePoint::from_seconds(50.0));
+  // One winning observation accumulated (patience needs 2). retract()
+  // (the consumer rejected the current announcement) must also clear the
+  // challenger streak: without the reset, the pure-brush window at the
+  // next observation would complete the streak and count a switch.
+  tracker.retract();
+  tracker.observe(T::kTowel, TimePoint::from_seconds(60.0));
+  EXPECT_EQ(tracker.switches(), 0u);
+}
+
+TEST_F(SwitchFixture, SwitchBackCountsTwice) {
+  ActivityTracker tracker(recognizer, record, switching_params());
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(10.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(20.0));
+  tracker.observe(T::kPasteTube, TimePoint::from_seconds(30.0));
+  tracker.observe(T::kToothbrush, TimePoint::from_seconds(40.0));
+  tracker.observe(T::kGargleCup, TimePoint::from_seconds(50.0));
+  tracker.observe(T::kTowel, TimePoint::from_seconds(60.0));
+  EXPECT_EQ(tracker.switches(), 1u);
+  // …and back to the kitchen to finish the tea, again in routine order.
+  tracker.observe(T::kTeaBox, TimePoint::from_seconds(70.0));
+  tracker.observe(T::kElectricPot, TimePoint::from_seconds(80.0));
+  tracker.observe(T::kKettle, TimePoint::from_seconds(90.0));
+  tracker.observe(T::kTeaCup, TimePoint::from_seconds(100.0));
+  EXPECT_EQ(tracker.switches(), 2u);
+  ASSERT_NE(tracker.current_activity(), nullptr);
+  EXPECT_EQ(*tracker.current_activity(), "Tea-making");
+}
+
+}  // namespace
+}  // namespace coreda::recognition

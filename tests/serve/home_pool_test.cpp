@@ -1,0 +1,173 @@
+// HomePool: multi-ADL session serving where each user's WHOLE policy set
+// (every ADL) checks in and out of the pool as one checksummed bundle.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "serve/home_pool.hpp"
+#include "serve/scenario_runner.hpp"
+
+namespace coreda::serve {
+namespace {
+
+struct HomePoolFixture : ::testing::Test {
+  adl::AdlLibrary library;
+
+  static HomePoolParams pool_params() {
+    HomePoolParams params;
+    params.slots = 2;
+    params.seed = 99;
+    return params;
+  }
+
+  /// The interleaved shape: start the tea, brush teeth, come back.
+  static core::SessionScript interleaved() {
+    core::SessionScript script;
+    script.hint = "Tea-making";
+    script.parts.push_back(core::ScriptPart{.adl = "Tea-making", .steps = 2});
+    script.parts.push_back(core::ScriptPart{.adl = "Tooth-brushing"});
+    script.parts.push_back(
+        core::ScriptPart{.adl = "Tea-making", .resume = true});
+    return script;
+  }
+
+  static patient::PatientProfile mild() {
+    patient::PatientProfile profile =
+        patient::PatientProfile::with_severity("Tanaka", 0.3);
+    profile.comply_minimal = 1.0;
+    profile.comply_specific = 1.0;
+    return profile;
+  }
+
+  static sim::Duration deadline() { return sim::Duration::minutes(45); }
+};
+
+TEST_F(HomePoolFixture, ServeRoundTripStagesABundle) {
+  BundleStore store;
+  const UserId user = store.add_user("Tanaka");
+  HomePool pool(library, store, pool_params());
+
+  EXPECT_FALSE(store.has_bundle(user));
+  const core::HomeScriptResult result =
+      pool.serve_script(user, interleaved(), mild(), deadline());
+
+  // The interleaved script serves multiple ADLs inside one session...
+  EXPECT_EQ(result.segments, 3u);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.session.segment_switches, 2u);
+  // ...and stages the user's whole policy set as ONE bundle record.
+  EXPECT_TRUE(store.has_bundle(user));
+  EXPECT_EQ(store.version(user), 1u);
+
+  pool.serve_script(user, interleaved(), mild(), deadline());
+  EXPECT_EQ(store.version(user), 2u);
+  EXPECT_EQ(pool.rejected_bundles(), 0u);
+}
+
+TEST_F(HomePoolFixture, ResidencyCountersTrackHitsAndSwaps) {
+  BundleStore store;
+  const UserId a = store.add_user("A");  // slot 0
+  store.add_user("B");
+  const UserId c = store.add_user("C");  // slot 0: evicts A
+  HomePool pool(library, store, pool_params());
+
+  pool.serve_script(a, interleaved(), mild(), deadline());
+  pool.serve_script(a, interleaved(), mild(), deadline());  // resident: hit
+  pool.serve_script(c, interleaved(), mild(), deadline());  // evicts A
+  pool.serve_script(a, interleaved(), mild(), deadline());  // restore bundle
+
+  EXPECT_EQ(pool.sessions(), 4u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.swaps(), 3u);
+  EXPECT_EQ(pool.rejected_bundles(), 0u);
+  EXPECT_EQ(pool.resident(0), a);
+}
+
+TEST_F(HomePoolFixture, CorruptBundleFallsBackToBaseline) {
+  BundleStore store;
+  const UserId a = store.add_user("A");
+  store.add_user("B");
+  const UserId c = store.add_user("C");  // shares slot 0 with A
+  HomePool pool(library, store, pool_params());
+
+  pool.serve_script(a, interleaved(), mild(), deadline());
+  std::string bad = store.bytes(a);
+  bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x40);
+  store.stage(a, bad);
+
+  pool.serve_script(c, interleaved(), mild(), deadline());  // evict A
+  const core::HomeScriptResult result =
+      pool.serve_script(a, interleaved(), mild(), deadline());
+
+  // The torn record was rejected as a whole; the session still ran (donor
+  // baseline) and staged a fresh, valid bundle over the corrupt one.
+  EXPECT_EQ(pool.rejected_bundles(), 1u);
+  EXPECT_TRUE(result.completed);
+  pool.serve_script(c, interleaved(), mild(), deadline());
+  pool.serve_script(a, interleaved(), mild(), deadline());
+  EXPECT_EQ(pool.rejected_bundles(), 1u);  // replacement loads cleanly
+}
+
+TEST_F(HomePoolFixture, RestartRestoresFromDisk) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "coreda_bundles")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::string staged;
+  {
+    BundleStore store(BundleStoreParams{.dir = dir});
+    const UserId user = store.add_user("Tanaka");
+    HomePool pool(library, store, pool_params());
+    pool.serve_script(user, interleaved(), mild(), deadline());
+    EXPECT_EQ(store.disk_writes(), 1u);
+    staged = store.bytes(user);
+  }
+
+  // Cold restart: a new store over the same directory recovers the bundle
+  // byte-for-byte, and a new pool serves from it without rejection.
+  BundleStore store(BundleStoreParams{.dir = dir});
+  const UserId user = store.add_user("Tanaka");
+  store.restore_all();
+  ASSERT_TRUE(store.has_bundle(user));
+  EXPECT_EQ(store.bytes(user), staged);
+
+  HomePool pool(library, store, pool_params());
+  const core::HomeScriptResult result =
+      pool.serve_script(user, interleaved(), mild(), deadline());
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(pool.rejected_bundles(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(HomePoolFixture, ScenarioRunnerIsJobsInvariant) {
+  sim::ScenarioPlan plan;
+  plan.seed = 7;
+  plan.users = 3;
+  plan.rounds = 2;
+  plan.severity = 0.3;
+  plan.severity_drift = 0.05;
+  plan.compliance_decay = 0.02;
+  plan.hint = "Tea-making";
+  plan.parts = {sim::ScenarioPart{.adl = "Tea-making", .steps = 2},
+                sim::ScenarioPart{.adl = "Tooth-brushing"},
+                sim::ScenarioPart{.adl = "Tea-making", .resume = true}};
+
+  ScenarioRunnerParams params;
+  params.slots = 2;
+  const ScenarioRunner runner(params);
+  const ScenarioSummary serial = runner.run(plan, 1);
+  const ScenarioSummary parallel = runner.run(plan, 4);
+
+  EXPECT_EQ(serial.sessions, 6u);
+  EXPECT_GT(serial.prompts, 0u);
+  EXPECT_GT(serial.segment_switches, 0u);
+  EXPECT_EQ(serial.checksum, parallel.checksum);
+  EXPECT_EQ(serial.prompts, parallel.prompts);
+  EXPECT_EQ(serial.completed_sessions, parallel.completed_sessions);
+  EXPECT_EQ(serial.wrong_tool_recoveries, parallel.wrong_tool_recoveries);
+  EXPECT_EQ(serial.pool_swaps, parallel.pool_swaps);
+}
+
+}  // namespace
+}  // namespace coreda::serve

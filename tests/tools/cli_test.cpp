@@ -405,6 +405,46 @@ TEST(CliTest, ScenarioReplaysFigure1) {
   EXPECT_NE(r.out.find("ADL complete"), std::string::npos);
 }
 
+TEST(CliTest, ScenarioRunExecutesAPlanFile) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "cli_plan.scenario")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "seed = 5\nusers = 2\nhint = Tea-making\n\n"
+           "[segment Tea-making]\nsteps = 2\n\n"
+           "[segment Tooth-brushing]\n\n"
+           "[segment Tea-making]\nresume = true\n";
+  }
+  const CliResult r = run({"scenario", "run", path, "--jobs=2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("sessions=2"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("checksum="), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ScenarioCheckPrintsTheCanonicalForm) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "cli_check.scenario")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "seed = 9\n\n[segment Hand-washing]\n";
+  }
+  const CliResult r = run({"scenario", "check", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("# coreda scenario plan v1"), std::string::npos);
+  EXPECT_NE(r.out.find("[segment Hand-washing]"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ScenarioRunAndCheckValidateTheirInputs) {
+  EXPECT_EQ(run({"scenario", "run"}).code, 1);
+  EXPECT_EQ(run({"scenario", "run", "/no/such/file.scenario"}).code, 1);
+  EXPECT_EQ(run({"scenario", "check"}).code, 1);
+  EXPECT_EQ(run({"scenario", "wibble"}).code, 1);
+}
+
 TEST(CliTest, HomeRunsMultiAdlSessions) {
   const CliResult r = run({"home", "--sessions=3", "--severity=0.3",
                            "--hints"});

@@ -25,7 +25,7 @@ BENCHES=(bench_sensitivity bench_table3_extract bench_ablation_radio
          bench_ablation_detector bench_fig4_learning_curve
          bench_fleet_throughput bench_session_throughput
          bench_serve_throughput bench_retrain_recovery bench_fleet_serve
-         bench_chaos_soak)
+         bench_chaos_soak bench_scenario_corpus)
 
 cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
 

@@ -23,7 +23,7 @@ TOLERANCE="${2:-0.40}"
 
 for bench in bench_fleet_throughput bench_session_throughput \
              bench_serve_throughput bench_retrain_recovery \
-             bench_fleet_serve bench_chaos_soak; do
+             bench_fleet_serve bench_chaos_soak bench_scenario_corpus; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (cmake --build" \
          "$BUILD_DIR --target $bench)" >&2
@@ -107,5 +107,19 @@ for jobs in 1 2 4; do
   "$BUILD_DIR/bench/bench_chaos_soak" --jobs="$jobs" \
     --dir="$BUILD_DIR/chaos_bench" --timing-json="$FRESH" > /dev/null
 done
-exec python3 tools/check_bench_regression.py \
+python3 tools/check_bench_regression.py \
   --fresh "$FRESH" --baseline BENCH_chaos.json --tolerance "$TOLERANCE"
+
+# Scenario corpus: the committed tests/scenarios/*.scenario plans through
+# the multi-ADL serving tier. Every behavioural counter and the checksum
+# is EQUALITY-gated per (scenario, jobs) — the corpus is the repo's
+# end-to-end behaviour lock, not a throughput gate.
+FRESH="$BUILD_DIR/BENCH_scenarios.fresh.json"
+: > "$FRESH"
+"$BUILD_DIR/bench/bench_scenario_corpus" --jobs=1 > /dev/null
+for jobs in 1 2 4; do
+  "$BUILD_DIR/bench/bench_scenario_corpus" --jobs="$jobs" \
+    --timing-json="$FRESH" > /dev/null
+done
+exec python3 tools/check_bench_regression.py \
+  --fresh "$FRESH" --baseline BENCH_scenarios.json --tolerance "$TOLERANCE"

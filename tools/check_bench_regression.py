@@ -2,9 +2,17 @@
 """Compares fresh BENCH_*.json timing records against committed baselines.
 
 The committed BENCH_parallel.json / BENCH_fleet.json / BENCH_sessions.json /
-BENCH_serve.json / BENCH_retrain.json / BENCH_fleet_serve.json files double
-as performance baselines. This checker re-keys both files by (bench, jobs,
-lanes) and gates every metric through one of two explicit tables:
+BENCH_serve.json / BENCH_retrain.json / BENCH_fleet_serve.json /
+BENCH_scenarios.json files double as performance baselines. This checker
+re-keys both files by (bench, jobs, lanes) and gates every metric through
+one of three explicit tables:
+
+EQUALITY gates — behavioural counters of the scenario corpus
+(BENCH_scenarios.json: sessions, prompts, recoveries, switches, pool
+residency, the order-independent checksum, ...). The runner's contract
+makes them pure functions of the committed .scenario file, so fresh must
+equal baseline EXACTLY, in both directions, at every job count — a drift
+of 1 in either direction is a behaviour change:
 
 EXACT gates — deterministic functions of the workload shape and the build,
 identical on any machine. These are NEVER downgraded to warnings on a
@@ -62,6 +70,27 @@ never depend on wall-clock.
 import argparse
 import json
 import sys
+
+# --- Equality gates: fresh must equal baseline exactly ---------------------
+# metric -> reason. Used by the scenario corpus (bench "scenario/<name>"),
+# whose counters are deterministic functions of the committed .scenario
+# file at any job count. Never hardware-downgraded, gated both directions.
+EXACT_EQUALITIES = {
+    "sessions": "the arrival pattern served a different session count",
+    "completed_sessions": "scenario completion behaviour changed",
+    "segments": "the compiled script changed shape",
+    "segments_completed": "segment completion behaviour changed",
+    "prompts": "the reminding loop fired a different number of prompts",
+    "praises": "the praise/recovery loop changed behaviour",
+    "wrong_tool_recoveries": "wrong-tool rescue behaviour changed",
+    "segment_switches": "recognition-gated switching changed behaviour",
+    "idle_episodes": "idle-gap episode segmentation changed behaviour",
+    "pool_hits": "pool residency changed",
+    "pool_swaps": "pool residency changed",
+    "rejected_bundles": "bundle checkout validation changed behaviour",
+    "checksum": "some session's outcome changed (order-independent "
+                "digest over every per-session counter)",
+}
 
 # --- Exact gates: never hardware-downgraded --------------------------------
 # metric -> (epsilon, reason). Fresh value must be <= baseline + epsilon.
@@ -195,6 +224,23 @@ def main():
             else:
                 warnings.append(message +
                                 " [hardware mismatch: warning only]")
+
+        # --- Equality gates (scenario corpus only, never downgraded) ---
+        # Scoped by bench name: other benches reuse key names like
+        # "sessions" for shape parameters that are not equality contracts.
+        if bench.startswith("scenario/"):
+            for metric, reason in EXACT_EQUALITIES.items():
+                if metric not in base:
+                    continue
+                got_v = got.get(metric)
+                if got_v is None:
+                    failures.append(
+                        f"{label}: {metric} missing from fresh run "
+                        f"(baseline {base[metric]})")
+                elif got_v != base[metric]:
+                    failures.append(
+                        f"{label}: {metric} {got_v} != baseline "
+                        f"{base[metric]} — {reason}")
 
         # --- Exact gates (never downgraded) ----------------------------
         for metric, (epsilon, reason) in EXACT_CEILINGS.items():

@@ -13,6 +13,8 @@
 #include "planning/serialize.hpp"
 #include "serve/chaos.hpp"
 #include "serve/engine.hpp"
+#include "serve/scenario_runner.hpp"
+#include "sim/scenario_dsl.hpp"
 #include "serve/segment_store.hpp"
 #include "trace/dataset.hpp"
 #include "util/table.hpp"
@@ -57,6 +59,12 @@ commands:
                               invariant log and the per-site injection
                               log (byte-identical at any --jobs)
   scenario                     replay the paper's Figure 1 timeline
+  scenario run <file> [--jobs=N]
+                              execute a .scenario plan through the
+                              multi-ADL serving tier; metrics are
+                              byte-identical at any --jobs
+  scenario check <file>        parse a .scenario plan and print its
+                              canonical form (round-trip validated)
   report    [--days=7] [--seed=42]
                               multi-day caregiver summary
   retrain   [--users=12] [--slots=3] [--drifted=3] [--rounds=8]
@@ -622,7 +630,66 @@ int cmd_faults(const util::Flags& flags, std::ostream& out,
   return 1;
 }
 
-int cmd_scenario(std::ostream& out) {
+int cmd_scenario_run(const util::Flags& flags, std::ostream& out,
+                     std::ostream& err) {
+  if (flags.positional().size() < 2) {
+    err << "scenario run: expected a .scenario file "
+           "(coreda scenario run tests/scenarios/interleaved_tea_brush"
+           ".scenario)\n";
+    return 1;
+  }
+  const std::string& path = flags.positional()[1];
+  std::ifstream in(path);
+  if (!in) {
+    err << "scenario run: cannot read " << path << '\n';
+    return 1;
+  }
+  const sim::ScenarioPlan plan = sim::ScenarioPlan::parse(in);
+  const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 1));
+  const serve::ScenarioRunner runner;
+  const serve::ScenarioSummary sum = runner.run(plan, jobs == 0 ? 1 : jobs);
+  out << serve::format_scenario_report(
+      std::filesystem::path(path).stem().string(), plan, sum);
+  // Incomplete sessions are a scenario outcome (high severity is supposed
+  // to defeat some residents), not a failure of the run itself.
+  return 0;
+}
+
+int cmd_scenario_check(const util::Flags& flags, std::ostream& out,
+                       std::ostream& err) {
+  if (flags.positional().size() < 2) {
+    err << "scenario check: expected a .scenario file\n";
+    return 1;
+  }
+  const std::string& path = flags.positional()[1];
+  std::ifstream in(path);
+  if (!in) {
+    err << "scenario check: cannot read " << path << '\n';
+    return 1;
+  }
+  const sim::ScenarioPlan plan = sim::ScenarioPlan::parse(in);
+  std::stringstream canonical;
+  plan.save(canonical);
+  if (sim::ScenarioPlan::parse(canonical) != plan) {
+    err << "scenario check: canonical form does not round-trip (bug)\n";
+    return 2;
+  }
+  plan.save(out);
+  return 0;
+}
+
+int cmd_scenario(const util::Flags& flags, std::ostream& out,
+                 std::ostream& err) {
+  const std::string sub =
+      flags.positional().empty() ? "" : flags.positional().front();
+  if (sub == "run") return cmd_scenario_run(flags, out, err);
+  if (sub == "check") return cmd_scenario_check(flags, out, err);
+  if (!sub.empty()) {
+    err << "scenario: unknown subcommand '" << sub
+        << "' (expected run|check, or no subcommand for the Figure 1 "
+           "replay)\n";
+    return 1;
+  }
   adl::AdlLibrary library;
   core::ScenarioPlayer player(library);
   player.play_figure1(&out);
@@ -800,7 +867,7 @@ int run_command(const util::Flags& flags, std::ostream& out,
     if (command == "prompt") return cmd_prompt(flags, out, err);
     if (command == "policy") return cmd_policy(flags, out, err);
     if (command == "faults") return cmd_faults(flags, out, err);
-    if (command == "scenario") return cmd_scenario(out);
+    if (command == "scenario") return cmd_scenario(flags, out, err);
     if (command == "report") return cmd_report(flags, out);
     if (command == "retrain") return cmd_retrain(flags, out, err);
     if (command == "home") return cmd_home(flags, out);

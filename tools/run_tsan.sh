@@ -13,7 +13,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DCOREDA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target test_exec test_sim test_trace \
   bench_fleet_throughput bench_session_throughput bench_serve_throughput \
-  bench_retrain_recovery bench_fleet_serve bench_chaos_soak
+  bench_retrain_recovery bench_fleet_serve bench_chaos_soak \
+  bench_scenario_corpus
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_exec
@@ -72,6 +73,13 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/bench/bench_chaos_soak --users=128 --active=64 --rounds=3 \
   --tail-rounds=1 --serve-users=12 --drifted=3 --serve-rounds=3 \
   --serve-tail-rounds=4 --jobs=4 --dir="$BUILD_DIR/chaos_tsan" > /dev/null
+# The scenario corpus fans whole HomeDeployments (scheduler, radio, tracker,
+# actor) across pool-slot trials while every slot stages bundle records back
+# into the shared BundleStore. Correctness again rests on disjoint static
+# ownership (user -> slot -> trial, user -> store entry); TSan proves the
+# bundle write-back path adds no cross-thread edges.
+"$BUILD_DIR"/bench/bench_scenario_corpus --jobs=4 > /dev/null
 
-echo "TSan: all exec/sim/trace-parallel tests and the" \
-     "fleet/session/serve/retrain/fleet-serve/chaos benches passed."
+echo "TSan: all exec/sim/trace-parallel tests, the" \
+     "fleet/session/serve/retrain/fleet-serve/chaos benches and the" \
+     "scenario corpus passed."
